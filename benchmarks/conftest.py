@@ -1,0 +1,73 @@
+"""Benchmark fixtures.
+
+One measurement-scale scenario is simulated once per session (both
+arms); every per-table/figure benchmark then times its analysis over
+the shared datasets and writes the regenerated rows/series to
+``benchmarks/output/``.  Scale with ``REPRO_BENCH_DEVICES`` (default
+4000 devices).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.store import Dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+
+BENCH_DEVICES = int(os.environ.get("REPRO_BENCH_DEVICES", "4000"))
+
+BENCH_SCENARIO = ScenarioConfig(
+    n_devices=BENCH_DEVICES,
+    seed=2020,
+    topology=TopologyConfig(
+        n_base_stations=max(500, BENCH_DEVICES // 2), seed=2021
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def vanilla_ds() -> Dataset:
+    """The measurement arm at benchmark scale."""
+    return FleetSimulator(BENCH_SCENARIO.vanilla()).run()
+
+
+@pytest.fixture(scope="session")
+def patched_ds() -> Dataset:
+    """The enhanced arm of the same scenario."""
+    return FleetSimulator(BENCH_SCENARIO.patched()).run()
+
+
+#: BS-rich scenario for the infrastructure figures (11 and 14): the
+#: per-BS event density must stay below saturation for BS-level
+#: prevalence to be informative, mirroring the paper's 5.27M-BS scale.
+BS_RICH_SCENARIO = ScenarioConfig(
+    n_devices=max(1_000, BENCH_DEVICES // 2),
+    seed=2022,
+    topology=TopologyConfig(
+        n_base_stations=max(10_000, BENCH_DEVICES * 5), seed=2023
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def bs_rich_ds() -> Dataset:
+    """A fleet over a BS-rich topology for the BS-landscape figures."""
+    return FleetSimulator(BS_RICH_SCENARIO.vanilla()).run()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    path = Path(__file__).parent / "output"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def emit(output_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it."""
+    (output_dir / name).write_text(text)
+    print(f"\n===== {name} =====\n{text}")

@@ -1,0 +1,54 @@
+"""Ablation: do the mechanisms alone reproduce the tendencies?
+
+The calibrated fleet schedules failures from Table 1 hazards; organic
+mode schedules nothing — sessions simply run against the live network
+and failures arise from the admission mechanics.  The paper's
+qualitative tendencies must show through in both, or the calibration
+would be doing all the work.
+"""
+
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.fleet.organic import OrganicSimulator
+from repro.network.topology import NationalTopology, TopologyConfig
+
+
+def test_ablation_organic_tendencies(benchmark, output_dir):
+    topology = NationalTopology(
+        TopologyConfig(n_base_stations=2_000, seed=11)
+    )
+
+    result = benchmark.pedantic(
+        lambda: OrganicSimulator(topology, seed=12).run(
+            n_devices=80, sessions_per_device=50
+        ),
+        rounds=1, iterations=1,
+    )
+    by_level = result.failure_rate_by(lambda a: a.signal_level)
+    by_rat = result.failure_rate_by(lambda a: a.rat)
+
+    def events_per_session(deployment):
+        pool = [a for a in result.attempts
+                if a.deployment == deployment]
+        return sum(a.true_failures + a.filtered
+                   for a in pool) / max(1, len(pool))
+
+    out = StringIO()
+    out.write("organic session-failure rate by signal level:\n")
+    for level in sorted(by_level):
+        out.write(f"  level {level}: {by_level[level]:.3f}\n")
+    out.write("organic session-failure rate by RAT:\n")
+    for rat in sorted(by_rat):
+        out.write(f"  {rat}: {by_rat[rat]:.3f}\n")
+    out.write("failure events per session: "
+              f"hub {events_per_session('TRANSPORT_HUB'):.3f} vs "
+              f"suburban {events_per_session('SUBURBAN'):.3f}\n")
+    emit(output_dir, "ablation_organic.txt", out.getvalue())
+
+    # Unscheduled, the mechanisms still produce the paper's tendencies.
+    assert by_level[0] > by_level[4]
+    assert by_rat["3G"] < by_rat["2G"]
+    assert by_rat["3G"] < by_rat["4G"]
+    assert (events_per_session("TRANSPORT_HUB")
+            > events_per_session("SUBURBAN"))

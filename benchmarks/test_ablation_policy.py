@@ -1,0 +1,98 @@
+"""Ablations: RAT-policy veto threshold and hub deployment density."""
+
+import random
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.android.rat_policy import (
+    RatCandidate,
+    StabilityCompatiblePolicy,
+)
+from repro.fleet import behavior
+from repro.network.emm import EmmContext, EmmState
+from repro.radio.rat import RAT
+
+
+def _policy_outcomes(policy, n=8_000, seed=31):
+    """(expected transition-failure probability, 5G usage share)."""
+    rng = random.Random(seed)
+    expected_failures = 0.0
+    on_5g = 0
+    for _ in range(n):
+        scenario = behavior.sample_transition_scenario(rng, has_5g=True)
+        current = RatCandidate(scenario.current_rat,
+                               scenario.current_level)
+        candidates = [RatCandidate(rat, level)
+                      for rat, level in scenario.candidates]
+        chosen = policy.select(current, candidates)
+        if chosen.rat is not current.rat:
+            expected_failures += behavior.transition_failure_probability(
+                current.rat, current.signal_level,
+                chosen.rat, chosen.signal_level,
+            )
+        else:
+            expected_failures += behavior.stay_failure_probability(
+                current.rat, current.signal_level
+            )
+        if chosen.rat is RAT.NR:
+            on_5g += 1
+    return expected_failures / n, on_5g / n
+
+
+def test_ablation_veto_threshold(benchmark, output_dir):
+    """The stability/reachability trade-off of the veto threshold."""
+    def sweep():
+        return {
+            threshold: _policy_outcomes(
+                StabilityCompatiblePolicy(veto_threshold=threshold)
+            )
+            for threshold in (0.05, 0.10, 0.15, 0.25, 0.50, 10.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out = StringIO()
+    out.write("threshold  E[failure/opportunity]  5G usage share\n")
+    for threshold, (p_fail, share_5g) in results.items():
+        out.write(f"{threshold:>9.2f}  {p_fail:>21.3f}  "
+                  f"{share_5g:>14.1%}\n")
+    emit(output_dir, "ablation_veto_threshold.txt", out.getvalue())
+
+    # A huge threshold is effectively the blind policy: most failures.
+    p_blind = results[10.0][0]
+    p_paper = results[0.15][0]
+    assert p_paper < p_blind * 0.6
+    # Tightening the veto trades 5G usage for stability, monotonically.
+    shares = [results[t][1] for t in (0.05, 0.15, 0.50, 10.0)]
+    assert shares == sorted(shares)
+
+
+def test_ablation_hub_density(benchmark, output_dir):
+    """Dense deployment drives EMM misbehaviour (the Fig. 15 anomaly's
+    mechanism): barring and churn grow superlinearly with density."""
+    def sweep():
+        results = {}
+        for density in (0.1, 0.3, 0.5, 0.7, 0.9):
+            context = EmmContext(deployment_density=density)
+            context.state = EmmState.REGISTERED
+            rng = random.Random(13)
+            failures = sum(
+                context.check_bearer_request(rng) is not None
+                for _ in range(4_000
+                               )
+            )
+            results[density] = (context.barring_probability(),
+                                failures / 4_000)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out = StringIO()
+    out.write("density  P(access barred)  measured bearer-failure rate\n")
+    for density, (barring, measured) in results.items():
+        out.write(f"{density:>7.1f}  {barring:>16.3f}  {measured:>27.3f}\n")
+    emit(output_dir, "ablation_hub_density.txt", out.getvalue())
+
+    rates = [results[d][1] for d in (0.1, 0.3, 0.5, 0.7, 0.9)]
+    assert rates == sorted(rates)
+    # Superlinear: the 0.9-density cell fails far more than 3x the
+    # 0.3-density cell.
+    assert rates[-1] > 3 * max(rates[1], 0.001)

@@ -1,0 +1,73 @@
+"""Ablation: prober timeout settings vs measurement error and cost.
+
+Sec. 2.2 chose 1 s ICMP / 5 s DNS timeouts: the volley then costs at
+most five seconds, bounding the duration measurement error at 5 s.
+Larger timeouts raise the error bound; smaller DNS timeouts misclassify
+slow-but-alive resolvers.
+"""
+
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.core.events import ProbeVerdict
+from repro.monitoring.prober import NetworkStateProber
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.simtime import SimClock
+
+
+def _measure_with(dns_timeout_s: float, stall_s: float = 47.0):
+    clock = SimClock()
+    stack = DeviceNetStack()
+    stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL, 0.0,
+                                   stall_s))
+    prober = NetworkStateProber(clock, dns_timeout_s=dns_timeout_s)
+    measurement = prober.measure(stack)
+    return (measurement.duration_s - stall_s, measurement.rounds,
+            measurement.probe_bytes)
+
+
+def test_ablation_prober_timeouts(benchmark, output_dir):
+    def sweep():
+        return {
+            timeout: _measure_with(timeout)
+            for timeout in (2.0, 5.0, 10.0, 20.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out = StringIO()
+    out.write("DNS timeout  error (s)  rounds  probe bytes\n")
+    for timeout, (error, rounds, probe_bytes) in results.items():
+        out.write(f"{timeout:>11.0f}  {error:>9.2f}  {rounds:>6}  "
+                  f"{probe_bytes:>11}\n")
+    emit(output_dir, "ablation_prober_timeouts.txt", out.getvalue())
+
+    # Error stays below one volley everywhere...
+    for timeout, (error, _rounds, _bytes) in results.items():
+        assert 0.0 <= error <= timeout
+    # ...and the paper's 5 s setting keeps error under 5 s while
+    # halving the probe volume of a 2 s setting.
+    assert results[5.0][0] <= 5.0
+    assert results[5.0][2] < results[2.0][2]
+
+
+def test_prober_verdict_robustness(benchmark):
+    """Whatever the timeout, fault classification stays correct."""
+    def classify_all():
+        verdicts = {}
+        for kind in FaultKind:
+            clock = SimClock()
+            stack = DeviceNetStack()
+            stack.inject_fault(ActiveFault(kind, 0.0, 600.0))
+            volley = NetworkStateProber(clock).probe_once(
+                stack, 1.0, 5.0
+            )
+            verdicts[kind] = volley.verdict
+        return verdicts
+
+    verdicts = benchmark(classify_all)
+    for kind, verdict in verdicts.items():
+        assert verdict is kind.expected_verdict
+    assert verdicts[FaultKind.NETWORK_STALL] is (
+        ProbeVerdict.NETWORK_SIDE_STALL
+    )

@@ -1,0 +1,58 @@
+"""Sec. 2.2's fleet-wide claim: across all 70M opt-in users, the
+monitoring system's aggregate network overhead stayed below 500 KB/s.
+
+We measure per-device upload volume at benchmark scale through the real
+uploader (compressed records), then scale to the paper's 70M users over
+the eight-month study.
+"""
+
+from benchmarks.conftest import emit
+from repro import quantities
+from repro.monitoring.uploader import UploadBatcher
+from repro.simtime import SECONDS_PER_MONTH
+
+
+def test_aggregate_network_overhead(benchmark, vanilla_ds, output_dir):
+    def measure():
+        batcher = UploadBatcher()
+        for record in vanilla_ds.failures[:20_000]:
+            batcher.enqueue(record.to_dict())
+        sampled = min(len(vanilla_ds.failures), 20_000)
+        return batcher.pending_bytes / sampled
+
+    bytes_per_record = benchmark.pedantic(measure, rounds=1,
+                                          iterations=1)
+    records_per_device = vanilla_ds.n_failures / vanilla_ds.n_devices
+    study_seconds = quantities.STUDY_MONTHS * SECONDS_PER_MONTH
+    aggregate_bps = (
+        bytes_per_record * records_per_device * quantities.TOTAL_USERS
+        / study_seconds
+    )
+    emit(output_dir, "aggregate_network.txt", "\n".join([
+        f"compressed bytes per record: {bytes_per_record:.0f}",
+        f"records per device over the study: {records_per_device:.1f}",
+        f"aggregate across {quantities.TOTAL_USERS:,} users: "
+        f"{aggregate_bps / 1024:.0f} KB/s (paper: < 500 KB/s)",
+    ]) + "\n")
+
+    # Sec. 2.2: below 500 KB/s across the whole fleet.
+    assert aggregate_bps < 500 * 1024
+
+
+def test_top_ranked_bses_are_urban(benchmark, bs_rich_ds, output_dir):
+    """Fig. 11 prose: the 10,000 top-ranking BSes sit in crowded urban
+    areas (here: the top 100 at our scale)."""
+    from repro.analysis.isp_bs import top_bs_deployment_mix
+
+    mix = benchmark(top_bs_deployment_mix, bs_rich_ds, 100)
+    emit(output_dir, "fig11_top_bs_mix.txt", "\n".join(
+        f"{deployment:<15} {share:6.1%}"
+        for deployment, share in sorted(mix.items(),
+                                        key=lambda kv: -kv[1])
+    ) + "\n")
+    crowded = (mix.get("TRANSPORT_HUB", 0.0)
+               + mix.get("URBAN_CORE", 0.0)
+               + mix.get("URBAN", 0.0))
+    assert crowded > 0.5
+    # Hubs are 0.5% of cells but heavily over-represented at the top.
+    assert mix.get("TRANSPORT_HUB", 0.0) > 0.02

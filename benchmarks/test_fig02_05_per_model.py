@@ -1,0 +1,44 @@
+"""Figs. 2 and 5: prevalence and frequency per phone model.
+
+The figures plot the same columns as Table 1; the benchmark renders
+both series and checks their published ranges and spread.
+"""
+
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.analysis.landscape import per_model_stats
+
+
+def _render_series(rows, attribute: str) -> str:
+    out = StringIO()
+    peak = max(getattr(r, attribute) for r in rows) or 1.0
+    out.write(f"model  {attribute}\n")
+    for row in rows:
+        value = getattr(row, attribute)
+        bar = "#" * int(40 * value / peak)
+        out.write(f"{row.model:>5}  {value:>8.3f}  {bar}\n")
+    return out.getvalue()
+
+
+def test_fig02_prevalence_per_model(benchmark, vanilla_ds, output_dir):
+    rows = benchmark(per_model_stats, vanilla_ds)
+    emit(output_dir, "fig02_prevalence.txt",
+         _render_series(rows, "prevalence"))
+    solid = [r for r in rows if r.n_devices >= 40]
+    values = [r.prevalence for r in solid]
+    # Fig. 2's range: 0.15% to 45%, wide spread across models.
+    assert max(values) > 0.20
+    assert min(values) < 0.12
+    assert max(values) < 0.60
+
+
+def test_fig05_frequency_per_model(benchmark, vanilla_ds, output_dir):
+    rows = benchmark(per_model_stats, vanilla_ds)
+    emit(output_dir, "fig05_frequency.txt",
+         _render_series(rows, "frequency"))
+    solid = [r for r in rows if r.n_devices >= 40]
+    values = [r.frequency for r in solid]
+    # Fig. 5's range: 2.3 to 90.2 failures per device.
+    assert max(values) > 35.0
+    assert min(values) < 15.0

@@ -1,0 +1,38 @@
+"""Figs. 3 and 4: failures-per-phone and failure-duration CDFs."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_cdf
+from repro.analysis.stats import (
+    compute_general_stats,
+    duration_cdf,
+    failures_per_phone,
+    failures_per_phone_cdf,
+)
+
+
+def test_fig03_failures_per_phone(benchmark, vanilla_ds, output_dir):
+    xs, ps = benchmark(failures_per_phone_cdf, vanilla_ds)
+    emit(output_dir, "fig03_failures_per_phone.txt",
+         render_cdf(xs, ps, label="failures/phone"))
+
+    counts = failures_per_phone(vanilla_ds)
+    # Fig. 3: the majority of phones report no failures at all...
+    zero_share = float(np.mean(counts == 0))
+    assert zero_share > 0.6
+    # ...while the tail is enormous relative to the mean (~33).
+    assert counts.max() > 20 * counts.mean()
+
+
+def test_fig04_duration_cdf(benchmark, vanilla_ds, output_dir):
+    xs, ps = benchmark(duration_cdf, vanilla_ds)
+    emit(output_dir, "fig04_duration.txt",
+         render_cdf(xs, ps, label="duration (s)"))
+
+    stats = compute_general_stats(vanilla_ds)
+    # Fig. 4 prose: the distribution is highly skewed — most failures
+    # are short but the maximum reaches hours.
+    assert stats.fraction_under_30s > 0.6
+    assert stats.max_duration_s > 3_600.0
+    assert stats.mean_duration_s > 3 * stats.median_duration_s

@@ -1,0 +1,41 @@
+"""Figs. 6-9: 5G vs non-5G and Android 10 vs 9 group comparisons,
+including the paper's footnote-4 fair-comparison variants."""
+
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.analysis.landscape import compare_5g, compare_android_versions
+
+
+def _render(comparison) -> str:
+    out = StringIO()
+    out.write(f"{comparison.group_a:<22} prevalence "
+              f"{comparison.prevalence_a:6.1%}  frequency "
+              f"{comparison.frequency_a:6.1f}\n")
+    out.write(f"{comparison.group_b:<22} prevalence "
+              f"{comparison.prevalence_b:6.1%}  frequency "
+              f"{comparison.frequency_b:6.1f}\n")
+    return out.getvalue()
+
+
+def test_fig06_07_5g_vs_non5g(benchmark, vanilla_ds, output_dir):
+    comparison = benchmark(compare_5g, vanilla_ds)
+    fair = compare_5g(vanilla_ds, fair=True)
+    emit(output_dir, "fig06_07_5g.txt",
+         _render(comparison) + "\nfair comparison (footnote 4):\n"
+         + _render(fair))
+    # Figs. 6-7: 5G phones fail more, in both comparisons.
+    assert comparison.prevalence_a > comparison.prevalence_b
+    assert comparison.frequency_a > comparison.frequency_b
+    assert fair.frequency_a > fair.frequency_b
+
+
+def test_fig08_09_android_versions(benchmark, vanilla_ds, output_dir):
+    comparison = benchmark(compare_android_versions, vanilla_ds)
+    fair = compare_android_versions(vanilla_ds, fair=True)
+    emit(output_dir, "fig08_09_android.txt",
+         _render(comparison) + "\nfair comparison (footnote 4):\n"
+         + _render(fair))
+    # Figs. 8-9: Android 10 fails more than Android 9.
+    assert comparison.frequency_a > comparison.frequency_b
+    assert fair.frequency_a > fair.frequency_b

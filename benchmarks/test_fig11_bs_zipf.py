@@ -1,0 +1,40 @@
+"""Fig. 11: BS ranking by experienced failures is Zipf-like."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.isp_bs import (
+    bs_failure_ranking,
+    bs_failure_summary,
+    fit_zipf,
+)
+
+
+def test_fig11_zipf_ranking(benchmark, bs_rich_ds, output_dir):
+    ranking = benchmark(bs_failure_ranking, bs_rich_ds)
+    fit = fit_zipf(ranking)
+    summary = bs_failure_summary(bs_rich_ds)
+    lines = [
+        f"Zipf fit: a={fit.a:.2f} (paper: 0.82), "
+        f"b={fit.b:.2f}, R^2={fit.r_squared:.3f}",
+        f"failures per involved BS: median={summary['median']:.0f} "
+        f"(paper: 1), mean={summary['mean']:.0f} (paper: 444), "
+        f"max={summary['max']:.0f} (paper: 8.9M)",
+        "",
+        "rank  failures",
+    ]
+    for rank in (1, 2, 5, 10, 20, 50, 100, 200, 500):
+        if rank <= len(ranking):
+            lines.append(f"{rank:>4}  {ranking[rank - 1]:.0f}")
+    emit(output_dir, "fig11_bs_zipf.txt", "\n".join(lines) + "\n")
+
+    # Zipf-like: a power-law fit explains the ranking well and the
+    # distribution is deeply skewed (median << mean << max).
+    assert 0.4 <= fit.a <= 2.0
+    assert fit.r_squared > 0.75
+    assert summary["median"] < summary["mean"] / 3
+    assert summary["max"] > 30 * summary["mean"]
+    # The top-ranked cells concentrate a large share of all failures.
+    top_share = float(ranking[: len(ranking) // 100 + 1].sum()
+                      / ranking.sum())
+    assert top_share > 0.05

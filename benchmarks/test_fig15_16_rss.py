@@ -1,0 +1,38 @@
+"""Figs. 15-16: normalized prevalence by signal level — the RSS
+counter-intuition (excellent signal, more failures)."""
+
+from io import StringIO
+
+from benchmarks.conftest import emit
+from repro.analysis.isp_bs import (
+    normalized_prevalence_by_level,
+    normalized_prevalence_by_rat_level,
+)
+from repro.analysis.report import render_level_series
+
+
+def test_fig15_normalized_prevalence(benchmark, vanilla_ds, output_dir):
+    series = benchmark(normalized_prevalence_by_level, vanilla_ds)
+    emit(output_dir, "fig15_rss.txt", render_level_series(series))
+
+    # Fig. 15: monotone decrease over levels 0-4...
+    assert series[0] > series[1] > series[2] > series[3] > series[4]
+    # ...then the hub anomaly: level 5 beats every level-1..4 value
+    # while staying below level 0.
+    assert series[5] > max(series[level] for level in (1, 2, 3, 4))
+    assert series[5] < series[0]
+
+
+def test_fig16_rat_split(benchmark, vanilla_ds, output_dir):
+    series = benchmark(normalized_prevalence_by_rat_level, vanilla_ds)
+    out = StringIO()
+    for rat in ("4G", "5G"):
+        out.write(f"{rat}:\n")
+        out.write(render_level_series(series[rat]))
+    emit(output_dir, "fig16_rat_rss.txt", out.getvalue())
+
+    # Fig. 16: at matched levels, failure likelihood under 5G access
+    # sits above 4G (immature modules).
+    above = sum(series["5G"][level] > series["4G"][level]
+                for level in range(5))
+    assert above >= 4

@@ -1,0 +1,56 @@
+"""Fig. 17: failure-likelihood increase of RAT transitions, all six
+panels, with the 4G->5G level-0 anchor."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_transition_matrix
+from repro.analysis.transitions import (
+    all_transition_matrices,
+    transition_increase_matrix,
+    undesirable_cells,
+)
+
+
+def test_fig17f_4g_to_5g(benchmark, vanilla_ds, output_dir):
+    matrix = benchmark(
+        transition_increase_matrix, vanilla_ds, "4G", "5G"
+    )
+    emit(output_dir, "fig17f_4g_5g.txt",
+         render_transition_matrix(matrix))
+
+    # The four vetoable cases: 4G level-1..4 -> 5G level-0 sharply
+    # increase failure likelihood; the paper's (4,0) anchor is +0.37.
+    observed = [matrix.increase[i][0] for i in (1, 2, 3, 4)
+                if not np.isnan(matrix.increase[i][0])]
+    assert len(observed) >= 3
+    assert all(value > 0.20 for value in observed)
+    anchor = matrix.increase[4][0]
+    if not np.isnan(anchor):
+        assert 0.25 <= anchor <= 0.70
+
+    # Healthy 5G targets do not carry the penalty.
+    safe = [matrix.increase[i][4] for i in range(6)
+            if not np.isnan(matrix.increase[i][4])]
+    assert safe and all(value < 0.20 for value in safe)
+
+
+def test_fig17_all_panels(benchmark, vanilla_ds, output_dir):
+    matrices = benchmark(all_transition_matrices, vanilla_ds)
+    text = "\n".join(
+        render_transition_matrix(matrix)
+        for matrix in matrices.values()
+    )
+    emit(output_dir, "fig17_all_panels.txt", text)
+
+    # The common pattern (Sec. 4.2): among all panels' undesirable
+    # cells, destinations at level 0 dominate.
+    level0 = 0
+    total = 0
+    for matrix in matrices.values():
+        for _i, j, _v in undesirable_cells(matrix, threshold=0.15):
+            total += 1
+            if j == 0:
+                level0 += 1
+    assert total >= 4
+    assert level0 / total >= 0.4

@@ -1,0 +1,41 @@
+"""Figs. 19-21: the deployment evaluation of both enhancements."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.evaluation import evaluate_ab
+from repro.analysis.report import render_ab_evaluation
+
+
+@pytest.fixture(scope="module")
+def evaluation(vanilla_ds, patched_ds):
+    return evaluate_ab(vanilla_ds, patched_ds)
+
+
+def test_fig19_20_rat_transition_ab(benchmark, vanilla_ds, patched_ds,
+                                    output_dir):
+    evaluation = benchmark(evaluate_ab, vanilla_ds, patched_ds)
+    emit(output_dir, "fig19_21_ab.txt",
+         render_ab_evaluation(evaluation))
+
+    # Fig. 20: ~40.3% fewer failures on participant 5G phones.
+    assert 0.25 <= evaluation.frequency_reduction_5g <= 0.55
+    # Fig. 19: prevalence improves more weakly (~10% in the paper).
+    assert evaluation.prevalence_reduction_5g > -0.10
+    # Per-type frequency reductions are all positive (Sec. 4.3).
+    for delta in evaluation.per_type.values():
+        assert delta.frequency_reduction > 0.0
+
+
+def test_fig21_recovery_ab(evaluation, benchmark):
+    def durations():
+        return (evaluation.stall_duration_reduction,
+                evaluation.total_duration_reduction)
+
+    stall_reduction, total_reduction = benchmark(durations)
+    # Fig. 21: -38% Data_Stall duration, -36% total duration.
+    assert 0.15 <= stall_reduction <= 0.60
+    assert 0.15 <= total_reduction <= 0.60
+    # Medians must not regress.
+    assert (evaluation.median_duration_after_s
+            <= evaluation.median_duration_before_s * 1.2)

@@ -1,0 +1,26 @@
+"""Sec. 3.1 general statistics (the prose numbers around Figs. 3-4)."""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_general_stats
+from repro.analysis.stats import compute_general_stats
+
+
+def test_general_stats(benchmark, vanilla_ds, output_dir):
+    stats = benchmark(compute_general_stats, vanilla_ds)
+    emit(output_dir, "general_stats.txt",
+         render_general_stats(vanilla_ds))
+
+    # >99% of failures are the three headline types.
+    assert stats.headline_type_share > 0.97
+    # Frequency ~33 per device; prevalence ~20% fleet-weighted.
+    assert 22.0 <= stats.frequency <= 45.0
+    assert 0.12 <= stats.prevalence <= 0.30
+    # Data_Stall: ~40% of counts, the vast majority of duration.
+    assert 0.30 <= stats.count_share_by_type["DATA_STALL"] <= 0.50
+    assert stats.duration_share_by_type["DATA_STALL"] > 0.70
+    # The per-type per-device means keep the 16 > 14 > 3 ordering.
+    means = stats.mean_per_device_by_type
+    assert (means["DATA_SETUP_ERROR"] > means["DATA_STALL"]
+            > means["OUT_OF_SERVICE"])
+    # 95% of phones report no Out_of_Service events.
+    assert stats.fraction_devices_without_oos > 0.85

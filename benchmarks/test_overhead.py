@@ -1,0 +1,45 @@
+"""Sec. 2.2 / 4.3: Android-MOD's client-side overhead envelope."""
+
+from benchmarks.conftest import emit
+from repro.monitoring.overhead import OverheadAccountant
+
+
+def _typical_device() -> OverheadAccountant:
+    accountant = OverheadAccountant(months_observed=8.0)
+    for _ in range(33):  # the fleet-average failure count
+        accountant.event_opened()
+        accountant.event_closed(duration_s=180.0, probe_rounds=12,
+                                probe_bytes=12 * 350)
+    return accountant
+
+
+def _heavy_device() -> OverheadAccountant:
+    accountant = OverheadAccountant(months_observed=1.0)
+    for _ in range(40_000):  # Sec. 2.2's heaviest producers
+        accountant.event_opened()
+        accountant.event_closed(duration_s=30.0, probe_rounds=1,
+                                probe_bytes=350)
+    return accountant
+
+
+def test_typical_overhead_envelope(benchmark, output_dir):
+    accountant = benchmark(_typical_device)
+    summary = accountant.summary()
+    emit(output_dir, "overhead_typical.txt", "\n".join(
+        f"{key}: {value:,.3f}" for key, value in summary.items()
+    ) + "\n")
+    # Sec. 2.2: <2% CPU, <40 KB memory, <100 KB storage,
+    # <100 KB network per month.
+    assert accountant.within_envelope()
+
+
+def test_worst_case_overhead_envelope(benchmark, output_dir):
+    accountant = benchmark.pedantic(_heavy_device, rounds=1,
+                                    iterations=1)
+    summary = accountant.summary()
+    emit(output_dir, "overhead_worst_case.txt", "\n".join(
+        f"{key}: {value:,.3f}" for key, value in summary.items()
+    ) + "\n")
+    # Sec. 2.2: <8% CPU, <2 MB memory, <20 MB storage, ~20 MB network
+    # per month even at 40k failures/month.
+    assert accountant.within_envelope(worst_case=True)

@@ -1,0 +1,54 @@
+"""Seed robustness: the reproduced shapes are not one-seed flukes.
+
+Runs small independent fleets at three seeds and requires every core
+shape anchor (the scorecard's `shape` checks) to hold in at least two
+of the three — and the headline ones in all three.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.validation import build_scorecard
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+
+SEEDS = (101, 202, 303)
+#: Anchors that must hold at every seed, even at small scale.
+ALWAYS = (
+    "5G phones fail more (Figs. 6-7)",
+    "Android 10 worse than 9 (Figs. 8-9)",
+    "RSS monotonicity (Fig. 15)",
+    "Data_Stall dominates duration",
+)
+
+
+def _run(seed: int):
+    scenario = ScenarioConfig(
+        n_devices=1_200, seed=seed,
+        topology=TopologyConfig(n_base_stations=900, seed=seed + 1),
+    )
+    return build_scorecard(FleetSimulator(scenario).run())
+
+
+def test_shape_anchors_are_seed_robust(benchmark, output_dir):
+    scorecards = benchmark.pedantic(
+        lambda: {seed: _run(seed) for seed in SEEDS},
+        rounds=1, iterations=1,
+    )
+    by_anchor: dict[str, list[bool]] = {}
+    for scorecard in scorecards.values():
+        for check in scorecard.checks:
+            if check.kind == "shape":
+                by_anchor.setdefault(check.name, []).append(check.ok)
+
+    lines = [f"{'anchor':<42} " + "  ".join(f"seed{s}" for s in SEEDS)]
+    for name, results in by_anchor.items():
+        marks = "  ".join("ok " if ok else "NO " for ok in results)
+        lines.append(f"{name:<42} {marks}")
+    emit(output_dir, "robustness.txt", "\n".join(lines) + "\n")
+
+    for name, results in by_anchor.items():
+        holds = sum(results)
+        if name in ALWAYS:
+            assert holds == len(SEEDS), (name, results)
+        else:
+            assert holds >= 2, (name, results)

@@ -1,0 +1,15 @@
+"""The paper-vs-measured scorecard over the benchmark fleet."""
+
+from benchmarks.conftest import emit
+from repro.analysis.validation import build_scorecard
+
+
+def test_scorecard(benchmark, vanilla_ds, patched_ds, output_dir):
+    scorecard = benchmark.pedantic(
+        build_scorecard, args=(vanilla_ds, patched_ds),
+        rounds=1, iterations=1,
+    )
+    emit(output_dir, "scorecard.txt", scorecard.render())
+    assert scorecard.total >= 15
+    failures = scorecard.failures()
+    assert not failures, [check.name for check in failures]

@@ -1,0 +1,35 @@
+"""Throughput of the fleet simulator itself.
+
+Not a paper experiment — an engineering benchmark: how many failure
+episodes per second the full mechanism chain (state machine + monitor
++ prober volley + recovery resolution) realizes.  Useful for sizing
+larger reproduction runs.
+"""
+
+from benchmarks.conftest import emit
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+
+
+def _run_small_fleet():
+    scenario = ScenarioConfig(
+        n_devices=250, seed=77,
+        topology=TopologyConfig(n_base_stations=300, seed=78),
+    )
+    return FleetSimulator(scenario).run()
+
+
+def test_simulator_throughput(benchmark, output_dir):
+    dataset = benchmark.pedantic(_run_small_fleet, rounds=3,
+                                 iterations=1)
+    episodes = dataset.n_failures + len(dataset.transitions)
+    seconds = benchmark.stats["mean"]
+    rate = episodes / seconds
+    emit(output_dir, "simulator_throughput.txt",
+         f"{episodes} episodes in {seconds:.2f} s "
+         f"=> {rate:,.0f} episodes/s\n")
+    assert dataset.n_failures > 1_000
+    # A full nationwide bench run must stay tractable: require at
+    # least a few thousand episodes per second on any modern machine.
+    assert rate > 1_000

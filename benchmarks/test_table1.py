@@ -1,0 +1,36 @@
+"""Table 1: per-model prevalence and frequency.
+
+Regenerates the measured Table 1 and checks its shape against the
+published one: prevalence/frequency must correlate across models, and
+the published range must bracket the measured values.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import quantities
+from repro.analysis.landscape import per_model_stats
+from repro.analysis.report import render_table1
+
+
+def test_table1(benchmark, vanilla_ds, output_dir):
+    rows = benchmark(per_model_stats, vanilla_ds)
+    emit(output_dir, "table1.txt", render_table1(vanilla_ds))
+
+    published_prevalence = {r.model: r.prevalence
+                            for r in quantities.TABLE1}
+    published_frequency = {r.model: r.frequency
+                           for r in quantities.TABLE1}
+    solid = [r for r in rows if r.n_devices >= 40]
+    assert len(solid) >= 12
+
+    models = [r.model for r in solid]
+    measured_p = np.array([r.prevalence for r in solid])
+    paper_p = np.array([published_prevalence[m] for m in models])
+    measured_f = np.array([r.frequency for r in solid])
+    paper_f = np.array([published_frequency[m] for m in models])
+
+    assert np.corrcoef(paper_p, measured_p)[0, 1] > 0.6
+    assert np.corrcoef(paper_f, measured_f)[0, 1] > 0.5
+    # Level calibration: mean absolute prevalence error under 8 points.
+    assert np.mean(np.abs(measured_p - paper_p)) < 0.08

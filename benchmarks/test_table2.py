@@ -1,0 +1,26 @@
+"""Table 2: top-10 Data_Setup_Error codes and their shares."""
+
+from benchmarks.conftest import emit
+from repro import quantities
+from repro.analysis.decomposition import error_code_decomposition
+from repro.analysis.report import render_table2
+from repro.core.errorcodes import ProtocolLayer
+
+
+def test_table2(benchmark, vanilla_ds, output_dir):
+    rows = benchmark(error_code_decomposition, vanilla_ds, 10)
+    emit(output_dir, "table2.txt", render_table2(vanilla_ds))
+
+    codes = [row.code for row in rows]
+    # The paper's leader and runner-up hold their places.
+    assert codes[0] == "GPRS_REGISTRATION_FAIL"
+    assert "SIGNAL_LOST" in codes[:4]
+    # At least seven of the paper's top ten appear in ours.
+    overlap = set(codes) & set(quantities.TABLE2_ERROR_CODE_SHARES)
+    assert len(overlap) >= 7
+    # Cumulative share lands near the published 46.7%.
+    cumulative = sum(row.share for row in rows)
+    assert 0.38 <= cumulative <= 0.60
+    # Causes span the stack (Sec. 3.2's prose point).
+    layers = {row.layer for row in rows}
+    assert {ProtocolLayer.PHYSICAL, ProtocolLayer.NETWORK} <= layers

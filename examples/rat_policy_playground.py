@@ -1,0 +1,77 @@
+"""Compare RAT selection policies on sampled transition scenarios.
+
+Shows how Android 10's blind 5G preference walks into the paper's
+canonical trap — a healthy 4G connection abandoned for level-0 5G —
+and how the Stability-Compatible policy vetoes exactly those moves
+while keeping genuine 5G upgrades, using the measured risk matrices
+and the data-rate no-side-effect check (Sec. 4.2).
+
+Usage::
+
+    python examples/rat_policy_playground.py
+"""
+
+import random
+from collections import Counter
+
+from repro.android.rat_policy import (
+    Android10BlindPolicy,
+    RatCandidate,
+    StabilityCompatiblePolicy,
+)
+from repro.fleet import behavior
+from repro.radio.rat import RAT
+from repro.radio.throughput import expected_data_rate_mbps
+
+
+def describe(candidate: RatCandidate) -> str:
+    rate = expected_data_rate_mbps(candidate.rat, candidate.signal_level)
+    return (f"{candidate.rat.label} level-{int(candidate.signal_level)} "
+            f"(~{rate:,.0f} Mbps)")
+
+
+def main() -> None:
+    rng = random.Random(99)
+    blind = Android10BlindPolicy()
+    stable = StabilityCompatiblePolicy()
+
+    print("Ten sampled transition opportunities on a 5G phone:\n")
+    for index in range(10):
+        scenario = behavior.sample_transition_scenario(rng, has_5g=True)
+        current = RatCandidate(scenario.current_rat,
+                               scenario.current_level)
+        candidates = [RatCandidate(rat, level)
+                      for rat, level in scenario.candidates]
+        blind_choice = blind.select(current, candidates)
+        stable_choice = stable.select(current, candidates)
+        disagreement = "  <-- veto" if (blind_choice.rat
+                                        is not stable_choice.rat) else ""
+        print(f"#{index}: at {describe(current)}")
+        print(f"    blind  -> {describe(blind_choice)}")
+        print(f"    stable -> {describe(stable_choice)}{disagreement}")
+
+    # Aggregate over many scenarios: how often does each policy end up
+    # on level-0 5G (the failure hot spot of Fig. 17f)?
+    outcomes: Counter[str] = Counter()
+    n = 20_000
+    for _ in range(n):
+        scenario = behavior.sample_transition_scenario(rng, has_5g=True)
+        current = RatCandidate(scenario.current_rat,
+                               scenario.current_level)
+        candidates = [RatCandidate(rat, level)
+                      for rat, level in scenario.candidates]
+        for name, policy in (("blind", blind), ("stable", stable)):
+            chosen = policy.select(current, candidates)
+            if chosen.rat is RAT.NR and int(chosen.signal_level) == 0:
+                outcomes[name] += 1
+
+    print(f"\nOver {n} opportunities, time spent on level-0 5G:")
+    print(f"  Android 10 blind policy : {outcomes['blind'] / n:.1%}")
+    print(f"  stability-compatible    : {outcomes['stable'] / n:.1%}")
+    print("\nThe veto removes the hot spot without giving up genuine "
+          "5G upgrades — the mechanism behind the 40% failure "
+          "reduction on 5G phones (Sec. 4.3).")
+
+
+if __name__ == "__main__":
+    main()

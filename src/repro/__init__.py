@@ -1,0 +1,56 @@
+"""Reproduction of *A Nationwide Study on Cellular Reliability:
+Measurement, Analysis, and Enhancements* (SIGCOMM 2021).
+
+The library rebuilds the paper's entire stack over simulated substrates:
+the Android telephony mechanisms it studies (:mod:`repro.android`), the
+Android-MOD monitoring infrastructure (:mod:`repro.monitoring`), the
+radio / cellular-network / device-netstack substrates (:mod:`repro.radio`,
+:mod:`repro.network`, :mod:`repro.netstack`), a calibrated nationwide
+device fleet (:mod:`repro.fleet`), the full analysis pipeline
+(:mod:`repro.analysis`), and the two deployed enhancements — the
+Stability-Compatible RAT Transition policy and the TIMP-based flexible
+Data_Stall recovery (:mod:`repro.timp`).
+
+Quickstart::
+
+    from repro import NationwideStudy, smoke_scenario
+
+    study = NationwideStudy(scenario=smoke_scenario())
+    result = study.run()
+    print(result.render())
+"""
+
+from repro.core.study import NationwideStudy, StudyResult, run_ab_evaluation
+from repro.core.enhancements import FittedEnhancements, fit_enhancements
+from repro.core.events import FailureType
+from repro.fleet.scenario import (
+    ScenarioConfig,
+    default_scenario,
+    full_scenario,
+    smoke_scenario,
+)
+from repro.fleet.simulator import FleetSimulator
+from repro.dataset.store import Dataset, load_dataset, save_dataset
+from repro.analysis.evaluation import ABEvaluation, evaluate_ab
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NationwideStudy",
+    "StudyResult",
+    "run_ab_evaluation",
+    "FittedEnhancements",
+    "fit_enhancements",
+    "FailureType",
+    "ScenarioConfig",
+    "smoke_scenario",
+    "default_scenario",
+    "full_scenario",
+    "FleetSimulator",
+    "Dataset",
+    "load_dataset",
+    "save_dataset",
+    "ABEvaluation",
+    "evaluate_ab",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""The paper's analysis pipeline: general statistics (Sec. 3.1), the
+Android-phone landscape (Sec. 3.2), error-code decomposition (Table 2),
+the ISP/BS landscape (Sec. 3.3), RAT-transition matrices (Fig. 17), and
+the A/B evaluation of the enhancements (Sec. 4.3).  Everything here is
+computed from dataset records only — never copied from quantities."""
+
+from repro.analysis.stats import GeneralStats, compute_general_stats
+from repro.analysis.landscape import (
+    ModelStats,
+    compare_5g,
+    compare_android_versions,
+    per_model_stats,
+)
+from repro.analysis.decomposition import error_code_decomposition
+from repro.analysis.isp_bs import (
+    bs_failure_ranking,
+    fit_zipf,
+    normalized_prevalence_by_level,
+    normalized_prevalence_by_rat_level,
+    per_isp_stats,
+    per_rat_bs_prevalence,
+)
+from repro.analysis.transitions import transition_increase_matrix
+from repro.analysis.evaluation import ABEvaluation, evaluate_ab
+
+__all__ = [
+    "GeneralStats",
+    "compute_general_stats",
+    "ModelStats",
+    "per_model_stats",
+    "compare_5g",
+    "compare_android_versions",
+    "error_code_decomposition",
+    "bs_failure_ranking",
+    "fit_zipf",
+    "per_isp_stats",
+    "per_rat_bs_prevalence",
+    "normalized_prevalence_by_level",
+    "normalized_prevalence_by_rat_level",
+    "transition_increase_matrix",
+    "ABEvaluation",
+    "evaluate_ab",
+]

@@ -1,0 +1,81 @@
+"""Data_Setup_Error decomposition by error code (Table 2, Sec. 3.2).
+
+Ranks the DataFailCause codes attached to Data_Setup_Error failures
+(false positives are already filtered upstream by Android-MOD) and
+attributes each to its protocol layer, reproducing both Table 2 and the
+prose observation that the causes span the physical, link, and network
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errorcodes import ERROR_CODE_REGISTRY, ProtocolLayer
+from repro.core.events import FailureType
+from repro.dataset.store import Dataset
+
+
+@dataclass(frozen=True)
+class ErrorCodeShare:
+    """One row of the measured Table 2."""
+
+    code: str
+    description: str
+    layer: ProtocolLayer
+    count: int
+    share: float
+
+
+def error_code_decomposition(
+    dataset: Dataset, top: int = 10
+) -> list[ErrorCodeShare]:
+    """The ``top`` most common Data_Setup_Error codes with shares."""
+    counts: dict[str, int] = {}
+    total = 0
+    for failure in dataset.failures:
+        if failure.failure_type != FailureType.DATA_SETUP_ERROR.value:
+            continue
+        total += 1
+        if failure.error_code:
+            counts[failure.error_code] = (
+                counts.get(failure.error_code, 0) + 1
+            )
+    if total == 0:
+        raise ValueError("dataset has no Data_Setup_Error failures")
+    ranked = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+    rows = []
+    for code, count in ranked[:top]:
+        if code in ERROR_CODE_REGISTRY:
+            cause = ERROR_CODE_REGISTRY.get(code)
+            description = cause.description
+            layer = cause.layer
+        else:
+            description = "(unregistered cause)"
+            layer = ProtocolLayer.OTHER
+        rows.append(ErrorCodeShare(
+            code=code,
+            description=description,
+            layer=layer,
+            count=count,
+            share=count / total,
+        ))
+    return rows
+
+
+def layer_decomposition(dataset: Dataset) -> dict[ProtocolLayer, float]:
+    """Share of Data_Setup_Error failures by protocol layer."""
+    counts: dict[ProtocolLayer, int] = {layer: 0 for layer in ProtocolLayer}
+    total = 0
+    for failure in dataset.failures:
+        if failure.failure_type != FailureType.DATA_SETUP_ERROR.value:
+            continue
+        if not failure.error_code:
+            continue
+        if failure.error_code not in ERROR_CODE_REGISTRY:
+            continue
+        total += 1
+        counts[ERROR_CODE_REGISTRY.get(failure.error_code).layer] += 1
+    if total == 0:
+        raise ValueError("dataset has no attributable setup errors")
+    return {layer: count / total for layer, count in counts.items()}

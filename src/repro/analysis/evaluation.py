@@ -1,0 +1,114 @@
+"""A/B evaluation of the deployed enhancements (Sec. 4.3, Figs. 19-21).
+
+Compares a vanilla-arm dataset against a patched-arm dataset of the
+same scenario:
+
+* Figs. 19-20 — prevalence / frequency of cellular failures on 5G
+  phones, overall and per failure type;
+* Fig. 21 — Data_Stall duration reduction, total-duration reduction,
+  and the median duration of all failures before/after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import FailureType
+from repro.dataset.store import Dataset
+
+
+@dataclass(frozen=True)
+class TypeDelta:
+    """Per-failure-type reduction on 5G phones (Fig. 19-20 prose)."""
+
+    failure_type: str
+    prevalence_reduction: float
+    frequency_reduction: float
+
+
+@dataclass(frozen=True)
+class ABEvaluation:
+    """Everything Sec. 4.3 reports."""
+
+    #: 5G-phone overall reductions (Figs. 19-20).
+    prevalence_reduction_5g: float
+    frequency_reduction_5g: float
+    per_type: dict[str, TypeDelta]
+    #: Duration results (Fig. 21).
+    stall_duration_reduction: float
+    total_duration_reduction: float
+    median_duration_before_s: float
+    median_duration_after_s: float
+
+
+def _five_g_stats(
+    dataset: Dataset, failure_type: str | None = None
+) -> tuple[float, float]:
+    """(prevalence, frequency) over 5G devices, optionally per type."""
+    ids = {d.device_id for d in dataset.devices if d.has_5g}
+    if not ids:
+        raise ValueError("dataset has no 5G devices")
+    failing: set[int] = set()
+    count = 0
+    for failure in dataset.failures:
+        if failure.device_id not in ids:
+            continue
+        if failure_type is not None and (
+            failure.failure_type != failure_type
+        ):
+            continue
+        count += 1
+        failing.add(failure.device_id)
+    return len(failing) / len(ids), count / len(ids)
+
+
+def _durations(dataset: Dataset, failure_type: str | None = None):
+    return np.array([
+        f.duration_s for f in dataset.failures
+        if failure_type is None or f.failure_type == failure_type
+    ])
+
+
+def evaluate_ab(vanilla: Dataset, patched: Dataset) -> ABEvaluation:
+    """Compute the Sec. 4.3 evaluation from the two arms."""
+    prevalence_v, frequency_v = _five_g_stats(vanilla)
+    prevalence_p, frequency_p = _five_g_stats(patched)
+    per_type: dict[str, TypeDelta] = {}
+    for failure_type in (
+        FailureType.DATA_SETUP_ERROR,
+        FailureType.DATA_STALL,
+        FailureType.OUT_OF_SERVICE,
+    ):
+        pv, fv = _five_g_stats(vanilla, failure_type.value)
+        pp, fp = _five_g_stats(patched, failure_type.value)
+        per_type[failure_type.value] = TypeDelta(
+            failure_type=failure_type.value,
+            prevalence_reduction=_reduction(pv, pp),
+            frequency_reduction=_reduction(fv, fp),
+        )
+    stall_v = _durations(vanilla, FailureType.DATA_STALL.value)
+    stall_p = _durations(patched, FailureType.DATA_STALL.value)
+    all_v = _durations(vanilla)
+    all_p = _durations(patched)
+    return ABEvaluation(
+        prevalence_reduction_5g=_reduction(prevalence_v, prevalence_p),
+        frequency_reduction_5g=_reduction(frequency_v, frequency_p),
+        per_type=per_type,
+        stall_duration_reduction=_reduction(
+            float(stall_v.mean()), float(stall_p.mean())
+        ),
+        total_duration_reduction=_reduction(
+            float(all_v.sum()), float(all_p.sum())
+        ),
+        median_duration_before_s=float(np.median(all_v)),
+        median_duration_after_s=float(np.median(all_p)),
+    )
+
+
+def _reduction(before: float, after: float) -> float:
+    """Relative reduction; positive means the patched arm improved."""
+    if before == 0:
+        return 0.0
+    return 1.0 - after / before

@@ -1,0 +1,439 @@
+"""SVG renderings of the paper's figures.
+
+A small dependency-free SVG chart kit (bars, grouped bars, CDFs,
+log-log scatter, heatmaps) plus :func:`render_paper_figures`, which
+turns a study dataset (and optionally its patched-arm pair) into one
+SVG file per reproducible figure.  The goal is inspectability: open
+``figures/fig15_rss.svg`` next to the paper's Figure 15 and compare
+shapes directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import isp_bs, landscape, stats, transitions
+from repro.analysis.evaluation import evaluate_ab
+from repro.dataset.store import Dataset
+
+# ---------------------------------------------------------------------------
+# SVG primitives
+# ---------------------------------------------------------------------------
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+#: A colour-blind-safe pair for two-series charts.
+SERIES_COLORS = ("#3b6fb6", "#d1703c", "#5a9e6f", "#8d6cab")
+AXIS_COLOR = "#444444"
+GRID_COLOR = "#dddddd"
+
+
+def _escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+@dataclass
+class SvgCanvas:
+    """Accumulates SVG elements and serializes them."""
+
+    width: int
+    height: int
+    _elements: list[str] = field(default_factory=list)
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str, opacity: float = 1.0) -> None:
+        self._elements.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{w:.1f}' "
+            f"height='{h:.1f}' fill='{fill}' "
+            f"fill-opacity='{opacity:.2f}'/>"
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = AXIS_COLOR, width: float = 1.0) -> None:
+        self._elements.append(
+            f"<line x1='{x1:.1f}' y1='{y1:.1f}' x2='{x2:.1f}' "
+            f"y2='{y2:.1f}' stroke='{stroke}' "
+            f"stroke-width='{width:.1f}'/>"
+        )
+
+    def polyline(self, points: list[tuple[float, float]],
+                 stroke: str, width: float = 1.5) -> None:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._elements.append(
+            f"<polyline points='{path}' fill='none' stroke='{stroke}' "
+            f"stroke-width='{width:.1f}'/>"
+        )
+
+    def text(self, x: float, y: float, content: str,
+             size: int = 11, anchor: str = "start",
+             color: str = "#222222") -> None:
+        self._elements.append(
+            f"<text x='{x:.1f}' y='{y:.1f}' font-size='{size}' "
+            f"text-anchor='{anchor}' fill='{color}' {_FONT}>"
+            f"{_escape(content)}</text>"
+        )
+
+    def to_svg(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' "
+            f"width='{self.width}' height='{self.height}' "
+            f"viewBox='0 0 {self.width} {self.height}'>\n"
+            f"<rect width='{self.width}' height='{self.height}' "
+            f"fill='white'/>\n{body}\n</svg>\n"
+        )
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """The plot area inside a canvas, with data-space scaling."""
+
+    left: float
+    top: float
+    right: float
+    bottom: float
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    log_x: bool = False
+    log_y: bool = False
+
+    def x(self, value: float) -> float:
+        lo, hi = self.x_min, self.x_max
+        if self.log_x:
+            value, lo, hi = (math.log10(max(value, 1e-12)),
+                             math.log10(max(lo, 1e-12)),
+                             math.log10(max(hi, 1e-12)))
+        span = (hi - lo) or 1.0
+        return self.left + (value - lo) / span * (self.right - self.left)
+
+    def y(self, value: float) -> float:
+        lo, hi = self.y_min, self.y_max
+        if self.log_y:
+            value, lo, hi = (math.log10(max(value, 1e-12)),
+                             math.log10(max(lo, 1e-12)),
+                             math.log10(max(hi, 1e-12)))
+        span = (hi - lo) or 1.0
+        return self.bottom - (value - lo) / span * (self.bottom - self.top)
+
+
+def _chart_scaffold(title: str, width: int = 520,
+                    height: int = 320) -> tuple[SvgCanvas, _Frame]:
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 22, title, size=14, anchor="middle")
+    frame = _Frame(left=60, top=40, right=width - 20,
+                   bottom=height - 45, x_min=0, x_max=1,
+                   y_min=0, y_max=1)
+    return canvas, frame
+
+
+def _draw_axes(canvas: SvgCanvas, frame: _Frame,
+               x_label: str, y_label: str) -> None:
+    canvas.line(frame.left, frame.bottom, frame.right, frame.bottom)
+    canvas.line(frame.left, frame.top, frame.left, frame.bottom)
+    canvas.text((frame.left + frame.right) / 2,
+                frame.bottom + 34, x_label, anchor="middle")
+    canvas.text(14, (frame.top + frame.bottom) / 2, y_label,
+                anchor="middle")
+
+
+# ---------------------------------------------------------------------------
+# Chart builders
+# ---------------------------------------------------------------------------
+
+
+def bar_chart(values: dict[str, float], title: str,
+              y_label: str = "", percent: bool = False,
+              color: str = SERIES_COLORS[0]) -> str:
+    """A simple labelled bar chart."""
+    if not values:
+        raise ValueError("nothing to plot")
+    canvas, frame = _chart_scaffold(title)
+    peak = max(values.values()) or 1.0
+    frame = _Frame(**{**frame.__dict__, "y_max": peak * 1.1})
+    _draw_axes(canvas, frame, "", y_label)
+    n = len(values)
+    slot = (frame.right - frame.left) / n
+    for index, (label, value) in enumerate(values.items()):
+        x = frame.left + index * slot + slot * 0.15
+        y = frame.y(value)
+        canvas.rect(x, y, slot * 0.7, frame.bottom - y, fill=color)
+        shown = f"{value:.1%}" if percent else f"{value:.3g}"
+        canvas.text(x + slot * 0.35, y - 4, shown, size=9,
+                    anchor="middle")
+        canvas.text(x + slot * 0.35, frame.bottom + 14, str(label),
+                    size=9, anchor="middle")
+    return canvas.to_svg()
+
+
+def grouped_bar_chart(groups: dict[str, dict[str, float]], title: str,
+                      y_label: str = "", percent: bool = False) -> str:
+    """Bars per category, one colour per series (Figs. 6-9, 12-13)."""
+    if not groups:
+        raise ValueError("nothing to plot")
+    series = list(next(iter(groups.values())))
+    canvas, frame = _chart_scaffold(title)
+    peak = max(v for group in groups.values() for v in group.values())
+    frame = _Frame(**{**frame.__dict__, "y_max": (peak or 1.0) * 1.15})
+    _draw_axes(canvas, frame, "", y_label)
+    n = len(groups)
+    slot = (frame.right - frame.left) / n
+    bar = slot * 0.7 / max(len(series), 1)
+    for g_index, (label, group) in enumerate(groups.items()):
+        base = frame.left + g_index * slot + slot * 0.15
+        for s_index, name in enumerate(series):
+            value = group[name]
+            x = base + s_index * bar
+            y = frame.y(value)
+            canvas.rect(x, y, bar * 0.9, frame.bottom - y,
+                        fill=SERIES_COLORS[s_index % len(SERIES_COLORS)])
+            shown = f"{value:.1%}" if percent else f"{value:.3g}"
+            canvas.text(x + bar * 0.45, y - 3, shown, size=8,
+                        anchor="middle")
+        canvas.text(base + slot * 0.35, frame.bottom + 14, label,
+                    size=9, anchor="middle")
+    for s_index, name in enumerate(series):
+        x = frame.left + 10 + s_index * 120
+        canvas.rect(x, 28, 10, 10,
+                    fill=SERIES_COLORS[s_index % len(SERIES_COLORS)])
+        canvas.text(x + 14, 37, name, size=9)
+    return canvas.to_svg()
+
+
+def cdf_chart(series: dict[str, tuple[np.ndarray, np.ndarray]],
+              title: str, x_label: str, log_x: bool = False) -> str:
+    """Empirical CDF curves (Figs. 3, 4, 10)."""
+    if not series:
+        raise ValueError("nothing to plot")
+    canvas, frame = _chart_scaffold(title)
+    x_max = max(float(xs[-1]) for xs, _ in series.values() if len(xs))
+    x_min = 0.1 if log_x else 0.0
+    frame = _Frame(**{**frame.__dict__, "x_min": x_min,
+                      "x_max": x_max or 1.0, "log_x": log_x})
+    _draw_axes(canvas, frame, x_label, "CDF")
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        y = frame.y(fraction)
+        canvas.line(frame.left, y, frame.right, y, stroke=GRID_COLOR)
+        canvas.text(frame.left - 6, y + 3, f"{fraction:.2f}", size=8,
+                    anchor="end")
+    for index, (label, (xs, ps)) in enumerate(series.items()):
+        if len(xs) == 0:
+            continue
+        step = max(1, len(xs) // 300)
+        points = [(frame.x(max(float(x), x_min)), frame.y(float(p)))
+                  for x, p in zip(xs[::step], ps[::step])]
+        color = SERIES_COLORS[index % len(SERIES_COLORS)]
+        canvas.polyline(points, stroke=color)
+        canvas.text(frame.left + 10, 40 + 14 * index, label, size=9,
+                    color=color)
+    return canvas.to_svg()
+
+
+def loglog_scatter(values: np.ndarray, title: str, x_label: str,
+                   y_label: str, fit_a: float | None = None,
+                   fit_b: float | None = None) -> str:
+    """Descending ranking on log-log axes with a Zipf fit (Fig. 11)."""
+    positive = values[values > 0]
+    if len(positive) < 2:
+        raise ValueError("need at least two positive values")
+    canvas, frame = _chart_scaffold(title)
+    frame = _Frame(**{**frame.__dict__, "x_min": 1.0,
+                      "x_max": float(len(positive)),
+                      "y_min": max(float(positive[-1]), 0.5),
+                      "y_max": float(positive[0]),
+                      "log_x": True, "log_y": True})
+    _draw_axes(canvas, frame, x_label, y_label)
+    step = max(1, len(positive) // 400)
+    points = [
+        (frame.x(index + 1), frame.y(float(positive[index])))
+        for index in range(0, len(positive), step)
+    ]
+    canvas.polyline(points, stroke=SERIES_COLORS[0])
+    if fit_a is not None and fit_b is not None:
+        fit_points = [
+            (frame.x(rank), frame.y(fit_b / rank**fit_a))
+            for rank in (1, 10, 100, len(positive))
+            if fit_b / rank**fit_a > 0
+        ]
+        canvas.polyline(fit_points, stroke=SERIES_COLORS[1], width=1.0)
+        canvas.text(frame.left + 10, 40,
+                    f"fit: y = {fit_b:.1f} / rank^{fit_a:.2f}", size=9,
+                    color=SERIES_COLORS[1])
+    return canvas.to_svg()
+
+
+def heatmap(matrix: np.ndarray, title: str, x_label: str,
+            y_label: str) -> str:
+    """A level-i x level-j increase heatmap (Fig. 17 panels)."""
+    if matrix.shape != (6, 6):
+        raise ValueError("expected a 6x6 level matrix")
+    canvas = SvgCanvas(460, 420)
+    canvas.text(230, 22, title, size=14, anchor="middle")
+    cell = 52
+    left, top = 70, 50
+    finite = matrix[np.isfinite(matrix)]
+    peak = float(np.nanmax(np.abs(finite))) if len(finite) else 1.0
+    peak = peak or 1.0
+    for i in range(6):
+        for j in range(6):
+            x = left + j * cell
+            y = top + i * cell
+            value = matrix[i][j]
+            if np.isnan(value):
+                canvas.rect(x, y, cell - 2, cell - 2, fill="#f2f2f2")
+                canvas.text(x + cell / 2, y + cell / 2 + 4, "-",
+                            size=10, anchor="middle", color="#aaaaaa")
+                continue
+            intensity = min(1.0, abs(value) / peak)
+            fill = "#b03030" if value > 0 else "#3b6fb6"
+            canvas.rect(x, y, cell - 2, cell - 2, fill=fill,
+                        opacity=0.15 + 0.85 * intensity)
+            canvas.text(x + cell / 2, y + cell / 2 + 4,
+                        f"{value:+.2f}", size=9, anchor="middle")
+    for level in range(6):
+        canvas.text(left + level * cell + cell / 2, top - 8,
+                    str(level), size=10, anchor="middle")
+        canvas.text(left - 10, top + level * cell + cell / 2 + 4,
+                    str(level), size=10, anchor="end")
+    canvas.text(left + 3 * cell, top + 6 * cell + 28, x_label,
+                size=11, anchor="middle")
+    canvas.text(20, top + 3 * cell, y_label, size=11, anchor="middle")
+    return canvas.to_svg()
+
+
+# ---------------------------------------------------------------------------
+# Paper-figure rendering
+# ---------------------------------------------------------------------------
+
+
+def render_paper_figures(
+    vanilla: Dataset,
+    patched: Dataset | None = None,
+    out_dir: str | Path = "figures",
+) -> list[Path]:
+    """Render every reproducible figure of the paper to SVG files.
+
+    Returns the list of written paths.  Figures 19-21 need the patched
+    arm and are skipped when ``patched`` is None.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, svg: str) -> None:
+        path = out / name
+        path.write_text(svg)
+        written.append(path)
+
+    models = landscape.per_model_stats(vanilla)
+    emit("fig02_prevalence_per_model.svg", bar_chart(
+        {str(m.model): m.prevalence for m in models},
+        "Fig. 2 - prevalence per model", percent=True,
+    ))
+    emit("fig05_frequency_per_model.svg", bar_chart(
+        {str(m.model): m.frequency for m in models},
+        "Fig. 5 - failures per device per model",
+    ))
+    emit("fig03_failures_per_phone.svg", cdf_chart(
+        {"failures/phone": stats.failures_per_phone_cdf(vanilla)},
+        "Fig. 3 - failures per phone (CDF)", "failures", log_x=True,
+    ))
+    emit("fig04_duration.svg", cdf_chart(
+        {"all failures": stats.duration_cdf(vanilla)},
+        "Fig. 4 - failure duration (CDF)", "seconds", log_x=True,
+    ))
+    comparison = landscape.compare_5g(vanilla)
+    emit("fig06_07_5g.svg", grouped_bar_chart(
+        {
+            "prevalence": {"5G": comparison.prevalence_a,
+                           "non-5G": comparison.prevalence_b},
+            "frequency/50": {"5G": comparison.frequency_a / 50,
+                             "non-5G": comparison.frequency_b / 50},
+        },
+        "Figs. 6-7 - 5G vs non-5G",
+    ))
+    versions = landscape.compare_android_versions(vanilla)
+    emit("fig08_09_android.svg", grouped_bar_chart(
+        {
+            "prevalence": {"Android 10": versions.prevalence_a,
+                           "Android 9": versions.prevalence_b},
+            "frequency/50": {"Android 10": versions.frequency_a / 50,
+                             "Android 9": versions.frequency_b / 50},
+        },
+        "Figs. 8-9 - Android 10 vs 9",
+    ))
+    emit("fig10_stall_autofix.svg", cdf_chart(
+        {"auto-fixed stalls": stats.stall_autofix_cdf(vanilla)},
+        "Fig. 10 - Data_Stall auto-fix time (CDF)", "seconds",
+        log_x=True,
+    ))
+    ranking = isp_bs.bs_failure_ranking(vanilla)
+    fit = isp_bs.fit_zipf(ranking)
+    emit("fig11_bs_zipf.svg", loglog_scatter(
+        ranking, "Fig. 11 - BS ranking by failures", "rank",
+        "failures", fit_a=fit.a, fit_b=fit.b,
+    ))
+    isp_stats = isp_bs.per_isp_stats(vanilla)
+    emit("fig12_13_isp.svg", grouped_bar_chart(
+        {
+            s.isp: {"prevalence": s.prevalence,
+                    "frequency/100": s.frequency / 100}
+            for s in isp_stats
+        },
+        "Figs. 12-13 - per-ISP prevalence and frequency",
+    ))
+    emit("fig14_rat.svg", bar_chart(
+        isp_bs.per_rat_bs_prevalence(vanilla),
+        "Fig. 14 - BS failure prevalence by RAT", percent=True,
+        color=SERIES_COLORS[2],
+    ))
+    emit("fig15_rss.svg", bar_chart(
+        {str(level): value for level, value in
+         isp_bs.normalized_prevalence_by_level(vanilla).items()},
+        "Fig. 15 - normalized prevalence by signal level",
+    ))
+    by_rat = isp_bs.normalized_prevalence_by_rat_level(vanilla)
+    emit("fig16_rat_rss.svg", grouped_bar_chart(
+        {str(level): {"4G": by_rat["4G"][level],
+                      "5G": by_rat["5G"][level]}
+         for level in range(6)},
+        "Fig. 16 - normalized prevalence by RAT and level",
+    ))
+    for (from_rat, to_rat), matrix in (
+        transitions.all_transition_matrices(vanilla).items()
+    ):
+        emit(f"fig17_{from_rat}_{to_rat}.svg".lower(), heatmap(
+            matrix.increase,
+            f"Fig. 17 - {from_rat} level-i to {to_rat} level-j",
+            f"{to_rat} level j", f"{from_rat} level i",
+        ))
+
+    if patched is not None:
+        evaluation = evaluate_ab(vanilla, patched)
+        emit("fig19_20_rat_ab.svg", grouped_bar_chart(
+            {
+                failure_type: {
+                    "prevalence cut": max(
+                        0.0, delta.prevalence_reduction),
+                    "frequency cut": max(
+                        0.0, delta.frequency_reduction),
+                }
+                for failure_type, delta in evaluation.per_type.items()
+            },
+            "Figs. 19-20 - per-type reductions on 5G phones",
+            percent=True,
+        ))
+        emit("fig21_durations.svg", bar_chart(
+            {
+                "stall duration cut": evaluation.stall_duration_reduction,
+                "total duration cut": evaluation.total_duration_reduction,
+            },
+            "Fig. 21 - duration reductions (patched vs vanilla)",
+            percent=True, color=SERIES_COLORS[1],
+        ))
+    return written

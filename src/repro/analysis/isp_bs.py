@@ -1,0 +1,232 @@
+"""The ISP and base-station landscape (Sec. 3.3, Figs. 11-16).
+
+* BS ranking by failure count and its Zipf fit (Fig. 11);
+* per-ISP user prevalence and frequency (Figs. 12-13);
+* per-RAT BS prevalence (Fig. 14);
+* normalized prevalence by signal level (Fig. 15) and by RAT x level
+  (Fig. 16) — "normalized" divides the device-level prevalence at a
+  level by the mean connected time at that level, the paper's exposure
+  correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.store import Dataset
+
+#: RAT generation labels in display order.
+RAT_LABELS = ("2G", "3G", "4G", "5G")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — BS ranking and Zipf fit
+# ---------------------------------------------------------------------------
+
+
+def bs_failure_ranking(dataset: Dataset) -> np.ndarray:
+    """Failure counts per BS in descending order (Fig. 11's y-series)."""
+    counts: dict[int, int] = {}
+    for failure in dataset.failures:
+        counts[failure.bs_id] = counts.get(failure.bs_id, 0) + 1
+    return np.array(sorted(counts.values(), reverse=True), dtype=float)
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares fit of ``count = b / rank^a`` in log-log space."""
+
+    a: float
+    b: float
+    r_squared: float
+
+
+def fit_zipf(ranking: np.ndarray) -> ZipfFit:
+    """Fit the Zipf parameters of a descending ranking (Fig. 11)."""
+    if len(ranking) < 2:
+        raise ValueError("need at least two ranked values")
+    positive = ranking[ranking > 0]
+    ranks = np.arange(1, len(positive) + 1, dtype=float)
+    x = np.log(ranks)
+    y = np.log(positive)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return ZipfFit(a=-slope, b=float(np.exp(intercept)),
+                   r_squared=r_squared)
+
+
+def top_bs_deployment_mix(
+    dataset: Dataset, top_n: int = 100
+) -> dict[str, float]:
+    """Deployment-class mix of the ``top_n`` highest-failure BSes.
+
+    Fig. 11's prose: the top-ranking cells are mostly located in
+    crowded urban areas (hubs and urban cores), where interference and
+    access load are worst.
+    """
+    if not dataset.base_stations:
+        raise ValueError("dataset has no BS inventory")
+    deployment_by_id = {
+        bs.bs_id: bs.deployment for bs in dataset.base_stations
+    }
+    counts: dict[int, int] = {}
+    for failure in dataset.failures:
+        counts[failure.bs_id] = counts.get(failure.bs_id, 0) + 1
+    ranked = sorted(counts, key=counts.get, reverse=True)[:top_n]
+    if not ranked:
+        raise ValueError("no failures recorded")
+    mix: dict[str, int] = {}
+    for bs_id in ranked:
+        deployment = deployment_by_id.get(bs_id, "UNKNOWN")
+        mix[deployment] = mix.get(deployment, 0) + 1
+    return {deployment: count / len(ranked)
+            for deployment, count in mix.items()}
+
+
+def bs_failure_summary(dataset: Dataset) -> dict[str, float]:
+    """Median / mean / max failures per *involved* BS (Fig. 11 prose)."""
+    ranking = bs_failure_ranking(dataset)
+    if len(ranking) == 0:
+        raise ValueError("no failures recorded")
+    return {
+        "median": float(np.median(ranking)),
+        "mean": float(np.mean(ranking)),
+        "max": float(np.max(ranking)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 12-13 — ISP discrepancy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IspStats:
+    isp: str
+    n_devices: int
+    prevalence: float
+    frequency: float
+
+
+def per_isp_stats(dataset: Dataset) -> list[IspStats]:
+    """User prevalence and frequency per ISP (Figs. 12-13)."""
+    devices_by_isp: dict[str, int] = {}
+    for device in dataset.devices:
+        devices_by_isp[device.isp] = devices_by_isp.get(device.isp, 0) + 1
+    failing: dict[str, set[int]] = {}
+    counts: dict[str, int] = {}
+    for failure in dataset.failures:
+        failing.setdefault(failure.isp, set()).add(failure.device_id)
+        counts[failure.isp] = counts.get(failure.isp, 0) + 1
+    return [
+        IspStats(
+            isp=isp,
+            n_devices=n,
+            prevalence=len(failing.get(isp, ())) / n,
+            frequency=counts.get(isp, 0) / n,
+        )
+        for isp, n in sorted(devices_by_isp.items())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — per-RAT BS prevalence
+# ---------------------------------------------------------------------------
+
+
+def per_rat_bs_prevalence(dataset: Dataset) -> dict[str, float]:
+    """Fraction of BSes supporting a RAT that saw >= 1 failure on it."""
+    if not dataset.base_stations:
+        raise ValueError("dataset has no BS inventory")
+    supporting: dict[str, int] = {label: 0 for label in RAT_LABELS}
+    for bs in dataset.base_stations:
+        for label in bs.rats:
+            supporting[label] += 1
+    failed: dict[str, set[int]] = {label: set() for label in RAT_LABELS}
+    for failure in dataset.failures:
+        failed[failure.rat].add(failure.bs_id)
+    return {
+        label: (len(failed[label]) / supporting[label]
+                if supporting[label] else 0.0)
+        for label in RAT_LABELS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 15-16 — normalized prevalence by signal level
+# ---------------------------------------------------------------------------
+
+
+def _exposure_by_level(dataset: Dataset) -> dict[int, float]:
+    """Mean connected seconds per device at each signal level."""
+    totals = {level: 0.0 for level in range(6)}
+    for device in dataset.devices:
+        for (_rat, level), seconds in device.exposure_s.items():
+            totals[level] += seconds
+    n = dataset.n_devices
+    return {level: total / n for level, total in totals.items()}
+
+
+def _exposure_by_rat_level(dataset: Dataset) -> dict[tuple[str, int], float]:
+    totals: dict[tuple[str, int], float] = {}
+    for device in dataset.devices:
+        for key, seconds in device.exposure_s.items():
+            totals[key] = totals.get(key, 0.0) + seconds
+    n = dataset.n_devices
+    return {key: total / n for key, total in totals.items()}
+
+
+def prevalence_by_level(dataset: Dataset) -> dict[int, float]:
+    """Plain prevalence: devices with >= 1 failure at each level."""
+    failing: dict[int, set[int]] = {level: set() for level in range(6)}
+    for failure in dataset.failures:
+        failing[failure.signal_level].add(failure.device_id)
+    n = dataset.n_devices
+    return {level: len(devices) / n for level, devices in failing.items()}
+
+
+def normalized_prevalence_by_level(
+    dataset: Dataset, time_unit_s: float = 3600.0
+) -> dict[int, float]:
+    """Fig. 15: prevalence divided by mean connected time per level.
+
+    ``time_unit_s`` sets the exposure unit (hours by default) so the
+    normalized values live on a readable scale.
+    """
+    prevalence = prevalence_by_level(dataset)
+    exposure = _exposure_by_level(dataset)
+    result = {}
+    for level in range(6):
+        hours = exposure[level] / time_unit_s
+        result[level] = prevalence[level] / hours if hours > 0 else 0.0
+    return result
+
+
+def normalized_prevalence_by_rat_level(
+    dataset: Dataset,
+    rats: tuple[str, ...] = ("4G", "5G"),
+    time_unit_s: float = 3600.0,
+) -> dict[str, dict[int, float]]:
+    """Fig. 16: normalized prevalence per (RAT, level)."""
+    failing: dict[tuple[str, int], set[int]] = {}
+    for failure in dataset.failures:
+        if failure.rat in rats:
+            failing.setdefault(
+                (failure.rat, failure.signal_level), set()
+            ).add(failure.device_id)
+    exposure = _exposure_by_rat_level(dataset)
+    n = dataset.n_devices
+    result: dict[str, dict[int, float]] = {rat: {} for rat in rats}
+    for rat in rats:
+        for level in range(6):
+            hours = exposure.get((rat, level), 0.0) / time_unit_s
+            prevalence = len(failing.get((rat, level), ())) / n
+            result[rat][level] = (
+                prevalence / hours if hours > 0 else 0.0
+            )
+    return result

@@ -1,0 +1,129 @@
+"""The Android-phone landscape (Sec. 3.2, Table 1, Figs. 2, 5-9).
+
+Per-model prevalence/frequency, and the 5G and Android-version group
+comparisons — including the paper's footnote-4 *fair comparisons*
+(5G vs non-5G restricted to Android 10 models; Android 9 vs 10
+restricted to non-5G models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.store import Dataset
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """One model's row of the measured Table 1."""
+
+    model: int
+    n_devices: int
+    prevalence: float
+    frequency: float
+    has_5g: bool
+    android_version: str
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    """Prevalence/frequency of two device groups (e.g. 5G vs non-5G)."""
+
+    group_a: str
+    group_b: str
+    prevalence_a: float
+    prevalence_b: float
+    frequency_a: float
+    frequency_b: float
+
+
+def per_model_stats(dataset: Dataset) -> list[ModelStats]:
+    """Recompute Table 1's measured columns per model."""
+    devices_by_model = dataset.devices_by_model()
+    failures_by_model: dict[int, int] = {}
+    failing_devices_by_model: dict[int, set[int]] = {}
+    for failure in dataset.failures:
+        failures_by_model[failure.model] = (
+            failures_by_model.get(failure.model, 0) + 1
+        )
+        failing_devices_by_model.setdefault(
+            failure.model, set()
+        ).add(failure.device_id)
+    stats = []
+    for model in sorted(devices_by_model):
+        devices = devices_by_model[model]
+        n = len(devices)
+        failing = len(failing_devices_by_model.get(model, ()))
+        stats.append(ModelStats(
+            model=model,
+            n_devices=n,
+            prevalence=failing / n,
+            frequency=failures_by_model.get(model, 0) / n,
+            has_5g=devices[0].has_5g,
+            android_version=devices[0].android_version,
+        ))
+    return stats
+
+
+def _group_stats(dataset: Dataset, member) -> tuple[float, float]:
+    """(prevalence, frequency) over devices where ``member(d)`` holds."""
+    ids = {d.device_id for d in dataset.devices if member(d)}
+    if not ids:
+        raise ValueError("empty device group")
+    failing: set[int] = set()
+    count = 0
+    for failure in dataset.failures:
+        if failure.device_id in ids:
+            count += 1
+            failing.add(failure.device_id)
+    return len(failing) / len(ids), count / len(ids)
+
+
+def compare_5g(dataset: Dataset, fair: bool = False) -> GroupComparison:
+    """5G vs non-5G models (Figs. 6-7).
+
+    With ``fair=True``, the non-5G group is restricted to Android 10
+    models, per the paper's footnote 4 (5G phones can only run 10).
+    """
+    prevalence_5g, frequency_5g = _group_stats(
+        dataset, lambda d: d.has_5g
+    )
+    if fair:
+        member = lambda d: not d.has_5g and d.android_version == "10.0"  # noqa: E731
+    else:
+        member = lambda d: not d.has_5g  # noqa: E731
+    prevalence_non, frequency_non = _group_stats(dataset, member)
+    return GroupComparison(
+        group_a="5G",
+        group_b="non-5G (Android 10)" if fair else "non-5G",
+        prevalence_a=prevalence_5g,
+        prevalence_b=prevalence_non,
+        frequency_a=frequency_5g,
+        frequency_b=frequency_non,
+    )
+
+
+def compare_android_versions(
+    dataset: Dataset, fair: bool = False
+) -> GroupComparison:
+    """Android 10 vs Android 9 (Figs. 8-9).
+
+    With ``fair=True``, the Android 10 group excludes 5G models, per
+    the paper's footnote 4.
+    """
+    if fair:
+        member10 = lambda d: d.android_version == "10.0" and not d.has_5g  # noqa: E731
+    else:
+        member10 = lambda d: d.android_version == "10.0"  # noqa: E731
+    prevalence_10, frequency_10 = _group_stats(dataset, member10)
+    prevalence_9, frequency_9 = _group_stats(
+        dataset, lambda d: d.android_version == "9.0"
+    )
+    return GroupComparison(
+        group_a="Android 10 (non-5G)" if fair else "Android 10",
+        group_b="Android 9",
+        prevalence_a=prevalence_10,
+        prevalence_b=prevalence_9,
+        frequency_a=frequency_10,
+        frequency_b=frequency_9,
+    )

@@ -1,0 +1,149 @@
+"""Text renderers for every table and figure the benchmarks regenerate.
+
+Each ``render_*`` function prints the same rows/series the paper
+reports, as plain text tables, so a benchmark run reads like the
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+import numpy as np
+
+from repro.analysis import decomposition, isp_bs, landscape, stats
+from repro.analysis.evaluation import ABEvaluation
+from repro.analysis.transitions import TransitionMatrix
+from repro.dataset.store import Dataset
+
+
+def render_table1(dataset: Dataset) -> str:
+    """The measured Table 1 (per-model prevalence and frequency)."""
+    rows = landscape.per_model_stats(dataset)
+    out = StringIO()
+    out.write("Model  Devices  5G   Version  Prevalence  Frequency\n")
+    for row in rows:
+        out.write(
+            f"{row.model:>5}  {row.n_devices:>7}  "
+            f"{'YES' if row.has_5g else '-':>3}  "
+            f"{row.android_version:>7}  "
+            f"{row.prevalence:>9.1%}  {row.frequency:>9.1f}\n"
+        )
+    return out.getvalue()
+
+
+def render_table2(dataset: Dataset, top: int = 10) -> str:
+    """The measured Table 2 (top error codes with shares)."""
+    rows = decomposition.error_code_decomposition(dataset, top=top)
+    out = StringIO()
+    out.write("Error Code                      Layer     Pct\n")
+    for row in rows:
+        out.write(
+            f"{row.code:<30}  {row.layer.value:<8}  {row.share:>5.1%}\n"
+        )
+    cumulative = sum(row.share for row in rows)
+    out.write(f"{'cumulative':<30}  {'':<8}  {cumulative:>5.1%}\n")
+    return out.getvalue()
+
+
+def render_general_stats(dataset: Dataset) -> str:
+    """The Sec. 3.1 headline numbers."""
+    g = stats.compute_general_stats(dataset)
+    lines = [
+        f"devices: {g.n_devices}",
+        f"failures: {g.n_failures}",
+        f"prevalence: {g.prevalence:.1%}",
+        f"frequency: {g.frequency:.1f} failures/device",
+        f"mean duration: {g.mean_duration_s:.0f} s",
+        f"median duration: {g.median_duration_s:.1f} s",
+        f"max duration: {g.max_duration_s:.0f} s",
+        f"failures under 30 s: {g.fraction_under_30s:.1%}",
+        f"headline-type share: {g.headline_type_share:.1%}",
+        "duration share by type: "
+        + ", ".join(
+            f"{ftype}={share:.1%}"
+            for ftype, share in sorted(g.duration_share_by_type.items())
+        ),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def render_cdf(values, probabilities, points: int = 10,
+               label: str = "value") -> str:
+    """A sampled text rendering of a CDF series."""
+    out = StringIO()
+    out.write(f"{label:>12}  CDF\n")
+    if len(values) == 0:
+        return out.getvalue()
+    indexes = np.unique(
+        np.linspace(0, len(values) - 1, points).astype(int)
+    )
+    for i in indexes:
+        out.write(f"{values[i]:>12.2f}  {probabilities[i]:.3f}\n")
+    return out.getvalue()
+
+
+def render_isp_stats(dataset: Dataset) -> str:
+    """Figs. 12-13 as text."""
+    out = StringIO()
+    out.write("ISP     Devices  Prevalence  Frequency\n")
+    for row in isp_bs.per_isp_stats(dataset):
+        out.write(
+            f"{row.isp:<6}  {row.n_devices:>7}  "
+            f"{row.prevalence:>9.1%}  {row.frequency:>9.1f}\n"
+        )
+    return out.getvalue()
+
+
+def render_level_series(series: dict[int, float],
+                        label: str = "normalized prevalence") -> str:
+    """Fig. 15/16-style per-level series."""
+    out = StringIO()
+    out.write(f"level  {label}\n")
+    peak = max(series.values()) or 1.0
+    for level in sorted(series):
+        bar = "#" * int(40 * series[level] / peak)
+        out.write(f"{level:>5}  {series[level]:>10.4f}  {bar}\n")
+    return out.getvalue()
+
+
+def render_transition_matrix(matrix: TransitionMatrix) -> str:
+    """One Fig. 17 panel as a text heatmap."""
+    out = StringIO()
+    out.write(
+        f"{matrix.from_rat} level-i -> {matrix.to_rat} level-j "
+        "(failure-likelihood increase)\n"
+    )
+    out.write("i\\j " + "".join(f"{j:>8}" for j in range(6)) + "\n")
+    for i in range(6):
+        cells = []
+        for j in range(6):
+            value = matrix.increase[i][j]
+            cells.append("     ---" if np.isnan(value)
+                         else f"{value:>8.2f}")
+        out.write(f"{i:>3} " + "".join(cells) + "\n")
+    return out.getvalue()
+
+
+def render_ab_evaluation(evaluation: ABEvaluation) -> str:
+    """Figs. 19-21 as text."""
+    lines = [
+        "5G-phone prevalence reduction: "
+        f"{evaluation.prevalence_reduction_5g:+.1%}",
+        "5G-phone frequency reduction:  "
+        f"{evaluation.frequency_reduction_5g:+.1%}",
+    ]
+    for failure_type, delta in sorted(evaluation.per_type.items()):
+        lines.append(
+            f"  {failure_type}: prevalence {delta.prevalence_reduction:+.1%}"
+            f", frequency {delta.frequency_reduction:+.1%}"
+        )
+    lines += [
+        "Data_Stall duration reduction: "
+        f"{evaluation.stall_duration_reduction:+.1%}",
+        "total duration reduction:      "
+        f"{evaluation.total_duration_reduction:+.1%}",
+        f"median duration: {evaluation.median_duration_before_s:.1f} s -> "
+        f"{evaluation.median_duration_after_s:.1f} s",
+    ]
+    return "\n".join(lines) + "\n"

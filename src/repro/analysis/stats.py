@@ -1,0 +1,159 @@
+"""General statistics of a study dataset (Sec. 3.1, Figs. 3-4, 10).
+
+All quantities here mirror the paper's definitions:
+
+* **prevalence** — fraction of devices with at least one failure;
+* **frequency** — mean failures per device;
+* duration statistics over all failures and per type;
+* the failures-per-phone distribution (Fig. 3);
+* the Data_Stall auto-recovery time distribution (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.recovery import AUTO_RECOVERED
+from repro.core.events import FailureType
+from repro.dataset.aggregate import cdf, fraction_below, safe_mean
+from repro.dataset.store import Dataset
+
+_HEADLINE = {
+    FailureType.DATA_SETUP_ERROR.value,
+    FailureType.OUT_OF_SERVICE.value,
+    FailureType.DATA_STALL.value,
+}
+
+
+@dataclass(frozen=True)
+class GeneralStats:
+    """The Sec. 3.1 headline numbers for one dataset."""
+
+    n_devices: int
+    n_failures: int
+    prevalence: float
+    frequency: float
+    mean_per_device_by_type: dict[str, float]
+    max_failures_single_device: int
+    fraction_devices_without_oos: float
+    mean_duration_s: float
+    median_duration_s: float
+    max_duration_s: float
+    fraction_under_30s: float
+    headline_type_share: float
+    duration_share_by_type: dict[str, float]
+    count_share_by_type: dict[str, float]
+
+
+def compute_general_stats(dataset: Dataset) -> GeneralStats:
+    """Recompute every Sec. 3.1 statistic from the records."""
+    if not dataset.devices:
+        raise ValueError("dataset has no devices")
+    n_devices = dataset.n_devices
+    n_failures = dataset.n_failures
+    per_device: dict[int, int] = {}
+    oos_devices: set[int] = set()
+    durations = np.empty(n_failures)
+    type_counts: dict[str, int] = {}
+    type_durations: dict[str, float] = {}
+    for i, failure in enumerate(dataset.failures):
+        per_device[failure.device_id] = (
+            per_device.get(failure.device_id, 0) + 1
+        )
+        durations[i] = failure.duration_s
+        type_counts[failure.failure_type] = (
+            type_counts.get(failure.failure_type, 0) + 1
+        )
+        type_durations[failure.failure_type] = (
+            type_durations.get(failure.failure_type, 0.0)
+            + failure.duration_s
+        )
+        if failure.failure_type == FailureType.OUT_OF_SERVICE.value:
+            oos_devices.add(failure.device_id)
+
+    total_duration = float(durations.sum()) if n_failures else 0.0
+    headline = sum(
+        count for ftype, count in type_counts.items() if ftype in _HEADLINE
+    )
+    mean_by_type = {
+        ftype: count / n_devices for ftype, count in type_counts.items()
+    }
+    return GeneralStats(
+        n_devices=n_devices,
+        n_failures=n_failures,
+        prevalence=len(per_device) / n_devices,
+        frequency=n_failures / n_devices,
+        mean_per_device_by_type=mean_by_type,
+        max_failures_single_device=max(per_device.values(), default=0),
+        fraction_devices_without_oos=1.0 - len(oos_devices) / n_devices,
+        mean_duration_s=safe_mean(durations),
+        median_duration_s=(
+            float(np.median(durations)) if n_failures else 0.0
+        ),
+        max_duration_s=float(durations.max()) if n_failures else 0.0,
+        fraction_under_30s=(
+            fraction_below(durations, 30.0) if n_failures else 0.0
+        ),
+        headline_type_share=headline / n_failures if n_failures else 0.0,
+        duration_share_by_type={
+            ftype: total / total_duration
+            for ftype, total in type_durations.items()
+        } if total_duration else {},
+        count_share_by_type={
+            ftype: count / n_failures
+            for ftype, count in type_counts.items()
+        } if n_failures else {},
+    )
+
+
+def failures_per_phone(dataset: Dataset) -> np.ndarray:
+    """Failure counts per device, including zero-failure devices (Fig. 3)."""
+    counts = {d.device_id: 0 for d in dataset.devices}
+    for failure in dataset.failures:
+        counts[failure.device_id] = counts.get(failure.device_id, 0) + 1
+    return np.array(sorted(counts.values()), dtype=float)
+
+
+def failures_per_phone_cdf(dataset: Dataset):
+    """The CDF behind Fig. 3."""
+    return cdf(failures_per_phone(dataset))
+
+
+def duration_cdf(dataset: Dataset):
+    """The CDF behind Fig. 4."""
+    return cdf([f.duration_s for f in dataset.failures])
+
+
+def stall_autofix_durations(dataset: Dataset) -> np.ndarray:
+    """Durations of Data_Stall failures that fixed themselves (Fig. 10)."""
+    values = [
+        f.duration_s
+        for f in dataset.failures
+        if f.failure_type == FailureType.DATA_STALL.value
+        and f.resolved_by == AUTO_RECOVERED
+    ]
+    return np.array(sorted(values), dtype=float)
+
+
+def stall_autofix_cdf(dataset: Dataset):
+    """The CDF behind Fig. 10."""
+    return cdf(stall_autofix_durations(dataset))
+
+
+def stage_fix_rate(dataset: Dataset, stage: int = 1) -> float:
+    """Among stalls where recovery stage ``stage`` executed, the fraction
+    it fixed (Sec. 3.2: 75% for the first stage)."""
+    executed = 0
+    fixed = 0
+    for failure in dataset.failures:
+        if failure.failure_type != FailureType.DATA_STALL.value:
+            continue
+        if failure.stages_executed >= stage:
+            executed += 1
+            if failure.resolved_by == stage:
+                fixed += 1
+    if executed == 0:
+        raise ValueError(f"no stalls reached recovery stage {stage}")
+    return fixed / executed

@@ -1,0 +1,149 @@
+"""RAT-transition failure-likelihood analysis (Fig. 17).
+
+For every RAT pair the paper plots a level-i -> level-j matrix of the
+*increase* in failure likelihood caused by the transition.  We measure
+it as ``P(failure | executed i->j transition) - P(failure | stayed at
+the source state)``, with both probabilities estimated from the
+transition-decision records the fleet collects.  The measured matrices
+are also what the Stability-Compatible policy consumes via
+:class:`repro.android.rat_policy.TransitionRiskTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.store import Dataset
+
+#: The six panels of Fig. 17, in the paper's order.
+FIG17_PANELS: tuple[tuple[str, str], ...] = (
+    ("2G", "3G"),
+    ("2G", "4G"),
+    ("2G", "5G"),
+    ("3G", "4G"),
+    ("3G", "5G"),
+    ("4G", "5G"),
+)
+
+
+@dataclass(frozen=True)
+class TransitionMatrix:
+    """One Fig. 17 panel: from_rat level-i -> to_rat level-j."""
+
+    from_rat: str
+    to_rat: str
+    #: increase[i][j]; NaN where no transitions were observed.
+    increase: np.ndarray
+    #: Number of executed transitions per cell.
+    samples: np.ndarray
+
+
+def _baseline_rates(dataset: Dataset) -> dict[tuple[str, int], float]:
+    """P(failure | stayed) per source (RAT, level)."""
+    stayed: dict[tuple[str, int], list[int]] = {}
+    for t in dataset.transitions:
+        if not t.executed:
+            key = (t.from_rat, t.from_level)
+            stayed.setdefault(key, []).append(1 if t.failed_after else 0)
+    return {
+        key: float(np.mean(outcomes))
+        for key, outcomes in stayed.items()
+    }
+
+
+def transition_increase_matrix(
+    dataset: Dataset,
+    from_rat: str,
+    to_rat: str,
+    min_samples: int = 5,
+    global_baseline: bool = True,
+) -> TransitionMatrix:
+    """Measure one Fig. 17 panel from transition records.
+
+    With ``global_baseline`` (the default), cells lacking a per-source
+    baseline fall back to the average stay-failure rate.
+    """
+    baselines = _baseline_rates(dataset)
+    fallback = (
+        float(np.mean(list(baselines.values()))) if baselines else 0.0
+    )
+    outcomes: dict[tuple[int, int], list[int]] = {}
+    for t in dataset.transitions:
+        if not t.executed:
+            continue
+        if t.from_rat != from_rat or t.to_rat != to_rat:
+            continue
+        key = (t.from_level, t.to_level)
+        outcomes.setdefault(key, []).append(1 if t.failed_after else 0)
+    increase = np.full((6, 6), np.nan)
+    samples = np.zeros((6, 6), dtype=int)
+    for (i, j), observed in outcomes.items():
+        samples[i][j] = len(observed)
+        if len(observed) < min_samples:
+            continue
+        rate = float(np.mean(observed))
+        baseline = baselines.get((from_rat, i))
+        if baseline is None and global_baseline:
+            baseline = fallback
+        if baseline is None:
+            continue
+        increase[i][j] = rate - baseline
+    return TransitionMatrix(
+        from_rat=from_rat,
+        to_rat=to_rat,
+        increase=increase,
+        samples=samples,
+    )
+
+
+def all_transition_matrices(
+    dataset: Dataset, min_samples: int = 5
+) -> dict[tuple[str, str], TransitionMatrix]:
+    """All six Fig. 17 panels."""
+    return {
+        pair: transition_increase_matrix(
+            dataset, pair[0], pair[1], min_samples=min_samples
+        )
+        for pair in FIG17_PANELS
+    }
+
+
+def undesirable_cells(
+    matrix: TransitionMatrix, threshold: float = 0.15
+) -> list[tuple[int, int, float]]:
+    """Cells whose likelihood increase exceeds ``threshold`` — the
+    transitions the paper says should be avoided (Sec. 4.2)."""
+    cells = []
+    for i in range(6):
+        for j in range(6):
+            value = matrix.increase[i][j]
+            if not np.isnan(value) and value > threshold:
+                cells.append((i, j, float(value)))
+    return sorted(cells, key=lambda c: c[2], reverse=True)
+
+
+def measured_level_risk(
+    dataset: Dataset,
+) -> dict[str, tuple[float, ...]]:
+    """Per-(RAT, destination level) failure likelihood measured from
+    executed transitions — the fitted input for a data-driven
+    :class:`~repro.android.rat_policy.TransitionRiskTable`."""
+    outcomes: dict[tuple[str, int], list[int]] = {}
+    for t in dataset.transitions:
+        if not t.executed:
+            continue
+        outcomes.setdefault(
+            (t.to_rat, t.to_level), []
+        ).append(1 if t.failed_after else 0)
+    result: dict[str, list[float]] = {}
+    for rat in ("2G", "3G", "4G", "5G"):
+        row = []
+        for level in range(6):
+            observed = outcomes.get((rat, level))
+            row.append(
+                float(np.mean(observed)) if observed else float("nan")
+            )
+        result[rat] = row
+    return {rat: tuple(row) for rat, row in result.items()}

@@ -1,0 +1,192 @@
+"""Paper-vs-measured scorecard.
+
+Turns the EXPERIMENTS.md comparison into code: every published anchor
+the reproduction targets is checked against the corresponding measured
+value from a dataset (pair), producing a typed scorecard the benchmarks
+render and assert on.
+
+Checks come in two kinds:
+
+* ``value`` checks — a measured number should fall inside a band
+  around the paper's number (bands are deliberately generous: the
+  reproduction target is shape, not absolute value);
+* ``shape`` checks — an ordering or anomaly that must hold exactly
+  (e.g. ISP-B worst, level-5 normalized prevalence above levels 1-4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro import quantities
+from repro.analysis import isp_bs, landscape, stats
+from repro.analysis.evaluation import evaluate_ab
+from repro.dataset.store import Dataset
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One paper anchor versus its measured counterpart."""
+
+    name: str
+    paper: str
+    measured: str
+    ok: bool
+    kind: str  # "value" or "shape"
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    checks: tuple[AnchorCheck, ...]
+
+    @property
+    def passed(self) -> int:
+        return sum(check.ok for check in self.checks)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.passed == self.total
+
+    def failures(self) -> list[AnchorCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        lines = [f"{'anchor':<42} {'paper':>14} {'measured':>14}  ok"]
+        for check in self.checks:
+            mark = "yes" if check.ok else "NO"
+            lines.append(
+                f"{check.name:<42} {check.paper:>14} "
+                f"{check.measured:>14}  {mark}"
+            )
+        lines.append(f"-- {self.passed}/{self.total} anchors hold")
+        return "\n".join(lines) + "\n"
+
+
+def _value(name: str, paper: float, measured: float,
+           rel_band: float, fmt: str = "{:.2f}") -> AnchorCheck:
+    lo, hi = paper * (1 - rel_band), paper * (1 + rel_band)
+    return AnchorCheck(
+        name=name,
+        paper=fmt.format(paper),
+        measured=fmt.format(measured),
+        ok=lo <= measured <= hi,
+        kind="value",
+    )
+
+
+def _shape(name: str, description: str,
+           condition: Callable[[], bool]) -> AnchorCheck:
+    ok = bool(condition())
+    return AnchorCheck(
+        name=name,
+        paper=description,
+        measured="holds" if ok else "violated",
+        ok=ok,
+        kind="shape",
+    )
+
+
+def build_scorecard(
+    vanilla: Dataset,
+    patched: Dataset | None = None,
+) -> Scorecard:
+    """Check every targeted anchor against ``vanilla`` (and the A/B
+    anchors against the pair when ``patched`` is given)."""
+    checks: list[AnchorCheck] = []
+    general = stats.compute_general_stats(vanilla)
+
+    checks.append(_value(
+        "frequency (failures/device)", quantities.AVG_FAILURES_PER_DEVICE,
+        general.frequency, rel_band=0.35, fmt="{:.1f}",
+    ))
+    checks.append(_value(
+        "headline-type share", quantities.HEADLINE_FAILURE_TYPE_SHARE,
+        general.headline_type_share, rel_band=0.03, fmt="{:.3f}",
+    ))
+    checks.append(_value(
+        "Data_Stall count share", quantities.DATA_STALL_COUNT_SHARE,
+        general.count_share_by_type.get("DATA_STALL", 0.0),
+        rel_band=0.25, fmt="{:.2f}",
+    ))
+    checks.append(_shape(
+        "Data_Stall dominates duration",
+        "94% of total duration",
+        lambda: general.duration_share_by_type.get("DATA_STALL", 0.0)
+        > 0.70,
+    ))
+    checks.append(_shape(
+        "most phones report no OoS", ">= 95% without",
+        lambda: general.fraction_devices_without_oos > 0.85,
+    ))
+    checks.append(_shape(
+        "duration distribution skew", "mean >> median",
+        lambda: general.mean_duration_s > 3 * general.median_duration_s,
+    ))
+
+    comparison = landscape.compare_5g(vanilla)
+    checks.append(_shape(
+        "5G phones fail more (Figs. 6-7)", "prevalence & frequency",
+        lambda: comparison.prevalence_a > comparison.prevalence_b
+        and comparison.frequency_a > comparison.frequency_b,
+    ))
+    versions = landscape.compare_android_versions(vanilla)
+    checks.append(_shape(
+        "Android 10 worse than 9 (Figs. 8-9)", "frequency ordering",
+        lambda: versions.frequency_a > versions.frequency_b,
+    ))
+
+    isp = {s.isp: s for s in isp_bs.per_isp_stats(vanilla)}
+    checks.append(_shape(
+        "ISP ordering (Figs. 12-13)", "B > A > C prevalence",
+        lambda: isp["ISP-B"].prevalence > isp["ISP-A"].prevalence
+        > isp["ISP-C"].prevalence,
+    ))
+
+    series = isp_bs.normalized_prevalence_by_level(vanilla)
+    checks.append(_shape(
+        "RSS monotonicity (Fig. 15)", "levels 0-4 decreasing",
+        lambda: series[0] > series[1] > series[2] > series[3]
+        > series[4],
+    ))
+    checks.append(_shape(
+        "level-5 anomaly (Fig. 15)", "level 5 above levels 1-4",
+        lambda: series[5] > max(series[level] for level in (1, 2, 3, 4)),
+    ))
+
+    zipf = isp_bs.fit_zipf(isp_bs.bs_failure_ranking(vanilla))
+    checks.append(_shape(
+        "BS ranking is Zipf-like (Fig. 11)", "power-law fit, R2 > 0.75",
+        lambda: zipf.r_squared > 0.75,
+    ))
+
+    if patched is not None:
+        evaluation = evaluate_ab(vanilla, patched)
+        checks.append(_value(
+            "5G frequency reduction (Fig. 20)",
+            quantities.EVAL_5G_FREQUENCY_REDUCTION,
+            evaluation.frequency_reduction_5g, rel_band=0.35,
+            fmt="{:.3f}",
+        ))
+        checks.append(_value(
+            "stall duration reduction (Fig. 21)",
+            quantities.EVAL_STALL_DURATION_REDUCTION,
+            evaluation.stall_duration_reduction, rel_band=0.55,
+            fmt="{:.3f}",
+        ))
+        checks.append(_value(
+            "total duration reduction (Fig. 21)",
+            quantities.EVAL_TOTAL_DURATION_REDUCTION,
+            evaluation.total_duration_reduction, rel_band=0.55,
+            fmt="{:.3f}",
+        ))
+        checks.append(_shape(
+            "per-type frequency reductions (Sec. 4.3)", "all positive",
+            lambda: all(delta.frequency_reduction > 0
+                        for delta in evaluation.per_type.values()),
+        ))
+    return Scorecard(checks=tuple(checks))

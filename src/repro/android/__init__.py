@@ -1,0 +1,42 @@
+"""Android telephony substrate: the data-connection state machine,
+DcTracker, ServiceState, the Data_Stall detector, the three-stage
+recovery engine, RAT selection policies, and 4G/5G dual connectivity."""
+
+from repro.android.state_machine import DataConnection, DataConnectionState
+from repro.android.dc_tracker import DcTracker, SetupResult
+from repro.android.service_state import ServiceState, ServiceStateTracker
+from repro.android.data_stall import VanillaDataStallDetector
+from repro.android.recovery import (
+    RecoveryPolicy,
+    StallResolution,
+    VANILLA_RECOVERY_POLICY,
+    resolve_stall,
+)
+from repro.android.rat_policy import (
+    Android9Policy,
+    Android10BlindPolicy,
+    RatCandidate,
+    StabilityCompatiblePolicy,
+    TransitionRiskTable,
+)
+from repro.android.dual_connectivity import EnDcManager
+
+__all__ = [
+    "DataConnection",
+    "DataConnectionState",
+    "DcTracker",
+    "SetupResult",
+    "ServiceState",
+    "ServiceStateTracker",
+    "VanillaDataStallDetector",
+    "RecoveryPolicy",
+    "StallResolution",
+    "VANILLA_RECOVERY_POLICY",
+    "resolve_stall",
+    "Android9Policy",
+    "Android10BlindPolicy",
+    "RatCandidate",
+    "StabilityCompatiblePolicy",
+    "TransitionRiskTable",
+    "EnDcManager",
+]

@@ -1,0 +1,45 @@
+"""Android 11 (the Sec. 6 forward-compatibility check).
+
+The paper's measurement window closed before Android 11 shipped, but
+the authors examined its source and found the same reliability
+problems: the aggressive RAT transition policy and the lagging
+Data_Stall recovery both survive into Android 11.  This module encodes
+that finding so the enhancement evaluation can be replayed against an
+"Android 11" baseline: the policy is the blind-5G policy under a new
+name, and the recovery trigger is still the fixed one-minute probation.
+"""
+
+from __future__ import annotations
+
+from repro.android.rat_policy import Android10BlindPolicy
+from repro.android.recovery import VANILLA_RECOVERY_POLICY, RecoveryPolicy
+
+
+class Android11Policy(Android10BlindPolicy):
+    """Android 11's RAT selection: still blindly 5G-first (Sec. 6)."""
+
+    name = "android-11-blind"
+
+
+#: Android 11 keeps the one-minute Data_Stall probations (Sec. 6).
+ANDROID_11_RECOVERY_POLICY: RecoveryPolicy = VANILLA_RECOVERY_POLICY
+
+
+def android11_inherits_the_problems() -> dict[str, bool]:
+    """The two Sec. 6 findings, checkable in code."""
+    from repro.android.rat_policy import RatCandidate
+    from repro.core.signal import SignalLevel
+    from repro.radio.rat import RAT
+
+    policy = Android11Policy()
+    chosen = policy.select(
+        RatCandidate(RAT.LTE, SignalLevel.LEVEL_4),
+        [RatCandidate(RAT.LTE, SignalLevel.LEVEL_4),
+         RatCandidate(RAT.NR, SignalLevel.LEVEL_0)],
+    )
+    return {
+        "aggressive_rat_transition": chosen.rat is RAT.NR,
+        "lagging_stall_recovery": (
+            ANDROID_11_RECOVERY_POLICY.probations_s == (60.0, 60.0, 60.0)
+        ),
+    }

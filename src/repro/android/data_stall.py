@@ -1,0 +1,74 @@
+"""Vanilla Android Data_Stall detection.
+
+Android suspects a Data_Stall when the kernel counted more than 10
+outbound TCP segments and not a single inbound segment during the last
+minute (Sec. 2.1).  The detector polls at a fixed cadence — which is why
+vanilla Android cannot measure stall durations better than to the
+minute, the gap Android-MOD's prober closes (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro import quantities
+from repro.core.events import FailureEvent, FailureType
+from repro.netstack.tcp_counters import TcpSegmentCounters
+from repro.simtime import SimClock
+
+DataStallListener = Callable[[FailureEvent], None]
+
+
+@dataclass
+class VanillaDataStallDetector:
+    """The fixed-window Data_Stall heuristic of vanilla Android."""
+
+    clock: SimClock
+    counters: TcpSegmentCounters
+    outbound_threshold: int = quantities.DATA_STALL_OUTBOUND_THRESHOLD
+    _listeners: list[DataStallListener] = field(
+        default_factory=list, init=False
+    )
+    #: The stall currently being tracked, if any.
+    _open_stall: FailureEvent | None = field(default=None, init=False)
+
+    def add_listener(self, listener: DataStallListener) -> None:
+        """Both system services and user-space apps may listen (Sec. 2.1)."""
+        self._listeners.append(listener)
+
+    @property
+    def stall_suspected(self) -> bool:
+        return self._open_stall is not None
+
+    def check(self) -> FailureEvent | None:
+        """Evaluate the heuristic now.
+
+        Returns a new (open) Data_Stall event the first time the rule
+        trips, and the closed event once the stall clears; ``None``
+        otherwise.
+        """
+        now = self.clock.now()
+        outbound = self.counters.outbound_in_window(now)
+        inbound = self.counters.inbound_in_window(now)
+        stalled = outbound > self.outbound_threshold and inbound == 0
+        if stalled and self._open_stall is None:
+            event = FailureEvent(
+                failure_type=FailureType.DATA_STALL,
+                start_time=now,
+                context={"outbound": outbound, "inbound": inbound},
+            )
+            self._open_stall = event
+            for listener in self._listeners:
+                listener(event)
+            return event
+        if not stalled and self._open_stall is not None:
+            event = self._open_stall
+            event.close(now)
+            self._open_stall = None
+            return event
+        return None
+
+    def reset(self) -> None:
+        """Forget any open stall (connection was cleaned up)."""
+        self._open_stall = None

@@ -1,0 +1,172 @@
+"""DcTracker: data-connection setup, retry, and Data_Setup_Error surfacing.
+
+AOSP's ``DcTracker`` drives the state machine of Fig. 1: it issues setup
+requests through the modem, walks Activating -> Retrying on failures with
+a retry schedule, and reports ``Data_Setup_Error`` events (with the
+radio-produced DataFailCause) to registered system services — but not to
+user-space apps, which is why the paper needed Android-MOD to observe
+them (Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.events import FailureEvent, FailureType
+from repro.core.signal import SignalLevel
+from repro.android.state_machine import DataConnection, DataConnectionState
+from repro.radio.modem import Modem, ModemResponse
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+#: Android's default data-retry delays, seconds (trimmed schedule).
+DEFAULT_RETRY_DELAYS_S: tuple[float, ...] = (5.0, 10.0, 20.0, 40.0)
+
+
+@dataclass(frozen=True)
+class SetupResult:
+    """Outcome of one setup campaign (initial attempt plus retries)."""
+
+    success: bool
+    attempts: int
+    #: Data_Setup_Error events raised along the way, in order.
+    failures: tuple[FailureEvent, ...]
+    #: Total virtual seconds the campaign took.
+    elapsed_s: float
+    #: The final DataFailCause when the campaign failed for good.
+    final_cause: str | None = None
+
+
+DataSetupErrorListener = Callable[[FailureEvent], None]
+
+
+@dataclass
+class DcTracker:
+    """Tracks and establishes data connections for one device."""
+
+    clock: SimClock
+    modem: Modem
+    retry_delays_s: tuple[float, ...] = DEFAULT_RETRY_DELAYS_S
+    connection: DataConnection = field(init=False)
+    _listeners: list[DataSetupErrorListener] = field(
+        default_factory=list, init=False
+    )
+
+    def __post_init__(self) -> None:
+        self.connection = DataConnection(self.clock)
+
+    def register_setup_error_listener(
+        self, listener: DataSetupErrorListener
+    ) -> None:
+        """System services (e.g. Android-MOD's monitor) hook in here."""
+        self._listeners.append(listener)
+
+    # -- setup campaign ------------------------------------------------------
+
+    def establish(
+        self,
+        base_station,
+        rat: RAT,
+        signal_level: SignalLevel,
+        apn: str = "internet",
+    ) -> SetupResult:
+        """Run a full setup campaign against ``base_station``.
+
+        The campaign issues an initial attempt and then follows the
+        retry schedule, surfacing one Data_Setup_Error event per failed
+        attempt.  Permanent causes stop the campaign immediately, as in
+        AOSP.
+        """
+        start = self.clock.now()
+        failures: list[FailureEvent] = []
+        attempts = 0
+        if self.connection.state is DataConnectionState.ACTIVE:
+            self.teardown()
+        schedule: tuple[float, ...] = (0.0,) + self.retry_delays_s
+        final_cause: str | None = None
+        for delay in schedule:
+            if delay:
+                self.clock.advance(delay)
+            attempts += 1
+            if self.connection.state is DataConnectionState.INACTIVE:
+                self.connection.request_connect()
+            elif self.connection.state is DataConnectionState.RETRYING:
+                self.connection.retry()
+            response = self.modem.setup_data_call(
+                base_station, rat, signal_level
+            )
+            self.clock.advance(response.latency_s)
+            if response.ok:
+                self.connection.setup_succeeded()
+                return SetupResult(
+                    success=True,
+                    attempts=attempts,
+                    failures=tuple(failures),
+                    elapsed_s=self.clock.now() - start,
+                )
+            final_cause = response.cause
+            event = self._report_setup_error(
+                response, rat, signal_level, apn, base_station
+            )
+            failures.append(event)
+            if not ERROR_CODE_REGISTRY.retryable(response.cause):
+                self.connection.setup_failed_permanent()
+                break
+            self.connection.setup_failed_retryable()
+        else:
+            # Retries exhausted.
+            self.connection.give_up()
+        return SetupResult(
+            success=False,
+            attempts=attempts,
+            failures=tuple(failures),
+            elapsed_s=self.clock.now() - start,
+            final_cause=final_cause,
+        )
+
+    def teardown(self) -> None:
+        """Tear an Active connection down to Inactive."""
+        if self.connection.state is not DataConnectionState.ACTIVE:
+            return
+        self.connection.request_disconnect()
+        self.modem.teardown_data_call()
+        self.connection.disconnected()
+
+    def cleanup_and_reconnect(
+        self, base_station, rat: RAT, signal_level: SignalLevel
+    ) -> SetupResult:
+        """Stage-1 recovery operation: clean up and re-establish."""
+        self.teardown()
+        return self.establish(base_station, rat, signal_level)
+
+    # -- internals -----------------------------------------------------------
+
+    def _report_setup_error(
+        self,
+        response: ModemResponse,
+        rat: RAT,
+        signal_level: SignalLevel,
+        apn: str,
+        base_station,
+    ) -> FailureEvent:
+        now = self.clock.now()
+        event = FailureEvent(
+            failure_type=FailureType.DATA_SETUP_ERROR,
+            start_time=now,
+            error_code=response.cause,
+            context={
+                "rat": rat,
+                "signal_level": signal_level,
+                "apn": apn,
+                "outcome": response.outcome.value,
+                "bs_id": getattr(base_station, "bs_id", None),
+            },
+        )
+        # Setup errors are instantaneous events: the retry machinery, not
+        # the event, carries the time cost.
+        event.close(now)
+        for listener in self._listeners:
+            listener(event)
+        return event

@@ -1,0 +1,93 @@
+"""4G/5G dual connectivity (EN-DC, 3GPP TS 37.340).
+
+The enhancement integrates EN-DC on compatible devices (all four 5G
+models of Table 1): the device holds *control-plane* connections to a 4G
+BS and a 5G BS simultaneously; the master connection also carries
+data-plane traffic while the slave does not.  When a RAT transition is
+decided, promoting the pre-established slave is much faster than a cold
+transition, shortening the disturbance window (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.rat import RAT
+
+#: Seconds a cold (non-EN-DC) RAT transition disturbs the data plane.
+COLD_TRANSITION_DISTURBANCE_S = 4.0
+#: Seconds an EN-DC master/slave swap disturbs the data plane.
+ENDC_TRANSITION_DISTURBANCE_S = 0.5
+#: Failure probability of a cold transition's control procedure.
+COLD_TRANSITION_FAILURE_RATE = 0.05
+#: Failure probability of an EN-DC promotion (contexts pre-established).
+ENDC_TRANSITION_FAILURE_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class ControlPlaneLink:
+    """One control-plane attachment of the EN-DC pair."""
+
+    rat: RAT
+    bs_id: int
+
+    def __post_init__(self) -> None:
+        if self.rat not in (RAT.LTE, RAT.NR):
+            raise ValueError("EN-DC links must be LTE or NR")
+
+
+@dataclass
+class EnDcManager:
+    """Manages the master/slave EN-DC pair for one device."""
+
+    master: ControlPlaneLink | None = None
+    slave: ControlPlaneLink | None = None
+    #: Count of master/slave swaps performed.
+    swap_count: int = field(default=0)
+
+    @property
+    def dual_connected(self) -> bool:
+        return self.master is not None and self.slave is not None
+
+    @property
+    def data_plane_rat(self) -> RAT | None:
+        """Only the master carries data-plane packets (Sec. 4.2)."""
+        return self.master.rat if self.master else None
+
+    def attach_master(self, link: ControlPlaneLink) -> None:
+        if self.slave is not None and self.slave.rat is link.rat:
+            raise ValueError("master and slave must use different RATs")
+        self.master = link
+
+    def attach_slave(self, link: ControlPlaneLink) -> None:
+        if self.master is None:
+            raise ValueError("attach a master before a slave")
+        if link.rat is self.master.rat:
+            raise ValueError("master and slave must use different RATs")
+        self.slave = link
+
+    def detach_slave(self) -> None:
+        self.slave = None
+
+    def swap(self) -> float:
+        """Promote the slave to master; returns disturbance seconds."""
+        if not self.dual_connected:
+            raise RuntimeError("cannot swap without a dual connection")
+        self.master, self.slave = self.slave, self.master
+        self.swap_count += 1
+        return ENDC_TRANSITION_DISTURBANCE_S
+
+    def transition_cost(self, target_rat: RAT) -> tuple[float, float]:
+        """(disturbance seconds, failure probability) for moving the data
+        plane to ``target_rat``.
+
+        EN-DC prices apply when the target is the pre-established slave;
+        anything else is a cold transition.
+        """
+        if (
+            self.dual_connected
+            and self.slave is not None
+            and self.slave.rat is target_rat
+        ):
+            return ENDC_TRANSITION_DISTURBANCE_S, ENDC_TRANSITION_FAILURE_RATE
+        return COLD_TRANSITION_DISTURBANCE_S, COLD_TRANSITION_FAILURE_RATE

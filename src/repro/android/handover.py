@@ -1,0 +1,164 @@
+"""Inter-RAT handover (the procedure behind Fig. 17 and EN-DC).
+
+A RAT transition is not an instantaneous re-label: the device runs a
+3GPP-style procedure — measurement report, preparation (the target cell
+admits the incoming bearer), then execution (detach from the source,
+synchronize and attach to the target).  Each stage can fail, and failed
+handovers surface as ``IRAT_HANDOVER_FAILED`` / ``UE_RAT_CHANGE``-class
+Data_Setup_Errors (Table 2).  EN-DC (Sec. 4.2) shortcuts preparation
+because the target's control-plane context already exists.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.android.dual_connectivity import EnDcManager
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+
+class HandoverStage(enum.Enum):
+    """Where a handover attempt can end."""
+
+    MEASUREMENT = "MEASUREMENT"
+    PREPARATION = "PREPARATION"
+    EXECUTION = "EXECUTION"
+    COMPLETE = "COMPLETE"
+
+
+@dataclass(frozen=True)
+class HandoverResult:
+    """Outcome of one inter-RAT handover attempt."""
+
+    success: bool
+    stage: HandoverStage
+    #: DataFailCause name when the handover failed.
+    cause: str | None
+    #: Seconds the data plane was disturbed.
+    disturbance_s: float
+
+    def __post_init__(self) -> None:
+        if self.success and self.cause is not None:
+            raise ValueError("successful handover carries no cause")
+        if not self.success and self.cause is None:
+            raise ValueError("failed handover needs a cause")
+
+
+#: Execution-stage synchronization failure odds by target signal level:
+#: acquiring a level-0 target is the dominant failure mode (Fig. 17's
+#: "common pattern": bad cells are level-0 destinations).
+_SYNC_FAILURE_BY_TARGET_LEVEL = {
+    SignalLevel.LEVEL_0: 0.30,
+    SignalLevel.LEVEL_1: 0.08,
+    SignalLevel.LEVEL_2: 0.04,
+    SignalLevel.LEVEL_3: 0.02,
+    SignalLevel.LEVEL_4: 0.01,
+    SignalLevel.LEVEL_5: 0.01,
+}
+
+#: Measurement-report loss odds (source link already degraded).
+_MEASUREMENT_FAILURE_BY_SOURCE_LEVEL = {
+    SignalLevel.LEVEL_0: 0.10,
+    SignalLevel.LEVEL_1: 0.03,
+    SignalLevel.LEVEL_2: 0.01,
+    SignalLevel.LEVEL_3: 0.005,
+    SignalLevel.LEVEL_4: 0.003,
+    SignalLevel.LEVEL_5: 0.003,
+}
+
+#: Data-plane disturbance per stage reached, seconds.
+_DISTURBANCE_S = {
+    HandoverStage.MEASUREMENT: 0.2,
+    HandoverStage.PREPARATION: 1.0,
+    HandoverStage.EXECUTION: 4.0,
+    HandoverStage.COMPLETE: 4.0,
+}
+
+#: EN-DC shortcut: disturbance when the target context pre-exists.
+_ENDC_DISTURBANCE_S = 0.5
+
+
+class HandoverManager:
+    """Runs inter-RAT handover procedures for one device."""
+
+    def __init__(self, rng: random.Random,
+                 endc: EnDcManager | None = None) -> None:
+        self._rng = rng
+        self.endc = endc
+        self.attempts = 0
+        self.failures = 0
+
+    def execute(
+        self,
+        source_rat: RAT,
+        source_level: SignalLevel,
+        target_bs,
+        target_rat: RAT,
+        target_level: SignalLevel,
+    ) -> HandoverResult:
+        """Attempt a handover to ``target_bs`` over ``target_rat``.
+
+        ``target_bs`` must expose ``admit_bearer(rat, level, rng)``
+        (any :class:`~repro.network.basestation.BaseStation` or a
+        scripted stand-in).
+        """
+        self.attempts += 1
+        warm = self._warm_via_endc(target_rat)
+
+        # Stage 1 — measurement report over the (degrading) source link.
+        if not warm and self._rng.random() < (
+            _MEASUREMENT_FAILURE_BY_SOURCE_LEVEL[source_level]
+        ):
+            return self._failed(HandoverStage.MEASUREMENT,
+                                "RRC_UPLINK_DELIVERY_FAILED_DUE_TO_HANDOVER")
+
+        # Stage 2 — preparation: the target admits the incoming bearer.
+        if not warm:
+            cause = target_bs.admit_bearer(target_rat, target_level,
+                                           self._rng)
+            if cause is not None:
+                return self._failed(HandoverStage.PREPARATION, cause)
+
+        # Stage 3 — execution: sync to the target cell.
+        if self._rng.random() < _SYNC_FAILURE_BY_TARGET_LEVEL[target_level]:
+            return self._failed(HandoverStage.EXECUTION,
+                                "IRAT_HANDOVER_FAILED")
+
+        disturbance = (_ENDC_DISTURBANCE_S if warm
+                       else _DISTURBANCE_S[HandoverStage.COMPLETE])
+        if warm and self.endc is not None:
+            self.endc.swap()
+        return HandoverResult(
+            success=True,
+            stage=HandoverStage.COMPLETE,
+            cause=None,
+            disturbance_s=disturbance,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _warm_via_endc(self, target_rat: RAT) -> bool:
+        return (
+            self.endc is not None
+            and self.endc.dual_connected
+            and self.endc.slave is not None
+            and self.endc.slave.rat is target_rat
+        )
+
+    def _failed(self, stage: HandoverStage, cause: str) -> HandoverResult:
+        self.failures += 1
+        return HandoverResult(
+            success=False,
+            stage=stage,
+            cause=cause,
+            disturbance_s=_DISTURBANCE_S[stage],
+        )
+
+    @property
+    def failure_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts

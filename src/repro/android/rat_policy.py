@@ -1,0 +1,184 @@
+"""RAT selection policies.
+
+Android 10's policy blindly prefers 5G during RAT transition, chasing
+peak bandwidth at the cost of stability (Sec. 3.2); the paper's
+Stability-Compatible RAT Transition instead consults the empirically
+measured failure-likelihood increase of each transition (Fig. 17) and
+vetoes transitions that raise failure likelihood sharply without any
+realistic data-rate benefit (Sec. 4.2).  All three policies the paper
+discusses — Android 9 (no 5G), Android 10 (blind 5G), and the
+enhancement — share one interface so the fleet simulator can swap them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT, ALL_RATS
+from repro.radio.throughput import transition_increases_rate
+
+
+@dataclass(frozen=True)
+class RatCandidate:
+    """One attachable (RAT, signal level) option, optionally tied to a BS."""
+
+    rat: RAT
+    signal_level: SignalLevel
+    bs_id: int | None = None
+
+
+#: Default per-(RAT, level) failure-likelihood table in normalized-
+#: prevalence units, shaped after Figs. 15-16: likelihood falls from
+#: level 0 to level 4 and ticks back up at level 5 (the hub anomaly);
+#: 5G rows sit above 4G (immature modules), 3G rows below (idle cells).
+#: The (4G L4 -> 5G L0) anchor of Fig. 17f is 0.45 - 0.08 = 0.37.
+DEFAULT_LEVEL_RISK: dict[RAT, tuple[float, ...]] = {
+    RAT.GSM: (0.30, 0.18, 0.13, 0.10, 0.08, 0.10),
+    RAT.UMTS: (0.22, 0.13, 0.09, 0.07, 0.05, 0.06),
+    RAT.LTE: (0.32, 0.19, 0.14, 0.10, 0.08, 0.11),
+    RAT.NR: (0.45, 0.26, 0.18, 0.13, 0.10, 0.14),
+}
+
+
+class TransitionRiskTable:
+    """Failure-likelihood increase for RAT transitions (Fig. 17).
+
+    Built either from the default shape above or fitted from a measured
+    dataset via :meth:`from_level_risk` with analysis output.
+    """
+
+    def __init__(
+        self, level_risk: dict[RAT, tuple[float, ...]] | None = None
+    ) -> None:
+        risk = level_risk or DEFAULT_LEVEL_RISK
+        for rat in ALL_RATS:
+            if rat not in risk or len(risk[rat]) != 6:
+                raise ValueError(f"level risk table incomplete for {rat}")
+        self._risk = {rat: tuple(values) for rat, values in risk.items()}
+
+    @classmethod
+    def from_level_risk(
+        cls, level_risk: dict[RAT, tuple[float, ...]]
+    ) -> "TransitionRiskTable":
+        return cls(level_risk)
+
+    def likelihood(self, rat: RAT, level: SignalLevel) -> float:
+        """Failure likelihood (normalized prevalence) at (rat, level)."""
+        return self._risk[rat][int(level)]
+
+    def increase(
+        self,
+        from_rat: RAT,
+        from_level: SignalLevel,
+        to_rat: RAT,
+        to_level: SignalLevel,
+    ) -> float:
+        """Increase in failure likelihood for the given transition.
+
+        Positive values mean the transition makes failures more likely
+        (the dark cells of Fig. 17).
+        """
+        return self.likelihood(to_rat, to_level) - self.likelihood(
+            from_rat, from_level
+        )
+
+
+def _blind_preference_key(candidate: RatCandidate) -> tuple[int, int]:
+    """Android 10's ordering: generation first, signal level second."""
+    return (int(candidate.rat.generation), int(candidate.signal_level))
+
+
+class Android10BlindPolicy:
+    """Vanilla Android 10: 5G is blindly preferred (Sec. 3.2)."""
+
+    name = "android-10-blind"
+    supports_5g = True
+
+    def select(
+        self,
+        current: RatCandidate | None,
+        candidates: list[RatCandidate],
+    ) -> RatCandidate:
+        if not candidates:
+            raise ValueError("no RAT candidates available")
+        return max(candidates, key=_blind_preference_key)
+
+
+class Android9Policy:
+    """Android 9: no 5G support; otherwise newest-generation preference."""
+
+    name = "android-9"
+    supports_5g = False
+
+    def select(
+        self,
+        current: RatCandidate | None,
+        candidates: list[RatCandidate],
+    ) -> RatCandidate:
+        usable = [c for c in candidates if c.rat is not RAT.NR]
+        if not usable:
+            raise ValueError("no non-5G RAT candidates available")
+        return max(usable, key=_blind_preference_key)
+
+
+@dataclass
+class StabilityCompatiblePolicy:
+    """The paper's Stability-Compatible RAT Transition (Sec. 4.2).
+
+    Walks candidates in Android 10's preference order but vetoes a
+    transition when (a) its measured failure-likelihood increase exceeds
+    ``veto_threshold`` and (b) the transition cannot realistically raise
+    the data rate — the paper's "no side effect" condition, which in
+    practice vetoes every ``* -> level-0`` upgrade.
+    """
+
+    risk_table: TransitionRiskTable = field(
+        default_factory=TransitionRiskTable
+    )
+    veto_threshold: float = 0.15
+    name: str = "stability-compatible"
+    supports_5g: bool = True
+
+    def vetoes(
+        self, current: RatCandidate, candidate: RatCandidate
+    ) -> bool:
+        """Whether the transition current -> candidate is vetoed."""
+        if candidate.rat is current.rat:
+            return False
+        increase = self.risk_table.increase(
+            current.rat, current.signal_level,
+            candidate.rat, candidate.signal_level,
+        )
+        if increase <= self.veto_threshold:
+            return False
+        return not transition_increases_rate(
+            current.rat, current.signal_level,
+            candidate.rat, candidate.signal_level,
+        )
+
+    def select(
+        self,
+        current: RatCandidate | None,
+        candidates: list[RatCandidate],
+    ) -> RatCandidate:
+        if not candidates:
+            raise ValueError("no RAT candidates available")
+        ordered = sorted(candidates, key=_blind_preference_key, reverse=True)
+        if current is None:
+            # Initial attachment: avoid level-0 targets when possible.
+            healthy = [c for c in ordered
+                       if c.signal_level > SignalLevel.LEVEL_0]
+            return (healthy or ordered)[0]
+        for candidate in ordered:
+            if not self.vetoes(current, candidate):
+                return candidate
+        # Every move is vetoed: stay where we are.
+        return current
+
+
+def policy_for_android_version(version: str):
+    """The vanilla policy a given Android version ships (Sec. 3.2)."""
+    if version.startswith("9"):
+        return Android9Policy()
+    return Android10BlindPolicy()

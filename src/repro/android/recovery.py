@@ -1,0 +1,314 @@
+"""The three-stage progressive Data_Stall recovery mechanism.
+
+When a Data_Stall is detected, Android runs a progressive sequence of
+recovery operations — (1) clean up and restart the current connection,
+(2) re-register into the network, (3) restart the radio component — and
+waits out a *probation* before each stage in case the problem already
+fixed itself (Sec. 3.2).  Vanilla Android uses a fixed one-minute
+probation everywhere; the paper's TIMP enhancement replaces the fixed
+trigger with probations optimized from field data (Sec. 4.2).
+
+The engine is parametric in the probation vector, so the vanilla
+mechanism and the TIMP-based one are literally the same code with
+different parameters — exactly how the deployed patch works.
+
+Two entry points exist:
+
+* :func:`resolve_stall` — a fast, pure resolver over a sampled episode
+  (used by the fleet simulator where millions of episodes are needed);
+* :class:`RecoveryEngine` — an integration-grade engine that drives a
+  real :class:`~repro.netstack.stack.DeviceNetStack` fault through the
+  actual detector, advancing a :class:`~repro.simtime.SimClock`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import quantities
+from repro.android.data_stall import VanillaDataStallDetector
+from repro.netstack.stack import DeviceNetStack
+from repro.simtime import SimClock
+
+#: Identifier for "the stall cleared on its own" (no stage executed).
+AUTO_RECOVERED = 0
+#: Identifier for "the user manually reset the connection".
+USER_RESET = -1
+#: Identifier for "nothing worked; the stall outlived stage 3" — the
+#: episode then ends at its natural duration.
+UNRESOLVED = -2
+
+
+@dataclass(frozen=True)
+class StageParameters:
+    """Cost and effectiveness of one recovery operation."""
+
+    #: Seconds the operation takes to execute (the O_i of Eq. 1).
+    overhead_s: float
+    #: Probability the operation fixes the stall once executed.
+    success_rate: float
+
+    def __post_init__(self) -> None:
+        if self.overhead_s < 0:
+            raise ValueError("stage overhead cannot be negative")
+        if not 0.0 <= self.success_rate <= 1.0:
+            raise ValueError("success rate must be a probability")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """A complete configuration of the three-stage mechanism."""
+
+    #: Probation before each stage (Pro_0, Pro_1, Pro_2), seconds.
+    probations_s: tuple[float, float, float]
+    #: The three stages: cleanup, re-register, radio restart.
+    stages: tuple[StageParameters, StageParameters, StageParameters] = (
+        StageParameters(overhead_s=2.0, success_rate=(
+            quantities.STAGE1_RECOVERY_SUCCESS_RATE)),
+        StageParameters(overhead_s=6.0, success_rate=0.85),
+        StageParameters(overhead_s=15.0, success_rate=0.95),
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.probations_s) != 3:
+            raise ValueError("exactly three probations are required")
+        if any(p < 0 for p in self.probations_s):
+            raise ValueError("probations cannot be negative")
+        overheads = [s.overhead_s for s in self.stages]
+        if not overheads == sorted(overheads):
+            raise ValueError(
+                "stage overheads must be progressive (O1 < O2 < O3)"
+            )
+
+    def with_probations(
+        self, probations_s: tuple[float, float, float]
+    ) -> "RecoveryPolicy":
+        return RecoveryPolicy(probations_s=probations_s, stages=self.stages)
+
+
+#: Vanilla Android: one-minute probation before every stage (Sec. 3.2).
+VANILLA_RECOVERY_POLICY = RecoveryPolicy(
+    probations_s=(
+        quantities.VANILLA_PROBATION_S,
+        quantities.VANILLA_PROBATION_S,
+        quantities.VANILLA_PROBATION_S,
+    )
+)
+
+#: The paper's TIMP-optimized probations: 21 s / 6 s / 16 s (Sec. 4.2).
+TIMP_RECOVERY_POLICY = RecoveryPolicy(
+    probations_s=quantities.TIMP_OPTIMAL_PROBATIONS_S
+)
+
+
+@dataclass(frozen=True)
+class StallResolution:
+    """How one Data_Stall episode ended."""
+
+    #: Observed stall duration, detection to recovery, seconds.
+    duration_s: float
+    #: AUTO_RECOVERED, USER_RESET, UNRESOLVED, or the fixing stage (1-3).
+    resolved_by: int
+    #: Stages actually executed (0-3).
+    stages_executed: int
+    #: (time, label) milestones for diagnostics.
+    timeline: tuple[tuple[float, str], ...] = ()
+
+    @property
+    def auto_recovered(self) -> bool:
+        return self.resolved_by == AUTO_RECOVERED
+
+
+def resolve_stall(
+    policy: RecoveryPolicy,
+    natural_fix_s: float,
+    rng: random.Random,
+    user_reset_s: float | None = None,
+    user_reset_success_rate: float = 0.85,
+    max_cycles: int = 25,
+) -> StallResolution:
+    """Resolve one stall episode under ``policy``.
+
+    ``natural_fix_s`` is the (hidden) instant at which the underlying
+    network problem would clear on its own; the natural-recovery process
+    runs concurrently with the staged mechanism, which is what makes the
+    trigger-timing optimization non-trivial (Sec. 4.2).  ``user_reset_s``
+    is the instant an impatient user would manually reset the connection
+    (None for a passive user).
+
+    If all three stages fail, the connection is still stalled, so
+    Android's detector trips again and the progressive cycle restarts
+    (``max_cycles`` bounds this; afterwards the stall rides to its
+    natural end).  Each cycle re-rolls the stage outcomes — the radio
+    environment changes between attempts (e.g. re-registration may pick
+    a different cell).
+    """
+    if natural_fix_s < 0:
+        raise ValueError("natural fix time cannot be negative")
+    timeline: list[tuple[float, str]] = [(0.0, "stall detected")]
+    t = 0.0
+    stages_executed = 0
+    user_pending = user_reset_s
+
+    for cycle in range(max_cycles):
+        for index, (probation, stage) in enumerate(
+            zip(policy.probations_s, policy.stages), start=1
+        ):
+            window_end = t + probation
+            outcome = _wait_window(
+                t, window_end, natural_fix_s, user_pending,
+                rng, user_reset_success_rate, timeline,
+            )
+            if outcome is not None:
+                return StallResolution(
+                    duration_s=outcome[0],
+                    resolved_by=outcome[1],
+                    stages_executed=stages_executed,
+                    timeline=tuple(timeline),
+                )
+            if user_pending is not None and user_pending <= window_end:
+                user_pending = None  # the reset happened and failed
+            t = window_end
+            timeline.append((t, f"stage {index} started"))
+            stages_executed += 1
+            t += stage.overhead_s
+            if natural_fix_s <= t:
+                timeline.append(
+                    (natural_fix_s, "auto recovered during stage")
+                )
+                return StallResolution(
+                    duration_s=natural_fix_s,
+                    resolved_by=AUTO_RECOVERED,
+                    stages_executed=stages_executed,
+                    timeline=tuple(timeline),
+                )
+            if rng.random() < stage.success_rate:
+                timeline.append((t, f"stage {index} fixed the stall"))
+                return StallResolution(
+                    duration_s=t,
+                    resolved_by=index,
+                    stages_executed=stages_executed,
+                    timeline=tuple(timeline),
+                )
+            timeline.append((t, f"stage {index} did not fix the stall"))
+        if stages_executed and all(
+            stage.success_rate == 0.0 for stage in policy.stages
+        ):
+            # Nothing the handset does can fix this stall; re-running
+            # the cycle only burns time.
+            break
+
+    # Recovery gave up: the episode runs to its natural end (or until
+    # a still-pending user reset lands).
+    outcome = _wait_window(t, natural_fix_s, natural_fix_s, user_pending,
+                           rng, user_reset_success_rate, timeline)
+    if outcome is not None:
+        return StallResolution(
+            duration_s=outcome[0],
+            resolved_by=outcome[1],
+            stages_executed=stages_executed,
+            timeline=tuple(timeline),
+        )
+    timeline.append((natural_fix_s, "recovered naturally"))
+    return StallResolution(
+        duration_s=natural_fix_s,
+        resolved_by=UNRESOLVED,
+        stages_executed=stages_executed,
+        timeline=tuple(timeline),
+    )
+
+
+def _wait_window(
+    start: float,
+    end: float,
+    natural_fix_s: float,
+    user_reset_s: float | None,
+    rng: random.Random,
+    user_reset_success_rate: float,
+    timeline: list[tuple[float, str]],
+) -> tuple[float, int] | None:
+    """Watch the window [start, end) for auto-recovery or a user reset.
+
+    Returns (duration, resolver) if the episode ended, else None.
+    """
+    candidates: list[tuple[float, int]] = []
+    if start <= natural_fix_s < end:
+        candidates.append((natural_fix_s, AUTO_RECOVERED))
+    if user_reset_s is not None and start <= user_reset_s < end:
+        if rng.random() < user_reset_success_rate:
+            candidates.append((user_reset_s, USER_RESET))
+    if not candidates:
+        return None
+    when, who = min(candidates)
+    label = "auto recovered" if who == AUTO_RECOVERED else "user reset"
+    timeline.append((when, label))
+    return when, who
+
+
+class RecoveryEngine:
+    """Integration-grade engine: drives a live netstack fault through the
+    actual detector, advancing the shared clock.
+
+    Slower than :func:`resolve_stall` but exercises the full component
+    chain end to end; used by integration tests and examples.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        stack: DeviceNetStack,
+        detector: VanillaDataStallDetector,
+        policy: RecoveryPolicy,
+        rng: random.Random,
+        poll_interval_s: float = 1.0,
+    ) -> None:
+        self.clock = clock
+        self.stack = stack
+        self.detector = detector
+        self.policy = policy
+        self._rng = rng
+        self._poll_interval_s = poll_interval_s
+
+    def run(self) -> StallResolution:
+        """Run the staged mechanism against the currently active fault."""
+        start = self.clock.now()
+        stages_executed = 0
+        timeline: list[tuple[float, str]] = [(0.0, "stall detected")]
+        for index, (probation, stage) in enumerate(
+            zip(self.policy.probations_s, self.policy.stages), start=1
+        ):
+            if self._probation_cleared(probation):
+                when = self.clock.now() - start
+                timeline.append((when, "auto recovered"))
+                return StallResolution(when, AUTO_RECOVERED,
+                                       stages_executed, tuple(timeline))
+            timeline.append((self.clock.now() - start,
+                             f"stage {index} started"))
+            stages_executed += 1
+            self.clock.advance(stage.overhead_s)
+            if self._rng.random() < stage.success_rate:
+                self.stack.shorten_fault(self.clock.now())
+                when = self.clock.now() - start
+                timeline.append((when, f"stage {index} fixed the stall"))
+                return StallResolution(when, index, stages_executed,
+                                       tuple(timeline))
+            timeline.append((self.clock.now() - start,
+                             f"stage {index} did not fix the stall"))
+        # Ride out the fault.
+        while self.stack.fault_at(self.clock.now()) is not None:
+            self.clock.advance(self._poll_interval_s)
+        when = self.clock.now() - start
+        timeline.append((when, "recovered naturally after stage 3"))
+        return StallResolution(when, UNRESOLVED, stages_executed,
+                               tuple(timeline))
+
+    def _probation_cleared(self, probation_s: float) -> bool:
+        """Wait out a probation; True if the fault cleared during it."""
+        deadline = self.clock.now() + probation_s
+        while self.clock.now() < deadline:
+            if self.stack.fault_at(self.clock.now()) is None:
+                return True
+            self.clock.advance(min(self._poll_interval_s,
+                                   deadline - self.clock.now()))
+        return self.stack.fault_at(self.clock.now()) is None

@@ -1,0 +1,94 @@
+"""ServiceState and Out_of_Service detection.
+
+Android's ``ServiceState`` reports whether the device is registered for
+(data) service.  A device can hold an established connection yet be
+unable to move cellular data; Android then marks the service state
+``STATE_OUT_OF_SERVICE`` (Sec. 2.1).  The tracker below mirrors the AOSP
+surface the paper instruments: state constants, listener registration,
+and duration bookkeeping for Out_of_Service episodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.events import FailureEvent, FailureType
+from repro.simtime import SimClock
+
+
+class ServiceState(enum.Enum):
+    """AOSP ServiceState registration states."""
+
+    IN_SERVICE = "STATE_IN_SERVICE"
+    OUT_OF_SERVICE = "STATE_OUT_OF_SERVICE"
+    EMERGENCY_ONLY = "STATE_EMERGENCY_ONLY"
+    POWER_OFF = "STATE_POWER_OFF"
+
+
+ServiceStateListener = Callable[[ServiceState, ServiceState, float], None]
+
+
+@dataclass
+class ServiceStateTracker:
+    """Tracks one device's service state over virtual time."""
+
+    clock: SimClock
+    state: ServiceState = ServiceState.IN_SERVICE
+    _since: float = field(default=0.0, init=False)
+    _listeners: list[ServiceStateListener] = field(
+        default_factory=list, init=False
+    )
+    _open_outage: FailureEvent | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._since = self.clock.now()
+
+    def add_listener(self, listener: ServiceStateListener) -> None:
+        self._listeners.append(listener)
+
+    def time_in_state(self) -> float:
+        return self.clock.now() - self._since
+
+    # -- transitions ---------------------------------------------------------
+
+    def set_state(self, new_state: ServiceState) -> FailureEvent | None:
+        """Move to ``new_state``; returns a closed Out_of_Service failure
+        event when an outage episode just ended."""
+        if new_state is self.state:
+            return None
+        old = self.state
+        now = self.clock.now()
+        self.state = new_state
+        self._since = now
+        for listener in self._listeners:
+            listener(old, new_state, now)
+        if new_state is ServiceState.OUT_OF_SERVICE:
+            self._open_outage = FailureEvent(
+                failure_type=FailureType.OUT_OF_SERVICE, start_time=now
+            )
+            return None
+        if old is ServiceState.OUT_OF_SERVICE and self._open_outage:
+            event = self._open_outage
+            event.close(now)
+            self._open_outage = None
+            return event
+        return None
+
+    def begin_outage(self) -> None:
+        """Convenience: enter OUT_OF_SERVICE."""
+        self.set_state(ServiceState.OUT_OF_SERVICE)
+
+    def end_outage(self) -> FailureEvent | None:
+        """Convenience: return to IN_SERVICE, yielding the closed event."""
+        return self.set_state(ServiceState.IN_SERVICE)
+
+    def reregister(self) -> None:
+        """Stage-2 recovery operation: re-register into the network.
+
+        Modeled as a detach/attach cycle; the caller decides whether the
+        network accepts (and therefore whether service resumes).
+        """
+        if self.state is ServiceState.POWER_OFF:
+            raise RuntimeError("cannot re-register while the radio is off")

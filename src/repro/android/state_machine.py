@@ -1,0 +1,150 @@
+"""The data-connection state machine (Fig. 1).
+
+Android models the life cycle of a cellular data connection with five
+states — Inactive, Activating, Retrying, Active, and Disconnecting — and
+the paper's failure taxonomy hangs off this machine's transitions
+(Sec. 2.1).  We reproduce it with explicit transition validation, state
+timestamps, and listener hooks, mirroring AOSP's
+``dataconnection/DataConnection.java`` at the granularity the paper uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.simtime import SimClock
+
+
+class DataConnectionState(enum.Enum):
+    """The five life-cycle states of Fig. 1."""
+
+    INACTIVE = "Inactive"
+    ACTIVATING = "Activating"
+    RETRYING = "Retrying"
+    ACTIVE = "Active"
+    DISCONNECTING = "Disconnect"
+
+
+_S = DataConnectionState
+
+#: Legal transitions of the machine in Fig. 1.
+_LEGAL_TRANSITIONS: frozenset[tuple[DataConnectionState,
+                                    DataConnectionState]] = frozenset(
+    {
+        (_S.INACTIVE, _S.ACTIVATING),  # connect request
+        (_S.ACTIVATING, _S.ACTIVE),  # setup succeeded
+        (_S.ACTIVATING, _S.RETRYING),  # setup failed, will retry
+        (_S.ACTIVATING, _S.INACTIVE),  # aborted / permanent failure
+        (_S.RETRYING, _S.ACTIVATING),  # retry attempt
+        (_S.RETRYING, _S.INACTIVE),  # retries exhausted
+        (_S.ACTIVE, _S.DISCONNECTING),  # teardown requested
+        (_S.ACTIVE, _S.RETRYING),  # connection lost, re-establishing
+        (_S.DISCONNECTING, _S.INACTIVE),  # teardown complete
+    }
+)
+
+
+class IllegalTransitionError(RuntimeError):
+    """Raised when a caller requests a transition Fig. 1 does not allow."""
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One observed state transition."""
+
+    timestamp: float
+    source: DataConnectionState
+    target: DataConnectionState
+
+
+TransitionListener = Callable[[TransitionRecord], None]
+
+
+class DataConnection:
+    """One cellular data connection's life-cycle machine."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._state = _S.INACTIVE
+        self._entered_at = clock.now()
+        self._listeners: list[TransitionListener] = []
+        self._history: list[TransitionRecord] = []
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def state(self) -> DataConnectionState:
+        return self._state
+
+    @property
+    def entered_at(self) -> float:
+        """When the current state was entered (virtual seconds)."""
+        return self._entered_at
+
+    def time_in_state(self) -> float:
+        return self._clock.now() - self._entered_at
+
+    @property
+    def history(self) -> tuple[TransitionRecord, ...]:
+        return tuple(self._history)
+
+    @property
+    def is_connected(self) -> bool:
+        return self._state is _S.ACTIVE
+
+    def add_listener(self, listener: TransitionListener) -> None:
+        """Register a transition listener (Android-MOD hooks in here)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TransitionListener) -> None:
+        self._listeners.remove(listener)
+
+    # -- transitions -------------------------------------------------------
+
+    def request_connect(self) -> None:
+        self._move(_S.ACTIVATING)
+
+    def setup_succeeded(self) -> None:
+        self._move(_S.ACTIVE)
+
+    def setup_failed_retryable(self) -> None:
+        self._move(_S.RETRYING)
+
+    def setup_failed_permanent(self) -> None:
+        self._move(_S.INACTIVE)
+
+    def retry(self) -> None:
+        self._move(_S.ACTIVATING)
+
+    def give_up(self) -> None:
+        self._move(_S.INACTIVE)
+
+    def connection_lost(self) -> None:
+        self._move(_S.RETRYING)
+
+    def request_disconnect(self) -> None:
+        self._move(_S.DISCONNECTING)
+
+    def disconnected(self) -> None:
+        self._move(_S.INACTIVE)
+
+    def can_move_to(self, target: DataConnectionState) -> bool:
+        return (self._state, target) in _LEGAL_TRANSITIONS
+
+    # -- internals -----------------------------------------------------------
+
+    def _move(self, target: DataConnectionState) -> None:
+        if not self.can_move_to(target):
+            raise IllegalTransitionError(
+                f"illegal transition {self._state.value} -> {target.value}"
+            )
+        record = TransitionRecord(
+            timestamp=self._clock.now(), source=self._state, target=target
+        )
+        self._state = target
+        self._entered_at = record.timestamp
+        self._history.append(record)
+        for listener in self._listeners:
+            listener(record)

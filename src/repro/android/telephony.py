@@ -1,0 +1,62 @@
+"""TelephonyManager facade.
+
+Android-MOD collects its in-situ context — current RAT, received signal
+strength, APN, and the serving cell identity — through the public
+TelephonyManager / ServiceState APIs (Sec. 2.2).  This facade holds the
+live radio context of one device and answers those queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signal import SignalLevel
+from repro.network.basestation import BaseStation, CellIdentity
+from repro.radio.rat import RAT
+
+
+@dataclass
+class TelephonyManager:
+    """Query surface over one device's current radio context."""
+
+    current_rat: RAT | None = None
+    signal_level: SignalLevel = SignalLevel.LEVEL_0
+    apn: str = "internet"
+    serving_bs: BaseStation | None = None
+
+    # -- AOSP-shaped getters -------------------------------------------------
+
+    def get_network_type(self) -> RAT | None:
+        """Current radio access technology (None when detached)."""
+        return self.current_rat
+
+    def get_signal_strength(self) -> SignalLevel:
+        return self.signal_level
+
+    def get_apn(self) -> str:
+        return self.apn
+
+    def get_cell_identity(self) -> CellIdentity | None:
+        return self.serving_bs.identity if self.serving_bs else None
+
+    def get_network_operator(self) -> str | None:
+        return self.serving_bs.isp.label if self.serving_bs else None
+
+    # -- context updates (called by the connection manager) --------------------
+
+    def attach(
+        self, bs: BaseStation, rat: RAT, signal_level: SignalLevel
+    ) -> None:
+        if not bs.supports(rat):
+            raise ValueError(f"BS {bs.bs_id} does not support {rat}")
+        self.serving_bs = bs
+        self.current_rat = rat
+        self.signal_level = signal_level
+
+    def update_signal(self, signal_level: SignalLevel) -> None:
+        self.signal_level = signal_level
+
+    def detach(self) -> None:
+        self.serving_bs = None
+        self.current_rat = None
+        self.signal_level = SignalLevel.LEVEL_0

@@ -1,0 +1,166 @@
+"""Legacy telephony services: SMS and circuit-switched voice.
+
+Under 1% of the failures the study recorded concern the traditional
+short-message and voice-call services (Sec. 3.1) — e.g. the
+``RIL_SMS_SEND_FAIL_RETRY`` tag.  Their enabling techniques have been
+stable for ~20 years, so the models here are small, but they are real
+services: an SMS send runs a submit/retry loop against the serving
+cell's paging capacity, and a voice call runs a CS setup exchange.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.core.events import FailureEvent, FailureType
+from repro.core.signal import SignalLevel
+from repro.simtime import SimClock
+
+#: The Android-visible SMS failure tag (Sec. 3.1).
+SMS_SEND_FAIL_RETRY = "RIL_SMS_SEND_FAIL_RETRY"
+SMS_SEND_FAIL_PERMANENT = "RIL_SMS_SEND_FAIL"
+
+#: CS voice failure tags.
+VOICE_SETUP_FAILED = "CS_CALL_SETUP_FAILED"
+VOICE_NETWORK_CONGESTION = "CS_NETWORK_CONGESTION"
+
+
+class SmsSendOutcome(enum.Enum):
+    SENT = "SENT"
+    RETRY_EXHAUSTED = "RETRY_EXHAUSTED"
+
+
+@dataclass(frozen=True)
+class SmsResult:
+    outcome: SmsSendOutcome
+    attempts: int
+    #: Failure events surfaced along the way (one per failed submit).
+    failures: tuple[FailureEvent, ...]
+
+
+@dataclass
+class SmsManager:
+    """The submit/retry loop behind ``SmsManager.sendTextMessage``."""
+
+    clock: SimClock
+    rng: random.Random
+    max_retries: int = 2
+    retry_delay_s: float = 5.0
+    _listeners: list = field(default_factory=list, init=False)
+
+    def register_failure_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    def send(self, signal_level: SignalLevel,
+             submit_failure_rate: float | None = None,
+             script: list[bool] | None = None) -> SmsResult:
+        """Send one message; weak signal raises the submit failure odds.
+
+        ``script`` forces per-attempt outcomes (True = the submit
+        fails); once exhausted the stochastic rate takes over.  The
+        fleet scheduler uses it to realize exactly the failures it
+        scheduled through the real retry loop.
+        """
+        if submit_failure_rate is None:
+            submit_failure_rate = _SMS_FAILURE_BY_LEVEL[signal_level]
+        failures: list[FailureEvent] = []
+        pending_script = list(script) if script else []
+        for attempt in range(1, self.max_retries + 2):
+            if pending_script:
+                submit_fails = pending_script.pop(0)
+            else:
+                submit_fails = self.rng.random() < submit_failure_rate
+            if not submit_fails:
+                return SmsResult(SmsSendOutcome.SENT, attempt,
+                                 tuple(failures))
+            event = FailureEvent(
+                failure_type=FailureType.SMS_FAILURE,
+                start_time=self.clock.now(),
+                error_code=SMS_SEND_FAIL_RETRY,
+            )
+            event.close(self.clock.now())
+            failures.append(event)
+            for listener in self._listeners:
+                listener(event)
+            self.clock.advance(self.retry_delay_s)
+        return SmsResult(SmsSendOutcome.RETRY_EXHAUSTED,
+                         self.max_retries + 1, tuple(failures))
+
+
+class VoiceCallOutcome(enum.Enum):
+    CONNECTED = "CONNECTED"
+    SETUP_FAILED = "SETUP_FAILED"
+
+
+@dataclass(frozen=True)
+class VoiceCallResult:
+    outcome: VoiceCallOutcome
+    setup_time_s: float
+    failure: FailureEvent | None
+
+
+@dataclass
+class VoiceCallManager:
+    """Circuit-switched call setup (the other legacy failure source)."""
+
+    clock: SimClock
+    rng: random.Random
+    _listeners: list = field(default_factory=list, init=False)
+
+    def register_failure_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    def place_call(self, signal_level: SignalLevel,
+                   cell_load: float = 0.3,
+                   force_failure: bool | None = None) -> VoiceCallResult:
+        """Attempt a CS call; deep fades and loaded cells fail setup.
+
+        ``force_failure`` overrides the stochastic outcome (used by the
+        fleet scheduler to realize exactly the failures it scheduled).
+        """
+        if not 0.0 <= cell_load <= 1.0:
+            raise ValueError("cell load must be within [0, 1]")
+        setup_time = 1.5 + self.rng.uniform(0.0, 2.0)
+        failure_rate = (
+            _VOICE_FAILURE_BY_LEVEL[signal_level] + 0.05 * cell_load
+        )
+        self.clock.advance(setup_time)
+        fails = (force_failure if force_failure is not None
+                 else self.rng.random() < failure_rate)
+        if fails:
+            code = (VOICE_NETWORK_CONGESTION
+                    if self.rng.random() < cell_load
+                    else VOICE_SETUP_FAILED)
+            event = FailureEvent(
+                failure_type=FailureType.VOICE_FAILURE,
+                start_time=self.clock.now(),
+                error_code=code,
+            )
+            event.close(self.clock.now())
+            for listener in self._listeners:
+                listener(event)
+            return VoiceCallResult(VoiceCallOutcome.SETUP_FAILED,
+                                   setup_time, event)
+        return VoiceCallResult(VoiceCallOutcome.CONNECTED, setup_time,
+                               None)
+
+
+_SMS_FAILURE_BY_LEVEL = {
+    SignalLevel.LEVEL_0: 0.60,
+    SignalLevel.LEVEL_1: 0.20,
+    SignalLevel.LEVEL_2: 0.08,
+    SignalLevel.LEVEL_3: 0.04,
+    SignalLevel.LEVEL_4: 0.02,
+    SignalLevel.LEVEL_5: 0.02,
+}
+
+_VOICE_FAILURE_BY_LEVEL = {
+    SignalLevel.LEVEL_0: 0.50,
+    SignalLevel.LEVEL_1: 0.15,
+    SignalLevel.LEVEL_2: 0.06,
+    SignalLevel.LEVEL_3: 0.03,
+    SignalLevel.LEVEL_4: 0.02,
+    SignalLevel.LEVEL_5: 0.02,
+}

@@ -1,0 +1,8 @@
+"""Backend substrate: the centralized side of the study — ingestion of
+the devices' compressed uploads and streaming aggregation over record
+streams too large to hold in memory."""
+
+from repro.backend.ingest import IngestionServer
+from repro.backend.streaming import P2Quantile, StreamingStats
+
+__all__ = ["IngestionServer", "P2Quantile", "StreamingStats"]

@@ -1,0 +1,112 @@
+"""Backend ingestion of device uploads.
+
+Devices ship zlib-compressed JSON records through
+:class:`repro.monitoring.uploader.UploadBatcher`; this server is the
+receiving end: decompress, parse, validate, deduplicate (uploads may be
+retried after connectivity loss), and keep streaming aggregates per
+failure type — the "compressed and uploaded to our backend server for
+centralized analysis" sentence of Sec. 2.3, made concrete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from repro.backend.streaming import P2Quantile, StreamingStats
+from repro.dataset.records import FailureRecord
+
+#: Fields a record must carry to be accepted.
+_REQUIRED_FIELDS = frozenset({
+    "device_id", "failure_type", "start_time", "duration_s",
+})
+
+
+@dataclass
+class IngestionServer:
+    """Receives, validates, and aggregates device uploads."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+    accepted: int = 0
+    duplicates: int = 0
+    malformed: int = 0
+    bytes_received: int = 0
+    #: Per-failure-type duration statistics, streaming.
+    duration_stats: dict[str, StreamingStats] = field(
+        default_factory=dict
+    )
+    #: Streaming median of all failure durations.
+    duration_median: P2Quantile = field(
+        default_factory=lambda: P2Quantile(0.5)
+    )
+    _seen: set[str] = field(default_factory=set, repr=False)
+
+    # -- the transport callable given to UploadBatcher -----------------------
+
+    def receive(self, payload: bytes) -> None:
+        """Accept one compressed upload (the UploadBatcher transport)."""
+        self.bytes_received += len(payload)
+        try:
+            data = json.loads(zlib.decompress(payload))
+        except (zlib.error, json.JSONDecodeError, UnicodeDecodeError):
+            self.malformed += 1
+            return
+        self.ingest_record(data)
+
+    def ingest_record(self, data: dict) -> None:
+        """Validate and store one decoded record."""
+        if not isinstance(data, dict) or not (
+            _REQUIRED_FIELDS <= set(data)
+        ):
+            self.malformed += 1
+            return
+        key = self._identity(data)
+        if key in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(key)
+        try:
+            record = FailureRecord.from_dict(data)
+        except TypeError:
+            self.malformed += 1
+            return
+        self.records.append(record)
+        self.accepted += 1
+        stats = self.duration_stats.setdefault(
+            record.failure_type, StreamingStats()
+        )
+        stats.add(record.duration_s)
+        self.duration_median.add(record.duration_s)
+
+    # -- queries -----------------------------------------------------------
+
+    def duration_share(self) -> dict[str, float]:
+        """Per-type share of total failure duration (streaming)."""
+        total = sum(s.total for s in self.duration_stats.values())
+        if total == 0:
+            return {}
+        return {
+            failure_type: stats.total / total
+            for failure_type, stats in self.duration_stats.items()
+        }
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "accepted": float(self.accepted),
+            "duplicates": float(self.duplicates),
+            "malformed": float(self.malformed),
+            "bytes_received": float(self.bytes_received),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _identity(data: dict) -> str:
+        """Content hash for retry deduplication."""
+        blob = json.dumps(
+            {key: data[key] for key in sorted(data)},
+            sort_keys=True, default=str,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,183 @@
+"""Streaming aggregation primitives.
+
+The study's backend receives billions of records; headline statistics
+(means, duration quantiles) must be computed in one pass and O(1)
+memory.  Two classic estimators cover what the analysis needs:
+
+* :class:`StreamingStats` — Welford's online algorithm for count /
+  mean / variance / extremes;
+* :class:`P2Quantile` — the P-squared algorithm (Jain & Chlamtac,
+  1985): a five-marker parabolic estimator of an arbitrary quantile
+  without storing observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StreamingStats:
+    """One-pass count / mean / variance / min / max."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Combine two partitions (parallel aggregation)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        merged = StreamingStats(
+            count=count,
+            mean=self.mean + delta * other.count / count,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+        merged._m2 = (
+            self._m2 + other._m2
+            + delta**2 * self.count * other.count / count
+        )
+        return merged
+
+
+class P2Quantile:
+    """The P² single-quantile estimator (five markers, O(1) memory).
+
+    Exact for the first five observations; afterwards the middle
+    markers track the target quantile by parabolic (or linear)
+    adjustment.  Accuracy on smooth distributions is typically within
+    a percent or two of the exact order statistic.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be strictly inside (0, 1)")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._start()
+            return
+        self._update(value)
+
+    def value(self) -> float:
+        """Current estimate of the target quantile."""
+        if self.count == 0:
+            raise ValueError("no observations")
+        if self._heights:
+            return self._heights[2]
+        ordered = sorted(self._initial)
+        index = min(len(ordered) - 1,
+                    int(self.quantile * len(ordered)))
+        return ordered[index]
+
+    # -- internals -----------------------------------------------------------
+
+    def _start(self) -> None:
+        q = self.quantile
+        self._heights = sorted(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                         3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def _update(self, value: float) -> None:
+        heights = self._heights
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            self._positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        # Adjust the three middle markers.
+        for index in (1, 2, 3):
+            drift = self._desired[index] - self._positions[index]
+            right_gap = self._positions[index + 1] - self._positions[index]
+            left_gap = self._positions[index - 1] - self._positions[index]
+            if (drift >= 1.0 and right_gap > 1.0) or (
+                drift <= -1.0 and left_gap < -1.0
+            ):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if not (heights[index - 1] < candidate
+                        < heights[index + 1]):
+                    candidate = self._linear(index, step)
+                heights[index] = candidate
+                self._positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        numerator_left = (
+            positions[index] - positions[index - 1] + step
+        ) * (heights[index + 1] - heights[index]) / (
+            positions[index + 1] - positions[index]
+        )
+        numerator_right = (
+            positions[index + 1] - positions[index] - step
+        ) * (heights[index] - heights[index - 1]) / (
+            positions[index] - positions[index - 1]
+        )
+        return heights[index] + step * (
+            numerator_left + numerator_right
+        ) / (positions[index + 1] - positions[index - 1])
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        neighbour = index + int(step)
+        return heights[index] + step * (
+            heights[neighbour] - heights[index]
+        ) / (positions[neighbour] - positions[index])

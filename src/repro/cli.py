@@ -1,0 +1,124 @@
+"""Command-line interface.
+
+::
+
+    python -m repro study   [--devices N] [--seed S] [--save PATH]
+    python -m repro ab      [--devices N] [--seed S]
+    python -m repro timp    [--devices N] [--seed S]
+    python -m repro analyze PATH
+
+``study`` runs the measurement study and prints the Sec. 3 report;
+``ab`` runs the paired enhancement evaluation (Sec. 4.3); ``timp`` fits
+the recovery CDF and anneals the probations (Sec. 4.2); ``analyze``
+re-runs the analysis over a saved dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis.report import render_ab_evaluation
+from repro.core.enhancements import fit_recovery_trigger
+from repro.core.study import NationwideStudy, run_ab_evaluation
+from repro.dataset.store import load_dataset, save_dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+
+
+def _scenario(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_devices=args.devices,
+        seed=args.seed,
+        topology=TopologyConfig(
+            n_base_stations=max(400, args.devices // 2),
+            seed=args.seed + 1,
+        ),
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--devices", type=int, default=2_000,
+                        help="fleet size (default 2000)")
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="scenario seed (default 2020)")
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    study = NationwideStudy(scenario=scenario)
+    dataset = FleetSimulator(scenario.vanilla()).run()
+    result = study.analyze(dataset)
+    print(result.render())
+    if args.save:
+        save_dataset(dataset, args.save)
+        print(f"dataset saved to {args.save}")
+    return 0
+
+
+def cmd_ab(args: argparse.Namespace) -> int:
+    _vanilla, _patched, evaluation = run_ab_evaluation(_scenario(args))
+    print(render_ab_evaluation(evaluation))
+    return 0
+
+
+def cmd_timp(args: argparse.Namespace) -> int:
+    dataset = FleetSimulator(_scenario(args).vanilla()).run()
+    policy, result = fit_recovery_trigger(
+        dataset, rng=random.Random(args.seed)
+    )
+    p0, p1, p2 = policy.probations_s
+    print(f"annealed probations: {p0:.0f} / {p1:.0f} / {p2:.0f} s "
+          "(paper: 21 / 6 / 16)")
+    print(f"objective: {result.best_value:.1f} s vs "
+          f"{result.default_value:.1f} s for vanilla 60/60/60 "
+          f"({result.improvement:.0%} better)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.path)
+    print(NationwideStudy.analyze(dataset).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the SIGCOMM 2021 nationwide "
+                    "cellular-reliability study.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser("study", help="run the measurement study")
+    _add_common(study)
+    study.add_argument("--save", help="write the dataset here "
+                                      "(gzip JSON-lines)")
+    study.set_defaults(handler=cmd_study)
+
+    ab = commands.add_parser("ab", help="run the A/B enhancement "
+                                        "evaluation")
+    _add_common(ab)
+    ab.set_defaults(handler=cmd_ab)
+
+    timp = commands.add_parser("timp", help="fit and optimize the TIMP "
+                                            "recovery trigger")
+    _add_common(timp)
+    timp.set_defaults(handler=cmd_timp)
+
+    analyze = commands.add_parser("analyze",
+                                  help="analyze a saved dataset")
+    analyze.add_argument("path")
+    analyze.set_defaults(handler=cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

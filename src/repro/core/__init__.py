@@ -1,0 +1,28 @@
+"""Core concepts of the reproduction: failure taxonomy, error codes,
+signal model, user model, and the top-level study orchestrators."""
+
+from repro.core.events import (
+    FailureEvent,
+    FailureType,
+    FalsePositiveReason,
+    ProbeVerdict,
+)
+from repro.core.errorcodes import (
+    DataFailCause,
+    ERROR_CODE_REGISTRY,
+    ProtocolLayer,
+)
+from repro.core.signal import SignalLevel, dbm_to_level, level_bounds
+
+__all__ = [
+    "FailureEvent",
+    "FailureType",
+    "FalsePositiveReason",
+    "ProbeVerdict",
+    "DataFailCause",
+    "ERROR_CODE_REGISTRY",
+    "ProtocolLayer",
+    "SignalLevel",
+    "dbm_to_level",
+    "level_bounds",
+]

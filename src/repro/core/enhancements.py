@@ -1,0 +1,86 @@
+"""Deriving the deployed enhancements from measured data (Sec. 4.2).
+
+The paper's two fixes are both *data-driven*: the Stability-Compatible
+RAT policy consumes the measured transition-risk matrices (Fig. 17),
+and the TIMP recovery trigger consumes the measured stall-duration
+distribution (Fig. 10).  This module closes that loop — given a
+measurement dataset it fits both artifacts, exactly as the deployment
+pipeline would.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.analysis.transitions import measured_level_risk
+from repro.android.rat_policy import (
+    DEFAULT_LEVEL_RISK,
+    StabilityCompatiblePolicy,
+    TransitionRiskTable,
+)
+from repro.android.recovery import RecoveryPolicy, TIMP_RECOVERY_POLICY
+from repro.dataset.store import Dataset
+from repro.radio.rat import RAT
+from repro.timp.annealing import AnnealingResult, optimize_probations
+from repro.timp.model import RecoveryCdf, TimpModel
+
+
+@dataclass(frozen=True)
+class FittedEnhancements:
+    """The two deployable artifacts plus their fitting evidence."""
+
+    rat_policy: StabilityCompatiblePolicy
+    recovery_policy: RecoveryPolicy
+    risk_table: TransitionRiskTable
+    annealing: AnnealingResult
+
+
+def fit_risk_table(dataset: Dataset) -> TransitionRiskTable:
+    """Fit the transition-risk table from measured transition records.
+
+    Cells without enough field data fall back to the default shape
+    (a deployment would keep the previous table for those cells).
+    """
+    measured = measured_level_risk(dataset)
+    level_risk: dict[RAT, tuple[float, ...]] = {}
+    for rat in (RAT.GSM, RAT.UMTS, RAT.LTE, RAT.NR):
+        fallback = DEFAULT_LEVEL_RISK[rat]
+        observed = measured.get(rat.label, fallback)
+        level_risk[rat] = tuple(
+            fallback[level] if math.isnan(observed[level])
+            else observed[level]
+            for level in range(6)
+        )
+    return TransitionRiskTable(level_risk)
+
+
+def fit_recovery_trigger(
+    dataset: Dataset,
+    rng: random.Random | None = None,
+    steps: int = 3_000,
+) -> tuple[RecoveryPolicy, AnnealingResult]:
+    """Fit the TIMP and anneal for the optimal probations (Sec. 4.2)."""
+    cdf = RecoveryCdf.from_dataset(dataset)
+    model = TimpModel(recovery_cdf=cdf)
+    result = optimize_probations(model, rng=rng, steps=steps)
+    policy = TIMP_RECOVERY_POLICY.with_probations(
+        result.best_probations_s
+    )
+    return policy, result
+
+
+def fit_enhancements(
+    dataset: Dataset,
+    rng: random.Random | None = None,
+) -> FittedEnhancements:
+    """Fit both enhancements from one measurement dataset."""
+    risk_table = fit_risk_table(dataset)
+    recovery_policy, annealing = fit_recovery_trigger(dataset, rng=rng)
+    return FittedEnhancements(
+        rat_policy=StabilityCompatiblePolicy(risk_table=risk_table),
+        recovery_policy=recovery_policy,
+        risk_table=risk_table,
+        annealing=annealing,
+    )

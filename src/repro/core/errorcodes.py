@@ -1,0 +1,599 @@
+"""Android ``DataFailCause`` registry.
+
+When a data-connection setup fails, the radio interface layer produces an
+error code describing why (Sec. 2.1).  Android defines 344 such causes
+(:data:`repro.quantities.TOTAL_ERROR_CODES`); this module models the
+prominent subset that carries the paper's analysis — every code in Table 2,
+every code named in the prose (e.g. ``EMM_ACCESS_BARRED`` for the dense-
+deployment finding), the 3GPP-standard ESM/SM causes, and the codes used by
+the false-positive filters — with layer attribution (physical / link /
+network, Sec. 3.2) and retryability metadata.
+
+Numeric values for 3GPP-standard causes follow TS 24.008 / TS 24.301 as
+mirrored in AOSP; vendor-range causes use their AOSP Q-era 2xxx range.
+Only the *names* are load-bearing for the reproduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ProtocolLayer(enum.Enum):
+    """Where in the stack a setup failure originates (Sec. 2.1)."""
+
+    PHYSICAL = "PHYSICAL"  # e.g. radio signal loss
+    LINK = "LINK"  # data link / MAC, e.g. authentication, PPP
+    NETWORK = "NETWORK"  # e.g. IP address allocation, EMM state
+    MODEM = "MODEM"  # modem/RIL internal conditions
+    OTHER = "OTHER"
+
+
+@dataclass(frozen=True)
+class DataFailCause:
+    """One entry of Android's DataFailCause table."""
+
+    name: str
+    value: int
+    layer: ProtocolLayer
+    description: str
+    #: True when Android should not retry with the same APN settings.
+    permanent: bool = False
+    #: True when the code commonly reflects a *rational* rejection by an
+    #: overloaded or policy-restricted BS rather than a true failure; such
+    #: events are filtered as false positives (Sec. 2.2).
+    rational_rejection: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _c(
+    name: str,
+    value: int,
+    layer: ProtocolLayer,
+    description: str,
+    *,
+    permanent: bool = False,
+    rational_rejection: bool = False,
+) -> DataFailCause:
+    return DataFailCause(
+        name=name,
+        value=value,
+        layer=layer,
+        description=description,
+        permanent=permanent,
+        rational_rejection=rational_rejection,
+    )
+
+
+_PHY = ProtocolLayer.PHYSICAL
+_LNK = ProtocolLayer.LINK
+_NET = ProtocolLayer.NETWORK
+_MDM = ProtocolLayer.MODEM
+_OTH = ProtocolLayer.OTHER
+
+#: All modeled causes.  Grouped roughly as in AOSP's DataFailCause.java.
+_CAUSES: tuple[DataFailCause, ...] = (
+    _c("NONE", 0, _OTH, "No error; connection succeeded"),
+    # -- 3GPP TS 24.008 / 24.301 session-management causes ----------------
+    _c("OPERATOR_BARRED", 0x08, _NET, "Operator-determined barring",
+       permanent=True, rational_rejection=True),
+    _c("NAS_SIGNALLING", 0x0E, _NET, "NAS signalling error"),
+    _c("LLC_SNDCP", 0x19, _LNK, "LLC or SNDCP failure"),
+    _c("INSUFFICIENT_RESOURCES", 0x1A, _NET,
+       "BS has insufficient resources for the bearer",
+       rational_rejection=True),
+    _c("MISSING_UNKNOWN_APN", 0x1B, _NET, "Missing or unknown APN",
+       permanent=True),
+    _c("UNKNOWN_PDP_ADDRESS_TYPE", 0x1C, _NET,
+       "Unknown PDP address or type", permanent=True),
+    _c("USER_AUTHENTICATION", 0x1D, _LNK, "User authentication failed",
+       permanent=True),
+    _c("ACTIVATION_REJECT_GGSN", 0x1E, _NET,
+       "Activation rejected by GGSN/SGW/PGW"),
+    _c("ACTIVATION_REJECT_UNSPECIFIED", 0x1F, _NET,
+       "Activation rejected, reason unspecified"),
+    _c("SERVICE_OPTION_NOT_SUPPORTED", 0x20, _NET,
+       "Requested service option not supported", permanent=True),
+    _c("SERVICE_OPTION_NOT_SUBSCRIBED", 0x21, _NET,
+       "Service option not subscribed", permanent=True,
+       rational_rejection=True),
+    _c("SERVICE_OPTION_OUT_OF_ORDER", 0x22, _NET,
+       "Service option temporarily out of order",
+       rational_rejection=True),
+    _c("NSAPI_IN_USE", 0x23, _NET, "NSAPI already in use"),
+    _c("REGULAR_DEACTIVATION", 0x24, _NET,
+       "Regular deactivation of the connection",
+       rational_rejection=True),
+    _c("QOS_NOT_ACCEPTED", 0x25, _NET, "Requested QoS not accepted"),
+    _c("NETWORK_FAILURE", 0x26, _NET, "Network failure"),
+    _c("UMTS_REACTIVATION_REQ", 0x27, _NET, "UMTS reactivation required"),
+    _c("FEATURE_NOT_SUPP", 0x28, _NET, "Feature not supported",
+       permanent=True),
+    _c("TFT_SEMANTIC_ERROR", 0x29, _NET,
+       "Semantic error in the TFT operation", permanent=True),
+    _c("TFT_SYTAX_ERROR", 0x2A, _NET,
+       "Syntactical error in the TFT operation", permanent=True),
+    _c("UNKNOWN_PDP_CONTEXT", 0x2B, _NET, "Unknown PDP context"),
+    _c("FILTER_SEMANTIC_ERROR", 0x2C, _NET,
+       "Semantic error in packet filters", permanent=True),
+    _c("FILTER_SYTAX_ERROR", 0x2D, _NET,
+       "Syntactical error in packet filters", permanent=True),
+    _c("PDP_WITHOUT_ACTIVE_TFT", 0x2E, _NET,
+       "PDP context without an active TFT"),
+    _c("ONLY_IPV4_ALLOWED", 0x32, _NET, "Only IPv4 addresses allowed",
+       permanent=True),
+    _c("ONLY_IPV6_ALLOWED", 0x33, _NET, "Only IPv6 addresses allowed",
+       permanent=True),
+    _c("ONLY_SINGLE_BEARER_ALLOWED", 0x34, _NET,
+       "Only a single bearer is allowed"),
+    _c("ESM_INFO_NOT_RECEIVED", 0x35, _NET,
+       "ESM information not received"),
+    _c("PDN_CONN_DOES_NOT_EXIST", 0x36, _NET,
+       "PDN connection does not exist"),
+    _c("MULTI_CONN_TO_SAME_PDN_NOT_ALLOWED", 0x37, _NET,
+       "Multiple connections to the same PDN not allowed",
+       permanent=True),
+    _c("MAX_ACTIVE_PDP_CONTEXT_REACHED", 0x41, _NET,
+       "Maximum number of active PDP contexts reached",
+       rational_rejection=True),
+    _c("UNSUPPORTED_APN_IN_CURRENT_PLMN", 0x42, _NET,
+       "APN unsupported in the current PLMN", permanent=True),
+    _c("INVALID_TRANSACTION_ID", 0x51, _NET, "Invalid transaction id"),
+    _c("MESSAGE_INCORRECT_SEMANTIC", 0x5F, _NET,
+       "Semantically incorrect message", permanent=True),
+    _c("INVALID_MANDATORY_INFO", 0x60, _NET,
+       "Invalid mandatory information", permanent=True),
+    _c("MESSAGE_TYPE_UNSUPPORTED", 0x61, _NET,
+       "Message type non-existent or unsupported", permanent=True),
+    _c("MSG_TYPE_NONCOMPATIBLE_STATE", 0x62, _NET,
+       "Message type not compatible with protocol state"),
+    _c("UNKNOWN_INFO_ELEMENT", 0x63, _NET,
+       "Information element unknown", permanent=True),
+    _c("CONDITIONAL_IE_ERROR", 0x64, _NET, "Conditional IE error",
+       permanent=True),
+    _c("MSG_AND_PROTOCOL_STATE_UNCOMPATIBLE", 0x65, _NET,
+       "Message incompatible with protocol state"),
+    _c("PROTOCOL_ERRORS", 0x6F, _NET, "Unspecified protocol error",
+       permanent=True),
+    _c("APN_TYPE_CONFLICT", 0x70, _NET, "APN type conflict"),
+    _c("INVALID_PCSCF_ADDR", 0x71, _NET, "Invalid P-CSCF address"),
+    _c("INTERNAL_CALL_PREEMPT_BY_HIGH_PRIO_APN", 0x72, _MDM,
+       "Internal data call preempted by a higher-priority APN"),
+    _c("EMM_ACCESS_BARRED", 0x73, _NET,
+       "EPS mobility management access barred (LTE)"),
+    _c("EMERGENCY_IFACE_ONLY", 0x74, _MDM,
+       "Only the emergency interface is available"),
+    _c("IFACE_MISMATCH", 0x75, _MDM, "Interface mismatch"),
+    _c("COMPANION_IFACE_IN_USE", 0x76, _MDM,
+       "Companion interface in use"),
+    _c("IP_ADDRESS_MISMATCH", 0x77, _NET, "IP address mismatch"),
+    _c("IFACE_AND_POL_FAMILY_MISMATCH", 0x78, _MDM,
+       "Interface and policy-family mismatch"),
+    _c("EMM_ACCESS_BARRED_INFINITE_RETRY", 0x79, _NET,
+       "EMM access barred with infinite retry"),
+    _c("AUTH_FAILURE_ON_EMERGENCY_CALL", 0x7A, _LNK,
+       "Authentication failure on an emergency call"),
+    # -- Table 2 / prose codes in the AOSP vendor (2xxx) range -------------
+    _c("GPRS_REGISTRATION_FAIL", 2018, _NET,
+       "Failures due to unsuccessful GPRS registration"),
+    _c("SIGNAL_LOST", 2019, _PHY,
+       "Failures due to network/modem disconnection"),
+    _c("NO_SERVICE", 2216, _PHY, "No service during connection setup"),
+    _c("INVALID_EMM_STATE", 2190, _NET,
+       "Invalid state of EPS Mobility Management in LTE"),
+    _c("UNPREFERRED_RAT", 2039, _MDM,
+       "Current RAT is no longer the preferred RAT"),
+    _c("PPP_TIMEOUT", 2228, _LNK,
+       "Failure at the Point-to-Point Protocol setup stage (timeout)"),
+    _c("NO_HYBRID_HDR_SERVICE", 2209, _PHY,
+       "No hybrid High-Data-Rate service"),
+    _c("PDP_LOWERLAYER_ERROR", 2195, _NET,
+       "Packet Data Protocol error due to RRC failures or forbidden PLMN"),
+    _c("MAX_ACCESS_PROBE", 2079, _PHY,
+       "Exceeded maximum number of access probes"),
+    _c("IRAT_HANDOVER_FAILED", 2194, _PHY,
+       "Data-call transfer failed during an inter-RAT handover"),
+    # -- Further vendor-range causes exercised by the simulator ------------
+    _c("CONGESTION", 2106, _NET, "Network congestion",
+       rational_rejection=True),
+    _c("ACCESS_ATTEMPT_ALREADY_IN_PROGRESS", 2219, _MDM,
+       "Another access attempt is already in progress"),
+    _c("RADIO_POWER_OFF", 2044, _PHY, "Radio is powered off",
+       rational_rejection=True),
+    _c("MODEM_RESTART", 2113, _MDM, "Modem restarted"),
+    _c("NAS_REQUEST_REJECTED_BY_NETWORK", 2167, _NET,
+       "NAS request rejected by the network"),
+    _c("EMERGENCY_MODE", 2221, _MDM, "Device is in emergency mode"),
+    _c("INVALID_CONNECTION_ID", 2156, _MDM, "Invalid connection id"),
+    _c("MAX_PPP_INACTIVITY_TIMER_EXPIRED", 2046, _LNK,
+       "Maximum PPP inactivity timer expired"),
+    _c("IPV6_ADDRESS_TRANSFER_FAILED", 2047, _NET,
+       "IPv6 address transfer failed"),
+    _c("TRAT_SWAP_FAILED", 2048, _MDM,
+       "Target RAT swap failed"),
+    _c("DUAL_SWITCH", 2227, _MDM,
+       "Device falls back from dual-connectivity"),
+    _c("DATA_ROAMING_SETTINGS_DISABLED", 2064, _OTH,
+       "Data roaming disabled by the user", rational_rejection=True),
+    _c("DATA_SETTINGS_DISABLED", 2063, _OTH,
+       "Cellular data disabled by the user", rational_rejection=True),
+    _c("DDS_SWITCHED", 2065, _MDM, "Default data subscription switched"),
+    _c("APN_DISABLED", 2045, _OTH, "APN disabled",
+       rational_rejection=True),
+    _c("INTERNAL_EPC_NONEPC_TRANSITION", 2057, _NET,
+       "Transition between EPC and non-EPC RAT"),
+    _c("INTERFACE_IN_USE", 2058, _MDM, "Data interface in use"),
+    _c("APN_PENDING_HANDOVER", 2041, _MDM,
+       "APN awaiting a pending handover"),
+    _c("PROFILE_BEARER_INCOMPATIBLE", 2042, _NET,
+       "Profile and bearer are incompatible"),
+    _c("SIM_CARD_CHANGED", 2043, _OTH, "SIM card changed",
+       rational_rejection=True),
+    _c("LOW_POWER_MODE_OR_POWERING_DOWN", 2055, _OTH,
+       "Device in low-power mode or powering down",
+       rational_rejection=True),
+    _c("PDN_CONN_DOES_NOT_EXIST_VENDOR", 2158, _NET,
+       "PDN connection does not exist (vendor report)"),
+    _c("EPS_SERVICES_NOT_ALLOWED", 2177, _NET,
+       "EPS services not allowed", permanent=True),
+    _c("PLMN_NOT_ALLOWED", 2172, _NET, "PLMN not allowed",
+       permanent=True),
+    _c("LOCATION_AREA_NOT_ALLOWED", 2173, _NET,
+       "Location area not allowed", permanent=True),
+    _c("TRACKING_AREA_NOT_ALLOWED", 2174, _NET,
+       "Tracking area not allowed", permanent=True),
+    _c("NETWORK_INITIATED_DETACH_NO_AUTO_REATTACH", 2154, _NET,
+       "Network-initiated detach without auto-reattach"),
+    _c("ESM_PROCEDURE_TIME_OUT", 2155, _NET, "ESM procedure timeout"),
+    _c("CONNECTION_RELEASED", 2113 + 1000, _NET,
+       "RRC connection released by the network"),
+    _c("DRB_RELEASED_BY_RRC", 2112, _NET, "DRB released by RRC"),
+    _c("ACCESS_BLOCK", 2087, _NET,
+       "Access blocked by the base station", rational_rejection=True),
+    _c("ACCESS_BLOCK_ALL", 2088, _NET,
+       "All access classes blocked", rational_rejection=True),
+    _c("IS707B_MAX_ACCESS_PROBES", 2089, _PHY,
+       "IS-707B maximum access probes exceeded"),
+    _c("THERMAL_EMERGENCY", 2090, _MDM,
+       "Modem thermal emergency"),
+    _c("CONCURRENT_SERVICES_INCOMPATIBLE", 2091, _MDM,
+       "Concurrent services are incompatible"),
+    _c("NO_CDMA_SERVICE", 2084, _PHY, "No CDMA service available"),
+    _c("NO_GPRS_CONTEXT", 2094, _NET, "No GPRS context active"),
+    _c("ILLEGAL_MS", 2095, _NET, "Illegal mobile station",
+       permanent=True),
+    _c("ILLEGAL_ME", 2096, _NET, "Illegal mobile equipment",
+       permanent=True),
+    _c("GPRS_SERVICES_AND_NON_GPRS_SERVICES_NOT_ALLOWED", 2097, _NET,
+       "Neither GPRS nor non-GPRS services allowed", permanent=True),
+    _c("GPRS_SERVICES_NOT_ALLOWED", 2098, _NET,
+       "GPRS services not allowed", permanent=True),
+    _c("MS_IDENTITY_CANNOT_BE_DERIVED_BY_THE_NETWORK", 2099, _NET,
+       "MS identity cannot be derived by the network"),
+    _c("IMPLICITLY_DETACHED", 2100, _NET,
+       "Device implicitly detached by the network"),
+    _c("PLMN_NOT_ALLOWED_LEGACY", 2101, _NET,
+       "PLMN not allowed (legacy report)", permanent=True),
+    _c("LA_NOT_ALLOWED", 2102, _NET,
+       "Location area not allowed (legacy report)", permanent=True),
+    _c("GPRS_SERVICES_NOT_ALLOWED_IN_THIS_PLMN", 2103, _NET,
+       "GPRS services not allowed in this PLMN", permanent=True),
+    _c("PDP_DUPLICATE", 2104, _NET, "Duplicate PDP context"),
+    _c("UE_RAT_CHANGE", 2105, _MDM, "UE changed RAT during setup"),
+    _c("NO_PDP_CONTEXT_ACTIVATED", 2107, _NET,
+       "No PDP context activated"),
+    _c("ACCESS_CLASS_DSAC_REJECTION", 2108, _NET,
+       "Domain-specific access-class rejection",
+       rational_rejection=True),
+    _c("PDP_ACTIVATE_MAX_RETRY_FAILED", 2109, _NET,
+       "PDP activation failed after maximum retries"),
+    _c("RAB_FAILURE", 2110, _NET, "Radio access bearer failure"),
+    _c("ESM_UNKNOWN_EPS_BEARER_CONTEXT", 2111, _NET,
+       "Unknown EPS bearer context"),
+    _c("EMM_DETACHED", 2114, _NET, "EMM detached"),
+    _c("EMM_ATTACH_FAILED", 2115, _NET, "EMM attach failed"),
+    _c("EMM_ATTACH_STARTED", 2116, _NET,
+       "EMM attach started; setup deferred"),
+    _c("LTE_NAS_SERVICE_REQUEST_FAILED", 2117, _NET,
+       "LTE NAS service request failed"),
+    _c("ESM_FAILURE", 2182, _NET, "Generic ESM failure"),
+    _c("DUPLICATE_BEARER_ID", 2118, _NET, "Duplicate bearer id"),
+    _c("ESM_COLLISION_SCENARIOS", 2119, _NET,
+       "ESM procedure collision"),
+    _c("ESM_BEARER_DEACTIVATED_TO_SYNC_WITH_NETWORK", 2120, _NET,
+       "Bearer deactivated to re-synchronize with the network"),
+    _c("ESM_NW_ACTIVATED_DED_BEARER_WITH_ID_OF_DEF_BEARER", 2121, _NET,
+       "Network activated a dedicated bearer with a default bearer id"),
+    _c("ESM_BAD_OTA_MESSAGE", 2122, _NET, "Malformed OTA ESM message"),
+    _c("ESM_DOWNLOAD_SERVER_REJECTED_THE_CALL", 2123, _NET,
+       "Download server rejected the data call"),
+    _c("ESM_CONTEXT_TRANSFERRED_DUE_TO_IRAT", 2124, _NET,
+       "ESM context transferred due to inter-RAT mobility"),
+    _c("DS_EXPLICIT_DEACTIVATION", 2125, _OTH,
+       "Explicit deactivation by the data service",
+       rational_rejection=True),
+    _c("ESM_LOCAL_CAUSE_NONE", 2126, _NET, "ESM local cause none"),
+    _c("LTE_THROTTLING_NOT_REQUIRED", 2127, _MDM,
+       "LTE throttling not required"),
+    _c("ACCESS_CONTROL_LIST_CHECK_FAILURE", 2128, _MDM,
+       "Access-control list check failed"),
+    _c("SERVICE_NOT_ALLOWED_ON_PLMN", 2129, _NET,
+       "Service not allowed on this PLMN", permanent=True),
+    _c("EMM_T3417_EXPIRED", 2130, _NET, "EMM timer T3417 expired"),
+    _c("EMM_T3417_EXT_EXPIRED", 2131, _NET,
+       "EMM timer T3417-EXT expired"),
+    _c("RRC_UPLINK_DATA_TRANSMISSION_FAILURE", 2132, _PHY,
+       "RRC uplink data transmission failure"),
+    _c("RRC_UPLINK_DELIVERY_FAILED_DUE_TO_HANDOVER", 2133, _PHY,
+       "RRC uplink delivery failed due to handover"),
+    _c("RRC_UPLINK_CONNECTION_RELEASE", 2134, _NET,
+       "RRC uplink connection released"),
+    _c("RRC_UPLINK_RADIO_LINK_FAILURE", 2135, _PHY,
+       "RRC uplink radio-link failure"),
+    _c("RRC_UPLINK_ERROR_REQUEST_FROM_NAS", 2136, _NET,
+       "RRC uplink error requested by NAS"),
+    _c("RRC_CONNECTION_ACCESS_STRATUM_FAILURE", 2137, _PHY,
+       "RRC connection access-stratum failure"),
+    _c("RRC_CONNECTION_ANOTHER_PROCEDURE_IN_PROGRESS", 2138, _MDM,
+       "RRC connection: another procedure in progress"),
+    _c("RRC_CONNECTION_ACCESS_BARRED", 2139, _NET,
+       "RRC connection access barred", rational_rejection=True),
+    _c("RRC_CONNECTION_CELL_RESELECTION", 2140, _PHY,
+       "RRC connection aborted by cell reselection"),
+    _c("RRC_CONNECTION_CONFIG_FAILURE", 2141, _PHY,
+       "RRC connection configuration failure"),
+    _c("RRC_CONNECTION_TIMER_EXPIRED", 2142, _PHY,
+       "RRC connection timer expired"),
+    _c("RRC_CONNECTION_LINK_FAILURE", 2143, _PHY,
+       "RRC connection radio-link failure"),
+    _c("RRC_CONNECTION_CELL_NOT_CAMPED", 2144, _PHY,
+       "RRC connection: not camped on a cell"),
+    _c("RRC_CONNECTION_SYSTEM_INTERVAL_FAILURE", 2145, _PHY,
+       "RRC connection system-interval failure"),
+    _c("RRC_CONNECTION_REJECT_BY_NETWORK", 2146, _NET,
+       "RRC connection rejected by the network",
+       rational_rejection=True),
+    _c("RRC_CONNECTION_NORMAL_RELEASE", 2147, _NET,
+       "RRC connection normal release", rational_rejection=True),
+    _c("RRC_CONNECTION_RADIO_LINK_FAILURE", 2148, _PHY,
+       "RRC connection radio-link failure (post-setup)"),
+    _c("RRC_CONNECTION_REESTABLISHMENT_FAILURE", 2149, _PHY,
+       "RRC connection re-establishment failure"),
+    _c("RRC_CONNECTION_OUT_OF_SERVICE_DURING_CELL_REGISTER", 2150, _PHY,
+       "Out of service during cell registration"),
+    _c("RRC_CONNECTION_ABORT_REQUEST", 2151, _MDM,
+       "RRC connection abort requested"),
+    _c("RRC_CONNECTION_SYSTEM_INFORMATION_BLOCK_READ_ERROR", 2152, _PHY,
+       "SIB read error during RRC connection"),
+    _c("NETWORK_INITIATED_TERMINATION", 2153, _NET,
+       "Network-initiated termination"),
+    _c("APN_MISMATCH", 2054, _OTH, "APN mismatch"),
+    _c("COMPANION_DATA_CALL_ERROR", 2056, _MDM,
+       "Companion data call error"),
+    _c("UNACCEPTABLE_NETWORK_PARAMETER", 2065 + 1000, _NET,
+       "Unacceptable network parameter"),
+    _c("MIP_CONFIG_FAILURE", 2050, _NET,
+       "Mobile-IP configuration failure"),
+    _c("VSNCP_TIMEOUT", 2236, _LNK, "VSNCP negotiation timeout"),
+    _c("VSNCP_GEN_ERROR", 2237, _LNK, "VSNCP generic error"),
+    _c("VSNCP_APN_UNAUTHORIZED", 2238, _LNK, "VSNCP APN unauthorized",
+       permanent=True),
+    _c("VSNCP_PDN_LIMIT_EXCEEDED", 2239, _LNK,
+       "VSNCP PDN limit exceeded", rational_rejection=True),
+    _c("VSNCP_NO_PDN_GATEWAY_ADDRESS", 2240, _LNK,
+       "VSNCP: no PDN gateway address"),
+    _c("VSNCP_PDN_GATEWAY_UNREACHABLE", 2241, _LNK,
+       "VSNCP: PDN gateway unreachable"),
+    _c("VSNCP_PDN_GATEWAY_REJECT", 2242, _LNK,
+       "VSNCP: PDN gateway rejected the request"),
+    _c("VSNCP_INSUFFICIENT_PARAMETERS", 2243, _LNK,
+       "VSNCP: insufficient parameters"),
+    _c("VSNCP_RESOURCE_UNAVAILABLE", 2244, _LNK,
+       "VSNCP: resource unavailable", rational_rejection=True),
+    _c("VSNCP_ADMINISTRATIVELY_PROHIBITED", 2245, _LNK,
+       "VSNCP: administratively prohibited", permanent=True),
+    _c("VSNCP_PDN_ID_IN_USE", 2246, _LNK, "VSNCP: PDN id in use"),
+    _c("VSNCP_SUBSCRIBER_LIMITATION", 2247, _LNK,
+       "VSNCP: subscriber limitation", rational_rejection=True),
+    _c("VSNCP_PDN_EXISTS_FOR_THIS_APN", 2248, _LNK,
+       "VSNCP: PDN already exists for this APN"),
+    _c("VSNCP_RECONNECT_NOT_ALLOWED", 2249, _LNK,
+       "VSNCP: reconnect not allowed", permanent=True),
+    _c("IPV6_PREFIX_UNAVAILABLE", 2250, _NET,
+       "IPv6 prefix unavailable"),
+    _c("HANDOFF_PREFERENCE_CHANGED", 2251, _MDM,
+       "Handoff preference changed"),
+    # -- CDMA / HDR / eHRPD family (the 3GPP2 side of the table) -----------
+    _c("CDMA_LOCKED_UNTIL_POWER_CYCLE", 2055 + 1000, _MDM,
+       "CDMA modem locked until power cycle"),
+    _c("CDMA_INTERCEPT", 2073, _NET, "CDMA call intercepted"),
+    _c("CDMA_REORDER", 2074, _NET, "CDMA reorder tone"),
+    _c("CDMA_RELEASE_DUE_TO_SO_REJECTION", 2075, _NET,
+       "CDMA release due to service-option rejection"),
+    _c("CDMA_INCOMING_CALL", 2076, _OTH,
+       "CDMA data call released by an incoming call",
+       rational_rejection=True),
+    _c("CDMA_ALERT_STOP", 2077, _NET, "CDMA alert stop"),
+    _c("CHANNEL_ACQUISITION_FAILURE", 2078, _PHY,
+       "Channel acquisition failure"),
+    _c("ALL_MATCHING_ORDERS_BUSY", 2080, _NET,
+       "All matching origination orders busy",
+       rational_rejection=True),
+    _c("REJECTED_BY_BASE_STATION", 2081, _NET,
+       "Origination rejected by the base station",
+       rational_rejection=True),
+    _c("CONCURRENT_SERVICE_NOT_SUPPORTED_BY_BASE_STATION", 2082, _NET,
+       "Concurrent service unsupported by the base station"),
+    _c("NO_RESPONSE_FROM_BASE_STATION", 2083, _PHY,
+       "No response from the base station"),
+    _c("RUIM_NOT_PRESENT", 2085, _OTH, "RUIM not present",
+       permanent=True),
+    _c("HDR_NO_LOCK_ON_REVERSE_LINK", 2086 + 1000, _PHY,
+       "HDR: no lock on the reverse link"),
+    _c("HDR_FADE", 2217, _PHY, "HDR signal fade"),
+    _c("HDR_ACCESS_FAILURE", 2213, _PHY, "HDR access failure"),
+    _c("HDR_NO_LOCK", 2212, _PHY, "HDR: no lock"),
+    _c("HDR_ACCESS_THROTTLED", 2214, _NET,
+       "HDR access attempts throttled", rational_rejection=True),
+    _c("EHRPD_SUBSCRIPTION_LIMITATION", 2201, _NET,
+       "eHRPD subscription limitation", rational_rejection=True),
+    _c("EHRPD_PDN_ID_IN_USE", 2158 + 1000, _NET,
+       "eHRPD PDN id already in use"),
+    _c("UNSUPPORTED_1X_PREV", 2215, _PHY,
+       "Unsupported 1x protocol revision"),
+    _c("OTASP_COMMIT_IN_PROGRESS", 2208, _MDM,
+       "OTASP commit in progress", rational_rejection=True),
+    # -- IP / interface bring-up family -------------------------------------
+    _c("PDN_IPV4_CALL_DISALLOWED", 2032, _NET,
+       "IPv4 PDN call disallowed", permanent=True),
+    _c("PDN_IPV4_CALL_THROTTLED", 2033, _NET,
+       "IPv4 PDN call throttled", rational_rejection=True),
+    _c("PDN_IPV6_CALL_DISALLOWED", 2034, _NET,
+       "IPv6 PDN call disallowed", permanent=True),
+    _c("PDN_IPV6_CALL_THROTTLED", 2035, _NET,
+       "IPv6 PDN call throttled", rational_rejection=True),
+    _c("IPV6_RENEW_FAILED", 2029 + 1000, _NET,
+       "IPv6 address renewal failed"),
+    _c("ADDRESS_ASSIGNMENT_FAILURE", 2030 + 1000, _NET,
+       "IP address assignment failure"),
+    _c("IP_VERSION_MISMATCH", 2055 + 2000, _NET,
+       "IP version mismatch between request and bearer"),
+    _c("PDN_THROTTLED", 2207, _NET, "PDN connection throttled",
+       rational_rejection=True),
+    _c("APN_THROTTLED", 2206, _NET, "APN throttled",
+       rational_rejection=True),
+    # -- IWLAN / ePDG family (present in the Q table) -----------------------
+    _c("IWLAN_PDN_CONNECTION_REJECTION", 2204 + 1000, _NET,
+       "IWLAN: PDN connection rejected"),
+    _c("IWLAN_MAX_CONNECTION_REACHED", 2205 + 1000, _NET,
+       "IWLAN: maximum connections reached",
+       rational_rejection=True),
+    _c("IWLAN_AUTHORIZATION_REJECTED", 2202 + 1000, _LNK,
+       "IWLAN: authorization rejected", permanent=True),
+    _c("IWLAN_IKEV2_AUTH_FAILURE", 2203 + 1000, _LNK,
+       "IWLAN: IKEv2 authentication failure"),
+    _c("IWLAN_IKEV2_MSG_TIMEOUT", 2210 + 1000, _LNK,
+       "IWLAN: IKEv2 message timeout"),
+    _c("IWLAN_DNS_RESOLUTION_NAME_FAILURE", 2211 + 1000, _NET,
+       "IWLAN: ePDG name resolution failed"),
+    _c("IWLAN_EPDG_UNREACHABLE", 2218 + 1000, _NET,
+       "IWLAN: ePDG unreachable"),
+    # -- Misc. modem-internal conditions ------------------------------------
+    _c("DATA_PLAN_EXPIRED", 2198, _OTH, "Data plan expired",
+       rational_rejection=True),
+    _c("INTERNAL_CALL_PREEMPT_BY_EMERGENCY", 2056 + 2000, _MDM,
+       "Preempted by an emergency call", rational_rejection=True),
+    _c("MODEM_POWERED_OFF", 2057 + 2000, _PHY,
+       "Modem powered off", rational_rejection=True),
+    _c("INVALID_MODE", 2223, _MDM, "Invalid modem mode"),
+    _c("INVALID_SIM_STATE", 2224, _OTH, "Invalid SIM state",
+       rational_rejection=True),
+    _c("MODEM_APP_TIMEOUT", 2225, _MDM,
+       "Modem application timeout"),
+    _c("DATA_SETTINGS_ROAMING_DISABLED", 2226 + 1000, _OTH,
+       "Roaming data disabled", rational_rejection=True),
+    _c("TEST_LOOPBACK_REGISTRATION_FAIL", 2220 + 1000, _MDM,
+       "Loopback test registration failure"),
+    _c("RADIO_NOT_AVAILABLE", 2222, _PHY, "Radio not available",
+       rational_rejection=True),
+    _c("UNACCEPTABLE_NON_EPS_AUTHENTICATION", 2187, _NET,
+       "Unacceptable non-EPS authentication", permanent=True),
+    _c("CS_DOMAIN_NOT_AVAILABLE", 2181, _NET,
+       "CS domain not available"),
+    _c("ESM_LOCAL_CAUSE_TIMEOUT", 2155 + 1000, _NET,
+       "ESM local procedure timeout"),
+    _c("MULTIPLE_PDP_CALL_NOT_ALLOWED", 2192, _NET,
+       "Multiple PDP calls not allowed"),
+    _c("NULL_APN_DISALLOWED", 2061, _NET,
+       "Null APN disallowed", permanent=True),
+    _c("THERMAL_MITIGATION", 2062, _MDM,
+       "Thermal mitigation in effect", rational_rejection=True),
+    _c("DATA_DISABLED_ON_SUBSCRIPTION", 2066, _OTH,
+       "Data disabled on this subscription",
+       rational_rejection=True),
+    _c("FADE", 2229, _PHY, "Generic signal fade"),
+    _c("ACCESS_TECHNOLOGY_CHANGED", 2230, _MDM,
+       "Access technology changed mid-setup"),
+    _c("TFT_SEMANTIC_ERROR_IN_PACKET", 2231, _NET,
+       "Semantic error in a packet filter operation"),
+    _c("PHYSICAL_LINK_CLOSE_IN_PROGRESS", 2232, _PHY,
+       "Physical link close in progress"),
+    _c("PDN_INACTIVITY_TIMER_EXPIRED", 2233, _NET,
+       "PDN inactivity timer expired", rational_rejection=True),
+    _c("MAX_IPV4_CONNECTIONS", 2234, _NET,
+       "Maximum IPv4 connections reached",
+       rational_rejection=True),
+    _c("MAX_IPV6_CONNECTIONS", 2235, _NET,
+       "Maximum IPv6 connections reached",
+       rational_rejection=True),
+    # -- Legacy RIL-era negative codes -------------------------------------
+    _c("REGISTRATION_FAIL", -1, _NET,
+       "CS registration failure (legacy RIL report)"),
+    _c("GPRS_REGISTRATION_FAIL_LEGACY", -2, _NET,
+       "PS registration failure (legacy RIL report)"),
+    _c("SIGNAL_LOST_LEGACY", -3, _PHY,
+       "Signal lost (legacy RIL report)"),
+    _c("PREF_RADIO_TECH_CHANGED", -4, _MDM,
+       "Preferred radio technology changed",
+       rational_rejection=True),
+    _c("RADIO_POWER_OFF_LEGACY", -5, _PHY,
+       "Radio powered off (legacy RIL report)",
+       rational_rejection=True),
+    _c("TETHERED_CALL_ACTIVE", -6, _MDM,
+       "Tethered call active", rational_rejection=True),
+    _c("ERROR_UNSPECIFIED", 0xFFFF, _OTH, "Unspecified error"),
+    # -- OEM-specific causes ------------------------------------------------
+    *(
+        _c(f"OEM_DCFAILCAUSE_{i}", 0x1000 + i, _MDM,
+           f"OEM-specific data-call failure cause {i}")
+        for i in range(1, 16)
+    ),
+)
+
+
+class ErrorCodeRegistry:
+    """Lookup table over the modeled DataFailCause entries."""
+
+    def __init__(self, causes: tuple[DataFailCause, ...] = _CAUSES) -> None:
+        self._by_name: dict[str, DataFailCause] = {}
+        for cause in causes:
+            if cause.name in self._by_name:
+                raise ValueError(f"duplicate cause name: {cause.name}")
+            self._by_name[cause.name] = cause
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> DataFailCause:
+        """Return the cause registered under ``name`` (KeyError if absent)."""
+        return self._by_name[name]
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def by_layer(self, layer: ProtocolLayer) -> list[DataFailCause]:
+        """All causes attributed to a protocol layer."""
+        return [c for c in self._by_name.values() if c.layer is layer]
+
+    def rational_rejections(self) -> frozenset[str]:
+        """Names of causes treated as rational (false-positive) rejections."""
+        return frozenset(
+            c.name for c in self._by_name.values() if c.rational_rejection
+        )
+
+    def retryable(self, name: str) -> bool:
+        """Whether Android may retry setup after this cause."""
+        return not self.get(name).permanent
+
+
+#: The process-wide registry instance.
+ERROR_CODE_REGISTRY = ErrorCodeRegistry()

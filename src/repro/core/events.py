@@ -1,0 +1,127 @@
+"""Failure-event taxonomy.
+
+The paper studies three headline cellular data-connection failures, plus a
+long tail of legacy telephony failures (SMS / voice).  This module defines
+the event vocabulary shared by the Android substrate, the Android-MOD
+monitoring layer, the dataset schema, and the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FailureType(enum.Enum):
+    """The failure classes distinguished by the study (Sec. 1)."""
+
+    #: Signal present, but a data connection cannot be established.
+    DATA_SETUP_ERROR = "DATA_SETUP_ERROR"
+    #: Connection established, but no cellular data service.
+    OUT_OF_SERVICE = "OUT_OF_SERVICE"
+    #: Data flows, then abnormally stalls (>10 outbound TCP segments and
+    #: no inbound segment within one minute).
+    DATA_STALL = "DATA_STALL"
+    #: Legacy short-message failures (e.g. RIL_SMS_SEND_FAIL_RETRY).
+    SMS_FAILURE = "SMS_FAILURE"
+    #: Legacy circuit-switched voice-call failures.
+    VOICE_FAILURE = "VOICE_FAILURE"
+
+    @property
+    def is_headline(self) -> bool:
+        """True for the three data-connection failure classes that make up
+        more than 99% of recorded failures (Sec. 3.1)."""
+        return self in _HEADLINE_TYPES
+
+
+_HEADLINE_TYPES = frozenset(
+    {
+        FailureType.DATA_SETUP_ERROR,
+        FailureType.OUT_OF_SERVICE,
+        FailureType.DATA_STALL,
+    }
+)
+
+#: Headline types in the order the paper usually lists them.
+HEADLINE_FAILURE_TYPES: tuple[FailureType, ...] = (
+    FailureType.DATA_SETUP_ERROR,
+    FailureType.OUT_OF_SERVICE,
+    FailureType.DATA_STALL,
+)
+
+
+class FalsePositiveReason(enum.Enum):
+    """Why a *suspicious* event is not a true cellular failure (Sec. 2.2).
+
+    Android-MOD's instrumentation filters these before a record reaches
+    the dataset; the taxonomy is kept so filtering is testable.
+    """
+
+    #: Data connection interrupted by an incoming voice call.
+    INCOMING_VOICE_CALL = "INCOMING_VOICE_CALL"
+    #: Service suspended because of insufficient account balance.
+    INSUFFICIENT_BALANCE = "INSUFFICIENT_BALANCE"
+    #: The user disconnected cellular data manually.
+    MANUAL_DISCONNECT = "MANUAL_DISCONNECT"
+    #: Setup rejected rationally by an overloaded base station.
+    BS_OVERLOAD_REJECTION = "BS_OVERLOAD_REJECTION"
+    #: Prober verdict: the problem is on the system side
+    #: (firewall / proxy / modem-driver misconfiguration).
+    SYSTEM_SIDE = "SYSTEM_SIDE"
+    #: Prober verdict: only the DNS resolution service is unavailable.
+    DNS_SERVICE_UNAVAILABLE = "DNS_SERVICE_UNAVAILABLE"
+
+
+class ProbeVerdict(enum.Enum):
+    """Outcome of one round of Android-MOD network-state probing."""
+
+    #: Connectivity restored; the stall is over.
+    RECOVERED = "RECOVERED"
+    #: Loopback ICMP timed out: a system-side false positive.
+    SYSTEM_SIDE_FAULT = "SYSTEM_SIDE_FAULT"
+    #: DNS queries timed out but ICMP to the DNS servers succeeded:
+    #: DNS-resolution false positive.
+    DNS_SERVICE_FAULT = "DNS_SERVICE_FAULT"
+    #: DNS queries and ICMP to the DNS servers both timed out:
+    #: a genuine network-side stall, still ongoing.
+    NETWORK_SIDE_STALL = "NETWORK_SIDE_STALL"
+
+
+@dataclass
+class FailureEvent:
+    """An in-flight failure observation inside the device.
+
+    This is the *mutable* object the Android substrate and the monitoring
+    layer cooperate on; the immutable record persisted to the dataset is
+    :class:`repro.dataset.records.FailureRecord`.
+    """
+
+    failure_type: FailureType
+    start_time: float
+    device_id: int = -1
+    #: Android DataFailCause name for Data_Setup_Error events, else None.
+    error_code: str | None = None
+    #: Duration in seconds; filled in when the failure ends.
+    duration: float | None = None
+    #: Set when the event is classified as a false positive.
+    false_positive: FalsePositiveReason | None = None
+    #: Radio/BS context captured in-situ (Sec. 2.2), keyed by field name.
+    context: dict[str, object] = field(default_factory=dict)
+    #: Index of the recovery stage (1-3) that fixed a Data_Stall, 0 if the
+    #: stall resolved on its own, None when not applicable / unresolved.
+    recovered_by_stage: int | None = None
+
+    @property
+    def is_true_failure(self) -> bool:
+        """A failure that survives Android-MOD's false-positive filters."""
+        return self.false_positive is None
+
+    def close(self, end_time: float) -> None:
+        """Mark the failure as ended at ``end_time``."""
+        if end_time < self.start_time:
+            raise ValueError("failure cannot end before it starts")
+        self.duration = end_time - self.start_time
+
+    @property
+    def ended(self) -> bool:
+        return self.duration is not None

@@ -1,0 +1,75 @@
+"""Received-signal-strength (RSS) levels.
+
+Android buckets raw signal strength into six levels, 0 (worst) through
+5 (excellent); the paper's Figures 15-17 are keyed on these levels.  The
+dBm thresholds follow Android's ``SignalStrength`` conventions per RAT
+(RSSI for 2G, RSCP for 3G, RSRP for 4G, SS-RSRP for 5G), extended with a
+sixth "excellent" bucket as used by the vendor build in the paper.
+
+This module sits below :mod:`repro.radio`, so the threshold table is
+keyed by RAT *name* and the helpers accept either a RAT enum member or
+its name string.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.rat import RAT
+
+
+class SignalLevel(enum.IntEnum):
+    """Android signal levels; comparable as integers."""
+
+    LEVEL_0 = 0  # none / worst
+    LEVEL_1 = 1  # poor
+    LEVEL_2 = 2  # moderate
+    LEVEL_3 = 3  # good
+    LEVEL_4 = 4  # great
+    LEVEL_5 = 5  # excellent
+
+    @property
+    def is_excellent(self) -> bool:
+        return self is SignalLevel.LEVEL_5
+
+
+#: All levels in ascending order.
+ALL_LEVELS: tuple[SignalLevel, ...] = tuple(SignalLevel)
+
+#: Per-RAT lower dBm bounds for levels 1..5.  A reading below the level-1
+#: bound is level 0; a reading at or above the level-5 bound is level 5.
+_LEVEL_THRESHOLDS_DBM: dict[str, tuple[float, float, float, float, float]] = {
+    "GSM": (-107.0, -103.0, -97.0, -89.0, -78.0),
+    "UMTS": (-112.0, -105.0, -99.0, -93.0, -82.0),
+    "LTE": (-125.0, -115.0, -105.0, -95.0, -84.0),
+    "NR": (-120.0, -110.0, -100.0, -90.0, -80.0),
+}
+
+
+def _rat_key(rat: "RAT | str") -> str:
+    key = getattr(rat, "value", rat)
+    if key not in _LEVEL_THRESHOLDS_DBM:
+        raise KeyError(f"unknown RAT: {rat!r}")
+    return key
+
+
+def level_bounds(rat: "RAT | str") -> tuple[float, float, float, float, float]:
+    """The ascending dBm thresholds separating levels for ``rat``."""
+    return _LEVEL_THRESHOLDS_DBM[_rat_key(rat)]
+
+
+def dbm_to_level(rat: "RAT | str", dbm: float) -> SignalLevel:
+    """Bucket a raw dBm reading into an Android signal level.
+
+    >>> dbm_to_level("LTE", -130.0)
+    <SignalLevel.LEVEL_0: 0>
+    >>> dbm_to_level("LTE", -80.0)
+    <SignalLevel.LEVEL_5: 5>
+    """
+    level = 0
+    for bound in _LEVEL_THRESHOLDS_DBM[_rat_key(rat)]:
+        if dbm >= bound:
+            level += 1
+    return SignalLevel(level)

@@ -1,0 +1,111 @@
+"""The top-level study orchestrator.
+
+:class:`NationwideStudy` reproduces the paper's pipeline end to end:
+simulate the opt-in fleet under vanilla Android (measurement, Sec. 2),
+run every analysis of Sec. 3 over the collected dataset, and render the
+tables/figures.  :func:`run_ab_evaluation` additionally runs the
+patched arm and evaluates the enhancements (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import report
+from repro.analysis.decomposition import ErrorCodeShare, error_code_decomposition
+from repro.analysis.evaluation import ABEvaluation, evaluate_ab
+from repro.analysis.isp_bs import (
+    IspStats,
+    ZipfFit,
+    bs_failure_ranking,
+    fit_zipf,
+    normalized_prevalence_by_level,
+    per_isp_stats,
+    per_rat_bs_prevalence,
+)
+from repro.analysis.landscape import (
+    GroupComparison,
+    ModelStats,
+    compare_5g,
+    compare_android_versions,
+    per_model_stats,
+)
+from repro.analysis.stats import GeneralStats, compute_general_stats
+from repro.dataset.store import Dataset
+from repro.fleet.scenario import ScenarioConfig, default_scenario
+from repro.fleet.simulator import FleetSimulator
+
+
+@dataclass
+class StudyResult:
+    """Everything one measurement run yields."""
+
+    dataset: Dataset
+    general: GeneralStats
+    models: list[ModelStats]
+    error_codes: list[ErrorCodeShare]
+    isps: list[IspStats]
+    zipf: ZipfFit
+    rat_bs_prevalence: dict[str, float]
+    normalized_prevalence: dict[int, float]
+    comparison_5g: GroupComparison
+    comparison_android: GroupComparison
+
+    def render(self) -> str:
+        """A text report in the shape of the paper's Sec. 3."""
+        parts = [
+            "== General statistics (Sec. 3.1) ==",
+            report.render_general_stats(self.dataset),
+            "== Table 1 (measured) ==",
+            report.render_table1(self.dataset),
+            "== Table 2 (measured) ==",
+            report.render_table2(self.dataset),
+            "== ISP landscape (Figs. 12-13) ==",
+            report.render_isp_stats(self.dataset),
+            "== Normalized prevalence by signal level (Fig. 15) ==",
+            report.render_level_series(self.normalized_prevalence),
+            f"== BS Zipf fit (Fig. 11): a={self.zipf.a:.2f}, "
+            f"b={self.zipf.b:.2f}, R^2={self.zipf.r_squared:.3f} ==",
+        ]
+        return "\n".join(parts) + "\n"
+
+
+@dataclass
+class NationwideStudy:
+    """Reproduces the measurement study over a simulated fleet."""
+
+    scenario: ScenarioConfig = field(default_factory=default_scenario)
+
+    def run(self) -> StudyResult:
+        """Simulate the vanilla arm and run the full Sec. 3 analysis."""
+        dataset = FleetSimulator(self.scenario.vanilla()).run()
+        return self.analyze(dataset)
+
+    @staticmethod
+    def analyze(dataset: Dataset) -> StudyResult:
+        """Run every Sec. 3 analysis over an existing dataset."""
+        return StudyResult(
+            dataset=dataset,
+            general=compute_general_stats(dataset),
+            models=per_model_stats(dataset),
+            error_codes=error_code_decomposition(dataset),
+            isps=per_isp_stats(dataset),
+            zipf=fit_zipf(bs_failure_ranking(dataset)),
+            rat_bs_prevalence=per_rat_bs_prevalence(dataset),
+            normalized_prevalence=normalized_prevalence_by_level(dataset),
+            comparison_5g=compare_5g(dataset),
+            comparison_android=compare_android_versions(dataset),
+        )
+
+
+def run_ab_evaluation(
+    scenario: ScenarioConfig | None = None,
+) -> tuple[Dataset, Dataset, ABEvaluation]:
+    """Run both arms of the Sec. 4.3 deployment evaluation.
+
+    Returns (vanilla dataset, patched dataset, evaluation).
+    """
+    scenario = scenario or default_scenario()
+    vanilla = FleetSimulator(scenario.vanilla()).run()
+    patched = FleetSimulator(scenario.patched()).run()
+    return vanilla, patched, evaluate_ab(vanilla, patched)

@@ -1,0 +1,42 @@
+"""User-behaviour constants and models referenced by the paper.
+
+The paper quotes two behavioural facts obtained from a sampling user
+survey: victims of a Data_Stall manually reset the data connection after
+roughly 30 seconds, and a normal user's tolerance of stall duration is
+about the same 30 seconds (Sec. 3.2 / 4.2).  The enhancements are judged
+against this tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import quantities
+
+
+@dataclass(frozen=True)
+class UserToleranceModel:
+    """How long a user endures a stalled connection before acting."""
+
+    #: Mean seconds before a manual data-connection reset.
+    manual_reset_mean_s: float = quantities.USER_MANUAL_RESET_S
+    #: Dispersion of the reset time (exponential spread around the mean
+    #: is a reasonable stand-in for the survey's "~30 seconds").
+    manual_reset_jitter_s: float = 10.0
+
+    def tolerates(self, stall_duration_s: float) -> bool:
+        """Whether a stall of the given length stays within tolerance."""
+        return stall_duration_s <= self.manual_reset_mean_s
+
+    def sample_reset_time(self, rng) -> float:
+        """Draw one user's manual-reset time from the survey model.
+
+        ``rng`` is a :class:`random.Random`-compatible generator.
+        """
+        jitter = rng.uniform(-self.manual_reset_jitter_s,
+                             self.manual_reset_jitter_s)
+        return max(5.0, self.manual_reset_mean_s + jitter)
+
+
+#: Default tolerance model used across the library.
+DEFAULT_USER_TOLERANCE = UserToleranceModel()

@@ -1,0 +1,22 @@
+"""Dataset layer: compact record schemas, the in-memory dataset, a
+gzip-JSONL store, and aggregation helpers used by the analysis."""
+
+from repro.dataset.records import (
+    DeviceRecord,
+    FailureRecord,
+    TransitionRecord,
+)
+from repro.dataset.store import Dataset, load_dataset, save_dataset
+from repro.dataset.aggregate import cdf, group_by, quantile
+
+__all__ = [
+    "DeviceRecord",
+    "FailureRecord",
+    "TransitionRecord",
+    "Dataset",
+    "load_dataset",
+    "save_dataset",
+    "cdf",
+    "group_by",
+    "quantile",
+]

@@ -1,0 +1,52 @@
+"""Aggregation helpers shared by the analysis modules."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+def group_by(items: Iterable[T], key: Callable[[T], K]) -> dict[K, list[T]]:
+    """Group ``items`` into lists keyed by ``key(item)``."""
+    grouped: dict[K, list[T]] = {}
+    for item in items:
+        grouped.setdefault(key(item), []).append(item)
+    return grouped
+
+
+def cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: (sorted values, cumulative probabilities)."""
+    if len(values) == 0:
+        return np.array([]), np.array([])
+    xs = np.sort(np.asarray(values, dtype=float))
+    ps = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ps
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` (0 <= q <= 1)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    if len(values) == 0:
+        raise ValueError("cannot take a quantile of no data")
+    return float(np.quantile(np.asarray(values, dtype=float), q))
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` strictly below ``threshold``."""
+    if len(values) == 0:
+        raise ValueError("cannot compute a fraction of no data")
+    array = np.asarray(values, dtype=float)
+    return float(np.mean(array < threshold))
+
+
+def safe_mean(values: Sequence[float], default: float = 0.0) -> float:
+    """Mean of ``values`` or ``default`` when empty."""
+    if len(values) == 0:
+        return default
+    return float(np.mean(np.asarray(values, dtype=float)))

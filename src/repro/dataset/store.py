@@ -1,0 +1,111 @@
+"""The in-memory dataset and its gzip-JSONL persistence.
+
+The backend of the study is, analytically speaking, three record streams
+plus metadata; this module gives them a home.  Persistence uses one
+gzip-compressed JSON-lines file with a type tag per line, mirroring the
+compressed uploads of Sec. 2.2 at the container level.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dataset.records import (
+    BaseStationRecord,
+    DeviceRecord,
+    FailureRecord,
+    TransitionRecord,
+)
+
+
+@dataclass
+class Dataset:
+    """Everything a study run collected."""
+
+    devices: list[DeviceRecord] = field(default_factory=list)
+    base_stations: list[BaseStationRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+    transitions: list[TransitionRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
+
+    def failures_of_type(self, failure_type: str) -> list[FailureRecord]:
+        return [f for f in self.failures
+                if f.failure_type == failure_type]
+
+    def devices_by_model(self) -> dict[int, list[DeviceRecord]]:
+        grouped: dict[int, list[DeviceRecord]] = {}
+        for device in self.devices:
+            grouped.setdefault(device.model, []).append(device)
+        return grouped
+
+    def failures_by_device(self) -> dict[int, list[FailureRecord]]:
+        grouped: dict[int, list[FailureRecord]] = {}
+        for failure in self.failures:
+            grouped.setdefault(failure.device_id, []).append(failure)
+        return grouped
+
+    def merge(self, other: "Dataset") -> "Dataset":
+        """A new dataset containing both runs' records (A/B analysis)."""
+        return Dataset(
+            devices=self.devices + other.devices,
+            base_stations=self.base_stations or other.base_stations,
+            failures=self.failures + other.failures,
+            transitions=self.transitions + other.transitions,
+            metadata={"merged_from": [self.metadata, other.metadata]},
+        )
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` as gzip JSON-lines to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write(json.dumps({"kind": "metadata",
+                                 "data": dataset.metadata}) + "\n")
+        for device in dataset.devices:
+            handle.write(json.dumps({"kind": "device",
+                                     "data": device.to_dict()}) + "\n")
+        for station in dataset.base_stations:
+            handle.write(json.dumps({"kind": "base_station",
+                                     "data": station.to_dict()}) + "\n")
+        for failure in dataset.failures:
+            handle.write(json.dumps({"kind": "failure",
+                                     "data": failure.to_dict()}) + "\n")
+        for transition in dataset.transitions:
+            handle.write(json.dumps({"kind": "transition",
+                                     "data": transition.to_dict()}) + "\n")
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    dataset = Dataset()
+    parsers = {
+        "device": (dataset.devices, DeviceRecord.from_dict),
+        "base_station": (dataset.base_stations,
+                         BaseStationRecord.from_dict),
+        "failure": (dataset.failures, FailureRecord.from_dict),
+        "transition": (dataset.transitions, TransitionRecord.from_dict),
+    }
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        for line in handle:
+            entry = json.loads(line)
+            kind = entry["kind"]
+            if kind == "metadata":
+                dataset.metadata = entry["data"]
+                continue
+            target, parser = parsers[kind]
+            target.append(parser(entry["data"]))
+    return dataset

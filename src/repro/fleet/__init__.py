@@ -1,0 +1,15 @@
+"""Fleet substrate: the 34-model device population, behaviour and
+workload generators, per-device component assembly, and the nationwide
+fleet simulator that produces study datasets."""
+
+from repro.fleet.models import PhoneModelSpec, PHONE_MODELS, fit_negative_binomial
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+
+__all__ = [
+    "PhoneModelSpec",
+    "PHONE_MODELS",
+    "fit_negative_binomial",
+    "ScenarioConfig",
+    "FleetSimulator",
+]

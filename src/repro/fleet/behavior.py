@@ -1,0 +1,443 @@
+"""Workload and context generators for the fleet.
+
+This module is the *generative* side of the substitution rule: it plays
+the role of the physical world (user mobility, radio conditions, outage
+processes) whose marginals the paper measured.  Everything here produces
+*inputs* to the real mechanism code (state machines, detectors, recovery
+engines); nothing here writes analysis outputs.
+
+Calibration anchors (see DESIGN.md Sec. 4):
+
+* per-(RAT, level) failure hazards shaped after Figs. 15-16 — monotone
+  decreasing from level 0 to 4 with the hub-driven uptick at level 5;
+* per-level connected-time exposure shares;
+* the Data_Stall natural-duration mixture matched to Sec. 2.2/3.1
+  (60% auto-fix within 10 s, >80% under 300 s, <10% above 1200 s, mean
+  in the hundreds of seconds, a multi-hour disrepair tail);
+* per-ISP hazard multipliers standing in for the coverage differences
+  of Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.events import FailureType
+from repro.core.signal import SignalLevel
+from repro.netstack.faults import FaultKind
+from repro.network.basestation import BaseStation, DeploymentClass
+from repro.network.isp import ISP
+from repro.network.topology import NationalTopology
+from repro.radio.rat import RAT
+
+# ---------------------------------------------------------------------------
+# Radio-context distributions
+# ---------------------------------------------------------------------------
+
+#: Fraction of connected time spent at each signal level (levels 0-5).
+EXPOSURE_LEVEL_SHARES: tuple[float, ...] = (
+    0.02, 0.08, 0.15, 0.30, 0.40, 0.05,
+)
+
+#: Failure hazard per unit connected time, by level — the generative
+#: ground truth behind Fig. 15's shape.  Level 5's uptick is hub-driven.
+LEVEL_HAZARD: tuple[float, ...] = (6.0, 2.5, 1.6, 1.0, 0.7, 5.0)
+
+#: Per-RAT multiplier on the level hazard: 5G modules are immature
+#: (Sec. 3.2), 3G cells are idle (Sec. 3.3).
+RAT_HAZARD_FACTOR: dict[RAT, float] = {
+    RAT.GSM: 0.95,
+    RAT.UMTS: 0.50,
+    RAT.LTE: 1.00,
+    RAT.NR: 1.40,
+}
+
+#: Fraction of connected time per RAT for non-5G and 5G devices.
+RAT_USAGE_NON_5G: dict[RAT, float] = {
+    RAT.GSM: 0.10,
+    RAT.UMTS: 0.04,
+    RAT.LTE: 0.86,
+}
+RAT_USAGE_5G: dict[RAT, float] = {
+    RAT.GSM: 0.06,
+    RAT.UMTS: 0.03,
+    RAT.LTE: 0.61,
+    RAT.NR: 0.30,
+}
+
+#: Deployment-class mix of where devices spend connected time.
+DEPLOYMENT_TIME_MIX: tuple[tuple[DeploymentClass, float], ...] = (
+    (DeploymentClass.TRANSPORT_HUB, 0.04),
+    (DeploymentClass.URBAN_CORE, 0.16),
+    (DeploymentClass.URBAN, 0.38),
+    (DeploymentClass.SUBURBAN, 0.27),
+    (DeploymentClass.RURAL, 0.12),
+    (DeploymentClass.REMOTE, 0.03),
+)
+
+#: Residual per-ISP hazard multiplier (coverage quality, Sec. 3.3).
+#: Applied to the gamma *shape* (the extensive margin: how many of an
+#: ISP's users run into failure situations at all), which is what moves
+#: prevalence under a heavily over-dispersed count distribution.
+ISP_HAZARD_FACTOR: dict[ISP, float] = {
+    ISP.A: 1.00,
+    ISP.B: 1.35,
+    ISP.C: 0.73,
+}
+
+#: Study-long connected seconds for an average device (8 months at a
+#: ~55% attach duty cycle).
+STUDY_CONNECTED_SECONDS = 8 * 30.44 * 86_400 * 0.55
+
+# ---------------------------------------------------------------------------
+# Failure-type mix
+# ---------------------------------------------------------------------------
+
+#: Global mean counts per device (Sec. 3.1: 16 / 14 / 3 of 33).
+TYPE_WEIGHT_SETUP = 16.0
+TYPE_WEIGHT_STALL = 14.0
+TYPE_WEIGHT_OOS = 3.0
+TYPE_WEIGHT_LEGACY = 0.33  # <1% SMS/voice failures
+
+#: Only this fraction of devices experience Out_of_Service at all
+#: (Sec. 3.1: 95% of phones report none; ~23% of devices fail at all).
+OOS_ACTIVE_DEVICE_FRACTION = 0.20
+
+# ---------------------------------------------------------------------------
+# Data_Stall natural-duration mixture
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StallComponent:
+    """One log-normal component of the natural-duration mixture."""
+
+    weight: float
+    median_s: float
+    sigma: float
+    #: Probability a device-side recovery operation can fix this stall
+    #: (BS-side outages are not fixable from the handset).
+    device_recoverable: float
+
+
+#: Mixture calibrated to the paper's anchors (see module docstring):
+#: fast device-side glitches, fixable medium outages, mostly-fixable
+#: long outages (re-registration / radio restart can land on another
+#: cell), and a thin truly-isolated tail (remote cells in disrepair,
+#: nothing the handset does helps — the 25.5-hour failures of Sec. 3.1).
+STALL_MIXTURE: tuple[StallComponent, ...] = (
+    StallComponent(weight=0.600, median_s=3.0, sigma=0.70,
+                   device_recoverable=1.00),
+    StallComponent(weight=0.300, median_s=150.0, sigma=1.00,
+                   device_recoverable=0.95),
+    StallComponent(weight=0.096, median_s=1_500.0, sigma=1.10,
+                   device_recoverable=0.85),
+    StallComponent(weight=0.004, median_s=2_500.0, sigma=1.00,
+                   device_recoverable=0.00),
+)
+
+#: Hard cap: the longest failure the paper observed (25.5 hours).
+MAX_STALL_DURATION_S = 91_770.0
+
+#: Fraction of suspected stalls that are false positives by kind
+#: (system-side misconfigurations and DNS outages, Sec. 2.2).
+STALL_FALSE_POSITIVE_MIX: tuple[tuple[FaultKind, float], ...] = (
+    (FaultKind.NETWORK_STALL, 0.93),
+    (FaultKind.FIREWALL_MISCONFIG, 0.02),
+    (FaultKind.PROXY_MISCONFIG, 0.02),
+    (FaultKind.MODEM_DRIVER_FAILURE, 0.01),
+    (FaultKind.DNS_OUTAGE, 0.02),
+)
+
+#: Fraction of stall victims who would manually reset (~30 s, Sec. 3.2).
+USER_RESET_ENGAGEMENT = 0.35
+
+# ---------------------------------------------------------------------------
+# Out_of_Service durations
+# ---------------------------------------------------------------------------
+
+OOS_MEDIAN_S = 12.0
+OOS_SIGMA = 1.0
+
+# ---------------------------------------------------------------------------
+# RAT transitions
+# ---------------------------------------------------------------------------
+
+#: Transition opportunities per unit ambient hazard for 5G devices; the
+#: blind policy converts a large share of these into failures, which is
+#: the ~40% of 5G-phone failures the enhancement removes (Sec. 4.3).
+TRANSITION_RATE_5G = 1.85
+#: Same for non-5G devices (2G/3G/4G moves only).
+TRANSITION_RATE_NON_5G = 0.30
+
+#: Share of a 5G device's Table 1 frequency that is *ambient* (not
+#: transition-induced) under the blind policy; the rest comes from the
+#: transition stream above.  Non-5G devices are fully ambient.
+AMBIENT_FRACTION_5G = 0.50
+
+#: P(failure shortly after a transition) floor and risk slope.
+TRANSITION_BASE_FAILURE_P = 0.03
+TRANSITION_RISK_SLOPE = 1.40
+
+#: Generative failure-likelihood table by (RAT, level) used to score
+#: executed transitions; same shape family as Figs. 15-17.
+GENERATIVE_LEVEL_RISK: dict[RAT, tuple[float, ...]] = {
+    RAT.GSM: (0.30, 0.18, 0.13, 0.10, 0.08, 0.10),
+    RAT.UMTS: (0.22, 0.13, 0.09, 0.07, 0.05, 0.06),
+    RAT.LTE: (0.32, 0.19, 0.14, 0.10, 0.08, 0.11),
+    RAT.NR: (0.45, 0.26, 0.18, 0.13, 0.10, 0.14),
+}
+
+
+# ---------------------------------------------------------------------------
+# Samplers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EventContext:
+    """Where/how one failure episode happens."""
+
+    rat: RAT
+    signal_level: SignalLevel
+    deployment: DeploymentClass
+    bs: BaseStation
+
+
+def sample_failure_type(
+    rng: random.Random, oos_active: bool
+) -> FailureType:
+    """Draw the episode's failure class from the per-device mix."""
+    weights = [
+        (FailureType.DATA_SETUP_ERROR, TYPE_WEIGHT_SETUP),
+        (FailureType.DATA_STALL, TYPE_WEIGHT_STALL),
+        (FailureType.OUT_OF_SERVICE,
+         TYPE_WEIGHT_OOS / OOS_ACTIVE_DEVICE_FRACTION if oos_active
+         else 0.0),
+        (FailureType.SMS_FAILURE, TYPE_WEIGHT_LEGACY / 2),
+        (FailureType.VOICE_FAILURE, TYPE_WEIGHT_LEGACY / 2),
+    ]
+    return _weighted(rng, weights)
+
+
+def rat_usage_mix(has_5g: bool) -> dict[RAT, float]:
+    return RAT_USAGE_5G if has_5g else RAT_USAGE_NON_5G
+
+
+def sample_event_rat(rng: random.Random, has_5g: bool) -> RAT:
+    """RAT where the failure occurs, biased by usage x RAT hazard."""
+    usage = rat_usage_mix(has_5g)
+    weights = [
+        (rat, share * RAT_HAZARD_FACTOR[rat])
+        for rat, share in usage.items()
+    ]
+    return _weighted(rng, weights)
+
+
+@dataclass(frozen=True)
+class DeviceRadioProfile:
+    """Where one device's failures concentrate.
+
+    Real failures cluster at the radio conditions of the places a user
+    actually frequents (home, commute, workplace), so each device draws
+    a *home level* once; most of its failures happen there.  Without
+    this clustering a 30-failure device would touch every signal level
+    and the per-level device prevalence of Figs. 15-16 would saturate.
+    """
+
+    home_level: SignalLevel
+    concentration: float = 0.7
+
+
+_LEVEL_EVENT_WEIGHTS = [
+    (SignalLevel(level), EXPOSURE_LEVEL_SHARES[level] * hazard)
+    for level, hazard in enumerate(LEVEL_HAZARD)
+]
+
+
+def make_radio_profile(rng: random.Random) -> DeviceRadioProfile:
+    """Draw a device's home failure level (exposure x hazard weighted)."""
+    return DeviceRadioProfile(
+        home_level=_weighted(rng, _LEVEL_EVENT_WEIGHTS)
+    )
+
+
+def sample_event_level(
+    rng: random.Random,
+    rat: RAT,
+    profile: DeviceRadioProfile | None = None,
+) -> SignalLevel:
+    """Signal level at failure time.
+
+    Without a profile the level follows exposure x hazard globally.
+    With one, failures concentrate at the device's home level with the
+    remainder spilling to *adjacent* levels — a user's radio conditions
+    vary locally, not across the whole national distribution.
+    """
+    del rat  # the level-hazard shape is shared across RATs
+    if profile is None:
+        return _weighted(rng, _LEVEL_EVENT_WEIGHTS)
+    roll = rng.random()
+    if roll < profile.concentration:
+        return profile.home_level
+    offset = 1 if roll < (1.0 + profile.concentration) / 2 else 2
+    sign = 1 if rng.random() < 0.5 else -1
+    level = int(profile.home_level) + sign * offset
+    return SignalLevel(min(5, max(0, level)))
+
+
+def sample_event_deployment(
+    rng: random.Random, signal_level: SignalLevel
+) -> DeploymentClass:
+    """Deployment class of the serving BS.
+
+    Level-5 failures come overwhelmingly from densely deployed hub
+    cells — the causal story behind Fig. 15's anomaly (Sec. 3.3).
+    """
+    if signal_level is SignalLevel.LEVEL_5:
+        roll = rng.random()
+        if roll < 0.70:
+            return DeploymentClass.TRANSPORT_HUB
+        if roll < 0.92:
+            return DeploymentClass.URBAN_CORE
+        return DeploymentClass.URBAN
+    return _weighted(rng, list(DEPLOYMENT_TIME_MIX))
+
+
+def sample_event_context(
+    rng: random.Random,
+    topology: NationalTopology,
+    isp: ISP,
+    has_5g: bool,
+    long_outage: bool = False,
+    profile: DeviceRadioProfile | None = None,
+) -> EventContext:
+    """Draw the full radio context of one failure episode."""
+    rat = sample_event_rat(rng, has_5g)
+    level = sample_event_level(rng, rat, profile)
+    if long_outage and rng.random() < 0.6:
+        # Multi-hour outages concentrate on neglected remote cells
+        # (Sec. 3.1); their signal is typically poor too.
+        deployment = DeploymentClass.REMOTE
+        level = min(level, SignalLevel(rng.choice([0, 1, 2])))
+    else:
+        deployment = sample_event_deployment(rng, level)
+    bs = topology.sample_bs(rng, isp, deployment, rat)
+    return EventContext(rat=rat, signal_level=level,
+                        deployment=deployment, bs=bs)
+
+
+def sample_stall_natural_duration(
+    rng: random.Random,
+) -> tuple[float, StallComponent]:
+    """Natural (un-intervened) stall duration plus its component."""
+    component = _weighted(
+        rng, [(c, c.weight) for c in STALL_MIXTURE]
+    )
+    duration = rng.lognormvariate(
+        _ln(component.median_s), component.sigma
+    )
+    return min(duration, MAX_STALL_DURATION_S), component
+
+
+def sample_stall_fault_kind(rng: random.Random) -> FaultKind:
+    return _weighted(rng, list(STALL_FALSE_POSITIVE_MIX))
+
+
+def sample_oos_duration(rng: random.Random) -> float:
+    return min(
+        rng.lognormvariate(_ln(OOS_MEDIAN_S), OOS_SIGMA),
+        MAX_STALL_DURATION_S,
+    )
+
+
+def generative_risk(rat: RAT, level: SignalLevel) -> float:
+    return GENERATIVE_LEVEL_RISK[rat][int(level)]
+
+
+def transition_failure_probability(
+    from_rat: RAT,
+    from_level: SignalLevel,
+    to_rat: RAT,
+    to_level: SignalLevel,
+) -> float:
+    """P(failure in the observation window after an executed transition)."""
+    increase = generative_risk(to_rat, to_level) - generative_risk(
+        from_rat, from_level
+    )
+    return min(
+        0.95,
+        TRANSITION_BASE_FAILURE_P + TRANSITION_RISK_SLOPE * max(0.0, increase),
+    )
+
+
+def stay_failure_probability(rat: RAT, level: SignalLevel) -> float:
+    """P(failure in the same window without transitioning)."""
+    return TRANSITION_BASE_FAILURE_P
+
+
+@dataclass(frozen=True)
+class TransitionScenario:
+    """One transition opportunity: where the device is and what it sees."""
+
+    current_rat: RAT
+    current_level: SignalLevel
+    candidates: tuple[tuple[RAT, SignalLevel], ...]
+
+
+def sample_transition_scenario(
+    rng: random.Random, has_5g: bool
+) -> TransitionScenario:
+    """Draw a transition opportunity.
+
+    For 5G devices the canonical situation of Sec. 3.2 dominates: a
+    healthy 4G connection with a weak-to-moderate 5G cell in sight —
+    exactly where blind 5G preference hurts.
+    """
+    if has_5g and rng.random() < 0.75:
+        current = (RAT.LTE, SignalLevel(rng.choices(
+            [1, 2, 3, 4], weights=[1, 3, 5, 4])[0]))
+        nr_level = SignalLevel(rng.choices(
+            [0, 1, 2, 3, 4, 5], weights=[50, 15, 12, 11, 7, 5])[0])
+        candidates = [current, (RAT.NR, nr_level)]
+        if rng.random() < 0.3:
+            candidates.append((RAT.UMTS, SignalLevel(rng.choice([1, 2, 3]))))
+    else:
+        current_rat = _weighted(rng, [(RAT.LTE, 0.7), (RAT.UMTS, 0.1),
+                                      (RAT.GSM, 0.2)])
+        current = (current_rat, SignalLevel(rng.choices(
+            [0, 1, 2, 3, 4], weights=[1, 2, 4, 5, 4])[0]))
+        other_rats = [r for r in (RAT.GSM, RAT.UMTS, RAT.LTE)
+                      if r is not current_rat]
+        candidates = [current]
+        for rat in other_rats:
+            if rng.random() < 0.6:
+                candidates.append((rat, SignalLevel(rng.choices(
+                    [0, 1, 2, 3, 4], weights=[2, 3, 4, 4, 3])[0])))
+    return TransitionScenario(
+        current_rat=current[0],
+        current_level=current[1],
+        candidates=tuple(candidates),
+    )
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _weighted(rng: random.Random, table):
+    total = sum(weight for _, weight in table)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for item, weight in table:
+        cumulative += weight
+        if roll < cumulative:
+            return item
+    return table[-1][0]
+
+
+def _ln(x: float) -> float:
+    return math.log(x)

@@ -1,0 +1,414 @@
+"""Per-device component assembly and failure-episode realization.
+
+A :class:`SimulatedDevice` owns real instances of every mechanism the
+paper studies — modem, DcTracker + state machine, ServiceStateTracker,
+netstack + stall detector, Android-MOD monitor + prober, RAT policy and
+recovery policy — and realizes the workload the behaviour generators
+schedule *through those mechanisms*, so each dataset record is produced
+by the same code path the paper instruments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.android.dc_tracker import DcTracker
+from repro.android.data_stall import VanillaDataStallDetector
+from repro.android.dual_connectivity import (
+    COLD_TRANSITION_FAILURE_RATE,
+    ControlPlaneLink,
+    EnDcManager,
+    ENDC_TRANSITION_FAILURE_RATE,
+)
+from repro.android.handover import HandoverManager
+from repro.android.rat_policy import RatCandidate
+from repro.android.recovery import (
+    RecoveryPolicy,
+    StageParameters,
+    resolve_stall,
+)
+from repro.android.telephony_legacy import (
+    SmsManager,
+    SmsSendOutcome,
+    VoiceCallManager,
+)
+from repro.android.service_state import ServiceStateTracker
+from repro.android.telephony import TelephonyManager
+from repro.core.events import FailureEvent, FailureType, ProbeVerdict
+from repro.core.signal import SignalLevel
+from repro.core.usermodel import DEFAULT_USER_TOLERANCE
+from repro.dataset.records import FailureRecord
+from repro.fleet import behavior
+from repro.fleet.models import PhoneModelSpec
+from repro.monitoring.insitu import InSituCollector
+from repro.monitoring.listener import CellularMonitorService
+from repro.monitoring.overhead import OverheadAccountant
+from repro.monitoring.prober import NetworkStateProber
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.network.basestation import BaseStation
+from repro.network.isp import ISP
+from repro.radio.modem import Modem
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+
+class ScriptedBearer:
+    """Wraps a real BS but scripts the next admission responses.
+
+    The fleet scheduler decides *that* an episode fails and with which
+    cause (sampled from the paper's empirical mix); this adapter makes
+    the network produce exactly that response so the real DcTracker /
+    modem path experiences it.
+    """
+
+    def __init__(
+        self,
+        bs: BaseStation,
+        causes: list[str | None],
+        organic_after_script: bool = False,
+    ) -> None:
+        self._bs = bs
+        self._script = list(causes)
+        self._organic_after_script = organic_after_script
+
+    @property
+    def bs_id(self) -> int:
+        return self._bs.bs_id
+
+    @property
+    def identity(self):
+        return self._bs.identity
+
+    @property
+    def isp(self):
+        return self._bs.isp
+
+    def supports(self, rat: RAT) -> bool:
+        return self._bs.supports(rat)
+
+    def admit_bearer(self, rat, signal_level, rng) -> str | None:
+        if self._script:
+            return self._script.pop(0)
+        if self._organic_after_script:
+            return self._bs.admit_bearer(rat, signal_level, rng)
+        # The scheduled episode is over; the fleet scheduler, not the
+        # BS, decides when the next failure happens.
+        return None
+
+
+@dataclass
+class SimulatedDevice:
+    """One opt-in phone, fully assembled."""
+
+    device_id: int
+    spec: PhoneModelSpec
+    isp: ISP
+    arm: str
+    rat_policy: object
+    recovery_policy: RecoveryPolicy
+    rng: random.Random
+    use_endc: bool = False
+    clock: SimClock = field(default_factory=SimClock)
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # The fleet scheduler owns failure injection, so the modem's own
+        # stochastic failure paths are disabled here (they stay on for
+        # organic use; see tests/integration).
+        self.modem = Modem(self.spec.supported_rats, self.rng,
+                           internal_error_rate=0.0,
+                           deep_fade_timeout_rate=0.0)
+        self.stack = DeviceNetStack()
+        self.tracker = DcTracker(self.clock, self.modem,
+                                 retry_delays_s=(5.0,))
+        self.service = ServiceStateTracker(self.clock)
+        self.detector = VanillaDataStallDetector(self.clock,
+                                                 self.stack.counters)
+        self.telephony = TelephonyManager()
+        self.prober = NetworkStateProber(self.clock)
+        self.accountant = OverheadAccountant()
+        self.monitor = CellularMonitorService(
+            insitu=InSituCollector(self.telephony),
+            sink=self._sink,
+        )
+        self.tracker.register_setup_error_listener(
+            self.monitor.on_data_setup_error
+        )
+        self.endc = EnDcManager() if self.use_endc else None
+        #: Filled per-episode so the sink can finalize records.
+        self._episode_context: dict[str, object] = {}
+
+    # -- record sink ----------------------------------------------------------
+
+    def _sink(self, event: FailureEvent) -> None:
+        context = event.context
+        ep = self._episode_context
+        record = FailureRecord(
+            device_id=self.device_id,
+            model=self.spec.model,
+            android_version=self.spec.android_version,
+            has_5g=self.spec.has_5g,
+            isp=self.isp.label,
+            failure_type=event.failure_type.value,
+            start_time=event.start_time,
+            duration_s=event.duration or 0.0,
+            bs_id=int(context.get("bs_id") or ep.get("bs_id") or 0),
+            rat=ep.get("rat", "4G"),
+            signal_level=int(ep.get("signal_level", 3)),
+            deployment=ep.get("deployment", "URBAN"),
+            error_code=event.error_code,
+            resolved_by=event.recovered_by_stage,
+            stages_executed=int(ep.get("stages_executed", 0)),
+            post_transition=bool(ep.get("post_transition", False)),
+            arm=self.arm,
+        )
+        self.records.append(record)
+
+    def _enter_episode(self, context: behavior.EventContext,
+                       post_transition: bool = False) -> None:
+        self.telephony.attach(context.bs, context.rat, context.signal_level)
+        self._episode_context = {
+            "bs_id": context.bs.bs_id,
+            "rat": context.rat.label,
+            "signal_level": int(context.signal_level),
+            "deployment": context.deployment.value,
+            "stages_executed": 0,
+            "post_transition": post_transition,
+        }
+
+    # -- episode realizers -------------------------------------------------------
+
+    def realize_setup_error(
+        self,
+        context: behavior.EventContext,
+        cause: str,
+        post_transition: bool = False,
+    ) -> None:
+        """One Data_Setup_Error episode: a failed attempt then recovery."""
+        self._enter_episode(context, post_transition)
+        self.accountant.event_opened()
+        start = self.clock.now()
+        bearer = ScriptedBearer(context.bs, [cause])
+        result = self.tracker.establish(
+            bearer, context.rat, context.signal_level
+        )
+        # The connectivity gap (first failure to re-establishment) is the
+        # episode's duration; retries that also fail extend it.
+        gap = max(self.clock.now() - start, 0.5)
+        if self.records and self.records[-1].start_time >= start:
+            self.records[-1].duration_s = gap
+        self.accountant.event_closed(gap)
+        if result.success:
+            self.tracker.teardown()
+
+    def realize_false_positive_setup(
+        self, context: behavior.EventContext, cause: str
+    ) -> None:
+        """A rational rejection (e.g. BS overload) — must be filtered."""
+        self._enter_episode(context)
+        bearer = ScriptedBearer(context.bs, [cause])
+        result = self.tracker.establish(
+            bearer, context.rat, context.signal_level
+        )
+        if result.success:
+            self.tracker.teardown()
+
+    def realize_stall(
+        self,
+        context: behavior.EventContext,
+        natural_duration_s: float,
+        component: behavior.StallComponent,
+        fault_kind: FaultKind,
+        post_transition: bool = False,
+    ) -> None:
+        """One suspected Data_Stall episode, start to verdict."""
+        self._enter_episode(context, post_transition)
+        start = self.clock.now()
+        fault = ActiveFault(kind=fault_kind, start=start,
+                            duration=natural_duration_s)
+        self.stack.inject_fault(fault)
+        volley = self.prober.probe_once(
+            self.stack,
+            self.prober.base_icmp_timeout_s,
+            self.prober.base_dns_timeout_s,
+        )
+        event = FailureEvent(
+            failure_type=FailureType.DATA_STALL, start_time=start
+        )
+        if volley.verdict in (
+            ProbeVerdict.SYSTEM_SIDE_FAULT,
+            ProbeVerdict.DNS_SERVICE_FAULT,
+        ):
+            # A false positive: filtered, never recorded.
+            event.close(start)
+            self.monitor.on_stall_verdict(event, volley.verdict)
+            self.stack.clear_fault()
+            return
+        self.accountant.event_opened()
+        user_reset = None
+        if self.rng.random() < behavior.USER_RESET_ENGAGEMENT:
+            user_reset = DEFAULT_USER_TOLERANCE.sample_reset_time(self.rng)
+        policy = _condition_policy(
+            self.recovery_policy, component.device_recoverable
+        )
+        resolution = resolve_stall(
+            policy, natural_duration_s, self.rng, user_reset_s=user_reset,
+            # A manual reset is stage-1-like: it cannot fix a stall the
+            # handset has no way to fix (isolated dead zones).
+            user_reset_success_rate=0.85 * component.device_recoverable,
+        )
+        observed = resolution.duration_s + self._measurement_error(
+            resolution.duration_s
+        )
+        event.close(start + observed)
+        event.recovered_by_stage = resolution.resolved_by
+        self._episode_context["stages_executed"] = (
+            resolution.stages_executed
+        )
+        self.monitor.on_failure_event(event)
+        # One volley per ~5 s until the prober's multiplicative backoff
+        # (and eventual reversion to vanilla) caps the round count.
+        probe_rounds = min(max(1, int(observed / 5.0)), 260)
+        self.accountant.event_closed(
+            observed, probe_rounds=probe_rounds,
+            probe_bytes=probe_rounds * 350,
+        )
+        self.stack.clear_fault()
+
+    def realize_out_of_service(
+        self,
+        context: behavior.EventContext,
+        duration_s: float,
+        post_transition: bool = False,
+    ) -> None:
+        """One Out_of_Service episode through the ServiceStateTracker."""
+        self._enter_episode(context, post_transition)
+        self.accountant.event_opened()
+        self.service.begin_outage()
+        self.clock.advance(duration_s)
+        event = self.service.end_outage()
+        if event is None:
+            raise RuntimeError("outage did not close")
+        self.monitor.on_failure_event(event)
+        self.accountant.event_closed(duration_s)
+
+    def realize_legacy_failure(self, context: behavior.EventContext,
+                               failure_type: FailureType) -> None:
+        """SMS / voice failures (<1% of events, Sec. 3.1), driven
+        through the real legacy telephony services."""
+        self._enter_episode(context)
+        self.accountant.event_opened()
+        start = self.clock.now()
+        if failure_type is FailureType.SMS_FAILURE:
+            sms = SmsManager(self.clock, self.rng)
+            sms.register_failure_listener(self.monitor.on_failure_event)
+            # One scheduled failure: first submit fails, retry sends.
+            result = sms.send(context.signal_level,
+                              script=[True, False])
+            if result.outcome is not SmsSendOutcome.SENT:
+                raise RuntimeError("scripted SMS retry must succeed")
+        else:
+            voice = VoiceCallManager(self.clock, self.rng)
+            voice.register_failure_listener(
+                self.monitor.on_failure_event
+            )
+            voice.place_call(context.signal_level,
+                             cell_load=context.bs.load,
+                             force_failure=True)
+        self.accountant.event_closed(
+            max(self.clock.now() - start, 1.0)
+        )
+
+    def realize_handover_failure(
+        self,
+        from_rat: RAT,
+        from_level: SignalLevel,
+        context: behavior.EventContext,
+        cause: str,
+    ) -> None:
+        """A post-transition Data_Setup_Error, realized through the
+        inter-RAT handover procedure (preparation rejected by the
+        target cell with the scheduled cause)."""
+        self._enter_episode(context, post_transition=True)
+        self.accountant.event_opened()
+        start = self.clock.now()
+        manager = HandoverManager(self.rng, endc=self.endc)
+        bearer = ScriptedBearer(context.bs, [cause])
+        result = manager.execute(
+            from_rat, from_level, bearer,
+            context.rat, context.signal_level,
+        )
+        # The scheduler decided this transition fails; the procedure
+        # supplies the mechanical texture (stage, cause, disturbance).
+        event = FailureEvent(
+            failure_type=FailureType.DATA_SETUP_ERROR,
+            start_time=start,
+            error_code=result.cause or cause,
+        )
+        event.close(start + max(result.disturbance_s, 0.5))
+        self.monitor.on_failure_event(event)
+        self.accountant.event_closed(event.duration or 1.0)
+
+    # -- RAT transitions ------------------------------------------------------
+
+    def decide_transition(
+        self, scenario: behavior.TransitionScenario
+    ) -> tuple[RatCandidate, RatCandidate, bool]:
+        """Run the device's policy on a transition opportunity.
+
+        Returns (current, selected, executed).
+        """
+        current = RatCandidate(scenario.current_rat, scenario.current_level)
+        candidates = [
+            RatCandidate(rat, level) for rat, level in scenario.candidates
+        ]
+        selected = self.rat_policy.select(current, candidates)
+        executed = selected.rat is not current.rat
+        return current, selected, executed
+
+    def transition_procedure_failure_rate(self, target: RAT) -> float:
+        """Control-procedure failure odds, cheaper under EN-DC."""
+        if (
+            self.endc is not None
+            and target in (RAT.LTE, RAT.NR)
+        ):
+            self._ensure_endc_pair()
+            return ENDC_TRANSITION_FAILURE_RATE
+        return COLD_TRANSITION_FAILURE_RATE
+
+    def _ensure_endc_pair(self) -> None:
+        if self.endc is None or self.endc.dual_connected:
+            return
+        self.endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=0))
+        self.endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=0))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _measurement_error(self, duration_s: float) -> float:
+        """Android-MOD probing granularity (Sec. 2.2): at most 5 s, or
+        minute-scale after the prober reverts for >20-minute stalls."""
+        if duration_s > 1200.0:
+            return self.rng.uniform(0.0, 60.0)
+        return self.rng.uniform(0.0, 5.0)
+
+
+def _condition_policy(
+    policy: RecoveryPolicy, device_recoverable: float
+) -> RecoveryPolicy:
+    """Scale stage effectiveness by the episode's fixability.
+
+    Device-side recovery operations cannot repair a BS-side outage; the
+    mixture component says how fixable this stall is from the handset.
+    """
+    if device_recoverable >= 1.0:
+        return policy
+    stages = tuple(
+        StageParameters(
+            overhead_s=stage.overhead_s,
+            success_rate=stage.success_rate * device_recoverable,
+        )
+        for stage in policy.stages
+    )
+    return RecoveryPolicy(probations_s=policy.probations_s, stages=stages)

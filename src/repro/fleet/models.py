@@ -1,0 +1,188 @@
+"""The 34 phone models and their failure-propensity calibration.
+
+Table 1 publishes, per model, the fraction of devices with at least one
+failure (*prevalence*) and the mean failures per device (*frequency*).
+A gamma-mixed Poisson (negative binomial) is the canonical model for
+such over-dispersed per-device counts: each device draws a personal
+hazard ``lambda ~ Gamma(shape, scale)`` and experiences
+``N ~ Poisson(lambda)`` failures over the study.  Matching the two
+published moments — ``E[N] = shape * scale = frequency`` and
+``P(N = 0) = (1 + scale)^-shape = 1 - prevalence`` — pins the gamma down
+uniquely, and also reproduces Table 1's massive skew (most devices see
+zero failures; one device saw 198,228).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from scipy.optimize import brentq
+
+from repro import quantities
+from repro.quantities import PhoneModelRow
+from repro.radio.rat import RAT
+
+#: RATs supported by non-5G and 5G phones respectively.
+NON_5G_RATS = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE})
+FIVE_G_RATS = frozenset({RAT.GSM, RAT.UMTS, RAT.LTE, RAT.NR})
+
+
+@dataclass(frozen=True)
+class NegativeBinomialFit:
+    """Gamma mixing parameters matched to (prevalence, frequency)."""
+
+    shape: float
+    scale: float
+
+    @property
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    @property
+    def p_zero(self) -> float:
+        return (1.0 + self.scale) ** (-self.shape)
+
+
+def fit_negative_binomial_mixture(
+    prevalence: float,
+    frequency: float,
+    factor_weights: tuple[tuple[float, float], ...],
+) -> NegativeBinomialFit:
+    """Fit the gamma so the *mixture over ISP hazard factors* matches
+    Table 1's two moments.
+
+    A device's hazard is ``lambda ~ Gamma(c * shape, scale)`` where
+    ``c`` is its ISP's coverage-quality factor: scaling the *shape*
+    moves the extensive margin (how many users fail at all), which is
+    the only way ISP discrepancies can show up in prevalence under a
+    heavily over-dispersed count distribution.  With ``E[c] = 1`` the
+    mean constraint stays ``shape * scale = frequency``; the
+    zero-probability constraint becomes
+    ``sum_i w_i (1 + scale)^(-c_i * shape) = 1 - prevalence``, monotone
+    increasing in ``scale`` (from ~0 toward 1), so a unique root exists.
+    """
+    if not 0.0 < prevalence < 1.0:
+        raise ValueError("prevalence must be strictly within (0, 1)")
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    weight_total = sum(w for _, w in factor_weights)
+    mean_factor = sum(c * w for c, w in factor_weights) / weight_total
+    if abs(mean_factor - 1.0) > 0.05:
+        raise ValueError("hazard factors must average to ~1")
+    target = 1.0 - prevalence
+
+    def p_zero(scale: float) -> float:
+        shape = frequency / scale
+        return sum(
+            (w / weight_total) * (1.0 + scale) ** (-c * shape)
+            for c, w in factor_weights
+        )
+
+    lo, hi = 1e-9, 1e12
+    if p_zero(lo) > target:
+        raise ValueError(
+            "inconsistent moments: P(N>=1) bounds the mean from below"
+        )
+    scale = brentq(lambda s: p_zero(s) - target, lo, hi,
+                   xtol=1e-12, rtol=1e-12)
+    return NegativeBinomialFit(shape=frequency / scale, scale=scale)
+
+
+def fit_negative_binomial(
+    prevalence: float, frequency: float
+) -> NegativeBinomialFit:
+    """Solve the gamma parameters from Table 1's two moments.
+
+    With ``shape = frequency / scale``, the zero-probability condition
+    becomes ``(frequency / scale) * ln(1 + scale) = -ln(1 - prevalence)``,
+    whose left side decreases monotonically in ``scale`` from
+    ``frequency`` (scale -> 0) to 0 (scale -> inf), so a unique root
+    exists whenever ``-ln(1 - prevalence) < frequency`` — true for every
+    row of Table 1.
+    """
+    if not 0.0 < prevalence < 1.0:
+        raise ValueError("prevalence must be strictly within (0, 1)")
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    target = -math.log(1.0 - prevalence)
+    if target >= frequency:
+        raise ValueError(
+            "inconsistent moments: P(N>=1) bounds the mean from below"
+        )
+
+    def gap(scale: float) -> float:
+        return (frequency / scale) * math.log1p(scale) - target
+
+    lo, hi = 1e-9, 1e12
+    scale = brentq(gap, lo, hi, xtol=1e-12, rtol=1e-12)
+    return NegativeBinomialFit(shape=frequency / scale, scale=scale)
+
+
+@dataclass(frozen=True)
+class PhoneModelSpec:
+    """One phone model: the Table 1 row plus derived attributes."""
+
+    row: PhoneModelRow
+    fit: NegativeBinomialFit
+
+    @property
+    def model(self) -> int:
+        return self.row.model
+
+    @property
+    def has_5g(self) -> bool:
+        return self.row.has_5g
+
+    @property
+    def android_version(self) -> str:
+        return self.row.android_version
+
+    @property
+    def user_share(self) -> float:
+        return self.row.user_share
+
+    @property
+    def supported_rats(self) -> frozenset[RAT]:
+        return FIVE_G_RATS if self.row.has_5g else NON_5G_RATS
+
+    def sample_hazard(self, rng, isp_factor: float = 1.0) -> float:
+        """Draw one device's personal failure hazard (failures/study).
+
+        ``isp_factor`` scales the gamma shape — the ISP coverage-quality
+        channel of the mixture calibration (see
+        :func:`fit_negative_binomial_mixture`).
+        """
+        return rng.gammavariate(
+            self.fit.shape * isp_factor, self.fit.scale
+        )
+
+
+@lru_cache(maxsize=1)
+def _build_specs() -> tuple[PhoneModelSpec, ...]:
+    # Calibrate against the ISP hazard mixture so Table 1's per-model
+    # marginals hold across the whole (ISP-heterogeneous) fleet.
+    from repro.fleet.behavior import ISP_HAZARD_FACTOR
+    from repro.network.isp import ISP_PROFILES
+
+    factor_weights = tuple(
+        (ISP_HAZARD_FACTOR[isp], profile.subscriber_share)
+        for isp, profile in ISP_PROFILES.items()
+    )
+    specs = []
+    for row in quantities.TABLE1:
+        fit = fit_negative_binomial_mixture(
+            row.prevalence, row.frequency, factor_weights
+        )
+        specs.append(PhoneModelSpec(row=row, fit=fit))
+    return tuple(specs)
+
+
+#: Specs for all 34 models, in Table 1 order.
+PHONE_MODELS: tuple[PhoneModelSpec, ...] = _build_specs()
+
+#: Lookup by model number.
+PHONE_MODELS_BY_ID: dict[int, PhoneModelSpec] = {
+    spec.model: spec for spec in PHONE_MODELS
+}

@@ -1,0 +1,150 @@
+"""Organic (schedule-free) simulation mode.
+
+The calibrated fleet simulator *schedules* failures from Table 1
+hazards and realizes them through the real mechanisms.  This module is
+the validation counterpart: no failure is ever scheduled — devices
+simply open data sessions against the live base stations and whatever
+the admission mechanics (EMM density trouble, overload, contention,
+deep fades) decide to reject becomes a failure.
+
+Organic mode cannot match the paper's absolute marginals (that is what
+the calibration is for), but the qualitative tendencies must emerge
+from the mechanisms alone — hubs worse than suburbs, level 0 worse
+than level 4, idle 3G cells healthier than 2G/4G.  The ablation bench
+``benchmarks/test_ablation_organic.py`` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.android.dc_tracker import DcTracker
+from repro.core.signal import SignalLevel
+from repro.fleet import behavior
+from repro.monitoring.insitu import InSituCollector
+from repro.monitoring.listener import CellularMonitorService
+from repro.android.telephony import TelephonyManager
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP, ISP_PROFILES
+from repro.network.topology import NationalTopology, TopologyConfig
+from repro.radio.modem import Modem
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class OrganicAttempt:
+    """One organic data-session attempt."""
+
+    device_id: int
+    isp: str
+    deployment: str
+    rat: str
+    signal_level: int
+    success: bool
+    #: DataFailCause of the final failed attempt (None on success).
+    cause: str | None
+    #: True-failure count surfaced to the monitor for this session.
+    true_failures: int
+    filtered: int
+
+
+@dataclass
+class OrganicResult:
+    """All attempts of one organic run plus grouping helpers."""
+
+    attempts: list[OrganicAttempt] = field(default_factory=list)
+
+    def failure_rate(self, predicate=None) -> float:
+        pool = [a for a in self.attempts
+                if predicate is None or predicate(a)]
+        if not pool:
+            raise ValueError("no attempts match the predicate")
+        return sum(not a.success for a in pool) / len(pool)
+
+    def failure_rate_by(self, key) -> dict:
+        groups: dict = {}
+        for attempt in self.attempts:
+            groups.setdefault(key(attempt), []).append(attempt)
+        return {
+            group: sum(not a.success for a in pool) / len(pool)
+            for group, pool in groups.items()
+        }
+
+
+class OrganicSimulator:
+    """Drives unscripted sessions through the real setup machinery."""
+
+    def __init__(self, topology: NationalTopology | None = None,
+                 seed: int = 0) -> None:
+        self.topology = topology or NationalTopology(
+            TopologyConfig(n_base_stations=2_000, seed=seed + 1)
+        )
+        self.seed = seed
+
+    def run(self, n_devices: int = 50,
+            sessions_per_device: int = 40) -> OrganicResult:
+        """Open ``sessions_per_device`` organic sessions per device."""
+        result = OrganicResult()
+        isps = list(ISP_PROFILES)
+        isp_weights = [ISP_PROFILES[isp].subscriber_share
+                       for isp in isps]
+        for device_id in range(1, n_devices + 1):
+            rng = random.Random(f"organic:{self.seed}:{device_id}")
+            isp = rng.choices(isps, weights=isp_weights)[0]
+            self._run_device(device_id, isp, sessions_per_device,
+                             rng, result)
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_device(self, device_id: int, isp: ISP, sessions: int,
+                    rng: random.Random, result: OrganicResult) -> None:
+        clock = SimClock()
+        modem = Modem({RAT.GSM, RAT.UMTS, RAT.LTE, RAT.NR}, rng)
+        tracker = DcTracker(clock, modem, retry_delays_s=(5.0,))
+        telephony = TelephonyManager()
+        sink: list = []
+        monitor = CellularMonitorService(
+            insitu=InSituCollector(telephony), sink=sink.append,
+        )
+        tracker.register_setup_error_listener(
+            monitor.on_data_setup_error
+        )
+        for _ in range(sessions):
+            deployment = behavior._weighted(
+                rng, list(behavior.DEPLOYMENT_TIME_MIX)
+            )
+            level = SignalLevel(rng.choices(
+                range(6),
+                weights=behavior.EXPOSURE_LEVEL_SHARES,
+            )[0])
+            rat = rng.choices(
+                [RAT.GSM, RAT.UMTS, RAT.LTE],
+                weights=[0.10, 0.04, 0.86],
+            )[0]
+            try:
+                bs = self.topology.sample_bs(rng, isp, deployment, rat,
+                                             weighted=False)
+            except LookupError:
+                continue
+            if deployment is DeploymentClass.TRANSPORT_HUB:
+                level = SignalLevel.LEVEL_5  # dense cells, strong signal
+            telephony.attach(bs, rat, level)
+            before = len(sink)
+            filtered_before = monitor.filtered
+            setup = tracker.establish(bs, rat, level)
+            if setup.success:
+                tracker.teardown()
+            result.attempts.append(OrganicAttempt(
+                device_id=device_id,
+                isp=isp.label,
+                deployment=bs.deployment.value,
+                rat=rat.label,
+                signal_level=int(level),
+                success=setup.success,
+                cause=setup.final_cause,
+                true_failures=len(sink) - before,
+                filtered=monitor.filtered - filtered_before,
+            ))

@@ -1,0 +1,79 @@
+"""Scenario presets for study runs.
+
+The paper's 70M devices and 5.27M BSes become laptop-scale replicas; the
+statistics every table and figure reports (prevalence, frequency,
+normalized prevalence, CDF shapes, rank distributions) are scale-free,
+so the replica preserves their shapes (DESIGN.md Sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dataset.records import ARM_PATCHED, ARM_VANILLA
+from repro.network.topology import TopologyConfig
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of one fleet-simulation run."""
+
+    n_devices: int = 5_000
+    seed: int = 7
+    study_months: float = 8.0
+    arm: str = ARM_VANILLA
+    #: Global multiplier on per-device hazards (cuts event counts for
+    #: quick runs while preserving relative shapes).
+    frequency_scale: float = 1.0
+    #: Extra false-positive setup episodes per unit hazard.
+    false_positive_rate: float = 0.10
+    #: Hard per-device event cap (memory guard; far above the mean).
+    max_events_per_device: int = 50_000
+    #: Probations the patched arm deploys; None means the paper's
+    #: TIMP optimum (21 / 6 / 16 s).  Used by ablation sweeps.
+    patched_probations_s: tuple[float, float, float] | None = None
+    topology: TopologyConfig = field(
+        default_factory=lambda: TopologyConfig(n_base_stations=3_000)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("need at least one device")
+        if self.arm not in (ARM_VANILLA, ARM_PATCHED):
+            raise ValueError(f"unknown arm: {self.arm!r}")
+        if self.frequency_scale <= 0:
+            raise ValueError("frequency scale must be positive")
+
+    def patched(self) -> "ScenarioConfig":
+        """The same scenario under the enhanced (patched) system."""
+        return replace(self, arm=ARM_PATCHED)
+
+    def vanilla(self) -> "ScenarioConfig":
+        return replace(self, arm=ARM_VANILLA)
+
+
+def smoke_scenario(seed: int = 7) -> ScenarioConfig:
+    """A fast scenario for tests (~1k devices)."""
+    return ScenarioConfig(
+        n_devices=1_000,
+        seed=seed,
+        topology=TopologyConfig(n_base_stations=800, seed=seed + 1),
+    )
+
+
+def default_scenario(seed: int = 7) -> ScenarioConfig:
+    """The standard benchmark scenario (~5k devices)."""
+    return ScenarioConfig(
+        n_devices=5_000,
+        seed=seed,
+        topology=TopologyConfig(n_base_stations=3_000, seed=seed + 1),
+    )
+
+
+def full_scenario(seed: int = 7) -> ScenarioConfig:
+    """A larger run for tighter statistics (~20k devices)."""
+    return ScenarioConfig(
+        n_devices=20_000,
+        seed=seed,
+        topology=TopologyConfig(n_base_stations=8_000, seed=seed + 1),
+    )

@@ -1,0 +1,409 @@
+"""The nationwide fleet simulator.
+
+Runs one scenario end to end: builds the BS topology, assembles each
+opt-in device from real mechanism components, schedules its workload
+from the behaviour generators, realizes every episode *through* those
+mechanisms, and returns the collected :class:`~repro.dataset.store.Dataset`.
+
+Pairing across arms: every stochastic decision is drawn from a stream
+seeded by ``(scenario seed, device id, purpose)``, so a vanilla run and
+a patched run of the same scenario see identical devices, identical
+ambient episodes, and identical transition opportunities — the only
+differences are the policy decisions and recovery triggers under test,
+exactly like the paper's A/B deployment but with common random numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.android.rat_policy import (
+    StabilityCompatiblePolicy,
+    policy_for_android_version,
+)
+from repro.android.recovery import (
+    RecoveryPolicy,
+    TIMP_RECOVERY_POLICY,
+    VANILLA_RECOVERY_POLICY,
+)
+from repro.core.events import FailureType
+from repro.dataset.records import (
+    ARM_PATCHED,
+    BaseStationRecord,
+    DeviceRecord,
+    TransitionRecord,
+)
+from repro.dataset.store import Dataset
+from repro.fleet import behavior
+from repro.fleet.device import SimulatedDevice
+from repro.fleet.models import PHONE_MODELS, PhoneModelSpec
+from repro.fleet.scenario import ScenarioConfig
+from repro.monitoring.listener import DeviceFlags
+from repro.network.bearer import DEFAULT_CAUSE_SAMPLER
+from repro.network.basestation import DEPLOYMENT_TRAITS
+from repro.network.isp import ISP, ISP_PROFILES
+from repro.network.topology import NationalTopology
+from repro.radio.rat import RAT
+from repro.simtime import SECONDS_PER_MONTH
+
+#: How post-transition failures split across types.
+_POST_TRANSITION_TYPE_MIX = (
+    (FailureType.DATA_SETUP_ERROR, 0.50),
+    (FailureType.DATA_STALL, 0.35),
+    (FailureType.OUT_OF_SERVICE, 0.15),
+)
+
+#: False-positive setup flavours and their odds.
+_FP_FLAVOURS = (
+    ("overload", 0.70),
+    ("voice_call", 0.10),
+    ("balance", 0.10),
+    ("manual", 0.10),
+)
+
+_OVERLOAD_FP_CAUSES = ("INSUFFICIENT_RESOURCES", "CONGESTION",
+                       "ACCESS_BLOCK")
+
+
+class FleetSimulator:
+    """Simulates one scenario and produces its dataset."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.topology = NationalTopology(config.topology)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> Dataset:
+        """Simulate every device; returns the collected dataset."""
+        dataset = Dataset(metadata={
+            "arm": self.config.arm,
+            "n_devices": self.config.n_devices,
+            "seed": self.config.seed,
+            "study_months": self.config.study_months,
+            "frequency_scale": self.config.frequency_scale,
+        })
+        dataset.base_stations = [
+            BaseStationRecord(
+                bs_id=bs.bs_id,
+                isp=bs.isp.label,
+                rats=tuple(sorted(rat.label for rat in bs.supported_rats)),
+                deployment=bs.deployment.value,
+            )
+            for bs in self.topology.base_stations
+        ]
+        for device_id in range(1, self.config.n_devices + 1):
+            self._simulate_device(device_id, dataset)
+        return dataset
+
+    # -- per-device simulation ---------------------------------------------------
+
+    def _stream(self, device_id: int, purpose: str) -> random.Random:
+        return random.Random(
+            f"{self.config.seed}:{device_id}:{purpose}"
+        )
+
+    def _simulate_device(self, device_id: int, dataset: Dataset) -> None:
+        profile_rng = self._stream(device_id, "profile")
+        spec = self._pick_model(profile_rng)
+        isp = self._pick_isp(profile_rng)
+        device = self._build_device(device_id, spec, isp)
+
+        hazard = (
+            spec.sample_hazard(
+                profile_rng, isp_factor=behavior.ISP_HAZARD_FACTOR[isp]
+            )
+            * self.config.frequency_scale
+            * (self.config.study_months / 8.0)
+        )
+        ambient_hazard = hazard * (
+            behavior.AMBIENT_FRACTION_5G if spec.has_5g else 1.0
+        )
+        study_s = self.config.study_months * SECONDS_PER_MONTH
+
+        schedule = self._schedule(profile_rng, spec, hazard,
+                                  ambient_hazard, study_s)
+        oos_active = profile_rng.random() < (
+            behavior.OOS_ACTIVE_DEVICE_FRACTION
+        )
+        radio_profile = behavior.make_radio_profile(profile_rng)
+
+        for index, (when, kind) in enumerate(schedule):
+            device.rng = self._stream(device_id, f"mech:{index}")
+            if when > device.clock.now():
+                device.clock.advance_to(when)
+            if kind == "ambient":
+                self._realize_ambient(device, profile_rng, oos_active,
+                                      radio_profile)
+            elif kind == "transition":
+                self._realize_transition(device, profile_rng, dataset)
+            else:  # false positive
+                self._realize_false_positive(device, profile_rng)
+
+        dataset.devices.append(
+            self._device_record(device_id, spec, isp, profile_rng, study_s)
+        )
+        dataset.failures.extend(device.records)
+
+    def _schedule(
+        self,
+        rng: random.Random,
+        spec: PhoneModelSpec,
+        hazard: float,
+        ambient_hazard: float,
+        study_s: float,
+    ) -> list[tuple[float, str]]:
+        """Time-sorted (when, kind) items for one device."""
+        cap = self.config.max_events_per_device
+        n_ambient = min(_poisson(rng, ambient_hazard), cap)
+        transition_rate = (
+            behavior.TRANSITION_RATE_5G if spec.has_5g
+            else behavior.TRANSITION_RATE_NON_5G
+        )
+        n_transitions = min(_poisson(rng, hazard * transition_rate), cap)
+        n_fps = min(
+            _poisson(rng, ambient_hazard * self.config.false_positive_rate),
+            cap,
+        )
+        schedule = (
+            [(rng.uniform(0, study_s), "ambient")
+             for _ in range(n_ambient)]
+            + [(rng.uniform(0, study_s), "transition")
+               for _ in range(n_transitions)]
+            + [(rng.uniform(0, study_s), "fp") for _ in range(n_fps)]
+        )
+        schedule.sort()
+        return schedule
+
+    # -- episode realization -------------------------------------------------------
+
+    def _realize_ambient(
+        self,
+        device: SimulatedDevice,
+        rng: random.Random,
+        oos_active: bool,
+        radio_profile: behavior.DeviceRadioProfile,
+    ) -> None:
+        failure_type = behavior.sample_failure_type(rng, oos_active)
+        if failure_type is FailureType.DATA_STALL:
+            natural, component = behavior.sample_stall_natural_duration(rng)
+            context = behavior.sample_event_context(
+                rng, self.topology, device.isp, device.spec.has_5g,
+                long_outage=natural > 1_200.0,
+                profile=radio_profile,
+            )
+            fault_kind = behavior.sample_stall_fault_kind(rng)
+            device.realize_stall(context, natural, component, fault_kind)
+            return
+        context = behavior.sample_event_context(
+            rng, self.topology, device.isp, device.spec.has_5g,
+            profile=radio_profile,
+        )
+        if failure_type is FailureType.DATA_SETUP_ERROR:
+            cause = DEFAULT_CAUSE_SAMPLER.sample(
+                rng,
+                rat=context.rat,
+                signal_level=context.signal_level,
+                deployment_density=DEPLOYMENT_TRAITS[
+                    context.deployment].density,
+            )
+            device.realize_setup_error(context, cause)
+        elif failure_type is FailureType.OUT_OF_SERVICE:
+            device.realize_out_of_service(
+                context, behavior.sample_oos_duration(rng)
+            )
+        else:
+            device.realize_legacy_failure(context, failure_type)
+
+    def _realize_transition(
+        self,
+        device: SimulatedDevice,
+        rng: random.Random,
+        dataset: Dataset,
+    ) -> None:
+        scenario = behavior.sample_transition_scenario(
+            rng, device.spec.has_5g
+        )
+        current, selected, executed = device.decide_transition(scenario)
+        if executed:
+            p_fail = behavior.transition_failure_probability(
+                current.rat, current.signal_level,
+                selected.rat, selected.signal_level,
+            ) + device.transition_procedure_failure_rate(selected.rat)
+        else:
+            p_fail = behavior.stay_failure_probability(
+                current.rat, current.signal_level
+            )
+        failed = rng.random() < p_fail
+        after = selected if executed else current
+        dataset.transitions.append(TransitionRecord(
+            device_id=device.device_id,
+            from_rat=current.rat.label,
+            from_level=int(current.signal_level),
+            to_rat=selected.rat.label,
+            to_level=int(selected.signal_level),
+            executed=executed,
+            failed_after=failed,
+            arm=device.arm,
+        ))
+        if not failed:
+            return
+        deployment = behavior.sample_event_deployment(
+            rng, after.signal_level
+        )
+        bs = self.topology.sample_bs(rng, device.isp, deployment, after.rat)
+        context = behavior.EventContext(
+            rat=after.rat, signal_level=after.signal_level,
+            deployment=deployment, bs=bs,
+        )
+        failure_type = _weighted(rng, _POST_TRANSITION_TYPE_MIX)
+        if failure_type is FailureType.DATA_SETUP_ERROR:
+            cause = DEFAULT_CAUSE_SAMPLER.sample(
+                rng,
+                rat=after.rat,
+                signal_level=after.signal_level,
+                deployment_density=DEPLOYMENT_TRAITS[deployment].density,
+                during_handover=True,
+            )
+            device.realize_handover_failure(
+                current.rat, current.signal_level, context, cause
+            )
+        elif failure_type is FailureType.DATA_STALL:
+            natural, component = behavior.sample_stall_natural_duration(rng)
+            device.realize_stall(
+                context, natural, component,
+                fault_kind=behavior.sample_stall_fault_kind(rng),
+                post_transition=True,
+            )
+        else:
+            device.realize_out_of_service(
+                context, behavior.sample_oos_duration(rng),
+                post_transition=True,
+            )
+
+    def _realize_false_positive(
+        self, device: SimulatedDevice, rng: random.Random
+    ) -> None:
+        """Suspicious-but-false events the monitor must filter out."""
+        flavour = _weighted(rng, _FP_FLAVOURS)
+        context = behavior.sample_event_context(
+            rng, self.topology, device.isp, device.spec.has_5g
+        )
+        before = len(device.records)
+        if flavour == "overload":
+            cause = rng.choice(_OVERLOAD_FP_CAUSES)
+            device.realize_false_positive_setup(context, cause)
+        else:
+            flags = {
+                "voice_call": DeviceFlags(in_voice_call=True),
+                "balance": DeviceFlags(balance_exhausted=True),
+                "manual": DeviceFlags(data_manually_disabled=True),
+            }[flavour]
+            previous = device.monitor.flags
+            device.monitor.flags = flags
+            cause = DEFAULT_CAUSE_SAMPLER.sample(rng)
+            device.realize_false_positive_setup(context, cause)
+            device.monitor.flags = previous
+        if len(device.records) != before:
+            raise RuntimeError(
+                "false-positive episode leaked into the dataset"
+            )
+
+    # -- population ---------------------------------------------------------
+
+    def _pick_model(self, rng: random.Random) -> PhoneModelSpec:
+        shares = [spec.user_share for spec in PHONE_MODELS]
+        return rng.choices(PHONE_MODELS, weights=shares)[0]
+
+    def _pick_isp(self, rng: random.Random) -> ISP:
+        isps = list(ISP_PROFILES)
+        weights = [ISP_PROFILES[isp].subscriber_share for isp in isps]
+        return rng.choices(isps, weights=weights)[0]
+
+    def _build_device(
+        self, device_id: int, spec: PhoneModelSpec, isp: ISP
+    ) -> SimulatedDevice:
+        patched = self.config.arm == ARM_PATCHED
+        if patched:
+            rat_policy = StabilityCompatiblePolicy()
+            recovery: RecoveryPolicy = TIMP_RECOVERY_POLICY
+            if self.config.patched_probations_s is not None:
+                recovery = TIMP_RECOVERY_POLICY.with_probations(
+                    self.config.patched_probations_s
+                )
+        else:
+            rat_policy = policy_for_android_version(spec.android_version)
+            recovery = VANILLA_RECOVERY_POLICY
+        return SimulatedDevice(
+            device_id=device_id,
+            spec=spec,
+            isp=isp,
+            arm=self.config.arm,
+            rat_policy=rat_policy,
+            recovery_policy=recovery,
+            rng=self._stream(device_id, "mech:init"),
+            use_endc=patched and spec.has_5g,
+        )
+
+    def _device_record(
+        self,
+        device_id: int,
+        spec: PhoneModelSpec,
+        isp: ISP,
+        rng: random.Random,
+        study_s: float,
+    ) -> DeviceRecord:
+        total = (
+            behavior.STUDY_CONNECTED_SECONDS
+            * (self.config.study_months / 8.0)
+            * rng.lognormvariate(0.0, 0.3)
+        )
+        usage = behavior.rat_usage_mix(spec.has_5g)
+        exposure: dict[tuple[str, int], float] = {}
+        for rat, rat_share in usage.items():
+            for level, level_share in enumerate(
+                behavior.EXPOSURE_LEVEL_SHARES
+            ):
+                seconds = total * rat_share * level_share
+                if seconds > 0:
+                    exposure[(rat.label, level)] = seconds
+        return DeviceRecord(
+            device_id=device_id,
+            model=spec.model,
+            android_version=spec.android_version,
+            has_5g=spec.has_5g,
+            isp=isp.label,
+            arm=self.config.arm,
+            exposure_s=exposure,
+        )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Poisson draw; normal approximation for large means."""
+    if mean <= 0:
+        return 0
+    if mean > 200:
+        return max(0, round(rng.gauss(mean, mean**0.5)))
+    # Knuth's method.
+    limit = 2.718281828459045 ** (-mean)
+    count, product = 0, rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _weighted(rng: random.Random, table):
+    total = sum(weight for _, weight in table)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for item, weight in table:
+        cumulative += weight
+        if roll < cumulative:
+            return item
+    return table[-1][0]

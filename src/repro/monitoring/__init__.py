@@ -1,0 +1,20 @@
+"""Android-MOD: the continuous monitoring infrastructure (Sec. 2.2) —
+instrumented failure listeners with false-positive filtering, in-situ
+context capture, the network-state prober, overhead accounting, and
+WiFi-gated upload batching."""
+
+from repro.monitoring.listener import CellularMonitorService, DeviceFlags
+from repro.monitoring.insitu import InSituCollector
+from repro.monitoring.prober import NetworkStateProber, StallMeasurement
+from repro.monitoring.overhead import OverheadAccountant
+from repro.monitoring.uploader import UploadBatcher
+
+__all__ = [
+    "CellularMonitorService",
+    "DeviceFlags",
+    "InSituCollector",
+    "NetworkStateProber",
+    "StallMeasurement",
+    "OverheadAccountant",
+    "UploadBatcher",
+]

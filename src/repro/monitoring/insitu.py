@@ -1,0 +1,46 @@
+"""In-situ context capture (Sec. 2.2).
+
+Upon a failure, Android-MOD records the radio- and BS-related context the
+vanilla system omits: current RAT, received signal strength, APN, and the
+BS identity (MCC/MNC/LAC/CID, or SID/NID/BID for CDMA cells), plus the
+protocol error code for Data_Setup_Error events.  All of it is available
+through TelephonyManager / ServiceState APIs — no root required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.telephony import TelephonyManager
+from repro.core.events import FailureEvent
+
+
+@dataclass
+class InSituCollector:
+    """Snapshots device radio context into failure events."""
+
+    telephony: TelephonyManager
+
+    def snapshot(self) -> dict[str, object]:
+        """The context dictionary recorded with every failure."""
+        identity = self.telephony.get_cell_identity()
+        return {
+            "rat": self.telephony.get_network_type(),
+            "signal_level": self.telephony.get_signal_strength(),
+            "apn": self.telephony.get_apn(),
+            "operator": self.telephony.get_network_operator(),
+            "bs_identity": identity.as_string() if identity else None,
+            "bs_id": (
+                self.telephony.serving_bs.bs_id
+                if self.telephony.serving_bs
+                else None
+            ),
+        }
+
+    def annotate(self, event: FailureEvent) -> FailureEvent:
+        """Merge the in-situ snapshot into ``event`` (event wins on
+        conflicts so radio context captured at failure time persists)."""
+        snapshot = self.snapshot()
+        snapshot.update(event.context)
+        event.context = snapshot
+        return event

@@ -1,0 +1,112 @@
+"""The instrumented monitoring service (Sec. 2.2).
+
+Android-MOD registers a monitoring service as an event listener on the
+cellular connection-management services so *all* failure events are
+captured in real time — including the ones vanilla Android never exposes
+to user space.  On the way in it rules out false positives:
+
+* connection disruption by an incoming voice call,
+* service suspension due to insufficient account balance,
+* manual disconnection of the network,
+* rational setup rejections from overloaded BSes (via the error code),
+* system-side / DNS-service stall verdicts from the prober.
+
+True failures are annotated with in-situ context and handed to a sink
+(the dataset uploader).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.events import (
+    FailureEvent,
+    FailureType,
+    FalsePositiveReason,
+    ProbeVerdict,
+)
+from repro.monitoring.insitu import InSituCollector
+
+EventSink = Callable[[FailureEvent], None]
+
+
+@dataclass
+class DeviceFlags:
+    """Device-side conditions the false-positive filters consult."""
+
+    in_voice_call: bool = False
+    balance_exhausted: bool = False
+    data_manually_disabled: bool = False
+
+
+@dataclass
+class CellularMonitorService:
+    """Android-MOD's monitoring service for one device."""
+
+    insitu: InSituCollector
+    sink: EventSink
+    flags: DeviceFlags = field(default_factory=DeviceFlags)
+    #: Counters for accounting and tests.
+    captured: int = 0
+    filtered: int = 0
+
+    # -- listener entry points (registered on the system services) -----------
+
+    def on_failure_event(self, event: FailureEvent) -> None:
+        """Generic entry point for any failure event."""
+        reason = self._classify_false_positive(event)
+        if reason is not None:
+            event.false_positive = reason
+            self.filtered += 1
+            return
+        self.insitu.annotate(event)
+        self.captured += 1
+        self.sink(event)
+
+    def on_data_setup_error(self, event: FailureEvent) -> None:
+        self.on_failure_event(event)
+
+    def on_out_of_service(
+        self, old_state, new_state, timestamp: float
+    ) -> None:
+        """ServiceState listener shim; real events arrive via
+        :meth:`on_failure_event` when the episode closes."""
+
+    def on_stall_verdict(
+        self, event: FailureEvent, verdict: ProbeVerdict
+    ) -> None:
+        """Apply the prober's verdict to a suspected Data_Stall."""
+        if verdict is ProbeVerdict.SYSTEM_SIDE_FAULT:
+            event.false_positive = FalsePositiveReason.SYSTEM_SIDE
+        elif verdict is ProbeVerdict.DNS_SERVICE_FAULT:
+            event.false_positive = (
+                FalsePositiveReason.DNS_SERVICE_UNAVAILABLE
+            )
+        if event.false_positive is None:
+            self.on_failure_event(event)
+        else:
+            self.filtered += 1
+
+    # -- filters -----------------------------------------------------------
+
+    def _classify_false_positive(
+        self, event: FailureEvent
+    ) -> FalsePositiveReason | None:
+        if event.false_positive is not None:
+            return event.false_positive
+        if self.flags.in_voice_call:
+            return FalsePositiveReason.INCOMING_VOICE_CALL
+        if self.flags.balance_exhausted:
+            return FalsePositiveReason.INSUFFICIENT_BALANCE
+        if self.flags.data_manually_disabled:
+            return FalsePositiveReason.MANUAL_DISCONNECT
+        if (
+            event.failure_type is FailureType.DATA_SETUP_ERROR
+            and event.error_code is not None
+            and event.error_code in ERROR_CODE_REGISTRY
+            and ERROR_CODE_REGISTRY.get(event.error_code).rational_rejection
+        ):
+            return FalsePositiveReason.BS_OVERLOAD_REJECTION
+        return None

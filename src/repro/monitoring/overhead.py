@@ -1,0 +1,105 @@
+"""Client-side overhead accounting (Sec. 2.2 / 4.3).
+
+Android-MOD is dormant outside failure episodes; its cost is therefore
+accounted *within* failure durations: CPU time spent capturing and
+probing, memory for in-flight event state, storage for buffered records,
+and network bytes for probes plus uploads.  The paper's envelope on a
+low-end phone: <2% CPU (within failure windows), <40 KB memory, <100 KB
+storage, <100 KB network per month; worst case (40k+ failures/month)
+<8% CPU, <2 MB memory, <20 MB storage, ~20 MB network per month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import quantities
+
+#: Modelled unit costs.
+CPU_SECONDS_PER_EVENT = 0.010  # capture + serialize one event
+CPU_SECONDS_PER_PROBE_ROUND = 0.002
+MEMORY_BYTES_PER_OPEN_EVENT = 2_048
+MEMORY_BASELINE_BYTES = 24 * 1024
+STORAGE_BYTES_PER_RECORD = 220  # compressed record on flash
+
+
+@dataclass
+class OverheadAccountant:
+    """Accumulates Android-MOD's client-side resource costs."""
+
+    cpu_seconds: float = 0.0
+    #: Total wall seconds of failure episodes monitored (the CPU
+    #: utilization denominator per the paper's accounting).
+    failure_seconds: float = 0.0
+    peak_open_events: int = 0
+    _open_events: int = field(default=0, init=False)
+    storage_bytes: int = 0
+    network_bytes: int = 0
+    months_observed: float = 1.0
+
+    # -- event lifecycle -----------------------------------------------------
+
+    def event_opened(self) -> None:
+        self._open_events += 1
+        self.peak_open_events = max(self.peak_open_events, self._open_events)
+
+    def event_closed(self, duration_s: float, probe_rounds: int = 0,
+                     probe_bytes: int = 0) -> None:
+        if self._open_events <= 0:
+            raise RuntimeError("no open event to close")
+        self._open_events -= 1
+        self.failure_seconds += max(duration_s, 1.0)
+        self.cpu_seconds += (
+            CPU_SECONDS_PER_EVENT
+            + CPU_SECONDS_PER_PROBE_ROUND * probe_rounds
+        )
+        self.storage_bytes += STORAGE_BYTES_PER_RECORD
+        self.network_bytes += probe_bytes
+
+    def uploaded(self, payload_bytes: int) -> None:
+        self.network_bytes += payload_bytes
+        # Uploaded records leave local storage.
+        self.storage_bytes = max(0, self.storage_bytes - payload_bytes)
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def cpu_utilization(self) -> float:
+        """CPU share *within failure durations* (the paper's metric)."""
+        if self.failure_seconds == 0:
+            return 0.0
+        return self.cpu_seconds / self.failure_seconds
+
+    @property
+    def memory_bytes(self) -> int:
+        return (
+            MEMORY_BASELINE_BYTES
+            + MEMORY_BYTES_PER_OPEN_EVENT * self.peak_open_events
+        )
+
+    @property
+    def network_bytes_per_month(self) -> float:
+        return self.network_bytes / max(self.months_observed, 1e-9)
+
+    def within_envelope(self, worst_case: bool = False) -> bool:
+        """Check the measured overhead against the paper's envelope."""
+        bound = (
+            quantities.OVERHEAD_WORST_CASE
+            if worst_case
+            else quantities.OVERHEAD_TYPICAL
+        )
+        return (
+            self.cpu_utilization <= bound["cpu_utilization"]
+            and self.memory_bytes <= bound["memory_bytes"]
+            and self.storage_bytes <= bound["storage_bytes"]
+            and self.network_bytes_per_month
+            <= bound["network_bytes_per_month"]
+        )
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cpu_utilization": self.cpu_utilization,
+            "memory_bytes": float(self.memory_bytes),
+            "storage_bytes": float(self.storage_bytes),
+            "network_bytes_per_month": self.network_bytes_per_month,
+        }

@@ -1,0 +1,79 @@
+"""Passive stall monitoring (the Sec. 6 alternative).
+
+The paper's prober is *active*: it injects ICMP/DNS traffic, which
+bounds measurement error at five seconds but perturbs the network.
+Sec. 6 discusses passive alternatives in the style of Hui et al. (2013)
+and Wang et al. (2019): watch the existing packet flow and infer stall
+boundaries from inter-arrival gaps, at zero network overhead but with
+error bounded only by the application's own traffic cadence.
+
+This module implements that alternative over the same kernel-counter
+substrate, so active and passive measurement can be compared on
+identical episodes (see ``benchmarks/test_ablation_passive.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netstack.stack import DeviceNetStack
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class PassiveMeasurement:
+    """One passively measured stall."""
+
+    duration_s: float
+    #: Seconds between the stall's true end and the first observed
+    #: inbound packet — the passive method's measurement error.
+    detection_lag_s: float
+    #: Probe bytes injected: always zero, the method's selling point.
+    probe_bytes: int = 0
+
+
+class PassiveStallMonitor:
+    """Measures stall durations from ambient traffic only.
+
+    The monitor never sends anything: it watches the inbound stream and
+    declares the stall over at the first inbound segment after the
+    outage.  Its error therefore equals the gap until the application
+    happens to receive data — typically several seconds and unbounded
+    in quiet periods, versus the active prober's hard 5 s bound.
+    """
+
+    def __init__(self, clock: SimClock, poll_interval_s: float = 1.0,
+                 max_wait_s: float = 7_200.0) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        self.clock = clock
+        self.poll_interval_s = poll_interval_s
+        self.max_wait_s = max_wait_s
+
+    def measure(self, stack: DeviceNetStack,
+                traffic_gap_s: float) -> PassiveMeasurement:
+        """Measure the currently active stall.
+
+        ``traffic_gap_s`` is the application's inter-arrival gap: after
+        the network recovers, the next inbound packet arrives that much
+        later, and only then does the passive monitor notice.
+        """
+        if traffic_gap_s < 0:
+            raise ValueError("traffic gap cannot be negative")
+        start = self.clock.now()
+        fault = stack.fault_at(start)
+        if fault is None:
+            return PassiveMeasurement(duration_s=0.0, detection_lag_s=0.0)
+        deadline = start + self.max_wait_s
+        while self.clock.now() < deadline:
+            if stack.fault_at(self.clock.now()) is None:
+                break
+            self.clock.advance(self.poll_interval_s)
+        true_end = self.clock.now()
+        # The first inbound segment after recovery lands one traffic
+        # gap later; until then the stall still looks open.
+        self.clock.advance(traffic_gap_s)
+        return PassiveMeasurement(
+            duration_s=self.clock.now() - start,
+            detection_lag_s=self.clock.now() - true_end,
+        )

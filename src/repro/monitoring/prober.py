@@ -1,0 +1,183 @@
+"""The network-state prober (Sec. 2.2).
+
+Vanilla Android's Data_Stall detector has one-minute granularity and no
+way to tell a genuine network stall from a broken firewall or a dead DNS
+service.  Android-MOD fixes both with active probing: on a suspected
+stall it simultaneously sends an ICMP message to 127.0.0.1, plus an ICMP
+message and a DNS query (for the study's test-server domain) to each
+assigned DNS server.
+
+Verdict logic, verbatim from the paper:
+
+* loopback ICMP times out (1 s)           -> system-side false positive;
+* all DNS queries time out (5 s) *and*
+  ICMP to the DNS servers also times out  -> genuine network-side stall;
+* DNS queries time out but DNS-server
+  ICMP succeeds                           -> DNS-service false positive;
+* nothing times out                       -> the stall is over.
+
+A probe round costs at most five seconds, so measured durations carry at
+most five seconds of error (vs. up to a minute for vanilla Android).
+Past 1200 s of stall the timeouts back off multiplicatively (x2) to
+bound overhead, and once a timeout would exceed one minute the prober
+reverts to vanilla Android's estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import quantities
+from repro.core.events import ProbeVerdict
+from repro.netstack.stack import DeviceNetStack
+from repro.network.dns import TEST_SERVER_DOMAIN
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class ProbeRound:
+    """Result of one simultaneous probe volley."""
+
+    verdict: ProbeVerdict
+    elapsed_s: float
+    icmp_timeout_s: float
+    dns_timeout_s: float
+
+
+@dataclass(frozen=True)
+class StallMeasurement:
+    """Final duration measurement for one suspected Data_Stall."""
+
+    duration_s: float
+    verdict: ProbeVerdict
+    rounds: int
+    #: True when the prober fell back to vanilla minute-granularity
+    #: estimation (timeouts exceeded one minute, Sec. 2.2).
+    reverted_to_vanilla: bool
+    #: Total probe bytes sent (for overhead accounting).
+    probe_bytes: int
+
+
+#: Approximate bytes per probe volley: one loopback ICMP plus an ICMP
+#: echo and a DNS query per server (~64 + n*(64 + 80)).
+_BYTES_PER_ROUND_BASE = 64
+_BYTES_PER_SERVER = 64 + 80
+
+
+class NetworkStateProber:
+    """Measures a Data_Stall's duration and classifies its nature."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        icmp_timeout_s: float = quantities.PROBE_ICMP_TIMEOUT_S,
+        dns_timeout_s: float = quantities.PROBE_DNS_TIMEOUT_S,
+        backoff_threshold_s: float = quantities.PROBE_BACKOFF_THRESHOLD_S,
+        backoff_factor: float = quantities.PROBE_BACKOFF_FACTOR,
+        max_timeout_s: float = quantities.PROBE_MAX_TIMEOUT_S,
+    ) -> None:
+        if icmp_timeout_s <= 0 or dns_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        self.clock = clock
+        self.base_icmp_timeout_s = icmp_timeout_s
+        self.base_dns_timeout_s = dns_timeout_s
+        self.backoff_threshold_s = backoff_threshold_s
+        self.backoff_factor = backoff_factor
+        self.max_timeout_s = max_timeout_s
+
+    # -- one volley --------------------------------------------------------
+
+    def probe_once(
+        self,
+        stack: DeviceNetStack,
+        icmp_timeout_s: float,
+        dns_timeout_s: float,
+    ) -> ProbeRound:
+        """Send one simultaneous volley and classify the outcome."""
+        now = self.clock.now()
+        loopback_ok, loopback_elapsed = stack.ping_loopback(
+            now, icmp_timeout_s
+        )
+        icmp_results = []
+        dns_results = []
+        for server in stack.dns_servers:
+            icmp_results.append(
+                stack.ping_dns_server(server, now, icmp_timeout_s)
+            )
+            dns_results.append(
+                stack.resolve(server, TEST_SERVER_DOMAIN, now, dns_timeout_s)
+            )
+        # The volley is simultaneous: elapsed is the max of the branches.
+        elapsed = max(
+            [loopback_elapsed]
+            + [e for _, e in icmp_results]
+            + [e for _, e in dns_results]
+        )
+        if not loopback_ok:
+            verdict = ProbeVerdict.SYSTEM_SIDE_FAULT
+        elif all(not ok for ok, _ in dns_results):
+            if any(ok for ok, _ in icmp_results):
+                verdict = ProbeVerdict.DNS_SERVICE_FAULT
+            else:
+                verdict = ProbeVerdict.NETWORK_SIDE_STALL
+        else:
+            verdict = ProbeVerdict.RECOVERED
+        return ProbeRound(
+            verdict=verdict,
+            elapsed_s=elapsed,
+            icmp_timeout_s=icmp_timeout_s,
+            dns_timeout_s=dns_timeout_s,
+        )
+
+    # -- full measurement ------------------------------------------------------
+
+    def measure(self, stack: DeviceNetStack) -> StallMeasurement:
+        """Probe until the stall ends or is classified as a false positive.
+
+        Advances the shared clock by each round's elapsed time; the
+        returned duration is the sum of all probing rounds since the
+        suspected stall began, per the paper's accounting.
+        """
+        start = self.clock.now()
+        icmp_timeout = self.base_icmp_timeout_s
+        dns_timeout = self.base_dns_timeout_s
+        rounds = 0
+        bytes_sent = 0
+        while True:
+            if (
+                icmp_timeout > self.max_timeout_s
+                or dns_timeout > self.max_timeout_s
+            ):
+                # Revert to vanilla estimation: minute granularity.
+                duration = self._vanilla_estimate(stack, start)
+                return StallMeasurement(
+                    duration_s=duration,
+                    verdict=ProbeVerdict.NETWORK_SIDE_STALL,
+                    rounds=rounds,
+                    reverted_to_vanilla=True,
+                    probe_bytes=bytes_sent,
+                )
+            result = self.probe_once(stack, icmp_timeout, dns_timeout)
+            rounds += 1
+            bytes_sent += (
+                _BYTES_PER_ROUND_BASE
+                + _BYTES_PER_SERVER * len(stack.dns_servers)
+            )
+            self.clock.advance(result.elapsed_s)
+            if result.verdict is not ProbeVerdict.NETWORK_SIDE_STALL:
+                return StallMeasurement(
+                    duration_s=self.clock.now() - start,
+                    verdict=result.verdict,
+                    rounds=rounds,
+                    reverted_to_vanilla=False,
+                    probe_bytes=bytes_sent,
+                )
+            if self.clock.now() - start > self.backoff_threshold_s:
+                icmp_timeout *= self.backoff_factor
+                dns_timeout *= self.backoff_factor
+
+    def _vanilla_estimate(self, stack: DeviceNetStack, start: float) -> float:
+        """Fall back to Android's one-minute detection cadence."""
+        while stack.fault_at(self.clock.now()) is not None:
+            self.clock.advance(quantities.DATA_STALL_WINDOW_S)
+        return self.clock.now() - start

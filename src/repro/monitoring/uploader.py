@@ -1,0 +1,59 @@
+"""WiFi-gated, compressed upload batching (Sec. 2.2).
+
+Recorded data are compressed and uploaded to the backend; heavy
+producers (devices with tens of thousands of failures a month) only
+upload when WiFi connectivity is available so cellular overhead stays
+negligible — the aggregate across 70M devices stayed under 500 KB/s.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+#: A device uploads over cellular only below this backlog (bytes);
+#: larger backlogs wait for WiFi.
+CELLULAR_BACKLOG_LIMIT_BYTES = 256 * 1024
+
+
+@dataclass
+class UploadBatcher:
+    """Buffers serialized records and flushes them opportunistically."""
+
+    #: Callable receiving compressed payload bytes; the "backend".
+    transport: object = None
+    _pending: list[bytes] = field(default_factory=list, init=False)
+    pending_bytes: int = 0
+    uploaded_bytes: int = 0
+    uploads: int = 0
+
+    def enqueue(self, record: dict) -> int:
+        """Serialize, compress, and buffer one record; returns its size."""
+        payload = zlib.compress(
+            json.dumps(record, sort_keys=True, default=str).encode()
+        )
+        self._pending.append(payload)
+        self.pending_bytes += len(payload)
+        return len(payload)
+
+    def maybe_flush(self, wifi_available: bool) -> int:
+        """Flush the buffer if policy allows; returns bytes uploaded.
+
+        Small backlogs may ride cellular; big ones wait for WiFi.
+        """
+        if not self._pending:
+            return 0
+        if not wifi_available and (
+            self.pending_bytes > CELLULAR_BACKLOG_LIMIT_BYTES
+        ):
+            return 0
+        flushed = self.pending_bytes
+        if self.transport is not None:
+            for payload in self._pending:
+                self.transport(payload)
+        self._pending.clear()
+        self.pending_bytes = 0
+        self.uploaded_bytes += flushed
+        self.uploads += 1
+        return flushed

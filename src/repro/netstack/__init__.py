@@ -1,0 +1,13 @@
+"""Device network-stack substrate: kernel-style TCP segment counters,
+fault injection, and the probe surface the Android-MOD prober uses."""
+
+from repro.netstack.tcp_counters import TcpSegmentCounters
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+
+__all__ = [
+    "TcpSegmentCounters",
+    "ActiveFault",
+    "FaultKind",
+    "DeviceNetStack",
+]

@@ -1,0 +1,90 @@
+"""Fault taxonomy for the device network stack.
+
+The Android-MOD prober exists because not every suspected Data_Stall is a
+cellular failure (Sec. 2.2): the stack distinguishes genuine network-side
+stalls from system-side misconfigurations (firewall, proxy, modem driver)
+and from DNS-service outages.  Fault injection at this layer is how the
+simulator exercises every branch of the prober's verdict logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.events import FalsePositiveReason, ProbeVerdict
+
+
+class FaultKind(enum.Enum):
+    """What is actually wrong when data stops flowing."""
+
+    #: A genuine cellular/network-side stall (the true failure).
+    NETWORK_STALL = "NETWORK_STALL"
+    #: Erroneous firewall configuration drops local traffic.
+    FIREWALL_MISCONFIG = "FIREWALL_MISCONFIG"
+    #: A problematic proxy blackholes traffic.
+    PROXY_MISCONFIG = "PROXY_MISCONFIG"
+    #: The modem driver wedged; the whole stack is unresponsive.
+    MODEM_DRIVER_FAILURE = "MODEM_DRIVER_FAILURE"
+    #: Only the DNS resolution service is unavailable.
+    DNS_OUTAGE = "DNS_OUTAGE"
+
+    @property
+    def is_system_side(self) -> bool:
+        """Faults the loopback probe exposes (false positives)."""
+        return self in _SYSTEM_SIDE
+
+    @property
+    def is_true_stall(self) -> bool:
+        return self is FaultKind.NETWORK_STALL
+
+    @property
+    def expected_verdict(self) -> ProbeVerdict:
+        """The verdict a correct prober must reach for this fault."""
+        if self.is_system_side:
+            return ProbeVerdict.SYSTEM_SIDE_FAULT
+        if self is FaultKind.DNS_OUTAGE:
+            return ProbeVerdict.DNS_SERVICE_FAULT
+        return ProbeVerdict.NETWORK_SIDE_STALL
+
+    @property
+    def false_positive_reason(self) -> FalsePositiveReason | None:
+        """How Android-MOD records this fault when filtering it out."""
+        if self.is_system_side:
+            return FalsePositiveReason.SYSTEM_SIDE
+        if self is FaultKind.DNS_OUTAGE:
+            return FalsePositiveReason.DNS_SERVICE_UNAVAILABLE
+        return None
+
+
+_SYSTEM_SIDE = frozenset(
+    {
+        FaultKind.FIREWALL_MISCONFIG,
+        FaultKind.PROXY_MISCONFIG,
+        FaultKind.MODEM_DRIVER_FAILURE,
+    }
+)
+
+
+@dataclass
+class ActiveFault:
+    """A fault live on the stack from ``start`` for ``duration`` seconds.
+
+    ``duration`` may be ``float('inf')`` for faults that only a recovery
+    action (or the user) will clear.
+    """
+
+    kind: FaultKind
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("fault duration cannot be negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end

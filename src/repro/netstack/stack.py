@@ -1,0 +1,131 @@
+"""The device network stack.
+
+Owns the kernel TCP counters, the assigned DNS servers, and any injected
+fault, and exposes the probe surface (loopback ICMP, DNS-server ICMP,
+DNS query) that the Android-MOD prober exercises (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.tcp_counters import TcpSegmentCounters
+from repro.network.dns import DnsServer, default_dns_servers
+
+
+class DeviceNetStack:
+    """Simulated network stack of one device."""
+
+    def __init__(
+        self,
+        dns_servers: list[DnsServer] | None = None,
+        window_s: float = 60.0,
+    ) -> None:
+        self.counters = TcpSegmentCounters(window_s=window_s)
+        self.dns_servers = (
+            list(dns_servers) if dns_servers is not None
+            else default_dns_servers()
+        )
+        if not self.dns_servers:
+            raise ValueError("a device needs at least one DNS server")
+        self._fault: ActiveFault | None = None
+
+    # -- fault management ---------------------------------------------------
+
+    def inject_fault(self, fault: ActiveFault) -> None:
+        """Install ``fault``; replaces any previous fault."""
+        self._fault = fault
+
+    def clear_fault(self) -> None:
+        self._fault = None
+
+    def fault_at(self, now: float) -> ActiveFault | None:
+        """The fault active at ``now``, if any (expired faults clear)."""
+        if self._fault is not None and not self._fault.active_at(now):
+            if now >= self._fault.end:
+                self._fault = None
+        return self._fault if (
+            self._fault is not None and self._fault.active_at(now)
+        ) else None
+
+    def shorten_fault(self, now: float) -> None:
+        """End the current fault at ``now`` (a recovery action worked)."""
+        fault = self.fault_at(now)
+        if fault is not None:
+            fault.duration = max(0.0, now - fault.start)
+            self._fault = None
+
+    # -- probe surface (what the Android-MOD prober calls) --------------------
+
+    def ping_loopback(self, now: float, timeout_s: float) -> tuple[bool, float]:
+        """ICMP to 127.0.0.1: times out only for system-side faults."""
+        fault = self.fault_at(now)
+        if fault is not None and fault.kind.is_system_side:
+            return False, timeout_s
+        return True, 0.001
+
+    def ping_dns_server(
+        self, server: DnsServer, now: float, timeout_s: float
+    ) -> tuple[bool, float]:
+        """ICMP to an assigned DNS server."""
+        fault = self.fault_at(now)
+        if fault is not None:
+            if fault.kind.is_system_side:
+                return False, timeout_s
+            if fault.kind is FaultKind.NETWORK_STALL:
+                return False, timeout_s
+        return server.ping(timeout_s)
+
+    def resolve(
+        self,
+        server: DnsServer,
+        domain: str,
+        now: float,
+        timeout_s: float,
+    ) -> tuple[bool, float]:
+        """DNS query through ``server``."""
+        fault = self.fault_at(now)
+        if fault is not None:
+            if fault.kind.is_system_side:
+                return False, timeout_s
+            if fault.kind is FaultKind.NETWORK_STALL:
+                return False, timeout_s
+            if fault.kind is FaultKind.DNS_OUTAGE:
+                return False, timeout_s
+        return server.resolve(domain, timeout_s)
+
+    # -- traffic simulation ---------------------------------------------------
+
+    def simulate_traffic(
+        self,
+        start: float,
+        duration_s: float,
+        rng: random.Random,
+        outbound_rate_hz: float = 2.0,
+    ) -> None:
+        """Generate segment traffic for ``duration_s`` starting at ``start``.
+
+        While a stall-class fault is active, outbound segments keep
+        flowing (retransmissions, new requests) but nothing comes back —
+        exactly the signature Android's detector looks for.
+        """
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        step = 1.0 / outbound_rate_hz
+        t = start
+        end = start + duration_s
+        while t < end:
+            self.counters.record_outbound(t)
+            fault = self.fault_at(t)
+            stalled = fault is not None and fault.kind in (
+                FaultKind.NETWORK_STALL,
+                FaultKind.MODEM_DRIVER_FAILURE,
+                FaultKind.FIREWALL_MISCONFIG,
+                FaultKind.PROXY_MISCONFIG,
+            )
+            if not stalled:
+                # Healthy traffic answers most segments.
+                if rng.random() < 0.95:
+                    self.counters.record_inbound(t + min(0.05, step / 2))
+            t += step * rng.uniform(0.7, 1.3)

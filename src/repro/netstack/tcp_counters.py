@@ -1,0 +1,62 @@
+"""Kernel-style TCP segment counters.
+
+Android's Data_Stall heuristic reads statistics the Linux kernel keeps in
+its network stack: a stall is suspected when more than 10 outbound TCP
+segments but not a single inbound segment were seen during the last
+minute (Sec. 2.1).  This module reproduces that observable: a sliding
+window of timestamped segment events with O(1) amortized queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class TcpSegmentCounters:
+    """Sliding-window counters of outbound/inbound TCP segments."""
+
+    def __init__(self, window_s: float = 60.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._outbound: deque[float] = deque()
+        self._inbound: deque[float] = deque()
+
+    def record_outbound(self, timestamp: float, count: int = 1) -> None:
+        """Record ``count`` outbound segments at ``timestamp``."""
+        self._record(self._outbound, timestamp, count)
+
+    def record_inbound(self, timestamp: float, count: int = 1) -> None:
+        """Record ``count`` inbound segments at ``timestamp``."""
+        self._record(self._inbound, timestamp, count)
+
+    def outbound_in_window(self, now: float) -> int:
+        """Outbound segments seen within the last window."""
+        self._expire(self._outbound, now)
+        return len(self._outbound)
+
+    def inbound_in_window(self, now: float) -> int:
+        """Inbound segments seen within the last window."""
+        self._expire(self._inbound, now)
+        return len(self._inbound)
+
+    def reset(self) -> None:
+        """Drop all recorded segments (connection cleanup)."""
+        self._outbound.clear()
+        self._inbound.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, store: deque[float], timestamp: float,
+                count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if store and timestamp < store[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        store.extend([timestamp] * count)
+        self._expire(store, timestamp)
+
+    def _expire(self, store: deque[float], now: float) -> None:
+        horizon = now - self.window_s
+        while store and store[0] <= horizon:
+            store.popleft()

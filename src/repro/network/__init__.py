@@ -1,0 +1,20 @@
+"""Cellular-network substrate: ISPs, base stations, EMM mobility
+management, bearer admission, and the nationwide topology generator."""
+
+from repro.network.isp import ISP, ISP_PROFILES, IspProfile
+from repro.network.basestation import BaseStation, CellIdentity, DeploymentClass
+from repro.network.emm import EmmState, EmmContext
+from repro.network.topology import NationalTopology, TopologyConfig
+
+__all__ = [
+    "ISP",
+    "ISP_PROFILES",
+    "IspProfile",
+    "BaseStation",
+    "CellIdentity",
+    "DeploymentClass",
+    "EmmState",
+    "EmmContext",
+    "NationalTopology",
+    "TopologyConfig",
+]

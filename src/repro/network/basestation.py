@@ -1,0 +1,253 @@
+"""Base stations.
+
+A base station (BS) is the paper's unit of infrastructure analysis
+(Sec. 3.3): it belongs to one ISP, supports one or more RATs, sits in a
+deployment environment (from remote mountain cells in disrepair to the
+densely-packed cells around public transport hubs), and admits or rejects
+data bearers.  Everything Figures 11-17 measure about BSes emerges from
+these attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.core.signal import SignalLevel
+from repro.network.bearer import DEFAULT_CAUSE_SAMPLER, CauseSampler
+from repro.network.emm import EmmContext, EmmState
+from repro.network.isp import ISP, profile_for
+from repro.radio.rat import RAT
+
+
+@dataclass(frozen=True)
+class CellIdentity:
+    """The BS identifier recorded in-situ by Android-MOD (Sec. 2.2).
+
+    GSM/UMTS/LTE/NR cells use MCC+MNC+LAC+CID; CDMA cells are identified
+    by SID+NID+BID instead (the paper's footnote 3).
+    """
+
+    mcc: int
+    mnc: int
+    lac: int | None = None
+    cid: int | None = None
+    # CDMA alternative identity.
+    sid: int | None = None
+    nid: int | None = None
+    bid: int | None = None
+
+    def __post_init__(self) -> None:
+        gsm_style = self.lac is not None and self.cid is not None
+        cdma_style = (
+            self.sid is not None
+            and self.nid is not None
+            and self.bid is not None
+        )
+        if not (gsm_style or cdma_style):
+            raise ValueError(
+                "cell identity needs LAC+CID (3GPP) or SID+NID+BID (CDMA)"
+            )
+
+    @property
+    def is_cdma(self) -> bool:
+        return self.sid is not None
+
+    def as_string(self) -> str:
+        if self.is_cdma:
+            return f"{self.mcc}-{self.sid}-{self.nid}-{self.bid}"
+        return f"{self.mcc}-{self.mnc}-{self.lac}-{self.cid}"
+
+
+class DeploymentClass(enum.Enum):
+    """Where a BS is deployed; drives density, load, and upkeep."""
+
+    TRANSPORT_HUB = "TRANSPORT_HUB"
+    URBAN_CORE = "URBAN_CORE"
+    URBAN = "URBAN"
+    SUBURBAN = "SUBURBAN"
+    RURAL = "RURAL"
+    REMOTE = "REMOTE"
+
+
+@dataclass(frozen=True)
+class DeploymentTraits:
+    """Per-class environment parameters (normalized to [0, 1])."""
+
+    #: Neighbour-cell density; hubs approach 1 (Sec. 3.3).
+    density: float
+    #: Typical access load / contention.
+    load: float
+    #: Ambient interference level.
+    interference: float
+    #: Probability the BS is neglected and in disrepair (remote areas,
+    #: Sec. 3.1's 25.5-hour outages).
+    disrepair_probability: float
+
+
+DEPLOYMENT_TRAITS: dict[DeploymentClass, DeploymentTraits] = {
+    DeploymentClass.TRANSPORT_HUB: DeploymentTraits(0.95, 0.90, 0.85, 0.0),
+    DeploymentClass.URBAN_CORE: DeploymentTraits(0.70, 0.75, 0.60, 0.0),
+    DeploymentClass.URBAN: DeploymentTraits(0.45, 0.55, 0.40, 0.001),
+    DeploymentClass.SUBURBAN: DeploymentTraits(0.25, 0.35, 0.20, 0.005),
+    DeploymentClass.RURAL: DeploymentTraits(0.10, 0.20, 0.10, 0.02),
+    DeploymentClass.REMOTE: DeploymentTraits(0.05, 0.10, 0.05, 0.15),
+}
+
+#: Relative per-attempt contention factor by RAT (Sec. 3.3): 3G is
+#: comparatively idle because devices prefer 4G when available and 2G
+#: out-covers 3G when it is not; 5G modules are immature.
+_RAT_CONTENTION_FACTOR = {
+    RAT.GSM: 1.00,
+    RAT.UMTS: 0.45,
+    RAT.LTE: 1.10,
+    RAT.NR: 1.60,
+}
+
+#: Rational-rejection causes an overloaded BS answers with.
+_OVERLOAD_CAUSES: tuple[str, ...] = (
+    "INSUFFICIENT_RESOURCES",
+    "CONGESTION",
+    "ACCESS_BLOCK",
+    "RRC_CONNECTION_REJECT_BY_NETWORK",
+)
+
+
+@dataclass
+class BaseStation:
+    """One cell site."""
+
+    bs_id: int
+    identity: CellIdentity
+    isp: ISP
+    supported_rats: frozenset[RAT]
+    deployment: DeploymentClass
+    #: Heavy-tailed per-BS failure multiplier; the Zipf ranking of Fig. 11
+    #: arises from this together with traffic skew.
+    failure_propensity: float = 1.0
+    #: Long-neglected BS (remote regions) - very long outages.
+    in_disrepair: bool = False
+    #: Scales the effective neighbour density (< 1 under coordinated
+    #: cross-ISP infrastructure sharing, Sec. 4.1's guideline).
+    density_factor: float = 1.0
+    #: Instantaneous load in [0, 1]; defaults to the deployment's typical.
+    load: float = field(default=-1.0)
+    _cause_sampler: CauseSampler = field(
+        default=DEFAULT_CAUSE_SAMPLER, repr=False
+    )
+    _emm: EmmContext = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.supported_rats:
+            raise ValueError("a BS must support at least one RAT")
+        if self.failure_propensity <= 0:
+            raise ValueError("failure propensity must be positive")
+        traits = self.traits
+        if self.load < 0:
+            self.load = traits.load
+        if not 0.0 < self.density_factor <= 1.0:
+            raise ValueError("density factor must be within (0, 1]")
+        # The BS-side EMM context captures how hostile this cell's
+        # mobility management is; per-device EMM state lives device-side.
+        self._emm = EmmContext(
+            deployment_density=traits.density * self.density_factor
+        )
+        self._emm.state = EmmState.REGISTERED
+
+    @property
+    def traits(self) -> DeploymentTraits:
+        return DEPLOYMENT_TRAITS[self.deployment]
+
+    @property
+    def deployment_density(self) -> float:
+        return self.traits.density * self.density_factor
+
+    def supports(self, rat: RAT) -> bool:
+        return rat in self.supported_rats
+
+    # -- bearer admission ------------------------------------------------------
+
+    def admit_bearer(
+        self,
+        rat: RAT,
+        signal_level: SignalLevel,
+        rng: random.Random,
+    ) -> str | None:
+        """Negotiate one data bearer.
+
+        Returns ``None`` on admission or a DataFailCause name on
+        rejection.  The rejection mix reproduces the mechanisms the
+        paper identifies: rational overload rejections (false positives
+        to be filtered), EMM trouble in dense deployments, contention by
+        RAT, and signal-flavoured failures in deep fades.
+        """
+        if not self.supports(rat):
+            return "UNSUPPORTED_APN_IN_CURRENT_PLMN"
+        if self.in_disrepair:
+            return "NETWORK_FAILURE"
+        # 1. Mobility-management trouble: an independent channel that
+        #    scales with deployment density — the hub mechanism of
+        #    Sec. 3.3 (EMM_ACCESS_BARRED, INVALID_EMM_STATE, ...).
+        if rat in (RAT.LTE, RAT.NR):
+            emm_cause = self._emm.check_bearer_request(rng)
+            if emm_cause is not None:
+                return emm_cause
+        # 2. Rational rejection by an overloaded BS (a false positive
+        #    for the study, but a real protocol event; Sec. 2.1).
+        if rng.random() < self._overload_probability():
+            return rng.choice(_OVERLOAD_CAUSES)
+        # 3. Organic failure, scaled by contention, propensity and fade.
+        if rng.random() < self.attempt_failure_probability(rat, signal_level):
+            return self._cause_sampler.sample(
+                rng,
+                rat=rat,
+                signal_level=signal_level,
+                deployment_density=self.deployment_density,
+            )
+        return None
+
+    def attempt_failure_probability(
+        self, rat: RAT, signal_level: SignalLevel
+    ) -> float:
+        """Per-attempt organic failure probability for this BS."""
+        base = 0.01 * self.failure_propensity
+        base *= _RAT_CONTENTION_FACTOR[rat]
+        base *= _LEVEL_FAILURE_FACTOR[signal_level]
+        base *= 1.0 + 1.5 * self.traits.interference * self.density_factor
+        return min(0.95, base)
+
+    def _overload_probability(self) -> float:
+        return min(0.30, 0.02 * self.load / max(1e-9, 1.0 - 0.7 * self.load))
+
+
+#: Signal-level multiplier on organic failure odds.  Level 0 is by far
+#: the most failure-prone (Fig. 15's monotone part); level 5 carries no
+#: *intrinsic* penalty - its anomaly comes from hub density, not RSS.
+_LEVEL_FAILURE_FACTOR = {
+    SignalLevel.LEVEL_0: 6.0,
+    SignalLevel.LEVEL_1: 2.5,
+    SignalLevel.LEVEL_2: 1.6,
+    SignalLevel.LEVEL_3: 1.0,
+    SignalLevel.LEVEL_4: 0.7,
+    SignalLevel.LEVEL_5: 0.6,
+}
+
+
+def make_identity(isp: ISP, bs_id: int, cdma: bool = False) -> CellIdentity:
+    """Build a plausible cell identity for ``bs_id`` under ``isp``."""
+    profile = profile_for(isp)
+    if cdma:
+        return CellIdentity(
+            mcc=profile.mcc,
+            mnc=profile.mnc,
+            sid=1000 + bs_id % 8000,
+            nid=bs_id % 256,
+            bid=bs_id,
+        )
+    return CellIdentity(
+        mcc=profile.mcc,
+        mnc=profile.mnc,
+        lac=1 + bs_id % 65_534,
+        cid=bs_id,
+    )

@@ -1,0 +1,158 @@
+"""Data-bearer setup negotiation and failure-cause sampling.
+
+When a base station cannot admit a bearer, the negotiation response (or
+its absence) determines the DataFailCause surfaced by the modem
+(Sec. 2.1).  The :class:`CauseSampler` reproduces the paper's empirical
+error-code mix: the top-10 codes of Table 2 cover 46.7% of all
+Data_Setup_Error failures, and the remaining 53.3% spread over a long
+tail of the 344-cause space.  Context multipliers skew the mix the way
+the paper's root-cause analysis says it skews — EMM codes in dense
+deployments, signal-flavoured codes in deep fades, GPRS registration on
+legacy RATs, IRAT codes during handover.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import quantities
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+#: Long-tail codes sharing the non-top-10 53.3% probability mass.
+_TAIL_CODES: tuple[str, ...] = (
+    "ACTIVATION_REJECT_GGSN",
+    "ACTIVATION_REJECT_UNSPECIFIED",
+    "NETWORK_FAILURE",
+    "NAS_SIGNALLING",
+    "LLC_SNDCP",
+    "QOS_NOT_ACCEPTED",
+    "NSAPI_IN_USE",
+    "ESM_INFO_NOT_RECEIVED",
+    "PDN_CONN_DOES_NOT_EXIST",
+    "EMM_ACCESS_BARRED",
+    "EMM_DETACHED",
+    "EMM_ATTACH_FAILED",
+    "EMM_T3417_EXPIRED",
+    "LTE_NAS_SERVICE_REQUEST_FAILED",
+    "ESM_FAILURE",
+    "ESM_PROCEDURE_TIME_OUT",
+    "RAB_FAILURE",
+    "RRC_CONNECTION_TIMER_EXPIRED",
+    "RRC_CONNECTION_LINK_FAILURE",
+    "RRC_CONNECTION_RADIO_LINK_FAILURE",
+    "RRC_CONNECTION_REESTABLISHMENT_FAILURE",
+    "RRC_UPLINK_RADIO_LINK_FAILURE",
+    "NAS_REQUEST_REJECTED_BY_NETWORK",
+    "NETWORK_INITIATED_TERMINATION",
+    "PDP_ACTIVATE_MAX_RETRY_FAILED",
+    "PDP_DUPLICATE",
+    "NO_GPRS_CONTEXT",
+    "IMPLICITLY_DETACHED",
+    "MIP_CONFIG_FAILURE",
+    "VSNCP_TIMEOUT",
+    "VSNCP_GEN_ERROR",
+    "VSNCP_PDN_GATEWAY_UNREACHABLE",
+    "IPV6_PREFIX_UNAVAILABLE",
+    "UNKNOWN_PDP_CONTEXT",
+    "PROTOCOL_ERRORS",
+    "UE_RAT_CHANGE",
+    "ERROR_UNSPECIFIED",
+    "DRB_RELEASED_BY_RRC",
+    "CONNECTION_RELEASED",
+    "ESM_COLLISION_SCENARIOS",
+)
+
+#: Codes whose odds rise when signal is very weak.
+_SIGNAL_FLAVOURED = frozenset(
+    {"SIGNAL_LOST", "NO_SERVICE", "MAX_ACCESS_PROBE",
+     "RRC_CONNECTION_LINK_FAILURE", "RRC_UPLINK_RADIO_LINK_FAILURE"}
+)
+
+#: Codes whose odds rise in dense (hub) deployments (Sec. 3.3).
+_DENSITY_FLAVOURED = frozenset(
+    {"EMM_ACCESS_BARRED", "INVALID_EMM_STATE", "EMM_T3417_EXPIRED",
+     "LTE_NAS_SERVICE_REQUEST_FAILED"}
+)
+
+#: Codes tied to legacy packet registration (2G/3G).
+_LEGACY_FLAVOURED = frozenset(
+    {"GPRS_REGISTRATION_FAIL", "NO_GPRS_CONTEXT", "PPP_TIMEOUT",
+     "NO_HYBRID_HDR_SERVICE"}
+)
+
+#: Codes tied to inter-RAT mobility.
+_HANDOVER_FLAVOURED = frozenset(
+    {"IRAT_HANDOVER_FAILED", "UNPREFERRED_RAT", "UE_RAT_CHANGE",
+     "ESM_CONTEXT_TRANSFERRED_DUE_TO_IRAT"}
+)
+
+
+class CauseSampler:
+    """Samples DataFailCause names matching the paper's empirical mix."""
+
+    def __init__(self) -> None:
+        weights: dict[str, float] = dict(
+            quantities.TABLE2_ERROR_CODE_SHARES
+        )
+        tail_mass = 1.0 - quantities.TABLE2_TOP10_CUMULATIVE
+        # The long tail decays gently: each non-top-10 cause stays well
+        # below the rank-10 share (1.6%), as in Android field data.
+        decay = 0.995
+        raw = [decay**i for i in range(len(_TAIL_CODES))]
+        total = sum(raw)
+        for code, share in zip(_TAIL_CODES, raw):
+            weights[code] = weights.get(code, 0.0) + tail_mass * share / total
+        for code in weights:
+            if code not in ERROR_CODE_REGISTRY:
+                raise ValueError(f"sampler references unknown code {code}")
+        self._base_weights = weights
+
+    @property
+    def base_weights(self) -> dict[str, float]:
+        """Copy of the context-free sampling weights (sums to 1)."""
+        return dict(self._base_weights)
+
+    def sample(
+        self,
+        rng: random.Random,
+        *,
+        rat: RAT = RAT.LTE,
+        signal_level: SignalLevel = SignalLevel.LEVEL_3,
+        deployment_density: float = 0.2,
+        during_handover: bool = False,
+    ) -> str:
+        """Draw one cause name given the failure's radio context."""
+        weights = dict(self._base_weights)
+        if signal_level <= SignalLevel.LEVEL_1:
+            _boost(weights, _SIGNAL_FLAVOURED, 3.0)
+        if deployment_density >= 0.6:
+            _boost(weights, _DENSITY_FLAVOURED, 1.0 + 2.2 * deployment_density)
+        if rat in (RAT.GSM, RAT.UMTS):
+            _boost(weights, _LEGACY_FLAVOURED, 3.5)
+        if during_handover:
+            _boost(weights, _HANDOVER_FLAVOURED, 6.0)
+        return _weighted_choice(weights, rng)
+
+
+def _boost(weights: dict[str, float], names: frozenset[str],
+           factor: float) -> None:
+    for name in names:
+        if name in weights:
+            weights[name] *= factor
+
+
+def _weighted_choice(weights: dict[str, float], rng: random.Random) -> str:
+    total = sum(weights.values())
+    roll = rng.random() * total
+    cumulative = 0.0
+    for name, weight in weights.items():
+        cumulative += weight
+        if roll < cumulative:
+            return name
+    return next(reversed(weights))
+
+
+#: Shared sampler instance (stateless after construction).
+DEFAULT_CAUSE_SAMPLER = CauseSampler()

@@ -1,0 +1,56 @@
+"""DNS / ICMP probe endpoints.
+
+Android-MOD's network-state prober (Sec. 2.2) distinguishes system-side
+faults, DNS-service faults, and genuine network-side stalls by probing
+three kinds of targets: the local loopback address, the device's
+assigned DNS servers (ICMP), and the DNS resolution service itself (a
+query for a dedicated test server's name).  This module provides the
+endpoint objects those probes hit in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Domain name of the study's dedicated test server, used for the probe
+#: DNS queries (Sec. 2.2).
+TEST_SERVER_DOMAIN = "probe.cellular-reliability.example"
+
+#: Loopback address probed to rule out system-side faults.
+LOOPBACK_ADDRESS = "127.0.0.1"
+
+
+@dataclass
+class DnsServer:
+    """One DNS server assigned to the device.
+
+    ``icmp_reachable`` models whether ICMP echo messages reach the
+    server; ``service_available`` models whether the resolver answers
+    queries.  The distinction matters: timeouts on queries *without*
+    ICMP timeouts indicate a DNS-service false positive (Sec. 2.2).
+    """
+
+    address: str
+    icmp_reachable: bool = True
+    service_available: bool = True
+    #: One-way network latency to the server, seconds.
+    latency_s: float = 0.03
+
+    def ping(self, timeout_s: float) -> tuple[bool, float]:
+        """ICMP echo: (answered?, elapsed seconds)."""
+        if not self.icmp_reachable:
+            return False, timeout_s
+        rtt = min(2.0 * self.latency_s, timeout_s)
+        return 2.0 * self.latency_s <= timeout_s, rtt
+
+    def resolve(self, domain: str, timeout_s: float) -> tuple[bool, float]:
+        """DNS query for ``domain``: (answered?, elapsed seconds)."""
+        if not self.icmp_reachable or not self.service_available:
+            return False, timeout_s
+        elapsed = min(2.0 * self.latency_s + 0.01, timeout_s)
+        return elapsed < timeout_s, elapsed
+
+
+def default_dns_servers() -> list[DnsServer]:
+    """The two resolvers a Chinese carrier typically assigns."""
+    return [DnsServer("114.114.114.114"), DnsServer("223.5.5.5")]

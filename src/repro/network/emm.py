@@ -1,0 +1,144 @@
+"""EPS Mobility Management (EMM) for LTE/NR cells.
+
+The paper traces the counter-intuitive level-5-RSS failure spike to
+densely deployed BSes around public transport hubs: dense deployment
+complicates LTE mobility management and produces failures tagged
+``EMM_ACCESS_BARRED``, ``INVALID_EMM_STATE``, etc. (Sec. 3.3).  This
+module implements a small EMM state machine whose misbehaviour scales
+with the serving cell's *deployment density*, so that exact phenomenon
+emerges mechanistically in the simulated trace.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class EmmState(enum.Enum):
+    """The EMM states relevant to data-bearer setup (TS 24.301 subset)."""
+
+    DEREGISTERED = "EMM-DEREGISTERED"
+    REGISTERED_INITIATED = "EMM-REGISTERED-INITIATED"
+    REGISTERED = "EMM-REGISTERED"
+    TRACKING_AREA_UPDATING = "EMM-TRACKING-AREA-UPDATING"
+    DEREGISTERED_INITIATED = "EMM-DEREGISTERED-INITIATED"
+
+
+#: States from which a data-bearer (ESM) request is valid.
+_BEARER_READY_STATES = frozenset({EmmState.REGISTERED})
+
+#: EMM-flavoured DataFailCause names and their relative odds when dense
+#: deployment breaks mobility management (Sec. 3.3 names the first two).
+_EMM_FAILURE_CAUSES: tuple[tuple[str, float], ...] = (
+    ("EMM_ACCESS_BARRED", 0.40),
+    ("INVALID_EMM_STATE", 0.30),
+    ("EMM_T3417_EXPIRED", 0.10),
+    ("EMM_ATTACH_FAILED", 0.10),
+    ("LTE_NAS_SERVICE_REQUEST_FAILED", 0.10),
+)
+
+
+@dataclass
+class EmmContext:
+    """Per-attachment EMM context between a device and an LTE/NR cell.
+
+    ``deployment_density`` is the serving cell's normalized neighbour
+    density in [0, 1]; transport-hub cells sit near 1.0.  Density drives
+    two effects: access barring (control-channel overload) and spurious
+    state churn (complicated mobility management).
+    """
+
+    deployment_density: float = 0.2
+    state: EmmState = EmmState.DEREGISTERED
+    #: Count of attach attempts rejected by access barring.
+    barred_attempts: int = 0
+    _history: list[EmmState] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.deployment_density <= 1.0:
+            raise ValueError("deployment density must be within [0, 1]")
+
+    # -- state transitions --------------------------------------------------
+
+    def attach(self, rng: random.Random) -> str | None:
+        """Attempt EMM attach; returns a DataFailCause name on failure."""
+        if self.state is EmmState.REGISTERED:
+            return None
+        self._move(EmmState.REGISTERED_INITIATED)
+        if rng.random() < self.barring_probability():
+            self.barred_attempts += 1
+            self._move(EmmState.DEREGISTERED)
+            return "EMM_ACCESS_BARRED"
+        self._move(EmmState.REGISTERED)
+        return None
+
+    def detach(self) -> None:
+        self._move(EmmState.DEREGISTERED_INITIATED)
+        self._move(EmmState.DEREGISTERED)
+
+    def begin_tracking_area_update(self) -> None:
+        if self.state is not EmmState.REGISTERED:
+            raise ValueError("TAU requires EMM-REGISTERED")
+        self._move(EmmState.TRACKING_AREA_UPDATING)
+
+    def complete_tracking_area_update(self, rng: random.Random) -> str | None:
+        """Finish a TAU; dense cells occasionally drop to DEREGISTERED."""
+        if self.state is not EmmState.TRACKING_AREA_UPDATING:
+            raise ValueError("no TAU in progress")
+        if rng.random() < 0.5 * self.churn_probability():
+            self._move(EmmState.DEREGISTERED)
+            return "INVALID_EMM_STATE"
+        self._move(EmmState.REGISTERED)
+        return None
+
+    # -- bearer-request hook --------------------------------------------------
+
+    def check_bearer_request(self, rng: random.Random) -> str | None:
+        """Validate that EMM state permits an ESM bearer request.
+
+        Called by the BS admission path on every setup over LTE/NR.
+        Returns ``None`` when the request may proceed, or an EMM-flavoured
+        DataFailCause name when mobility management is in a bad state.
+        Dense deployment raises the failure odds (the hub phenomenon).
+        """
+        if self.state not in _BEARER_READY_STATES:
+            return "INVALID_EMM_STATE"
+        if rng.random() < self.churn_probability():
+            return _pick_weighted(_EMM_FAILURE_CAUSES, rng)
+        return None
+
+    # -- density-driven probabilities ------------------------------------------
+
+    def barring_probability(self) -> float:
+        """P(access barred) for one attach; grows superlinearly with
+        density so hubs dominate."""
+        return min(0.6, 0.01 + 0.5 * self.deployment_density**2)
+
+    def churn_probability(self) -> float:
+        """P(mobility-management-induced failure) per bearer request."""
+        return min(0.5, 0.005 + 0.35 * self.deployment_density**2)
+
+    # -- internals -----------------------------------------------------------
+
+    def _move(self, state: EmmState) -> None:
+        self._history.append(self.state)
+        self.state = state
+
+    @property
+    def history(self) -> tuple[EmmState, ...]:
+        """States visited before the current one (for diagnostics)."""
+        return tuple(self._history)
+
+
+def _pick_weighted(
+    table: tuple[tuple[str, float], ...], rng: random.Random
+) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for name, weight in table:
+        cumulative += weight
+        if roll < cumulative:
+            return name
+    return table[-1][0]

@@ -1,0 +1,92 @@
+"""Mobile ISP profiles.
+
+The study covers three anonymized Chinese ISPs (Sec. 3.3):
+
+* **ISP-A** (China Mobile in the paper's mapping): largest BS share
+  (44.8%), lowest median radio frequency, best coverage.
+* **ISP-B** (China Telecom): 29.4% of BSes but the highest median radio
+  frequency, hence smaller per-BS coverage and the worst user-side
+  failure prevalence (27.1%).
+* **ISP-C** (China Unicom): 25.8% of BSes, intermediate frequency,
+  best prevalence (14.7%) helped by a smaller subscriber base.
+
+The profiles encode the *causal* attributes the paper names — BS share,
+relative frequency band, subscriber share — and the simulator lets the
+failure statistics emerge from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import quantities
+
+
+class ISP(enum.Enum):
+    """Anonymized ISP identifiers used throughout the paper."""
+
+    A = "ISP-A"
+    B = "ISP-B"
+    C = "ISP-C"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class IspProfile:
+    """Static attributes of one ISP's network."""
+
+    isp: ISP
+    #: Fraction of the nationwide BS population (Sec. 3.3).
+    bs_share: float
+    #: Fraction of the subscriber population served.
+    subscriber_share: float
+    #: Median downlink carrier frequency in MHz.  The paper orders the
+    #: medians ISP-B > ISP-C > ISP-A and notes the bands nearly overlap.
+    median_frequency_mhz: float
+    #: Extra path-loss in dB relative to the lowest-frequency carrier;
+    #: drives the coverage differences behind Figs. 12-13.
+    frequency_penalty_db: float
+    #: Mobile country code / network code used in cell identities.
+    mcc: int
+    mnc: int
+
+
+#: The three ISPs with attributes consistent with Sec. 3.3.
+ISP_PROFILES: dict[ISP, IspProfile] = {
+    ISP.A: IspProfile(
+        isp=ISP.A,
+        bs_share=quantities.ISP_BS_SHARE["ISP-A"],
+        subscriber_share=0.55,
+        median_frequency_mhz=1_900.0,
+        frequency_penalty_db=0.0,
+        mcc=460,
+        mnc=0,
+    ),
+    ISP.B: IspProfile(
+        isp=ISP.B,
+        bs_share=quantities.ISP_BS_SHARE["ISP-B"],
+        subscriber_share=0.20,
+        median_frequency_mhz=2_300.0,
+        frequency_penalty_db=4.0,
+        mcc=460,
+        mnc=3,
+    ),
+    ISP.C: IspProfile(
+        isp=ISP.C,
+        bs_share=quantities.ISP_BS_SHARE["ISP-C"],
+        subscriber_share=0.25,
+        median_frequency_mhz=2_100.0,
+        frequency_penalty_db=2.0,
+        mcc=460,
+        mnc=1,
+    ),
+}
+
+
+def profile_for(isp: ISP) -> IspProfile:
+    """The static profile of ``isp``."""
+    return ISP_PROFILES[isp]

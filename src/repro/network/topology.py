@@ -1,0 +1,249 @@
+"""Nationwide base-station topology generation.
+
+Builds a scaled-down replica of the study's infrastructure landscape
+(Sec. 3.3): 5.27M real BSes become ``n_base_stations`` simulated ones,
+keeping the published marginals — ISP ownership shares (44.8 / 29.4 /
+25.8%), per-RAT support shares (23.4 / 10.2 / 65.2 / 7.3%, overlapping),
+a deployment-class mix from transport hubs to remote mountain cells, and
+a heavy-tailed per-BS failure propensity that yields the Zipf-like
+failure ranking of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.network.basestation import (
+    BaseStation,
+    DeploymentClass,
+    DEPLOYMENT_TRAITS,
+    make_identity,
+)
+from repro.network.isp import ISP, ISP_PROFILES
+from repro.radio.rat import RAT
+
+#: RAT-support archetypes and their probabilities, chosen so the per-RAT
+#: marginals match Sec. 3.3 (2G 23.4%, 3G 10.2%, 4G 65.2%, 5G 7.3%; the
+#: 6.1% excess over 100% is multi-RAT cells).
+_RAT_ARCHETYPES: tuple[tuple[frozenset[RAT], float], ...] = (
+    (frozenset({RAT.NR}), 0.023),
+    (frozenset({RAT.LTE, RAT.NR}), 0.050),
+    (frozenset({RAT.GSM, RAT.LTE}), 0.008),
+    (frozenset({RAT.GSM, RAT.UMTS}), 0.002),
+    (frozenset({RAT.UMTS, RAT.LTE}), 0.001),
+    (frozenset({RAT.GSM}), 0.224),
+    (frozenset({RAT.UMTS}), 0.099),
+    (frozenset({RAT.LTE}), 0.593),
+)
+
+#: Deployment-class mix of the BS population.
+_DEPLOYMENT_MIX: tuple[tuple[DeploymentClass, float], ...] = (
+    (DeploymentClass.TRANSPORT_HUB, 0.005),
+    (DeploymentClass.URBAN_CORE, 0.070),
+    (DeploymentClass.URBAN, 0.300),
+    (DeploymentClass.SUBURBAN, 0.350),
+    (DeploymentClass.RURAL, 0.220),
+    (DeploymentClass.REMOTE, 0.055),
+)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the nationwide topology replica."""
+
+    n_base_stations: int = 5_000
+    seed: int = 2020
+    #: Log-normal sigma of the per-BS failure propensity; larger values
+    #: produce a heavier Zipf tail in Fig. 11.
+    propensity_sigma: float = 1.8
+    #: Extra propensity multiplier for transport-hub cells.
+    hub_propensity_factor: float = 3.0
+    #: Fraction of CDMA-identified cells (footnote 3: SID/NID/BID).
+    cdma_fraction: float = 0.03
+    #: Model cross-ISP infrastructure sharing (Sec. 4.1): coordinated
+    #: deployment thins the redundant dense cells around hubs and urban
+    #: cores, cutting their effective neighbour density.
+    infrastructure_sharing: bool = False
+    #: Effective density multiplier for dense cells under sharing.
+    sharing_density_factor: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.n_base_stations < len(_DEPLOYMENT_MIX):
+            raise ValueError("too few base stations for the class mix")
+
+
+class NationalTopology:
+    """The simulated nationwide BS population plus sampling indexes."""
+
+    def __init__(self, config: TopologyConfig | None = None) -> None:
+        self.config = config or TopologyConfig()
+        rng = random.Random(self.config.seed)
+        self.base_stations: list[BaseStation] = []
+        self._by_id: dict[int, BaseStation] = {}
+        self._build(rng)
+        self._pools = self._index_pools()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, rng: random.Random) -> None:
+        isps = list(ISP_PROFILES)
+        isp_weights = [ISP_PROFILES[isp].bs_share for isp in isps]
+        classes = [cls for cls, _ in _DEPLOYMENT_MIX]
+        class_weights = [w for _, w in _DEPLOYMENT_MIX]
+        archetypes = [rats for rats, _ in _RAT_ARCHETYPES]
+        archetype_weights = [w for _, w in _RAT_ARCHETYPES]
+
+        for bs_id in range(1, self.config.n_base_stations + 1):
+            isp = rng.choices(isps, weights=isp_weights)[0]
+            deployment = rng.choices(classes, weights=class_weights)[0]
+            rats = rng.choices(archetypes, weights=archetype_weights)[0]
+            if deployment is DeploymentClass.TRANSPORT_HUB:
+                # Hub cells are modern capacity cells: guarantee LTE so
+                # the dense-deployment EMM mechanics are exercised there.
+                rats = rats | {RAT.LTE}
+            propensity = rng.lognormvariate(0.0, self.config.propensity_sigma)
+            if deployment is DeploymentClass.TRANSPORT_HUB:
+                propensity *= self.config.hub_propensity_factor
+            traits = DEPLOYMENT_TRAITS[deployment]
+            in_disrepair = rng.random() < traits.disrepair_probability
+            if in_disrepair:
+                propensity *= 10.0
+            cdma = rng.random() < self.config.cdma_fraction
+            density_factor = 1.0
+            if self.config.infrastructure_sharing and deployment in (
+                DeploymentClass.TRANSPORT_HUB,
+                DeploymentClass.URBAN_CORE,
+            ):
+                density_factor = self.config.sharing_density_factor
+            station = BaseStation(
+                bs_id=bs_id,
+                identity=make_identity(isp, bs_id, cdma=cdma),
+                isp=isp,
+                supported_rats=frozenset(rats),
+                deployment=deployment,
+                failure_propensity=propensity,
+                in_disrepair=in_disrepair,
+                density_factor=density_factor,
+            )
+            self.base_stations.append(station)
+            self._by_id[bs_id] = station
+
+    def _index_pools(self) -> dict[tuple[ISP, DeploymentClass], "_BsPool"]:
+        pools: dict[tuple[ISP, DeploymentClass], _BsPool] = {}
+        keyfunc = lambda bs: (bs.isp, bs.deployment)  # noqa: E731
+        ordered = sorted(self.base_stations, key=lambda bs: (bs.isp.value,
+                                                             bs.deployment.value,
+                                                             bs.bs_id))
+        for key, group in itertools.groupby(ordered, key=keyfunc):
+            pools[key] = _BsPool(list(group))
+        return pools
+
+    # -- lookups & sampling --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.base_stations)
+
+    def get(self, bs_id: int) -> BaseStation:
+        return self._by_id[bs_id]
+
+    def sample_bs(
+        self,
+        rng: random.Random,
+        isp: ISP,
+        deployment: DeploymentClass,
+        rat: RAT | None = None,
+        weighted: bool = True,
+    ) -> BaseStation:
+        """Draw a BS in the given environment.
+
+        With ``weighted`` (the default), sampling follows failure
+        propensity — the right choice for assigning *failure episodes*,
+        and the mechanism behind Fig. 11's skew.  ``weighted=False``
+        draws uniformly, which is the right choice for placing ordinary
+        traffic (organic sessions).  Falls back to any deployment class
+        for the ISP when the exact pool is empty or lacks the RAT.
+        """
+        pool = self._pools.get((isp, deployment))
+        if pool is not None:
+            station = pool.sample(rng, rat, weighted=weighted)
+            if station is not None:
+                return station
+        # Fallback: search the ISP's other pools, densest first.
+        for cls, _ in _DEPLOYMENT_MIX:
+            pool = self._pools.get((isp, cls))
+            if pool is None:
+                continue
+            station = pool.sample(rng, rat, weighted=weighted)
+            if station is not None:
+                return station
+        raise LookupError(
+            f"no base station for {isp} supporting {rat}"
+        )
+
+    # -- marginal checks (used by tests and DESIGN validation) ---------------
+
+    def isp_share(self) -> dict[ISP, float]:
+        counts = {isp: 0 for isp in ISP}
+        for bs in self.base_stations:
+            counts[bs.isp] += 1
+        n = len(self.base_stations)
+        return {isp: counts[isp] / n for isp in ISP}
+
+    def rat_support_share(self) -> dict[RAT, float]:
+        counts = {rat: 0 for rat in RAT}
+        for bs in self.base_stations:
+            for rat in bs.supported_rats:
+                counts[rat] += 1
+        n = len(self.base_stations)
+        return {rat: counts[rat] / n for rat in RAT}
+
+    def deployment_share(self) -> dict[DeploymentClass, float]:
+        counts = {cls: 0 for cls in DeploymentClass}
+        for bs in self.base_stations:
+            counts[bs.deployment] += 1
+        n = len(self.base_stations)
+        return {cls: counts[cls] / n for cls in DeploymentClass}
+
+
+@dataclass
+class _BsPool:
+    """A propensity-weighted sampling pool over one (ISP, class) group."""
+
+    stations: list[BaseStation]
+    _cumulative: list[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        running = 0.0
+        cumulative = []
+        for bs in self.stations:
+            running += bs.failure_propensity
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    def sample(
+        self, rng: random.Random, rat: RAT | None = None,
+        attempts: int = 8, weighted: bool = True,
+    ) -> BaseStation | None:
+        """Propensity-weighted (or uniform) draw; when ``rat`` is given,
+        retry a few times to find a supporting cell (None on miss)."""
+        if not self.stations:
+            return None
+        total = self._cumulative[-1]
+        for _ in range(attempts):
+            if weighted:
+                roll = rng.random() * total
+                idx = bisect.bisect_left(self._cumulative, roll)
+                idx = min(idx, len(self.stations) - 1)
+            else:
+                idx = rng.randrange(len(self.stations))
+            station = self.stations[idx]
+            if rat is None or station.supports(rat):
+                return station
+        if rat is not None:
+            supporting = [bs for bs in self.stations if bs.supports(rat)]
+            if supporting:
+                return rng.choice(supporting)
+        return None

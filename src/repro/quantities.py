@@ -1,0 +1,281 @@
+"""Published quantities from the paper, centralized.
+
+Every number the paper reports in its tables, figures, and prose lives here,
+under a name that says where it came from.  Two kinds of consumers exist:
+
+* the :mod:`repro.fleet` generators, which use these values as *generative
+  parameters* so that a synthetic nationwide trace reproduces the published
+  marginals, and
+* the benchmark harness, which uses them as *calibration targets* to compare
+  measured-vs-paper shapes (recorded in EXPERIMENTS.md).
+
+Nothing in :mod:`repro.analysis` reads this module: analysis results are
+always recomputed from event records, never copied from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Section 3.1 — general statistics
+# --------------------------------------------------------------------------
+
+#: Total opt-in users in the measurement study (Sec. 2.3).
+TOTAL_USERS = 70_965_549
+
+#: Total recorded cellular failures (Sec. 3.1).
+TOTAL_FAILURES = 2_315_314_213
+
+#: Devices that experienced at least one failure (Sec. 3.1).
+DEVICES_WITH_FAILURES = 16_183_145
+
+#: Base stations involved in the study (Sec. 3.1).
+TOTAL_BASE_STATIONS = 5_273_972
+
+#: Number of mobile ISPs covered.
+TOTAL_ISPS = 3
+
+#: Number of distinct phone models (Table 1).
+TOTAL_PHONE_MODELS = 34
+
+#: Average fraction of devices with >= 1 failure, across models (Sec. 3.1).
+AVG_PREVALENCE = 0.23
+
+#: Average failures per device over the 8-month study (Sec. 3.1).
+AVG_FAILURES_PER_DEVICE = 33.0
+
+#: Mean counts per device by failure type (Fig. 3 prose).
+AVG_DATA_SETUP_ERRORS_PER_DEVICE = 16.0
+AVG_DATA_STALLS_PER_DEVICE = 14.0
+AVG_OUT_OF_SERVICE_PER_DEVICE = 3.0
+
+#: Maximum failures observed on a single phone (Fig. 3 prose).
+MAX_FAILURES_SINGLE_PHONE = 198_228
+
+#: Maximum Out_of_Service events on a single phone (Sec. 3.1).
+MAX_OUT_OF_SERVICE_SINGLE_PHONE = 102_696
+
+#: Fraction of phones with no Out_of_Service events (Sec. 3.1).
+FRACTION_PHONES_WITHOUT_OOS = 0.95
+
+#: Average failure duration in seconds (Fig. 4 prose: 188 s = 3.1 min).
+AVG_FAILURE_DURATION_S = 188.0
+
+#: Fraction of failures shorter than 30 seconds (Fig. 4 prose).
+FRACTION_FAILURES_UNDER_30S = 0.708
+
+#: Longest observed failure, in seconds (25.5 hours).
+MAX_FAILURE_DURATION_S = 91_770.0
+
+#: Share of the three headline failure types among all failures (Sec. 3.1).
+HEADLINE_FAILURE_TYPE_SHARE = 0.99
+
+#: Data_Stall's share of total failure *duration* (Sec. 3.1).
+DATA_STALL_DURATION_SHARE = 0.94
+
+#: Data_Stall's share of total failure *count* (Sec. 3.2, "~40%").
+DATA_STALL_COUNT_SHARE = 0.40
+
+#: Study length in months (Jan.-Aug. 2020).
+STUDY_MONTHS = 8
+
+# --------------------------------------------------------------------------
+# Table 1 — the 34 phone models
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhoneModelRow:
+    """One row of Table 1, ordered low-end to high-end."""
+
+    model: int
+    cpu_ghz: float
+    memory_gb: int
+    storage_gb: int
+    has_5g: bool
+    android_version: str  # "9.0" or "10.0"
+    user_share: float  # fraction of the fleet (column "Users")
+    prevalence: float  # fraction of devices with >= 1 failure
+    frequency: float  # mean failures per device
+
+
+#: Table 1 verbatim.  ``user_share``/``prevalence`` are fractions, not %.
+TABLE1: tuple[PhoneModelRow, ...] = (
+    PhoneModelRow(1, 1.80, 2, 16, False, "10.0", 0.0271, 0.2800, 35.9),
+    PhoneModelRow(2, 1.95, 2, 16, False, "9.0", 0.0302, 0.1300, 23.8),
+    PhoneModelRow(3, 2.00, 2, 16, False, "9.0", 0.0731, 0.1000, 13.8),
+    PhoneModelRow(4, 2.00, 3, 32, False, "9.0", 0.0390, 0.1900, 22.4),
+    PhoneModelRow(5, 2.00, 3, 32, False, "9.0", 0.0285, 0.2100, 28.2),
+    PhoneModelRow(6, 2.00, 3, 32, False, "10.0", 0.0433, 0.0400, 5.3),
+    PhoneModelRow(7, 2.00, 3, 32, False, "10.0", 0.0144, 0.0500, 6.4),
+    PhoneModelRow(8, 2.00, 3, 32, False, "9.0", 0.0407, 0.0015, 2.3),
+    PhoneModelRow(9, 2.00, 3, 32, False, "10.0", 0.0547, 0.0200, 2.6),
+    PhoneModelRow(10, 2.20, 4, 32, False, "9.0", 0.0578, 0.2700, 36.8),
+    PhoneModelRow(11, 1.80, 4, 64, False, "10.0", 0.0118, 0.2500, 28.5),
+    PhoneModelRow(12, 2.00, 4, 64, False, "10.0", 0.0144, 0.3300, 43.5),
+    PhoneModelRow(13, 2.05, 6, 64, False, "10.0", 0.0539, 0.2600, 18.7),
+    PhoneModelRow(14, 2.20, 6, 64, False, "9.0", 0.0298, 0.1500, 17.9),
+    PhoneModelRow(15, 2.20, 4, 128, False, "10.0", 0.0398, 0.2500, 26.7),
+    PhoneModelRow(16, 2.20, 4, 128, False, "10.0", 0.0302, 0.1900, 28.0),
+    PhoneModelRow(17, 2.20, 6, 64, False, "10.0", 0.0109, 0.2800, 48.4),
+    PhoneModelRow(18, 2.20, 6, 64, False, "10.0", 0.0026, 0.1300, 38.8),
+    PhoneModelRow(19, 2.20, 6, 64, False, "10.0", 0.0131, 0.2400, 44.8),
+    PhoneModelRow(20, 2.20, 6, 64, False, "10.0", 0.0057, 0.2100, 33.0),
+    PhoneModelRow(21, 2.20, 6, 64, False, "10.0", 0.0280, 0.3600, 46.6),
+    PhoneModelRow(22, 2.20, 6, 128, False, "9.0", 0.0044, 0.3800, 61.1),
+    PhoneModelRow(23, 2.40, 6, 64, True, "10.0", 0.0084, 0.4400, 49.6),
+    PhoneModelRow(24, 2.40, 6, 128, True, "10.0", 0.0325, 0.3700, 38.0),
+    PhoneModelRow(25, 2.45, 6, 64, False, "9.0", 0.0499, 0.1400, 19.6),
+    PhoneModelRow(26, 2.45, 6, 64, False, "9.0", 0.0215, 0.1700, 24.6),
+    PhoneModelRow(27, 2.80, 6, 64, False, "10.0", 0.0184, 0.2200, 54.2),
+    PhoneModelRow(28, 2.80, 6, 64, False, "10.0", 0.0714, 0.2800, 58.1),
+    PhoneModelRow(29, 2.80, 6, 64, False, "10.0", 0.0131, 0.3000, 65.1),
+    PhoneModelRow(30, 2.80, 6, 128, False, "10.0", 0.0101, 0.3000, 90.2),
+    PhoneModelRow(31, 2.84, 6, 64, False, "10.0", 0.0188, 0.2800, 61.7),
+    PhoneModelRow(32, 2.84, 6, 64, False, "10.0", 0.0363, 0.2900, 57.8),
+    PhoneModelRow(33, 2.84, 8, 128, True, "10.0", 0.0478, 0.3200, 70.9),
+    PhoneModelRow(34, 2.84, 8, 256, True, "10.0", 0.0184, 0.2500, 79.3),
+)
+
+#: Models shipped with a 5G modem (Table 1).
+FIVE_G_MODELS = tuple(row.model for row in TABLE1 if row.has_5g)
+
+# --------------------------------------------------------------------------
+# Table 2 — top-10 Data_Setup_Error codes
+# --------------------------------------------------------------------------
+
+#: Error-code name -> share of all Data_Setup_Error failures (Table 2).
+TABLE2_ERROR_CODE_SHARES: dict[str, float] = {
+    "GPRS_REGISTRATION_FAIL": 0.128,
+    "SIGNAL_LOST": 0.072,
+    "NO_SERVICE": 0.065,
+    "INVALID_EMM_STATE": 0.049,
+    "UNPREFERRED_RAT": 0.043,
+    "PPP_TIMEOUT": 0.035,
+    "NO_HYBRID_HDR_SERVICE": 0.022,
+    "PDP_LOWERLAYER_ERROR": 0.019,
+    "MAX_ACCESS_PROBE": 0.018,
+    "IRAT_HANDOVER_FAILED": 0.016,
+}
+
+#: The top-10 codes jointly cover 46.7% of Data_Setup_Error failures.
+TABLE2_TOP10_CUMULATIVE = 0.467
+
+#: Total data-fail causes defined by Android (Sec. 2.2 / 3.2).
+TOTAL_ERROR_CODES = 344
+
+# --------------------------------------------------------------------------
+# Section 3.2 — Data_Stall behaviour and recovery
+# --------------------------------------------------------------------------
+
+#: Fraction of Data_Stall failures auto-fixed within 10 s (Fig. 10 prose).
+STALL_AUTOFIX_10S_FRACTION = 0.60
+
+#: Fraction of Data_Stall failures lasting under 300 s (Sec. 2.2, ">80%").
+STALL_UNDER_300S_FRACTION = 0.80
+
+#: Fraction of Data_Stall failures lasting over 1200 s (Sec. 2.2, "<10%").
+STALL_OVER_1200S_FRACTION = 0.10
+
+#: Success rate of the first (lightweight) recovery stage once executed.
+STAGE1_RECOVERY_SUCCESS_RATE = 0.75
+
+#: Vanilla Android probation before each recovery stage, seconds.
+VANILLA_PROBATION_S = 60.0
+
+#: Typical user tolerance before a manual connection reset, seconds.
+USER_MANUAL_RESET_S = 30.0
+
+#: Android's Data_Stall rule: >10 outbound TCP segments and 0 inbound
+#: within the last minute.
+DATA_STALL_OUTBOUND_THRESHOLD = 10
+DATA_STALL_WINDOW_S = 60.0
+
+# --------------------------------------------------------------------------
+# Section 3.3 — ISP and base-station landscape
+# --------------------------------------------------------------------------
+
+#: Fraction of BSes owned by each ISP (Sec. 3.3).
+ISP_BS_SHARE = {"ISP-A": 0.448, "ISP-B": 0.294, "ISP-C": 0.258}
+
+#: Per-ISP user failure prevalence (Fig. 12 prose).
+ISP_PREVALENCE = {"ISP-A": 0.201, "ISP-B": 0.271, "ISP-C": 0.147}
+
+#: Fraction of BSes supporting each RAT generation (sums to > 1; multi-RAT).
+RAT_BS_SUPPORT_SHARE = {"2G": 0.234, "3G": 0.102, "4G": 0.652, "5G": 0.073}
+
+#: Zipf fit of the BS ranking by failure count (Fig. 11): y = b / rank^a.
+BS_ZIPF_A = 0.82
+BS_ZIPF_B = 17.12
+
+#: BS failure-count distribution anchors (Fig. 11 prose).
+BS_FAILURES_MEDIAN = 1
+BS_FAILURES_MEAN = 444
+BS_FAILURES_MAX = 8_941_860
+
+#: Fig. 17f: prevalence increase when switching 4G level-4 -> 5G level-0.
+TRANSITION_4G_L4_TO_5G_L0_INCREASE = 0.37
+
+# --------------------------------------------------------------------------
+# Section 4 — enhancements and their evaluation
+# --------------------------------------------------------------------------
+
+#: TIMP-optimized probations, seconds (Sec. 4.2).
+TIMP_OPTIMAL_PROBATIONS_S = (21.0, 6.0, 16.0)
+
+#: Expected recovery time under TIMP-optimal probations (Sec. 4.2).
+TIMP_EXPECTED_RECOVERY_S = 27.8
+
+#: Expected recovery time under vanilla 60/60/60 probations (Sec. 4.2).
+VANILLA_EXPECTED_RECOVERY_S = 38.0
+
+#: Evaluation deltas on participant 5G phones (Figs. 19-20 prose).
+EVAL_5G_PREVALENCE_REDUCTION = 0.10
+EVAL_5G_FREQUENCY_REDUCTION = 0.403
+
+#: Per-failure-type (prevalence, frequency) reductions on 5G phones.
+#: Data_Setup_Error prevalence moved the "wrong" way (-7% reduction means
+#: a 7% increase), attributed to statistical fluctuation in the paper.
+EVAL_PER_TYPE_REDUCTION = {
+    "DATA_SETUP_ERROR": (-0.07, 0.2572),
+    "DATA_STALL": (0.1345, 0.424),
+    "OUT_OF_SERVICE": (0.05, 0.5026),
+}
+
+#: TIMP deployment: Data_Stall duration reduction, all-failure duration
+#: reduction, and median duration before/after (Fig. 21 prose).
+EVAL_STALL_DURATION_REDUCTION = 0.38
+EVAL_TOTAL_DURATION_REDUCTION = 0.36
+EVAL_MEDIAN_DURATION_BEFORE_S = 6.0
+EVAL_MEDIAN_DURATION_AFTER_S = 2.0
+
+#: Fraction of the 70M users who opted in to the patched system.
+PATCHED_OPT_IN_FRACTION = 0.40
+
+# --------------------------------------------------------------------------
+# Section 2.2 — monitoring overhead envelope (low-end phone)
+# --------------------------------------------------------------------------
+
+#: Typical-case overhead bounds for Android-MOD on a low-end phone.
+OVERHEAD_TYPICAL = {
+    "cpu_utilization": 0.02,
+    "memory_bytes": 40 * 1024,
+    "storage_bytes": 100 * 1024,
+    "network_bytes_per_month": 100 * 1024,
+}
+
+#: Worst-case overhead bounds (devices with 40k+ failures per month).
+OVERHEAD_WORST_CASE = {
+    "cpu_utilization": 0.08,
+    "memory_bytes": 2 * 1024 * 1024,
+    "storage_bytes": 20 * 1024 * 1024,
+    "network_bytes_per_month": 20 * 1024 * 1024,
+}
+
+#: Prober timeouts (Sec. 2.2).
+PROBE_ICMP_TIMEOUT_S = 1.0
+PROBE_DNS_TIMEOUT_S = 5.0
+PROBE_BACKOFF_THRESHOLD_S = 1200.0
+PROBE_BACKOFF_FACTOR = 2.0
+PROBE_MAX_TIMEOUT_S = 60.0

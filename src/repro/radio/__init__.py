@@ -1,0 +1,17 @@
+"""Radio-layer substrate: RATs, signal propagation, the modem command
+surface that generates DataFailCause codes, and a data-rate model."""
+
+from repro.radio.rat import RAT, Generation
+from repro.radio.propagation import PropagationModel
+from repro.radio.modem import Modem, ModemResponse, SetupOutcome
+from repro.radio.throughput import expected_data_rate_mbps
+
+__all__ = [
+    "RAT",
+    "Generation",
+    "PropagationModel",
+    "Modem",
+    "ModemResponse",
+    "SetupOutcome",
+    "expected_data_rate_mbps",
+]

@@ -1,0 +1,180 @@
+"""The modem / radio-interface-layer (RIL) command surface.
+
+Android's telephony stack never sees the network directly: every data-call
+setup, teardown, re-registration, or radio restart goes through modem
+commands, and every failure surfaces as a ``DataFailCause`` error code
+derived either from the network's response to the setup negotiation or
+from the return value of the command itself (Sec. 2.1).  This module
+reproduces that boundary.
+
+The modem is deliberately network-agnostic: it talks to any object with an
+``admit_bearer(rat, signal_level, rng)`` method (our
+:class:`repro.network.basestation.BaseStation`), so the Android substrate
+above it can be unit-tested against scripted stand-ins.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+
+class SetupOutcome(enum.Enum):
+    """High-level result of a data-call setup attempt."""
+
+    SUCCESS = "SUCCESS"
+    #: The network answered the negotiation with a rejection.
+    REJECTED = "REJECTED"
+    #: The negotiation received no (timely) answer.
+    TIMEOUT = "TIMEOUT"
+    #: The modem itself failed before reaching the network.
+    MODEM_ERROR = "MODEM_ERROR"
+
+
+@dataclass(frozen=True)
+class ModemResponse:
+    """What a modem command returns to the telephony stack."""
+
+    outcome: SetupOutcome
+    #: DataFailCause name when the outcome is not SUCCESS.
+    cause: str | None = None
+    #: Virtual seconds the command took.
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is SetupOutcome.SUCCESS
+
+    def __post_init__(self) -> None:
+        if self.ok and self.cause is not None:
+            raise ValueError("successful response cannot carry a cause")
+        if not self.ok:
+            if self.cause is None:
+                raise ValueError("failed response must carry a cause")
+            if self.cause not in ERROR_CODE_REGISTRY:
+                raise ValueError(f"unknown DataFailCause: {self.cause}")
+
+
+#: Causes raised by the modem itself (not the network), with relative odds.
+_MODEM_INTERNAL_CAUSES: tuple[tuple[str, float], ...] = (
+    ("MODEM_RESTART", 0.35),
+    ("INVALID_CONNECTION_ID", 0.20),
+    ("INTERFACE_IN_USE", 0.20),
+    ("ACCESS_ATTEMPT_ALREADY_IN_PROGRESS", 0.15),
+    ("THERMAL_EMERGENCY", 0.10),
+)
+
+#: Baseline setup-negotiation latency in seconds by RAT; 5G NR control
+#: procedures complete faster.
+_SETUP_LATENCY_S = {
+    RAT.GSM: 2.5,
+    RAT.UMTS: 1.8,
+    RAT.LTE: 0.6,
+    RAT.NR: 0.3,
+}
+
+
+class Modem:
+    """A device's cellular modem.
+
+    Parameters
+    ----------
+    supported_rats:
+        RATs this modem can use (5G phones include :data:`RAT.NR`).
+    rng:
+        Deterministic randomness source for latency jitter and
+        modem-internal failures.
+    internal_error_rate:
+        Probability that a setup command fails inside the modem before
+        any network negotiation happens.
+    """
+
+    def __init__(
+        self,
+        supported_rats: frozenset[RAT] | set[RAT],
+        rng: random.Random,
+        internal_error_rate: float = 0.002,
+        deep_fade_timeout_rate: float = 0.5,
+    ) -> None:
+        if not supported_rats:
+            raise ValueError("a modem must support at least one RAT")
+        self.supported_rats = frozenset(supported_rats)
+        self._rng = rng
+        self._internal_error_rate = internal_error_rate
+        self._deep_fade_timeout_rate = deep_fade_timeout_rate
+        self.radio_on = True
+        #: Count of radio restarts (stage-3 recovery operations).
+        self.restart_count = 0
+
+    # -- commands ----------------------------------------------------------
+
+    def setup_data_call(
+        self,
+        base_station,
+        rat: RAT,
+        signal_level: SignalLevel,
+    ) -> ModemResponse:
+        """Negotiate a data bearer with ``base_station`` over ``rat``.
+
+        ``base_station`` must expose ``admit_bearer(rat, signal_level,
+        rng) -> str | None`` returning ``None`` on admission or a
+        DataFailCause name on rejection.
+        """
+        latency = self._latency(rat)
+        if not self.radio_on:
+            return ModemResponse(
+                SetupOutcome.MODEM_ERROR, "RADIO_POWER_OFF", latency
+            )
+        if rat not in self.supported_rats:
+            return ModemResponse(
+                SetupOutcome.MODEM_ERROR, "FEATURE_NOT_SUPP", latency
+            )
+        if self._rng.random() < self._internal_error_rate:
+            cause = self._pick_internal_cause()
+            return ModemResponse(SetupOutcome.MODEM_ERROR, cause, latency)
+        if signal_level is SignalLevel.LEVEL_0:
+            # Deep fade: the negotiation request may never be answered.
+            if self._rng.random() < self._deep_fade_timeout_rate:
+                return ModemResponse(
+                    SetupOutcome.TIMEOUT, "SIGNAL_LOST", latency + 1.0
+                )
+        cause = base_station.admit_bearer(rat, signal_level, self._rng)
+        if cause is None:
+            return ModemResponse(SetupOutcome.SUCCESS, None, latency)
+        return ModemResponse(SetupOutcome.REJECTED, cause, latency)
+
+    def teardown_data_call(self) -> ModemResponse:
+        """Release the current bearer (always succeeds locally)."""
+        return ModemResponse(SetupOutcome.SUCCESS, None, 0.1)
+
+    def restart_radio(self) -> float:
+        """Power-cycle the radio (stage-3 recovery).  Returns seconds."""
+        self.restart_count += 1
+        self.radio_on = True
+        return 12.0 + self._rng.uniform(0.0, 6.0)
+
+    def power_off(self) -> None:
+        self.radio_on = False
+
+    def power_on(self) -> None:
+        self.radio_on = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _latency(self, rat: RAT) -> float:
+        base = _SETUP_LATENCY_S[rat]
+        return base * self._rng.uniform(0.8, 1.6)
+
+    def _pick_internal_cause(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for name, weight in _MODEM_INTERNAL_CAUSES:
+            cumulative += weight
+            if roll < cumulative:
+                return name
+        return _MODEM_INTERNAL_CAUSES[-1][0]

@@ -1,0 +1,79 @@
+"""Signal propagation: distance + environment -> dBm -> Android level.
+
+A log-distance path-loss model with log-normal shadowing is the standard
+first-order model for cellular coverage.  It only needs to be right in
+*shape*: RSS falls off with distance, higher frequencies (ISP-B's bands,
+5G NR) attenuate faster, and devices parked next to a densely-deployed
+hub BS see level-5 signal.  Those are exactly the properties the paper's
+ISP/RSS findings rest on (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.signal import SignalLevel, dbm_to_level
+from repro.radio.rat import RAT
+
+#: Reference transmit power at 1 m, dBm, by RAT.  NR cells are typically
+#: deployed at lower effective range for the same power budget.
+_TX_POWER_DBM = {
+    RAT.GSM: -20.0,
+    RAT.UMTS: -24.0,
+    RAT.LTE: -28.0,
+    RAT.NR: -30.0,
+}
+
+#: Path-loss exponents by RAT; mmWave-adjacent NR decays fastest.
+_PATH_LOSS_EXPONENT = {
+    RAT.GSM: 2.6,
+    RAT.UMTS: 2.9,
+    RAT.LTE: 3.0,
+    RAT.NR: 3.4,
+}
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """Log-distance path loss with log-normal shadowing.
+
+    ``frequency_penalty_db`` shifts the whole curve down for carriers on
+    higher frequency bands (the paper attributes ISP-B's worse coverage
+    to its higher radio frequency, Sec. 3.3).
+    """
+
+    shadowing_sigma_db: float = 6.0
+    frequency_penalty_db: float = 0.0
+
+    def rss_dbm(
+        self,
+        rat: RAT,
+        distance_m: float,
+        rng: random.Random | None = None,
+    ) -> float:
+        """Mean (or shadowed, when ``rng`` given) RSS at ``distance_m``."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        exponent = _PATH_LOSS_EXPONENT[rat]
+        path_loss_db = 10.0 * exponent * math.log10(max(distance_m, 1.0))
+        rss = _TX_POWER_DBM[rat] - path_loss_db - self.frequency_penalty_db
+        if rng is not None and self.shadowing_sigma_db > 0:
+            rss += rng.gauss(0.0, self.shadowing_sigma_db)
+        return rss
+
+    def signal_level(
+        self,
+        rat: RAT,
+        distance_m: float,
+        rng: random.Random | None = None,
+    ) -> SignalLevel:
+        """Android signal level at ``distance_m`` from the BS."""
+        return dbm_to_level(rat, self.rss_dbm(rat, distance_m, rng))
+
+    def coverage_radius_m(self, rat: RAT, min_dbm: float = -110.0) -> float:
+        """Distance at which mean RSS drops to ``min_dbm`` (no shadowing)."""
+        exponent = _PATH_LOSS_EXPONENT[rat]
+        tx = _TX_POWER_DBM[rat] - self.frequency_penalty_db
+        return 10.0 ** ((tx - min_dbm) / (10.0 * exponent))

@@ -1,0 +1,70 @@
+"""Radio access technologies (RATs) and their generations.
+
+The study spans 2G through 5G base stations (Sec. 3.3).  We model one
+canonical RAT per generation — GSM, UMTS, LTE, NR — which matches the
+granularity of every figure in the paper (all RAT-keyed results are by
+generation, e.g. "4G" in Figs. 14-17).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Generation(enum.IntEnum):
+    """Cellular generation, ordered so comparisons mean newer/older."""
+
+    G2 = 2
+    G3 = 3
+    G4 = 4
+    G5 = 5
+
+    @property
+    def label(self) -> str:
+        """The paper's display label, e.g. ``"4G"``."""
+        return f"{int(self)}G"
+
+
+class RAT(enum.Enum):
+    """Canonical radio access technology per generation."""
+
+    GSM = "GSM"  # 2G
+    UMTS = "UMTS"  # 3G
+    LTE = "LTE"  # 4G
+    NR = "NR"  # 5G
+
+    @property
+    def generation(self) -> Generation:
+        return _GENERATION[self]
+
+    @property
+    def label(self) -> str:
+        """Display label used in tables/figures (``2G``..``5G``)."""
+        return self.generation.label
+
+    @classmethod
+    def from_generation(cls, generation: Generation) -> "RAT":
+        return _BY_GENERATION[generation]
+
+    @classmethod
+    def from_label(cls, label: str) -> "RAT":
+        """Parse a ``"4G"``-style label."""
+        for rat, gen in _GENERATION.items():
+            if gen.label == label:
+                return rat
+        raise ValueError(f"unknown RAT label: {label!r}")
+
+
+_GENERATION: dict[RAT, Generation] = {
+    RAT.GSM: Generation.G2,
+    RAT.UMTS: Generation.G3,
+    RAT.LTE: Generation.G4,
+    RAT.NR: Generation.G5,
+}
+
+_BY_GENERATION: dict[Generation, RAT] = {
+    gen: rat for rat, gen in _GENERATION.items()
+}
+
+#: All RATs from oldest to newest generation.
+ALL_RATS: tuple[RAT, ...] = (RAT.GSM, RAT.UMTS, RAT.LTE, RAT.NR)

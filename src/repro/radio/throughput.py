@@ -1,0 +1,67 @@
+"""Expected data rate by RAT and signal level.
+
+The Stability-Compatible RAT Transition argument (Sec. 4.2) relies on one
+empirical fact: a 5G connection at level-0 signal almost always provides a
+*lower* data rate than the 4G connection it replaced (>95% of trials in
+the paper's benchmark on four 5G phones).  This module provides a simple
+Shannon-flavoured rate model whose shape delivers that fact: peak rates
+follow the generation (10 Gbps-class NR down to 2G EDGE-class), scaled by
+a per-level spectral-efficiency factor that collapses at level 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+#: Peak achievable rate (Mbps) at excellent signal, by RAT (Sec. 1 quotes
+#: 10 Gbps for 5G and ~100x less for 4G).
+_PEAK_RATE_MBPS = {
+    RAT.GSM: 0.3,
+    RAT.UMTS: 8.0,
+    RAT.LTE: 100.0,
+    RAT.NR: 10_000.0,
+}
+
+#: Fraction of peak rate available at each signal level.  The level-0
+#: entry is the load-bearing one: with essentially no usable signal the
+#: achievable rate collapses regardless of the RAT's nominal peak.
+_LEVEL_EFFICIENCY = {
+    SignalLevel.LEVEL_0: 0.0005,
+    SignalLevel.LEVEL_1: 0.05,
+    SignalLevel.LEVEL_2: 0.15,
+    SignalLevel.LEVEL_3: 0.35,
+    SignalLevel.LEVEL_4: 0.65,
+    SignalLevel.LEVEL_5: 1.0,
+}
+
+
+def expected_data_rate_mbps(rat: RAT, level: SignalLevel) -> float:
+    """Mean achievable downlink rate for ``rat`` at ``level``."""
+    return _PEAK_RATE_MBPS[rat] * _LEVEL_EFFICIENCY[level]
+
+
+def sample_data_rate_mbps(
+    rat: RAT, level: SignalLevel, rng: random.Random
+) -> float:
+    """One noisy rate measurement (log-uniform factor of ~2 around mean)."""
+    mean = expected_data_rate_mbps(rat, level)
+    return mean * (2.0 ** rng.uniform(-1.0, 1.0))
+
+
+def transition_increases_rate(
+    from_rat: RAT,
+    from_level: SignalLevel,
+    to_rat: RAT,
+    to_level: SignalLevel,
+) -> bool:
+    """Whether a RAT transition is expected to raise the data rate.
+
+    This is the check the stability-compatible policy uses to argue a
+    veto has no data-rate side effect (Sec. 4.2).
+    """
+    return expected_data_rate_mbps(to_rat, to_level) > expected_data_rate_mbps(
+        from_rat, from_level
+    )

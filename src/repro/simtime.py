@@ -1,0 +1,57 @@
+"""Virtual time for the simulated world.
+
+Every component in this library that needs "now" receives a
+:class:`SimClock` instead of reading the wall clock, so a whole nationwide
+study is deterministic and runs as fast as the CPU allows.  The clock is
+deliberately minimal: a monotonically non-decreasing float of seconds since
+the start of the simulated measurement period.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic virtual clock measured in seconds.
+
+    >>> clock = SimClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump to an absolute timestamp at or after the current time."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}s)"
+
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+#: An average month, used for converting the 8-month study span.
+SECONDS_PER_MONTH = 30.44 * SECONDS_PER_DAY

@@ -1,0 +1,20 @@
+"""The time-inhomogeneous Markov process (TIMP) enhancement (Sec. 4.2):
+recovery-probability estimation from field data, the expected-recovery-
+time formalization of Eq. (1), and the annealing search for optimal
+probations."""
+
+from repro.timp.model import RecoveryCdf, TimpModel
+from repro.timp.expected_time import (
+    expected_recovery_time,
+    simulate_expected_recovery_time,
+)
+from repro.timp.annealing import AnnealingResult, optimize_probations
+
+__all__ = [
+    "RecoveryCdf",
+    "TimpModel",
+    "expected_recovery_time",
+    "simulate_expected_recovery_time",
+    "AnnealingResult",
+    "optimize_probations",
+]

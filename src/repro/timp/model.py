@@ -1,0 +1,245 @@
+"""The TIMP model of the Data_Stall recovery process (Fig. 18).
+
+The process has five states: S0 (stall detected), S1/S2/S3 (executing
+the three progressive recovery operations), and Se = S4 (recovered).
+The paper's key observation is that the device's probability of
+recovering *on its own* depends on the elapsed time t — a stationary
+Markov chain cannot express that, hence the time-inhomogeneous variant.
+
+Everything hinges on the recovery probability P_{i->e}(t), which we
+estimate from field data with a Kaplan-Meier product-limit estimator:
+stalls that auto-recovered yield exact event times; stalls ended by a
+recovery stage or a user reset are right-censored at the intervention
+time (the device *would* have recovered later, we just never saw when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.recovery import AUTO_RECOVERED, USER_RESET
+from repro.core.events import FailureType
+from repro.dataset.store import Dataset
+
+
+class RecoveryCdf:
+    """P(natural recovery by elapsed time t), estimated Kaplan-Meier.
+
+    Beyond the last observation the tail extrapolates exponentially
+    with the mean hazard of the final observed decade, so the Eq. (1)
+    integrals stay finite and well-behaved.
+    """
+
+    def __init__(
+        self,
+        event_times: np.ndarray,
+        censor_times: np.ndarray,
+    ) -> None:
+        events = np.asarray(event_times, dtype=float)
+        censors = np.asarray(censor_times, dtype=float)
+        if len(events) == 0:
+            raise ValueError("need at least one observed recovery")
+        if (events < 0).any() or (censors < 0).any():
+            raise ValueError("times cannot be negative")
+        self._grid, self._survival = _kaplan_meier(events, censors)
+        self._t_max = float(self._grid[-1]) if len(self._grid) else 0.0
+        self._s_end = float(self._survival[-1]) if len(self._grid) else 1.0
+        self._tail_hazard = self._estimate_tail_hazard()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "RecoveryCdf":
+        """Estimate from a study dataset's Data_Stall records."""
+        events = []
+        censors = []
+        for failure in dataset.failures:
+            if failure.failure_type != FailureType.DATA_STALL.value:
+                continue
+            if failure.resolved_by == AUTO_RECOVERED:
+                events.append(failure.duration_s)
+            elif failure.resolved_by in (USER_RESET,) or (
+                failure.resolved_by is not None and failure.resolved_by > 0
+            ):
+                censors.append(failure.duration_s)
+            else:
+                # Unresolved episodes ended naturally: exact events.
+                events.append(failure.duration_s)
+        return cls(np.array(events), np.array(censors))
+
+    @classmethod
+    def from_durations(cls, durations) -> "RecoveryCdf":
+        """Estimate from fully observed (uncensored) natural durations."""
+        return cls(np.asarray(durations, dtype=float), np.array([]))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def __call__(self, t: float) -> float:
+        """P(recovered by t)."""
+        if t <= 0:
+            return 0.0
+        if self._t_max == 0.0:
+            return 1.0
+        if t >= self._t_max:
+            survival = self._s_end * np.exp(
+                -self._tail_hazard * (t - self._t_max)
+            )
+            return float(1.0 - survival)
+        index = np.searchsorted(self._grid, t, side="right") - 1
+        if index < 0:
+            return 0.0
+        return float(1.0 - self._survival[index])
+
+    def batch(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized CDF evaluation."""
+        t = np.asarray(times, dtype=float)
+        if self._t_max == 0.0:
+            return np.where(t > 0, 1.0, 0.0)
+        result = np.zeros_like(t)
+        inside = (t > 0) & (t < self._t_max)
+        if inside.any():
+            index = np.searchsorted(self._grid, t[inside], side="right") - 1
+            survival = np.where(index >= 0, self._survival[index], 1.0)
+            result[inside] = 1.0 - survival
+        beyond = t >= self._t_max
+        if beyond.any():
+            survival = self._s_end * np.exp(
+                -self._tail_hazard * (t[beyond] - self._t_max)
+            )
+            result[beyond] = 1.0 - survival
+        return result
+
+    @property
+    def t_max(self) -> float:
+        """The largest observed time (the paper's t_m)."""
+        return self._t_max
+
+    def sample_naturals(self, n: int) -> np.ndarray:
+        """``n`` representative natural durations via inverse-CDF over a
+        deterministic uniform grid (common random numbers, so annealing
+        objectives built on them are smooth in the probations)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        uniforms = (np.arange(n) + 0.5) / n
+        cdf_grid = 1.0 - self._survival
+        samples = np.empty(n)
+        inside = uniforms <= cdf_grid[-1]
+        if inside.any():
+            index = np.searchsorted(cdf_grid, uniforms[inside],
+                                    side="left")
+            index = np.minimum(index, len(self._grid) - 1)
+            samples[inside] = self._grid[index]
+        beyond = ~inside
+        if beyond.any():
+            # Invert the exponential tail: 1 - s_end*exp(-h*(t-tmax)) = u.
+            survival = 1.0 - uniforms[beyond]
+            samples[beyond] = self._t_max + (
+                np.log(self._s_end / survival) / self._tail_hazard
+            )
+        return samples
+
+    def quantile(self, q: float) -> float:
+        """Smallest t with CDF(t) >= q (for reporting)."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError("q must be within [0, 1)")
+        lo, hi = 0.0, max(self._t_max, 1.0)
+        while self(hi) < q:
+            hi *= 2.0
+            if hi > 1e9:
+                raise RuntimeError("quantile out of range")
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            if self(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    # -- internals -----------------------------------------------------------
+
+    def _estimate_tail_hazard(self) -> float:
+        if len(self._grid) < 2 or self._s_end <= 0:
+            return 1e-3
+        # Mean hazard over the last decade of observations.
+        start = self._t_max / 10.0
+        index = np.searchsorted(self._grid, start)
+        index = min(index, len(self._grid) - 2)
+        s_start = self._survival[index]
+        span = self._t_max - self._grid[index]
+        if span <= 0 or s_start <= self._s_end:
+            return 1e-3
+        return float(np.log(s_start / self._s_end) / span)
+
+
+def _kaplan_meier(
+    events: np.ndarray, censors: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Product-limit survival estimate.
+
+    Returns (event-time grid, survival value at each grid point).
+    """
+    all_times = np.concatenate([events, censors])
+    order = np.argsort(all_times, kind="stable")
+    is_event = np.concatenate([
+        np.ones(len(events), dtype=bool),
+        np.zeros(len(censors), dtype=bool),
+    ])[order]
+    times = all_times[order]
+    n = len(times)
+    at_risk = n
+    survival = 1.0
+    grid: list[float] = []
+    values: list[float] = []
+    i = 0
+    while i < n:
+        t = times[i]
+        deaths = 0
+        removed = 0
+        while i < n and times[i] == t:
+            if is_event[i]:
+                deaths += 1
+            removed += 1
+            i += 1
+        if deaths and at_risk > 0:
+            survival *= 1.0 - deaths / at_risk
+            grid.append(float(t))
+            values.append(survival)
+        at_risk -= removed
+    if not grid:
+        raise ValueError("no recovery events to estimate from")
+    return np.array(grid), np.array(values)
+
+
+@dataclass(frozen=True)
+class TimpModel:
+    """The five-state TIMP of Fig. 18 around a fitted recovery CDF."""
+
+    recovery_cdf: RecoveryCdf
+    #: Operation overheads O_1..O_3 (O_0 = 0 by definition).
+    stage_overheads_s: tuple[float, float, float] = (2.0, 6.0, 15.0)
+
+    #: State labels, S0 through Se = S4.
+    STATES = ("S0", "S1", "S2", "S3", "Se")
+
+    def __post_init__(self) -> None:
+        overheads = list(self.stage_overheads_s)
+        if overheads != sorted(overheads):
+            raise ValueError("overheads must be progressive (O1<O2<O3)")
+        if any(o < 0 for o in overheads):
+            raise ValueError("overheads cannot be negative")
+
+    def recovery_probability(self, t: float) -> float:
+        """P_{i->e}(t): probability of having auto-recovered by t."""
+        return self.recovery_cdf(t)
+
+    def escalation_probability(self, elapsed_until_next: float) -> float:
+        """P_{i->i+1} = 1 - P_{i->e}(sigma Pro_i)."""
+        return 1.0 - self.recovery_cdf(elapsed_until_next)
+
+    def overhead(self, stage: int) -> float:
+        """O_i; stage 0 has no operation (Sec. 4.2)."""
+        if stage == 0:
+            return 0.0
+        return self.stage_overheads_s[stage - 1]

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+The expensive artifacts — a vanilla-arm dataset, its paired patched-arm
+dataset, and a reference topology — are built once per session and
+shared by every analysis/integration test.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataset.store import Dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import NationalTopology, TopologyConfig
+
+#: One scenario shared by the whole test session; large enough for the
+#: distributional assertions, small enough to build in a few seconds.
+TEST_SCENARIO = ScenarioConfig(
+    n_devices=1_500,
+    seed=11,
+    topology=TopologyConfig(n_base_stations=1_000, seed=12),
+)
+
+
+@pytest.fixture(scope="session")
+def vanilla_dataset() -> Dataset:
+    """A measurement-arm dataset (vanilla Android mechanisms)."""
+    return FleetSimulator(TEST_SCENARIO.vanilla()).run()
+
+
+@pytest.fixture(scope="session")
+def patched_dataset() -> Dataset:
+    """The paired enhanced-arm dataset of the same scenario."""
+    return FleetSimulator(TEST_SCENARIO.patched()).run()
+
+
+#: BS-rich scenario: per-BS event density below saturation, needed by
+#: BS-level prevalence analyses (Fig. 14).
+BS_RICH_SCENARIO = ScenarioConfig(
+    n_devices=800,
+    seed=31,
+    topology=TopologyConfig(n_base_stations=8_000, seed=32),
+)
+
+
+@pytest.fixture(scope="session")
+def bs_rich_dataset() -> Dataset:
+    """A fleet over a BS-rich topology (for BS-landscape analyses)."""
+    return FleetSimulator(BS_RICH_SCENARIO.vanilla()).run()
+
+
+@pytest.fixture(scope="session")
+def topology() -> NationalTopology:
+    """A mid-size reference topology."""
+    return NationalTopology(TopologyConfig(n_base_stations=2_000, seed=5))
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(1234)

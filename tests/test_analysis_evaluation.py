@@ -1,0 +1,97 @@
+"""Tests for the Sec. 4.3 A/B evaluation and text reports."""
+
+import pytest
+
+from repro.analysis import report
+from repro.analysis.evaluation import evaluate_ab
+from repro.analysis.transitions import transition_increase_matrix
+from repro.analysis.isp_bs import normalized_prevalence_by_level
+from repro.core.study import NationwideStudy
+
+
+@pytest.fixture(scope="module")
+def evaluation(vanilla_dataset, patched_dataset):
+    return evaluate_ab(vanilla_dataset, patched_dataset)
+
+
+class TestAbEvaluation:
+    def test_5g_frequency_drops_sharply(self, evaluation):
+        """Sec. 4.3: 40.3% fewer failures on participant 5G phones."""
+        assert 0.25 <= evaluation.frequency_reduction_5g <= 0.55
+
+    def test_5g_prevalence_does_not_worsen_substantially(self, evaluation):
+        """Sec. 4.3: ~10% prevalence reduction (a weaker signal than
+        frequency; the paper notes per-type fluctuation)."""
+        assert evaluation.prevalence_reduction_5g > -0.10
+
+    def test_stall_duration_reduction(self, evaluation):
+        """Fig. 21: 38% Data_Stall duration reduction (we accept a
+        generous band around it)."""
+        assert 0.15 <= evaluation.stall_duration_reduction <= 0.60
+
+    def test_total_duration_reduction(self, evaluation):
+        """Fig. 21: 36% total-duration reduction."""
+        assert 0.15 <= evaluation.total_duration_reduction <= 0.60
+
+    def test_median_does_not_increase(self, evaluation):
+        assert (evaluation.median_duration_after_s
+                <= evaluation.median_duration_before_s * 1.2)
+
+    def test_per_type_frequency_reductions_are_positive(self, evaluation):
+        for delta in evaluation.per_type.values():
+            assert delta.frequency_reduction > 0.0
+
+    def test_stall_frequency_reduction_is_large(self, evaluation):
+        """Sec. 4.3: Data_Stall frequency fell 42.4% on 5G phones."""
+        stall = evaluation.per_type["DATA_STALL"]
+        assert stall.frequency_reduction > 0.20
+
+
+class TestReports:
+    def test_table1_renders_all_models(self, vanilla_dataset):
+        text = report.render_table1(vanilla_dataset)
+        assert "Prevalence" in text
+        assert text.count("\n") >= 30
+
+    def test_table2_renders_cumulative(self, vanilla_dataset):
+        text = report.render_table2(vanilla_dataset)
+        assert "GPRS_REGISTRATION_FAIL" in text
+        assert "cumulative" in text
+
+    def test_general_stats_renders(self, vanilla_dataset):
+        text = report.render_general_stats(vanilla_dataset)
+        assert "prevalence" in text
+        assert "duration share by type" in text
+
+    def test_level_series_renders_bars(self, vanilla_dataset):
+        series = normalized_prevalence_by_level(vanilla_dataset)
+        text = report.render_level_series(series)
+        assert "#" in text
+        assert text.count("\n") == 7
+
+    def test_transition_matrix_renders(self, vanilla_dataset):
+        matrix = transition_increase_matrix(vanilla_dataset, "4G", "5G")
+        text = report.render_transition_matrix(matrix)
+        assert "4G level-i -> 5G level-j" in text
+
+    def test_ab_report_renders(self, evaluation):
+        text = report.render_ab_evaluation(evaluation)
+        assert "frequency reduction" in text
+        assert "median duration" in text
+
+    def test_isp_report_renders(self, vanilla_dataset):
+        text = report.render_isp_stats(vanilla_dataset)
+        assert "ISP-A" in text and "ISP-C" in text
+
+
+class TestStudyOrchestrator:
+    def test_analyze_builds_a_full_result(self, vanilla_dataset):
+        result = NationwideStudy.analyze(vanilla_dataset)
+        assert result.general.n_devices == vanilla_dataset.n_devices
+        assert result.models
+        assert result.error_codes
+        assert len(result.isps) == 3
+        assert result.zipf.a > 0
+        rendered = result.render()
+        assert "Table 1" in rendered
+        assert "Zipf" in rendered

@@ -1,0 +1,139 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    SvgCanvas,
+    bar_chart,
+    cdf_chart,
+    grouped_bar_chart,
+    heatmap,
+    loglog_scatter,
+    render_paper_figures,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgCanvas:
+    def test_serializes_valid_xml(self):
+        canvas = SvgCanvas(100, 80)
+        canvas.rect(1, 2, 3, 4, fill="#123456")
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "hello <&>")
+        root = parse(canvas.to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+        tags = [child.tag for child in root]
+        assert f"{SVG_NS}rect" in tags
+        assert f"{SVG_NS}line" in tags
+        assert f"{SVG_NS}text" in tags
+
+    def test_escapes_text(self):
+        canvas = SvgCanvas(100, 80)
+        canvas.text(0, 0, "a<b & c>d")
+        root = parse(canvas.to_svg())
+        texts = root.findall(f"{SVG_NS}text")
+        assert texts[0].text == "a<b & c>d"
+
+
+class TestCharts:
+    def test_bar_chart_has_one_bar_per_value(self):
+        svg = bar_chart({"a": 1.0, "b": 2.0, "c": 3.0}, "t")
+        root = parse(svg)
+        # background + 3 bars
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 4
+
+    def test_bar_heights_scale_with_values(self):
+        svg = bar_chart({"small": 1.0, "big": 4.0}, "t")
+        rects = parse(svg).findall(f"{SVG_NS}rect")[1:]
+        heights = [float(r.get("height")) for r in rects]
+        assert heights[1] == pytest.approx(4 * heights[0], rel=0.01)
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({}, "t")
+
+    def test_grouped_bars_and_legend(self):
+        svg = grouped_bar_chart(
+            {"g1": {"x": 1.0, "y": 2.0}, "g2": {"x": 3.0, "y": 4.0}},
+            "t",
+        )
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 4 bars + 2 legend swatches
+        assert len(rects) == 7
+
+    def test_cdf_chart_draws_polylines(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        ps = np.array([1 / 3, 2 / 3, 1.0])
+        svg = cdf_chart({"s": (xs, ps)}, "t", "x")
+        polylines = parse(svg).findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 1
+        assert "fill" in polylines[0].attrib
+
+    def test_loglog_scatter_with_fit(self):
+        ranking = 100.0 / np.arange(1, 200) ** 0.8
+        svg = loglog_scatter(ranking, "t", "rank", "count",
+                             fit_a=0.8, fit_b=100.0)
+        polylines = parse(svg).findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2  # data + fit
+
+    def test_loglog_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_scatter(np.array([5.0]), "t", "x", "y")
+
+    def test_heatmap_has_36_cells(self):
+        matrix = np.full((6, 6), np.nan)
+        matrix[1][0] = 0.37
+        matrix[2][3] = -0.05
+        svg = heatmap(matrix, "t", "j", "i")
+        rects = parse(svg).findall(f"{SVG_NS}rect")
+        assert len(rects) == 37  # background + 36 cells
+
+    def test_heatmap_shape_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((3, 3)), "t", "j", "i")
+
+
+class TestRenderPaperFigures:
+    def test_renders_all_figures(self, tmp_path, vanilla_dataset,
+                                 patched_dataset):
+        paths = render_paper_figures(vanilla_dataset, patched_dataset,
+                                     out_dir=tmp_path)
+        names = {p.name for p in paths}
+        expected = {
+            "fig02_prevalence_per_model.svg",
+            "fig03_failures_per_phone.svg",
+            "fig04_duration.svg",
+            "fig05_frequency_per_model.svg",
+            "fig06_07_5g.svg",
+            "fig08_09_android.svg",
+            "fig10_stall_autofix.svg",
+            "fig11_bs_zipf.svg",
+            "fig12_13_isp.svg",
+            "fig14_rat.svg",
+            "fig15_rss.svg",
+            "fig16_rat_rss.svg",
+            "fig17_4g_5g.svg",
+            "fig19_20_rat_ab.svg",
+            "fig21_durations.svg",
+        }
+        assert expected <= names
+        for path in paths:
+            parse(path.read_text())  # every file is valid XML
+
+    def test_vanilla_only_skips_ab_figures(self, tmp_path,
+                                           vanilla_dataset):
+        paths = render_paper_figures(vanilla_dataset, None,
+                                     out_dir=tmp_path / "v")
+        names = {p.name for p in paths}
+        assert "fig21_durations.svg" not in names
+        assert "fig15_rss.svg" in names

@@ -1,0 +1,146 @@
+"""Tests for the ISP/BS landscape analysis (Sec. 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decomposition import (
+    error_code_decomposition,
+    layer_decomposition,
+)
+from repro.analysis.isp_bs import (
+    bs_failure_ranking,
+    bs_failure_summary,
+    fit_zipf,
+    normalized_prevalence_by_level,
+    normalized_prevalence_by_rat_level,
+    per_isp_stats,
+    per_rat_bs_prevalence,
+    prevalence_by_level,
+)
+from repro.core.errorcodes import ProtocolLayer
+from repro.dataset.store import Dataset
+
+
+class TestTable2Decomposition:
+    def test_top10_includes_the_papers_leaders(self, vanilla_dataset):
+        rows = error_code_decomposition(vanilla_dataset, top=10)
+        codes = [row.code for row in rows]
+        assert codes[0] == "GPRS_REGISTRATION_FAIL"
+        assert "SIGNAL_LOST" in codes[:5]
+
+    def test_shares_descend_and_cumulate_near_the_paper(
+        self, vanilla_dataset
+    ):
+        rows = error_code_decomposition(vanilla_dataset, top=10)
+        shares = [row.share for row in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert 0.38 <= sum(shares) <= 0.62  # paper: 46.7%
+
+    def test_layers_span_the_stack(self, vanilla_dataset):
+        """Sec. 3.2: causes cover physical, link, and network layers."""
+        rows = error_code_decomposition(vanilla_dataset, top=10)
+        layers = {row.layer for row in rows}
+        assert ProtocolLayer.PHYSICAL in layers
+        assert ProtocolLayer.NETWORK in layers
+
+    def test_layer_decomposition_sums_to_one(self, vanilla_dataset):
+        shares = layer_decomposition(vanilla_dataset)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            error_code_decomposition(Dataset())
+
+
+class TestBsRanking:
+    def test_ranking_is_descending(self, vanilla_dataset):
+        ranking = bs_failure_ranking(vanilla_dataset)
+        assert (np.diff(ranking) <= 0).all()
+
+    def test_zipf_fit_quality(self, vanilla_dataset):
+        """Fig. 11: the ranking is Zipf-like (a = 0.82 in the paper)."""
+        fit = fit_zipf(bs_failure_ranking(vanilla_dataset))
+        assert 0.4 <= fit.a <= 2.0
+        assert fit.r_squared > 0.7
+
+    def test_zipf_fit_recovers_exact_zipf(self):
+        ranks = np.arange(1, 200, dtype=float)
+        counts = 17.12 / ranks**0.82
+        fit = fit_zipf(counts)
+        assert fit.a == pytest.approx(0.82, abs=0.01)
+        assert fit.b == pytest.approx(17.12, rel=0.05)
+        assert fit.r_squared > 0.999
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([5.0]))
+
+    def test_summary_shape(self, vanilla_dataset):
+        """Fig. 11 prose: median << mean << max."""
+        summary = bs_failure_summary(vanilla_dataset)
+        assert summary["median"] < summary["mean"] < summary["max"]
+
+
+class TestIspDiscrepancy:
+    def test_isp_b_is_worst(self, vanilla_dataset):
+        """Figs. 12-13: ISP-B > ISP-A > ISP-C in prevalence."""
+        stats = {s.isp: s for s in per_isp_stats(vanilla_dataset)}
+        assert stats["ISP-B"].prevalence > stats["ISP-A"].prevalence
+        assert stats["ISP-A"].prevalence > stats["ISP-C"].prevalence
+
+    def test_frequency_ordering_matches(self, vanilla_dataset):
+        stats = {s.isp: s for s in per_isp_stats(vanilla_dataset)}
+        assert stats["ISP-B"].frequency > stats["ISP-C"].frequency
+
+    def test_device_counts_follow_subscriber_share(self, vanilla_dataset):
+        stats = {s.isp: s for s in per_isp_stats(vanilla_dataset)}
+        assert stats["ISP-A"].n_devices > stats["ISP-B"].n_devices
+
+
+class TestRatBsPrevalence:
+    def test_3g_is_least_failure_prone(self, bs_rich_dataset):
+        """Fig. 14: 3G BSes show lower failure prevalence than 2G/4G.
+
+        Needs the BS-rich fixture — at saturation (every BS failed at
+        least once) the per-RAT ordering is meaningless.
+        """
+        prevalence = per_rat_bs_prevalence(bs_rich_dataset)
+        assert prevalence["3G"] < prevalence["2G"]
+        assert prevalence["3G"] < prevalence["4G"]
+        assert all(v < 0.95 for v in prevalence.values())
+
+    def test_values_are_fractions(self, vanilla_dataset):
+        prevalence = per_rat_bs_prevalence(vanilla_dataset)
+        assert all(0.0 <= v <= 1.0 for v in prevalence.values())
+
+    def test_requires_bs_inventory(self):
+        with pytest.raises(ValueError):
+            per_rat_bs_prevalence(Dataset())
+
+
+class TestNormalizedPrevalence:
+    def test_fig15_shape(self, vanilla_dataset):
+        """Fig. 15: monotone decrease over levels 0-4, then the hub
+        anomaly — level 5 exceeds every level 1-4 value."""
+        series = normalized_prevalence_by_level(vanilla_dataset)
+        assert series[0] > series[1] > series[2] > series[3] > series[4]
+        assert series[5] > max(series[level] for level in (1, 2, 3, 4))
+
+    def test_plain_prevalence_does_not_show_the_anomaly_at_0(
+        self, vanilla_dataset
+    ):
+        """Exposure correction matters: raw prevalence at level 0 is
+        small because devices rarely sit at level 0."""
+        raw = prevalence_by_level(vanilla_dataset)
+        normalized = normalized_prevalence_by_level(vanilla_dataset)
+        assert raw[0] < raw[3]
+        assert normalized[0] > normalized[3]
+
+    def test_fig16_5g_rows_sit_above_4g(self, vanilla_dataset):
+        """Fig. 16: at equal levels, 5G failure likelihood >= 4G's."""
+        series = normalized_prevalence_by_rat_level(vanilla_dataset)
+        above = sum(
+            series["5G"][level] > series["4G"][level]
+            for level in range(5)
+        )
+        assert above >= 3

@@ -1,0 +1,80 @@
+"""Tests for the Android-phone landscape analysis (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import quantities
+from repro.analysis.landscape import (
+    compare_5g,
+    compare_android_versions,
+    per_model_stats,
+)
+from repro.dataset.store import Dataset
+
+
+class TestPerModelStats:
+    def test_covers_the_models_present(self, vanilla_dataset):
+        stats = per_model_stats(vanilla_dataset)
+        assert len(stats) >= 30  # all 34 modulo sampling gaps
+
+    def test_prevalence_correlates_with_table1(self, vanilla_dataset):
+        """The measured per-model prevalence must track Table 1."""
+        published = {row.model: row.prevalence
+                     for row in quantities.TABLE1}
+        measured = {s.model: s.prevalence
+                    for s in per_model_stats(vanilla_dataset)
+                    if s.n_devices >= 20}
+        common = sorted(set(measured) & set(published))
+        assert len(common) >= 15
+        a = np.array([published[m] for m in common])
+        b = np.array([measured[m] for m in common])
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert correlation > 0.5
+
+    def test_frequency_correlates_with_table1(self, vanilla_dataset):
+        published = {row.model: row.frequency
+                     for row in quantities.TABLE1}
+        measured = {s.model: s.frequency
+                    for s in per_model_stats(vanilla_dataset)
+                    if s.n_devices >= 30}
+        common = sorted(set(measured) & set(published))
+        a = np.array([published[m] for m in common])
+        b = np.array([measured[m] for m in common])
+        assert np.corrcoef(a, b)[0, 1] > 0.4
+
+    def test_rows_carry_capabilities(self, vanilla_dataset):
+        stats = {s.model: s for s in per_model_stats(vanilla_dataset)}
+        if 33 in stats:
+            assert stats[33].has_5g
+            assert stats[33].android_version == "10.0"
+        if 3 in stats:
+            assert not stats[3].has_5g
+            assert stats[3].android_version == "9.0"
+
+
+class TestGroupComparisons:
+    def test_5g_phones_fail_more(self, vanilla_dataset):
+        """Figs. 6-7: 5G models show higher prevalence and frequency."""
+        comparison = compare_5g(vanilla_dataset)
+        assert comparison.prevalence_a > comparison.prevalence_b
+        assert comparison.frequency_a > comparison.frequency_b
+
+    def test_5g_fair_comparison_holds(self, vanilla_dataset):
+        """Footnote 4: restricting non-5G to Android 10 preserves it."""
+        comparison = compare_5g(vanilla_dataset, fair=True)
+        assert comparison.frequency_a > comparison.frequency_b
+        assert "Android 10" in comparison.group_b
+
+    def test_android_10_fails_more(self, vanilla_dataset):
+        """Figs. 8-9: Android 10 shows more failures than Android 9."""
+        comparison = compare_android_versions(vanilla_dataset)
+        assert comparison.frequency_a > comparison.frequency_b
+
+    def test_android_fair_comparison_holds(self, vanilla_dataset):
+        comparison = compare_android_versions(vanilla_dataset, fair=True)
+        assert comparison.frequency_a > comparison.frequency_b
+        assert "non-5G" in comparison.group_a
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            compare_5g(Dataset())

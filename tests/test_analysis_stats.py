@@ -1,0 +1,103 @@
+"""Tests for the Sec. 3.1 general-statistics analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    compute_general_stats,
+    duration_cdf,
+    failures_per_phone,
+    failures_per_phone_cdf,
+    stage_fix_rate,
+    stall_autofix_cdf,
+    stall_autofix_durations,
+)
+from repro.dataset.store import Dataset
+
+
+class TestGeneralStats:
+    def test_headline_share_above_99_percent(self, vanilla_dataset):
+        """Sec. 3.1: >99% of failures are the three headline types."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert stats.headline_type_share > 0.97
+
+    def test_prevalence_in_plausible_band(self, vanilla_dataset):
+        """Sec. 3.1: ~23% across models, ~20% fleet-weighted."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert 0.12 <= stats.prevalence <= 0.30
+
+    def test_frequency_matches_sec31(self, vanilla_dataset):
+        """Sec. 3.1: ~33 failures per device on average."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert 22.0 <= stats.frequency <= 45.0
+
+    def test_type_mix_matches_sec31(self, vanilla_dataset):
+        """Sec. 3.1: means of roughly 16 / 14 / 3 per device."""
+        stats = compute_general_stats(vanilla_dataset)
+        by_type = stats.mean_per_device_by_type
+        assert by_type["DATA_SETUP_ERROR"] > by_type["DATA_STALL"]
+        assert by_type["DATA_STALL"] > by_type["OUT_OF_SERVICE"]
+
+    def test_stall_dominates_duration(self, vanilla_dataset):
+        """Sec. 3.1: Data_Stall accounts for the vast majority (94%)
+        of total failure duration."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert stats.duration_share_by_type["DATA_STALL"] > 0.70
+
+    def test_stall_count_share_is_about_40_percent(self, vanilla_dataset):
+        stats = compute_general_stats(vanilla_dataset)
+        assert 0.30 <= stats.count_share_by_type["DATA_STALL"] <= 0.50
+
+    def test_duration_distribution_is_skewed(self, vanilla_dataset):
+        """Fig. 4: most failures are short, the max is enormous."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert stats.median_duration_s < stats.mean_duration_s
+        assert stats.max_duration_s > 50 * stats.mean_duration_s
+        assert stats.fraction_under_30s > 0.60
+
+    def test_most_devices_have_no_oos(self, vanilla_dataset):
+        """Sec. 3.1: 95% of phones report no Out_of_Service events."""
+        stats = compute_general_stats(vanilla_dataset)
+        assert stats.fraction_devices_without_oos > 0.85
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            compute_general_stats(Dataset())
+
+
+class TestDistributions:
+    def test_failures_per_phone_includes_zeroes(self, vanilla_dataset):
+        counts = failures_per_phone(vanilla_dataset)
+        assert len(counts) == vanilla_dataset.n_devices
+        assert counts[0] == 0  # Fig. 3: most phones see no failures
+
+    def test_failures_per_phone_is_heavy_tailed(self, vanilla_dataset):
+        counts = failures_per_phone(vanilla_dataset)
+        assert counts[-1] > 30 * max(1.0, float(np.median(counts)))
+
+    def test_cdfs_are_valid(self, vanilla_dataset):
+        for xs, ps in (failures_per_phone_cdf(vanilla_dataset),
+                       duration_cdf(vanilla_dataset),
+                       stall_autofix_cdf(vanilla_dataset)):
+            assert (np.diff(xs) >= 0).all()
+            assert ps[-1] == pytest.approx(1.0)
+
+    def test_autofix_durations_are_mostly_fast(self, vanilla_dataset):
+        """Fig. 10: 60% of auto-fixed stalls clear within ~10 s (plus
+        up to 5 s of probing-measurement error)."""
+        durations = stall_autofix_durations(vanilla_dataset)
+        assert len(durations) > 100
+        within_15 = np.mean(durations <= 15.0)
+        assert within_15 > 0.45
+
+
+class TestStageFixRate:
+    def test_stage1_is_effective_once_executed(self, vanilla_dataset):
+        """Sec. 3.2: the lightweight first stage fixes most stalls it
+        is tried on (75% in the paper)."""
+        rate = stage_fix_rate(vanilla_dataset, stage=1)
+        assert rate > 0.45
+
+    def test_rate_requires_stage_data(self):
+        with pytest.raises(ValueError):
+            stage_fix_rate(Dataset(), stage=1)

@@ -1,0 +1,35 @@
+"""Tests for the top-BS deployment-mix analysis (Fig. 11 prose)."""
+
+import pytest
+
+from repro.analysis.isp_bs import top_bs_deployment_mix
+from repro.dataset.store import Dataset
+
+
+class TestTopBsDeploymentMix:
+    def test_mix_sums_to_one(self, bs_rich_dataset):
+        mix = top_bs_deployment_mix(bs_rich_dataset, top_n=50)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_crowded_areas_dominate_the_top(self, bs_rich_dataset):
+        """Fig. 11 prose: top-ranking BSes are mostly in crowded urban
+        areas."""
+        mix = top_bs_deployment_mix(bs_rich_dataset, top_n=100)
+        crowded = (mix.get("TRANSPORT_HUB", 0.0)
+                   + mix.get("URBAN_CORE", 0.0)
+                   + mix.get("URBAN", 0.0))
+        assert crowded > 0.5
+
+    def test_hubs_overrepresented_relative_to_population(
+        self, bs_rich_dataset
+    ):
+        mix = top_bs_deployment_mix(bs_rich_dataset, top_n=100)
+        population_share = sum(
+            bs.deployment == "TRANSPORT_HUB"
+            for bs in bs_rich_dataset.base_stations
+        ) / len(bs_rich_dataset.base_stations)
+        assert mix.get("TRANSPORT_HUB", 0.0) > 2 * population_share
+
+    def test_requires_inventory_and_failures(self):
+        with pytest.raises(ValueError):
+            top_bs_deployment_mix(Dataset())

@@ -1,0 +1,67 @@
+"""Tests for the Fig. 17 transition analysis."""
+
+import numpy as np
+
+from repro.analysis.transitions import (
+    FIG17_PANELS,
+    all_transition_matrices,
+    measured_level_risk,
+    transition_increase_matrix,
+    undesirable_cells,
+)
+
+
+class TestTransitionMatrices:
+    def test_fig17f_level0_targets_are_dark(self, vanilla_dataset):
+        """Fig. 17f: 4G level-1..4 -> 5G level-0 sharply increases the
+        failure likelihood (the paper's anchor cell is +0.37)."""
+        matrix = transition_increase_matrix(vanilla_dataset, "4G", "5G")
+        dark = [matrix.increase[i][0] for i in (2, 3, 4)
+                if not np.isnan(matrix.increase[i][0])]
+        assert dark, "no observed 4G->5G level-0 transitions"
+        assert all(v > 0.20 for v in dark)
+        anchor = matrix.increase[4][0]
+        if not np.isnan(anchor):
+            assert 0.25 <= anchor <= 0.65  # paper: 0.37
+
+    def test_healthy_targets_are_light(self, vanilla_dataset):
+        matrix = transition_increase_matrix(vanilla_dataset, "4G", "5G")
+        healthy = [matrix.increase[i][4] for i in range(6)
+                   if not np.isnan(matrix.increase[i][4])]
+        assert healthy
+        assert all(v < 0.20 for v in healthy)
+
+    def test_samples_are_counted(self, vanilla_dataset):
+        matrix = transition_increase_matrix(vanilla_dataset, "4G", "5G")
+        assert matrix.samples.sum() > 100
+
+    def test_all_six_panels_compute(self, vanilla_dataset):
+        matrices = all_transition_matrices(vanilla_dataset)
+        assert set(matrices) == set(FIG17_PANELS)
+        for matrix in matrices.values():
+            assert matrix.increase.shape == (6, 6)
+
+    def test_undesirable_cells_target_level0(self, vanilla_dataset):
+        """The common pattern of Sec. 4.2: the *worst* transitions all
+        land on level-0 signal — the paper's four vetoable cases."""
+        matrix = transition_increase_matrix(vanilla_dataset, "4G", "5G")
+        cells = undesirable_cells(matrix, threshold=0.15)
+        assert len(cells) >= 4
+        worst_four_targets = {j for _i, j, _v in cells[:4]}
+        assert worst_four_targets == {0}
+
+
+class TestMeasuredLevelRisk:
+    def test_5g_level0_risk_is_highest_in_row(self, vanilla_dataset):
+        risk = measured_level_risk(vanilla_dataset)
+        row = risk["5G"]
+        observed = [v for v in row if not np.isnan(v)]
+        assert observed
+        assert not np.isnan(row[0])
+        assert row[0] == max(observed)
+
+    def test_risk_values_are_probabilities(self, vanilla_dataset):
+        for row in measured_level_risk(vanilla_dataset).values():
+            for value in row:
+                if not np.isnan(value):
+                    assert 0.0 <= value <= 1.0

@@ -1,0 +1,69 @@
+"""Tests for the paper-vs-measured scorecard."""
+
+import pytest
+
+from repro.analysis.validation import (
+    AnchorCheck,
+    Scorecard,
+    _value,
+    build_scorecard,
+)
+
+
+class TestValueChecks:
+    def test_inside_band_passes(self):
+        check = _value("x", paper=10.0, measured=11.0, rel_band=0.2)
+        assert check.ok
+
+    def test_outside_band_fails(self):
+        check = _value("x", paper=10.0, measured=14.0, rel_band=0.2)
+        assert not check.ok
+
+    def test_formatting(self):
+        check = _value("x", paper=0.403, measured=0.39,
+                       rel_band=0.3, fmt="{:.3f}")
+        assert check.paper == "0.403"
+        assert check.measured == "0.390"
+
+
+class TestScorecard:
+    def make(self, oks):
+        return Scorecard(checks=tuple(
+            AnchorCheck(name=f"c{i}", paper="p", measured="m",
+                        ok=ok, kind="shape")
+            for i, ok in enumerate(oks)
+        ))
+
+    def test_counts(self):
+        scorecard = self.make([True, False, True])
+        assert scorecard.passed == 2
+        assert scorecard.total == 3
+        assert not scorecard.all_ok
+        assert len(scorecard.failures()) == 1
+
+    def test_render_marks_failures(self):
+        text = self.make([True, False]).render()
+        assert "NO" in text
+        assert "1/2 anchors hold" in text
+
+
+class TestBuildScorecard:
+    def test_vanilla_only(self, vanilla_dataset):
+        scorecard = build_scorecard(vanilla_dataset)
+        assert scorecard.total >= 11
+        # The session fixture is calibrated; the vast majority of
+        # anchors must hold at this scale.
+        assert scorecard.passed >= scorecard.total - 2
+
+    def test_with_patched_arm_adds_ab_anchors(self, vanilla_dataset,
+                                              patched_dataset):
+        without = build_scorecard(vanilla_dataset)
+        with_ab = build_scorecard(vanilla_dataset, patched_dataset)
+        assert with_ab.total == without.total + 4
+        names = [check.name for check in with_ab.checks]
+        assert any("Fig. 20" in name for name in names)
+
+    def test_render_is_complete(self, vanilla_dataset):
+        text = build_scorecard(vanilla_dataset).render()
+        assert "anchors hold" in text
+        assert "Fig. 15" in text

@@ -1,0 +1,146 @@
+"""Unit tests for DcTracker setup campaigns."""
+
+import random
+
+from repro.android.dc_tracker import DcTracker
+from repro.android.state_machine import DataConnectionState
+from repro.core.events import FailureType
+from repro.radio.modem import Modem
+from repro.radio.rat import RAT
+from repro.core.signal import SignalLevel
+from repro.simtime import SimClock
+
+
+class ScriptedChannel:
+    """Scripted bearer admission: pops causes, then admits."""
+
+    bs_id = 42
+
+    def __init__(self, causes):
+        self.causes = list(causes)
+        self.attempts = 0
+
+    def admit_bearer(self, rat, signal_level, rng):
+        self.attempts += 1
+        if self.causes:
+            return self.causes.pop(0)
+        return None
+
+
+def make_tracker(retry_delays=(5.0, 10.0)) -> DcTracker:
+    clock = SimClock()
+    modem = Modem({RAT.LTE}, random.Random(0),
+                  internal_error_rate=0.0, deep_fade_timeout_rate=0.0)
+    return DcTracker(clock, modem, retry_delays_s=retry_delays)
+
+
+class TestEstablish:
+    def test_immediate_success(self):
+        tracker = make_tracker()
+        result = tracker.establish(ScriptedChannel([]), RAT.LTE,
+                                   SignalLevel.LEVEL_4)
+        assert result.success
+        assert result.attempts == 1
+        assert not result.failures
+        assert tracker.connection.state is DataConnectionState.ACTIVE
+
+    def test_retry_then_success(self):
+        tracker = make_tracker()
+        result = tracker.establish(
+            ScriptedChannel(["SIGNAL_LOST"]), RAT.LTE, SignalLevel.LEVEL_3
+        )
+        assert result.success
+        assert result.attempts == 2
+        assert len(result.failures) == 1
+        assert result.failures[0].error_code == "SIGNAL_LOST"
+        # The retry waited out the first backoff step.
+        assert result.elapsed_s >= 5.0
+
+    def test_permanent_cause_stops_immediately(self):
+        tracker = make_tracker()
+        result = tracker.establish(
+            ScriptedChannel(["MISSING_UNKNOWN_APN", None]),
+            RAT.LTE, SignalLevel.LEVEL_3,
+        )
+        assert not result.success
+        assert result.attempts == 1
+        assert result.final_cause == "MISSING_UNKNOWN_APN"
+        assert tracker.connection.state is DataConnectionState.INACTIVE
+
+    def test_retries_exhausted(self):
+        tracker = make_tracker(retry_delays=(5.0,))
+        result = tracker.establish(
+            ScriptedChannel(["SIGNAL_LOST"] * 5), RAT.LTE,
+            SignalLevel.LEVEL_3,
+        )
+        assert not result.success
+        assert result.attempts == 2  # initial + one retry
+        assert tracker.connection.state is DataConnectionState.INACTIVE
+
+    def test_each_failed_attempt_surfaces_one_event(self):
+        tracker = make_tracker(retry_delays=(5.0, 10.0, 20.0))
+        result = tracker.establish(
+            ScriptedChannel(["SIGNAL_LOST", "NO_SERVICE", "PPP_TIMEOUT"]),
+            RAT.LTE, SignalLevel.LEVEL_3,
+        )
+        assert result.success
+        assert [f.error_code for f in result.failures] == [
+            "SIGNAL_LOST", "NO_SERVICE", "PPP_TIMEOUT"
+        ]
+        assert all(
+            f.failure_type is FailureType.DATA_SETUP_ERROR
+            for f in result.failures
+        )
+
+    def test_listener_receives_failures(self):
+        tracker = make_tracker()
+        seen = []
+        tracker.register_setup_error_listener(seen.append)
+        tracker.establish(ScriptedChannel(["SIGNAL_LOST"]), RAT.LTE,
+                          SignalLevel.LEVEL_3)
+        assert len(seen) == 1
+        assert seen[0].context["bs_id"] == 42
+
+    def test_event_context_captures_radio_state(self):
+        tracker = make_tracker()
+        seen = []
+        tracker.register_setup_error_listener(seen.append)
+        tracker.establish(ScriptedChannel(["SIGNAL_LOST"]), RAT.LTE,
+                          SignalLevel.LEVEL_1, apn="ims")
+        context = seen[0].context
+        assert context["rat"] is RAT.LTE
+        assert context["signal_level"] is SignalLevel.LEVEL_1
+        assert context["apn"] == "ims"
+
+
+class TestTeardownAndRecovery:
+    def test_teardown_from_active(self):
+        tracker = make_tracker()
+        tracker.establish(ScriptedChannel([]), RAT.LTE,
+                          SignalLevel.LEVEL_4)
+        tracker.teardown()
+        assert tracker.connection.state is DataConnectionState.INACTIVE
+
+    def test_teardown_when_inactive_is_noop(self):
+        tracker = make_tracker()
+        tracker.teardown()
+        assert tracker.connection.state is DataConnectionState.INACTIVE
+
+    def test_cleanup_and_reconnect(self):
+        """Stage-1 recovery: tear down and re-establish."""
+        tracker = make_tracker()
+        tracker.establish(ScriptedChannel([]), RAT.LTE,
+                          SignalLevel.LEVEL_4)
+        result = tracker.cleanup_and_reconnect(
+            ScriptedChannel([]), RAT.LTE, SignalLevel.LEVEL_4
+        )
+        assert result.success
+        assert tracker.connection.state is DataConnectionState.ACTIVE
+
+    def test_establish_while_active_tears_down_first(self):
+        tracker = make_tracker()
+        tracker.establish(ScriptedChannel([]), RAT.LTE,
+                          SignalLevel.LEVEL_4)
+        result = tracker.establish(ScriptedChannel([]), RAT.LTE,
+                                   SignalLevel.LEVEL_2)
+        assert result.success

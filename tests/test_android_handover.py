@@ -1,0 +1,144 @@
+"""Unit tests for the inter-RAT handover procedure."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.android.dual_connectivity import ControlPlaneLink, EnDcManager
+from repro.android.handover import (
+    HandoverManager,
+    HandoverResult,
+    HandoverStage,
+)
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+
+class AlwaysAdmit:
+    def admit_bearer(self, rat, level, rng):
+        return None
+
+
+class AlwaysReject:
+    def __init__(self, cause="INSUFFICIENT_RESOURCES"):
+        self.cause = cause
+
+    def admit_bearer(self, rat, level, rng):
+        return self.cause
+
+
+def manager(seed=0, endc=None) -> HandoverManager:
+    return HandoverManager(random.Random(seed), endc=endc)
+
+
+def warm_endc() -> EnDcManager:
+    endc = EnDcManager()
+    endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+    endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+    return endc
+
+
+class TestHandoverResult:
+    def test_success_cannot_carry_a_cause(self):
+        with pytest.raises(ValueError):
+            HandoverResult(True, HandoverStage.COMPLETE,
+                           "IRAT_HANDOVER_FAILED", 1.0)
+
+    def test_failure_needs_a_cause(self):
+        with pytest.raises(ValueError):
+            HandoverResult(False, HandoverStage.EXECUTION, None, 1.0)
+
+
+class TestStages:
+    def test_healthy_handover_completes(self):
+        mgr = manager()
+        successes = sum(
+            mgr.execute(RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+                        RAT.NR, SignalLevel.LEVEL_4).success
+            for _ in range(200)
+        )
+        assert successes > 190
+        assert mgr.failure_rate < 0.05
+
+    def test_preparation_rejection_surfaces_the_cause(self):
+        result = manager().execute(
+            RAT.LTE, SignalLevel.LEVEL_4,
+            AlwaysReject("INVALID_EMM_STATE"),
+            RAT.NR, SignalLevel.LEVEL_3,
+        )
+        assert not result.success
+        assert result.stage is HandoverStage.PREPARATION
+        assert result.cause == "INVALID_EMM_STATE"
+
+    def test_level0_targets_fail_execution_often(self):
+        """Fig. 17's common pattern: level-0 destinations are where
+        handovers break."""
+        mgr = manager(seed=1)
+        stages = Counter(
+            mgr.execute(RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+                        RAT.NR, SignalLevel.LEVEL_0).stage
+            for _ in range(400)
+        )
+        assert stages[HandoverStage.EXECUTION] > 60
+        assert mgr.failure_rate > 0.15
+
+    def test_execution_failures_tag_irat(self):
+        for seed in range(200):
+            result = manager(seed=seed).execute(
+                RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+                RAT.NR, SignalLevel.LEVEL_0,
+            )
+            if result.stage is HandoverStage.EXECUTION:
+                assert result.cause == "IRAT_HANDOVER_FAILED"
+                break
+        else:
+            pytest.fail("no execution-stage failure in 200 tries")
+
+    def test_degraded_source_loses_measurement_reports(self):
+        mgr = manager(seed=2)
+        stages = Counter(
+            mgr.execute(RAT.LTE, SignalLevel.LEVEL_0, AlwaysAdmit(),
+                        RAT.NR, SignalLevel.LEVEL_4).stage
+            for _ in range(400)
+        )
+        assert stages[HandoverStage.MEASUREMENT] > 10
+
+
+class TestEnDcShortcut:
+    def test_warm_target_skips_preparation(self):
+        """With an EN-DC slave pre-established, even a rejecting target
+        BS cannot block the promotion (no preparation exchange)."""
+        result = manager(seed=3, endc=warm_endc()).execute(
+            RAT.LTE, SignalLevel.LEVEL_4, AlwaysReject(),
+            RAT.NR, SignalLevel.LEVEL_3,
+        )
+        assert result.success
+
+    def test_warm_disturbance_is_much_smaller(self):
+        cold = manager(seed=4).execute(
+            RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+            RAT.NR, SignalLevel.LEVEL_4,
+        )
+        warm = manager(seed=4, endc=warm_endc()).execute(
+            RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+            RAT.NR, SignalLevel.LEVEL_4,
+        )
+        assert warm.disturbance_s < cold.disturbance_s / 4
+
+    def test_warm_swap_promotes_the_slave(self):
+        endc = warm_endc()
+        manager(seed=5, endc=endc).execute(
+            RAT.LTE, SignalLevel.LEVEL_4, AlwaysAdmit(),
+            RAT.NR, SignalLevel.LEVEL_4,
+        )
+        assert endc.data_plane_rat is RAT.NR
+
+    def test_cold_target_rat_is_not_warm(self):
+        """EN-DC only warms the pre-established slave's RAT."""
+        result = manager(seed=6, endc=warm_endc()).execute(
+            RAT.NR, SignalLevel.LEVEL_3, AlwaysReject(),
+            RAT.LTE, SignalLevel.LEVEL_4,
+        )
+        # LTE is the *master* here, not the slave: cold path, rejected.
+        assert not result.success

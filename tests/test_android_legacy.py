@@ -1,0 +1,110 @@
+"""Unit tests for the legacy SMS / voice services."""
+
+import random
+
+import pytest
+
+from repro.android.telephony_legacy import (
+    SMS_SEND_FAIL_RETRY,
+    SmsManager,
+    SmsSendOutcome,
+    VOICE_NETWORK_CONGESTION,
+    VOICE_SETUP_FAILED,
+    VoiceCallManager,
+    VoiceCallOutcome,
+)
+from repro.core.events import FailureType
+from repro.core.signal import SignalLevel
+from repro.simtime import SimClock
+
+
+def sms(seed=0) -> SmsManager:
+    return SmsManager(SimClock(), random.Random(seed))
+
+
+class TestSmsManager:
+    def test_good_signal_sends_first_try(self):
+        result = sms().send(SignalLevel.LEVEL_4,
+                            submit_failure_rate=0.0)
+        assert result.outcome is SmsSendOutcome.SENT
+        assert result.attempts == 1
+        assert not result.failures
+
+    def test_scripted_retry_surfaces_one_failure(self):
+        manager = sms()
+        seen = []
+        manager.register_failure_listener(seen.append)
+        result = manager.send(SignalLevel.LEVEL_3,
+                              script=[True, False])
+        assert result.outcome is SmsSendOutcome.SENT
+        assert result.attempts == 2
+        assert len(result.failures) == 1
+        assert result.failures[0].error_code == SMS_SEND_FAIL_RETRY
+        assert result.failures[0].failure_type is FailureType.SMS_FAILURE
+        assert seen == list(result.failures)
+
+    def test_retry_consumes_virtual_time(self):
+        manager = sms()
+        manager.send(SignalLevel.LEVEL_3, script=[True, False])
+        assert manager.clock.now() == manager.retry_delay_s
+
+    def test_exhausted_retries(self):
+        result = sms().send(SignalLevel.LEVEL_0,
+                            submit_failure_rate=1.0)
+        assert result.outcome is SmsSendOutcome.RETRY_EXHAUSTED
+        assert len(result.failures) == result.attempts
+
+    def test_weak_signal_fails_more(self):
+        weak = sum(
+            sms(seed).send(SignalLevel.LEVEL_0).failures != ()
+            for seed in range(200)
+        )
+        strong = sum(
+            sms(seed).send(SignalLevel.LEVEL_4).failures != ()
+            for seed in range(200)
+        )
+        assert weak > strong
+
+
+class TestVoiceCallManager:
+    def voice(self, seed=0) -> VoiceCallManager:
+        return VoiceCallManager(SimClock(), random.Random(seed))
+
+    def test_forced_failure_produces_an_event(self):
+        manager = self.voice()
+        seen = []
+        manager.register_failure_listener(seen.append)
+        result = manager.place_call(SignalLevel.LEVEL_3,
+                                    force_failure=True)
+        assert result.outcome is VoiceCallOutcome.SETUP_FAILED
+        assert result.failure is not None
+        assert result.failure.error_code in (VOICE_SETUP_FAILED,
+                                             VOICE_NETWORK_CONGESTION)
+        assert seen == [result.failure]
+
+    def test_forced_success(self):
+        result = self.voice().place_call(SignalLevel.LEVEL_0,
+                                         force_failure=False)
+        assert result.outcome is VoiceCallOutcome.CONNECTED
+        assert result.failure is None
+
+    def test_setup_takes_time(self):
+        manager = self.voice()
+        result = manager.place_call(SignalLevel.LEVEL_4,
+                                    force_failure=False)
+        assert manager.clock.now() == result.setup_time_s > 1.0
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            self.voice().place_call(SignalLevel.LEVEL_3, cell_load=1.5)
+
+    def test_loaded_cells_blame_congestion_more(self):
+        congested = 0
+        for seed in range(300):
+            result = self.voice(seed).place_call(
+                SignalLevel.LEVEL_3, cell_load=0.95,
+                force_failure=True,
+            )
+            if result.failure.error_code == VOICE_NETWORK_CONGESTION:
+                congested += 1
+        assert congested > 200

@@ -1,0 +1,231 @@
+"""Unit tests for ServiceState, the stall detector, TelephonyManager,
+and EN-DC dual connectivity."""
+
+import pytest
+
+from repro.android.data_stall import VanillaDataStallDetector
+from repro.android.dual_connectivity import (
+    COLD_TRANSITION_DISTURBANCE_S,
+    ControlPlaneLink,
+    ENDC_TRANSITION_DISTURBANCE_S,
+    EnDcManager,
+)
+from repro.android.service_state import ServiceState, ServiceStateTracker
+from repro.android.telephony import TelephonyManager
+from repro.core.events import FailureType
+from repro.core.signal import SignalLevel
+from repro.netstack.tcp_counters import TcpSegmentCounters
+from repro.network.basestation import DeploymentClass, make_identity
+from repro.network.basestation import BaseStation
+from repro.network.isp import ISP
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+
+class TestServiceStateTracker:
+    def test_starts_in_service(self):
+        tracker = ServiceStateTracker(SimClock())
+        assert tracker.state is ServiceState.IN_SERVICE
+
+    def test_outage_produces_closed_event(self):
+        clock = SimClock()
+        tracker = ServiceStateTracker(clock)
+        tracker.begin_outage()
+        clock.advance(45.0)
+        event = tracker.end_outage()
+        assert event is not None
+        assert event.failure_type is FailureType.OUT_OF_SERVICE
+        assert event.duration == 45.0
+
+    def test_same_state_transition_is_noop(self):
+        tracker = ServiceStateTracker(SimClock())
+        assert tracker.set_state(ServiceState.IN_SERVICE) is None
+
+    def test_listeners_see_transitions(self):
+        tracker = ServiceStateTracker(SimClock())
+        seen = []
+        tracker.add_listener(
+            lambda old, new, at: seen.append((old, new))
+        )
+        tracker.begin_outage()
+        assert seen == [(ServiceState.IN_SERVICE,
+                         ServiceState.OUT_OF_SERVICE)]
+
+    def test_time_in_state(self):
+        clock = SimClock()
+        tracker = ServiceStateTracker(clock)
+        clock.advance(7.0)
+        assert tracker.time_in_state() == 7.0
+
+    def test_reregister_requires_radio(self):
+        tracker = ServiceStateTracker(SimClock())
+        tracker.set_state(ServiceState.POWER_OFF)
+        with pytest.raises(RuntimeError):
+            tracker.reregister()
+
+
+class TestVanillaDataStallDetector:
+    def make(self):
+        clock = SimClock()
+        counters = TcpSegmentCounters(window_s=60.0)
+        return clock, counters, VanillaDataStallDetector(clock, counters)
+
+    def test_no_stall_on_healthy_traffic(self):
+        clock, counters, detector = self.make()
+        for i in range(20):
+            counters.record_outbound(float(i))
+            counters.record_inbound(float(i) + 0.01)
+        clock.advance(20.0)
+        assert detector.check() is None
+        assert not detector.stall_suspected
+
+    def test_stall_detected_on_signature(self):
+        """>10 outbound, 0 inbound (Sec. 2.1)."""
+        clock, counters, detector = self.make()
+        for i in range(12):
+            counters.record_outbound(float(i))
+        clock.advance(12.0)
+        event = detector.check()
+        assert event is not None
+        assert event.failure_type is FailureType.DATA_STALL
+        assert detector.stall_suspected
+
+    def test_boundary_needs_more_than_ten(self):
+        clock, counters, detector = self.make()
+        for i in range(10):
+            counters.record_outbound(float(i))
+        clock.advance(10.0)
+        assert detector.check() is None
+
+    def test_stall_clears_when_inbound_returns(self):
+        clock, counters, detector = self.make()
+        for i in range(12):
+            counters.record_outbound(float(i))
+        clock.advance(12.0)
+        opened = detector.check()
+        clock.advance(5.0)
+        counters.record_inbound(17.0)
+        closed = detector.check()
+        assert closed is opened
+        assert closed.duration == 5.0
+        assert not detector.stall_suspected
+
+    def test_listeners_fire_on_detection(self):
+        clock, counters, detector = self.make()
+        seen = []
+        detector.add_listener(seen.append)
+        for i in range(12):
+            counters.record_outbound(float(i))
+        clock.advance(12.0)
+        detector.check()
+        assert len(seen) == 1
+
+    def test_reset_forgets_open_stall(self):
+        clock, counters, detector = self.make()
+        for i in range(12):
+            counters.record_outbound(float(i))
+        clock.advance(12.0)
+        detector.check()
+        detector.reset()
+        assert not detector.stall_suspected
+
+
+def lte_bs() -> BaseStation:
+    return BaseStation(
+        bs_id=7,
+        identity=make_identity(ISP.A, 7),
+        isp=ISP.A,
+        supported_rats=frozenset({RAT.LTE, RAT.NR}),
+        deployment=DeploymentClass.URBAN,
+    )
+
+
+class TestTelephonyManager:
+    def test_detached_by_default(self):
+        tm = TelephonyManager()
+        assert tm.get_network_type() is None
+        assert tm.get_cell_identity() is None
+        assert tm.get_network_operator() is None
+
+    def test_attach_exposes_context(self):
+        tm = TelephonyManager()
+        tm.attach(lte_bs(), RAT.LTE, SignalLevel.LEVEL_3)
+        assert tm.get_network_type() is RAT.LTE
+        assert tm.get_signal_strength() is SignalLevel.LEVEL_3
+        assert tm.get_network_operator() == "ISP-A"
+        assert tm.get_cell_identity().as_string().startswith("460-")
+
+    def test_attach_requires_rat_support(self):
+        tm = TelephonyManager()
+        with pytest.raises(ValueError):
+            tm.attach(lte_bs(), RAT.GSM, SignalLevel.LEVEL_3)
+
+    def test_detach_clears_context(self):
+        tm = TelephonyManager()
+        tm.attach(lte_bs(), RAT.LTE, SignalLevel.LEVEL_3)
+        tm.detach()
+        assert tm.get_network_type() is None
+        assert tm.get_signal_strength() is SignalLevel.LEVEL_0
+
+    def test_update_signal(self):
+        tm = TelephonyManager()
+        tm.attach(lte_bs(), RAT.LTE, SignalLevel.LEVEL_3)
+        tm.update_signal(SignalLevel.LEVEL_1)
+        assert tm.get_signal_strength() is SignalLevel.LEVEL_1
+
+
+class TestEnDc:
+    def test_dual_connection_lifecycle(self):
+        endc = EnDcManager()
+        endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+        assert endc.dual_connected
+        assert endc.data_plane_rat is RAT.LTE
+
+    def test_swap_promotes_the_slave(self):
+        endc = EnDcManager()
+        endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+        disturbance = endc.swap()
+        assert endc.data_plane_rat is RAT.NR
+        assert disturbance == ENDC_TRANSITION_DISTURBANCE_S
+        assert endc.swap_count == 1
+
+    def test_slave_requires_master(self):
+        with pytest.raises(ValueError):
+            EnDcManager().attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+
+    def test_links_must_differ_in_rat(self):
+        endc = EnDcManager()
+        endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        with pytest.raises(ValueError):
+            endc.attach_slave(ControlPlaneLink(RAT.LTE, bs_id=2))
+
+    def test_only_lte_nr_links_allowed(self):
+        with pytest.raises(ValueError):
+            ControlPlaneLink(RAT.GSM, bs_id=1)
+
+    def test_swap_requires_dual_connection(self):
+        with pytest.raises(RuntimeError):
+            EnDcManager().swap()
+
+    def test_transition_cost_cheaper_with_endc(self):
+        """Sec. 4.2: the pre-established slave shortens the transition."""
+        endc = EnDcManager()
+        endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+        warm, warm_fail = endc.transition_cost(RAT.NR)
+        assert warm == ENDC_TRANSITION_DISTURBANCE_S
+        cold_endc = EnDcManager()
+        cold_endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        cold, cold_fail = cold_endc.transition_cost(RAT.NR)
+        assert cold == COLD_TRANSITION_DISTURBANCE_S
+        assert warm < cold
+        assert warm_fail < cold_fail
+
+    def test_detach_slave(self):
+        endc = EnDcManager()
+        endc.attach_master(ControlPlaneLink(RAT.LTE, bs_id=1))
+        endc.attach_slave(ControlPlaneLink(RAT.NR, bs_id=2))
+        endc.detach_slave()
+        assert not endc.dual_connected

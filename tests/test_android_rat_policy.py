@@ -1,0 +1,157 @@
+"""Unit tests for RAT selection policies."""
+
+import pytest
+
+from repro.android.rat_policy import (
+    Android9Policy,
+    Android10BlindPolicy,
+    DEFAULT_LEVEL_RISK,
+    RatCandidate,
+    StabilityCompatiblePolicy,
+    TransitionRiskTable,
+    policy_for_android_version,
+)
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+L = SignalLevel
+
+
+def candidate(rat: RAT, level: int) -> RatCandidate:
+    return RatCandidate(rat, SignalLevel(level))
+
+
+class TestRiskTable:
+    def test_default_table_anchors_fig17f(self):
+        """The 4G level-4 -> 5G level-0 cell must be ~+0.37."""
+        table = TransitionRiskTable()
+        increase = table.increase(RAT.LTE, L.LEVEL_4, RAT.NR, L.LEVEL_0)
+        assert abs(increase - 0.37) < 1e-9
+
+    def test_level5_uptick_in_every_rat(self):
+        """Fig. 15's hub anomaly shows in each row."""
+        table = TransitionRiskTable()
+        for rat in RAT:
+            assert (table.likelihood(rat, L.LEVEL_5)
+                    > table.likelihood(rat, L.LEVEL_4))
+
+    def test_levels_0_to_4_monotone(self):
+        table = TransitionRiskTable()
+        for rat in RAT:
+            risks = [table.likelihood(rat, SignalLevel(i))
+                     for i in range(5)]
+            assert risks == sorted(risks, reverse=True)
+
+    def test_3g_is_the_safest_rat(self):
+        """Sec. 3.3: idle 3G cells fail least."""
+        table = TransitionRiskTable()
+        for level in range(6):
+            assert (table.likelihood(RAT.UMTS, SignalLevel(level))
+                    <= table.likelihood(RAT.LTE, SignalLevel(level)))
+
+    def test_incomplete_table_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionRiskTable({RAT.LTE: (0.1,) * 6})
+
+
+class TestAndroid10BlindPolicy:
+    def test_blindly_prefers_5g(self):
+        """Sec. 3.2: 5G wins even at level 0 against healthy 4G."""
+        policy = Android10BlindPolicy()
+        chosen = policy.select(
+            candidate(RAT.LTE, 4),
+            [candidate(RAT.LTE, 4), candidate(RAT.NR, 0)],
+        )
+        assert chosen.rat is RAT.NR
+        assert chosen.signal_level is L.LEVEL_0
+
+    def test_ties_break_by_level(self):
+        policy = Android10BlindPolicy()
+        chosen = policy.select(
+            None, [candidate(RAT.NR, 1), candidate(RAT.NR, 3)]
+        )
+        assert chosen.signal_level is L.LEVEL_3
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            Android10BlindPolicy().select(None, [])
+
+
+class TestAndroid9Policy:
+    def test_never_selects_5g(self):
+        policy = Android9Policy()
+        chosen = policy.select(
+            None, [candidate(RAT.NR, 5), candidate(RAT.LTE, 2)]
+        )
+        assert chosen.rat is RAT.LTE
+
+    def test_only_5g_available_raises(self):
+        with pytest.raises(ValueError):
+            Android9Policy().select(None, [candidate(RAT.NR, 5)])
+
+    def test_version_dispatch(self):
+        assert isinstance(policy_for_android_version("9.0"),
+                          Android9Policy)
+        assert isinstance(policy_for_android_version("10.0"),
+                          Android10BlindPolicy)
+
+
+class TestStabilityCompatiblePolicy:
+    def test_vetoes_the_fig17f_cases(self):
+        """4G level-1..4 -> 5G level-0 must all be vetoed (Sec. 4.2)."""
+        policy = StabilityCompatiblePolicy()
+        for level in (1, 2, 3, 4):
+            current = candidate(RAT.LTE, level)
+            assert policy.vetoes(current, candidate(RAT.NR, 0))
+            chosen = policy.select(
+                current, [current, candidate(RAT.NR, 0)]
+            )
+            assert chosen.rat is RAT.LTE
+
+    def test_allows_healthy_5g_upgrade(self):
+        policy = StabilityCompatiblePolicy()
+        current = candidate(RAT.LTE, 3)
+        chosen = policy.select(
+            current, [current, candidate(RAT.NR, 4)]
+        )
+        assert chosen.rat is RAT.NR
+
+    def test_allows_5g_when_rate_improves_despite_risk(self):
+        """The veto needs BOTH high risk AND no rate upside."""
+        policy = StabilityCompatiblePolicy()
+        current = candidate(RAT.LTE, 4)
+        target = candidate(RAT.NR, 1)  # risky but much faster
+        assert not policy.vetoes(current, target)
+
+    def test_same_rat_never_vetoed(self):
+        policy = StabilityCompatiblePolicy()
+        assert not policy.vetoes(candidate(RAT.LTE, 4),
+                                 candidate(RAT.LTE, 0))
+
+    def test_initial_attach_avoids_level0(self):
+        policy = StabilityCompatiblePolicy()
+        chosen = policy.select(
+            None, [candidate(RAT.NR, 0), candidate(RAT.LTE, 3)]
+        )
+        assert chosen.rat is RAT.LTE
+
+    def test_stays_put_when_everything_is_vetoed(self):
+        policy = StabilityCompatiblePolicy()
+        current = candidate(RAT.LTE, 4)
+        chosen = policy.select(current, [candidate(RAT.NR, 0)])
+        assert chosen == current
+
+    def test_veto_threshold_is_respected(self):
+        lax = StabilityCompatiblePolicy(veto_threshold=0.99)
+        current = candidate(RAT.LTE, 4)
+        assert not lax.vetoes(current, candidate(RAT.NR, 0))
+
+    def test_fitted_table_changes_decisions(self):
+        """A measured table with a safe 5G edge lifts the veto."""
+        safe_5g = dict(DEFAULT_LEVEL_RISK)
+        safe_5g[RAT.NR] = (0.10, 0.08, 0.06, 0.05, 0.04, 0.05)
+        policy = StabilityCompatiblePolicy(
+            risk_table=TransitionRiskTable(safe_5g)
+        )
+        assert not policy.vetoes(candidate(RAT.LTE, 4),
+                                 candidate(RAT.NR, 0))

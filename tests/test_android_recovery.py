@@ -1,0 +1,218 @@
+"""Unit tests for the three-stage progressive recovery mechanism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.recovery import (
+    AUTO_RECOVERED,
+    RecoveryPolicy,
+    StageParameters,
+    TIMP_RECOVERY_POLICY,
+    UNRESOLVED,
+    USER_RESET,
+    VANILLA_RECOVERY_POLICY,
+    resolve_stall,
+)
+
+
+class TestPolicyValidation:
+    def test_vanilla_policy_matches_the_paper(self):
+        assert VANILLA_RECOVERY_POLICY.probations_s == (60.0, 60.0, 60.0)
+
+    def test_timp_policy_matches_the_paper(self):
+        assert TIMP_RECOVERY_POLICY.probations_s == (21.0, 6.0, 16.0)
+
+    def test_stage_overheads_progressive(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(
+                probations_s=(60.0, 60.0, 60.0),
+                stages=(
+                    StageParameters(10.0, 0.5),
+                    StageParameters(5.0, 0.5),
+                    StageParameters(20.0, 0.5),
+                ),
+            )
+
+    def test_negative_probation_rejected(self):
+        with pytest.raises(ValueError):
+            VANILLA_RECOVERY_POLICY.with_probations((-1.0, 60.0, 60.0))
+
+    def test_bad_success_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StageParameters(overhead_s=1.0, success_rate=1.5)
+
+    def test_with_probations_preserves_stages(self):
+        custom = VANILLA_RECOVERY_POLICY.with_probations((1.0, 2.0, 3.0))
+        assert custom.stages == VANILLA_RECOVERY_POLICY.stages
+        assert custom.probations_s == (1.0, 2.0, 3.0)
+
+
+class TestResolveStall:
+    def test_fast_natural_fix_is_auto_recovered(self):
+        resolution = resolve_stall(
+            VANILLA_RECOVERY_POLICY, natural_fix_s=5.0,
+            rng=random.Random(0),
+        )
+        assert resolution.resolved_by == AUTO_RECOVERED
+        assert resolution.duration_s == 5.0
+        assert resolution.stages_executed == 0
+
+    def test_long_stall_triggers_stage_one_at_probation(self):
+        always_fix = RecoveryPolicy(
+            probations_s=(60.0, 60.0, 60.0),
+            stages=(
+                StageParameters(2.0, 1.0),
+                StageParameters(6.0, 1.0),
+                StageParameters(15.0, 1.0),
+            ),
+        )
+        resolution = resolve_stall(always_fix, natural_fix_s=10_000.0,
+                                   rng=random.Random(0))
+        assert resolution.resolved_by == 1
+        assert resolution.duration_s == 62.0
+        assert resolution.stages_executed == 1
+
+    def test_stage_failures_escalate(self):
+        never_fix_early = RecoveryPolicy(
+            probations_s=(10.0, 10.0, 10.0),
+            stages=(
+                StageParameters(2.0, 0.0),
+                StageParameters(6.0, 0.0),
+                StageParameters(15.0, 1.0),
+            ),
+        )
+        resolution = resolve_stall(never_fix_early, natural_fix_s=10_000.0,
+                                   rng=random.Random(0))
+        assert resolution.resolved_by == 3
+        # 10 + 2 + 10 + 6 + 10 + 15
+        assert resolution.duration_s == 53.0
+        assert resolution.stages_executed == 3
+
+    def test_unfixable_stall_rides_to_natural_end(self):
+        hopeless = RecoveryPolicy(
+            probations_s=(10.0, 10.0, 10.0),
+            stages=(
+                StageParameters(2.0, 0.0),
+                StageParameters(6.0, 0.0),
+                StageParameters(15.0, 0.0),
+            ),
+        )
+        resolution = resolve_stall(hopeless, natural_fix_s=500.0,
+                                   rng=random.Random(0))
+        assert resolution.resolved_by == UNRESOLVED
+        assert resolution.duration_s == 500.0
+
+    def test_natural_fix_during_probation_of_later_stage(self):
+        never_fix = RecoveryPolicy(
+            probations_s=(10.0, 60.0, 60.0),
+            stages=(
+                StageParameters(2.0, 0.0),
+                StageParameters(6.0, 0.0),
+                StageParameters(15.0, 0.0),
+            ),
+        )
+        resolution = resolve_stall(never_fix, natural_fix_s=30.0,
+                                   rng=random.Random(0))
+        assert resolution.resolved_by == AUTO_RECOVERED
+        assert resolution.duration_s == 30.0
+        assert resolution.stages_executed == 1
+
+    def test_user_reset_ends_the_stall(self):
+        resolution = resolve_stall(
+            VANILLA_RECOVERY_POLICY, natural_fix_s=10_000.0,
+            rng=random.Random(0), user_reset_s=30.0,
+            user_reset_success_rate=1.0,
+        )
+        assert resolution.resolved_by == USER_RESET
+        assert resolution.duration_s == 30.0
+
+    def test_failed_user_reset_is_not_retried(self):
+        resolution = resolve_stall(
+            RecoveryPolicy(
+                probations_s=(60.0, 60.0, 60.0),
+                stages=(
+                    StageParameters(2.0, 1.0),
+                    StageParameters(6.0, 1.0),
+                    StageParameters(15.0, 1.0),
+                ),
+            ),
+            natural_fix_s=10_000.0,
+            rng=random.Random(0),
+            user_reset_s=30.0,
+            user_reset_success_rate=0.0,
+        )
+        assert resolution.resolved_by == 1  # stage 1 at 62 s
+
+    def test_cycles_retry_after_full_failure(self):
+        flaky = RecoveryPolicy(
+            probations_s=(10.0, 10.0, 10.0),
+            stages=(
+                StageParameters(2.0, 0.5),
+                StageParameters(6.0, 0.5),
+                StageParameters(15.0, 0.5),
+            ),
+        )
+        # With 50% stages, some seeds need a second cycle.
+        cycles_used = set()
+        for seed in range(50):
+            resolution = resolve_stall(flaky, natural_fix_s=100_000.0,
+                                       rng=random.Random(seed))
+            cycles_used.add(resolution.stages_executed)
+        assert max(cycles_used) > 3  # at least one run entered cycle 2
+
+    def test_negative_natural_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_stall(VANILLA_RECOVERY_POLICY, -1.0, random.Random(0))
+
+    def test_timeline_is_chronological(self):
+        resolution = resolve_stall(
+            VANILLA_RECOVERY_POLICY, natural_fix_s=400.0,
+            rng=random.Random(3), user_reset_s=25.0,
+        )
+        times = [t for t, _ in resolution.timeline]
+        assert times == sorted(times)
+
+
+class TestTimpVsVanillaContrast:
+    def test_timp_is_never_slower_on_recoverable_stalls(self):
+        """For stage-fixable stalls, shorter probations fix sooner."""
+        rng_pairs = [(random.Random(s), random.Random(s))
+                     for s in range(30)]
+        for rng_v, rng_t in rng_pairs:
+            natural = 10_000.0
+            vanilla = resolve_stall(VANILLA_RECOVERY_POLICY, natural, rng_v)
+            timp = resolve_stall(TIMP_RECOVERY_POLICY, natural, rng_t)
+            assert timp.duration_s <= vanilla.duration_s
+
+    def test_short_stalls_are_identical(self):
+        """Stalls that auto-fix before the first probation see no
+        difference between triggers."""
+        for natural in (1.0, 5.0, 20.0):
+            vanilla = resolve_stall(VANILLA_RECOVERY_POLICY, natural,
+                                    random.Random(0))
+            timp = resolve_stall(TIMP_RECOVERY_POLICY, natural,
+                                 random.Random(0))
+            assert vanilla.duration_s == timp.duration_s == natural
+
+
+class TestResolveStallProperties:
+    @settings(max_examples=200)
+    @given(
+        natural=st.floats(min_value=0.0, max_value=100_000.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+        probations=st.tuples(
+            st.floats(min_value=0.0, max_value=120.0),
+            st.floats(min_value=0.0, max_value=120.0),
+            st.floats(min_value=0.0, max_value=120.0),
+        ),
+    )
+    def test_duration_is_bounded_and_consistent(self, natural, seed,
+                                                probations):
+        policy = VANILLA_RECOVERY_POLICY.with_probations(probations)
+        resolution = resolve_stall(policy, natural, random.Random(seed))
+        assert resolution.duration_s >= 0.0
+        if resolution.resolved_by in (AUTO_RECOVERED, UNRESOLVED):
+            assert resolution.duration_s <= natural
+        assert 0 <= resolution.stages_executed

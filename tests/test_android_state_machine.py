@@ -1,0 +1,167 @@
+"""Unit tests for the data-connection state machine (Fig. 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.android.state_machine import (
+    DataConnection,
+    DataConnectionState,
+    IllegalTransitionError,
+)
+from repro.simtime import SimClock
+
+_S = DataConnectionState
+
+
+def connect(clock=None) -> DataConnection:
+    return DataConnection(clock or SimClock())
+
+
+class TestHappyPath:
+    def test_initial_state_is_inactive(self):
+        assert connect().state is _S.INACTIVE
+
+    def test_full_lifecycle(self):
+        dc = connect()
+        dc.request_connect()
+        assert dc.state is _S.ACTIVATING
+        dc.setup_succeeded()
+        assert dc.state is _S.ACTIVE
+        assert dc.is_connected
+        dc.request_disconnect()
+        assert dc.state is _S.DISCONNECTING
+        dc.disconnected()
+        assert dc.state is _S.INACTIVE
+
+    def test_retry_loop(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_failed_retryable()
+        assert dc.state is _S.RETRYING
+        dc.retry()
+        assert dc.state is _S.ACTIVATING
+        dc.setup_succeeded()
+        assert dc.is_connected
+
+    def test_give_up_after_retries(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_failed_retryable()
+        dc.give_up()
+        assert dc.state is _S.INACTIVE
+
+    def test_permanent_failure_goes_inactive(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_failed_permanent()
+        assert dc.state is _S.INACTIVE
+
+    def test_connection_loss_reenters_retrying(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_succeeded()
+        dc.connection_lost()
+        assert dc.state is _S.RETRYING
+
+
+class TestIllegalTransitions:
+    def test_cannot_activate_twice(self):
+        dc = connect()
+        dc.request_connect()
+        with pytest.raises(IllegalTransitionError):
+            dc.request_connect()
+
+    def test_cannot_succeed_from_inactive(self):
+        with pytest.raises(IllegalTransitionError):
+            connect().setup_succeeded()
+
+    def test_cannot_disconnect_when_not_active(self):
+        with pytest.raises(IllegalTransitionError):
+            connect().request_disconnect()
+
+    def test_cannot_retry_from_active(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_succeeded()
+        with pytest.raises(IllegalTransitionError):
+            dc.retry()
+
+    def test_can_move_to_reflects_legality(self):
+        dc = connect()
+        assert dc.can_move_to(_S.ACTIVATING)
+        assert not dc.can_move_to(_S.ACTIVE)
+
+
+class TestObservability:
+    def test_history_records_transitions(self):
+        dc = connect()
+        dc.request_connect()
+        dc.setup_succeeded()
+        assert [(r.source, r.target) for r in dc.history] == [
+            (_S.INACTIVE, _S.ACTIVATING),
+            (_S.ACTIVATING, _S.ACTIVE),
+        ]
+
+    def test_listeners_fire_in_order(self):
+        dc = connect()
+        seen = []
+        dc.add_listener(lambda record: seen.append(record.target))
+        dc.request_connect()
+        dc.setup_succeeded()
+        assert seen == [_S.ACTIVATING, _S.ACTIVE]
+
+    def test_listener_removal(self):
+        dc = connect()
+        seen = []
+        listener = lambda record: seen.append(record)  # noqa: E731
+        dc.add_listener(listener)
+        dc.request_connect()
+        dc.remove_listener(listener)
+        dc.setup_succeeded()
+        assert len(seen) == 1
+
+    def test_time_in_state(self):
+        clock = SimClock()
+        dc = connect(clock)
+        dc.request_connect()
+        clock.advance(3.0)
+        assert dc.time_in_state() == 3.0
+        assert dc.entered_at == 0.0
+
+    def test_transition_timestamps_use_clock(self):
+        clock = SimClock()
+        dc = connect(clock)
+        clock.advance(5.0)
+        dc.request_connect()
+        assert dc.history[0].timestamp == 5.0
+
+
+class TestStateMachineProperties:
+    _ACTIONS = {
+        "request_connect": (_S.INACTIVE, _S.ACTIVATING),
+        "setup_succeeded": (_S.ACTIVATING, _S.ACTIVE),
+        "setup_failed_retryable": (_S.ACTIVATING, _S.RETRYING),
+        "setup_failed_permanent": (_S.ACTIVATING, _S.INACTIVE),
+        "retry": (_S.RETRYING, _S.ACTIVATING),
+        "give_up": (_S.RETRYING, _S.INACTIVE),
+        "connection_lost": (_S.ACTIVE, _S.RETRYING),
+        "request_disconnect": (_S.ACTIVE, _S.DISCONNECTING),
+        "disconnected": (_S.DISCONNECTING, _S.INACTIVE),
+    }
+
+    @given(st.lists(st.sampled_from(sorted(_ACTIONS)), max_size=40))
+    def test_random_walks_never_corrupt_state(self, actions):
+        """Whatever callers do, the machine is always in one of the five
+        Fig. 1 states and illegal moves raise cleanly.  (Methods are
+        aliases over target states, so legality is judged by the
+        (state, target) edge, as in Fig. 1.)"""
+        dc = connect()
+        for action in actions:
+            _source, target = self._ACTIONS[action]
+            if dc.can_move_to(target):
+                getattr(dc, action)()
+                assert dc.state is target
+            else:
+                with pytest.raises(IllegalTransitionError):
+                    getattr(dc, action)()
+            assert dc.state in DataConnectionState

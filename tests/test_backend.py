@@ -1,0 +1,178 @@
+"""Tests for the backend: streaming aggregation and upload ingestion."""
+
+import json
+import random
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.ingest import IngestionServer
+from repro.backend.streaming import P2Quantile, StreamingStats
+from repro.monitoring.uploader import UploadBatcher
+
+
+class TestStreamingStats:
+    def test_matches_numpy(self):
+        values = np.random.RandomState(0).lognormal(2.0, 1.0, 2_000)
+        stats = StreamingStats()
+        stats.extend(values)
+        assert stats.count == 2_000
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.minimum == values.min()
+        assert stats.maximum == values.max()
+        assert stats.total == pytest.approx(values.sum())
+
+    def test_small_counts(self):
+        stats = StreamingStats()
+        assert stats.variance == 0.0
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200),
+           st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200))
+    def test_merge_equals_single_pass(self, left, right):
+        a = StreamingStats()
+        a.extend(left)
+        b = StreamingStats()
+        b.extend(right)
+        merged = a.merge(b)
+        combined = StreamingStats()
+        combined.extend(left + right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-6,
+                                            abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance,
+                                                rel=1e-6, abs=1e-3)
+
+    def test_merge_with_empty(self):
+        a = StreamingStats()
+        a.extend([1.0, 2.0])
+        assert a.merge(StreamingStats()).mean == a.mean
+        assert StreamingStats().merge(a).count == 2
+
+
+class TestP2Quantile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value()
+
+    def test_exact_for_tiny_streams(self):
+        sketch = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            sketch.add(value)
+        assert sketch.value() == 3.0
+
+    @pytest.mark.parametrize("quantile", [0.1, 0.5, 0.9])
+    def test_approximates_numpy_on_lognormal(self, quantile):
+        rng = np.random.RandomState(1)
+        values = rng.lognormal(1.0, 0.8, 20_000)
+        sketch = P2Quantile(quantile)
+        for value in values:
+            sketch.add(float(value))
+        exact = float(np.quantile(values, quantile))
+        assert sketch.value() == pytest.approx(exact, rel=0.08)
+
+    def test_approximates_uniform_median(self):
+        rng = random.Random(2)
+        sketch = P2Quantile(0.5)
+        for _ in range(10_000):
+            sketch.add(rng.uniform(0.0, 100.0))
+        assert sketch.value() == pytest.approx(50.0, abs=3.0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6),
+                    min_size=1, max_size=500))
+    def test_estimate_within_observed_range(self, values):
+        sketch = P2Quantile(0.75)
+        for value in values:
+            sketch.add(value)
+        assert min(values) <= sketch.value() <= max(values)
+
+
+def record_dict(device_id=1, duration=30.0, failure_type="DATA_STALL",
+                start=100.0) -> dict:
+    return dict(
+        device_id=device_id, model=3, android_version="9.0",
+        has_5g=False, isp="ISP-A", failure_type=failure_type,
+        start_time=start, duration_s=duration, bs_id=7, rat="4G",
+        signal_level=3, deployment="URBAN", error_code=None,
+        resolved_by=None, stages_executed=0, post_transition=False,
+        arm="vanilla",
+    )
+
+
+class TestIngestionServer:
+    def compress(self, data: dict) -> bytes:
+        return zlib.compress(json.dumps(data, sort_keys=True,
+                                        default=str).encode())
+
+    def test_accepts_valid_uploads(self):
+        server = IngestionServer()
+        server.receive(self.compress(record_dict()))
+        assert server.accepted == 1
+        assert server.records[0].duration_s == 30.0
+
+    def test_deduplicates_retried_uploads(self):
+        server = IngestionServer()
+        payload = self.compress(record_dict())
+        server.receive(payload)
+        server.receive(payload)
+        assert server.accepted == 1
+        assert server.duplicates == 1
+
+    def test_rejects_garbage(self):
+        server = IngestionServer()
+        server.receive(b"not compressed at all")
+        server.receive(zlib.compress(b"[1, 2, 3"))
+        server.receive(self.compress({"nope": 1}))
+        assert server.malformed == 3
+        assert server.accepted == 0
+
+    def test_streaming_aggregates_match(self):
+        server = IngestionServer()
+        durations = [10.0, 20.0, 30.0, 40.0]
+        for index, duration in enumerate(durations):
+            server.receive(self.compress(
+                record_dict(device_id=index, duration=duration,
+                            start=100.0 + index)
+            ))
+        stats = server.duration_stats["DATA_STALL"]
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(25.0)
+        assert server.duration_share() == {"DATA_STALL": 1.0}
+
+    def test_duration_share_across_types(self):
+        server = IngestionServer()
+        server.ingest_record(record_dict(device_id=1, duration=90.0))
+        server.ingest_record(record_dict(
+            device_id=2, duration=10.0,
+            failure_type="DATA_SETUP_ERROR",
+        ))
+        share = server.duration_share()
+        assert share["DATA_STALL"] == pytest.approx(0.9)
+
+    def test_end_to_end_with_upload_batcher(self):
+        """Device-side batching feeds the backend transport directly."""
+        server = IngestionServer()
+        batcher = UploadBatcher(transport=server.receive)
+        for index in range(5):
+            batcher.enqueue(record_dict(device_id=index,
+                                        start=float(index)))
+        flushed = batcher.maybe_flush(wifi_available=True)
+        assert flushed > 0
+        assert server.accepted == 5
+        assert server.bytes_received == flushed
+
+    def test_summary_keys(self):
+        summary = IngestionServer().summary()
+        assert set(summary) == {"accepted", "duplicates", "malformed",
+                                "bytes_received"}

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.devices == 2_000
+        assert args.seed == 2020
+        assert args.save is None
+
+    def test_ab_accepts_overrides(self):
+        args = build_parser().parse_args(
+            ["ab", "--devices", "500", "--seed", "9"]
+        )
+        assert args.devices == 500
+        assert args.seed == 9
+
+    def test_analyze_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+
+class TestCommands:
+    def test_study_runs_and_saves(self, tmp_path, capsys):
+        path = tmp_path / "study.jsonl.gz"
+        code = main(["study", "--devices", "120", "--seed", "3",
+                     "--save", str(path)])
+        assert code == 0
+        assert path.exists()
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+
+    def test_analyze_reads_a_saved_dataset(self, tmp_path, capsys):
+        path = tmp_path / "study.jsonl.gz"
+        main(["study", "--devices", "120", "--seed", "3",
+              "--save", str(path)])
+        capsys.readouterr()
+        code = main(["analyze", str(path)])
+        assert code == 0
+        assert "prevalence" in capsys.readouterr().out
+
+    def test_ab_prints_reductions(self, capsys):
+        code = main(["ab", "--devices", "150", "--seed", "4"])
+        assert code == 0
+        assert "frequency reduction" in capsys.readouterr().out
+
+    def test_timp_prints_probations(self, capsys):
+        code = main(["timp", "--devices", "200", "--seed", "5"])
+        assert code == 0
+        assert "annealed probations" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Unit tests for the DataFailCause registry."""
+
+import pytest
+
+from repro import quantities
+from repro.core.errorcodes import (
+    DataFailCause,
+    ERROR_CODE_REGISTRY,
+    ErrorCodeRegistry,
+    ProtocolLayer,
+)
+
+
+class TestRegistryContents:
+    def test_registry_is_substantial(self):
+        # We model the prominent ~75% of Android's 344 causes, across
+        # the 3GPP, 3GPP2 (CDMA/HDR/eHRPD), IWLAN, and OEM families.
+        assert 250 <= len(ERROR_CODE_REGISTRY) <= quantities.TOTAL_ERROR_CODES
+
+    def test_all_table2_codes_are_registered(self):
+        for code in quantities.TABLE2_ERROR_CODE_SHARES:
+            assert code in ERROR_CODE_REGISTRY, code
+
+    def test_prose_codes_are_registered(self):
+        # Sec. 3.3 names these two for the dense-deployment finding.
+        assert "EMM_ACCESS_BARRED" in ERROR_CODE_REGISTRY
+        assert "INVALID_EMM_STATE" in ERROR_CODE_REGISTRY
+
+    def test_names_are_unique(self):
+        names = ERROR_CODE_REGISTRY.names()
+        assert len(names) == len(set(names))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ERROR_CODE_REGISTRY.get("NOT_A_REAL_CAUSE")
+
+    def test_iteration_yields_causes(self):
+        causes = list(ERROR_CODE_REGISTRY)
+        assert all(isinstance(c, DataFailCause) for c in causes)
+        assert len(causes) == len(ERROR_CODE_REGISTRY)
+
+
+class TestLayerAttribution:
+    def test_table2_layers_match_the_paper(self):
+        """Sec. 3.2: the codes span physical / link / network layers."""
+        assert (ERROR_CODE_REGISTRY.get("SIGNAL_LOST").layer
+                is ProtocolLayer.PHYSICAL)
+        assert (ERROR_CODE_REGISTRY.get("IRAT_HANDOVER_FAILED").layer
+                is ProtocolLayer.PHYSICAL)
+        assert (ERROR_CODE_REGISTRY.get("PPP_TIMEOUT").layer
+                is ProtocolLayer.LINK)
+        assert (ERROR_CODE_REGISTRY.get("INVALID_EMM_STATE").layer
+                is ProtocolLayer.NETWORK)
+
+    def test_every_layer_is_populated(self):
+        for layer in ProtocolLayer:
+            assert ERROR_CODE_REGISTRY.by_layer(layer), layer
+
+    def test_by_layer_partitions_the_registry(self):
+        total = sum(
+            len(ERROR_CODE_REGISTRY.by_layer(layer))
+            for layer in ProtocolLayer
+        )
+        assert total == len(ERROR_CODE_REGISTRY)
+
+
+class TestRationalRejections:
+    def test_overload_codes_are_rational(self):
+        rational = ERROR_CODE_REGISTRY.rational_rejections()
+        assert "INSUFFICIENT_RESOURCES" in rational
+        assert "CONGESTION" in rational
+
+    def test_true_failure_codes_are_not_rational(self):
+        rational = ERROR_CODE_REGISTRY.rational_rejections()
+        for code in quantities.TABLE2_ERROR_CODE_SHARES:
+            assert code not in rational, code
+
+
+class TestRetryability:
+    def test_permanent_cause_is_not_retryable(self):
+        assert not ERROR_CODE_REGISTRY.retryable("MISSING_UNKNOWN_APN")
+
+    def test_transient_cause_is_retryable(self):
+        assert ERROR_CODE_REGISTRY.retryable("SIGNAL_LOST")
+
+
+class TestRegistryConstruction:
+    def test_duplicate_names_rejected(self):
+        cause = DataFailCause("X", 1, ProtocolLayer.OTHER, "x")
+        with pytest.raises(ValueError):
+            ErrorCodeRegistry((cause, cause))
+
+    def test_custom_registry_lookup(self):
+        cause = DataFailCause("X", 1, ProtocolLayer.OTHER, "x")
+        registry = ErrorCodeRegistry((cause,))
+        assert registry.get("X") is cause
+        assert "X" in registry

@@ -1,0 +1,78 @@
+"""Unit tests for the failure-event taxonomy."""
+
+import pytest
+
+from repro.core.events import (
+    FailureEvent,
+    FailureType,
+    FalsePositiveReason,
+    HEADLINE_FAILURE_TYPES,
+    ProbeVerdict,
+)
+
+
+class TestFailureType:
+    def test_headline_types(self):
+        assert FailureType.DATA_SETUP_ERROR.is_headline
+        assert FailureType.OUT_OF_SERVICE.is_headline
+        assert FailureType.DATA_STALL.is_headline
+
+    def test_legacy_types_are_not_headline(self):
+        assert not FailureType.SMS_FAILURE.is_headline
+        assert not FailureType.VOICE_FAILURE.is_headline
+
+    def test_headline_tuple_has_three_members(self):
+        assert len(HEADLINE_FAILURE_TYPES) == 3
+
+    def test_values_are_stable_strings(self):
+        # Dataset records persist these values; they must not drift.
+        assert FailureType.DATA_STALL.value == "DATA_STALL"
+        assert FailureType.DATA_SETUP_ERROR.value == "DATA_SETUP_ERROR"
+        assert FailureType.OUT_OF_SERVICE.value == "OUT_OF_SERVICE"
+
+
+class TestFailureEvent:
+    def test_new_event_is_open(self):
+        event = FailureEvent(FailureType.DATA_STALL, start_time=10.0)
+        assert not event.ended
+        assert event.duration is None
+
+    def test_close_sets_duration(self):
+        event = FailureEvent(FailureType.DATA_STALL, start_time=10.0)
+        event.close(25.0)
+        assert event.ended
+        assert event.duration == 15.0
+
+    def test_close_before_start_rejected(self):
+        event = FailureEvent(FailureType.DATA_STALL, start_time=10.0)
+        with pytest.raises(ValueError):
+            event.close(9.0)
+
+    def test_true_failure_by_default(self):
+        event = FailureEvent(FailureType.OUT_OF_SERVICE, start_time=0.0)
+        assert event.is_true_failure
+
+    def test_false_positive_flag(self):
+        event = FailureEvent(FailureType.DATA_SETUP_ERROR, start_time=0.0)
+        event.false_positive = FalsePositiveReason.BS_OVERLOAD_REJECTION
+        assert not event.is_true_failure
+
+    def test_context_defaults_to_empty_dict(self):
+        a = FailureEvent(FailureType.DATA_STALL, start_time=0.0)
+        b = FailureEvent(FailureType.DATA_STALL, start_time=0.0)
+        a.context["x"] = 1
+        assert b.context == {}
+
+
+class TestEnumCompleteness:
+    def test_false_positive_reasons_cover_the_paper(self):
+        names = {reason.name for reason in FalsePositiveReason}
+        # Sec. 2.2 lists these filter categories explicitly.
+        assert {"INCOMING_VOICE_CALL", "INSUFFICIENT_BALANCE",
+                "MANUAL_DISCONNECT", "BS_OVERLOAD_REJECTION",
+                "SYSTEM_SIDE", "DNS_SERVICE_UNAVAILABLE"} <= names
+
+    def test_probe_verdicts_cover_the_paper(self):
+        names = {verdict.name for verdict in ProbeVerdict}
+        assert {"RECOVERED", "SYSTEM_SIDE_FAULT", "DNS_SERVICE_FAULT",
+                "NETWORK_SIDE_STALL"} == names

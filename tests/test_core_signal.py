@@ -1,0 +1,64 @@
+"""Unit tests for signal levels and dBm bucketing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.signal import (
+    ALL_LEVELS,
+    SignalLevel,
+    dbm_to_level,
+    level_bounds,
+)
+from repro.radio.rat import ALL_RATS, RAT
+
+
+class TestSignalLevel:
+    def test_six_levels(self):
+        assert len(ALL_LEVELS) == 6
+
+    def test_levels_are_ordered(self):
+        assert SignalLevel.LEVEL_0 < SignalLevel.LEVEL_5
+
+    def test_excellent_flag(self):
+        assert SignalLevel.LEVEL_5.is_excellent
+        assert not SignalLevel.LEVEL_4.is_excellent
+
+    def test_int_conversion(self):
+        assert int(SignalLevel.LEVEL_3) == 3
+
+
+class TestDbmToLevel:
+    @pytest.mark.parametrize("rat", ALL_RATS)
+    def test_very_weak_is_level_0(self, rat):
+        assert dbm_to_level(rat, -160.0) is SignalLevel.LEVEL_0
+
+    @pytest.mark.parametrize("rat", ALL_RATS)
+    def test_very_strong_is_level_5(self, rat):
+        assert dbm_to_level(rat, -40.0) is SignalLevel.LEVEL_5
+
+    def test_accepts_rat_name_strings(self):
+        assert dbm_to_level("LTE", -40.0) is SignalLevel.LEVEL_5
+
+    def test_unknown_rat_rejected(self):
+        with pytest.raises(KeyError):
+            dbm_to_level("WIMAX", -80.0)
+
+    @pytest.mark.parametrize("rat", ALL_RATS)
+    def test_bounds_are_ascending(self, rat):
+        bounds = level_bounds(rat)
+        assert list(bounds) == sorted(bounds)
+
+    @pytest.mark.parametrize("rat", ALL_RATS)
+    def test_boundary_values_map_to_their_level(self, rat):
+        for index, bound in enumerate(level_bounds(rat), start=1):
+            assert int(dbm_to_level(rat, bound)) == index
+
+    @given(
+        rat=st.sampled_from(list(ALL_RATS)),
+        a=st.floats(min_value=-160, max_value=-30),
+        b=st.floats(min_value=-160, max_value=-30),
+    )
+    def test_monotone_in_dbm(self, rat: RAT, a: float, b: float):
+        if a > b:
+            a, b = b, a
+        assert dbm_to_level(rat, a) <= dbm_to_level(rat, b)

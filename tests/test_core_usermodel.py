@@ -1,0 +1,43 @@
+"""Unit tests for the user-tolerance model."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro import quantities
+from repro.core.usermodel import DEFAULT_USER_TOLERANCE, UserToleranceModel
+
+
+class TestUserToleranceModel:
+    def test_default_matches_the_survey(self):
+        assert (DEFAULT_USER_TOLERANCE.manual_reset_mean_s
+                == quantities.USER_MANUAL_RESET_S)
+
+    def test_tolerates_short_stall(self):
+        assert DEFAULT_USER_TOLERANCE.tolerates(5.0)
+
+    def test_does_not_tolerate_long_stall(self):
+        assert not DEFAULT_USER_TOLERANCE.tolerates(120.0)
+
+    def test_sample_is_near_the_mean(self):
+        rng = random.Random(0)
+        samples = [
+            DEFAULT_USER_TOLERANCE.sample_reset_time(rng)
+            for _ in range(500)
+        ]
+        mean = sum(samples) / len(samples)
+        assert 25.0 <= mean <= 35.0
+
+    def test_sample_never_below_floor(self):
+        model = UserToleranceModel(manual_reset_mean_s=6.0,
+                                   manual_reset_jitter_s=10.0)
+        rng = random.Random(1)
+        assert all(
+            model.sample_reset_time(rng) >= 5.0 for _ in range(200)
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_sampling_is_deterministic_per_seed(self, seed):
+        a = DEFAULT_USER_TOLERANCE.sample_reset_time(random.Random(seed))
+        b = DEFAULT_USER_TOLERANCE.sample_reset_time(random.Random(seed))
+        assert a == b

@@ -1,0 +1,162 @@
+"""Unit tests for dataset records, storage, and aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.aggregate import (
+    cdf,
+    fraction_below,
+    group_by,
+    quantile,
+    safe_mean,
+)
+from repro.dataset.records import (
+    ARM_PATCHED,
+    ARM_VANILLA,
+    BaseStationRecord,
+    DeviceRecord,
+    FailureRecord,
+    TransitionRecord,
+)
+from repro.dataset.store import Dataset, load_dataset, save_dataset
+
+
+def device(device_id=1, **kwargs) -> DeviceRecord:
+    defaults = dict(
+        device_id=device_id, model=3, android_version="9.0",
+        has_5g=False, isp="ISP-A",
+        exposure_s={("4G", 3): 1_000.0, ("4G", 4): 2_000.0},
+    )
+    defaults.update(kwargs)
+    return DeviceRecord(**defaults)
+
+
+def failure(device_id=1, **kwargs) -> FailureRecord:
+    defaults = dict(
+        device_id=device_id, model=3, android_version="9.0",
+        has_5g=False, isp="ISP-A", failure_type="DATA_STALL",
+        start_time=100.0, duration_s=30.0, bs_id=7, rat="4G",
+        signal_level=3, deployment="URBAN",
+    )
+    defaults.update(kwargs)
+    return FailureRecord(**defaults)
+
+
+class TestRecords:
+    def test_device_roundtrip(self):
+        original = device()
+        restored = DeviceRecord.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_device_exposure_total(self):
+        assert device().total_connected_s == 3_000.0
+
+    def test_failure_roundtrip(self):
+        original = failure(error_code="SIGNAL_LOST", resolved_by=1,
+                           stages_executed=1, post_transition=True)
+        restored = FailureRecord.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_transition_roundtrip(self):
+        original = TransitionRecord(
+            device_id=1, from_rat="4G", from_level=3, to_rat="5G",
+            to_level=0, executed=True, failed_after=True,
+            arm=ARM_PATCHED,
+        )
+        assert TransitionRecord.from_dict(original.to_dict()) == original
+
+    def test_bs_record_roundtrip(self):
+        original = BaseStationRecord(bs_id=1, isp="ISP-B",
+                                     rats=("2G", "4G"),
+                                     deployment="URBAN")
+        assert BaseStationRecord.from_dict(original.to_dict()) == original
+
+    def test_arms_are_distinct(self):
+        assert ARM_VANILLA != ARM_PATCHED
+
+
+class TestDataset:
+    def make(self) -> Dataset:
+        return Dataset(
+            devices=[device(1), device(2, model=4)],
+            failures=[failure(1), failure(1, failure_type="DATA_SETUP_ERROR"),
+                      failure(2, model=4)],
+            metadata={"seed": 1},
+        )
+
+    def test_counts(self):
+        dataset = self.make()
+        assert dataset.n_devices == 2
+        assert dataset.n_failures == 3
+
+    def test_failures_of_type(self):
+        dataset = self.make()
+        assert len(dataset.failures_of_type("DATA_STALL")) == 2
+
+    def test_grouping_helpers(self):
+        dataset = self.make()
+        assert set(dataset.devices_by_model()) == {3, 4}
+        assert set(dataset.failures_by_device()) == {1, 2}
+
+    def test_merge(self):
+        merged = self.make().merge(self.make())
+        assert merged.n_devices == 4
+        assert merged.n_failures == 6
+
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = self.make()
+        dataset.base_stations = [
+            BaseStationRecord(bs_id=7, isp="ISP-A", rats=("4G",),
+                              deployment="URBAN")
+        ]
+        dataset.transitions = [TransitionRecord(
+            device_id=1, from_rat="4G", from_level=3, to_rat="5G",
+            to_level=1, executed=True, failed_after=False,
+        )]
+        path = tmp_path / "study.jsonl.gz"
+        save_dataset(dataset, path)
+        restored = load_dataset(path)
+        assert restored.devices == dataset.devices
+        assert restored.failures == dataset.failures
+        assert restored.transitions == dataset.transitions
+        assert restored.base_stations == dataset.base_stations
+        assert restored.metadata == dataset.metadata
+
+
+class TestAggregate:
+    def test_group_by(self):
+        groups = group_by(range(10), key=lambda x: x % 2)
+        assert groups[0] == [0, 2, 4, 6, 8]
+
+    def test_cdf_is_monotone(self):
+        xs, ps = cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_of_empty(self):
+        xs, ps = cdf([])
+        assert len(xs) == 0 and len(ps) == 0
+
+    def test_quantile(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_fraction_below(self):
+        assert fraction_below([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+
+    def test_fraction_below_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)
+
+    def test_safe_mean(self):
+        assert safe_mean([]) == 0.0
+        assert safe_mean([1.0, 3.0]) == 2.0
+
+    def test_cdf_handles_numpy_input(self):
+        xs, ps = cdf(np.array([5.0, 1.0]))
+        assert xs[0] == 1.0

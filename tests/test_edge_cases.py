@@ -1,0 +1,114 @@
+"""Edge cases and stress paths across the fleet and analysis layers."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import compute_general_stats
+from repro.dataset.records import ARM_PATCHED
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator, _poisson
+from repro.network.topology import TopologyConfig
+
+
+def tiny_scenario(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        n_devices=60,
+        seed=99,
+        topology=TopologyConfig(n_base_stations=150, seed=100),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestFrequencyScale:
+    def test_scaling_down_reduces_events_roughly_linearly(self):
+        full = FleetSimulator(tiny_scenario(n_devices=300)).run()
+        scaled = FleetSimulator(
+            tiny_scenario(n_devices=300, frequency_scale=0.25)
+        ).run()
+        ratio = scaled.n_failures / max(1, full.n_failures)
+        assert 0.1 <= ratio <= 0.45
+
+    def test_shapes_survive_scaling(self):
+        scaled = FleetSimulator(
+            tiny_scenario(n_devices=400, frequency_scale=0.5)
+        ).run()
+        stats = compute_general_stats(scaled)
+        assert stats.headline_type_share > 0.95
+        assert 0.25 <= stats.count_share_by_type.get(
+            "DATA_STALL", 0.0) <= 0.55
+
+
+class TestStudyMonths:
+    def test_shorter_study_collects_fewer_failures(self):
+        long = FleetSimulator(tiny_scenario(n_devices=300)).run()
+        short = FleetSimulator(
+            tiny_scenario(n_devices=300, study_months=2.0)
+        ).run()
+        assert short.n_failures < long.n_failures
+        # Event timestamps stay inside the study window.
+        horizon = 2.0 * 30.44 * 86_400 * 1.05
+        assert all(f.start_time <= horizon + 100_000
+                   for f in short.failures)
+
+
+class TestEventCap:
+    def test_max_events_per_device_caps_heavy_hitters(self):
+        capped = FleetSimulator(
+            tiny_scenario(n_devices=200, max_events_per_device=5)
+        ).run()
+        counts = {}
+        for failure in capped.failures:
+            counts[failure.device_id] = counts.get(
+                failure.device_id, 0) + 1
+        # 5 ambient + 5 transition-induced failures is the ceiling
+        # (plus a handful from transitions realized as extra records).
+        assert max(counts.values(), default=0) <= 12
+
+
+class TestPatchedProbationOverride:
+    def test_override_changes_recovery_durations(self):
+        base = tiny_scenario(n_devices=250)
+        default_patch = FleetSimulator(base.patched()).run()
+        slow_patch = FleetSimulator(
+            tiny_scenario(
+                n_devices=250,
+                patched_probations_s=(60.0, 60.0, 60.0),
+            ).patched()
+        ).run()
+        def stall_total(ds):
+            return sum(f.duration_s for f in ds.failures
+                       if f.failure_type == "DATA_STALL")
+        # A 60/60/60 "patch" is vanilla recovery: longer stalls.
+        assert stall_total(slow_patch) > stall_total(default_patch)
+        assert default_patch.metadata["arm"] == ARM_PATCHED
+
+
+class TestPoissonEdge:
+    def test_negative_mean_is_zero(self):
+        assert _poisson(random.Random(0), -5.0) == 0
+
+    def test_boundary_means(self):
+        rng = random.Random(1)
+        for mean in (199.9, 200.0, 200.1):
+            draws = [_poisson(rng, mean) for _ in range(300)]
+            assert abs(sum(draws) / len(draws) - mean) < mean * 0.1
+
+
+class TestDegenerateDatasets:
+    def test_single_device_dataset_analyzes(self):
+        dataset = FleetSimulator(tiny_scenario(n_devices=1)).run()
+        stats = compute_general_stats(dataset)
+        assert stats.n_devices == 1
+        assert stats.prevalence in (0.0, 1.0)
+
+    def test_no_failure_device_is_recorded(self):
+        dataset = FleetSimulator(tiny_scenario(n_devices=40)).run()
+        failing = {f.device_id for f in dataset.failures}
+        silent = [d for d in dataset.devices
+                  if d.device_id not in failing]
+        # With ~77% of phones failure-free, a 40-device fleet surely
+        # contains silent devices — and they must still carry exposure.
+        assert silent
+        assert all(d.total_connected_s > 0 for d in silent)

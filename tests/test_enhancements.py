@@ -1,0 +1,52 @@
+"""Tests for fitting the enhancements from measured data (Sec. 4.2)."""
+
+import random
+
+import pytest
+
+from repro.android.rat_policy import RatCandidate
+from repro.core.enhancements import (
+    fit_enhancements,
+    fit_recovery_trigger,
+    fit_risk_table,
+)
+from repro.core.signal import SignalLevel
+from repro.radio.rat import RAT
+
+
+@pytest.fixture(scope="module")
+def fitted(vanilla_dataset):
+    return fit_enhancements(vanilla_dataset, rng=random.Random(5))
+
+
+class TestFittedRiskTable:
+    def test_measured_5g_level0_risk_is_high(self, vanilla_dataset):
+        table = fit_risk_table(vanilla_dataset)
+        assert table.likelihood(RAT.NR, SignalLevel.LEVEL_0) > 0.30
+
+    def test_fitted_policy_vetoes_the_canonical_bad_move(self, fitted):
+        current = RatCandidate(RAT.LTE, SignalLevel.LEVEL_3)
+        bad = RatCandidate(RAT.NR, SignalLevel.LEVEL_0)
+        assert fitted.rat_policy.vetoes(current, bad)
+
+    def test_fitted_policy_allows_healthy_upgrades(self, fitted):
+        current = RatCandidate(RAT.LTE, SignalLevel.LEVEL_2)
+        good = RatCandidate(RAT.NR, SignalLevel.LEVEL_4)
+        assert not fitted.rat_policy.vetoes(current, good)
+
+
+class TestFittedRecoveryTrigger:
+    def test_probations_are_far_below_vanilla(self, fitted):
+        assert all(p < 45.0
+                   for p in fitted.recovery_policy.probations_s)
+
+    def test_annealing_improves_on_the_default(self, fitted):
+        assert fitted.annealing.best_value < fitted.annealing.default_value
+        assert fitted.annealing.improvement > 0.05
+
+    def test_fit_recovery_trigger_is_deterministic(self, vanilla_dataset):
+        a, _ = fit_recovery_trigger(vanilla_dataset,
+                                    rng=random.Random(3), steps=400)
+        b, _ = fit_recovery_trigger(vanilla_dataset,
+                                    rng=random.Random(3), steps=400)
+        assert a.probations_s == b.probations_s

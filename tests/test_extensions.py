@@ -1,0 +1,137 @@
+"""Tests for the Sec. 4.1 / Sec. 6 extensions: Android 11, passive
+monitoring, and infrastructure sharing."""
+
+import random
+
+import pytest
+
+from repro.android.android11 import (
+    ANDROID_11_RECOVERY_POLICY,
+    Android11Policy,
+    android11_inherits_the_problems,
+)
+from repro.core.signal import SignalLevel
+from repro.monitoring.passive import PassiveStallMonitor
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.network.basestation import (
+    BaseStation,
+    DeploymentClass,
+    make_identity,
+)
+from repro.network.isp import ISP
+from repro.network.topology import NationalTopology, TopologyConfig
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+
+class TestAndroid11:
+    def test_both_problems_persist(self):
+        """Sec. 6: the aggressive RAT policy and the lagging recovery
+        both survive into Android 11."""
+        findings = android11_inherits_the_problems()
+        assert findings["aggressive_rat_transition"]
+        assert findings["lagging_stall_recovery"]
+
+    def test_policy_is_blind_5g(self):
+        from repro.android.rat_policy import RatCandidate
+
+        chosen = Android11Policy().select(
+            None,
+            [RatCandidate(RAT.LTE, SignalLevel.LEVEL_4),
+             RatCandidate(RAT.NR, SignalLevel.LEVEL_1)],
+        )
+        assert chosen.rat is RAT.NR
+
+    def test_recovery_is_still_one_minute(self):
+        assert ANDROID_11_RECOVERY_POLICY.probations_s == (
+            60.0, 60.0, 60.0
+        )
+
+
+class TestPassiveMonitor:
+    def _stack_with_stall(self, duration: float) -> DeviceNetStack:
+        stack = DeviceNetStack()
+        stack.inject_fault(
+            ActiveFault(FaultKind.NETWORK_STALL, 0.0, duration)
+        )
+        return stack
+
+    def test_measures_duration_plus_traffic_gap(self):
+        clock = SimClock()
+        monitor = PassiveStallMonitor(clock)
+        measurement = monitor.measure(self._stack_with_stall(40.0),
+                                      traffic_gap_s=8.0)
+        assert 40.0 <= measurement.duration_s <= 50.0
+        assert measurement.detection_lag_s >= 8.0
+
+    def test_injects_nothing(self):
+        clock = SimClock()
+        measurement = PassiveStallMonitor(clock).measure(
+            self._stack_with_stall(20.0), traffic_gap_s=2.0
+        )
+        assert measurement.probe_bytes == 0
+
+    def test_no_stall_measures_zero(self):
+        measurement = PassiveStallMonitor(SimClock()).measure(
+            DeviceNetStack(), traffic_gap_s=5.0
+        )
+        assert measurement.duration_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PassiveStallMonitor(SimClock(), poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            PassiveStallMonitor(SimClock()).measure(
+                DeviceNetStack(), traffic_gap_s=-1.0
+            )
+
+
+class TestInfrastructureSharing:
+    def hub(self, density_factor: float) -> BaseStation:
+        return BaseStation(
+            bs_id=1,
+            identity=make_identity(ISP.A, 1),
+            isp=ISP.A,
+            supported_rats=frozenset({RAT.LTE}),
+            deployment=DeploymentClass.TRANSPORT_HUB,
+            failure_propensity=1.0,
+            density_factor=density_factor,
+        )
+
+    def test_sharing_reduces_hub_failures(self):
+        rng = random.Random(3)
+
+        def rate(bs):
+            return sum(
+                bs.admit_bearer(RAT.LTE, SignalLevel.LEVEL_5,
+                                rng) is not None
+                for _ in range(3_000)
+            ) / 3_000
+
+        assert rate(self.hub(0.55)) < rate(self.hub(1.0))
+
+    def test_density_factor_validation(self):
+        with pytest.raises(ValueError):
+            self.hub(0.0)
+        with pytest.raises(ValueError):
+            self.hub(1.5)
+
+    def test_topology_flag_applies_to_dense_cells_only(self):
+        topology = NationalTopology(TopologyConfig(
+            n_base_stations=800, seed=13, infrastructure_sharing=True,
+        ))
+        dense = {DeploymentClass.TRANSPORT_HUB,
+                 DeploymentClass.URBAN_CORE}
+        saw_dense = False
+        for bs in topology.base_stations:
+            if bs.deployment in dense:
+                saw_dense = True
+                assert bs.density_factor == 0.55
+            else:
+                assert bs.density_factor == 1.0
+        assert saw_dense
+
+    def test_default_topology_is_unshared(self, topology):
+        assert all(bs.density_factor == 1.0
+                   for bs in topology.base_stations)

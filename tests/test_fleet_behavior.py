@@ -1,0 +1,203 @@
+"""Unit tests for the workload/context generators."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.events import FailureType
+from repro.core.signal import SignalLevel
+from repro.fleet import behavior
+from repro.netstack.faults import FaultKind
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP
+from repro.radio.rat import RAT
+
+
+class TestDistributionsAreNormalized:
+    def test_exposure_shares_sum_to_one(self):
+        assert abs(sum(behavior.EXPOSURE_LEVEL_SHARES) - 1.0) < 1e-9
+
+    def test_rat_usage_mixes_sum_to_one(self):
+        assert abs(sum(behavior.RAT_USAGE_NON_5G.values()) - 1.0) < 1e-9
+        assert abs(sum(behavior.RAT_USAGE_5G.values()) - 1.0) < 1e-9
+
+    def test_stall_mixture_sums_to_one(self):
+        total = sum(c.weight for c in behavior.STALL_MIXTURE)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_isp_factor_mean_is_one(self):
+        from repro.network.isp import ISP_PROFILES
+
+        mean = sum(
+            behavior.ISP_HAZARD_FACTOR[isp] * p.subscriber_share
+            for isp, p in ISP_PROFILES.items()
+        )
+        assert abs(mean - 1.0) < 0.02
+
+
+class TestLevelHazardShape:
+    def test_monotone_then_uptick(self):
+        """Fig. 15's generative ground truth: decreasing 0..4, uptick
+        at 5 above levels 1-4 but below level 0."""
+        h = behavior.LEVEL_HAZARD
+        assert list(h[:5]) == sorted(h[:5], reverse=True)
+        assert h[5] > max(h[1:5])
+        assert h[5] < h[0]
+
+    def test_rat_factors_encode_the_findings(self):
+        assert behavior.RAT_HAZARD_FACTOR[RAT.NR] > 1.0  # 5G immature
+        assert behavior.RAT_HAZARD_FACTOR[RAT.UMTS] < 1.0  # 3G idle
+
+
+class TestStallMixtureAnchors:
+    def sample(self, n=30_000):
+        rng = random.Random(5)
+        return [behavior.sample_stall_natural_duration(rng)[0]
+                for _ in range(n)]
+
+    def test_60_percent_within_10s(self):
+        durations = self.sample()
+        fraction = sum(1 for d in durations if d <= 10.0) / len(durations)
+        assert 0.50 <= fraction <= 0.68
+
+    def test_over_80_percent_under_300s(self):
+        durations = self.sample()
+        fraction = sum(1 for d in durations if d < 300.0) / len(durations)
+        assert fraction > 0.80
+
+    def test_under_10_percent_over_1200s(self):
+        durations = self.sample()
+        fraction = sum(1 for d in durations if d > 1200.0) / len(durations)
+        assert fraction < 0.10
+
+    def test_durations_are_capped(self):
+        assert max(self.sample()) <= behavior.MAX_STALL_DURATION_S
+
+    def test_isolated_component_is_unrecoverable(self):
+        isolated = [c for c in behavior.STALL_MIXTURE
+                    if c.device_recoverable == 0.0]
+        assert len(isolated) == 1
+        assert isolated[0].weight < 0.05
+
+
+class TestSamplers:
+    def test_failure_type_mix_matches_sec31(self):
+        """Per-device means 16/14/3 out of 33 (Sec. 3.1)."""
+        rng = random.Random(1)
+        counts = Counter(
+            behavior.sample_failure_type(rng, oos_active=True)
+            for _ in range(30_000)
+        )
+        total = sum(counts.values())
+        assert abs(counts[FailureType.DATA_SETUP_ERROR] / total
+                   - 16 / 48.33) < 0.03
+        legacy = (counts[FailureType.SMS_FAILURE]
+                  + counts[FailureType.VOICE_FAILURE])
+        assert legacy / total < 0.02
+
+    def test_inactive_devices_never_draw_oos(self):
+        rng = random.Random(2)
+        for _ in range(2_000):
+            failure_type = behavior.sample_failure_type(
+                rng, oos_active=False
+            )
+            assert failure_type is not FailureType.OUT_OF_SERVICE
+
+    def test_event_rat_respects_capability(self):
+        rng = random.Random(3)
+        non5g = {behavior.sample_event_rat(rng, has_5g=False)
+                 for _ in range(2_000)}
+        assert RAT.NR not in non5g
+        with5g = {behavior.sample_event_rat(rng, has_5g=True)
+                  for _ in range(2_000)}
+        assert RAT.NR in with5g
+
+    def test_level5_failures_come_from_hubs(self):
+        """Sec. 3.3: the level-5 anomaly is hub-driven."""
+        rng = random.Random(4)
+        deployments = Counter(
+            behavior.sample_event_deployment(rng, SignalLevel.LEVEL_5)
+            for _ in range(2_000)
+        )
+        hub_share = deployments[DeploymentClass.TRANSPORT_HUB] / 2_000
+        assert hub_share > 0.6
+
+    def test_mid_level_failures_follow_time_mix(self):
+        rng = random.Random(5)
+        deployments = Counter(
+            behavior.sample_event_deployment(rng, SignalLevel.LEVEL_3)
+            for _ in range(2_000)
+        )
+        assert (deployments[DeploymentClass.URBAN]
+                > deployments[DeploymentClass.TRANSPORT_HUB])
+
+    def test_fault_kind_mix_is_mostly_true_stalls(self):
+        rng = random.Random(6)
+        kinds = Counter(
+            behavior.sample_stall_fault_kind(rng) for _ in range(10_000)
+        )
+        assert kinds[FaultKind.NETWORK_STALL] / 10_000 > 0.88
+
+    def test_event_context_long_outage_prefers_remote(self, topology):
+        rng = random.Random(7)
+        remote = sum(
+            behavior.sample_event_context(
+                rng, topology, ISP.A, has_5g=False, long_outage=True
+            ).deployment is DeploymentClass.REMOTE
+            for _ in range(500)
+        )
+        assert remote > 200
+
+
+class TestTransitionGenerators:
+    def test_5g_scenarios_are_mostly_canonical(self):
+        """Sec. 3.2's canonical situation: healthy 4G with weak 5G."""
+        rng = random.Random(8)
+        canonical = 0
+        for _ in range(2_000):
+            scenario = behavior.sample_transition_scenario(rng, True)
+            rats = {rat for rat, _ in scenario.candidates}
+            if scenario.current_rat is RAT.LTE and RAT.NR in rats:
+                canonical += 1
+        assert canonical > 1_200
+
+    def test_non_5g_scenarios_have_no_nr(self):
+        rng = random.Random(9)
+        for _ in range(500):
+            scenario = behavior.sample_transition_scenario(rng, False)
+            assert all(rat is not RAT.NR
+                       for rat, _ in scenario.candidates)
+
+    def test_transition_failure_probability_anchors_fig17f(self):
+        p_bad = behavior.transition_failure_probability(
+            RAT.LTE, SignalLevel.LEVEL_4, RAT.NR, SignalLevel.LEVEL_0
+        )
+        p_good = behavior.transition_failure_probability(
+            RAT.LTE, SignalLevel.LEVEL_2, RAT.NR, SignalLevel.LEVEL_4
+        )
+        assert p_bad > 0.4
+        assert p_good == pytest.approx(
+            behavior.TRANSITION_BASE_FAILURE_P
+        )
+
+    def test_stay_probability_is_the_floor(self):
+        assert behavior.stay_failure_probability(
+            RAT.LTE, SignalLevel.LEVEL_3
+        ) == behavior.TRANSITION_BASE_FAILURE_P
+
+    def test_generative_risk_matches_table(self):
+        assert behavior.generative_risk(
+            RAT.NR, SignalLevel.LEVEL_0
+        ) == behavior.GENERATIVE_LEVEL_RISK[RAT.NR][0]
+
+
+class TestOosDurations:
+    def test_lognormal_shape(self):
+        rng = random.Random(10)
+        durations = [behavior.sample_oos_duration(rng)
+                     for _ in range(10_000)]
+        median = sorted(durations)[5_000]
+        assert math.isclose(median, behavior.OOS_MEDIAN_S, rel_tol=0.15)
+        assert max(durations) <= behavior.MAX_STALL_DURATION_S

@@ -1,0 +1,229 @@
+"""Unit tests for per-device episode realization."""
+
+import random
+
+import pytest
+
+from repro.android.rat_policy import (
+    Android10BlindPolicy,
+    StabilityCompatiblePolicy,
+)
+from repro.android.recovery import (
+    TIMP_RECOVERY_POLICY,
+    VANILLA_RECOVERY_POLICY,
+)
+from repro.core.events import FailureType
+from repro.core.signal import SignalLevel
+from repro.fleet import behavior
+from repro.fleet.device import ScriptedBearer, SimulatedDevice
+from repro.fleet.models import PHONE_MODELS_BY_ID
+from repro.netstack.faults import FaultKind
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP
+from repro.network.topology import NationalTopology, TopologyConfig
+from repro.radio.rat import RAT
+
+TOPOLOGY = NationalTopology(TopologyConfig(n_base_stations=300, seed=2))
+
+
+def make_device(model=10, patched=False, seed=0) -> SimulatedDevice:
+    spec = PHONE_MODELS_BY_ID[model]
+    return SimulatedDevice(
+        device_id=1,
+        spec=spec,
+        isp=ISP.A,
+        arm="patched" if patched else "vanilla",
+        rat_policy=(StabilityCompatiblePolicy() if patched
+                    else Android10BlindPolicy()),
+        recovery_policy=(TIMP_RECOVERY_POLICY if patched
+                         else VANILLA_RECOVERY_POLICY),
+        rng=random.Random(seed),
+        use_endc=patched and spec.has_5g,
+    )
+
+
+def make_context(rat=RAT.LTE, level=3) -> behavior.EventContext:
+    rng = random.Random(1)
+    bs = TOPOLOGY.sample_bs(rng, ISP.A, DeploymentClass.URBAN, rat)
+    return behavior.EventContext(
+        rat=rat, signal_level=SignalLevel(level),
+        deployment=DeploymentClass.URBAN, bs=bs,
+    )
+
+
+class TestScriptedBearer:
+    def test_script_then_admit(self):
+        context = make_context()
+        bearer = ScriptedBearer(context.bs, ["SIGNAL_LOST"])
+        rng = random.Random(0)
+        assert bearer.admit_bearer(RAT.LTE, SignalLevel.LEVEL_3,
+                                   rng) == "SIGNAL_LOST"
+        assert bearer.admit_bearer(RAT.LTE, SignalLevel.LEVEL_3,
+                                   rng) is None
+
+    def test_organic_fallthrough_option(self):
+        context = make_context()
+        bearer = ScriptedBearer(context.bs, [],
+                                organic_after_script=True)
+        outcomes = {
+            bearer.admit_bearer(RAT.LTE, SignalLevel.LEVEL_3,
+                                random.Random(s))
+            for s in range(200)
+        }
+        assert None in outcomes  # the real BS admits most attempts
+
+    def test_exposes_bs_identity(self):
+        context = make_context()
+        bearer = ScriptedBearer(context.bs, [])
+        assert bearer.bs_id == context.bs.bs_id
+        assert bearer.supports(RAT.LTE)
+
+
+class TestSetupErrorRealization:
+    def test_produces_one_record_with_the_cause(self):
+        device = make_device()
+        device.realize_setup_error(make_context(), "PPP_TIMEOUT")
+        assert len(device.records) == 1
+        record = device.records[0]
+        assert record.failure_type == "DATA_SETUP_ERROR"
+        assert record.error_code == "PPP_TIMEOUT"
+        assert record.rat == "4G"
+        assert record.duration_s > 0
+
+    def test_record_carries_episode_context(self):
+        device = make_device()
+        context = make_context(level=1)
+        device.realize_setup_error(context, "SIGNAL_LOST")
+        record = device.records[0]
+        assert record.signal_level == 1
+        assert record.bs_id == context.bs.bs_id
+        assert record.deployment == "URBAN"
+        assert record.model == 10
+
+    def test_false_positive_setup_is_filtered(self):
+        device = make_device()
+        device.realize_false_positive_setup(
+            make_context(), "INSUFFICIENT_RESOURCES"
+        )
+        assert not device.records
+        assert device.monitor.filtered == 1
+
+
+class TestStallRealization:
+    def stall_component(self, recoverable=1.0):
+        return behavior.StallComponent(
+            weight=1.0, median_s=10.0, sigma=0.5,
+            device_recoverable=recoverable,
+        )
+
+    def test_true_stall_is_recorded_with_duration(self):
+        device = make_device()
+        device.realize_stall(make_context(), 40.0,
+                             self.stall_component(),
+                             FaultKind.NETWORK_STALL)
+        assert len(device.records) == 1
+        record = device.records[0]
+        assert record.failure_type == "DATA_STALL"
+        # Duration within prober error of min(natural, recovery).
+        assert 0.0 < record.duration_s <= 80.0
+
+    def test_system_side_stall_is_filtered(self):
+        device = make_device()
+        device.realize_stall(make_context(), 40.0,
+                             self.stall_component(),
+                             FaultKind.FIREWALL_MISCONFIG)
+        assert not device.records
+        assert device.monitor.filtered == 1
+
+    def test_dns_outage_stall_is_filtered(self):
+        device = make_device()
+        device.realize_stall(make_context(), 40.0,
+                             self.stall_component(),
+                             FaultKind.DNS_OUTAGE)
+        assert not device.records
+
+    def test_unrecoverable_stall_runs_its_course(self):
+        device = make_device()
+        device.realize_stall(make_context(), 500.0,
+                             self.stall_component(recoverable=0.0),
+                             FaultKind.NETWORK_STALL)
+        record = device.records[0]
+        assert record.duration_s >= 450.0  # user resets cannot fix it
+
+    def test_fault_is_cleared_after_the_episode(self):
+        device = make_device()
+        device.realize_stall(make_context(), 40.0,
+                             self.stall_component(),
+                             FaultKind.NETWORK_STALL)
+        assert device.stack.fault_at(device.clock.now()) is None
+
+
+class TestOtherRealizations:
+    def test_out_of_service_duration(self):
+        device = make_device()
+        device.realize_out_of_service(make_context(), 75.0)
+        record = device.records[0]
+        assert record.failure_type == "OUT_OF_SERVICE"
+        assert record.duration_s == 75.0
+
+    def test_legacy_sms_failure(self):
+        device = make_device()
+        device.realize_legacy_failure(make_context(),
+                                      FailureType.SMS_FAILURE)
+        record = device.records[0]
+        assert record.failure_type == "SMS_FAILURE"
+        assert record.error_code == "RIL_SMS_SEND_FAIL_RETRY"
+
+    def test_post_transition_flag_propagates(self):
+        device = make_device()
+        device.realize_setup_error(make_context(), "IRAT_HANDOVER_FAILED",
+                                   post_transition=True)
+        assert device.records[0].post_transition
+
+
+class TestTransitionDecisions:
+    def scenario(self, nr_level=0):
+        return behavior.TransitionScenario(
+            current_rat=RAT.LTE,
+            current_level=SignalLevel.LEVEL_3,
+            candidates=((RAT.LTE, SignalLevel.LEVEL_3),
+                        (RAT.NR, SignalLevel(nr_level))),
+        )
+
+    def test_blind_device_takes_weak_5g(self):
+        device = make_device(model=33)
+        current, selected, executed = device.decide_transition(
+            self.scenario(nr_level=0)
+        )
+        assert executed
+        assert selected.rat is RAT.NR
+
+    def test_patched_device_vetoes_weak_5g(self):
+        device = make_device(model=33, patched=True)
+        current, selected, executed = device.decide_transition(
+            self.scenario(nr_level=0)
+        )
+        assert not executed
+
+    def test_patched_device_takes_healthy_5g(self):
+        device = make_device(model=33, patched=True)
+        current, selected, executed = device.decide_transition(
+            self.scenario(nr_level=4)
+        )
+        assert executed
+        assert selected.rat is RAT.NR
+
+    def test_endc_lowers_procedure_failure_rate(self):
+        patched = make_device(model=33, patched=True)
+        vanilla = make_device(model=33)
+        assert (patched.transition_procedure_failure_rate(RAT.NR)
+                < vanilla.transition_procedure_failure_rate(RAT.NR))
+
+
+class TestOverheadAccounting:
+    def test_episodes_feed_the_accountant(self):
+        device = make_device()
+        device.realize_setup_error(make_context(), "PPP_TIMEOUT")
+        device.realize_out_of_service(make_context(), 30.0)
+        assert device.accountant.cpu_seconds > 0
+        assert device.accountant.storage_bytes > 0

@@ -1,0 +1,112 @@
+"""Unit tests for the phone-model population calibration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import quantities
+from repro.fleet.models import (
+    FIVE_G_RATS,
+    NON_5G_RATS,
+    PHONE_MODELS,
+    PHONE_MODELS_BY_ID,
+    fit_negative_binomial,
+    fit_negative_binomial_mixture,
+)
+from repro.radio.rat import RAT
+
+
+class TestNegativeBinomialFit:
+    def test_moments_are_matched(self):
+        fit = fit_negative_binomial(prevalence=0.28, frequency=35.9)
+        assert abs(fit.mean - 35.9) < 1e-6
+        assert abs(fit.p_zero - (1 - 0.28)) < 1e-6
+
+    def test_extreme_row_8(self):
+        """Model 8: 0.15% prevalence with 2.3 mean — extreme dispersion."""
+        fit = fit_negative_binomial(prevalence=0.0015, frequency=2.3)
+        assert abs(fit.p_zero - 0.9985) < 1e-6
+        assert fit.scale > 100  # massively over-dispersed
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fit_negative_binomial(prevalence=0.0, frequency=1.0)
+        with pytest.raises(ValueError):
+            fit_negative_binomial(prevalence=0.5, frequency=0.0)
+
+    def test_inconsistent_moments_rejected(self):
+        # P(N>=1)=0.9 forces mean >= 2.3; frequency 1.0 is impossible.
+        with pytest.raises(ValueError):
+            fit_negative_binomial(prevalence=0.9, frequency=1.0)
+
+    @settings(max_examples=60)
+    @given(
+        prevalence=st.floats(min_value=0.01, max_value=0.6),
+        frequency=st.floats(min_value=5.0, max_value=100.0),
+    )
+    def test_fit_roundtrip_property(self, prevalence, frequency):
+        fit = fit_negative_binomial(prevalence, frequency)
+        assert abs(fit.mean - frequency) < 1e-5
+        assert abs(fit.p_zero - (1 - prevalence)) < 1e-5
+
+
+class TestMixtureFit:
+    FACTORS = ((1.0, 0.55), (1.35, 0.20), (0.73, 0.25))
+
+    def test_mixture_p_zero_matches(self):
+        fit = fit_negative_binomial_mixture(0.28, 35.9, self.FACTORS)
+        p_zero = sum(
+            w * (1.0 + fit.scale) ** (-c * fit.shape)
+            for c, w in self.FACTORS
+        )
+        assert abs(p_zero - 0.72) < 1e-6
+
+    def test_mixture_mean_matches(self):
+        fit = fit_negative_binomial_mixture(0.28, 35.9, self.FACTORS)
+        mean_factor = sum(c * w for c, w in self.FACTORS)
+        assert abs(fit.mean * mean_factor - 35.9) < 0.2
+
+    def test_unbalanced_factors_rejected(self):
+        with pytest.raises(ValueError):
+            fit_negative_binomial_mixture(
+                0.2, 10.0, ((2.0, 0.5), (2.0, 0.5))
+            )
+
+
+class TestPhoneModelSpecs:
+    def test_all_34_models_fitted(self):
+        assert len(PHONE_MODELS) == 34
+
+    def test_lookup_by_id(self):
+        assert PHONE_MODELS_BY_ID[23].has_5g
+
+    def test_rat_support_by_capability(self):
+        for spec in PHONE_MODELS:
+            expected = FIVE_G_RATS if spec.has_5g else NON_5G_RATS
+            assert spec.supported_rats == expected
+
+    def test_5g_models_include_nr(self):
+        assert RAT.NR in PHONE_MODELS_BY_ID[33].supported_rats
+        assert RAT.NR not in PHONE_MODELS_BY_ID[1].supported_rats
+
+    def test_sampled_hazards_reproduce_the_mean(self):
+        spec = PHONE_MODELS_BY_ID[10]
+        rng = random.Random(0)
+        hazards = [spec.sample_hazard(rng) for _ in range(30_000)]
+        mean = sum(hazards) / len(hazards)
+        assert abs(mean - spec.row.frequency) / spec.row.frequency < 0.1
+
+    def test_isp_factor_scales_hazard_mean(self):
+        spec = PHONE_MODELS_BY_ID[10]
+        rng = random.Random(0)
+        boosted = [spec.sample_hazard(rng, isp_factor=1.35)
+                   for _ in range(30_000)]
+        mean = sum(boosted) / len(boosted)
+        assert mean > spec.row.frequency * 1.1
+
+    def test_specs_mirror_table1(self):
+        for spec, row in zip(PHONE_MODELS, quantities.TABLE1):
+            assert spec.model == row.model
+            assert spec.android_version == row.android_version
+            assert spec.user_share == row.user_share

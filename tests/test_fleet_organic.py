@@ -1,0 +1,74 @@
+"""Tests for the organic (schedule-free) simulation mode."""
+
+import pytest
+
+from repro.fleet.organic import OrganicSimulator
+
+
+@pytest.fixture(scope="module")
+def organic(topology_module=None):
+    from repro.network.topology import NationalTopology, TopologyConfig
+
+    topology = NationalTopology(
+        TopologyConfig(n_base_stations=1_500, seed=3)
+    )
+    return OrganicSimulator(topology, seed=7).run(
+        n_devices=60, sessions_per_device=50
+    )
+
+
+class TestOrganicRun:
+    def test_attempts_are_collected(self, organic):
+        assert len(organic.attempts) > 2_000
+
+    def test_most_sessions_succeed(self, organic):
+        """Failures are the exception in organic use, as in reality."""
+        assert organic.failure_rate() < 0.35
+
+    def test_failures_do_happen(self, organic):
+        assert organic.failure_rate() > 0.02
+
+    def test_failed_attempts_carry_causes(self, organic):
+        failures = [a for a in organic.attempts if not a.success]
+        assert failures
+        assert all(a.cause for a in failures)
+
+    def test_monitor_filters_rational_rejections(self, organic):
+        """Organic overload rejections are surfaced but filtered."""
+        assert sum(a.filtered for a in organic.attempts) > 0
+
+
+class TestOrganicTendencies:
+    """The paper's mechanisms must show through with no scheduling."""
+
+    def test_hubs_produce_more_failure_events_than_suburbs(self, organic):
+        """Hubs surface more Data_Setup_Error *events* per session
+        (the paper's unit) even though retries often rescue the
+        session itself — dense-cell EMM trouble is transient."""
+        def events_per_session(deployment):
+            pool = [a for a in organic.attempts
+                    if a.deployment == deployment]
+            return sum(a.true_failures + a.filtered
+                       for a in pool) / len(pool)
+
+        assert (events_per_session("TRANSPORT_HUB")
+                > events_per_session("SUBURBAN"))
+
+    def test_level0_fails_more_than_level4(self, organic):
+        rates = organic.failure_rate_by(lambda a: a.signal_level)
+        assert rates[0] > rates[4]
+
+    def test_3g_is_healthier_than_its_neighbours(self, organic):
+        rates = organic.failure_rate_by(lambda a: a.rat)
+        assert rates["3G"] < rates["2G"]
+        assert rates["3G"] < rates["4G"]
+
+    def test_predicate_filtering(self, organic):
+        hub_rate = organic.failure_rate(
+            lambda a: a.deployment == "TRANSPORT_HUB"
+        )
+        assert 0.0 <= hub_rate <= 1.0
+
+    def test_empty_predicate_rejected(self, organic):
+        with pytest.raises(ValueError):
+            organic.failure_rate(lambda a: a.deployment == "MOON")

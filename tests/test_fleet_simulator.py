@@ -1,0 +1,135 @@
+"""Tests for the fleet simulator and scenario presets."""
+
+import pytest
+
+from repro.dataset.records import ARM_PATCHED, ARM_VANILLA
+from repro.fleet.scenario import (
+    ScenarioConfig,
+    default_scenario,
+    full_scenario,
+    smoke_scenario,
+)
+from repro.fleet.simulator import FleetSimulator, _poisson
+from repro.network.topology import TopologyConfig
+import random
+
+
+class TestScenarioConfig:
+    def test_presets_scale_up(self):
+        assert (smoke_scenario().n_devices < default_scenario().n_devices
+                < full_scenario().n_devices)
+
+    def test_patched_flips_only_the_arm(self):
+        base = smoke_scenario()
+        patched = base.patched()
+        assert patched.arm == ARM_PATCHED
+        assert patched.n_devices == base.n_devices
+        assert patched.seed == base.seed
+        assert base.vanilla().arm == ARM_VANILLA
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_devices=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(arm="experimental")
+        with pytest.raises(ValueError):
+            ScenarioConfig(frequency_scale=0.0)
+
+
+class TestPoissonHelper:
+    def test_zero_mean(self):
+        assert _poisson(random.Random(0), 0.0) == 0
+
+    def test_small_mean_distribution(self):
+        rng = random.Random(1)
+        draws = [_poisson(rng, 3.0) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 3.0) < 0.1
+
+    def test_large_mean_normal_approximation(self):
+        rng = random.Random(2)
+        draws = [_poisson(rng, 1_000.0) for _ in range(2_000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 1_000.0) < 10.0
+        assert all(d >= 0 for d in draws)
+
+
+class TestSimulatedDatasets:
+    def test_every_device_has_a_record(self, vanilla_dataset):
+        assert vanilla_dataset.n_devices == 1_500
+        ids = {d.device_id for d in vanilla_dataset.devices}
+        assert len(ids) == 1_500
+
+    def test_bs_inventory_is_included(self, vanilla_dataset):
+        assert len(vanilla_dataset.base_stations) == 1_000
+
+    def test_failures_reference_known_devices(self, vanilla_dataset):
+        ids = {d.device_id for d in vanilla_dataset.devices}
+        assert all(f.device_id in ids for f in vanilla_dataset.failures)
+
+    def test_failures_reference_known_bses(self, vanilla_dataset):
+        bs_ids = {bs.bs_id for bs in vanilla_dataset.base_stations}
+        assert all(f.bs_id in bs_ids for f in vanilla_dataset.failures)
+
+    def test_all_durations_non_negative(self, vanilla_dataset):
+        assert all(f.duration_s >= 0 for f in vanilla_dataset.failures)
+
+    def test_metadata_describes_the_run(self, vanilla_dataset):
+        assert vanilla_dataset.metadata["arm"] == ARM_VANILLA
+        assert vanilla_dataset.metadata["n_devices"] == 1_500
+
+    def test_arms_are_stamped_on_records(self, vanilla_dataset,
+                                          patched_dataset):
+        assert all(f.arm == ARM_VANILLA
+                   for f in vanilla_dataset.failures[:500])
+        assert all(f.arm == ARM_PATCHED
+                   for f in patched_dataset.failures[:500])
+
+    def test_pairing_devices_match_across_arms(self, vanilla_dataset,
+                                               patched_dataset):
+        """Common random numbers: both arms see identical populations."""
+        vanilla_models = {(d.device_id, d.model, d.isp)
+                          for d in vanilla_dataset.devices}
+        patched_models = {(d.device_id, d.model, d.isp)
+                          for d in patched_dataset.devices}
+        assert vanilla_models == patched_models
+
+    def test_patched_arm_has_fewer_failures(self, vanilla_dataset,
+                                            patched_dataset):
+        assert patched_dataset.n_failures < vanilla_dataset.n_failures
+
+    def test_5g_rat_only_on_5g_devices(self, vanilla_dataset):
+        caps = {d.device_id: d.has_5g for d in vanilla_dataset.devices}
+        for failure in vanilla_dataset.failures:
+            if failure.rat == "5G":
+                assert caps[failure.device_id]
+
+    def test_error_codes_only_on_setup_and_sms(self, vanilla_dataset):
+        for failure in vanilla_dataset.failures:
+            if failure.failure_type in ("DATA_STALL", "OUT_OF_SERVICE"):
+                assert failure.error_code is None
+
+    def test_transitions_recorded_for_both_arms(self, vanilla_dataset,
+                                                patched_dataset):
+        assert vanilla_dataset.transitions
+        assert patched_dataset.transitions
+
+    def test_patched_arm_vetoes_transitions(self, vanilla_dataset,
+                                            patched_dataset):
+        """The stability policy declines moves the blind policy takes."""
+        def executed_share(dataset):
+            executed = sum(t.executed for t in dataset.transitions)
+            return executed / len(dataset.transitions)
+
+        assert (executed_share(patched_dataset)
+                < executed_share(vanilla_dataset))
+
+    def test_determinism(self):
+        config = ScenarioConfig(
+            n_devices=50, seed=99,
+            topology=TopologyConfig(n_base_stations=200, seed=98),
+        )
+        a = FleetSimulator(config).run()
+        b = FleetSimulator(config).run()
+        assert a.n_failures == b.n_failures
+        assert a.failures[:20] == b.failures[:20]

@@ -1,0 +1,182 @@
+"""Integration tests: full component chains, end to end.
+
+These drive the real mechanisms against each other without the fleet
+scheduler's scripting — organic BS admission, live faults flowing
+through the kernel counters into the detector, the prober measuring
+them, and the recovery engine fixing them on a shared virtual clock.
+"""
+
+import random
+
+import pytest
+
+from repro.android.data_stall import VanillaDataStallDetector
+from repro.android.dc_tracker import DcTracker
+from repro.android.recovery import (
+    RecoveryEngine,
+    TIMP_RECOVERY_POLICY,
+    VANILLA_RECOVERY_POLICY,
+)
+from repro.core.events import ProbeVerdict
+from repro.core.study import NationwideStudy, run_ab_evaluation
+from repro.dataset.store import load_dataset, save_dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.monitoring.prober import NetworkStateProber
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.network.topology import NationalTopology, TopologyConfig
+from repro.core.signal import SignalLevel
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP
+from repro.radio.modem import Modem
+from repro.radio.rat import RAT
+from repro.simtime import SimClock
+
+
+class TestStallLifecycle:
+    """Fault -> kernel counters -> detector -> prober -> recovery."""
+
+    def build(self, policy, fault_duration=10_000.0):
+        clock = SimClock()
+        stack = DeviceNetStack()
+        detector = VanillaDataStallDetector(clock, stack.counters)
+        rng = random.Random(7)
+        stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL,
+                                       start=0.0,
+                                       duration=fault_duration))
+        stack.simulate_traffic(0.0, 30.0, rng)
+        clock.advance(30.0)
+        return clock, stack, detector, rng
+
+    def test_detector_sees_the_injected_fault(self):
+        clock, stack, detector, _rng = self.build(VANILLA_RECOVERY_POLICY)
+        event = detector.check()
+        assert event is not None
+        assert detector.stall_suspected
+
+    def test_prober_confirms_network_side(self):
+        clock, stack, detector, _rng = self.build(VANILLA_RECOVERY_POLICY)
+        detector.check()
+        volley = NetworkStateProber(clock).probe_once(stack, 1.0, 5.0)
+        assert volley.verdict is ProbeVerdict.NETWORK_SIDE_STALL
+
+    def test_recovery_engine_fixes_the_stall(self):
+        clock, stack, detector, rng = self.build(VANILLA_RECOVERY_POLICY)
+        detector.check()
+        engine = RecoveryEngine(clock, stack, detector,
+                                VANILLA_RECOVERY_POLICY, rng)
+        resolution = engine.run()
+        assert resolution.resolved_by in (1, 2, 3)
+        assert stack.fault_at(clock.now()) is None
+
+    def test_timp_engine_is_faster_than_vanilla(self):
+        _clock_v, stack_v, detector_v, rng_v = self.build(
+            VANILLA_RECOVERY_POLICY
+        )
+        clock_v = detector_v.clock
+        detector_v.check()
+        vanilla = RecoveryEngine(clock_v, stack_v, detector_v,
+                                 VANILLA_RECOVERY_POLICY, rng_v).run()
+
+        clock_t, stack_t, detector_t, rng_t = self.build(
+            TIMP_RECOVERY_POLICY
+        )
+        detector_t.check()
+        timp = RecoveryEngine(clock_t, stack_t, detector_t,
+                              TIMP_RECOVERY_POLICY, rng_t).run()
+        assert timp.duration_s < vanilla.duration_s
+
+    def test_engine_rides_out_short_faults(self):
+        clock, stack, detector, rng = self.build(
+            VANILLA_RECOVERY_POLICY, fault_duration=35.0
+        )
+        detector.check()
+        engine = RecoveryEngine(clock, stack, detector,
+                                VANILLA_RECOVERY_POLICY, rng)
+        resolution = engine.run()
+        # The 60 s probation outlives the 35 s fault: auto-recovery.
+        assert resolution.resolved_by == 0
+        assert resolution.duration_s <= 6.0  # detected at t=30
+
+
+class TestOrganicSetup:
+    """DcTracker against a real BS with organic admission behaviour."""
+
+    def test_setup_against_healthy_topology(self):
+        topology = NationalTopology(
+            TopologyConfig(n_base_stations=300, seed=3)
+        )
+        rng = random.Random(5)
+        clock = SimClock()
+        modem = Modem({RAT.LTE}, rng)
+        tracker = DcTracker(clock, modem)
+        successes = 0
+        for _ in range(50):
+            bs = topology.sample_bs(rng, ISP.A,
+                                    DeploymentClass.SUBURBAN, RAT.LTE)
+            result = tracker.establish(bs, RAT.LTE, SignalLevel.LEVEL_4)
+            if result.success:
+                successes += 1
+                tracker.teardown()
+        assert successes > 35
+
+    def test_hub_cells_fail_more_than_suburban(self):
+        """Same hardware, same propensity — the deployment environment
+        alone (density-driven EMM trouble, load, interference) makes
+        hub cells reject more bearers (Sec. 3.3)."""
+        from repro.network.basestation import BaseStation, make_identity
+
+        rng = random.Random(6)
+
+        def failure_rate(deployment, level):
+            bs = BaseStation(
+                bs_id=1,
+                identity=make_identity(ISP.A, 1),
+                isp=ISP.A,
+                supported_rats=frozenset({RAT.LTE}),
+                deployment=deployment,
+                failure_propensity=1.0,
+            )
+            failures = sum(
+                bs.admit_bearer(RAT.LTE, level, rng) is not None
+                for _ in range(2_000)
+            )
+            return failures / 2_000
+
+        hub = failure_rate(DeploymentClass.TRANSPORT_HUB,
+                           SignalLevel.LEVEL_5)
+        suburb = failure_rate(DeploymentClass.SUBURBAN,
+                              SignalLevel.LEVEL_4)
+        assert hub > 1.5 * suburb
+
+
+class TestStudyPipeline:
+    SCENARIO = ScenarioConfig(
+        n_devices=300, seed=21,
+        topology=TopologyConfig(n_base_stations=300, seed=22),
+    )
+
+    def test_study_runs_and_renders(self):
+        result = NationwideStudy(scenario=self.SCENARIO).run()
+        assert result.general.n_failures > 1_000
+        text = result.render()
+        assert "GPRS_REGISTRATION_FAIL" in text
+
+    def test_ab_evaluation_pipeline(self):
+        vanilla, patched, evaluation = run_ab_evaluation(self.SCENARIO)
+        assert vanilla.metadata["arm"] == "vanilla"
+        assert patched.metadata["arm"] == "patched"
+        assert evaluation.frequency_reduction_5g > 0.0
+
+    def test_dataset_persistence_roundtrip(self, tmp_path,
+                                           vanilla_dataset):
+        path = tmp_path / "nationwide.jsonl.gz"
+        save_dataset(vanilla_dataset, path)
+        restored = load_dataset(path)
+        assert restored.n_failures == vanilla_dataset.n_failures
+        assert restored.n_devices == vanilla_dataset.n_devices
+        result = NationwideStudy.analyze(restored)
+        assert result.general.prevalence == pytest.approx(
+            len({f.device_id for f in vanilla_dataset.failures})
+            / vanilla_dataset.n_devices
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for the Android-MOD monitoring service and its filters."""
+
+from repro.android.telephony import TelephonyManager
+from repro.core.events import (
+    FailureEvent,
+    FailureType,
+    FalsePositiveReason,
+    ProbeVerdict,
+)
+from repro.monitoring.insitu import InSituCollector
+from repro.monitoring.listener import CellularMonitorService, DeviceFlags
+
+
+def make_service(flags: DeviceFlags | None = None):
+    sink: list[FailureEvent] = []
+    service = CellularMonitorService(
+        insitu=InSituCollector(TelephonyManager()),
+        sink=sink.append,
+        flags=flags or DeviceFlags(),
+    )
+    return service, sink
+
+
+def setup_error(code: str = "SIGNAL_LOST") -> FailureEvent:
+    event = FailureEvent(FailureType.DATA_SETUP_ERROR, start_time=1.0,
+                         error_code=code)
+    event.close(1.0)
+    return event
+
+
+class TestTrueFailureCapture:
+    def test_true_failure_reaches_the_sink(self):
+        service, sink = make_service()
+        service.on_failure_event(setup_error())
+        assert len(sink) == 1
+        assert service.captured == 1
+        assert service.filtered == 0
+
+    def test_in_situ_context_is_attached(self):
+        service, sink = make_service()
+        service.on_failure_event(setup_error())
+        assert "rat" in sink[0].context
+        assert "bs_identity" in sink[0].context
+
+
+class TestFalsePositiveFilters:
+    def test_voice_call_filter(self):
+        """Sec. 2.2: disruption by an incoming voice call."""
+        service, sink = make_service(DeviceFlags(in_voice_call=True))
+        event = setup_error()
+        service.on_failure_event(event)
+        assert not sink
+        assert event.false_positive is (
+            FalsePositiveReason.INCOMING_VOICE_CALL
+        )
+
+    def test_balance_filter(self):
+        service, sink = make_service(DeviceFlags(balance_exhausted=True))
+        service.on_failure_event(setup_error())
+        assert not sink
+        assert service.filtered == 1
+
+    def test_manual_disconnect_filter(self):
+        service, sink = make_service(
+            DeviceFlags(data_manually_disabled=True)
+        )
+        service.on_failure_event(setup_error())
+        assert not sink
+
+    def test_rational_rejection_filter(self):
+        """Sec. 2.1 footnote: BS-overload rejections are not failures."""
+        service, sink = make_service()
+        event = setup_error("INSUFFICIENT_RESOURCES")
+        service.on_failure_event(event)
+        assert not sink
+        assert event.false_positive is (
+            FalsePositiveReason.BS_OVERLOAD_REJECTION
+        )
+
+    def test_rational_rejection_only_applies_to_setup_errors(self):
+        service, sink = make_service()
+        event = FailureEvent(FailureType.DATA_STALL, start_time=0.0,
+                             error_code="INSUFFICIENT_RESOURCES")
+        event.close(10.0)
+        service.on_failure_event(event)
+        assert len(sink) == 1
+
+    def test_pre_marked_false_positive_is_not_captured(self):
+        service, sink = make_service()
+        event = setup_error()
+        event.false_positive = FalsePositiveReason.SYSTEM_SIDE
+        service.on_failure_event(event)
+        assert not sink
+
+
+class TestStallVerdicts:
+    def make_stall(self) -> FailureEvent:
+        event = FailureEvent(FailureType.DATA_STALL, start_time=0.0)
+        event.close(30.0)
+        return event
+
+    def test_network_side_stall_is_captured(self):
+        service, sink = make_service()
+        service.on_stall_verdict(self.make_stall(),
+                                 ProbeVerdict.NETWORK_SIDE_STALL)
+        assert len(sink) == 1
+
+    def test_system_side_verdict_is_filtered(self):
+        service, sink = make_service()
+        service.on_stall_verdict(self.make_stall(),
+                                 ProbeVerdict.SYSTEM_SIDE_FAULT)
+        assert not sink
+        assert service.filtered == 1
+
+    def test_dns_verdict_is_filtered(self):
+        service, sink = make_service()
+        service.on_stall_verdict(self.make_stall(),
+                                 ProbeVerdict.DNS_SERVICE_FAULT)
+        assert not sink
+
+    def test_recovered_verdict_is_captured_as_true_failure(self):
+        """A stall that ended is still a stall that happened."""
+        service, sink = make_service()
+        service.on_stall_verdict(self.make_stall(),
+                                 ProbeVerdict.RECOVERED)
+        assert len(sink) == 1
+
+
+class TestCounters:
+    def test_counts_add_up(self):
+        service, sink = make_service()
+        service.on_failure_event(setup_error())
+        service.on_failure_event(setup_error("INSUFFICIENT_RESOURCES"))
+        service.on_failure_event(setup_error())
+        assert service.captured == 2
+        assert service.filtered == 1
+        assert len(sink) == 2

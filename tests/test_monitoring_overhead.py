@@ -1,0 +1,117 @@
+"""Unit tests for overhead accounting and upload batching."""
+
+import pytest
+
+from repro.monitoring.overhead import OverheadAccountant
+from repro.monitoring.uploader import (
+    CELLULAR_BACKLOG_LIMIT_BYTES,
+    UploadBatcher,
+)
+
+
+class TestOverheadAccountant:
+    def test_idle_monitor_costs_nothing(self):
+        """Sec. 2.2: Android-MOD is dormant without failures."""
+        accountant = OverheadAccountant()
+        assert accountant.cpu_utilization == 0.0
+        assert accountant.storage_bytes == 0
+        assert accountant.network_bytes == 0
+
+    def test_event_lifecycle_accumulates(self):
+        accountant = OverheadAccountant()
+        accountant.event_opened()
+        accountant.event_closed(duration_s=30.0, probe_rounds=6,
+                                probe_bytes=2_100)
+        assert accountant.cpu_seconds > 0
+        assert accountant.storage_bytes > 0
+        assert accountant.network_bytes == 2_100
+        assert accountant.failure_seconds == 30.0
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(RuntimeError):
+            OverheadAccountant().event_closed(1.0)
+
+    def test_peak_open_events_tracks_memory(self):
+        accountant = OverheadAccountant()
+        accountant.event_opened()
+        accountant.event_opened()
+        accountant.event_closed(1.0)
+        accountant.event_closed(1.0)
+        assert accountant.peak_open_events == 2
+        baseline = OverheadAccountant().memory_bytes
+        assert accountant.memory_bytes > baseline
+
+    def test_typical_envelope_holds_for_typical_device(self):
+        """The paper's typical-case envelope (Sec. 2.2): a device with
+        the mean 33 failures over 8 months stays inside it."""
+        accountant = OverheadAccountant(months_observed=8.0)
+        for _ in range(33):
+            accountant.event_opened()
+            accountant.event_closed(duration_s=180.0, probe_rounds=12,
+                                    probe_bytes=12 * 350)
+        assert accountant.within_envelope()
+
+    def test_worst_case_envelope_holds_for_heavy_device(self):
+        """Sec. 2.2: 40k failures/month still fits the worst case."""
+        accountant = OverheadAccountant(months_observed=1.0)
+        for _ in range(5_000):  # scaled-down heavy producer
+            accountant.event_opened()
+            accountant.event_closed(duration_s=60.0, probe_rounds=6,
+                                    probe_bytes=6 * 350)
+        assert accountant.within_envelope(worst_case=True)
+
+    def test_upload_moves_storage_to_network(self):
+        accountant = OverheadAccountant()
+        accountant.event_opened()
+        accountant.event_closed(10.0)
+        stored = accountant.storage_bytes
+        accountant.uploaded(stored)
+        assert accountant.storage_bytes == 0
+        assert accountant.network_bytes >= stored
+
+    def test_summary_keys_match_the_envelope(self):
+        summary = OverheadAccountant().summary()
+        assert set(summary) == {
+            "cpu_utilization", "memory_bytes", "storage_bytes",
+            "network_bytes_per_month",
+        }
+
+
+class TestUploadBatcher:
+    def test_enqueue_compresses(self):
+        batcher = UploadBatcher()
+        size = batcher.enqueue({"key": "value " * 100})
+        assert 0 < size < len("value " * 100)
+
+    def test_flush_on_wifi(self):
+        batcher = UploadBatcher()
+        batcher.enqueue({"a": 1})
+        flushed = batcher.maybe_flush(wifi_available=True)
+        assert flushed > 0
+        assert batcher.pending_bytes == 0
+        assert batcher.uploads == 1
+
+    def test_small_backlog_may_use_cellular(self):
+        batcher = UploadBatcher()
+        batcher.enqueue({"a": 1})
+        assert batcher.maybe_flush(wifi_available=False) > 0
+
+    def test_large_backlog_waits_for_wifi(self):
+        """Sec. 2.2: heavy producers upload only on WiFi."""
+        batcher = UploadBatcher()
+        while batcher.pending_bytes <= CELLULAR_BACKLOG_LIMIT_BYTES:
+            batcher.enqueue({"payload": "x" * 4_096,
+                             "n": batcher.pending_bytes})
+        assert batcher.maybe_flush(wifi_available=False) == 0
+        assert batcher.maybe_flush(wifi_available=True) > 0
+
+    def test_transport_receives_payloads(self):
+        received = []
+        batcher = UploadBatcher(transport=received.append)
+        batcher.enqueue({"a": 1})
+        batcher.enqueue({"b": 2})
+        batcher.maybe_flush(wifi_available=True)
+        assert len(received) == 2
+
+    def test_empty_flush_is_zero(self):
+        assert UploadBatcher().maybe_flush(wifi_available=True) == 0

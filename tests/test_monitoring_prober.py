@@ -1,0 +1,103 @@
+"""Unit tests for the Android-MOD network-state prober (Sec. 2.2)."""
+
+import pytest
+
+from repro.core.events import ProbeVerdict
+from repro.monitoring.prober import NetworkStateProber
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.simtime import SimClock
+
+
+def make(fault: FaultKind | None = None, duration: float = 100.0):
+    clock = SimClock()
+    stack = DeviceNetStack()
+    if fault is not None:
+        stack.inject_fault(ActiveFault(fault, start=0.0,
+                                       duration=duration))
+    return clock, stack, NetworkStateProber(clock)
+
+
+class TestSingleVolley:
+    def test_healthy_stack_means_recovered(self):
+        clock, stack, prober = make()
+        result = prober.probe_once(stack, 1.0, 5.0)
+        assert result.verdict is ProbeVerdict.RECOVERED
+        assert result.elapsed_s < 1.0
+
+    def test_network_stall_verdict(self):
+        clock, stack, prober = make(FaultKind.NETWORK_STALL)
+        result = prober.probe_once(stack, 1.0, 5.0)
+        assert result.verdict is ProbeVerdict.NETWORK_SIDE_STALL
+        # The DNS query timeout dominates the volley (Sec. 2.2: <= 5 s).
+        assert result.elapsed_s == 5.0
+
+    @pytest.mark.parametrize("fault", [
+        FaultKind.FIREWALL_MISCONFIG,
+        FaultKind.PROXY_MISCONFIG,
+        FaultKind.MODEM_DRIVER_FAILURE,
+    ])
+    def test_system_side_verdicts(self, fault):
+        clock, stack, prober = make(fault)
+        result = prober.probe_once(stack, 1.0, 5.0)
+        assert result.verdict is ProbeVerdict.SYSTEM_SIDE_FAULT
+
+    def test_dns_outage_verdict(self):
+        """DNS queries time out, DNS-server ICMP succeeds (Sec. 2.2)."""
+        clock, stack, prober = make(FaultKind.DNS_OUTAGE)
+        result = prober.probe_once(stack, 1.0, 5.0)
+        assert result.verdict is ProbeVerdict.DNS_SERVICE_FAULT
+
+    def test_every_fault_kind_gets_its_expected_verdict(self):
+        for fault in FaultKind:
+            clock, stack, prober = make(fault)
+            result = prober.probe_once(stack, 1.0, 5.0)
+            assert result.verdict is fault.expected_verdict, fault
+
+
+class TestFullMeasurement:
+    def test_measures_short_stall_within_5s_error(self):
+        """Sec. 2.2: measurement error is at most one volley (5 s)."""
+        clock, stack, prober = make(FaultKind.NETWORK_STALL,
+                                    duration=42.0)
+        measurement = prober.measure(stack)
+        assert measurement.verdict is ProbeVerdict.RECOVERED
+        assert 42.0 <= measurement.duration_s <= 47.1
+        assert not measurement.reverted_to_vanilla
+
+    def test_false_positive_resolves_in_one_round(self):
+        clock, stack, prober = make(FaultKind.FIREWALL_MISCONFIG)
+        measurement = prober.measure(stack)
+        assert measurement.verdict is ProbeVerdict.SYSTEM_SIDE_FAULT
+        assert measurement.rounds == 1
+
+    def test_backoff_kicks_in_after_1200s(self):
+        clock, stack, prober = make(FaultKind.NETWORK_STALL,
+                                    duration=1_230.0)
+        measurement = prober.measure(stack)
+        assert measurement.verdict is ProbeVerdict.RECOVERED
+        # Backed-off rounds are coarser than 5 s but fewer overall.
+        assert measurement.rounds < 1_230 / 5
+        assert not measurement.reverted_to_vanilla
+        assert 1_230.0 <= measurement.duration_s <= 1_330.0
+
+    def test_very_long_stall_reverts_to_vanilla(self):
+        """Once a timeout would exceed a minute, fall back to the
+        one-minute detection cadence (Sec. 2.2)."""
+        clock, stack, prober = make(FaultKind.NETWORK_STALL,
+                                    duration=30_000.0)
+        measurement = prober.measure(stack)
+        assert measurement.reverted_to_vanilla
+        assert measurement.duration_s >= 30_000.0
+        # Vanilla granularity: error up to a minute.
+        assert measurement.duration_s <= 30_000.0 + 120.0
+
+    def test_probe_bytes_accounted(self):
+        clock, stack, prober = make(FaultKind.NETWORK_STALL,
+                                    duration=42.0)
+        measurement = prober.measure(stack)
+        assert measurement.probe_bytes > 0
+
+    def test_invalid_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkStateProber(SimClock(), icmp_timeout_s=0.0)

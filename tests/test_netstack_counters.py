@@ -1,0 +1,91 @@
+"""Unit tests for the kernel-style TCP segment counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.tcp_counters import TcpSegmentCounters
+
+
+class TestRecording:
+    def test_counts_within_window(self):
+        counters = TcpSegmentCounters(window_s=60.0)
+        counters.record_outbound(0.0, count=5)
+        counters.record_inbound(1.0, count=2)
+        assert counters.outbound_in_window(30.0) == 5
+        assert counters.inbound_in_window(30.0) == 2
+
+    def test_expiry_after_window(self):
+        counters = TcpSegmentCounters(window_s=60.0)
+        counters.record_outbound(0.0, count=5)
+        assert counters.outbound_in_window(61.0) == 0
+
+    def test_boundary_is_exclusive(self):
+        counters = TcpSegmentCounters(window_s=60.0)
+        counters.record_outbound(0.0)
+        assert counters.outbound_in_window(60.0) == 0
+        counters.record_outbound(100.0)
+        assert counters.outbound_in_window(159.9) == 1
+
+    def test_reset_clears_everything(self):
+        counters = TcpSegmentCounters()
+        counters.record_outbound(0.0, count=3)
+        counters.record_inbound(0.0, count=3)
+        counters.reset()
+        assert counters.outbound_in_window(1.0) == 0
+        assert counters.inbound_in_window(1.0) == 0
+
+    def test_non_monotonic_timestamps_rejected(self):
+        counters = TcpSegmentCounters()
+        counters.record_outbound(10.0)
+        with pytest.raises(ValueError):
+            counters.record_outbound(5.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            TcpSegmentCounters().record_outbound(0.0, count=0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TcpSegmentCounters(window_s=0.0)
+
+
+class TestDataStallSignature:
+    def test_stall_signature(self):
+        """>10 outbound, 0 inbound within a minute (Sec. 2.1)."""
+        counters = TcpSegmentCounters(window_s=60.0)
+        for i in range(12):
+            counters.record_outbound(float(i))
+        now = 12.0
+        assert counters.outbound_in_window(now) > 10
+        assert counters.inbound_in_window(now) == 0
+
+    def test_healthy_traffic_has_inbound(self):
+        counters = TcpSegmentCounters(window_s=60.0)
+        for i in range(12):
+            counters.record_outbound(float(i))
+            counters.record_inbound(float(i) + 0.05)
+        assert counters.inbound_in_window(12.0) > 0
+
+
+class TestProperties:
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e4),
+                  st.integers(min_value=1, max_value=5)),
+        max_size=60,
+    ))
+    def test_window_count_never_exceeds_total(self, entries):
+        counters = TcpSegmentCounters(window_s=60.0)
+        entries.sort()
+        total = 0
+        now = 0.0
+        for timestamp, count in entries:
+            counters.record_outbound(timestamp, count=count)
+            total += count
+            now = timestamp
+        assert counters.outbound_in_window(now) <= total
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_all_recent_segments_visible(self, count):
+        counters = TcpSegmentCounters(window_s=60.0)
+        counters.record_outbound(100.0, count=count)
+        assert counters.outbound_in_window(100.0) == count

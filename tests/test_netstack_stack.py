@@ -1,0 +1,121 @@
+"""Unit tests for the device network stack and fault model."""
+
+import random
+
+import pytest
+
+from repro.core.events import FalsePositiveReason, ProbeVerdict
+from repro.netstack.faults import ActiveFault, FaultKind
+from repro.netstack.stack import DeviceNetStack
+from repro.network.dns import DnsServer, TEST_SERVER_DOMAIN
+
+
+class TestFaultKind:
+    def test_system_side_classification(self):
+        assert FaultKind.FIREWALL_MISCONFIG.is_system_side
+        assert FaultKind.PROXY_MISCONFIG.is_system_side
+        assert FaultKind.MODEM_DRIVER_FAILURE.is_system_side
+        assert not FaultKind.NETWORK_STALL.is_system_side
+        assert not FaultKind.DNS_OUTAGE.is_system_side
+
+    def test_expected_verdicts(self):
+        assert (FaultKind.NETWORK_STALL.expected_verdict
+                is ProbeVerdict.NETWORK_SIDE_STALL)
+        assert (FaultKind.DNS_OUTAGE.expected_verdict
+                is ProbeVerdict.DNS_SERVICE_FAULT)
+        assert (FaultKind.FIREWALL_MISCONFIG.expected_verdict
+                is ProbeVerdict.SYSTEM_SIDE_FAULT)
+
+    def test_false_positive_reasons(self):
+        assert FaultKind.NETWORK_STALL.false_positive_reason is None
+        assert (FaultKind.DNS_OUTAGE.false_positive_reason
+                is FalsePositiveReason.DNS_SERVICE_UNAVAILABLE)
+        assert (FaultKind.PROXY_MISCONFIG.false_positive_reason
+                is FalsePositiveReason.SYSTEM_SIDE)
+
+
+class TestActiveFault:
+    def test_activity_window(self):
+        fault = ActiveFault(FaultKind.NETWORK_STALL, start=10.0,
+                            duration=5.0)
+        assert not fault.active_at(9.9)
+        assert fault.active_at(10.0)
+        assert fault.active_at(14.9)
+        assert not fault.active_at(15.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ActiveFault(FaultKind.NETWORK_STALL, start=0.0, duration=-1.0)
+
+    def test_infinite_fault(self):
+        fault = ActiveFault(FaultKind.NETWORK_STALL, start=0.0,
+                            duration=float("inf"))
+        assert fault.active_at(1e12)
+
+
+class TestStackProbeSurface:
+    def test_healthy_stack_answers_everything(self):
+        stack = DeviceNetStack()
+        assert stack.ping_loopback(0.0, 1.0)[0]
+        for server in stack.dns_servers:
+            assert stack.ping_dns_server(server, 0.0, 1.0)[0]
+            assert stack.resolve(server, TEST_SERVER_DOMAIN, 0.0, 5.0)[0]
+
+    def test_network_stall_blocks_remote_but_not_loopback(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL, 0.0, 100.0))
+        assert stack.ping_loopback(1.0, 1.0)[0]
+        server = stack.dns_servers[0]
+        assert not stack.ping_dns_server(server, 1.0, 1.0)[0]
+        assert not stack.resolve(server, TEST_SERVER_DOMAIN, 1.0, 5.0)[0]
+
+    def test_system_fault_blocks_loopback(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(
+            ActiveFault(FaultKind.FIREWALL_MISCONFIG, 0.0, 100.0)
+        )
+        assert not stack.ping_loopback(1.0, 1.0)[0]
+
+    def test_dns_outage_blocks_only_resolution(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(ActiveFault(FaultKind.DNS_OUTAGE, 0.0, 100.0))
+        server = stack.dns_servers[0]
+        assert stack.ping_loopback(1.0, 1.0)[0]
+        assert stack.ping_dns_server(server, 1.0, 1.0)[0]
+        assert not stack.resolve(server, TEST_SERVER_DOMAIN, 1.0, 5.0)[0]
+
+    def test_fault_expires(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL, 0.0, 10.0))
+        assert stack.fault_at(5.0) is not None
+        assert stack.fault_at(11.0) is None
+        server = stack.dns_servers[0]
+        assert stack.resolve(server, TEST_SERVER_DOMAIN, 11.0, 5.0)[0]
+
+    def test_shorten_fault_ends_it_now(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL, 0.0, 1e9))
+        stack.shorten_fault(50.0)
+        assert stack.fault_at(51.0) is None
+
+    def test_needs_at_least_one_dns_server(self):
+        with pytest.raises(ValueError):
+            DeviceNetStack(dns_servers=[])
+
+
+class TestTrafficSimulation:
+    def test_healthy_traffic_produces_inbound(self):
+        stack = DeviceNetStack()
+        stack.simulate_traffic(0.0, 30.0, random.Random(0))
+        assert stack.counters.inbound_in_window(30.0) > 0
+
+    def test_stalled_traffic_has_no_inbound(self):
+        stack = DeviceNetStack()
+        stack.inject_fault(ActiveFault(FaultKind.NETWORK_STALL, 0.0, 100.0))
+        stack.simulate_traffic(0.0, 30.0, random.Random(0))
+        assert stack.counters.outbound_in_window(30.0) > 10
+        assert stack.counters.inbound_in_window(30.0) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceNetStack().simulate_traffic(0.0, -1.0, random.Random(0))

@@ -1,0 +1,139 @@
+"""Unit tests for base stations."""
+
+import random
+
+import pytest
+
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.signal import SignalLevel
+from repro.network.basestation import (
+    BaseStation,
+    CellIdentity,
+    DeploymentClass,
+    DEPLOYMENT_TRAITS,
+    make_identity,
+)
+from repro.network.isp import ISP
+from repro.radio.rat import RAT
+
+
+def make_bs(**kwargs) -> BaseStation:
+    defaults = dict(
+        bs_id=1,
+        identity=make_identity(ISP.A, 1),
+        isp=ISP.A,
+        supported_rats=frozenset({RAT.LTE}),
+        deployment=DeploymentClass.URBAN,
+    )
+    defaults.update(kwargs)
+    return BaseStation(**defaults)
+
+
+class TestCellIdentity:
+    def test_3gpp_identity(self):
+        identity = CellIdentity(mcc=460, mnc=0, lac=12, cid=345)
+        assert not identity.is_cdma
+        assert identity.as_string() == "460-0-12-345"
+
+    def test_cdma_identity(self):
+        identity = CellIdentity(mcc=460, mnc=3, sid=9, nid=1, bid=77)
+        assert identity.is_cdma
+        assert identity.as_string() == "460-9-1-77"
+
+    def test_incomplete_identity_rejected(self):
+        with pytest.raises(ValueError):
+            CellIdentity(mcc=460, mnc=0)
+
+    def test_make_identity_cdma_flag(self):
+        assert make_identity(ISP.B, 5, cdma=True).is_cdma
+        assert not make_identity(ISP.B, 5).is_cdma
+
+
+class TestConstruction:
+    def test_needs_at_least_one_rat(self):
+        with pytest.raises(ValueError):
+            make_bs(supported_rats=frozenset())
+
+    def test_positive_propensity_required(self):
+        with pytest.raises(ValueError):
+            make_bs(failure_propensity=0.0)
+
+    def test_load_defaults_to_deployment_traits(self):
+        bs = make_bs(deployment=DeploymentClass.TRANSPORT_HUB,
+                     supported_rats=frozenset({RAT.LTE}))
+        assert bs.load == DEPLOYMENT_TRAITS[
+            DeploymentClass.TRANSPORT_HUB].load
+
+    def test_density_comes_from_deployment(self):
+        hub = make_bs(deployment=DeploymentClass.TRANSPORT_HUB)
+        rural = make_bs(deployment=DeploymentClass.RURAL)
+        assert hub.deployment_density > rural.deployment_density
+
+
+class TestAdmission:
+    def test_unsupported_rat_rejected_with_plmn_cause(self):
+        bs = make_bs()
+        cause = bs.admit_bearer(RAT.NR, SignalLevel.LEVEL_4,
+                                random.Random(0))
+        assert cause == "UNSUPPORTED_APN_IN_CURRENT_PLMN"
+
+    def test_disrepair_bs_always_fails(self):
+        bs = make_bs(in_disrepair=True)
+        for seed in range(10):
+            assert bs.admit_bearer(RAT.LTE, SignalLevel.LEVEL_3,
+                                   random.Random(seed)) is not None
+
+    def test_healthy_bs_mostly_admits(self):
+        bs = make_bs(deployment=DeploymentClass.SUBURBAN)
+        rng = random.Random(1)
+        admitted = sum(
+            bs.admit_bearer(RAT.LTE, SignalLevel.LEVEL_4, rng) is None
+            for _ in range(500)
+        )
+        assert admitted > 400
+
+    def test_rejection_causes_are_registered(self):
+        bs = make_bs(deployment=DeploymentClass.TRANSPORT_HUB,
+                     failure_propensity=20.0)
+        rng = random.Random(2)
+        for _ in range(300):
+            cause = bs.admit_bearer(RAT.LTE, SignalLevel.LEVEL_1, rng)
+            if cause is not None:
+                assert cause in ERROR_CODE_REGISTRY
+
+
+class TestFailureProbability:
+    def test_level0_riskier_than_level4(self):
+        bs = make_bs()
+        assert (bs.attempt_failure_probability(RAT.LTE, SignalLevel.LEVEL_0)
+                > bs.attempt_failure_probability(
+                    RAT.LTE, SignalLevel.LEVEL_4))
+
+    def test_3g_idle_effect(self):
+        """Sec. 3.3: 3G cells face less contention than 2G/4G."""
+        bs = make_bs(supported_rats=frozenset(
+            {RAT.GSM, RAT.UMTS, RAT.LTE}))
+        level = SignalLevel.LEVEL_3
+        assert (bs.attempt_failure_probability(RAT.UMTS, level)
+                < bs.attempt_failure_probability(RAT.GSM, level))
+        assert (bs.attempt_failure_probability(RAT.UMTS, level)
+                < bs.attempt_failure_probability(RAT.LTE, level))
+
+    def test_5g_immaturity_effect(self):
+        bs = make_bs(supported_rats=frozenset({RAT.LTE, RAT.NR}))
+        level = SignalLevel.LEVEL_3
+        assert (bs.attempt_failure_probability(RAT.NR, level)
+                > bs.attempt_failure_probability(RAT.LTE, level))
+
+    def test_probability_is_capped(self):
+        bs = make_bs(failure_propensity=1e6)
+        assert bs.attempt_failure_probability(
+            RAT.LTE, SignalLevel.LEVEL_0) <= 0.95
+
+    def test_propensity_scales_risk(self):
+        calm = make_bs(failure_propensity=0.5)
+        hot = make_bs(failure_propensity=5.0)
+        assert (hot.attempt_failure_probability(RAT.LTE,
+                                                SignalLevel.LEVEL_3)
+                > calm.attempt_failure_probability(
+                    RAT.LTE, SignalLevel.LEVEL_3))

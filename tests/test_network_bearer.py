@@ -1,0 +1,85 @@
+"""Unit tests for bearer-cause sampling."""
+
+import random
+from collections import Counter
+
+from repro import quantities
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.signal import SignalLevel
+from repro.network.bearer import CauseSampler, DEFAULT_CAUSE_SAMPLER
+from repro.radio.rat import RAT
+
+
+def sample_many(n=20_000, **context) -> Counter:
+    rng = random.Random(9)
+    return Counter(
+        DEFAULT_CAUSE_SAMPLER.sample(rng, **context) for _ in range(n)
+    )
+
+
+class TestBaseWeights:
+    def test_weights_sum_to_one(self):
+        total = sum(CauseSampler().base_weights.values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_table2_codes_have_their_published_shares(self):
+        weights = CauseSampler().base_weights
+        for code, share in quantities.TABLE2_ERROR_CODE_SHARES.items():
+            assert weights[code] >= share
+
+    def test_all_weighted_codes_are_registered(self):
+        for code in CauseSampler().base_weights:
+            assert code in ERROR_CODE_REGISTRY
+
+    def test_no_rational_rejections_in_the_mix(self):
+        """Rational rejections are false positives, filtered before the
+        decomposition; the sampler must not generate them."""
+        rational = ERROR_CODE_REGISTRY.rational_rejections()
+        assert not rational & set(CauseSampler().base_weights)
+
+
+class TestContextFreeSampling:
+    def test_top_code_dominates(self):
+        counts = sample_many()
+        assert counts.most_common(1)[0][0] == "GPRS_REGISTRATION_FAIL"
+
+    def test_top10_cumulative_near_the_paper(self):
+        counts = sample_many()
+        total = sum(counts.values())
+        top10 = sum(c for _, c in counts.most_common(10)) / total
+        assert 0.40 <= top10 <= 0.60
+
+
+class TestContextModulation:
+    def test_deep_fade_boosts_signal_codes(self):
+        base = sample_many(5_000)
+        fade = sample_many(5_000, signal_level=SignalLevel.LEVEL_0)
+        assert fade["SIGNAL_LOST"] > base["SIGNAL_LOST"] * 1.5
+
+    def test_dense_deployment_boosts_emm_codes(self):
+        """Sec. 3.3: hub failures tag EMM_ACCESS_BARRED and
+        INVALID_EMM_STATE."""
+        base = sample_many(5_000)
+        hub = sample_many(5_000, deployment_density=0.95)
+        assert (hub["EMM_ACCESS_BARRED"] + hub["INVALID_EMM_STATE"]
+                > (base["EMM_ACCESS_BARRED"]
+                   + base["INVALID_EMM_STATE"]) * 1.5)
+
+    def test_legacy_rat_boosts_gprs_codes(self):
+        base = sample_many(5_000)
+        legacy = sample_many(5_000, rat=RAT.GSM)
+        assert (legacy["GPRS_REGISTRATION_FAIL"]
+                > base["GPRS_REGISTRATION_FAIL"] * 1.5)
+
+    def test_handover_boosts_irat_codes(self):
+        base = sample_many(5_000)
+        handover = sample_many(5_000, during_handover=True)
+        assert (handover["IRAT_HANDOVER_FAILED"]
+                > max(1, base["IRAT_HANDOVER_FAILED"]) * 2)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        a = random.Random(5)
+        b = random.Random(5)
+        assert [DEFAULT_CAUSE_SAMPLER.sample(a) for _ in range(50)] == [
+            DEFAULT_CAUSE_SAMPLER.sample(b) for _ in range(50)
+        ]

@@ -1,0 +1,47 @@
+"""Unit tests for DNS/ICMP probe endpoints."""
+
+from repro.network.dns import (
+    DnsServer,
+    LOOPBACK_ADDRESS,
+    TEST_SERVER_DOMAIN,
+    default_dns_servers,
+)
+
+
+class TestDnsServer:
+    def test_healthy_server_answers_ping(self):
+        ok, elapsed = DnsServer("1.1.1.1").ping(timeout_s=1.0)
+        assert ok
+        assert elapsed < 1.0
+
+    def test_unreachable_server_times_out(self):
+        server = DnsServer("1.1.1.1", icmp_reachable=False)
+        ok, elapsed = server.ping(timeout_s=1.0)
+        assert not ok
+        assert elapsed == 1.0
+
+    def test_healthy_server_resolves(self):
+        ok, elapsed = DnsServer("1.1.1.1").resolve(
+            TEST_SERVER_DOMAIN, timeout_s=5.0
+        )
+        assert ok
+        assert elapsed < 5.0
+
+    def test_dead_service_fails_resolution_but_answers_ping(self):
+        """The distinction the prober's DNS-service verdict rests on."""
+        server = DnsServer("1.1.1.1", service_available=False)
+        assert server.ping(timeout_s=1.0)[0]
+        assert not server.resolve(TEST_SERVER_DOMAIN, timeout_s=5.0)[0]
+
+    def test_slow_server_can_exceed_tight_timeout(self):
+        server = DnsServer("1.1.1.1", latency_s=2.0)
+        ok, elapsed = server.ping(timeout_s=1.0)
+        assert not ok
+
+    def test_defaults(self):
+        servers = default_dns_servers()
+        assert len(servers) == 2
+        assert all(s.icmp_reachable for s in servers)
+
+    def test_loopback_constant(self):
+        assert LOOPBACK_ADDRESS == "127.0.0.1"

@@ -1,0 +1,124 @@
+"""Unit tests for the EMM state machine."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.emm import EmmContext, EmmState
+
+
+def registered_context(density: float = 0.0) -> EmmContext:
+    context = EmmContext(deployment_density=density)
+    context.state = EmmState.REGISTERED
+    return context
+
+
+class TestAttach:
+    def test_attach_from_deregistered(self):
+        context = EmmContext(deployment_density=0.0)
+        rng = random.Random(0)
+        # Density 0 still has a 1% barring floor; retry a few times.
+        for _ in range(10):
+            if context.attach(rng) is None:
+                break
+        assert context.state is EmmState.REGISTERED
+
+    def test_attach_when_registered_is_noop(self):
+        context = registered_context()
+        assert context.attach(random.Random(0)) is None
+
+    def test_dense_cell_bars_attaches(self):
+        context = EmmContext(deployment_density=1.0)
+        rng = random.Random(0)
+        barred = 0
+        for _ in range(200):
+            if context.attach(rng) == "EMM_ACCESS_BARRED":
+                barred += 1
+            else:
+                context.detach()  # re-attempt from scratch
+        assert barred > 20
+        assert context.barred_attempts == barred
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            EmmContext(deployment_density=1.5)
+
+
+class TestTrackingAreaUpdate:
+    def test_tau_requires_registered(self):
+        context = EmmContext()
+        with pytest.raises(ValueError):
+            context.begin_tracking_area_update()
+
+    def test_tau_completes_in_sparse_cell(self):
+        context = registered_context(density=0.0)
+        context.begin_tracking_area_update()
+        # Sparse cells have ~0.25% churn; one roll almost surely passes.
+        result = context.complete_tracking_area_update(random.Random(1))
+        assert result is None
+        assert context.state is EmmState.REGISTERED
+
+    def test_tau_can_fail_in_dense_cell(self):
+        failures = 0
+        for seed in range(100):
+            context = registered_context(density=1.0)
+            context.begin_tracking_area_update()
+            if context.complete_tracking_area_update(
+                random.Random(seed)
+            ) == "INVALID_EMM_STATE":
+                failures += 1
+                assert context.state is EmmState.DEREGISTERED
+        assert failures > 5
+
+    def test_complete_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            registered_context().complete_tracking_area_update(
+                random.Random(0)
+            )
+
+
+class TestBearerRequestCheck:
+    def test_unregistered_yields_invalid_emm_state(self):
+        context = EmmContext()
+        assert (context.check_bearer_request(random.Random(0))
+                == "INVALID_EMM_STATE")
+
+    def test_sparse_cell_mostly_passes(self):
+        context = registered_context(density=0.05)
+        rng = random.Random(0)
+        outcomes = [context.check_bearer_request(rng) for _ in range(500)]
+        ok = sum(1 for o in outcomes if o is None)
+        assert ok > 450
+
+    def test_dense_cell_fails_often_with_emm_codes(self):
+        """The hub phenomenon of Sec. 3.3."""
+        context = registered_context(density=0.95)
+        rng = random.Random(0)
+        outcomes = [context.check_bearer_request(rng) for _ in range(500)]
+        failures = [o for o in outcomes if o is not None]
+        assert len(failures) > 80
+        assert {"EMM_ACCESS_BARRED", "INVALID_EMM_STATE"} & set(failures)
+
+
+class TestProbabilities:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_barring_monotone_in_density(self, a, b):
+        if a > b:
+            a, b = b, a
+        assert (EmmContext(deployment_density=a).barring_probability()
+                <= EmmContext(deployment_density=b).barring_probability())
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_probabilities_are_probabilities(self, density):
+        context = EmmContext(deployment_density=density)
+        assert 0.0 <= context.barring_probability() <= 1.0
+        assert 0.0 <= context.churn_probability() <= 1.0
+
+    def test_history_tracks_transitions(self):
+        context = EmmContext()
+        context.detach()
+        assert EmmState.DEREGISTERED_INITIATED in (
+            context.history + (context.state,)
+        )

@@ -1,0 +1,43 @@
+"""Unit tests for ISP profiles."""
+
+from repro import quantities
+from repro.network.isp import ISP, ISP_PROFILES, profile_for
+
+
+class TestIspProfiles:
+    def test_three_isps(self):
+        assert len(ISP_PROFILES) == 3
+
+    def test_bs_shares_match_the_paper(self):
+        for isp in ISP:
+            assert (ISP_PROFILES[isp].bs_share
+                    == quantities.ISP_BS_SHARE[isp.label])
+
+    def test_subscriber_shares_sum_to_one(self):
+        total = sum(p.subscriber_share for p in ISP_PROFILES.values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_frequency_ordering_matches_prose(self):
+        """Sec. 3.3: median frequency ISP-B > ISP-C > ISP-A."""
+        assert (ISP_PROFILES[ISP.B].median_frequency_mhz
+                > ISP_PROFILES[ISP.C].median_frequency_mhz
+                > ISP_PROFILES[ISP.A].median_frequency_mhz)
+
+    def test_frequency_penalty_follows_frequency(self):
+        """Higher band -> more path loss -> worse coverage (ISP-B)."""
+        assert (ISP_PROFILES[ISP.B].frequency_penalty_db
+                > ISP_PROFILES[ISP.C].frequency_penalty_db
+                > ISP_PROFILES[ISP.A].frequency_penalty_db)
+
+    def test_profile_for_lookup(self):
+        assert profile_for(ISP.A).isp is ISP.A
+
+    def test_labels(self):
+        assert ISP.A.label == "ISP-A"
+
+    def test_mcc_is_china(self):
+        assert all(p.mcc == 460 for p in ISP_PROFILES.values())
+
+    def test_mncs_are_distinct(self):
+        mncs = [p.mnc for p in ISP_PROFILES.values()]
+        assert len(set(mncs)) == 3

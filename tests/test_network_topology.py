@@ -1,0 +1,127 @@
+"""Unit tests for the nationwide topology generator."""
+
+import random
+
+import pytest
+
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP
+from repro.network.topology import NationalTopology, TopologyConfig
+from repro.radio.rat import RAT
+
+
+class TestMarginals:
+    def test_bs_count(self, topology):
+        assert len(topology) == 2_000
+
+    def test_isp_shares_match_the_paper(self, topology):
+        """Sec. 3.3: 44.8 / 29.4 / 25.8% BS ownership."""
+        shares = topology.isp_share()
+        assert abs(shares[ISP.A] - 0.448) < 0.04
+        assert abs(shares[ISP.B] - 0.294) < 0.04
+        assert abs(shares[ISP.C] - 0.258) < 0.04
+
+    def test_rat_support_shares_match_the_paper(self, topology):
+        """Sec. 3.3: 23.4 / 10.2 / 65.2 / 7.3% (overlapping)."""
+        shares = topology.rat_support_share()
+        assert abs(shares[RAT.GSM] - 0.234) < 0.05
+        assert abs(shares[RAT.UMTS] - 0.102) < 0.04
+        assert abs(shares[RAT.LTE] - 0.652) < 0.05
+        assert abs(shares[RAT.NR] - 0.073) < 0.03
+
+    def test_multi_rat_cells_exist(self, topology):
+        total = sum(topology.rat_support_share().values())
+        assert total > 1.0
+
+    def test_deployment_mix_covers_all_classes(self, topology):
+        shares = topology.deployment_share()
+        assert all(shares[cls] > 0 for cls in DeploymentClass)
+
+    def test_hub_cells_support_lte(self, topology):
+        for bs in topology.base_stations:
+            if bs.deployment is DeploymentClass.TRANSPORT_HUB:
+                assert bs.supports(RAT.LTE)
+
+
+class TestPropensity:
+    def test_propensities_are_heavy_tailed(self, topology):
+        values = sorted(
+            (bs.failure_propensity for bs in topology.base_stations),
+            reverse=True,
+        )
+        mean = sum(values) / len(values)
+        # Top 1% carries several times its proportional share.
+        top = sum(values[:len(values) // 100])
+        assert top > 3 * mean * (len(values) // 100)
+
+    def test_disrepair_exists_in_remote_cells(self, topology):
+        remote = [bs for bs in topology.base_stations
+                  if bs.deployment is DeploymentClass.REMOTE]
+        assert any(bs.in_disrepair for bs in remote)
+
+    def test_disrepair_never_in_hubs(self, topology):
+        hubs = [bs for bs in topology.base_stations
+                if bs.deployment is DeploymentClass.TRANSPORT_HUB]
+        assert hubs
+        assert not any(bs.in_disrepair for bs in hubs)
+
+
+class TestSampling:
+    def test_sample_respects_isp(self, topology):
+        rng = random.Random(0)
+        for _ in range(50):
+            bs = topology.sample_bs(rng, ISP.B, DeploymentClass.URBAN)
+            assert bs.isp is ISP.B
+
+    def test_sample_respects_rat(self, topology):
+        rng = random.Random(0)
+        for _ in range(50):
+            bs = topology.sample_bs(
+                rng, ISP.A, DeploymentClass.URBAN, rat=RAT.NR
+            )
+            assert bs.supports(RAT.NR)
+
+    def test_sample_falls_back_across_classes(self, topology):
+        """Hub pools are tiny; NR requests must still resolve."""
+        rng = random.Random(0)
+        bs = topology.sample_bs(
+            rng, ISP.C, DeploymentClass.TRANSPORT_HUB, rat=RAT.NR
+        )
+        assert bs.supports(RAT.NR)
+
+    def test_sampling_prefers_high_propensity(self, topology):
+        rng = random.Random(1)
+        samples = [
+            topology.sample_bs(rng, ISP.A, DeploymentClass.URBAN)
+            for _ in range(2_000)
+        ]
+        pool = [bs for bs in topology.base_stations
+                if bs.isp is ISP.A
+                and bs.deployment is DeploymentClass.URBAN]
+        pool_mean = sum(b.failure_propensity for b in pool) / len(pool)
+        sample_mean = sum(b.failure_propensity for b in samples) / len(samples)
+        assert sample_mean > pool_mean
+
+    def test_get_by_id(self, topology):
+        bs = topology.base_stations[10]
+        assert topology.get(bs.bs_id) is bs
+
+
+class TestConfig:
+    def test_too_few_stations_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_base_stations=3)
+
+    def test_determinism(self):
+        a = NationalTopology(TopologyConfig(n_base_stations=100, seed=1))
+        b = NationalTopology(TopologyConfig(n_base_stations=100, seed=1))
+        assert [x.failure_propensity for x in a.base_stations] == [
+            x.failure_propensity for x in b.base_stations
+        ]
+
+    def test_seed_changes_population(self):
+        a = NationalTopology(TopologyConfig(n_base_stations=100, seed=1))
+        b = NationalTopology(TopologyConfig(n_base_stations=100, seed=2))
+        assert [x.failure_propensity for x in a.base_stations] != [
+            x.failure_propensity for x in b.base_stations
+        ]

@@ -1,0 +1,98 @@
+"""Consistency checks over the paper's published quantities."""
+
+from repro import quantities as q
+
+
+class TestTable1:
+    def test_34_models(self):
+        assert len(q.TABLE1) == 34
+        assert [row.model for row in q.TABLE1] == list(range(1, 35))
+
+    def test_user_shares_sum_to_one(self):
+        assert abs(sum(row.user_share for row in q.TABLE1) - 1.0) < 0.01
+
+    def test_prevalences_are_fractions(self):
+        assert all(0.0 < row.prevalence < 1.0 for row in q.TABLE1)
+
+    def test_mean_prevalence_is_23_percent(self):
+        """Sec. 3.1: prevalence averages at 23% across models."""
+        mean = sum(row.prevalence for row in q.TABLE1) / len(q.TABLE1)
+        assert abs(mean - q.AVG_PREVALENCE) < 0.01
+
+    def test_frequency_range_matches_prose(self):
+        """Sec. 3.1: per-model frequency spans 2.3 to 90.2."""
+        freqs = [row.frequency for row in q.TABLE1]
+        assert min(freqs) == 2.3
+        assert max(freqs) == 90.2
+
+    def test_four_5g_models(self):
+        assert q.FIVE_G_MODELS == (23, 24, 33, 34)
+
+    def test_5g_models_run_android_10(self):
+        """Footnote 4: Android 9 does not support 5G."""
+        for row in q.TABLE1:
+            if row.has_5g:
+                assert row.android_version == "10.0"
+
+    def test_moments_admit_a_mixed_poisson(self):
+        """P(N>=1) <= E[N] must hold for every row (used by the
+        negative-binomial calibration)."""
+        import math
+
+        for row in q.TABLE1:
+            assert -math.log(1 - row.prevalence) < row.frequency
+
+
+class TestTable2:
+    def test_ten_codes(self):
+        assert len(q.TABLE2_ERROR_CODE_SHARES) == 10
+
+    def test_shares_sum_to_cumulative(self):
+        total = sum(q.TABLE2_ERROR_CODE_SHARES.values())
+        assert abs(total - q.TABLE2_TOP10_CUMULATIVE) < 1e-9
+
+    def test_shares_are_descending(self):
+        shares = list(q.TABLE2_ERROR_CODE_SHARES.values())
+        assert shares == sorted(shares, reverse=True)
+
+    def test_top_code_is_gprs_registration(self):
+        top = next(iter(q.TABLE2_ERROR_CODE_SHARES))
+        assert top == "GPRS_REGISTRATION_FAIL"
+
+
+class TestLandscapeShares:
+    def test_isp_bs_shares_sum_to_one(self):
+        assert abs(sum(q.ISP_BS_SHARE.values()) - 1.0) < 1e-9
+
+    def test_isp_prevalence_ordering(self):
+        """Sec. 3.3: ISP-B worst, then ISP-A, then ISP-C."""
+        assert (q.ISP_PREVALENCE["ISP-B"] > q.ISP_PREVALENCE["ISP-A"]
+                > q.ISP_PREVALENCE["ISP-C"])
+
+    def test_rat_support_exceeds_one(self):
+        """Multi-RAT BSes make the four shares sum past 100%."""
+        assert sum(q.RAT_BS_SUPPORT_SHARE.values()) > 1.0
+
+    def test_type_mix_adds_up(self):
+        per_device = (q.AVG_DATA_SETUP_ERRORS_PER_DEVICE
+                      + q.AVG_DATA_STALLS_PER_DEVICE
+                      + q.AVG_OUT_OF_SERVICE_PER_DEVICE)
+        assert abs(per_device - q.AVG_FAILURES_PER_DEVICE) < 0.5
+
+
+class TestEnhancementNumbers:
+    def test_timp_probations_are_much_shorter_than_vanilla(self):
+        assert all(
+            p < q.VANILLA_PROBATION_S for p in q.TIMP_OPTIMAL_PROBATIONS_S
+        )
+
+    def test_timp_beats_vanilla_expected_time(self):
+        assert q.TIMP_EXPECTED_RECOVERY_S < q.VANILLA_EXPECTED_RECOVERY_S
+
+    def test_timp_recovery_within_user_tolerance(self):
+        """Sec. 4.2: 27.8 s < the ~30 s user tolerance."""
+        assert q.TIMP_EXPECTED_RECOVERY_S < q.USER_MANUAL_RESET_S
+
+    def test_overhead_worst_case_dominates_typical(self):
+        for key in q.OVERHEAD_TYPICAL:
+            assert q.OVERHEAD_WORST_CASE[key] >= q.OVERHEAD_TYPICAL[key]

@@ -1,0 +1,132 @@
+"""Unit tests for the modem command surface."""
+
+import random
+
+import pytest
+
+from repro.core.signal import SignalLevel
+from repro.radio.modem import Modem, ModemResponse, SetupOutcome
+from repro.radio.rat import RAT
+
+
+class AlwaysAdmit:
+    def admit_bearer(self, rat, signal_level, rng):
+        return None
+
+
+class AlwaysReject:
+    def __init__(self, cause="NETWORK_FAILURE"):
+        self.cause = cause
+
+    def admit_bearer(self, rat, signal_level, rng):
+        return self.cause
+
+
+def make_modem(**kwargs) -> Modem:
+    defaults = dict(
+        supported_rats={RAT.GSM, RAT.UMTS, RAT.LTE},
+        rng=random.Random(3),
+        internal_error_rate=0.0,
+        deep_fade_timeout_rate=0.0,
+    )
+    defaults.update(kwargs)
+    return Modem(**defaults)
+
+
+class TestModemResponse:
+    def test_success_has_no_cause(self):
+        response = ModemResponse(SetupOutcome.SUCCESS)
+        assert response.ok
+        assert response.cause is None
+
+    def test_success_with_cause_rejected(self):
+        with pytest.raises(ValueError):
+            ModemResponse(SetupOutcome.SUCCESS, cause="SIGNAL_LOST")
+
+    def test_failure_requires_cause(self):
+        with pytest.raises(ValueError):
+            ModemResponse(SetupOutcome.REJECTED)
+
+    def test_unknown_cause_rejected(self):
+        with pytest.raises(ValueError):
+            ModemResponse(SetupOutcome.REJECTED, cause="BOGUS_CAUSE")
+
+
+class TestSetupDataCall:
+    def test_successful_setup(self):
+        response = make_modem().setup_data_call(
+            AlwaysAdmit(), RAT.LTE, SignalLevel.LEVEL_4
+        )
+        assert response.ok
+        assert response.latency_s > 0
+
+    def test_network_rejection_surfaces_the_cause(self):
+        response = make_modem().setup_data_call(
+            AlwaysReject("INVALID_EMM_STATE"), RAT.LTE, SignalLevel.LEVEL_3
+        )
+        assert response.outcome is SetupOutcome.REJECTED
+        assert response.cause == "INVALID_EMM_STATE"
+
+    def test_unsupported_rat_fails_in_modem(self):
+        response = make_modem().setup_data_call(
+            AlwaysAdmit(), RAT.NR, SignalLevel.LEVEL_4
+        )
+        assert response.outcome is SetupOutcome.MODEM_ERROR
+        assert response.cause == "FEATURE_NOT_SUPP"
+
+    def test_radio_off_fails_with_power_cause(self):
+        modem = make_modem()
+        modem.power_off()
+        response = modem.setup_data_call(
+            AlwaysAdmit(), RAT.LTE, SignalLevel.LEVEL_4
+        )
+        assert response.cause == "RADIO_POWER_OFF"
+
+    def test_deep_fade_can_time_out(self):
+        modem = make_modem(deep_fade_timeout_rate=1.0)
+        response = modem.setup_data_call(
+            AlwaysAdmit(), RAT.LTE, SignalLevel.LEVEL_0
+        )
+        assert response.outcome is SetupOutcome.TIMEOUT
+        assert response.cause == "SIGNAL_LOST"
+
+    def test_internal_error_path(self):
+        modem = make_modem(internal_error_rate=1.0)
+        response = modem.setup_data_call(
+            AlwaysAdmit(), RAT.LTE, SignalLevel.LEVEL_4
+        )
+        assert response.outcome is SetupOutcome.MODEM_ERROR
+        assert response.cause is not None
+
+    def test_nr_setup_faster_than_gsm(self):
+        modem = make_modem(
+            supported_rats={RAT.GSM, RAT.NR}, rng=random.Random(0)
+        )
+        gsm = [
+            modem.setup_data_call(AlwaysAdmit(), RAT.GSM,
+                                  SignalLevel.LEVEL_4).latency_s
+            for _ in range(50)
+        ]
+        nr = [
+            modem.setup_data_call(AlwaysAdmit(), RAT.NR,
+                                  SignalLevel.LEVEL_4).latency_s
+            for _ in range(50)
+        ]
+        assert sum(nr) / len(nr) < sum(gsm) / len(gsm)
+
+
+class TestRadioLifecycle:
+    def test_restart_counts_and_reenables(self):
+        modem = make_modem()
+        modem.power_off()
+        elapsed = modem.restart_radio()
+        assert modem.radio_on
+        assert modem.restart_count == 1
+        assert elapsed > 0
+
+    def test_teardown_succeeds(self):
+        assert make_modem().teardown_data_call().ok
+
+    def test_empty_rat_set_rejected(self):
+        with pytest.raises(ValueError):
+            Modem(set(), random.Random(0))

@@ -1,0 +1,85 @@
+"""Unit tests for the propagation model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.signal import SignalLevel
+from repro.radio.propagation import PropagationModel
+from repro.radio.rat import ALL_RATS, RAT
+
+
+class TestPathLoss:
+    def test_rss_decreases_with_distance(self):
+        model = PropagationModel()
+        near = model.rss_dbm(RAT.LTE, 50.0)
+        far = model.rss_dbm(RAT.LTE, 2_000.0)
+        assert near > far
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationModel().rss_dbm(RAT.LTE, 0.0)
+
+    def test_frequency_penalty_lowers_rss(self):
+        low_band = PropagationModel(frequency_penalty_db=0.0)
+        high_band = PropagationModel(frequency_penalty_db=6.0)
+        assert (high_band.rss_dbm(RAT.LTE, 500.0)
+                == low_band.rss_dbm(RAT.LTE, 500.0) - 6.0)
+
+    def test_nr_decays_faster_than_lte(self):
+        """5G NR attenuates faster — the physical basis of weak-edge 5G."""
+        model = PropagationModel()
+        lte_drop = (model.rss_dbm(RAT.LTE, 100.0)
+                    - model.rss_dbm(RAT.LTE, 1_000.0))
+        nr_drop = (model.rss_dbm(RAT.NR, 100.0)
+                   - model.rss_dbm(RAT.NR, 1_000.0))
+        assert nr_drop > lte_drop
+
+    def test_shadowing_requires_rng(self):
+        model = PropagationModel(shadowing_sigma_db=8.0)
+        deterministic = model.rss_dbm(RAT.LTE, 300.0)
+        assert deterministic == model.rss_dbm(RAT.LTE, 300.0)
+        shadowed = model.rss_dbm(RAT.LTE, 300.0, random.Random(7))
+        assert shadowed != deterministic
+
+
+class TestSignalLevelMapping:
+    def test_close_to_bs_is_high_level(self):
+        level = PropagationModel().signal_level(RAT.LTE, 10.0)
+        assert level >= SignalLevel.LEVEL_4
+
+    def test_far_from_bs_is_level_0(self):
+        level = PropagationModel().signal_level(RAT.LTE, 100_000.0)
+        assert level is SignalLevel.LEVEL_0
+
+    @given(
+        rat=st.sampled_from(list(ALL_RATS)),
+        near=st.floats(min_value=1.0, max_value=1e5),
+        far=st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_level_monotone_in_distance(self, rat, near, far):
+        if near > far:
+            near, far = far, near
+        model = PropagationModel()
+        assert (model.signal_level(rat, near)
+                >= model.signal_level(rat, far))
+
+
+class TestCoverageRadius:
+    def test_radius_consistent_with_rss(self):
+        model = PropagationModel()
+        radius = model.coverage_radius_m(RAT.LTE, min_dbm=-110.0)
+        assert abs(model.rss_dbm(RAT.LTE, radius) - (-110.0)) < 0.5
+
+    def test_higher_frequency_shrinks_coverage(self):
+        """Sec. 3.3: ISP-B's higher bands mean smaller per-BS coverage."""
+        low = PropagationModel(frequency_penalty_db=0.0)
+        high = PropagationModel(frequency_penalty_db=4.0)
+        assert (high.coverage_radius_m(RAT.LTE)
+                < low.coverage_radius_m(RAT.LTE))
+
+    def test_nr_coverage_smaller_than_gsm(self):
+        model = PropagationModel()
+        assert (model.coverage_radius_m(RAT.NR)
+                < model.coverage_radius_m(RAT.GSM))

@@ -1,0 +1,38 @@
+"""Unit tests for RAT definitions."""
+
+import pytest
+
+from repro.radio.rat import ALL_RATS, Generation, RAT
+
+
+class TestRat:
+    def test_four_generations(self):
+        assert len(ALL_RATS) == 4
+
+    def test_generation_mapping(self):
+        assert RAT.GSM.generation is Generation.G2
+        assert RAT.UMTS.generation is Generation.G3
+        assert RAT.LTE.generation is Generation.G4
+        assert RAT.NR.generation is Generation.G5
+
+    def test_labels(self):
+        assert [rat.label for rat in ALL_RATS] == ["2G", "3G", "4G", "5G"]
+
+    def test_generations_compare(self):
+        assert RAT.NR.generation > RAT.LTE.generation
+
+    def test_from_generation_roundtrip(self):
+        for rat in ALL_RATS:
+            assert RAT.from_generation(rat.generation) is rat
+
+    def test_from_label_roundtrip(self):
+        for rat in ALL_RATS:
+            assert RAT.from_label(rat.label) is rat
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            RAT.from_label("6G")
+
+    def test_all_rats_ordered_by_generation(self):
+        generations = [rat.generation for rat in ALL_RATS]
+        assert generations == sorted(generations)

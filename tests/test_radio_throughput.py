@@ -1,0 +1,75 @@
+"""Unit tests for the data-rate model."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.signal import ALL_LEVELS, SignalLevel
+from repro.radio.rat import ALL_RATS, RAT
+from repro.radio.throughput import (
+    expected_data_rate_mbps,
+    sample_data_rate_mbps,
+    transition_increases_rate,
+)
+
+
+class TestExpectedRate:
+    def test_rate_monotone_in_level(self):
+        for rat in ALL_RATS:
+            rates = [expected_data_rate_mbps(rat, level)
+                     for level in ALL_LEVELS]
+            assert rates == sorted(rates)
+
+    def test_peak_order_follows_generations(self):
+        peaks = [expected_data_rate_mbps(rat, SignalLevel.LEVEL_5)
+                 for rat in ALL_RATS]
+        assert peaks == sorted(peaks)
+
+    def test_5g_peak_is_10gbps_class(self):
+        assert expected_data_rate_mbps(RAT.NR, SignalLevel.LEVEL_5) == 10_000
+
+    def test_weak_5g_slower_than_good_4g(self):
+        """The Sec. 4.2 argument: 5G at level 0 cannot beat healthy 4G."""
+        weak_nr = expected_data_rate_mbps(RAT.NR, SignalLevel.LEVEL_0)
+        for level in (SignalLevel.LEVEL_2, SignalLevel.LEVEL_3,
+                      SignalLevel.LEVEL_4):
+            assert weak_nr < expected_data_rate_mbps(RAT.LTE, level)
+
+
+class TestTransitionRateCheck:
+    def test_4g_to_weak_5g_does_not_increase_rate(self):
+        """The four vetoable cases of Fig. 17f have no rate upside."""
+        for level in (1, 2, 3, 4):
+            assert not transition_increases_rate(
+                RAT.LTE, SignalLevel(level), RAT.NR, SignalLevel.LEVEL_0
+            )
+
+    def test_4g_to_healthy_5g_increases_rate(self):
+        assert transition_increases_rate(
+            RAT.LTE, SignalLevel.LEVEL_3, RAT.NR, SignalLevel.LEVEL_3
+        )
+
+    def test_same_state_never_increases(self):
+        for rat in ALL_RATS:
+            for level in ALL_LEVELS:
+                assert not transition_increases_rate(rat, level, rat, level)
+
+
+class TestSampledRate:
+    def test_samples_bracket_the_mean(self):
+        rng = random.Random(0)
+        mean = expected_data_rate_mbps(RAT.LTE, SignalLevel.LEVEL_3)
+        samples = [
+            sample_data_rate_mbps(RAT.LTE, SignalLevel.LEVEL_3, rng)
+            for _ in range(200)
+        ]
+        assert all(mean / 2 <= s <= mean * 2 for s in samples)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_benchmark_finding_weak_5g_downgrades(self, seed):
+        """>95% of measured 4G->5G-level-0 transitions lose data rate
+        (the paper's small-scale benchmark; here it holds always)."""
+        rng = random.Random(seed)
+        before = sample_data_rate_mbps(RAT.LTE, SignalLevel.LEVEL_3, rng)
+        after = sample_data_rate_mbps(RAT.NR, SignalLevel.LEVEL_0, rng)
+        assert after < before

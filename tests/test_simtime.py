@@ -1,0 +1,71 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simtime import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    SimClock,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_now_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_repr_mentions_time(self):
+        assert "1.500" in repr(SimClock(start=1.5))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_monotonicity_property(self, steps):
+        clock = SimClock()
+        previous = clock.now()
+        for step in steps:
+            clock.advance(step)
+            assert clock.now() >= previous
+            previous = clock.now()
+
+
+def test_time_constants_are_consistent():
+    assert SECONDS_PER_HOUR == 60 * SECONDS_PER_MINUTE
+    assert SECONDS_PER_DAY == 24 * SECONDS_PER_HOUR

@@ -1,0 +1,129 @@
+"""Unit tests for the TIMP recovery-CDF estimation and model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timp.model import RecoveryCdf, TimpModel, _kaplan_meier
+
+
+class TestKaplanMeier:
+    def test_uncensored_matches_empirical_cdf(self):
+        events = np.array([1.0, 2.0, 3.0, 4.0])
+        grid, survival = _kaplan_meier(events, np.array([]))
+        assert list(grid) == [1.0, 2.0, 3.0, 4.0]
+        assert survival == pytest.approx([0.75, 0.5, 0.25, 0.0])
+
+    def test_censoring_lifts_the_survival_curve(self):
+        events = np.array([1.0, 2.0, 3.0])
+        censored = np.array([1.5, 2.5])
+        _grid, with_censoring = _kaplan_meier(events, censored)
+        _grid2, without = _kaplan_meier(events, np.array([]))
+        # Censored subjects keep later survival higher.
+        assert with_censoring[-1] > without[-1] - 1e-12
+
+    def test_no_events_rejected(self):
+        with pytest.raises(ValueError):
+            _kaplan_meier(np.array([]), np.array([1.0]))
+
+
+class TestRecoveryCdf:
+    def test_basic_properties(self):
+        cdf = RecoveryCdf.from_durations([1.0, 2.0, 5.0, 10.0])
+        assert cdf(0.0) == 0.0
+        assert cdf(1.0) == pytest.approx(0.25)
+        assert cdf(10.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_monotone(self):
+        cdf = RecoveryCdf.from_durations(
+            np.random.RandomState(0).lognormal(2.0, 1.0, 500)
+        )
+        times = np.linspace(0, 200, 400)
+        values = cdf.batch(times)
+        assert (np.diff(values) >= -1e-12).all()
+
+    def test_batch_matches_scalar(self):
+        cdf = RecoveryCdf.from_durations([1.0, 3.0, 7.0, 20.0, 60.0])
+        times = np.array([0.0, 0.5, 2.0, 10.0, 100.0])
+        batch = cdf.batch(times)
+        scalars = np.array([cdf(t) for t in times])
+        assert batch == pytest.approx(scalars)
+
+    def test_tail_extrapolation_stays_in_unit_interval(self):
+        cdf = RecoveryCdf(np.array([1.0, 2.0]), np.array([5.0, 50.0]))
+        for t in (10.0, 100.0, 1e5):
+            assert 0.0 <= cdf(t) <= 1.0
+
+    def test_quantile_inverts_the_cdf(self):
+        cdf = RecoveryCdf.from_durations([1.0, 2.0, 5.0, 10.0])
+        t = cdf.quantile(0.5)
+        assert cdf(t) >= 0.5
+        assert cdf(t - 0.2) < 0.75
+
+    def test_quantile_validation(self):
+        cdf = RecoveryCdf.from_durations([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryCdf(np.array([-1.0]), np.array([]))
+
+    def test_needs_at_least_one_event(self):
+        with pytest.raises(ValueError):
+            RecoveryCdf(np.array([]), np.array([1.0]))
+
+    def test_sample_naturals_reproduces_the_distribution(self):
+        source = np.random.RandomState(1).lognormal(2.0, 0.8, 2_000)
+        cdf = RecoveryCdf.from_durations(source)
+        samples = cdf.sample_naturals(2_000)
+        assert np.median(samples) == pytest.approx(
+            np.median(source), rel=0.1
+        )
+
+    def test_sample_naturals_positive_count_required(self):
+        cdf = RecoveryCdf.from_durations([1.0])
+        with pytest.raises(ValueError):
+            cdf.sample_naturals(0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4),
+                    min_size=2, max_size=100))
+    def test_cdf_bounded_property(self, durations):
+        cdf = RecoveryCdf.from_durations(durations)
+        for t in (0.0, 1.0, 100.0, 1e6):
+            assert 0.0 <= cdf(t) <= 1.0
+
+
+class TestFromDataset:
+    def test_fit_from_study_dataset(self, vanilla_dataset):
+        cdf = RecoveryCdf.from_dataset(vanilla_dataset)
+        # Fig. 10 anchor: the majority of stalls auto-fix quickly.
+        assert cdf(10.0) > 0.35
+        assert cdf(10.0) < 0.80
+        assert cdf.t_max > 300.0
+
+
+class TestTimpModel:
+    def test_five_states(self):
+        assert TimpModel.STATES == ("S0", "S1", "S2", "S3", "Se")
+
+    def test_overheads_progressive(self):
+        cdf = RecoveryCdf.from_durations([1.0, 5.0])
+        with pytest.raises(ValueError):
+            TimpModel(recovery_cdf=cdf,
+                      stage_overheads_s=(10.0, 5.0, 20.0))
+
+    def test_stage0_has_no_overhead(self):
+        cdf = RecoveryCdf.from_durations([1.0, 5.0])
+        model = TimpModel(recovery_cdf=cdf)
+        assert model.overhead(0) == 0.0
+        assert model.overhead(1) < model.overhead(3)
+
+    def test_escalation_complements_recovery(self):
+        cdf = RecoveryCdf.from_durations([1.0, 2.0, 5.0, 10.0])
+        model = TimpModel(recovery_cdf=cdf)
+        for t in (1.0, 5.0, 50.0):
+            assert model.escalation_probability(t) == pytest.approx(
+                1.0 - model.recovery_probability(t)
+            )

@@ -1,0 +1,146 @@
+"""Tests for Eq. (1), the mechanism objective, and annealing."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.timp.annealing import AnnealingResult, anneal, optimize_probations
+from repro.timp.expected_time import (
+    expected_recovery_time,
+    mechanism_expected_duration,
+    simulate_expected_recovery_time,
+)
+from repro.timp.model import RecoveryCdf, TimpModel
+
+
+def quick_model() -> TimpModel:
+    # 60% of stalls clear within ~10 s, the rest spread out — the
+    # Fig. 10 shape in miniature.
+    rng = np.random.RandomState(0)
+    fast = rng.lognormal(np.log(3.0), 0.7, 600)
+    slow = rng.lognormal(np.log(150.0), 1.0, 400)
+    return TimpModel(
+        recovery_cdf=RecoveryCdf.from_durations(
+            np.concatenate([fast, slow])
+        )
+    )
+
+
+class TestEquationOne:
+    def test_value_is_positive_and_finite(self):
+        model = quick_model()
+        value = expected_recovery_time(model, (60.0, 60.0, 60.0))
+        assert 0.0 < value < 1e4
+
+    def test_validation(self):
+        model = quick_model()
+        with pytest.raises(ValueError):
+            expected_recovery_time(model, (60.0, 60.0))  # type: ignore
+        with pytest.raises(ValueError):
+            expected_recovery_time(model, (-1.0, 60.0, 60.0))
+
+    def test_horizon_extends_for_long_probations(self):
+        model = quick_model()
+        # sigma beyond the default horizon must not crash.
+        value = expected_recovery_time(model, (120.0, 120.0, 120.0),
+                                       t_max=100.0)
+        assert value > 0
+
+
+class TestMechanismObjective:
+    def test_matches_monte_carlo(self):
+        """The closed-form expectation must agree with simulating the
+        real recovery engine (without annoyance, same stage params)."""
+        model = quick_model()
+        naturals = model.recovery_cdf.sample_naturals(3_000)
+        probations = (21.0, 6.0, 16.0)
+        closed = mechanism_expected_duration(
+            probations, naturals,
+            stage_success_rates=(0.75, 0.85, 0.95),
+            annoyance_cost_s=(0.0, 0.0, 0.0),
+        )
+        simulated = simulate_expected_recovery_time(
+            probations, naturals, random.Random(0), samples=4_000
+        )
+        assert closed == pytest.approx(simulated, rel=0.15)
+
+    def test_vanilla_probations_are_suboptimal(self):
+        model = quick_model()
+        naturals = model.recovery_cdf.sample_naturals(3_000)
+        vanilla = mechanism_expected_duration((60.0, 60.0, 60.0),
+                                              naturals)
+        timp = mechanism_expected_duration((21.0, 6.0, 16.0), naturals)
+        assert timp < vanilla
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mechanism_expected_duration((1.0, 1.0, 1.0), np.array([]))
+        with pytest.raises(ValueError):
+            mechanism_expected_duration((-1.0, 1.0, 1.0),
+                                        np.array([10.0]))
+
+
+class TestAnnealing:
+    def test_minimizes_a_known_bowl(self):
+        target = (20.0, 10.0, 15.0)
+
+        def bowl(v):
+            return sum((a - b) ** 2 for a, b in zip(v, target))
+
+        best, value, evaluations = anneal(
+            bowl, random.Random(0), steps=3_000
+        )
+        assert value < 5.0
+        assert evaluations > 1_000
+
+    def test_cooling_validation(self):
+        with pytest.raises(ValueError):
+            anneal(lambda v: 0.0, random.Random(0), cooling=1.5)
+
+    def test_respects_bounds(self):
+        best, _value, _ = anneal(
+            lambda v: -sum(v), random.Random(0),
+            bounds=(1.0, 50.0), steps=500,
+        )
+        assert all(1.0 <= p <= 50.0 for p in best)
+
+
+class TestOptimizeProbations:
+    def test_reproduces_the_papers_shape(self):
+        """Sec. 4.2's qualitative result: every optimal probation is far
+        below vanilla's 60 s and the expected recovery time improves."""
+        result = optimize_probations(quick_model(),
+                                     rng=random.Random(7), steps=2_000)
+        assert isinstance(result, AnnealingResult)
+        assert all(p < 40.0 for p in result.best_probations_s)
+        assert result.best_value < result.default_value
+        assert result.improvement > 0.10
+
+    def test_eq1_objective_also_runs(self):
+        result = optimize_probations(
+            quick_model(), rng=random.Random(7), steps=400,
+            objective_kind="eq1",
+        )
+        assert result.best_value <= result.default_value
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_probations(quick_model(), objective_kind="magic")
+
+    def test_optimized_trigger_improves_real_recoveries(self):
+        """End-to-end: the annealed probations shorten Monte-Carlo
+        stall durations through the actual recovery engine."""
+        model = quick_model()
+        result = optimize_probations(model, rng=random.Random(3),
+                                     steps=1_500)
+        naturals = model.recovery_cdf.sample_naturals(1_000)
+        optimized = simulate_expected_recovery_time(
+            result.best_probations_s, naturals, random.Random(1),
+            samples=2_000,
+        )
+        vanilla = simulate_expected_recovery_time(
+            (60.0, 60.0, 60.0), naturals, random.Random(1),
+            samples=2_000,
+        )
+        assert optimized < vanilla
