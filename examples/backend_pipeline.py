@@ -5,7 +5,9 @@ Runs a small fleet, ships every failure record through the device-side
 :class:`~repro.backend.ingest.IngestionServer` (including a simulated
 retry storm the deduplicator must absorb), then checks that the
 backend's *streaming* aggregates agree with the batch analysis over
-the same records.
+the same records — and finally replays the same records over a *lossy*
+chaos transport (drops, duplicates, corruption) and reconciles both
+ends.
 
 Usage::
 
@@ -16,7 +18,7 @@ import random
 import sys
 import time
 
-from repro import ScenarioConfig
+from repro import ChaosConfig, ScenarioConfig, run_telemetry_pipeline
 from repro.analysis.stats import compute_general_stats
 from repro.backend.ingest import IngestionServer
 from repro.fleet.simulator import FleetSimulator
@@ -67,6 +69,15 @@ def main() -> None:
           f"{share.get('DATA_STALL', 0):.1%} "
           f"(batch "
           f"{batch.duration_share_by_type.get('DATA_STALL', 0):.1%})")
+
+    chaos = ChaosConfig(seed=13, drop_rate=0.25, duplicate_rate=0.15,
+                        reorder_rate=0.05, corrupt_rate=0.02)
+    print(f"\nreplaying over a lossy transport "
+          f"(drop {chaos.drop_rate:.0%}, dup {chaos.duplicate_rate:.0%}, "
+          f"corrupt {chaos.corrupt_rate:.0%})...")
+    result = run_telemetry_pipeline(dataset, chaos)
+    print(result.report.render())
+    assert result.report.ok, "unexplained telemetry losses"
 
 
 if __name__ == "__main__":

@@ -20,6 +20,11 @@ Quickstart::
     print(result.render())
 """
 
+from repro.chaos import (
+    ChaosConfig,
+    ReconciliationReport,
+    run_telemetry_pipeline,
+)
 from repro.core.study import NationwideStudy, StudyResult, run_ab_evaluation
 from repro.core.enhancements import FittedEnhancements, fit_enhancements
 from repro.core.events import FailureType
@@ -42,6 +47,9 @@ __all__ = [
     "FittedEnhancements",
     "fit_enhancements",
     "FailureType",
+    "ChaosConfig",
+    "ReconciliationReport",
+    "run_telemetry_pipeline",
     "ScenarioConfig",
     "smoke_scenario",
     "default_scenario",

@@ -2,7 +2,8 @@
 the devices' compressed uploads and streaming aggregation over record
 streams too large to hold in memory."""
 
-from repro.backend.ingest import IngestionServer
+from repro.backend.ingest import IngestionServer, ServiceUnavailable
 from repro.backend.streaming import P2Quantile, StreamingStats
 
-__all__ = ["IngestionServer", "P2Quantile", "StreamingStats"]
+__all__ = ["IngestionServer", "P2Quantile", "ServiceUnavailable",
+           "StreamingStats"]

@@ -6,22 +6,40 @@ receiving end: decompress, parse, validate, deduplicate (uploads may be
 retried after connectivity loss), and keep streaming aggregates per
 failure type — the "compressed and uploaded to our backend server for
 centralized analysis" sentence of Sec. 2.3, made concrete.
+
+Hardening for lossy transports (see :mod:`repro.chaos`):
+
+* malformed payloads land in a bounded **quarantine** instead of being
+  silently counted away, so corrupted-in-transit uploads stay
+  inspectable;
+* an ``available`` flag simulates transient backend outages — while
+  down, :meth:`IngestionServer.receive` raises
+  :class:`ServiceUnavailable` and the device spooler keeps the payload;
+* :meth:`IngestionServer.checkpoint` / :meth:`IngestionServer.restore`
+  snapshot the full dedup + aggregate state, so a "crashed" server can
+  resume and absorb the ensuing retry storm without double-counting.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import zlib
 from dataclasses import dataclass, field
 
 from repro.backend.streaming import P2Quantile, StreamingStats
-from repro.dataset.records import FailureRecord
+from repro.dataset.records import FailureRecord, record_identity
 
 #: Fields a record must carry to be accepted.
 _REQUIRED_FIELDS = frozenset({
     "device_id", "failure_type", "start_time", "duration_s",
 })
+
+#: How many malformed payloads the quarantine retains for inspection.
+QUARANTINE_CAPACITY = 256
+
+
+class ServiceUnavailable(RuntimeError):
+    """The backend is down; the upload was not received (no ack)."""
 
 
 @dataclass
@@ -32,7 +50,13 @@ class IngestionServer:
     accepted: int = 0
     duplicates: int = 0
     malformed: int = 0
+    quarantined: int = 0
     bytes_received: int = 0
+    #: Whether the server answers at all (transient-outage simulation).
+    available: bool = True
+    #: Retained malformed payloads, oldest first, capped at
+    #: :data:`QUARANTINE_CAPACITY` entries.
+    quarantine: list[dict] = field(default_factory=list, repr=False)
     #: Per-failure-type duration statistics, streaming.
     duration_stats: dict[str, StreamingStats] = field(
         default_factory=dict
@@ -47,11 +71,13 @@ class IngestionServer:
 
     def receive(self, payload: bytes) -> None:
         """Accept one compressed upload (the UploadBatcher transport)."""
+        if not self.available:
+            raise ServiceUnavailable("ingestion backend is down")
         self.bytes_received += len(payload)
         try:
             data = json.loads(zlib.decompress(payload))
         except (zlib.error, json.JSONDecodeError, UnicodeDecodeError):
-            self.malformed += 1
+            self._quarantine("undecodable", payload=payload)
             return
         self.ingest_record(data)
 
@@ -60,18 +86,21 @@ class IngestionServer:
         if not isinstance(data, dict) or not (
             _REQUIRED_FIELDS <= set(data)
         ):
-            self.malformed += 1
+            self._quarantine("missing-fields", data=data)
             return
         key = self._identity(data)
         if key in self._seen:
             self.duplicates += 1
             return
-        self._seen.add(key)
         try:
             record = FailureRecord.from_dict(data)
         except TypeError:
-            self.malformed += 1
+            self._quarantine("schema-mismatch", data=data)
             return
+        # The dedup key is recorded only after a successful parse: a
+        # malformed-but-complete record must not poison the dedup set,
+        # or a corrected retry would be miscounted as a duplicate.
+        self._seen.add(key)
         self.records.append(record)
         self.accepted += 1
         stats = self.duration_stats.setdefault(
@@ -80,7 +109,76 @@ class IngestionServer:
         stats.add(record.duration_s)
         self.duration_median.add(record.duration_s)
 
+    # -- outage simulation ----------------------------------------------------
+
+    def take_down(self) -> None:
+        """Begin a transient outage; uploads raise until bring_up()."""
+        self.available = False
+
+    def bring_up(self) -> None:
+        self.available = True
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-able snapshot of every ingest state that matters.
+
+        The quarantine is diagnostic and deliberately not part of the
+        snapshot; everything dedup or aggregation depends on is.
+        """
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "malformed": self.malformed,
+            "quarantined": self.quarantined,
+            "bytes_received": self.bytes_received,
+            "available": self.available,
+            "seen": sorted(self._seen),
+            "duration_stats": {
+                failure_type: stats.to_dict()
+                for failure_type, stats in self.duration_stats.items()
+            },
+            "duration_median": self.duration_median.to_dict(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "IngestionServer":
+        """Rebuild a server from :meth:`checkpoint` output.
+
+        Uploads that arrived after the snapshot are gone from state, but
+        because the dedup set is part of it, devices may simply retry
+        everything — replays of pre-snapshot records dedup cleanly.
+        """
+        server = cls(
+            records=[
+                FailureRecord.from_dict(data)
+                for data in snapshot["records"]
+            ],
+            accepted=int(snapshot["accepted"]),
+            duplicates=int(snapshot["duplicates"]),
+            malformed=int(snapshot["malformed"]),
+            quarantined=int(snapshot.get("quarantined", 0)),
+            bytes_received=int(snapshot["bytes_received"]),
+            available=bool(snapshot.get("available", True)),
+            duration_stats={
+                failure_type: StreamingStats.from_dict(data)
+                for failure_type, data
+                in snapshot["duration_stats"].items()
+            },
+            duration_median=P2Quantile.from_dict(
+                snapshot["duration_median"]
+            ),
+        )
+        server._seen = set(snapshot["seen"])
+        return server
+
     # -- queries -----------------------------------------------------------
+
+    @property
+    def accepted_keys(self) -> frozenset[str]:
+        """Identities of every accepted record (for reconciliation)."""
+        return frozenset(self._seen)
 
     def duration_share(self) -> dict[str, float]:
         """Per-type share of total failure duration (streaming)."""
@@ -97,16 +195,24 @@ class IngestionServer:
             "accepted": float(self.accepted),
             "duplicates": float(self.duplicates),
             "malformed": float(self.malformed),
+            "quarantined": float(self.quarantined),
             "bytes_received": float(self.bytes_received),
         }
 
     # -- internals -----------------------------------------------------------
 
+    def _quarantine(
+        self, reason: str, *, payload: bytes | None = None,
+        data: dict | None = None,
+    ) -> None:
+        self.malformed += 1
+        self.quarantined += 1
+        if len(self.quarantine) < QUARANTINE_CAPACITY:
+            self.quarantine.append({
+                "reason": reason, "payload": payload, "data": data,
+            })
+
     @staticmethod
     def _identity(data: dict) -> str:
         """Content hash for retry deduplication."""
-        blob = json.dumps(
-            {key: data[key] for key in sorted(data)},
-            sort_keys=True, default=str,
-        )
-        return hashlib.sha256(blob.encode()).hexdigest()
+        return record_identity(data)

@@ -54,6 +54,27 @@ class StreamingStats:
     def total(self) -> float:
         return self.mean * self.count
 
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (see :meth:`IngestionServer.checkpoint`)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingStats":
+        stats = cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            minimum=float(data["minimum"]),
+            maximum=float(data["maximum"]),
+        )
+        stats._m2 = float(data["m2"])
+        return stats
+
     def merge(self, other: "StreamingStats") -> "StreamingStats":
         """Combine two partitions (parallel aggregation)."""
         if other.count == 0:
@@ -114,6 +135,29 @@ class P2Quantile:
         index = min(len(ordered) - 1,
                     int(self.quantile * len(ordered)))
         return ordered[index]
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot of the full marker state."""
+        return {
+            "quantile": self.quantile,
+            "count": self.count,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "increments": list(self._increments),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "P2Quantile":
+        sketch = cls(float(data["quantile"]))
+        sketch.count = int(data["count"])
+        sketch._initial = [float(v) for v in data["initial"]]
+        sketch._heights = [float(v) for v in data["heights"]]
+        sketch._positions = [float(v) for v in data["positions"]]
+        sketch._desired = [float(v) for v in data["desired"]]
+        sketch._increments = [float(v) for v in data["increments"]]
+        return sketch
 
     # -- internals -----------------------------------------------------------
 

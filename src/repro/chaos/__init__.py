@@ -1,0 +1,34 @@
+"""Chaos engineering for the telemetry pipeline (device -> backend).
+
+The paper's backend ingested 2.32B failure events from 70M devices over
+flaky cellular/WiFi links; this package makes the reproduction's upload
+path earn the same robustness.  :class:`ChaosConfig` describes the
+faults, :class:`ChaosTransport` injects them between the device spooler
+and :class:`~repro.backend.ingest.IngestionServer`, and
+:func:`reconcile` proves afterwards that every missing record is
+explained by an explicit loss channel.
+"""
+
+from repro.chaos.config import ChaosConfig
+from repro.chaos.pipeline import TelemetryRunResult, run_telemetry_pipeline
+from repro.chaos.reconcile import ReconciliationReport, reconcile
+from repro.chaos.transport import (
+    BackendUnavailable,
+    ChaosTransport,
+    ChaosTransportError,
+    PayloadDropped,
+    mangle,
+)
+
+__all__ = [
+    "BackendUnavailable",
+    "ChaosConfig",
+    "ChaosTransport",
+    "ChaosTransportError",
+    "PayloadDropped",
+    "ReconciliationReport",
+    "TelemetryRunResult",
+    "mangle",
+    "reconcile",
+    "run_telemetry_pipeline",
+]

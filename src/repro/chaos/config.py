@@ -1,0 +1,91 @@
+"""Configuration for telemetry-pipeline fault injection.
+
+One frozen block describes both sides of the lossy path: the transport
+faults (drop / duplicate / reorder / corrupt / backend outages) and the
+device-side spooler policy that must survive them (retry budget,
+exponential backoff, spool bound).  A :class:`ChaosConfig` plugs into
+:class:`repro.fleet.scenario.ScenarioConfig` so any fleet run can
+execute under injected faults, seeded for paired-arm reproducibility
+like the simulator's common-random-numbers design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+_RATE_FIELDS = ("drop_rate", "duplicate_rate", "reorder_rate",
+                "corrupt_rate", "wifi_availability")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection and recovery policy for one telemetry run."""
+
+    enabled: bool = True
+    #: Seeds every chaos RNG stream (transport faults, per-device WiFi
+    #: availability, per-device backoff jitter).
+    seed: int = 1337
+
+    # -- transport faults ---------------------------------------------------
+    #: Probability a payload is lost in transit (sender sees no ack).
+    drop_rate: float = 0.0
+    #: Probability a delivered payload arrives twice (dedup fodder).
+    duplicate_rate: float = 0.0
+    #: Probability a payload is held back and delivered after a later
+    #: one (out-of-order arrival; acked immediately).
+    reorder_rate: float = 0.0
+    #: Probability a payload is delivered with mangled bytes (the
+    #: backend quarantines it; the sender still sees an ack).
+    corrupt_rate: float = 0.0
+    #: ``(start_s, end_s)`` windows of total backend unavailability, in
+    #: virtual study seconds.
+    outages: tuple[tuple[float, float], ...] = ()
+
+    # -- device spooler policy ----------------------------------------------
+    max_attempts: int = 10
+    base_backoff_s: float = 2.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 120.0
+    jitter: float = 0.5
+    #: Per-device spool bound (bytes); ``None`` disables shedding.
+    max_spool_bytes: int | None = 4 * 1024 * 1024
+
+    # -- pipeline schedule --------------------------------------------------
+    #: Probability WiFi is available at any flush opportunity.
+    wifi_availability: float = 0.35
+    #: Upload cadence during the end-of-run drain phase (virtual s).
+    drain_interval_s: float = 30.0
+    #: Drain rounds before leftovers are reported as in-flight.
+    max_drain_rounds: int = 400
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], "
+                                 f"got {value!r}")
+        object.__setattr__(
+            self, "outages",
+            tuple((float(start), float(end))
+                  for start, end in self.outages),
+        )
+        for start, end in self.outages:
+            if end <= start:
+                raise ValueError(
+                    f"outage window ({start}, {end}) is empty"
+                )
+        if self.max_attempts < 1:
+            raise ValueError("need at least one send attempt")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        if self.drain_interval_s <= 0:
+            raise ValueError("drain interval must be positive")
+
+    def lossless(self) -> "ChaosConfig":
+        """The same policy with every transport fault disabled."""
+        return replace(
+            self, drop_rate=0.0, duplicate_rate=0.0, reorder_rate=0.0,
+            corrupt_rate=0.0, outages=(),
+        )

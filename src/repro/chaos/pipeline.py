@@ -1,0 +1,126 @@
+"""Drive a dataset's failure records through the chaos telemetry path.
+
+The lossless reproduction hands records straight from batcher to
+backend; this module replays the same records the way 70M real devices
+would have shipped them — one durable spooler per device, WiFi coming
+and going, a fault-injecting transport in the middle, and a shared
+ingestion server deduplicating retries — then reconciles both ends.
+
+Every stochastic choice (WiFi availability, backoff jitter, transport
+faults) is drawn from streams seeded by ``(chaos seed, device id,
+purpose)``, mirroring the fleet simulator's common-random-numbers
+pairing: two runs of the same scenario see the same chaos.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.backend.ingest import IngestionServer
+from repro.chaos.config import ChaosConfig
+from repro.chaos.reconcile import ReconciliationReport, reconcile
+from repro.chaos.transport import ChaosTransport
+from repro.dataset.records import record_identity
+from repro.dataset.store import Dataset
+from repro.monitoring.uploader import UploadBatcher
+
+
+@dataclass
+class TelemetryRunResult:
+    """Everything a chaos telemetry run produced."""
+
+    report: ReconciliationReport
+    server: IngestionServer
+    transport: ChaosTransport
+    n_devices: int
+    drain_rounds: int
+
+    def summary(self) -> dict:
+        """JSON-able digest (stored in ``Dataset.metadata``)."""
+        return {
+            "reconciliation": self.report.to_dict(),
+            "server": self.server.summary(),
+            "n_devices": self.n_devices,
+            "drain_rounds": self.drain_rounds,
+        }
+
+
+def _device_batcher(chaos: ChaosConfig, device_id: int,
+                    transport: ChaosTransport) -> UploadBatcher:
+    return UploadBatcher(
+        transport=transport,
+        max_attempts=chaos.max_attempts,
+        base_backoff_s=chaos.base_backoff_s,
+        backoff_multiplier=chaos.backoff_multiplier,
+        max_backoff_s=chaos.max_backoff_s,
+        jitter=chaos.jitter,
+        max_spool_bytes=chaos.max_spool_bytes,
+        rng=random.Random(f"{chaos.seed}:{device_id}:backoff"),
+    )
+
+
+def run_telemetry_pipeline(
+    dataset: Dataset,
+    chaos: ChaosConfig,
+    server: IngestionServer | None = None,
+) -> TelemetryRunResult:
+    """Ship every failure record through the lossy path; reconcile.
+
+    Records are replayed in emission order (start time); each device
+    spools its own records and gets a flush opportunity whenever it
+    emits, with WiFi availability sampled per device.  After the last
+    record a drain phase keeps flushing (WiFi up everywhere) until
+    every spool is empty or the round budget runs out — whatever is
+    still queued then is reported as in flight.
+    """
+    if server is None:
+        server = IngestionServer()
+    transport = ChaosTransport(server.receive, chaos)
+    batchers: dict[int, UploadBatcher] = {}
+    wifi_rngs: dict[int, random.Random] = {}
+    emitted: set[str] = set()
+    last_t = 0.0
+
+    for record in sorted(dataset.failures,
+                         key=lambda r: (r.start_time, r.device_id)):
+        data = record.to_dict()
+        emitted.add(record_identity(data))
+        device_id = record.device_id
+        batcher = batchers.get(device_id)
+        if batcher is None:
+            batcher = _device_batcher(chaos, device_id, transport)
+            batchers[device_id] = batcher
+            wifi_rngs[device_id] = random.Random(
+                f"{chaos.seed}:{device_id}:wifi"
+            )
+        when = float(record.start_time)
+        last_t = max(last_t, when)
+        transport.advance(when)
+        batcher.enqueue(data)
+        wifi = (wifi_rngs[device_id].random()
+                < chaos.wifi_availability)
+        batcher.maybe_flush(wifi, now=when)
+
+    # Drain: WiFi up everywhere; keep flushing past outages/backoff.
+    when = last_t
+    rounds = 0
+    while rounds < chaos.max_drain_rounds and any(
+        batcher.pending_bytes for batcher in batchers.values()
+    ):
+        when += chaos.drain_interval_s
+        transport.advance(when)
+        for batcher in batchers.values():
+            if batcher.pending_bytes:
+                batcher.maybe_flush(True, now=when)
+        rounds += 1
+    transport.flush_held()
+
+    report = reconcile(emitted, server, batchers.values(), transport)
+    return TelemetryRunResult(
+        report=report,
+        server=server,
+        transport=transport,
+        n_devices=len(batchers),
+        drain_rounds=rounds,
+    )

@@ -1,0 +1,163 @@
+"""End-to-end reconciliation: emitted records vs accepted records.
+
+The closing argument of a chaos run.  Devices emitted a known set of
+record identities; the backend accepted some subset; every missing
+identity must be *explained* by an explicit loss channel — shed from a
+bounded spool, dropped after the retry budget, quarantined after
+corruption, or still in flight.  Anything else is an unexplained
+discrepancy, i.e. a pipeline bug.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from repro.dataset.records import record_identity
+
+
+@dataclass(frozen=True)
+class ReconciliationReport:
+    """Classified diff between emitted and accepted record sets."""
+
+    #: Distinct record identities devices emitted.
+    emitted: int
+    #: Distinct identities the backend accepted.
+    accepted: int
+    #: Duplicate deliveries the backend absorbed (dedup hits).
+    duplicates: int
+    #: Losses by channel (distinct identities).
+    shed: int
+    budget_exhausted: int
+    quarantined: int
+    in_flight: int
+    #: Missing identities no loss channel accounts for.
+    unexplained: tuple[str, ...]
+    #: attempts-before-success -> payload count across all devices.
+    retry_histogram: dict = field(default_factory=dict)
+    #: Transport-side fault counters (see ChaosTransport.summary).
+    transport: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexplained
+
+    @property
+    def explained_losses(self) -> int:
+        return (self.shed + self.budget_exhausted + self.quarantined
+                + self.in_flight)
+
+    def to_dict(self) -> dict:
+        return {
+            "emitted": self.emitted,
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "shed": self.shed,
+            "budget_exhausted": self.budget_exhausted,
+            "quarantined": self.quarantined,
+            "in_flight": self.in_flight,
+            "unexplained": list(self.unexplained),
+            "retry_histogram": {
+                str(attempts): count
+                for attempts, count in sorted(
+                    self.retry_histogram.items()
+                )
+            },
+            "transport": dict(self.transport),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'emitted':<22} {self.emitted:>10}",
+            f"{'accepted':<22} {self.accepted:>10}",
+            f"{'duplicates absorbed':<22} {self.duplicates:>10}",
+            f"{'shed (spool bound)':<22} {self.shed:>10}",
+            f"{'budget exhausted':<22} {self.budget_exhausted:>10}",
+            f"{'quarantined':<22} {self.quarantined:>10}",
+            f"{'in flight':<22} {self.in_flight:>10}",
+            f"{'UNEXPLAINED':<22} {len(self.unexplained):>10}",
+        ]
+        if self.retry_histogram:
+            lines.append("retry histogram (attempts before ack):")
+            for attempts, count in sorted(self.retry_histogram.items()):
+                lines.append(f"  {attempts:>3} retries  {count:>8}")
+        if self.transport:
+            lines.append("transport: " + "  ".join(
+                f"{name}={int(value)}"
+                for name, value in sorted(self.transport.items())
+            ))
+        return "\n".join(lines)
+
+
+def payload_key(payload: bytes) -> str | None:
+    """Recover a record identity from pristine payload bytes."""
+    try:
+        data = json.loads(zlib.decompress(payload))
+    except (zlib.error, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return record_identity(data)
+
+
+def reconcile(emitted_keys, server, batchers,
+              transport=None) -> ReconciliationReport:
+    """Diff emitted identities against the backend's accepted set.
+
+    ``batchers`` are the device-side spoolers (their shed / budget /
+    pending accounting explains sender-side losses); ``transport`` is
+    the optional :class:`~repro.chaos.transport.ChaosTransport`
+    (corruption and reorder-hold explain path-side losses).
+    """
+    emitted = set(emitted_keys)
+    accepted = set(server.accepted_keys)
+
+    shed_keys: set[str] = set()
+    budget_keys: set[str] = set()
+    pending_keys: set[str] = set()
+    retry_histogram: dict[int, int] = {}
+    for batcher in batchers:
+        shed_keys.update(batcher.shed_keys)
+        budget_keys.update(batcher.budget_exhausted_keys)
+        pending_keys.update(batcher.pending_keys)
+        for attempts, count in batcher.retry_histogram.items():
+            retry_histogram[attempts] = (
+                retry_histogram.get(attempts, 0) + count
+            )
+
+    corrupted_keys: set[str] = set()
+    held_keys: set[str] = set()
+    transport_summary: dict = {}
+    if transport is not None:
+        for payload in transport.corrupted_payloads:
+            key = payload_key(payload)
+            if key is not None:
+                corrupted_keys.add(key)
+        for payload in transport.held_payloads:
+            key = payload_key(payload)
+            if key is not None:
+                held_keys.add(key)
+        transport_summary = transport.summary()
+
+    missing = emitted - accepted
+    shed = missing & shed_keys
+    budget = (missing - shed) & budget_keys
+    quarantined = (missing - shed - budget) & corrupted_keys
+    in_flight = (missing - shed - budget - quarantined) & (
+        pending_keys | held_keys
+    )
+    unexplained = missing - shed - budget - quarantined - in_flight
+
+    return ReconciliationReport(
+        emitted=len(emitted),
+        accepted=len(accepted & emitted),
+        duplicates=server.duplicates,
+        shed=len(shed),
+        budget_exhausted=len(budget),
+        quarantined=len(quarantined),
+        in_flight=len(in_flight),
+        unexplained=tuple(sorted(unexplained)),
+        retry_histogram=retry_histogram,
+        transport=transport_summary,
+    )

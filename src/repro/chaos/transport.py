@@ -1,0 +1,154 @@
+"""A fault-injecting transport between device spoolers and the backend.
+
+Sits exactly where the network would: the
+:class:`repro.monitoring.uploader.UploadBatcher` calls it like any
+transport, and it forwards (or mangles, drops, duplicates, reorders,
+or refuses) payloads to the real backend callable.  Every fault is
+drawn from one seeded RNG, so a chaos run is bit-reproducible and two
+arms of a paired experiment see the same fault sequence.
+
+Fault semantics match real uplinks:
+
+* **drop** — payload lost in transit; the sender gets no ack
+  (:class:`PayloadDropped`) and will retry.
+* **outage** — backend down for a configured window of virtual time;
+  every send raises :class:`BackendUnavailable`.
+* **duplicate** — payload delivered twice under one ack; the backend's
+  dedup must absorb it.
+* **reorder** — payload acked but held back, delivered only after a
+  later payload (or at :meth:`ChaosTransport.flush_held`).
+* **corrupt** — payload delivered with a broken header under a normal
+  ack; the backend quarantines it and the record is lost unless
+  another copy got through.  The pristine bytes are retained so the
+  reconciler can classify the loss.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.config import ChaosConfig
+
+
+class ChaosTransportError(RuntimeError):
+    """Base class for injected transport failures (the missing ack)."""
+
+
+class PayloadDropped(ChaosTransportError):
+    """The payload vanished in transit; no ack reaches the sender."""
+
+
+class BackendUnavailable(ChaosTransportError):
+    """The backend is inside an injected outage window."""
+
+
+def mangle(payload: bytes) -> bytes:
+    """Corrupt a compressed payload so decompression must fail."""
+    if not payload:
+        return b"\xff"
+    # Flipping the first byte breaks the zlib header, guaranteeing the
+    # backend sees ``zlib.error`` rather than a silently-wrong record.
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]
+
+
+class ChaosTransport:
+    """Wraps a backend callable with seeded fault injection."""
+
+    def __init__(self, inner, config: ChaosConfig,
+                 now: float = 0.0) -> None:
+        self.inner = inner
+        self.config = config
+        #: Current virtual time; outage windows are judged against it.
+        self.now = now
+        self.rng = random.Random(f"chaos-transport:{config.seed}")
+        self.sends = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.corrupted = 0
+        self.outage_rejections = 0
+        #: Pristine bytes of payloads whose delivery was corrupted.
+        self.corrupted_payloads: list[bytes] = []
+        self._held: list[bytes] = []
+
+    # -- time ----------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Move virtual time forward (never backward)."""
+        if now > self.now:
+            self.now = now
+
+    def in_outage(self, now: float | None = None) -> bool:
+        at = self.now if now is None else now
+        return any(start <= at < end
+                   for start, end in self.config.outages)
+
+    # -- the transport protocol ----------------------------------------------
+
+    def __call__(self, payload: bytes) -> None:
+        """Send one payload; raising means the sender saw no ack."""
+        self.sends += 1
+        if self.in_outage():
+            self.outage_rejections += 1
+            raise BackendUnavailable(
+                f"backend outage at t={self.now:.0f}s"
+            )
+        if self.rng.random() < self.config.drop_rate:
+            self.dropped += 1
+            raise PayloadDropped("payload lost in transit")
+        if self.rng.random() < self.config.reorder_rate:
+            self.reordered += 1
+            self._held.append(payload)
+            return  # acked now, delivered after a later payload
+        self._deliver(payload)
+        self._release_held()
+
+    def flush_held(self) -> int:
+        """Deliver any reorder-held payloads (end-of-run drain)."""
+        return self._release_held()
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def held_payloads(self) -> tuple[bytes, ...]:
+        """Acked payloads still in the reorder buffer (in flight)."""
+        return tuple(self._held)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "sends": float(self.sends),
+            "delivered": float(self.delivered),
+            "dropped": float(self.dropped),
+            "duplicated": float(self.duplicated),
+            "reordered": float(self.reordered),
+            "corrupted": float(self.corrupted),
+            "outage_rejections": float(self.outage_rejections),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _release_held(self) -> int:
+        """Deliver held payloads; re-hold the rest if the backend dies
+        mid-way (they stay accounted as in flight, never lost)."""
+        held, self._held = self._held, []
+        for index, late in enumerate(held):
+            try:
+                self.inner(late)
+            except Exception:
+                self._held = held[index:] + self._held
+                raise
+            self.delivered += 1
+        return len(held)
+
+    def _deliver(self, payload: bytes) -> None:
+        if self.rng.random() < self.config.corrupt_rate:
+            self.corrupted += 1
+            self.corrupted_payloads.append(payload)
+            self.inner(mangle(payload))
+            return
+        self.inner(payload)
+        self.delivered += 1
+        if self.rng.random() < self.config.duplicate_rate:
+            self.duplicated += 1
+            self.inner(payload)

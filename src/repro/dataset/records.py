@@ -16,11 +16,27 @@ thousands of them in memory.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 
 #: Evaluation arm labels.
 ARM_VANILLA = "vanilla"
 ARM_PATCHED = "patched"
+
+
+def record_identity(data: dict) -> str:
+    """Content hash identifying one record across retried uploads.
+
+    The device-side spooler stamps every payload with this key and the
+    backend deduplicates on it, so the two ends of a lossy transport
+    agree on what "the same record" means without a shared counter.
+    """
+    blob = json.dumps(
+        {key: data[key] for key in sorted(data)},
+        sort_keys=True, default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass(slots=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.chaos.config import ChaosConfig
 from repro.dataset.records import ARM_PATCHED, ARM_VANILLA
 from repro.network.topology import TopologyConfig
 
@@ -35,6 +36,13 @@ class ScenarioConfig:
     topology: TopologyConfig = field(
         default_factory=lambda: TopologyConfig(n_base_stations=3_000)
     )
+    #: Fault injection for the telemetry upload path; ``None`` keeps
+    #: the legacy lossless in-process hand-off.  When set, the run's
+    #: failure records are additionally shipped through per-device
+    #: spoolers and a :class:`~repro.chaos.transport.ChaosTransport`
+    #: into an ingestion server, and the reconciliation summary lands
+    #: in ``Dataset.metadata["telemetry"]``.
+    chaos: ChaosConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:

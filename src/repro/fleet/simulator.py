@@ -26,6 +26,7 @@ from repro.android.recovery import (
     TIMP_RECOVERY_POLICY,
     VANILLA_RECOVERY_POLICY,
 )
+from repro.chaos.pipeline import TelemetryRunResult, run_telemetry_pipeline
 from repro.core.events import FailureType
 from repro.dataset.records import (
     ARM_PATCHED,
@@ -71,6 +72,9 @@ class FleetSimulator:
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
         self.topology = NationalTopology(config.topology)
+        #: Chaos telemetry result of the last run (None when the
+        #: scenario has no ``chaos`` block).
+        self.telemetry: TelemetryRunResult | None = None
 
     # -- public API ----------------------------------------------------------
 
@@ -94,6 +98,10 @@ class FleetSimulator:
         ]
         for device_id in range(1, self.config.n_devices + 1):
             self._simulate_device(device_id, dataset)
+        chaos = self.config.chaos
+        if chaos is not None and chaos.enabled:
+            self.telemetry = run_telemetry_pipeline(dataset, chaos)
+            dataset.metadata["telemetry"] = self.telemetry.summary()
         return dataset
 
     # -- per-device simulation ---------------------------------------------------

@@ -1,59 +1,236 @@
-"""WiFi-gated, compressed upload batching (Sec. 2.2).
+"""WiFi-gated, compressed upload batching with a durable spool (Sec. 2.2).
 
 Recorded data are compressed and uploaded to the backend; heavy
 producers (devices with tens of thousands of failures a month) only
 upload when WiFi connectivity is available so cellular overhead stays
 negligible — the aggregate across 70M devices stayed under 500 KB/s.
+
+The batcher is a *spooler*: every payload stays queued until the
+transport acknowledges it (returns without raising), so a flush that
+dies mid-way neither loses nor double-counts records.  Failed sends are
+retried under exponential backoff with jitter and a per-payload retry
+budget; a bounded spool sheds oldest-first with explicit accounting.
+Chaos transports (:mod:`repro.chaos`) exercise every one of these
+paths.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
+
+from repro.dataset.records import record_identity
 
 #: A device uploads over cellular only below this backlog (bytes);
 #: larger backlogs wait for WiFi.
 CELLULAR_BACKLOG_LIMIT_BYTES = 256 * 1024
 
 
+@dataclass(slots=True)
+class SpooledPayload:
+    """One compressed record waiting in the device spool."""
+
+    payload: bytes
+    #: Content identity of the record (for end-to-end reconciliation);
+    #: ``None`` for payloads enqueued without a record dict.
+    key: str | None
+    #: Monotonic enqueue sequence number (spool is oldest-first).
+    seq: int
+    #: Send attempts so far (successful ack ends the payload's life).
+    attempts: int = 0
+
+
 @dataclass
 class UploadBatcher:
-    """Buffers serialized records and flushes them opportunistically."""
+    """Buffers serialized records and flushes them opportunistically.
+
+    The ack protocol is exception-based: ``transport(payload)``
+    returning means *acknowledged*; any exception means the payload was
+    not durably received and must stay spooled.  Per-payload accounting
+    is exception-safe — a transport failure mid-flush leaves already
+    acked payloads counted exactly once and unacked ones queued.
+    """
 
     #: Callable receiving compressed payload bytes; the "backend".
     transport: object = None
-    _pending: list[bytes] = field(default_factory=list, init=False)
-    pending_bytes: int = 0
-    uploaded_bytes: int = 0
-    uploads: int = 0
+    #: Per-payload send budget; once exhausted the payload is dropped
+    #: (accounted in ``budget_exhausted_*``).
+    max_attempts: int = 8
+    #: Exponential backoff after a failed flush: first delay, growth
+    #: factor, cap, and fractional jitter.
+    base_backoff_s: float = 2.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 300.0
+    jitter: float = 0.5
+    #: Spool bound in bytes; ``None`` means unbounded.  When exceeded,
+    #: the *oldest* payloads are shed (freshest data is worth most).
+    max_spool_bytes: int | None = None
+    #: Jitter source; inject a seeded stream for paired-arm runs.
+    rng: random.Random = field(
+        default_factory=lambda: random.Random(0x5B001)
+    )
+
+    # -- accounting ---------------------------------------------------------
+    pending_bytes: int = field(default=0, init=False)
+    uploaded_bytes: int = field(default=0, init=False)
+    #: Flush calls that uploaded at least one payload.
+    uploads: int = field(default=0, init=False)
+    acked_payloads: int = field(default=0, init=False)
+    failed_sends: int = field(default=0, init=False)
+    #: Failed sends whose payload stayed queued for another try.
+    retries: int = field(default=0, init=False)
+    shed_payloads: int = field(default=0, init=False)
+    shed_bytes: int = field(default=0, init=False)
+    budget_exhausted_payloads: int = field(default=0, init=False)
+    #: Record identities of shed / budget-dropped payloads, for the
+    #: reconciliation report.
+    shed_keys: list = field(default_factory=list, init=False)
+    budget_exhausted_keys: list = field(default_factory=list, init=False)
+    #: attempts-before-success -> payload count (0 = first try).
+    retry_histogram: dict = field(default_factory=dict, init=False)
+    #: Earliest time the next flush attempt is allowed (backoff gate;
+    #: inert for callers that never pass ``now``).
+    next_attempt_s: float = field(default=0.0, init=False)
+    last_error: str | None = field(default=None, init=False)
+
+    _pending: deque = field(default_factory=deque, init=False,
+                            repr=False)
+    _backoff_s: float = field(default=0.0, init=False, repr=False)
+    _seq: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one send attempt")
+        self._backoff_s = self.base_backoff_s
+
+    # -- enqueue -------------------------------------------------------------
 
     def enqueue(self, record: dict) -> int:
-        """Serialize, compress, and buffer one record; returns its size."""
+        """Serialize, compress, and spool one record; returns its size."""
         payload = zlib.compress(
             json.dumps(record, sort_keys=True, default=str).encode()
         )
-        self._pending.append(payload)
+        key = record_identity(record) if isinstance(record, dict) else None
+        return self.enqueue_payload(payload, key=key)
+
+    def enqueue_payload(self, payload: bytes,
+                        key: str | None = None) -> int:
+        """Spool an already-compressed payload; returns its size."""
+        self._seq += 1
+        self._pending.append(SpooledPayload(payload, key, self._seq))
         self.pending_bytes += len(payload)
+        self._shed_overflow()
         return len(payload)
 
-    def maybe_flush(self, wifi_available: bool) -> int:
-        """Flush the buffer if policy allows; returns bytes uploaded.
+    # -- flush ---------------------------------------------------------------
 
-        Small backlogs may ride cellular; big ones wait for WiFi.
+    def cellular_permitted(self) -> bool:
+        """Sec. 2.2 gate: cellular uploads allowed at or below the
+        backlog limit; strictly larger backlogs wait for WiFi."""
+        return self.pending_bytes <= CELLULAR_BACKLOG_LIMIT_BYTES
+
+    def maybe_flush(self, wifi_available: bool,
+                    now: float | None = None) -> int:
+        """Flush the spool if policy allows; returns bytes acked.
+
+        ``now`` (virtual seconds) engages the backoff gate; omit it for
+        legacy immediate-retry behaviour.
         """
         if not self._pending:
             return 0
-        if not wifi_available and (
-            self.pending_bytes > CELLULAR_BACKLOG_LIMIT_BYTES
-        ):
+        if not wifi_available and not self.cellular_permitted():
             return 0
-        flushed = self.pending_bytes
-        if self.transport is not None:
-            for payload in self._pending:
-                self.transport(payload)
-        self._pending.clear()
-        self.pending_bytes = 0
-        self.uploaded_bytes += flushed
-        self.uploads += 1
+        if now is not None and now < self.next_attempt_s:
+            return 0
+        flushed = 0
+        failed = False
+        while self._pending:
+            entry = self._pending[0]
+            entry.attempts += 1
+            try:
+                if self.transport is not None:
+                    self.transport(entry.payload)
+            except Exception as exc:  # a nack: keep or drop, never lose
+                self.failed_sends += 1
+                self.last_error = repr(exc)
+                if entry.attempts >= self.max_attempts:
+                    self._drop_head_over_budget()
+                else:
+                    self.retries += 1
+                failed = True
+                break
+            self._pending.popleft()
+            self.pending_bytes -= len(entry.payload)
+            flushed += len(entry.payload)
+            self.acked_payloads += 1
+            prior = entry.attempts - 1
+            self.retry_histogram[prior] = (
+                self.retry_histogram.get(prior, 0) + 1
+            )
+        if flushed:
+            self.uploaded_bytes += flushed
+            self.uploads += 1
+        if failed:
+            self._arm_backoff(now)
+        else:
+            self._backoff_s = self.base_backoff_s
+            self.next_attempt_s = 0.0
         return flushed
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def pending_payloads(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_keys(self) -> list[str]:
+        """Identities still spooled (in-flight for reconciliation)."""
+        return [entry.key for entry in self._pending
+                if entry.key is not None]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "pending_payloads": float(len(self._pending)),
+            "pending_bytes": float(self.pending_bytes),
+            "uploaded_bytes": float(self.uploaded_bytes),
+            "uploads": float(self.uploads),
+            "acked_payloads": float(self.acked_payloads),
+            "failed_sends": float(self.failed_sends),
+            "retries": float(self.retries),
+            "shed_payloads": float(self.shed_payloads),
+            "budget_exhausted_payloads": float(
+                self.budget_exhausted_payloads
+            ),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _shed_overflow(self) -> None:
+        if self.max_spool_bytes is None:
+            return
+        # Keep at least the newest payload even if it alone overflows.
+        while (self.pending_bytes > self.max_spool_bytes
+               and len(self._pending) > 1):
+            oldest = self._pending.popleft()
+            self.pending_bytes -= len(oldest.payload)
+            self.shed_payloads += 1
+            self.shed_bytes += len(oldest.payload)
+            if oldest.key is not None:
+                self.shed_keys.append(oldest.key)
+
+    def _drop_head_over_budget(self) -> None:
+        entry = self._pending.popleft()
+        self.pending_bytes -= len(entry.payload)
+        self.budget_exhausted_payloads += 1
+        if entry.key is not None:
+            self.budget_exhausted_keys.append(entry.key)
+
+    def _arm_backoff(self, now: float | None) -> None:
+        delay = self._backoff_s * (1.0 + self.jitter * self.rng.random())
+        self.next_attempt_s = (0.0 if now is None else now) + delay
+        self._backoff_s = min(self.max_backoff_s,
+                              self._backoff_s * self.backoff_multiplier)

@@ -8,7 +8,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.backend.ingest import IngestionServer
+from repro.backend.ingest import (
+    QUARANTINE_CAPACITY,
+    IngestionServer,
+    ServiceUnavailable,
+)
 from repro.backend.streaming import P2Quantile, StreamingStats
 from repro.monitoring.uploader import UploadBatcher
 
@@ -175,4 +179,75 @@ class TestIngestionServer:
     def test_summary_keys(self):
         summary = IngestionServer().summary()
         assert set(summary) == {"accepted", "duplicates", "malformed",
-                                "bytes_received"}
+                                "quarantined", "bytes_received"}
+
+    def test_malformed_record_does_not_poison_dedup(self):
+        """A malformed-but-complete record must not enter the dedup
+        set: its retry is malformed again, not a 'duplicate', and a
+        corrected record with overlapping content is accepted."""
+        server = IngestionServer()
+        bad = record_dict()
+        bad["unexpected_field"] = 1  # complete, but fails to parse
+        server.ingest_record(dict(bad))
+        server.ingest_record(dict(bad))
+        assert server.malformed == 2
+        assert server.duplicates == 0
+        assert server.accepted == 0
+        server.ingest_record(record_dict())  # the corrected retry
+        assert server.accepted == 1
+
+    def test_malformed_payloads_are_quarantined(self):
+        server = IngestionServer()
+        server.receive(b"garbage bytes")
+        bad = record_dict()
+        bad["unexpected_field"] = 1
+        server.ingest_record(bad)
+        server.ingest_record({"nope": 1})
+        assert server.quarantined == 3
+        reasons = {entry["reason"] for entry in server.quarantine}
+        assert reasons == {"undecodable", "schema-mismatch",
+                           "missing-fields"}
+
+    def test_quarantine_is_bounded(self):
+        server = IngestionServer()
+        for _ in range(QUARANTINE_CAPACITY + 50):
+            server.receive(b"junk")
+        assert server.quarantined == QUARANTINE_CAPACITY + 50
+        assert len(server.quarantine) == QUARANTINE_CAPACITY
+
+    def test_unavailable_server_refuses_uploads(self):
+        server = IngestionServer()
+        server.take_down()
+        with pytest.raises(ServiceUnavailable):
+            server.receive(self.compress(record_dict()))
+        assert server.bytes_received == 0
+        server.bring_up()
+        server.receive(self.compress(record_dict()))
+        assert server.accepted == 1
+
+    def test_checkpoint_restore_resumes_without_double_count(self):
+        """A crashed server restored from a snapshot absorbs the full
+        retry storm: pre-snapshot records dedup, post-snapshot records
+        are accepted exactly once."""
+        server = IngestionServer()
+        early = [record_dict(device_id=i, start=float(i))
+                 for i in range(6)]
+        late = [record_dict(device_id=i, start=float(i))
+                for i in range(6, 10)]
+        for data in early:
+            server.receive(self.compress(data))
+        snapshot = json.loads(json.dumps(server.checkpoint()))
+        for data in late:
+            server.receive(self.compress(data))
+        assert server.accepted == 10
+
+        restored = IngestionServer.restore(snapshot)
+        assert restored.accepted == 6
+        for data in early + late:  # devices retry everything
+            restored.receive(self.compress(data))
+        assert restored.accepted == 10
+        assert restored.duplicates == 6
+        stats = restored.duration_stats["DATA_STALL"]
+        assert stats.count == 10
+        assert stats.mean == pytest.approx(30.0)
+        assert restored.duration_median.count == 10

@@ -51,6 +51,8 @@ def test_backend_pipeline():
     output = run_example("backend_pipeline.py", "120")
     assert "accepted=" in output
     assert "streaming vs batch" in output
+    assert "lossy transport" in output
+    assert "UNEXPLAINED" in output
 
 
 def test_render_figures(tmp_path):

@@ -1,5 +1,7 @@
 """Unit tests for overhead accounting and upload batching."""
 
+import random
+
 import pytest
 
 from repro.monitoring.overhead import OverheadAccountant
@@ -115,3 +117,127 @@ class TestUploadBatcher:
 
     def test_empty_flush_is_zero(self):
         assert UploadBatcher().maybe_flush(wifi_available=True) == 0
+
+    def test_cellular_boundary_is_inclusive(self):
+        """A backlog of exactly CELLULAR_BACKLOG_LIMIT_BYTES may still
+        ride cellular; one byte more waits for WiFi."""
+        at_limit = UploadBatcher()
+        at_limit.enqueue_payload(b"x" * CELLULAR_BACKLOG_LIMIT_BYTES)
+        assert at_limit.pending_bytes == CELLULAR_BACKLOG_LIMIT_BYTES
+        assert at_limit.cellular_permitted()
+        assert at_limit.maybe_flush(wifi_available=False) > 0
+
+        over_limit = UploadBatcher()
+        over_limit.enqueue_payload(
+            b"x" * (CELLULAR_BACKLOG_LIMIT_BYTES + 1)
+        )
+        assert not over_limit.cellular_permitted()
+        assert over_limit.maybe_flush(wifi_available=False) == 0
+        assert over_limit.maybe_flush(wifi_available=True) > 0
+
+
+class FlakyTransport:
+    """Fails selected send indices (0-based); records deliveries."""
+
+    def __init__(self, fail_indices=()):
+        self.fail_indices = set(fail_indices)
+        self.calls = 0
+        self.delivered = []
+
+    def __call__(self, payload: bytes) -> None:
+        index = self.calls
+        self.calls += 1
+        if index in self.fail_indices:
+            raise ConnectionError(f"send {index} failed")
+        self.delivered.append(payload)
+
+
+class TestDurableSpool:
+    def test_partial_flush_is_exception_safe(self):
+        """A transport failure mid-flush keeps unacked payloads
+        spooled and counts acked ones exactly once (no re-send)."""
+        transport = FlakyTransport(fail_indices={2})
+        batcher = UploadBatcher(transport=transport)
+        sizes = [batcher.enqueue({"n": i, "pad": "x" * 50})
+                 for i in range(4)]
+        flushed = batcher.maybe_flush(wifi_available=True)
+        assert flushed == sizes[0] + sizes[1]
+        assert batcher.uploaded_bytes == flushed
+        assert batcher.acked_payloads == 2
+        assert batcher.pending_payloads == 2
+        assert batcher.pending_bytes == sizes[2] + sizes[3]
+        assert batcher.failed_sends == 1
+
+        # The retry sends only the two unacked payloads.
+        flushed = batcher.maybe_flush(wifi_available=True)
+        assert flushed == sizes[2] + sizes[3]
+        assert len(transport.delivered) == 4
+        assert len(set(transport.delivered)) == 4
+        assert batcher.pending_payloads == 0
+        assert batcher.retry_histogram == {0: 3, 1: 1}
+
+    def test_backoff_gates_retries(self):
+        transport = FlakyTransport(fail_indices={0})
+        batcher = UploadBatcher(transport=transport,
+                                base_backoff_s=10.0, jitter=0.0,
+                                rng=random.Random(1))
+        batcher.enqueue({"a": 1})
+        assert batcher.maybe_flush(True, now=100.0) == 0
+        assert batcher.next_attempt_s == pytest.approx(110.0)
+        # Inside the backoff window: no transport call at all.
+        assert batcher.maybe_flush(True, now=105.0) == 0
+        assert transport.calls == 1
+        # Past the window: retried and acked.
+        assert batcher.maybe_flush(True, now=110.0) > 0
+        assert batcher.pending_payloads == 0
+
+    def test_backoff_grows_then_resets(self):
+        transport = FlakyTransport(fail_indices={0, 1})
+        batcher = UploadBatcher(transport=transport,
+                                base_backoff_s=2.0,
+                                backoff_multiplier=3.0, jitter=0.0)
+        batcher.enqueue({"a": 1})
+        batcher.maybe_flush(True, now=0.0)
+        assert batcher.next_attempt_s == pytest.approx(2.0)
+        batcher.maybe_flush(True, now=2.0)
+        assert batcher.next_attempt_s == pytest.approx(8.0)
+        batcher.maybe_flush(True, now=8.0)  # succeeds
+        assert batcher.next_attempt_s == 0.0
+
+    def test_retry_budget_drops_head_with_accounting(self):
+        def always_down(payload: bytes) -> None:
+            raise ConnectionError("backend down")
+
+        batcher = UploadBatcher(transport=always_down, max_attempts=3)
+        batcher.enqueue({"device_id": 1, "n": 1})
+        for _ in range(3):
+            batcher.maybe_flush(wifi_available=True)
+        assert batcher.pending_payloads == 0
+        assert batcher.budget_exhausted_payloads == 1
+        assert len(batcher.budget_exhausted_keys) == 1
+        assert batcher.failed_sends == 3
+        assert batcher.retries == 2
+
+    def test_bounded_spool_sheds_oldest_first(self):
+        import hashlib
+
+        batcher = UploadBatcher(max_spool_bytes=300)
+        # High-entropy padding so each compressed payload stays >100 B.
+        sizes = [batcher.enqueue({
+            "n": i,
+            "pad": hashlib.sha256(str(i).encode()).hexdigest() * 3,
+        }) for i in range(8)]
+        assert batcher.pending_bytes <= 300
+        assert batcher.shed_payloads > 0
+        assert batcher.shed_bytes == sum(sizes) - batcher.pending_bytes
+        # The newest record is never shed; the shed ones are oldest.
+        kept = set(batcher.pending_keys)
+        assert len(kept) + len(batcher.shed_keys) == 8
+        assert not (kept & set(batcher.shed_keys))
+
+    def test_unbounded_by_default(self):
+        batcher = UploadBatcher()
+        for i in range(50):
+            batcher.enqueue({"n": i, "pad": "x" * 4_096})
+        assert batcher.shed_payloads == 0
+        assert batcher.pending_payloads == 50

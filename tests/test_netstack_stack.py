@@ -52,6 +52,32 @@ class TestActiveFault:
                             duration=float("inf"))
         assert fault.active_at(1e12)
 
+    def test_window_is_half_open(self):
+        """[start, end): live at its first instant, gone at its last."""
+        fault = ActiveFault(FaultKind.DNS_OUTAGE, start=100.0,
+                            duration=30.0)
+        assert fault.end == 130.0
+        assert fault.active_at(fault.start)
+        assert not fault.active_at(fault.end)
+
+    def test_zero_duration_fault_is_never_active(self):
+        fault = ActiveFault(FaultKind.NETWORK_STALL, start=50.0,
+                            duration=0.0)
+        assert fault.end == fault.start
+        assert not fault.active_at(fault.start)
+        assert not fault.active_at(fault.end)
+
+    def test_infinite_fault_edges(self):
+        """Only recovery clears an infinite fault: active from its
+        first instant onward, with an unreachable end."""
+        fault = ActiveFault(FaultKind.MODEM_DRIVER_FAILURE, start=7.0,
+                            duration=float("inf"))
+        assert fault.end == float("inf")
+        assert fault.active_at(fault.start)
+        assert fault.active_at(float(10**18))
+        assert not fault.active_at(fault.start - 1e-9)
+        assert not fault.active_at(float("inf"))  # end stays exclusive
+
 
 class TestStackProbeSurface:
     def test_healthy_stack_answers_everything(self):
