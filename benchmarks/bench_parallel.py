@@ -1,0 +1,169 @@
+"""Benchmark the sharded fleet engine against the sequential baseline.
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        [--devices 1000] [--seed 7] [--workers 2 4] \
+        [--out BENCH_parallel.json] [--verify-only]
+
+For each worker count the harness runs the same scenario through
+``FleetSimulator.run(workers=N)``, times it against the sequential
+``run()`` baseline, verifies that the merged records are byte-identical
+to the sequential run (device, base-station, failure, and transition
+records, in order), and writes everything to ``BENCH_parallel.json`` so
+future PRs have a recorded perf trajectory:
+
+* ``serial``: baseline wall time and devices/sec;
+* one entry per worker count: wall time, devices/sec, measured
+  ``speedup_vs_serial``, per-shard stats, and ``records_identical``;
+* ``projected_speedup``: what the same shard workloads would yield if
+  the shards ran fully concurrently, computed from per-shard *CPU*
+  time (``serial wall / max shard cpu_s``).  CPU time excludes the
+  contention sibling workers inflict on each other when the machine
+  has fewer idle cores than workers, so it is the honest basis for
+  projecting onto a machine with >= N idle cores.  On a single-core
+  container the *measured* speedup is necessarily <= 1x; the
+  projection is what CI machines and workstations see.
+
+``--verify-only`` skips the JSON and exits non-zero unless every worker
+count reproduces the sequential records exactly — the determinism smoke
+used by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.dataset.store import Dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+from repro.parallel.engine import preferred_start_method
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def record_digest(dataset: Dataset) -> str:
+    """SHA-256 over the dataset's records (metadata excluded)."""
+    hasher = hashlib.sha256()
+    for group in (dataset.devices, dataset.base_stations,
+                  dataset.failures, dataset.transitions):
+        for record in group:
+            hasher.update(
+                json.dumps(record.to_dict(), sort_keys=True).encode()
+            )
+    return hasher.hexdigest()
+
+
+def scenario_for(devices: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_devices=devices,
+        seed=seed,
+        topology=TopologyConfig(
+            n_base_stations=max(400, devices // 2), seed=seed + 1
+        ),
+    )
+
+
+def run_once(scenario: ScenarioConfig, workers: int | None) -> tuple[Dataset, float]:
+    started = time.perf_counter()
+    dataset = FleetSimulator(scenario).run(workers=workers)
+    return dataset, time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--devices", type=int, default=1_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--verify-only", action="store_true",
+                        help="determinism smoke: check record identity "
+                             "and exit (no JSON written)")
+    args = parser.parse_args(argv)
+
+    scenario = scenario_for(args.devices, args.seed)
+    print(f"serial baseline: {args.devices} devices ...", flush=True)
+    serial_ds, serial_wall = run_once(scenario, workers=None)
+    serial_digest = record_digest(serial_ds)
+    print(f"  {serial_wall:.2f} s "
+          f"({args.devices / serial_wall:.0f} devices/s), "
+          f"digest {serial_digest[:12]}")
+
+    runs = []
+    all_identical = True
+    for workers in args.workers:
+        print(f"workers={workers} ...", flush=True)
+        parallel_ds, wall = run_once(scenario, workers=workers)
+        digest = record_digest(parallel_ds)
+        identical = digest == serial_digest
+        all_identical &= identical
+        execution = parallel_ds.metadata["execution"]
+        # Project from CPU time, not shard wall time: on a machine with
+        # fewer idle cores than workers the shard walls include sibling
+        # contention, which would make the projection pessimistic.
+        shard_costs = [s["cpu_s"] or s["wall_s"] for s in execution["shards"]]
+        projected = serial_wall / max(shard_costs) if shard_costs else 1.0
+        run = {
+            "workers": workers,
+            "mode": execution["mode"],
+            "start_method": execution.get("start_method"),
+            "wall_s": wall,
+            "devices_per_s": args.devices / wall,
+            "speedup_vs_serial": serial_wall / wall,
+            "projected_speedup": projected,
+            "records_identical": identical,
+            "record_digest": digest,
+            "shards": execution["shards"],
+        }
+        runs.append(run)
+        print(f"  {wall:.2f} s ({run['devices_per_s']:.0f} devices/s), "
+              f"measured speedup {run['speedup_vs_serial']:.2f}x, "
+              f"projected on >={workers} cores "
+              f"{projected:.2f}x, identical={identical}")
+
+    if args.verify_only:
+        if not all_identical:
+            print("FAIL: sharded records diverged from serial",
+                  file=sys.stderr)
+            return 1
+        print("OK: all worker counts reproduce the serial records")
+        return 0
+
+    report = {
+        "benchmark": "parallel_fleet",
+        "scenario": {
+            "n_devices": args.devices,
+            "seed": args.seed,
+            "n_base_stations": scenario.topology.n_base_stations,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "cpus_available": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            "start_method": preferred_start_method(),
+        },
+        "serial": {
+            "wall_s": serial_wall,
+            "devices_per_s": args.devices / serial_wall,
+            "record_digest": serial_digest,
+        },
+        "runs": runs,
+        "all_records_identical": all_identical,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if all_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,10 +12,14 @@ reductions the paper reports:
 
 Usage::
 
-    python examples/enhancement_ab.py [n_devices]
+    python examples/enhancement_ab.py [n_devices] [--workers N]
+
+``--workers N`` runs each arm sharded across N worker processes; the
+paired deltas are identical at any worker count because both arms'
+per-device streams depend only on (seed, device id, purpose).
 """
 
-import sys
+import argparse
 import time
 
 from repro import ScenarioConfig, run_ab_evaluation
@@ -24,16 +28,24 @@ from repro.network.topology import TopologyConfig
 
 
 def main() -> None:
-    n_devices = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("n_devices", nargs="?", type=int, default=2_000)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard each arm across N worker processes")
+    args = parser.parse_args()
+    n_devices = args.n_devices
     scenario = ScenarioConfig(
         n_devices=n_devices,
         seed=1104,
         topology=TopologyConfig(n_base_stations=max(400, n_devices // 2),
                                 seed=1105),
     )
-    print(f"Running both arms over {n_devices} devices...")
+    print(f"Running both arms over {n_devices} devices "
+          f"(workers={args.workers or 1})...")
     started = time.perf_counter()
-    vanilla, patched, evaluation = run_ab_evaluation(scenario)
+    vanilla, patched, evaluation = run_ab_evaluation(
+        scenario, workers=args.workers
+    )
     elapsed = time.perf_counter() - started
     print(f"done in {elapsed:.1f} s "
           f"(vanilla: {vanilla.n_failures} failures, "

@@ -3,17 +3,18 @@ Sec. 3 analysis report.
 
 Usage::
 
-    python examples/quickstart.py [n_devices]
+    python examples/quickstart.py [n_devices] [--workers N]
 
 The study simulates an opt-in fleet of Android devices (34 hardware
 models, 3 ISPs) under vanilla Android mechanisms, collects every true
 cellular failure through the Android-MOD monitoring pipeline, and
 recomputes the paper's general statistics, Table 1, Table 2, the ISP
 landscape, the normalized-prevalence-by-signal-level series, and the
-BS Zipf ranking.
+BS Zipf ranking.  ``--workers N`` shards the fleet across N worker
+processes (identical records, see docs/performance.md).
 """
 
-import sys
+import argparse
 import time
 
 from repro import NationwideStudy, ScenarioConfig
@@ -21,7 +22,12 @@ from repro.network.topology import TopologyConfig
 
 
 def main() -> None:
-    n_devices = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("n_devices", nargs="?", type=int, default=2_000)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the fleet across N worker processes")
+    args = parser.parse_args()
+    n_devices = args.n_devices
     scenario = ScenarioConfig(
         n_devices=n_devices,
         seed=2020,
@@ -29,9 +35,10 @@ def main() -> None:
                                 seed=2021),
     )
     print(f"Simulating {n_devices} devices "
-          f"({scenario.topology.n_base_stations} base stations)...")
+          f"({scenario.topology.n_base_stations} base stations, "
+          f"workers={args.workers or 1})...")
     started = time.perf_counter()
-    result = NationwideStudy(scenario=scenario).run()
+    result = NationwideStudy(scenario=scenario).run(workers=args.workers)
     elapsed = time.perf_counter() - started
     print(f"done in {elapsed:.1f} s — "
           f"{result.general.n_failures} failures collected\n")

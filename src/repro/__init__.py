@@ -37,6 +37,12 @@ from repro.fleet.scenario import (
 from repro.fleet.simulator import FleetSimulator
 from repro.dataset.store import Dataset, load_dataset, save_dataset
 from repro.analysis.evaluation import ABEvaluation, evaluate_ab
+from repro.parallel import (
+    ShardSpec,
+    ShardStats,
+    run_sharded,
+    shard_bounds,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +66,9 @@ __all__ = [
     "save_dataset",
     "ABEvaluation",
     "evaluate_ab",
+    "ShardSpec",
+    "ShardStats",
+    "run_sharded",
+    "shard_bounds",
     "__version__",
 ]

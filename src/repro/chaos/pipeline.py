@@ -9,7 +9,11 @@ ingestion server deduplicating retries — then reconciles both ends.
 Every stochastic choice (WiFi availability, backoff jitter, transport
 faults) is drawn from streams seeded by ``(chaos seed, device id,
 purpose)``, mirroring the fleet simulator's common-random-numbers
-pairing: two runs of the same scenario see the same chaos.
+pairing: two runs of the same scenario see the same chaos.  Transport
+faults use per-sender streams (``ChaosTransport.for_sender``), so a
+device's uploads meet the same drops/duplicates/corruption no matter
+how its sends interleave with other devices' — the property that keeps
+per-shard pipelines consistent under :mod:`repro.parallel` sharding.
 """
 
 from __future__ import annotations
@@ -49,7 +53,7 @@ class TelemetryRunResult:
 def _device_batcher(chaos: ChaosConfig, device_id: int,
                     transport: ChaosTransport) -> UploadBatcher:
     return UploadBatcher(
-        transport=transport,
+        transport=transport.for_sender(device_id),
         max_attempts=chaos.max_attempts,
         base_backoff_s=chaos.base_backoff_s,
         backoff_multiplier=chaos.backoff_multiplier,

@@ -3,9 +3,24 @@
 Sits exactly where the network would: the
 :class:`repro.monitoring.uploader.UploadBatcher` calls it like any
 transport, and it forwards (or mangles, drops, duplicates, reorders,
-or refuses) payloads to the real backend callable.  Every fault is
-drawn from one seeded RNG, so a chaos run is bit-reproducible and two
-arms of a paired experiment see the same fault sequence.
+or refuses) payloads to the real backend callable.
+
+Fault draws come from seeded streams, so a chaos run is
+bit-reproducible and two arms of a paired experiment see the same
+fault sequence.  There are two stream disciplines:
+
+* **per-sender** (:meth:`ChaosTransport.send` with a ``sender``, or a
+  :meth:`ChaosTransport.for_sender` channel): each sender's payloads
+  draw from ``(chaos seed, sender)``.  A device's fault fate then
+  depends only on its own send sequence — not on how other devices'
+  sends interleave — which is what lets sharded runs (one transport
+  per shard) injure a given device's uploads identically regardless of
+  worker count.  The telemetry pipeline uses this discipline.
+* **shared** (calling the transport directly, or ``sender=None``): one
+  RNG in arrival order across all senders — the historical behaviour,
+  kept for direct users of the transport.  This was the one place a
+  shared :class:`random.Random` crossed device boundaries; sharded
+  execution is why it is no longer the pipeline default.
 
 Fault semantics match real uplinks:
 
@@ -60,7 +75,10 @@ class ChaosTransport:
         self.config = config
         #: Current virtual time; outage windows are judged against it.
         self.now = now
+        #: The shared (arrival-order) fault stream, used when a send
+        #: carries no sender identity.
         self.rng = random.Random(f"chaos-transport:{config.seed}")
+        self._sender_rngs: dict[object, random.Random] = {}
         self.sends = 0
         self.delivered = 0
         self.dropped = 0
@@ -88,21 +106,41 @@ class ChaosTransport:
 
     def __call__(self, payload: bytes) -> None:
         """Send one payload; raising means the sender saw no ack."""
+        self.send(payload)
+
+    def send(self, payload: bytes, sender: object | None = None) -> None:
+        """Send one payload, drawing faults from ``sender``'s stream.
+
+        With ``sender=None`` the draws come from the shared
+        arrival-order stream (legacy behaviour).
+        """
         self.sends += 1
         if self.in_outage():
             self.outage_rejections += 1
             raise BackendUnavailable(
                 f"backend outage at t={self.now:.0f}s"
             )
-        if self.rng.random() < self.config.drop_rate:
+        rng = self._rng_for(sender)
+        if rng.random() < self.config.drop_rate:
             self.dropped += 1
             raise PayloadDropped("payload lost in transit")
-        if self.rng.random() < self.config.reorder_rate:
+        if rng.random() < self.config.reorder_rate:
             self.reordered += 1
             self._held.append(payload)
             return  # acked now, delivered after a later payload
-        self._deliver(payload)
+        self._deliver(payload, rng)
         self._release_held()
+
+    def for_sender(self, sender: object):
+        """A transport callable bound to ``sender``'s fault stream.
+
+        Hand this to an :class:`~repro.monitoring.uploader.UploadBatcher`
+        so every flush of that device draws from its own stream.
+        """
+        def channel(payload: bytes) -> None:
+            self.send(payload, sender=sender)
+
+        return channel
 
     def flush_held(self) -> int:
         """Deliver any reorder-held payloads (end-of-run drain)."""
@@ -128,6 +166,17 @@ class ChaosTransport:
 
     # -- internals -----------------------------------------------------------
 
+    def _rng_for(self, sender: object | None) -> random.Random:
+        if sender is None:
+            return self.rng
+        rng = self._sender_rngs.get(sender)
+        if rng is None:
+            rng = random.Random(
+                f"chaos-transport:{self.config.seed}:sender:{sender}"
+            )
+            self._sender_rngs[sender] = rng
+        return rng
+
     def _release_held(self) -> int:
         """Deliver held payloads; re-hold the rest if the backend dies
         mid-way (they stay accounted as in flight, never lost)."""
@@ -141,14 +190,16 @@ class ChaosTransport:
             self.delivered += 1
         return len(held)
 
-    def _deliver(self, payload: bytes) -> None:
-        if self.rng.random() < self.config.corrupt_rate:
+    def _deliver(self, payload: bytes,
+                 rng: random.Random | None = None) -> None:
+        rng = rng or self.rng
+        if rng.random() < self.config.corrupt_rate:
             self.corrupted += 1
             self.corrupted_payloads.append(payload)
             self.inner(mangle(payload))
             return
         self.inner(payload)
         self.delivered += 1
-        if self.rng.random() < self.config.duplicate_rate:
+        if rng.random() < self.config.duplicate_rate:
             self.duplicated += 1
             self.inner(payload)

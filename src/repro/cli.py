@@ -2,15 +2,17 @@
 
 ::
 
-    python -m repro study   [--devices N] [--seed S] [--save PATH]
-    python -m repro ab      [--devices N] [--seed S]
-    python -m repro timp    [--devices N] [--seed S]
+    python -m repro study   [--devices N] [--seed S] [--workers W] [--save PATH]
+    python -m repro ab      [--devices N] [--seed S] [--workers W]
+    python -m repro timp    [--devices N] [--seed S] [--workers W]
     python -m repro analyze PATH
 
 ``study`` runs the measurement study and prints the Sec. 3 report;
 ``ab`` runs the paired enhancement evaluation (Sec. 4.3); ``timp`` fits
 the recovery CDF and anneals the probations (Sec. 4.2); ``analyze``
-re-runs the analysis over a saved dataset.
+re-runs the analysis over a saved dataset.  ``--workers W`` (W >= 2)
+shards the fleet across worker processes via :mod:`repro.parallel`;
+results are identical to the default sequential run.
 """
 
 from __future__ import annotations
@@ -44,14 +46,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fleet size (default 2000)")
     parser.add_argument("--seed", type=int, default=2020,
                         help="scenario seed (default 2020)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the fleet across N worker "
+                             "processes (default: sequential; "
+                             "records are identical either way)")
 
 
 def cmd_study(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     study = NationwideStudy(scenario=scenario)
-    dataset = FleetSimulator(scenario.vanilla()).run()
+    dataset = FleetSimulator(scenario.vanilla()).run(
+        workers=args.workers
+    )
     result = study.analyze(dataset)
     print(result.render())
+    execution = dataset.metadata.get("execution")
+    if execution:
+        print(f"[execution] mode={execution['mode']} "
+              f"workers={execution['workers']} "
+              f"wall={execution['wall_s']:.1f}s "
+              f"({execution['devices_per_s']:.0f} devices/s)")
     if args.save:
         save_dataset(dataset, args.save)
         print(f"dataset saved to {args.save}")
@@ -59,13 +73,17 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_ab(args: argparse.Namespace) -> int:
-    _vanilla, _patched, evaluation = run_ab_evaluation(_scenario(args))
+    _vanilla, _patched, evaluation = run_ab_evaluation(
+        _scenario(args), workers=args.workers
+    )
     print(render_ab_evaluation(evaluation))
     return 0
 
 
 def cmd_timp(args: argparse.Namespace) -> int:
-    dataset = FleetSimulator(_scenario(args).vanilla()).run()
+    dataset = FleetSimulator(_scenario(args).vanilla()).run(
+        workers=args.workers
+    )
     policy, result = fit_recovery_trigger(
         dataset, rng=random.Random(args.seed)
     )

@@ -76,9 +76,16 @@ class NationwideStudy:
 
     scenario: ScenarioConfig = field(default_factory=default_scenario)
 
-    def run(self) -> StudyResult:
-        """Simulate the vanilla arm and run the full Sec. 3 analysis."""
-        dataset = FleetSimulator(self.scenario.vanilla()).run()
+    def run(self, workers: int | None = None) -> StudyResult:
+        """Simulate the vanilla arm and run the full Sec. 3 analysis.
+
+        ``workers`` is forwarded to :meth:`FleetSimulator.run`; ``N >=
+        2`` shards the fleet across worker processes (identical
+        records, see ``docs/performance.md``).
+        """
+        dataset = FleetSimulator(self.scenario.vanilla()).run(
+            workers=workers
+        )
         return self.analyze(dataset)
 
     @staticmethod
@@ -100,12 +107,17 @@ class NationwideStudy:
 
 def run_ab_evaluation(
     scenario: ScenarioConfig | None = None,
+    workers: int | None = None,
 ) -> tuple[Dataset, Dataset, ABEvaluation]:
     """Run both arms of the Sec. 4.3 deployment evaluation.
 
-    Returns (vanilla dataset, patched dataset, evaluation).
+    Returns (vanilla dataset, patched dataset, evaluation).  With
+    ``workers >= 2`` each arm runs sharded across worker processes;
+    common-random-numbers pairing survives sharding because per-device
+    streams depend only on ``(seed, device id, purpose)``, so the A/B
+    deltas are identical at any worker count.
     """
     scenario = scenario or default_scenario()
-    vanilla = FleetSimulator(scenario.vanilla()).run()
-    patched = FleetSimulator(scenario.patched()).run()
+    vanilla = FleetSimulator(scenario.vanilla()).run(workers=workers)
+    patched = FleetSimulator(scenario.patched()).run(workers=workers)
     return vanilla, patched, evaluate_ab(vanilla, patched)

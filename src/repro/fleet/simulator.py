@@ -11,6 +11,12 @@ a patched run of the same scenario see identical devices, identical
 ambient episodes, and identical transition opportunities — the only
 differences are the policy decisions and recovery triggers under test,
 exactly like the paper's A/B deployment but with common random numbers.
+
+The same seeding discipline makes device simulation embarrassingly
+parallel: ``run(workers=N)`` partitions the population into contiguous
+device-id shards and executes them in worker processes via
+:mod:`repro.parallel`, producing records byte-identical to the
+sequential run (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ from repro.network.bearer import DEFAULT_CAUSE_SAMPLER
 from repro.network.basestation import DEPLOYMENT_TRAITS
 from repro.network.isp import ISP, ISP_PROFILES
 from repro.network.topology import NationalTopology
+from repro.parallel.sharding import ShardSpec
+from repro.parallel.stats import ShardStats, StopWatch, execution_metadata
 from repro.radio.rat import RAT
 from repro.simtime import SECONDS_PER_MONTH
 
@@ -78,31 +86,85 @@ class FleetSimulator:
 
     # -- public API ----------------------------------------------------------
 
-    def run(self) -> Dataset:
-        """Simulate every device; returns the collected dataset."""
-        dataset = Dataset(metadata={
-            "arm": self.config.arm,
-            "n_devices": self.config.n_devices,
-            "seed": self.config.seed,
-            "study_months": self.config.study_months,
-            "frequency_scale": self.config.frequency_scale,
-        })
-        dataset.base_stations = [
-            BaseStationRecord(
-                bs_id=bs.bs_id,
-                isp=bs.isp.label,
-                rats=tuple(sorted(rat.label for rat in bs.supported_rats)),
-                deployment=bs.deployment.value,
+    def run(self, workers: int | None = None) -> Dataset:
+        """Simulate every device; returns the collected dataset.
+
+        ``workers`` selects the execution engine: ``None`` or ``1``
+        runs sequentially in-process (the legacy path); ``N >= 2``
+        shards the device population across ``N`` worker processes via
+        :func:`repro.parallel.run_sharded`.  Records are identical
+        either way; ``dataset.metadata["execution"]`` describes what
+        actually ran (mode, per-shard stats, throughput).
+
+        In sharded mode each shard replays its own telemetry pipeline,
+        so ``self.telemetry`` stays ``None`` and the merged summary
+        lands in ``dataset.metadata["telemetry"]`` instead.
+        """
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if workers is not None and workers > 1:
+            from repro.parallel.engine import run_sharded
+
+            self.telemetry = None
+            return run_sharded(
+                self.config, workers,
+                base_station_records=base_station_rows(self.topology),
             )
-            for bs in self.topology.base_stations
-        ]
-        for device_id in range(1, self.config.n_devices + 1):
-            self._simulate_device(device_id, dataset)
+
+        dataset = Dataset(metadata=self.base_metadata(self.config))
+        dataset.base_stations = base_station_rows(self.topology)
+        watch = StopWatch()
+        shard, stats = self.simulate_shard(
+            ShardSpec(index=0, n_shards=1, lo=1,
+                      hi=self.config.n_devices + 1)
+        )
+        dataset.devices.extend(shard.devices)
+        dataset.failures.extend(shard.failures)
+        dataset.transitions.extend(shard.transitions)
         chaos = self.config.chaos
         if chaos is not None and chaos.enabled:
             self.telemetry = run_telemetry_pipeline(dataset, chaos)
             dataset.metadata["telemetry"] = self.telemetry.summary()
+        dataset.metadata["execution"] = execution_metadata(
+            mode="serial", workers=1, shards=[stats],
+            wall_s=watch.elapsed(),
+        )
         return dataset
+
+    def simulate_shard(self, spec: ShardSpec) -> tuple[Dataset, ShardStats]:
+        """Simulate one contiguous device-id shard.
+
+        Returns the shard-local records plus execution stats.  Used by
+        both the sequential path (one full-range shard) and the
+        :mod:`repro.parallel` workers, so the two engines realize
+        devices through literally the same code.
+        """
+        shard = Dataset()
+        watch = StopWatch()
+        for device_id in spec.device_ids():
+            self._simulate_device(device_id, shard)
+        stats = ShardStats(
+            shard=spec.index,
+            device_lo=spec.lo,
+            device_hi=spec.hi,
+            n_devices=spec.n_devices,
+            n_failures=len(shard.failures),
+            n_transitions=len(shard.transitions),
+            wall_s=watch.elapsed(),
+            cpu_s=watch.cpu_elapsed(),
+        )
+        return shard, stats
+
+    @staticmethod
+    def base_metadata(config: ScenarioConfig) -> dict:
+        """Run-level metadata shared by every execution engine."""
+        return {
+            "arm": config.arm,
+            "n_devices": config.n_devices,
+            "seed": config.seed,
+            "study_months": config.study_months,
+            "frequency_scale": config.frequency_scale,
+        }
 
     # -- per-device simulation ---------------------------------------------------
 
@@ -389,6 +451,19 @@ class FleetSimulator:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+def base_station_rows(topology: NationalTopology) -> list[BaseStationRecord]:
+    """The dataset's BS inventory for ``topology`` (deterministic)."""
+    return [
+        BaseStationRecord(
+            bs_id=bs.bs_id,
+            isp=bs.isp.label,
+            rats=tuple(sorted(rat.label for rat in bs.supported_rats)),
+            deployment=bs.deployment.value,
+        )
+        for bs in topology.base_stations
+    ]
 
 
 def _poisson(rng: random.Random, mean: float) -> int:

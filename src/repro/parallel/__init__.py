@@ -1,0 +1,47 @@
+"""Sharded parallel execution of fleet scenarios.
+
+The device population of a :class:`~repro.fleet.scenario.ScenarioConfig`
+is embarrassingly parallel by construction — every stochastic decision
+is drawn from a per-device stream seeded by ``(scenario seed, device
+id, purpose)`` — so this package partitions it into deterministic
+contiguous shards, simulates each shard in a worker process, and merges
+the outputs into a dataset byte-identical (records-wise) to the
+sequential run.  See ``docs/performance.md`` for the execution model,
+the determinism argument, and how to pick worker counts.
+
+Entry points: ``FleetSimulator.run(workers=N)`` /
+``NationwideStudy.run(workers=N)`` / ``run_ab_evaluation(...,
+workers=N)`` / the CLI ``--workers`` flag all route through
+:func:`run_sharded`.
+"""
+
+from repro.parallel.engine import (
+    MODE_ENV_VAR,
+    ShardResult,
+    preferred_start_method,
+    run_sharded,
+    simulate_shard,
+)
+from repro.parallel.merge import (
+    ShardMergeError,
+    merge_shard_datasets,
+    merge_telemetry_summaries,
+)
+from repro.parallel.sharding import ShardSpec, make_shards, shard_bounds
+from repro.parallel.stats import ShardStats, execution_metadata
+
+__all__ = [
+    "MODE_ENV_VAR",
+    "ShardMergeError",
+    "ShardResult",
+    "ShardSpec",
+    "ShardStats",
+    "execution_metadata",
+    "make_shards",
+    "merge_shard_datasets",
+    "merge_telemetry_summaries",
+    "preferred_start_method",
+    "run_sharded",
+    "shard_bounds",
+    "simulate_shard",
+]

@@ -1,0 +1,200 @@
+"""The sharded fleet execution engine.
+
+Partitions a scenario's device population into contiguous shards, runs
+each shard in a worker process, and merges the per-shard outputs into a
+dataset whose records are byte-identical to a sequential run of the
+same scenario.  The guarantee rests on two properties the rest of the
+stack already provides:
+
+* every stochastic decision of a device comes from streams seeded by
+  ``(scenario seed, device id, purpose)`` — no draw is shared across
+  devices, so a device's records do not depend on which other devices
+  ran, or in which process;
+* the topology is rebuilt identically in every worker from
+  ``config.topology.seed``, and its mutable surfaces are never touched
+  by the scheduled fleet path.
+
+Execution modes
+---------------
+
+``process`` (default)
+    One worker process per shard via :mod:`multiprocessing`.  The
+    engine prefers the ``fork`` start method (cheap on Linux) and falls
+    back to ``spawn``; the worker entry point is a module-level
+    function and every task payload is picklable, so both work.
+``inline``
+    The same shard/merge path executed in-process, one shard at a
+    time.  This is the fallback for platforms without usable
+    multiprocessing (and what the engine degrades to, with a recorded
+    reason, if worker processes cannot be created).  Results are
+    identical to ``process`` by construction.
+
+Set ``REPRO_PARALLEL_MODE=inline`` to force the fallback globally.
+
+When the scenario has a chaos block, each worker additionally replays
+its shard's failure records through its own telemetry pipeline; the
+engine merges the per-shard summaries (see
+:func:`repro.parallel.merge.merge_telemetry_summaries`) into
+``Dataset.metadata["telemetry"]``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from repro.dataset.store import Dataset
+from repro.fleet.scenario import ScenarioConfig
+from repro.parallel.merge import (
+    merge_shard_datasets,
+    merge_telemetry_summaries,
+)
+from repro.parallel.sharding import ShardSpec, make_shards
+from repro.parallel.stats import ShardStats, StopWatch, execution_metadata
+
+#: Environment override for the execution mode ("process" or "inline").
+MODE_ENV_VAR = "REPRO_PARALLEL_MODE"
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker sends back (must stay picklable)."""
+
+    spec: ShardSpec
+    dataset: Dataset
+    stats: ShardStats
+    #: Per-shard telemetry pipeline summary (None without chaos).
+    telemetry: dict | None
+
+
+def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
+    """Worker entry point: simulate one shard of ``config``.
+
+    Module-level (not a closure, not a method) so it can be pickled by
+    the ``spawn`` start method as well as inherited by ``fork``.
+    """
+    # Imported here so a spawned worker resolves it after interpreter
+    # start; the import is a no-op under fork.
+    from repro.chaos.pipeline import run_telemetry_pipeline
+    from repro.fleet.simulator import FleetSimulator
+
+    simulator = FleetSimulator(config)
+    shard, stats = simulator.simulate_shard(spec)
+    telemetry = None
+    chaos = config.chaos
+    if chaos is not None and chaos.enabled:
+        telemetry = run_telemetry_pipeline(shard, chaos).summary()
+    return ShardResult(spec=spec, dataset=shard, stats=stats,
+                       telemetry=telemetry)
+
+
+def _simulate_shard_task(task: tuple[ScenarioConfig, ShardSpec]) -> ShardResult:
+    return simulate_shard(*task)
+
+
+def preferred_start_method() -> str | None:
+    """``fork`` where available (cheap), else ``spawn``, else ``None``."""
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return method
+    return None
+
+
+def resolve_mode(mode: str | None) -> str:
+    """Explicit argument beats the environment beats the default."""
+    resolved = mode or os.environ.get(MODE_ENV_VAR) or "process"
+    if resolved not in ("process", "inline"):
+        raise ValueError(f"unknown parallel mode: {resolved!r}")
+    return resolved
+
+
+def run_sharded(
+    config: ScenarioConfig,
+    workers: int,
+    *,
+    mode: str | None = None,
+    base_station_records: list | None = None,
+) -> Dataset:
+    """Run ``config`` across ``workers`` shards and merge the outputs.
+
+    Returns a dataset whose device / failure / transition records are
+    identical to ``FleetSimulator(config).run()``; run-level metadata
+    additionally carries the ``execution`` block (and the merged
+    ``telemetry`` block when the scenario has chaos enabled).
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    watch = StopWatch()
+    shards = make_shards(config.n_devices, workers)
+    requested_mode = resolve_mode(mode)
+    fallback_reason = None
+    start_method = None
+
+    if requested_mode == "process" and len(shards) > 1:
+        start_method = preferred_start_method()
+        if start_method is None:
+            requested_mode = "inline"
+            fallback_reason = "no multiprocessing start method available"
+    elif requested_mode == "process":
+        # A single shard gains nothing from a worker process.
+        requested_mode = "inline"
+
+    results: list[ShardResult] | None = None
+    if requested_mode == "process":
+        try:
+            results = _run_in_processes(config, shards, start_method)
+        except (OSError, ImportError, multiprocessing.ProcessError) as exc:
+            fallback_reason = (
+                f"worker pool failed ({type(exc).__name__}: {exc}); "
+                "ran inline"
+            )
+            requested_mode = "inline"
+    if results is None:
+        start_method = None
+        results = [simulate_shard(config, spec) for spec in shards]
+
+    results.sort(key=lambda result: result.spec.index)
+    merge_watch = StopWatch()
+    dataset = merge_shard_datasets([result.dataset for result in results])
+    merge_s = merge_watch.elapsed()
+
+    # Run-level metadata, mirroring the sequential run's.
+    from repro.fleet.simulator import FleetSimulator, base_station_rows
+
+    dataset.metadata.update(FleetSimulator.base_metadata(config))
+    if base_station_records is None:
+        from repro.network.topology import NationalTopology
+
+        base_station_records = base_station_rows(
+            NationalTopology(config.topology)
+        )
+    dataset.base_stations = list(base_station_records)
+
+    summaries = [result.telemetry for result in results
+                 if result.telemetry is not None]
+    if summaries:
+        dataset.metadata["telemetry"] = merge_telemetry_summaries(summaries)
+
+    dataset.metadata["execution"] = execution_metadata(
+        mode=requested_mode,
+        workers=workers,
+        shards=[result.stats for result in results],
+        wall_s=watch.elapsed(),
+        start_method=start_method,
+        merge_s=merge_s,
+        fallback_reason=fallback_reason,
+    )
+    return dataset
+
+
+def _run_in_processes(
+    config: ScenarioConfig,
+    shards: list[ShardSpec],
+    start_method: str,
+) -> list[ShardResult]:
+    context = multiprocessing.get_context(start_method)
+    tasks = [(config, spec) for spec in shards]
+    with context.Pool(processes=len(shards)) as pool:
+        return pool.map(_simulate_shard_task, tasks)

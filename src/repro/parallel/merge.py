@@ -1,0 +1,95 @@
+"""Merging per-shard outputs back into one run.
+
+Record merge is pure concatenation in shard order — correct because
+shards are contiguous device-id ranges (see ``repro.parallel.sharding``)
+and the sequential simulator emits records in device-id order.  The
+merge still *verifies* that invariant instead of trusting it: a refactor
+that silently reorders devices inside a shard would otherwise produce a
+dataset that is subtly non-reproducible.
+
+Telemetry merge is summation: each shard ships its failure records
+through its own chaos pipeline (spoolers, transport, ingestion server),
+so the run-level view is the sum of per-shard reconciliations, with the
+per-shard summaries preserved for drill-down.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.store import Dataset
+
+
+class ShardMergeError(RuntimeError):
+    """Per-shard outputs violated the contiguous-device-order invariant."""
+
+
+def merge_shard_datasets(shards: list[Dataset]) -> Dataset:
+    """Concatenate shard datasets (in shard order) into one run.
+
+    ``shards`` must cover consecutive device-id ranges in order.  The
+    result carries the records only; run-level metadata (scenario
+    echo, execution stats, telemetry) is attached by the engine.
+    """
+    merged = Dataset()
+    expected_next = None
+    for shard in shards:
+        ids = [device.device_id for device in shard.devices]
+        if ids != sorted(ids):
+            raise ShardMergeError("shard devices out of id order")
+        if ids:
+            if expected_next is not None and ids[0] != expected_next:
+                raise ShardMergeError(
+                    f"shard starts at device {ids[0]}, "
+                    f"expected {expected_next}"
+                )
+            expected_next = ids[-1] + 1
+        merged.devices.extend(shard.devices)
+        merged.failures.extend(shard.failures)
+        merged.transitions.extend(shard.transitions)
+    return merged
+
+
+def merge_telemetry_summaries(summaries: list[dict]) -> dict:
+    """One run-level telemetry report from per-shard pipeline summaries.
+
+    Counter fields (reconciliation counts, server counters, transport
+    fault counters, retry histograms) are summed; ``unexplained``
+    identities are concatenated; the full per-shard summaries remain
+    under ``"shards"``.  The result is JSON-able, like the per-shard
+    summaries it merges.
+    """
+    if not summaries:
+        raise ValueError("nothing to merge")
+
+    reconciliation: dict = {
+        "emitted": 0, "accepted": 0, "duplicates": 0, "shed": 0,
+        "budget_exhausted": 0, "quarantined": 0, "in_flight": 0,
+        "unexplained": [], "retry_histogram": {}, "transport": {},
+    }
+    server: dict[str, float] = {}
+    n_devices = 0
+    drain_rounds = 0
+    for summary in summaries:
+        rec = summary["reconciliation"]
+        for key in ("emitted", "accepted", "duplicates", "shed",
+                    "budget_exhausted", "quarantined", "in_flight"):
+            reconciliation[key] += rec[key]
+        reconciliation["unexplained"].extend(rec["unexplained"])
+        for attempts, count in rec.get("retry_histogram", {}).items():
+            histogram = reconciliation["retry_histogram"]
+            histogram[attempts] = histogram.get(attempts, 0) + count
+        for name, value in rec.get("transport", {}).items():
+            transport = reconciliation["transport"]
+            transport[name] = transport.get(name, 0.0) + value
+        for name, value in summary["server"].items():
+            server[name] = server.get(name, 0.0) + value
+        n_devices += summary["n_devices"]
+        drain_rounds = max(drain_rounds, summary["drain_rounds"])
+
+    return {
+        "reconciliation": reconciliation,
+        "server": server,
+        "n_devices": n_devices,
+        "drain_rounds": drain_rounds,
+        "merged_from_shards": len(summaries),
+        "shards": list(summaries),
+    }

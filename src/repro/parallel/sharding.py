@@ -1,0 +1,69 @@
+"""Deterministic partitioning of a device population into shards.
+
+A shard is a contiguous, half-open range of device ids.  Contiguity is
+what makes the merge trivial *and* byte-identical to a sequential run:
+the sequential simulator visits devices ``1..n`` in id order and
+appends their records as it goes, so concatenating shard outputs in
+shard order reproduces exactly the sequential record sequence — no
+re-sorting, no tie-breaking.
+
+The partition depends only on ``(n_devices, n_shards)``; it never
+consults an RNG, the host, or the worker count actually achieved, so
+the same scenario always maps the same device to the same shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a scenario's device population."""
+
+    #: Position of this shard in the partition (0-based).
+    index: int
+    #: Total number of shards in the partition.
+    n_shards: int
+    #: First device id of the shard (inclusive; device ids start at 1).
+    lo: int
+    #: One past the last device id of the shard (exclusive).
+    hi: int
+
+    @property
+    def n_devices(self) -> int:
+        return self.hi - self.lo
+
+    def device_ids(self) -> range:
+        return range(self.lo, self.hi)
+
+
+def shard_bounds(n_devices: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` device-id ranges.
+
+    Shard sizes differ by at most one; the first ``n_devices % n_shards``
+    shards carry the extra device.  Requesting more shards than devices
+    yields one single-device shard per device (never an empty shard).
+    """
+    if n_devices < 1:
+        raise ValueError("need at least one device to shard")
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    n_shards = min(n_shards, n_devices)
+    base, extra = divmod(n_devices, n_shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 1
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((lo, lo + size))
+        lo += size
+    return bounds
+
+
+def make_shards(n_devices: int, n_shards: int) -> list[ShardSpec]:
+    """The :func:`shard_bounds` partition as :class:`ShardSpec` objects."""
+    bounds = shard_bounds(n_devices, n_shards)
+    return [
+        ShardSpec(index=index, n_shards=len(bounds), lo=lo, hi=hi)
+        for index, (lo, hi) in enumerate(bounds)
+    ]

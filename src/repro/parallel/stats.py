@@ -1,0 +1,97 @@
+"""Per-shard execution statistics.
+
+Every fleet run — serial or sharded — records what each shard did and
+how long it took in ``Dataset.metadata["execution"]``, so throughput
+regressions show up in ordinary run artifacts, not only in dedicated
+benchmarks.  The schema is documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardStats:
+    """What one shard realized and what it cost."""
+
+    #: Shard position in the partition (0-based).
+    shard: int
+    #: Device-id range ``[device_lo, device_hi)``.
+    device_lo: int
+    device_hi: int
+    #: Devices simulated.
+    n_devices: int
+    #: Failure episodes realized (dataset failure records).
+    n_failures: int
+    #: Transition opportunities realized.
+    n_transitions: int
+    #: Wall-clock seconds spent simulating the shard (worker-side;
+    #: excludes pickling and merge).  On an oversubscribed machine this
+    #: includes contention from sibling workers.
+    wall_s: float
+    #: CPU seconds the worker itself spent (``time.process_time``) —
+    #: contention-free, so it is the honest basis for projecting
+    #: speedup onto machines with enough cores.
+    cpu_s: float = 0.0
+
+    @property
+    def devices_per_s(self) -> float:
+        return self.n_devices / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "device_lo": self.device_lo,
+            "device_hi": self.device_hi,
+            "n_devices": self.n_devices,
+            "n_failures": self.n_failures,
+            "n_transitions": self.n_transitions,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "devices_per_s": self.devices_per_s,
+        }
+
+
+class StopWatch:
+    """A tiny wall + CPU stopwatch (keeps timing code out of the way)."""
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._cpu_started = time.process_time()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def cpu_elapsed(self) -> float:
+        return time.process_time() - self._cpu_started
+
+
+def execution_metadata(
+    mode: str,
+    workers: int,
+    shards: list[ShardStats],
+    wall_s: float,
+    *,
+    start_method: str | None = None,
+    merge_s: float | None = None,
+    fallback_reason: str | None = None,
+) -> dict:
+    """The JSON-able ``Dataset.metadata["execution"]`` block."""
+    n_devices = sum(stats.n_devices for stats in shards)
+    block = {
+        "mode": mode,
+        "workers": workers,
+        "n_shards": len(shards),
+        "wall_s": wall_s,
+        "devices_per_s": n_devices / wall_s if wall_s > 0 else 0.0,
+        "shards": [stats.to_dict() for stats in shards],
+    }
+    if start_method is not None:
+        block["start_method"] = start_method
+    if merge_s is not None:
+        block["merge_s"] = merge_s
+    if fallback_reason is not None:
+        block["fallback_reason"] = fallback_reason
+    return block

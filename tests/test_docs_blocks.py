@@ -1,0 +1,53 @@
+"""Documentation code blocks must stay truthful (tools/check_doc_blocks).
+
+Every fenced ``python`` block in README.md and docs/*.md that mentions
+``repro`` must compile, and its ``repro`` imports must resolve — so an
+API rename cannot silently strand the docs.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_doc_blocks  # noqa: E402
+
+
+def test_all_doc_blocks_pass():
+    failures = []
+    for path in check_doc_blocks.default_paths():
+        failures.extend(check_doc_blocks.check_file(path))
+    assert failures == []
+
+
+def test_checker_catches_broken_import(tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text(
+        "```python\nfrom repro import DoesNotExist\n```\n",
+        encoding="utf-8",
+    )
+    failures = check_doc_blocks.check_file(doc)
+    assert len(failures) == 1
+    assert "import fails" in failures[0]
+
+
+def test_checker_catches_syntax_error(tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text(
+        "```python\nfrom repro import (\n```\n",
+        encoding="utf-8",
+    )
+    failures = check_doc_blocks.check_file(doc)
+    assert len(failures) == 1
+    assert "does not compile" in failures[0]
+
+
+def test_non_python_blocks_ignored(tmp_path):
+    doc = tmp_path / "ok.md"
+    doc.write_text(
+        "```bash\npython -m repro study --nonsense\n```\n"
+        "```\nrepro ascii diagram\n```\n",
+        encoding="utf-8",
+    )
+    assert check_doc_blocks.check_file(doc) == []

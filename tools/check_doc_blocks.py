@@ -1,0 +1,116 @@
+"""Check that documentation code blocks stay truthful.
+
+::
+
+    PYTHONPATH=src python tools/check_doc_blocks.py [paths...]
+
+Walks every fenced code block in ``README.md`` and ``docs/*.md`` (or
+the given paths) and, for blocks that mention ``repro``:
+
+* ``python`` blocks must **compile**, and every top-level
+  ``import repro...`` / ``from repro... import ...`` statement in them
+  must **execute** — so a renamed module or export breaks the build,
+  not a reader;
+* JSON blocks must parse.
+
+Blocks in other languages (``bash``, ASCII diagrams, plain fences) are
+skipped — shell snippets are exercised by the CLI tests instead.
+
+Exits non-zero listing every offending block with its file and line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(
+    r"^```(?P<lang>[A-Za-z0-9_+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def default_paths() -> list[Path]:
+    paths = [REPO_ROOT / "README.md"]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return paths
+
+
+def iter_blocks(path: Path):
+    """Yield (lang, body, line_number) for each fenced block."""
+    text = path.read_text(encoding="utf-8")
+    for match in FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        yield match.group("lang").lower(), match.group("body"), line
+
+
+def check_python_block(body: str) -> list[str]:
+    """Problems with one python block (empty list when clean)."""
+    try:
+        tree = ast.parse(body)
+    except SyntaxError as exc:
+        return [f"does not compile: {exc.msg} (block line {exc.lineno})"]
+
+    problems = []
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            source = ast.get_source_segment(body, node) or ast.unparse(node)
+            if "repro" not in source:
+                continue
+            try:
+                exec(compile(ast.Module(body=[node], type_ignores=[]),
+                             "<doc-block>", "exec"), {})
+            except Exception as exc:
+                problems.append(
+                    f"import fails: {source!r} -> "
+                    f"{type(exc).__name__}: {exc}"
+                )
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    failures = []
+    for lang, body, line in iter_blocks(path):
+        if "repro" not in body:
+            continue
+        try:
+            shown = path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = path
+        where = f"{shown}:{line}"
+        if lang in ("python", "py"):
+            for problem in check_python_block(body):
+                failures.append(f"{where}: {problem}")
+        elif lang == "json":
+            try:
+                json.loads(body)
+            except ValueError as exc:
+                failures.append(f"{where}: invalid JSON: {exc}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(arg) for arg in argv] or default_paths()
+    failures: list[str] = []
+    checked = 0
+    for path in paths:
+        checked += 1
+        failures.extend(check_file(path))
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        print(f"FAIL: {len(failures)} bad doc block(s) "
+              f"across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: doc blocks in {checked} file(s) compile and import")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
