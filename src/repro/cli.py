@@ -2,9 +2,11 @@
 
 ::
 
-    python -m repro study   [--devices N] [--seed S] [--workers W] [--save PATH]
-    python -m repro ab      [--devices N] [--seed S] [--workers W]
-    python -m repro timp    [--devices N] [--seed S] [--workers W]
+    python -m repro study   [--devices N] [--seed S] [--workers W]
+                            [--shards K] [--checkpoint-dir DIR] [--resume]
+                            [--save PATH]
+    python -m repro ab      [--devices N] [--seed S] [--workers W] [...]
+    python -m repro timp    [--devices N] [--seed S] [--workers W] [...]
     python -m repro analyze PATH
 
 ``study`` runs the measurement study and prints the Sec. 3 report;
@@ -12,7 +14,11 @@
 the recovery CDF and anneals the probations (Sec. 4.2); ``analyze``
 re-runs the analysis over a saved dataset.  ``--workers W`` (W >= 2)
 shards the fleet across worker processes via :mod:`repro.parallel`;
-results are identical to the default sequential run.
+results are identical to the default sequential run.  With
+``--checkpoint-dir`` every completed shard is spooled to disk, and a
+killed run restarted with ``--resume`` picks up from the completed
+shards instead of simulating from zero; ``--shards K`` sets the
+checkpoint/retry granularity independently of worker count.
 """
 
 from __future__ import annotations
@@ -41,22 +47,52 @@ def _scenario(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, rejected with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (>= 1), got {value}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--devices", type=int, default=2_000,
+    parser.add_argument("--devices", type=_positive_int, default=2_000,
                         help="fleet size (default 2000)")
     parser.add_argument("--seed", type=int, default=2020,
                         help="scenario seed (default 2020)")
-    parser.add_argument("--workers", type=int, default=None,
+    parser.add_argument("--workers", type=_positive_int, default=None,
                         help="shard the fleet across N worker "
                              "processes (default: sequential; "
                              "records are identical either way)")
+    parser.add_argument("--shards", type=_positive_int, default=None,
+                        help="partition granularity (default: one "
+                             "shard per worker); more shards mean "
+                             "finer checkpoints and retries at "
+                             "identical output")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="spool completed shards to DIR so a "
+                             "killed run can be resumed")
+    parser.add_argument("--resume", action="store_true",
+                        help="reload completed shards from "
+                             "--checkpoint-dir instead of re-running "
+                             "them (requires --checkpoint-dir)")
 
 
 def cmd_study(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     study = NationwideStudy(scenario=scenario)
     dataset = FleetSimulator(scenario.vanilla()).run(
-        workers=args.workers
+        workers=args.workers,
+        n_shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     result = study.analyze(dataset)
     print(result.render())
@@ -66,6 +102,12 @@ def cmd_study(args: argparse.Namespace) -> int:
               f"workers={execution['workers']} "
               f"wall={execution['wall_s']:.1f}s "
               f"({execution['devices_per_s']:.0f} devices/s)")
+        resumed = execution.get("resumed_shards", [])
+        if execution.get("retries") or resumed:
+            print(f"[resilience] retries={execution.get('retries', 0)} "
+                  f"reran={execution.get('reran_shards', [])} "
+                  f"resumed {len(resumed)}/{execution['n_shards']} "
+                  "shards from checkpoint")
     if args.save:
         save_dataset(dataset, args.save)
         print(f"dataset saved to {args.save}")
@@ -74,7 +116,8 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 def cmd_ab(args: argparse.Namespace) -> int:
     _vanilla, _patched, evaluation = run_ab_evaluation(
-        _scenario(args), workers=args.workers
+        _scenario(args), workers=args.workers, n_shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
     )
     print(render_ab_evaluation(evaluation))
     return 0
@@ -82,7 +125,10 @@ def cmd_ab(args: argparse.Namespace) -> int:
 
 def cmd_timp(args: argparse.Namespace) -> int:
     dataset = FleetSimulator(_scenario(args).vanilla()).run(
-        workers=args.workers
+        workers=args.workers,
+        n_shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     policy, result = fit_recovery_trigger(
         dataset, rng=random.Random(args.seed)
@@ -134,7 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     return args.handler(args)
 
 

@@ -10,6 +10,7 @@ patched arm and evaluates the enhancements (Sec. 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis import report
 from repro.analysis.decomposition import ErrorCodeShare, error_code_decomposition
@@ -76,15 +77,26 @@ class NationwideStudy:
 
     scenario: ScenarioConfig = field(default_factory=default_scenario)
 
-    def run(self, workers: int | None = None) -> StudyResult:
+    def run(
+        self,
+        workers: int | None = None,
+        *,
+        checkpoint_dir=None,
+        resume: bool = False,
+    ) -> StudyResult:
         """Simulate the vanilla arm and run the full Sec. 3 analysis.
 
         ``workers`` is forwarded to :meth:`FleetSimulator.run`; ``N >=
         2`` shards the fleet across worker processes (identical
-        records, see ``docs/performance.md``).
+        records, see ``docs/performance.md``).  ``checkpoint_dir`` /
+        ``resume`` make the simulation leg durable: completed shards
+        are spooled to disk and a killed run picks up where it left
+        off.
         """
         dataset = FleetSimulator(self.scenario.vanilla()).run(
-            workers=workers
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         return self.analyze(dataset)
 
@@ -108,6 +120,10 @@ class NationwideStudy:
 def run_ab_evaluation(
     scenario: ScenarioConfig | None = None,
     workers: int | None = None,
+    *,
+    n_shards: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> tuple[Dataset, Dataset, ABEvaluation]:
     """Run both arms of the Sec. 4.3 deployment evaluation.
 
@@ -116,8 +132,21 @@ def run_ab_evaluation(
     common-random-numbers pairing survives sharding because per-device
     streams depend only on ``(seed, device id, purpose)``, so the A/B
     deltas are identical at any worker count.
+
+    With ``checkpoint_dir`` set, each arm checkpoints into its own
+    subdirectory (``<dir>/vanilla``, ``<dir>/patched``) — the arm is
+    part of the scenario fingerprint, so the stores cannot be mixed up.
     """
     scenario = scenario or default_scenario()
-    vanilla = FleetSimulator(scenario.vanilla()).run(workers=workers)
-    patched = FleetSimulator(scenario.patched()).run(workers=workers)
+    arm_dir = (lambda arm: None) if checkpoint_dir is None else (
+        lambda arm: Path(checkpoint_dir) / arm
+    )
+    vanilla = FleetSimulator(scenario.vanilla()).run(
+        workers=workers, n_shards=n_shards,
+        checkpoint_dir=arm_dir("vanilla"), resume=resume,
+    )
+    patched = FleetSimulator(scenario.patched()).run(
+        workers=workers, n_shards=n_shards,
+        checkpoint_dir=arm_dir("patched"), resume=resume,
+    )
     return vanilla, patched, evaluate_ab(vanilla, patched)

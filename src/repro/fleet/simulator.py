@@ -86,7 +86,14 @@ class FleetSimulator:
 
     # -- public API ----------------------------------------------------------
 
-    def run(self, workers: int | None = None) -> Dataset:
+    def run(
+        self,
+        workers: int | None = None,
+        *,
+        n_shards: int | None = None,
+        checkpoint_dir=None,
+        resume: bool = False,
+    ) -> Dataset:
         """Simulate every device; returns the collected dataset.
 
         ``workers`` selects the execution engine: ``None`` or ``1``
@@ -94,7 +101,14 @@ class FleetSimulator:
         shards the device population across ``N`` worker processes via
         :func:`repro.parallel.run_sharded`.  Records are identical
         either way; ``dataset.metadata["execution"]`` describes what
-        actually ran (mode, per-shard stats, throughput).
+        actually ran (mode, per-shard stats, throughput, supervision).
+
+        ``checkpoint_dir`` spools every completed shard to a durable
+        store and ``resume=True`` reloads completed shards from it (a
+        checkpointed request always routes through the sharded engine,
+        even at one worker, so the artifacts exist to resume from);
+        ``n_shards`` sets the partition granularity independently of
+        process concurrency.  See ``docs/performance.md``.
 
         In sharded mode each shard replays its own telemetry pipeline,
         so ``self.telemetry`` stays ``None`` and the merged summary
@@ -102,12 +116,18 @@ class FleetSimulator:
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
-        if workers is not None and workers > 1:
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint directory")
+        if ((workers is not None and workers > 1) or checkpoint_dir
+                or (n_shards is not None and n_shards > 1)):
             from repro.parallel.engine import run_sharded
 
             self.telemetry = None
             return run_sharded(
-                self.config, workers,
+                self.config, workers or 1,
+                n_shards=n_shards,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
                 base_station_records=base_station_rows(self.topology),
             )
 

@@ -6,8 +6,13 @@ is drawn from a per-device stream seeded by ``(scenario seed, device
 id, purpose)`` — so this package partitions it into deterministic
 contiguous shards, simulates each shard in a worker process, and merges
 the outputs into a dataset byte-identical (records-wise) to the
-sequential run.  See ``docs/performance.md`` for the execution model,
-the determinism argument, and how to pick worker counts.
+sequential run.  Worker processes run under a crash-tolerant
+supervisor (per-shard retries with backoff for infrastructure faults,
+fail-fast for simulation bugs, inline degradation as the last resort),
+and completed shards can be spooled to a durable checkpoint store so a
+killed run resumes instead of restarting.  See ``docs/performance.md``
+for the execution model, the determinism argument, the resilience
+machinery, and how to pick worker counts.
 
 Entry points: ``FleetSimulator.run(workers=N)`` /
 ``NationwideStudy.run(workers=N)`` / ``run_ab_evaluation(...,
@@ -15,6 +20,12 @@ workers=N)`` / the CLI ``--workers`` flag all route through
 :func:`run_sharded`.
 """
 
+from repro.parallel.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    scenario_fingerprint,
+)
 from repro.parallel.engine import (
     MODE_ENV_VAR,
     ShardResult,
@@ -28,20 +39,51 @@ from repro.parallel.merge import (
     merge_telemetry_summaries,
 )
 from repro.parallel.sharding import ShardSpec, make_shards, shard_bounds
-from repro.parallel.stats import ShardStats, execution_metadata
+from repro.parallel.stats import (
+    ShardFailureRecord,
+    ShardStats,
+    execution_metadata,
+)
+from repro.parallel.supervisor import (
+    RetryPolicy,
+    ShardResultInvalid,
+    ShardSimulationError,
+    ShardSupervisor,
+    SupervisionReport,
+    validate_shard_result,
+)
+from repro.parallel.worker_chaos import (
+    WorkerChaos,
+    WorkerChaosConfig,
+    WorkerChaosFault,
+)
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
     "MODE_ENV_VAR",
+    "RetryPolicy",
+    "ShardFailureRecord",
     "ShardMergeError",
     "ShardResult",
+    "ShardResultInvalid",
+    "ShardSimulationError",
     "ShardSpec",
     "ShardStats",
+    "ShardSupervisor",
+    "SupervisionReport",
+    "WorkerChaos",
+    "WorkerChaosConfig",
+    "WorkerChaosFault",
     "execution_metadata",
     "make_shards",
     "merge_shard_datasets",
     "merge_telemetry_summaries",
     "preferred_start_method",
     "run_sharded",
+    "scenario_fingerprint",
     "shard_bounds",
     "simulate_shard",
+    "validate_shard_result",
 ]

@@ -18,18 +18,33 @@ Execution modes
 ---------------
 
 ``process`` (default)
-    One worker process per shard via :mod:`multiprocessing`.  The
-    engine prefers the ``fork`` start method (cheap on Linux) and falls
-    back to ``spawn``; the worker entry point is a module-level
-    function and every task payload is picklable, so both work.
+    Worker processes supervised by
+    :class:`repro.parallel.supervisor.ShardSupervisor`: per-shard
+    dispatch, infrastructure faults (worker death, missed deadline,
+    corrupt result) retried with exponential backoff and finally
+    degraded to inline execution, simulation bugs failed fast with the
+    worker's traceback.  The engine prefers the ``fork`` start method
+    (cheap on Linux) and falls back to ``spawn``; the worker entry
+    point is a module-level function and every task payload is
+    picklable, so both work.
 ``inline``
     The same shard/merge path executed in-process, one shard at a
     time.  This is the fallback for platforms without usable
     multiprocessing (and what the engine degrades to, with a recorded
-    reason, if worker processes cannot be created).  Results are
-    identical to ``process`` by construction.
+    reason, if supervision itself fails).  Results are identical to
+    ``process`` by construction.
 
 Set ``REPRO_PARALLEL_MODE=inline`` to force the fallback globally.
+
+Durability
+----------
+
+With ``checkpoint_dir`` set, every completed shard is spooled
+atomically to disk (:mod:`repro.parallel.checkpoint`) as it arrives —
+in both modes — and ``resume=True`` reloads completed shards instead
+of re-simulating them, after verifying the store belongs to this exact
+scenario and partition.  A killed run resumed this way finishes with
+the same byte-identical dataset as an uninterrupted one.
 
 When the scenario has a chaos block, each worker additionally replays
 its shard's failure records through its own telemetry pipeline; the
@@ -43,15 +58,25 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.dataset.store import Dataset
 from repro.fleet.scenario import ScenarioConfig
+from repro.parallel.checkpoint import (
+    CheckpointStore,
+    scenario_fingerprint,
+)
 from repro.parallel.merge import (
     merge_shard_datasets,
     merge_telemetry_summaries,
 )
 from repro.parallel.sharding import ShardSpec, make_shards
 from repro.parallel.stats import ShardStats, StopWatch, execution_metadata
+from repro.parallel.supervisor import (
+    RetryPolicy,
+    ShardSimulationError,
+    ShardSupervisor,
+)
 
 #: Environment override for the execution mode ("process" or "inline").
 MODE_ENV_VAR = "REPRO_PARALLEL_MODE"
@@ -89,10 +114,6 @@ def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
                        telemetry=telemetry)
 
 
-def _simulate_shard_task(task: tuple[ScenarioConfig, ShardSpec]) -> ShardResult:
-    return simulate_shard(*task)
-
-
 def preferred_start_method() -> str | None:
     """``fork`` where available (cheap), else ``spawn``, else ``None``."""
     methods = multiprocessing.get_all_start_methods()
@@ -115,45 +136,117 @@ def run_sharded(
     workers: int,
     *,
     mode: str | None = None,
+    n_shards: int | None = None,
     base_station_records: list | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
+    worker_chaos=None,
 ) -> Dataset:
-    """Run ``config`` across ``workers`` shards and merge the outputs.
+    """Run ``config`` across worker processes and merge the outputs.
 
     Returns a dataset whose device / failure / transition records are
     identical to ``FleetSimulator(config).run()``; run-level metadata
     additionally carries the ``execution`` block (and the merged
     ``telemetry`` block when the scenario has chaos enabled).
+
+    ``workers`` bounds process concurrency; ``n_shards`` (default:
+    ``workers``) sets the partition granularity — more shards than
+    workers means finer-grained checkpoints and retries at identical
+    output.  ``checkpoint_dir`` / ``resume`` enable the durable
+    checkpoint store; ``retry`` tunes supervision (see
+    :class:`~repro.parallel.supervisor.RetryPolicy`); ``worker_chaos``
+    injects seeded worker faults for robustness testing (see
+    :mod:`repro.parallel.worker_chaos`).
     """
     if workers < 1:
         raise ValueError("need at least one worker")
+    if n_shards is not None and n_shards < 1:
+        raise ValueError("need at least one shard")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires a checkpoint directory")
     watch = StopWatch()
-    shards = make_shards(config.n_devices, workers)
+    shards = make_shards(config.n_devices, n_shards or workers)
     requested_mode = resolve_mode(mode)
     fallback_reason = None
     start_method = None
 
-    if requested_mode == "process" and len(shards) > 1:
+    store = None
+    resumed: dict[int, ShardResult] = {}
+    checkpoint_error: str | None = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            scenario_fingerprint(config, len(shards)),
+            len(shards),
+        )
+        resumed = store.initialize(resume=resume, specs=shards)
+    remaining = [spec for spec in shards if spec.index not in resumed]
+
+    def save_result(result: ShardResult) -> None:
+        """Spool one completed shard; disk trouble degrades, not kills."""
+        nonlocal checkpoint_error
+        if store is None or checkpoint_error is not None:
+            return
+        try:
+            store.save(result)
+        except OSError as exc:
+            checkpoint_error = (
+                f"checkpointing disabled after write failure "
+                f"({type(exc).__name__}: {exc})"
+            )
+
+    if requested_mode == "process" and len(remaining) > 1:
         start_method = preferred_start_method()
         if start_method is None:
             requested_mode = "inline"
             fallback_reason = "no multiprocessing start method available"
     elif requested_mode == "process":
-        # A single shard gains nothing from a worker process.
+        # A single (or no) remaining shard gains nothing from workers.
         requested_mode = "inline"
 
+    supervision: dict | None = None
     results: list[ShardResult] | None = None
     if requested_mode == "process":
+        supervisor = ShardSupervisor(
+            config, remaining, workers,
+            start_method=start_method,
+            retry=retry,
+            worker_chaos=worker_chaos,
+            on_result=save_result,
+        )
         try:
-            results = _run_in_processes(config, shards, start_method)
-        except (OSError, ImportError, multiprocessing.ProcessError) as exc:
+            fresh = supervisor.run()
+            supervision = supervisor.report.to_dict()
+            results = list(resumed.values()) + fresh
+        except ShardSimulationError:
+            # A bug inside simulate_shard: retrying cannot help and
+            # hiding it behind an inline re-run would only slow the
+            # inevitable identical failure.  Completed shards are
+            # already checkpointed.
+            raise
+        except Exception as exc:
+            # Supervision machinery itself failed — classify it as
+            # infrastructure and degrade the whole run to inline, with
+            # the reason (and any failure history gathered so far) on
+            # record.
             fallback_reason = (
-                f"worker pool failed ({type(exc).__name__}: {exc}); "
+                f"supervisor failed ({type(exc).__name__}: {exc}); "
                 "ran inline"
             )
+            supervision = supervisor.report.to_dict()
             requested_mode = "inline"
     if results is None:
         start_method = None
-        results = [simulate_shard(config, spec) for spec in shards]
+        fresh = []
+        for spec in remaining:
+            result = simulate_shard(config, spec)
+            save_result(result)
+            fresh.append(result)
+        if supervision is None:
+            supervision = {"retries": 0, "reran_shards": [],
+                           "degraded_shards": [], "failures": []}
+        results = list(resumed.values()) + fresh
 
     results.sort(key=lambda result: result.spec.index)
     merge_watch = StopWatch()
@@ -177,6 +270,16 @@ def run_sharded(
     if summaries:
         dataset.metadata["telemetry"] = merge_telemetry_summaries(summaries)
 
+    checkpoint_block = None
+    if store is not None:
+        checkpoint_block = {
+            "dir": str(store.root),
+            "fingerprint": store.fingerprint,
+            "quarantined": list(store.quarantined),
+        }
+        if checkpoint_error is not None:
+            checkpoint_block["error"] = checkpoint_error
+
     dataset.metadata["execution"] = execution_metadata(
         mode=requested_mode,
         workers=workers,
@@ -185,16 +288,8 @@ def run_sharded(
         start_method=start_method,
         merge_s=merge_s,
         fallback_reason=fallback_reason,
+        supervision=supervision,
+        resumed_shards=sorted(resumed),
+        checkpoint=checkpoint_block,
     )
     return dataset
-
-
-def _run_in_processes(
-    config: ScenarioConfig,
-    shards: list[ShardSpec],
-    start_method: str,
-) -> list[ShardResult]:
-    context = multiprocessing.get_context(start_method)
-    tasks = [(config, spec) for spec in shards]
-    with context.Pool(processes=len(shards)) as pool:
-        return pool.map(_simulate_shard_task, tasks)

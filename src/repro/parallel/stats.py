@@ -13,6 +13,42 @@ from dataclasses import dataclass
 
 
 @dataclass
+class ShardFailureRecord:
+    """One failed dispatch of one shard, as the supervisor saw it.
+
+    ``kind`` separates *infrastructure* faults (worker death, hung
+    worker past its deadline, corrupt result payload, process spawn
+    failure — retried with backoff) from *simulation* failures
+    (exceptions raised inside ``simulate_shard`` — never retried; the
+    run fails fast with the worker's traceback).
+    """
+
+    #: Shard position in the partition (0-based).
+    shard: int
+    #: Which dispatch of this shard failed (0-based attempt counter).
+    attempt: int
+    #: ``"infrastructure"`` or ``"simulation"``.
+    kind: str
+    #: Fault category: ``worker-death`` / ``deadline`` /
+    #: ``corrupt-result`` / ``spawn`` / ``exception``.
+    category: str
+    #: Human-readable detail (exit code, timeout, validation error).
+    message: str
+    #: Seconds between dispatch and failure detection.
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "category": self.category,
+            "message": self.message,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
 class ShardStats:
     """What one shard realized and what it cost."""
 
@@ -77,8 +113,19 @@ def execution_metadata(
     start_method: str | None = None,
     merge_s: float | None = None,
     fallback_reason: str | None = None,
+    supervision: dict | None = None,
+    resumed_shards: list[int] | None = None,
+    checkpoint: dict | None = None,
 ) -> dict:
-    """The JSON-able ``Dataset.metadata["execution"]`` block."""
+    """The JSON-able ``Dataset.metadata["execution"]`` block.
+
+    ``supervision`` is the supervisor's report (``retries``,
+    ``reran_shards``, ``degraded_shards``, ``failures``); the engine
+    passes it for every sharded run so the retry/re-run history is part
+    of ordinary run artifacts.  ``resumed_shards`` lists shards loaded
+    from a checkpoint instead of simulated; ``checkpoint`` echoes the
+    store (directory, fingerprint, quarantined artifacts).
+    """
     n_devices = sum(stats.n_devices for stats in shards)
     block = {
         "mode": mode,
@@ -94,4 +141,13 @@ def execution_metadata(
         block["merge_s"] = merge_s
     if fallback_reason is not None:
         block["fallback_reason"] = fallback_reason
+    if supervision is not None:
+        block["retries"] = supervision.get("retries", 0)
+        block["reran_shards"] = supervision.get("reran_shards", [])
+        block["degraded_shards"] = supervision.get("degraded_shards", [])
+        block["failures"] = supervision.get("failures", [])
+    if resumed_shards is not None:
+        block["resumed_shards"] = resumed_shards
+    if checkpoint is not None:
+        block["checkpoint"] = checkpoint
     return block

@@ -1,0 +1,129 @@
+"""Seeded fault injection for worker processes.
+
+The supervisor's crash tolerance is only worth trusting if it is
+exercised against the faults it claims to survive.  :class:`WorkerChaos`
+wraps the worker entry point and, from a stream seeded by
+``(chaos seed, shard index, attempt)``, injects at most one fault per
+dispatch:
+
+``kill``
+    The worker SIGKILLs itself before simulating — the parent sees a
+    dead process with no result (the shape of an OOM kill or a crashed
+    interpreter).
+``hang``
+    The worker sleeps ``hang_s`` before simulating — with a per-shard
+    deadline configured, the parent times the attempt out and reclaims
+    the slot (the shape of a wedged worker).
+``exception``
+    The worker raises :class:`WorkerChaosFault` *outside* the simulation
+    try block, so the process dies with a traceback on stderr and a
+    non-zero exit code (the shape of an import or unpickling error in
+    worker setup).
+``corrupt``
+    The worker simulates normally but mangles the result it sends back
+    (the shape of a truncated or garbled IPC payload); the parent's
+    result validation must catch it.
+
+Because the draw depends on the attempt number, a retry of the same
+shard sees a fresh draw — a run with fault rates below 1.0 converges,
+and the inline-degrade path guarantees completion even at rate 1.0.
+Faults fire only inside worker processes; the supervisor's inline
+fallback and the engine's ``inline`` mode never inject, which is what
+makes chaos runs finish with the exact serial-run dataset.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+
+#: Fault kinds in the (fixed) order the single per-attempt draw checks.
+FAULT_KINDS = ("kill", "hang", "exception", "corrupt")
+
+
+class WorkerChaosFault(RuntimeError):
+    """Raised inside a worker by the ``exception`` fault."""
+
+
+@dataclass(frozen=True)
+class WorkerChaosConfig:
+    """Fault rates for one chaos harness (all default to off)."""
+
+    seed: int = 0
+    #: Probability the worker SIGKILLs itself on entry.
+    kill_rate: float = 0.0
+    #: Probability the worker sleeps ``hang_s`` before simulating.
+    hang_rate: float = 0.0
+    #: Probability the worker raises before simulating.
+    exception_rate: float = 0.0
+    #: Probability the worker mangles the result it sends back.
+    corrupt_rate: float = 0.0
+    #: How long a ``hang`` fault sleeps (pick well above the
+    #: supervisor's per-shard deadline to exercise the timeout path).
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        rates = (self.kill_rate, self.hang_rate, self.exception_rate,
+                 self.corrupt_rate)
+        if any(rate < 0.0 for rate in rates) or sum(rates) > 1.0:
+            raise ValueError(
+                "fault rates must be non-negative and sum to at most 1"
+            )
+
+
+class WorkerChaos:
+    """Executes the fault (if any) drawn for one ``(shard, attempt)``."""
+
+    def __init__(self, config: WorkerChaosConfig) -> None:
+        self.config = config
+
+    def fault_for(self, shard: int, attempt: int) -> str | None:
+        """The fault this dispatch draws (deterministic, at most one)."""
+        rng = random.Random(f"{self.config.seed}:{shard}:{attempt}")
+        roll = rng.random()
+        cumulative = 0.0
+        for kind in FAULT_KINDS:
+            cumulative += getattr(self.config, f"{kind}_rate")
+            if roll < cumulative:
+                return kind
+        return None
+
+    def on_enter(self, shard: int, attempt: int) -> str | None:
+        """Run entry-stage faults; returns the drawn fault (for tests).
+
+        ``kill`` never returns; ``hang`` returns after sleeping;
+        ``exception`` raises; ``corrupt`` is deferred to
+        :meth:`mangle_result`.
+        """
+        fault = self.fault_for(shard, attempt)
+        if fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault == "hang":
+            time.sleep(self.config.hang_s)
+        elif fault == "exception":
+            raise WorkerChaosFault(
+                f"injected worker exception (shard {shard}, "
+                f"attempt {attempt})"
+            )
+        return fault
+
+    def mangle_result(self, shard: int, attempt: int, result):
+        """Corrupt ``result`` if this dispatch drew the corrupt fault.
+
+        Drops the last device's records from the shard dataset — a
+        plausible partial-write shape that the supervisor's coverage
+        validation must reject.
+        """
+        if self.fault_for(shard, attempt) != "corrupt":
+            return result
+        if result.dataset.devices:
+            lost = result.dataset.devices[-1].device_id
+            result.dataset.devices = result.dataset.devices[:-1]
+            result.dataset.failures = [
+                record for record in result.dataset.failures
+                if record.device_id != lost
+            ]
+        return result

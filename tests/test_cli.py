@@ -28,6 +28,31 @@ class TestParser:
             build_parser().parse_args(["analyze"])
 
 
+class TestValidation:
+    """Bad resource arguments die at parse time with a clear message."""
+
+    @pytest.mark.parametrize("flag", ["--workers", "--shards",
+                                      "--devices"])
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_non_positive_counts_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", flag, value])
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--shards"])
+    def test_non_integer_counts_rejected(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", flag, "two"])
+        assert "expected a positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["study", "ab", "timp"])
+    def test_resume_requires_checkpoint_dir(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--resume"])
+        assert ("--resume requires --checkpoint-dir"
+                in capsys.readouterr().err)
+
+
 class TestCommands:
     def test_study_runs_and_saves(self, tmp_path, capsys):
         path = tmp_path / "study.jsonl.gz"
@@ -56,3 +81,13 @@ class TestCommands:
         code = main(["timp", "--devices", "200", "--seed", "5"])
         assert code == 0
         assert "annealed probations" in capsys.readouterr().out
+
+    def test_study_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt"
+        base = ["study", "--devices", "120", "--seed", "3",
+                "--shards", "3", "--checkpoint-dir", str(checkpoint)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "resumed 3/3 shards from checkpoint" in output
