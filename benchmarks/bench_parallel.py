@@ -62,10 +62,12 @@ def record_digest(dataset: Dataset) -> str:
     return hasher.hexdigest()
 
 
-def scenario_for(devices: int, seed: int) -> ScenarioConfig:
+def scenario_for(devices: int, seed: int,
+                 metrics: bool = False) -> ScenarioConfig:
     return ScenarioConfig(
         n_devices=devices,
         seed=seed,
+        metrics=metrics,
         topology=TopologyConfig(
             n_base_stations=max(400, devices // 2), seed=seed + 1
         ),
@@ -87,15 +89,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify-only", action="store_true",
                         help="determinism smoke: check record identity "
                              "and exit (no JSON written)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="run with the observability layer enabled "
+                             "and write a perf-gate snapshot (counters "
+                             "+ durations) here; compare against "
+                             "BENCH_baseline.json with "
+                             "tools/perf_gate.py")
     args = parser.parse_args(argv)
 
-    scenario = scenario_for(args.devices, args.seed)
+    scenario = scenario_for(args.devices, args.seed,
+                            metrics=args.metrics_out is not None)
     print(f"serial baseline: {args.devices} devices ...", flush=True)
     serial_ds, serial_wall = run_once(scenario, workers=None)
     serial_digest = record_digest(serial_ds)
     print(f"  {serial_wall:.2f} s "
           f"({args.devices / serial_wall:.0f} devices/s), "
           f"digest {serial_digest[:12]}")
+
+    serial_metrics = serial_ds.metadata.get("metrics")
 
     runs = []
     all_identical = True
@@ -104,6 +115,13 @@ def main(argv: list[str] | None = None) -> int:
         parallel_ds, wall = run_once(scenario, workers=workers)
         digest = record_digest(parallel_ds)
         identical = digest == serial_digest
+        if serial_metrics is not None:
+            # With metrics on, identity covers the metrics block too.
+            identical &= (
+                json.dumps(parallel_ds.metadata.get("metrics"),
+                           sort_keys=True)
+                == json.dumps(serial_metrics, sort_keys=True)
+            )
         all_identical &= identical
         execution = parallel_ds.metadata["execution"]
         # Project from CPU time, not shard wall time: on a machine with
@@ -162,6 +180,27 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if args.metrics_out is not None:
+        snapshot = {
+            "benchmark": "perf_gate_snapshot",
+            "scenario": report["scenario"],
+            "environment": report["environment"],
+            "record_digest": serial_digest,
+            "all_records_identical": all_identical,
+            "counters": serial_metrics["counters"],
+            "gauges": serial_metrics["gauges"],
+            "durations": {
+                "serial_wall_s": serial_wall,
+                "serial_devices_per_s": args.devices / serial_wall,
+                **{f"workers_{run['workers']}_wall_s": run["wall_s"]
+                   for run in runs},
+            },
+        }
+        args.metrics_out.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote perf-gate snapshot {args.metrics_out}")
     return 0 if all_identical else 1
 
 

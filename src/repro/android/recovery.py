@@ -29,6 +29,11 @@ from dataclasses import dataclass, field
 from repro import quantities
 from repro.android.data_stall import VanillaDataStallDetector
 from repro.netstack.stack import DeviceNetStack
+from repro.obs import (
+    DURATION_BUCKETS_S,
+    STAGE_COUNT_BUCKETS,
+    get_registry,
+)
 from repro.simtime import SimClock
 
 #: Identifier for "the stall cleared on its own" (no stage executed).
@@ -120,6 +125,40 @@ class StallResolution:
         return self.resolved_by == AUTO_RECOVERED
 
 
+#: Human-readable labels for the sentinel ``resolved_by`` values;
+#: stages 1-3 render as ``stage1`` .. ``stage3``.
+_RESOLVER_LABELS = {
+    AUTO_RECOVERED: "auto",
+    USER_RESET: "user_reset",
+    UNRESOLVED: "unresolved",
+}
+
+
+def _record_resolution(registry, resolution: StallResolution) -> None:
+    """Metrics for one resolved stall (virtual-time values, so the
+    observations are deterministic and merge exactly across shards)."""
+    label = _RESOLVER_LABELS.get(
+        resolution.resolved_by, f"stage{resolution.resolved_by}"
+    )
+    registry.inc("android_stall_resolutions_total", resolved_by=label)
+    if resolution.stages_executed:
+        registry.inc("android_stall_stages_total",
+                     resolution.stages_executed)
+    registry.observe("android_stall_duration_s", resolution.duration_s,
+                     buckets=DURATION_BUCKETS_S)
+    registry.observe("android_stall_stages_executed",
+                     float(resolution.stages_executed),
+                     buckets=STAGE_COUNT_BUCKETS)
+    for when, text in resolution.timeline:
+        # "stage N started" milestones give the per-stage trigger
+        # timing distribution (how long into the stall each recovery
+        # stage fires — the quantity TIMP optimizes).
+        if text.startswith("stage ") and text.endswith("started"):
+            registry.observe("android_stall_stage_start_s", when,
+                             buckets=DURATION_BUCKETS_S,
+                             stage=text.split()[1])
+
+
 def resolve_stall(
     policy: RecoveryPolicy,
     natural_fix_s: float,
@@ -144,6 +183,24 @@ def resolve_stall(
     environment changes between attempts (e.g. re-registration may pick
     a different cell).
     """
+    resolution = _resolve_stall(policy, natural_fix_s, rng,
+                                user_reset_s, user_reset_success_rate,
+                                max_cycles)
+    registry = get_registry()
+    if registry.enabled:
+        _record_resolution(registry, resolution)
+    return resolution
+
+
+def _resolve_stall(
+    policy: RecoveryPolicy,
+    natural_fix_s: float,
+    rng: random.Random,
+    user_reset_s: float | None,
+    user_reset_success_rate: float,
+    max_cycles: int,
+) -> StallResolution:
+    """The un-instrumented resolver (see :func:`resolve_stall`)."""
     if natural_fix_s < 0:
         raise ValueError("natural fix time cannot be negative")
     timeline: list[tuple[float, str]] = [(0.0, "stall detected")]

@@ -14,6 +14,7 @@ import enum
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs import counter_key, get_registry
 from repro.simtime import SimClock
 
 
@@ -44,6 +45,10 @@ _LEGAL_TRANSITIONS: frozenset[tuple[DataConnectionState,
         (_S.DISCONNECTING, _S.INACTIVE),  # teardown complete
     }
 )
+
+
+#: Lazily-built counter keys for the legal (source, target) pairs.
+_TRANSITION_KEYS: dict = {}
 
 
 class IllegalTransitionError(RuntimeError):
@@ -143,6 +148,17 @@ class DataConnection:
         record = TransitionRecord(
             timestamp=self._clock.now(), source=self._state, target=target
         )
+        registry = get_registry()
+        if registry.enabled:
+            # Hottest metric site in the simulator (~6 per DC setup
+            # episode): precomputed keys for the few legal transitions.
+            key = _TRANSITION_KEYS.get((self._state, target))
+            if key is None:
+                key = counter_key("android_dc_transitions_total",
+                                  source=self._state.value,
+                                  target=target.value)
+                _TRANSITION_KEYS[(self._state, target)] = key
+            registry.inc_key(key)
         self._state = target
         self._entered_at = record.timestamp
         self._history.append(record)

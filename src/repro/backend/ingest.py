@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.backend.streaming import P2Quantile, StreamingStats
 from repro.dataset.records import FailureRecord, record_identity
+from repro.obs import get_registry
 
 #: Fields a record must carry to be accepted.
 _REQUIRED_FIELDS = frozenset({
@@ -72,8 +73,10 @@ class IngestionServer:
     def receive(self, payload: bytes) -> None:
         """Accept one compressed upload (the UploadBatcher transport)."""
         if not self.available:
+            get_registry().inc("ingest_unavailable_total")
             raise ServiceUnavailable("ingestion backend is down")
         self.bytes_received += len(payload)
+        get_registry().inc("ingest_bytes_received_total", len(payload))
         try:
             data = json.loads(zlib.decompress(payload))
         except (zlib.error, json.JSONDecodeError, UnicodeDecodeError):
@@ -91,6 +94,7 @@ class IngestionServer:
         key = self._identity(data)
         if key in self._seen:
             self.duplicates += 1
+            get_registry().inc("ingest_duplicates_total")
             return
         try:
             record = FailureRecord.from_dict(data)
@@ -103,6 +107,7 @@ class IngestionServer:
         self._seen.add(key)
         self.records.append(record)
         self.accepted += 1
+        get_registry().inc("ingest_accepted_total")
         stats = self.duration_stats.setdefault(
             record.failure_type, StreamingStats()
         )
@@ -207,6 +212,7 @@ class IngestionServer:
     ) -> None:
         self.malformed += 1
         self.quarantined += 1
+        get_registry().inc("ingest_quarantined_total", reason=reason)
         if len(self.quarantine) < QUARANTINE_CAPACITY:
             self.quarantine.append({
                 "reason": reason, "payload": payload, "data": data,

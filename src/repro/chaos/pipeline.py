@@ -28,6 +28,7 @@ from repro.chaos.transport import ChaosTransport
 from repro.dataset.records import record_identity
 from repro.dataset.store import Dataset
 from repro.monitoring.uploader import UploadBatcher
+from repro.obs import get_registry, span
 
 
 @dataclass
@@ -80,6 +81,15 @@ def run_telemetry_pipeline(
     """
     if server is None:
         server = IngestionServer()
+    with span("chaos.pipeline"):
+        return _run_pipeline(dataset, chaos, server)
+
+
+def _run_pipeline(
+    dataset: Dataset,
+    chaos: ChaosConfig,
+    server: IngestionServer,
+) -> TelemetryRunResult:
     transport = ChaosTransport(server.receive, chaos)
     batchers: dict[int, UploadBatcher] = {}
     wifi_rngs: dict[int, random.Random] = {}
@@ -119,6 +129,15 @@ def run_telemetry_pipeline(
                 batcher.maybe_flush(True, now=when)
         rounds += 1
     transport.flush_held()
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("chaos_pipeline_records_total", len(emitted))
+        registry.inc("chaos_pipeline_devices_total", len(batchers))
+        # Drain rounds are shard-local under parallel execution (each
+        # shard drains its own pipeline), hence a high-watermark gauge
+        # rather than a counter.
+        registry.gauge_set("chaos_pipeline_drain_rounds", rounds)
 
     report = reconcile(emitted, server, batchers.values(), transport)
     return TelemetryRunResult(

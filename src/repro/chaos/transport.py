@@ -43,6 +43,7 @@ from __future__ import annotations
 import random
 
 from repro.chaos.config import ChaosConfig
+from repro.obs import get_registry
 
 
 class ChaosTransportError(RuntimeError):
@@ -115,17 +116,23 @@ class ChaosTransport:
         arrival-order stream (legacy behaviour).
         """
         self.sends += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("chaos_transport_sends_total")
         if self.in_outage():
             self.outage_rejections += 1
+            registry.inc("chaos_transport_faults_total", fault="outage")
             raise BackendUnavailable(
                 f"backend outage at t={self.now:.0f}s"
             )
         rng = self._rng_for(sender)
         if rng.random() < self.config.drop_rate:
             self.dropped += 1
+            registry.inc("chaos_transport_faults_total", fault="drop")
             raise PayloadDropped("payload lost in transit")
         if rng.random() < self.config.reorder_rate:
             self.reordered += 1
+            registry.inc("chaos_transport_faults_total", fault="reorder")
             self._held.append(payload)
             return  # acked now, delivered after a later payload
         self._deliver(payload, rng)
@@ -181,6 +188,7 @@ class ChaosTransport:
         """Deliver held payloads; re-hold the rest if the backend dies
         mid-way (they stay accounted as in flight, never lost)."""
         held, self._held = self._held, []
+        registry = get_registry()
         for index, late in enumerate(held):
             try:
                 self.inner(late)
@@ -188,18 +196,24 @@ class ChaosTransport:
                 self._held = held[index:] + self._held
                 raise
             self.delivered += 1
+            registry.inc("chaos_transport_delivered_total")
         return len(held)
 
     def _deliver(self, payload: bytes,
                  rng: random.Random | None = None) -> None:
         rng = rng or self.rng
+        registry = get_registry()
         if rng.random() < self.config.corrupt_rate:
             self.corrupted += 1
+            registry.inc("chaos_transport_faults_total", fault="corrupt")
             self.corrupted_payloads.append(payload)
             self.inner(mangle(payload))
             return
         self.inner(payload)
         self.delivered += 1
+        registry.inc("chaos_transport_delivered_total")
         if rng.random() < self.config.duplicate_rate:
             self.duplicated += 1
+            registry.inc("chaos_transport_faults_total",
+                         fault="duplicate")
             self.inner(payload)

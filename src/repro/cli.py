@@ -34,17 +34,48 @@ from repro.dataset.store import load_dataset, save_dataset
 from repro.fleet.scenario import ScenarioConfig
 from repro.fleet.simulator import FleetSimulator
 from repro.network.topology import TopologyConfig
+from repro.obs import merge_snapshots
+from repro.obs.export import (
+    dataset_metrics_snapshot,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
 
 
 def _scenario(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
         n_devices=args.devices,
         seed=args.seed,
+        metrics=_metrics_enabled(args),
         topology=TopologyConfig(
             n_base_stations=max(400, args.devices // 2),
             seed=args.seed + 1,
         ),
     )
+
+
+def _metrics_enabled(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "metrics_out", None)
+                or getattr(args, "prom_out", None))
+
+
+def _export_metrics(args: argparse.Namespace, *datasets) -> None:
+    """Write the run's metrics snapshot(s) to the requested files.
+
+    Multiple datasets (the two arms of an ``ab`` run) merge into one
+    run-level snapshot — the merge is commutative, so this is exact.
+    """
+    if not _metrics_enabled(args):
+        return
+    snapshot = merge_snapshots(
+        [dataset_metrics_snapshot(dataset) for dataset in datasets]
+    )
+    if args.metrics_out:
+        path = write_metrics_json(args.metrics_out, snapshot)
+        print(f"metrics written to {path}")
+    if args.prom_out:
+        path = write_metrics_prometheus(args.prom_out, snapshot)
+        print(f"prometheus metrics written to {path}")
 
 
 def _positive_int(text: str) -> int:
@@ -83,6 +114,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="reload completed shards from "
                              "--checkpoint-dir instead of re-running "
                              "them (requires --checkpoint-dir)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable the observability layer and write "
+                             "the metrics snapshot as JSON to PATH")
+    parser.add_argument("--prom-out", default=None, metavar="PATH",
+                        help="enable the observability layer and write "
+                             "the metrics snapshot in Prometheus text "
+                             "format to PATH")
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -108,6 +146,7 @@ def cmd_study(args: argparse.Namespace) -> int:
                   f"reran={execution.get('reran_shards', [])} "
                   f"resumed {len(resumed)}/{execution['n_shards']} "
                   "shards from checkpoint")
+    _export_metrics(args, dataset)
     if args.save:
         save_dataset(dataset, args.save)
         print(f"dataset saved to {args.save}")
@@ -115,11 +154,12 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_ab(args: argparse.Namespace) -> int:
-    _vanilla, _patched, evaluation = run_ab_evaluation(
+    vanilla, patched, evaluation = run_ab_evaluation(
         _scenario(args), workers=args.workers, n_shards=args.shards,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
     )
     print(render_ab_evaluation(evaluation))
+    _export_metrics(args, vanilla, patched)
     return 0
 
 
@@ -139,6 +179,7 @@ def cmd_timp(args: argparse.Namespace) -> int:
     print(f"objective: {result.best_value:.1f} s vs "
           f"{result.default_value:.1f} s for vanilla 60/60/60 "
           f"({result.improvement:.0%} better)")
+    _export_metrics(args, dataset)
     return 0
 
 

@@ -43,6 +43,12 @@ class ScenarioConfig:
     #: into an ingestion server, and the reconciliation summary lands
     #: in ``Dataset.metadata["telemetry"]``.
     chaos: ChaosConfig | None = None
+    #: Enable the observability layer (:mod:`repro.obs`): the run
+    #: collects counters / gauges / histograms into
+    #: ``Dataset.metadata["metrics"]`` and span timings into
+    #: ``metadata["execution"]["spans"]``.  Off by default — the no-op
+    #: registry keeps instrumented hot paths free.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:

@@ -47,6 +47,14 @@ from repro.fleet.models import PHONE_MODELS, PhoneModelSpec
 from repro.fleet.scenario import ScenarioConfig
 from repro.monitoring.listener import DeviceFlags
 from repro.network.bearer import DEFAULT_CAUSE_SAMPLER
+from repro.obs import (
+    DURATION_BUCKETS_S,
+    EVENT_COUNT_BUCKETS,
+    MetricsRegistry,
+    counter_key,
+    get_registry,
+    use_registry,
+)
 from repro.network.basestation import DEPLOYMENT_TRAITS
 from repro.network.isp import ISP, ISP_PROFILES
 from repro.network.topology import NationalTopology
@@ -72,6 +80,22 @@ _FP_FLAVOURS = (
 
 _OVERLOAD_FP_CAUSES = ("INSUFFICIENT_RESOURCES", "CONGESTION",
                        "ACCESS_BLOCK")
+
+#: Precomputed counter keys for the per-device/per-episode hot paths,
+#: so enabling metrics does not pay kwargs + sort on every increment.
+_DEVICES_KEY = counter_key("fleet_devices_total")
+_EPISODE_KEYS = {
+    kind: counter_key("fleet_episodes_total", kind=kind)
+    for kind in ("ambient", "transition", "false_positive")
+}
+_RAT_TRANSITION_KEYS = {
+    (executed, failed): counter_key("fleet_transitions_total",
+                                    executed=str(executed).lower(),
+                                    failed=str(failed).lower())
+    for executed in (False, True)
+    for failed in (False, True)
+}
+_FAILURE_TYPE_KEYS: dict = {}
 
 
 class FleetSimulator:
@@ -133,21 +157,30 @@ class FleetSimulator:
 
         dataset = Dataset(metadata=self.base_metadata(self.config))
         dataset.base_stations = base_station_rows(self.topology)
+        registry = MetricsRegistry() if self.config.metrics else None
         watch = StopWatch()
-        shard, stats = self.simulate_shard(
-            ShardSpec(index=0, n_shards=1, lo=1,
-                      hi=self.config.n_devices + 1)
-        )
-        dataset.devices.extend(shard.devices)
-        dataset.failures.extend(shard.failures)
-        dataset.transitions.extend(shard.transitions)
-        chaos = self.config.chaos
-        if chaos is not None and chaos.enabled:
-            self.telemetry = run_telemetry_pipeline(dataset, chaos)
-            dataset.metadata["telemetry"] = self.telemetry.summary()
+        with use_registry(registry):
+            shard, stats = self.simulate_shard(
+                ShardSpec(index=0, n_shards=1, lo=1,
+                          hi=self.config.n_devices + 1)
+            )
+            dataset.devices.extend(shard.devices)
+            dataset.failures.extend(shard.failures)
+            dataset.transitions.extend(shard.transitions)
+            chaos = self.config.chaos
+            if chaos is not None and chaos.enabled:
+                self.telemetry = run_telemetry_pipeline(dataset, chaos)
+                dataset.metadata["telemetry"] = self.telemetry.summary()
+        # The stats cover the whole serial task (simulation + telemetry
+        # + metrics), matching what sharded workers report.
+        stats.wall_s = watch.elapsed()
+        stats.cpu_s = watch.cpu_elapsed()
+        if registry is not None:
+            dataset.metadata["metrics"] = registry.deterministic_snapshot()
         dataset.metadata["execution"] = execution_metadata(
             mode="serial", workers=1, shards=[stats],
             wall_s=watch.elapsed(),
+            spans=registry.span_timings() if registry else None,
         )
         return dataset
 
@@ -161,8 +194,11 @@ class FleetSimulator:
         """
         shard = Dataset()
         watch = StopWatch()
-        for device_id in spec.device_ids():
-            self._simulate_device(device_id, shard)
+        registry = get_registry()
+        with registry.span("fleet.simulate_shard"):
+            for device_id in spec.device_ids():
+                with registry.span("fleet.device"):
+                    self._simulate_device(device_id, shard)
         stats = ShardStats(
             shard=spec.index,
             device_lo=spec.lo,
@@ -235,6 +271,24 @@ class FleetSimulator:
         )
         dataset.failures.extend(device.records)
 
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc_key(_DEVICES_KEY)
+            registry.get_histogram(
+                "fleet_device_events", EVENT_COUNT_BUCKETS
+            ).observe(float(len(schedule)))
+            duration_hist = registry.get_histogram(
+                "fleet_failure_duration_s", DURATION_BUCKETS_S
+            )
+            for record in device.records:
+                key = _FAILURE_TYPE_KEYS.get(record.failure_type)
+                if key is None:
+                    key = counter_key("fleet_failures_total",
+                                      type=record.failure_type)
+                    _FAILURE_TYPE_KEYS[record.failure_type] = key
+                registry.inc_key(key)
+                duration_hist.observe(record.duration_s)
+
     def _schedule(
         self,
         rng: random.Random,
@@ -263,6 +317,11 @@ class FleetSimulator:
             + [(rng.uniform(0, study_s), "fp") for _ in range(n_fps)]
         )
         schedule.sort()
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc_key(_EPISODE_KEYS["ambient"], n_ambient)
+            registry.inc_key(_EPISODE_KEYS["transition"], n_transitions)
+            registry.inc_key(_EPISODE_KEYS["false_positive"], n_fps)
         return schedule
 
     # -- episode realization -------------------------------------------------------
@@ -326,6 +385,9 @@ class FleetSimulator:
             )
         failed = rng.random() < p_fail
         after = selected if executed else current
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc_key(_RAT_TRANSITION_KEYS[executed, failed])
         dataset.transitions.append(TransitionRecord(
             device_id=device.device_id,
             from_rat=current.rat.label,

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.dataset.records import record_identity
+from repro.obs import get_registry
 
 #: A device uploads over cellular only below this backlog (bytes);
 #: larger backlogs wait for WiFi.
@@ -146,7 +147,9 @@ class UploadBatcher:
         if now is not None and now < self.next_attempt_s:
             return 0
         flushed = 0
+        acked = 0
         failed = False
+        retried = False
         while self._pending:
             entry = self._pending[0]
             entry.attempts += 1
@@ -160,16 +163,27 @@ class UploadBatcher:
                     self._drop_head_over_budget()
                 else:
                     self.retries += 1
+                    retried = True
                 failed = True
                 break
             self._pending.popleft()
             self.pending_bytes -= len(entry.payload)
             flushed += len(entry.payload)
             self.acked_payloads += 1
+            acked += 1
             prior = entry.attempts - 1
             self.retry_histogram[prior] = (
                 self.retry_histogram.get(prior, 0) + 1
             )
+        registry = get_registry()
+        if registry.enabled:
+            if acked:
+                registry.inc("uploader_acked_total", acked)
+                registry.inc("uploader_uploaded_bytes_total", flushed)
+            if failed:
+                registry.inc("uploader_failed_sends_total")
+            if retried:
+                registry.inc("uploader_retries_total")
         if flushed:
             self.uploaded_bytes += flushed
             self.uploads += 1
@@ -219,6 +233,7 @@ class UploadBatcher:
             self.pending_bytes -= len(oldest.payload)
             self.shed_payloads += 1
             self.shed_bytes += len(oldest.payload)
+            get_registry().inc("uploader_shed_total")
             if oldest.key is not None:
                 self.shed_keys.append(oldest.key)
 
@@ -226,6 +241,7 @@ class UploadBatcher:
         entry = self._pending.popleft()
         self.pending_bytes -= len(entry.payload)
         self.budget_exhausted_payloads += 1
+        get_registry().inc("uploader_budget_exhausted_total")
         if entry.key is not None:
             self.budget_exhausted_keys.append(entry.key)
 

@@ -1,0 +1,96 @@
+"""``repro.obs`` — unified observability: metrics registry + phase spans.
+
+Usage::
+
+    from repro.obs import MetricsRegistry, use_registry, span
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with span("simulate.device"):
+            ...  # instrumented code records into ``registry``
+    snapshot = registry.snapshot()
+
+Instrumented modules call :func:`get_registry` (or the module-level
+:func:`span` / :func:`inc` helpers) and get the process-wide current
+registry — a no-op :class:`~repro.obs.registry.NullRegistry` unless a
+caller opted in with :func:`use_registry`.  The engine activates one
+registry per worker process, ships snapshots back through the result
+pipe, and merges them with :func:`merge_snapshots`; see
+``docs/observability.md`` for the metric catalog and guarantees.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.registry import (
+    DURATION_BUCKETS_S,
+    EVENT_COUNT_BUCKETS,
+    NULL_REGISTRY,
+    STAGE_COUNT_BUCKETS,
+    SUM_SCALE,
+    MetricsMergeError,
+    MetricsRegistry,
+    NullRegistry,
+    counter_key,
+    deterministic_view,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+__all__ = [
+    "DURATION_BUCKETS_S",
+    "EVENT_COUNT_BUCKETS",
+    "STAGE_COUNT_BUCKETS",
+    "SUM_SCALE",
+    "MetricsMergeError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "counter_key",
+    "deterministic_view",
+    "empty_snapshot",
+    "get_registry",
+    "inc",
+    "merge_snapshots",
+    "span",
+    "use_registry",
+]
+
+_current = NULL_REGISTRY
+
+
+def get_registry():
+    """The registry active in this process (the no-op one by default)."""
+    return _current
+
+
+@contextmanager
+def use_registry(registry):
+    """Activate ``registry`` for the duration of the block.
+
+    ``use_registry(None)`` is a pass-through: the current registry
+    (usually the no-op default) stays active.  The previous registry is
+    always restored on exit, even on exceptions, so nested activations
+    compose.
+    """
+    global _current
+    if registry is None:
+        yield _current
+        return
+    previous = _current
+    _current = registry
+    try:
+        yield registry
+    finally:
+        _current = previous
+
+
+def span(name: str):
+    """Time a phase against the current registry (no-op by default)."""
+    return _current.span(name)
+
+
+def inc(name: str, amount: int = 1, **labels) -> None:
+    """Increment a counter on the current registry (no-op by default)."""
+    _current.inc(name, amount, **labels)

@@ -1,0 +1,41 @@
+"""Snapshot export helpers shared by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.prom import to_prometheus
+
+
+def dataset_metrics_snapshot(dataset) -> dict:
+    """Reassemble the full snapshot recorded on a dataset.
+
+    The deterministic sections live in ``metadata["metrics"]``; the
+    wall-clock span timings live in ``metadata["execution"]["spans"]``
+    (they are excluded from the byte-identity guarantee).  Returns an
+    empty snapshot if the run had metrics disabled.
+    """
+    metrics = dataset.metadata.get("metrics") or {}
+    execution = dataset.metadata.get("execution") or {}
+    return {
+        "counters": dict(metrics.get("counters", {})),
+        "gauges": dict(metrics.get("gauges", {})),
+        "histograms": dict(metrics.get("histograms", {})),
+        "spans": dict(execution.get("spans", {})),
+    }
+
+
+def write_metrics_json(path, snapshot: dict) -> Path:
+    """Write a snapshot as indented JSON; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True)
+                      + "\n")
+    return target
+
+
+def write_metrics_prometheus(path, snapshot: dict) -> Path:
+    """Write a snapshot in Prometheus text format."""
+    target = Path(path)
+    target.write_text(to_prometheus(snapshot))
+    return target

@@ -1,0 +1,174 @@
+"""Prometheus text exposition for registry snapshots.
+
+:func:`to_prometheus` renders a snapshot in the Prometheus text format
+(v0.0.4): counters and gauges as-is, histograms with the conventional
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series, and span
+timings as a ``repro_span_seconds`` summary (plus a
+``repro_span_seconds_max`` gauge, which the exposition format has no
+native slot for).  Floats are rendered with ``repr`` so they survive a
+parse round-trip bit-exact.
+
+:func:`parse_prometheus` inverts the rendering for *our own output*
+(it is a scrape-format reader for snapshots, not a general Prometheus
+client) — it exists so tests can assert the exposition loses nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import SUM_SCALE, empty_snapshot, split_key
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        raise TypeError("bool is not a metric value")
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _family(key: str) -> str:
+    return key.partition("{")[0]
+
+
+def _with_label(key: str, label: str, value: str) -> str:
+    """Append one label to an exported key string."""
+    name, items = split_key(key)
+    items = items + ((label, value),)
+    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    return f"{name}{{{inner}}}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot (full or deterministic) as Prometheus text."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def declare(family: str, kind: str) -> None:
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        declare(_family(key), "counter")
+        lines.append(f"{key} {_fmt(int(value))}")
+
+    for key, value in snapshot.get("gauges", {}).items():
+        declare(_family(key), "gauge")
+        lines.append(f"{key} {_fmt(float(value))}")
+
+    for key, data in snapshot.get("histograms", {}).items():
+        name, items = split_key(key)
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            bucket = _with_label(f"{name}_bucket" + key[len(name):],
+                                 "le", _fmt(float(bound)))
+            lines.append(f"{bucket} {cumulative}")
+        bucket = _with_label(f"{name}_bucket" + key[len(name):],
+                             "le", "+Inf")
+        lines.append(f"{bucket} {data['count']}")
+        suffix = key[len(name):]
+        lines.append(f"{name}_sum{suffix} {_fmt(float(data['sum']))}")
+        lines.append(f"{name}_count{suffix} {data['count']}")
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        declare("repro_span_seconds", "summary")
+        declare("repro_span_seconds_max", "gauge")
+        for path, stats in spans.items():
+            label = f'{{span="{path}"}}'
+            lines.append(
+                f"repro_span_seconds_count{label} {stats['count']}"
+            )
+            lines.append(
+                f"repro_span_seconds_sum{label} "
+                f"{_fmt(float(stats['total_s']))}"
+            )
+            lines.append(
+                f"repro_span_seconds_max{label} "
+                f"{_fmt(float(stats['max_s']))}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse :func:`to_prometheus` output back into a snapshot dict.
+
+    Histogram ``sum_scaled`` is reconstructed from the exposed float
+    sum — exact, because the float was itself derived from the scaled
+    integer and ``repr`` round-trips doubles.
+    """
+    kinds: dict[str, str] = {}
+    samples: list[tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            family, kind = line[len("# TYPE "):].rsplit(" ", 1)
+            kinds[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        metric, _, value = line.rpartition(" ")
+        samples.append((metric, value))
+
+    snapshot = empty_snapshot()
+    spans: dict[str, dict] = {}
+    # family -> exported histogram key -> ordered (le, cumulative)
+    buckets: dict[str, list[tuple[str, int]]] = {}
+    hist_meta: dict[str, dict] = {}
+
+    for metric, value in samples:
+        name, items = split_key(metric)
+        if name == "repro_span_seconds_count":
+            path = dict(items)["span"]
+            spans.setdefault(path, {})["count"] = int(value)
+            continue
+        if name == "repro_span_seconds_sum":
+            path = dict(items)["span"]
+            spans.setdefault(path, {})["total_s"] = float(value)
+            continue
+        if name == "repro_span_seconds_max":
+            path = dict(items)["span"]
+            spans.setdefault(path, {})["max_s"] = float(value)
+            continue
+        for suffix, role in (("_bucket", "bucket"), ("_sum", "sum"),
+                             ("_count", "count")):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and kinds.get(base) == "histogram":
+                rest = tuple(kv for kv in items if kv[0] != "le")
+                inner = ",".join(f'{k}="{v}"' for k, v in rest)
+                key = f"{base}{{{inner}}}" if inner else base
+                if role == "bucket":
+                    le = dict(items)["le"]
+                    buckets.setdefault(key, []).append((le, int(value)))
+                else:
+                    hist_meta.setdefault(key, {})[role] = value
+                break
+        else:
+            if kinds.get(name) == "counter":
+                snapshot["counters"][metric] = int(value)
+            elif kinds.get(name) == "gauge":
+                snapshot["gauges"][metric] = float(value)
+            else:
+                raise ValueError(f"undeclared metric {metric!r}")
+
+    for key, series in buckets.items():
+        bounds = [float(le) for le, _ in series if le != "+Inf"]
+        cumulative = [count for _, count in series]
+        counts = [cumulative[0]] + [
+            b - a for a, b in zip(cumulative, cumulative[1:])
+        ]
+        total = float(hist_meta[key]["sum"])
+        snapshot["histograms"][key] = {
+            "bounds": bounds,
+            "counts": counts,
+            "count": int(hist_meta[key]["count"]),
+            "sum_scaled": int(round(total * SUM_SCALE)),
+            "sum": total,
+        }
+    if spans:
+        snapshot["spans"] = dict(sorted(spans.items()))
+    return snapshot

@@ -1,0 +1,406 @@
+"""The metrics registry: counters, gauges, histograms, phase spans.
+
+Zero-dependency observability primitives for the whole reproduction,
+designed around one hard requirement: **a sharded run's metrics must
+merge into exactly the serial run's** (the same discipline
+``repro.parallel.merge`` applies to records).  That shapes every type:
+
+* **counters** are integers incremented by integers — integer addition
+  is exact, commutative, and associative, so per-shard counts sum to
+  the serial count no matter the merge order;
+* **gauges** are high-watermark values (``gauge_set`` keeps the max) —
+  ``max`` is commutative and associative where "last write wins" is
+  neither;
+* **histograms** have *fixed bucket boundaries* chosen at first
+  observation and enforced on merge, with integer bucket counts and a
+  value sum accumulated in **scaled integer micro-units**
+  (:data:`SUM_SCALE`) — float addition is order-sensitive in the last
+  ulp, which would break byte-identity between a serial run (one
+  accumulation order) and a sharded run (per-shard sums then a merge);
+* **spans** (``with registry.span("simulate.device")``) nest via a
+  path stack and aggregate wall-clock timings per path.  Span timings
+  are *deliberately excluded* from the deterministic snapshot — wall
+  time differs run to run — and surface in
+  ``Dataset.metadata["execution"]["spans"]`` instead.
+
+The default registry is :data:`NULL_REGISTRY`, a no-op whose methods
+cost one attribute lookup and a ``pass`` — instrumentation stays in
+the hot paths permanently and costs nothing until a run opts in
+(``ScenarioConfig(metrics=True)`` / CLI ``--metrics-out``).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+
+#: Histogram value sums are accumulated as ``int(round(v * SUM_SCALE))``
+#: so shard merges are exact (micro-unit resolution).
+SUM_SCALE = 10**6
+
+#: Default bucket bounds (seconds) for failure / stall durations.  The
+#: paper's durations span sub-minute stalls to multi-hour outages.
+DURATION_BUCKETS_S = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+    1200.0, 3600.0, 7200.0, 21600.0, 86400.0,
+)
+
+#: Bucket bounds for per-device event counts.
+EVENT_COUNT_BUCKETS = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+#: Bucket bounds for recovery stages executed per stall episode.
+STAGE_COUNT_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 10.0, 25.0, 75.0)
+
+
+def _label_key(name: str, labels: dict) -> tuple:
+    """Internal dict key: cheap tuple, no string building on hot paths."""
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted(labels.items())))
+
+
+def counter_key(name: str, **labels) -> tuple:
+    """Precompute a counter key for :meth:`MetricsRegistry.inc_key`.
+
+    Hot call sites (per state-machine transition, per failure record)
+    build their keys once at module scope or in a small cache instead
+    of paying kwargs + sort on every increment.
+    """
+    return _label_key(name, labels)
+
+
+def render_key(name: str, label_items: tuple) -> str:
+    """The canonical exported key: ``name`` or ``name{k="v",...}``."""
+    if not label_items:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_items)
+    return f"{name}{{{inner}}}"
+
+
+def split_key(key: str) -> tuple[str, tuple]:
+    """Invert :func:`render_key` (labels as a sorted item tuple)."""
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    body = rest.rstrip("}")
+    items = []
+    for part in body.split(","):
+        label, _, value = part.partition("=")
+        items.append((label, value.strip('"')))
+    return name, tuple(items)
+
+
+class _Histogram:
+    """Fixed-boundary histogram with exact (integer) accumulation."""
+
+    __slots__ = ("bounds", "bounds_source", "counts", "count",
+                 "sum_scaled")
+
+    def __init__(self, bounds: tuple) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                "histogram bounds must be strictly increasing"
+            )
+        # The object callers passed, kept for an identity fast path:
+        # re-observing with the same module-level bucket constant skips
+        # the per-call bounds comparison entirely.
+        self.bounds_source = bounds
+        self.bounds = tuple(float(b) for b in bounds)
+        # counts[i] observes bounds[i-1] < v <= bounds[i]; the final
+        # slot is the +Inf bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum_scaled = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum_scaled += int(round(value * SUM_SCALE))
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum_scaled": self.sum_scaled,
+            "sum": self.sum_scaled / SUM_SCALE,
+        }
+
+
+class _Span:
+    """One live span; aggregates into the registry on exit."""
+
+    __slots__ = ("_registry", "_name", "_path", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._span_stack
+        stack.append(self._name)
+        self._path = "/".join(stack)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._started
+        self._registry._span_stack.pop()
+        spans = self._registry._spans
+        stats = spans.get(self._path)
+        if stats is None:
+            spans[self._path] = [1, elapsed, elapsed]
+        else:
+            stats[0] += 1
+            stats[1] += elapsed
+            if elapsed > stats[2]:
+                stats[2] = elapsed
+        return False
+
+
+class _NullSpan:
+    """A reusable, reentrant no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+
+class NullRegistry:
+    """The default registry: every operation is a no-op.
+
+    Kept deliberately method-compatible with :class:`MetricsRegistry`
+    so instrumented code never branches; ``enabled`` lets per-record
+    loops skip label construction entirely when it matters.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        pass
+
+    def inc_key(self, key: tuple, amount: int = 1) -> None:
+        pass
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value: float, buckets=None,
+                **labels) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        return empty_snapshot()
+
+    def deterministic_snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def span_timings(self) -> dict:
+        return {}
+
+
+#: The process-wide default (see :mod:`repro.obs` for the context API).
+NULL_REGISTRY = NullRegistry()
+
+
+class MetricsRegistry:
+    """A live registry collecting counters, gauges, histograms, spans."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, int] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, _Histogram] = {}
+        self._spans: dict[str, list] = {}
+        self._span_stack: list[str] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        """Add ``amount`` (a non-negative integer) to a counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        amount = int(amount)
+        key = _label_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def inc_key(self, key: tuple, amount: int = 1) -> None:
+        """Fast-path increment by a :func:`counter_key` tuple."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        """Record a gauge observation (high-watermark: max wins)."""
+        value = float(value)
+        key = _label_key(name, labels)
+        current = self._gauges.get(key)
+        if current is None or value > current:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, buckets=None,
+                **labels) -> None:
+        """Add one observation to a fixed-boundary histogram.
+
+        ``buckets`` fixes the boundaries on first use; later calls may
+        omit it but must not disagree (exact shard merges depend on
+        every registry using identical bounds for a given metric).
+        """
+        key = _label_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = _Histogram(buckets or DURATION_BUCKETS_S)
+            self._histograms[key] = histogram
+        elif (buckets is not None
+              and buckets is not histogram.bounds_source
+              and tuple(float(b) for b in buckets) != histogram.bounds):
+            raise ValueError(
+                f"histogram {render_key(*key)} bounds changed mid-run"
+            )
+        histogram.observe(float(value))
+
+    def get_histogram(self, name: str, buckets=None, **labels):
+        """The live histogram object, for tight observation loops.
+
+        Creates it on first use (like :meth:`observe`); callers then
+        call ``.observe(value)`` directly, skipping key construction
+        per observation.
+        """
+        key = _label_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = _Histogram(buckets or DURATION_BUCKETS_S)
+            self._histograms[key] = histogram
+        return histogram
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one phase; nests via the path stack."""
+        return _Span(self, name)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The full JSON-able snapshot (spans included)."""
+        return {
+            "counters": {
+                render_key(*key): value
+                for key, value in sorted(self._counters.items())
+            },
+            "gauges": {
+                render_key(*key): value
+                for key, value in sorted(self._gauges.items())
+            },
+            "histograms": {
+                render_key(*key): histogram.to_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
+            "spans": self.span_timings(),
+        }
+
+    def deterministic_snapshot(self) -> dict:
+        """The shard-merge-exact part (no wall-clock span timings).
+
+        This is what lands in ``Dataset.metadata["metrics"]`` and what
+        the byte-identity guarantee covers.
+        """
+        snapshot = self.snapshot()
+        del snapshot["spans"]
+        return snapshot
+
+    def span_timings(self) -> dict:
+        """Aggregated span timings: path -> count / total_s / max_s."""
+        return {
+            path: {"count": stats[0], "total_s": stats[1],
+                   "max_s": stats[2]}
+            for path, stats in sorted(self._spans.items())
+        }
+
+
+# ---------------------------------------------------------------------------
+# snapshot merging
+# ---------------------------------------------------------------------------
+
+
+class MetricsMergeError(ValueError):
+    """Snapshots disagree structurally (e.g. histogram bounds)."""
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold snapshots into one, commutatively and associatively.
+
+    Counters and histogram bucket counts / scaled sums are integer
+    sums; gauges take the max; span aggregates sum counts and totals
+    and take the max of maxima.  Histograms with mismatched bounds
+    raise :class:`MetricsMergeError` — silently mixing bucketings
+    would produce a histogram that describes neither run.
+    """
+    merged = empty_snapshot()
+    for snapshot in snapshots:
+        for key, value in snapshot.get("counters", {}).items():
+            merged["counters"][key] = (
+                merged["counters"].get(key, 0) + value
+            )
+        for key, value in snapshot.get("gauges", {}).items():
+            current = merged["gauges"].get(key)
+            if current is None or value > current:
+                merged["gauges"][key] = value
+        for key, data in snapshot.get("histograms", {}).items():
+            current = merged["histograms"].get(key)
+            if current is None:
+                merged["histograms"][key] = {
+                    "bounds": list(data["bounds"]),
+                    "counts": list(data["counts"]),
+                    "count": data["count"],
+                    "sum_scaled": data["sum_scaled"],
+                    "sum": data["sum_scaled"] / SUM_SCALE,
+                }
+                continue
+            if list(data["bounds"]) != current["bounds"]:
+                raise MetricsMergeError(
+                    f"histogram {key} bucket bounds differ across "
+                    "snapshots"
+                )
+            current["counts"] = [
+                a + b for a, b in zip(current["counts"], data["counts"])
+            ]
+            current["count"] += data["count"]
+            current["sum_scaled"] += data["sum_scaled"]
+            current["sum"] = current["sum_scaled"] / SUM_SCALE
+        for path, stats in snapshot.get("spans", {}).items():
+            current = merged["spans"].get(path)
+            if current is None:
+                merged["spans"][path] = dict(stats)
+            else:
+                current["count"] += stats["count"]
+                current["total_s"] += stats["total_s"]
+                current["max_s"] = max(current["max_s"], stats["max_s"])
+    # Canonical key order, so equal content serializes identically.
+    return {
+        section: dict(sorted(values.items()))
+        for section, values in merged.items()
+    }
+
+
+def deterministic_view(snapshot: dict) -> dict:
+    """The merge-exact sections of a snapshot (drops span timings)."""
+    return {
+        section: snapshot.get(section, {})
+        for section in ("counters", "gauges", "histograms")
+    }

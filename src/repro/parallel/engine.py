@@ -62,6 +62,13 @@ from pathlib import Path
 
 from repro.dataset.store import Dataset
 from repro.fleet.scenario import ScenarioConfig
+from repro.obs import (
+    MetricsRegistry,
+    deterministic_view,
+    merge_snapshots,
+    span,
+    use_registry,
+)
 from repro.parallel.checkpoint import (
     CheckpointStore,
     scenario_fingerprint,
@@ -91,6 +98,8 @@ class ShardResult:
     stats: ShardStats
     #: Per-shard telemetry pipeline summary (None without chaos).
     telemetry: dict | None
+    #: Per-shard metrics snapshot (None unless ``config.metrics``).
+    metrics: dict | None = None
 
 
 def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
@@ -104,14 +113,24 @@ def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
     from repro.chaos.pipeline import run_telemetry_pipeline
     from repro.fleet.simulator import FleetSimulator
 
-    simulator = FleetSimulator(config)
-    shard, stats = simulator.simulate_shard(spec)
-    telemetry = None
-    chaos = config.chaos
-    if chaos is not None and chaos.enabled:
-        telemetry = run_telemetry_pipeline(shard, chaos).summary()
+    registry = MetricsRegistry() if config.metrics else None
+    # The whole worker task is timed here, in the worker, because the
+    # parent's ``time.process_time`` never sees child CPU: simulation,
+    # the shard's telemetry pipeline, and the metrics snapshot all
+    # count, and the totals travel back through the result pipe.
+    watch = StopWatch()
+    with use_registry(registry), span("parallel.shard"):
+        simulator = FleetSimulator(config)
+        shard, stats = simulator.simulate_shard(spec)
+        telemetry = None
+        chaos = config.chaos
+        if chaos is not None and chaos.enabled:
+            telemetry = run_telemetry_pipeline(shard, chaos).summary()
+    stats.wall_s = watch.elapsed()
+    stats.cpu_s = watch.cpu_elapsed()
     return ShardResult(spec=spec, dataset=shard, stats=stats,
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       metrics=registry.snapshot() if registry else None)
 
 
 def preferred_start_method() -> str | None:
@@ -165,6 +184,10 @@ def run_sharded(
         raise ValueError("need at least one shard")
     if resume and checkpoint_dir is None:
         raise ValueError("resume requires a checkpoint directory")
+    # The parent's registry collects engine-side spans and supervision
+    # counters; worker snapshots arrive via ShardResult.metrics and are
+    # merged below.  None (the default) keeps every hot path no-op.
+    registry = MetricsRegistry() if config.metrics else None
     watch = StopWatch()
     shards = make_shards(config.n_devices, n_shards or workers)
     requested_mode = resolve_mode(mode)
@@ -216,7 +239,8 @@ def run_sharded(
             on_result=save_result,
         )
         try:
-            fresh = supervisor.run()
+            with use_registry(registry), span("parallel.supervise"):
+                fresh = supervisor.run()
             supervision = supervisor.report.to_dict()
             results = list(resumed.values()) + fresh
         except ShardSimulationError:
@@ -250,7 +274,10 @@ def run_sharded(
 
     results.sort(key=lambda result: result.spec.index)
     merge_watch = StopWatch()
-    dataset = merge_shard_datasets([result.dataset for result in results])
+    with use_registry(registry), span("parallel.merge"):
+        dataset = merge_shard_datasets(
+            [result.dataset for result in results]
+        )
     merge_s = merge_watch.elapsed()
 
     # Run-level metadata, mirroring the sequential run's.
@@ -280,6 +307,18 @@ def run_sharded(
         if checkpoint_error is not None:
             checkpoint_block["error"] = checkpoint_error
 
+    merged_spans = None
+    if registry is not None:
+        # Worker snapshots merge commutatively (integer counters and
+        # scaled-integer histogram sums), so the deterministic view is
+        # byte-identical to the serial run's metrics block.  Resumed
+        # shards loaded from a checkpoint carry their snapshot too.
+        snapshots = [result.metrics for result in results
+                     if getattr(result, "metrics", None)]
+        merged = merge_snapshots(snapshots + [registry.snapshot()])
+        dataset.metadata["metrics"] = deterministic_view(merged)
+        merged_spans = merged["spans"]
+
     dataset.metadata["execution"] = execution_metadata(
         mode=requested_mode,
         workers=workers,
@@ -291,5 +330,6 @@ def run_sharded(
         supervision=supervision,
         resumed_shards=sorted(resumed),
         checkpoint=checkpoint_block,
+        spans=merged_spans,
     )
     return dataset

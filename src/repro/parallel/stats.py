@@ -63,12 +63,16 @@ class ShardStats:
     n_failures: int
     #: Transition opportunities realized.
     n_transitions: int
-    #: Wall-clock seconds spent simulating the shard (worker-side;
-    #: excludes pickling and merge).  On an oversubscribed machine this
-    #: includes contention from sibling workers.
+    #: Wall-clock seconds of the whole worker task (simulation plus the
+    #: shard's telemetry pipeline and metrics snapshot; excludes
+    #: pickling and merge).  On an oversubscribed machine this includes
+    #: contention from sibling workers.
     wall_s: float
-    #: CPU seconds the worker itself spent (``time.process_time``) —
-    #: contention-free, so it is the honest basis for projecting
+    #: CPU seconds of the whole worker task, measured **inside the
+    #: worker** with ``time.process_time`` and shipped back through the
+    #: result pipe — the parent's ``process_time`` cannot see child
+    #: CPU, so measuring there would report ~0 for spawned shards.
+    #: Contention-free, so it is the honest basis for projecting
     #: speedup onto machines with enough cores.
     cpu_s: float = 0.0
 
@@ -116,6 +120,7 @@ def execution_metadata(
     supervision: dict | None = None,
     resumed_shards: list[int] | None = None,
     checkpoint: dict | None = None,
+    spans: dict | None = None,
 ) -> dict:
     """The JSON-able ``Dataset.metadata["execution"]`` block.
 
@@ -124,7 +129,11 @@ def execution_metadata(
     passes it for every sharded run so the retry/re-run history is part
     of ordinary run artifacts.  ``resumed_shards`` lists shards loaded
     from a checkpoint instead of simulated; ``checkpoint`` echoes the
-    store (directory, fingerprint, quarantined artifacts).
+    store (directory, fingerprint, quarantined artifacts); ``spans``
+    carries aggregated phase timings from :mod:`repro.obs` when the run
+    had metrics enabled.  ``cpu_s`` sums worker-side CPU across shards,
+    so it stays honest for spawned workers whose CPU is invisible to
+    the parent's ``process_time``.
     """
     n_devices = sum(stats.n_devices for stats in shards)
     block = {
@@ -132,6 +141,7 @@ def execution_metadata(
         "workers": workers,
         "n_shards": len(shards),
         "wall_s": wall_s,
+        "cpu_s": sum(stats.cpu_s for stats in shards),
         "devices_per_s": n_devices / wall_s if wall_s > 0 else 0.0,
         "shards": [stats.to_dict() for stats in shards],
     }
@@ -150,4 +160,6 @@ def execution_metadata(
         block["resumed_shards"] = resumed_shards
     if checkpoint is not None:
         block["checkpoint"] = checkpoint
+    if spans is not None:
+        block["spans"] = spans
     return block

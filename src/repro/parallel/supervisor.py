@@ -39,6 +39,7 @@ import traceback
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 
+from repro.obs import get_registry
 from repro.parallel.sharding import ShardSpec
 from repro.parallel.stats import ShardFailureRecord
 
@@ -393,12 +394,20 @@ class ShardSupervisor:
             shard=spec.index, attempt=attempt, kind="infrastructure",
             category=category, message=message, elapsed_s=elapsed,
         ))
+        # Fault counters land on the parent registry (workers cannot
+        # observe their own death); a clean run records none, keeping
+        # serial-vs-sharded metrics byte-identical.
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("parallel_shard_failures_total",
+                         category=category)
         failures = attempt + 1
         self._attempts[spec.index] = failures
         if spec.index not in self.report.reran_shards:
             self.report.reran_shards.append(spec.index)
         if failures <= self.retry.max_retries:
             self.report.retries += 1
+            registry.inc("parallel_shard_retries_total")
             ready_at = time.monotonic() + self.retry.backoff_s(failures)
             heapq.heappush(self._pending, (ready_at, spec.index, spec))
         else:
@@ -409,6 +418,7 @@ class ShardSupervisor:
             result = simulate_shard(self.config, spec)
             validate_shard_result(spec, result)
             self.report.degraded_shards.append(spec.index)
+            registry.inc("parallel_shard_degraded_total")
             self._complete(spec, result, completed)
 
     def _complete(self, spec: ShardSpec, result, completed) -> None:

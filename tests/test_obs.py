@@ -1,0 +1,287 @@
+"""Tests for the observability layer (``repro.obs``).
+
+The contract under test: metrics are *deterministic observables* of a
+scenario — a sharded run must report byte-identical metrics to the
+serial run (commutative-merge discipline), and leaving metrics off must
+be a true no-op (identical records, no ``metrics`` metadata, zero
+registry state mutated anywhere).
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+from repro.obs import (
+    DURATION_BUCKETS_S,
+    NULL_REGISTRY,
+    SUM_SCALE,
+    MetricsMergeError,
+    MetricsRegistry,
+    NullRegistry,
+    counter_key,
+    deterministic_view,
+    empty_snapshot,
+    get_registry,
+    merge_snapshots,
+    use_registry,
+)
+from repro.obs.prom import parse_prometheus, to_prometheus
+
+
+def tiny_scenario(n_devices=60, seed=11, **kwargs) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_devices=n_devices,
+        seed=seed,
+        topology=TopologyConfig(n_base_stations=120, seed=seed + 1),
+        **kwargs,
+    )
+
+
+def canonical(snapshot) -> str:
+    return json.dumps(snapshot, sort_keys=True)
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates_with_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 2, method="get")
+        registry.inc("requests_total", method="get")
+        registry.inc("requests_total", method="put")
+        counters = registry.snapshot()["counters"]
+        assert counters['requests_total{method="get"}'] == 3
+        assert counters['requests_total{method="put"}'] == 1
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("requests_total", -1)
+
+    def test_inc_key_matches_inc(self):
+        direct, keyed = MetricsRegistry(), MetricsRegistry()
+        direct.inc("x_total", 2, kind="a")
+        keyed.inc_key(counter_key("x_total", kind="a"), 2)
+        assert canonical(direct.snapshot()) == canonical(keyed.snapshot())
+
+    def test_gauge_merge_is_max(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("depth", 3.0)
+        registry.gauge_set("depth", 1.0)
+        assert registry.snapshot()["gauges"]["depth"] == 3.0
+
+    def test_span_nesting_builds_slash_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+            with registry.span("inner"):
+                pass
+        timings = registry.span_timings()
+        assert set(timings) == {"outer", "outer/inner"}
+        assert timings["outer/inner"]["count"] == 2
+        assert timings["outer"]["total_s"] >= timings["outer"]["max_s"]
+
+
+class TestHistograms:
+    def test_bucket_bounds_are_inclusive_with_inf_overflow(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 1.5, 5.0, 99_999.0):
+            registry.observe("lat_s", value, buckets=(1, 5, 15))
+        hist = registry.snapshot()["histograms"]["lat_s"]
+        # counts[i] = observations in (bounds[i-1], bounds[i]];
+        # the final slot is the +Inf overflow bucket.
+        assert hist["bounds"] == [1.0, 5.0, 15.0]
+        assert hist["counts"] == [1, 2, 0, 1]
+        assert hist["count"] == 4
+
+    def test_sum_accumulated_as_scaled_int(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_s", 0.1, buckets=(1,))
+        registry.observe("lat_s", 0.2, buckets=(1,))
+        hist = registry.snapshot()["histograms"]["lat_s"]
+        # Integer micro-units: no float-addition-order dependence.
+        assert hist["sum_scaled"] == int(round(0.1 * SUM_SCALE)) + int(
+            round(0.2 * SUM_SCALE))
+
+    def test_unsorted_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.observe("lat_s", 1.0, buckets=(5, 1))
+
+    def test_mid_run_bounds_change_rejected(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_s", 1.0, buckets=(1, 5))
+        with pytest.raises(ValueError):
+            registry.observe("lat_s", 1.0, buckets=(1, 10))
+
+    def test_same_bounds_object_fast_path_still_validates_value(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_s", 10.0, buckets=DURATION_BUCKETS_S)
+        registry.observe("lat_s", 10.0, buckets=DURATION_BUCKETS_S)
+        assert registry.snapshot()["histograms"]["lat_s"]["count"] == 2
+
+    def test_get_histogram_shares_state_with_observe(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_s", 1.0, buckets=(1, 5))
+        registry.get_histogram("lat_s").observe(2.0)
+        assert registry.snapshot()["histograms"]["lat_s"]["count"] == 2
+
+
+class TestMerge:
+    def _registry(self, *pairs):
+        registry = MetricsRegistry()
+        for name, amount in pairs:
+            registry.inc(name, amount)
+            registry.observe("obs_s", float(amount), buckets=(1, 5, 15))
+        return registry
+
+    def test_merge_is_commutative(self):
+        a = self._registry(("x_total", 1), ("y_total", 7)).snapshot()
+        b = self._registry(("x_total", 4)).snapshot()
+        assert canonical(merge_snapshots([a, b])) == canonical(
+            merge_snapshots([b, a]))
+
+    def test_merge_is_associative(self):
+        parts = [self._registry(("x_total", n)).snapshot()
+                 for n in (1, 2, 3)]
+        left = merge_snapshots(
+            [merge_snapshots(parts[:2]), parts[2]])
+        right = merge_snapshots(
+            [parts[0], merge_snapshots(parts[1:])])
+        assert canonical(left) == canonical(right)
+
+    def test_merge_sums_counters_and_buckets(self):
+        a = self._registry(("x_total", 2)).snapshot()
+        b = self._registry(("x_total", 5)).snapshot()
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["x_total"] == 7
+        assert merged["histograms"]["obs_s"]["count"] == 2
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat_s", 1.0, buckets=(1, 5))
+        b.observe("lat_s", 1.0, buckets=(1, 10))
+        with pytest.raises(MetricsMergeError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == empty_snapshot()
+
+
+class TestNullRegistry:
+    def test_default_registry_is_noop(self):
+        registry = get_registry()
+        assert isinstance(registry, NullRegistry)
+        assert not registry.enabled
+        registry.inc("x_total")
+        registry.inc_key(counter_key("x_total"))
+        registry.observe("lat_s", 1.0)
+        registry.gauge_set("g", 1.0)
+        with registry.span("phase"):
+            pass
+        assert NULL_REGISTRY.snapshot() == empty_snapshot()
+
+    def test_use_registry_restores_on_exit(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_none_is_passthrough(self):
+        with use_registry(None):
+            assert get_registry() is NULL_REGISTRY
+
+
+class TestSimulatorIntegration:
+    def test_metrics_off_leaves_no_trace(self):
+        plain = FleetSimulator(tiny_scenario()).run()
+        assert "metrics" not in plain.metadata
+        assert "spans" not in plain.metadata["execution"]
+
+    def test_metrics_on_does_not_change_records(self):
+        plain = FleetSimulator(tiny_scenario()).run()
+        metered = FleetSimulator(tiny_scenario(metrics=True)).run()
+        assert [r.to_dict() for r in plain.failures] == [
+            r.to_dict() for r in metered.failures]
+        assert [r.to_dict() for r in plain.transitions] == [
+            r.to_dict() for r in metered.transitions]
+
+    def test_serial_metrics_cover_fleet_and_android(self):
+        dataset = FleetSimulator(tiny_scenario(metrics=True)).run()
+        metrics = dataset.metadata["metrics"]
+        counters = metrics["counters"]
+        assert counters["fleet_devices_total"] == 60
+        assert any(k.startswith("android_dc_transitions_total")
+                   for k in counters)
+        assert any(k.startswith("fleet_failures_total") for k in counters)
+        assert metrics["histograms"]["fleet_device_events"]["count"] == 60
+        spans = dataset.metadata["execution"]["spans"]
+        assert spans["fleet.simulate_shard/fleet.device"]["count"] == 60
+
+    def test_sharded_metrics_byte_identical_to_serial(self):
+        # The tentpole guarantee.  Chaos-free scenario: the chaos drain
+        # loop is shard-local, so only deterministic fleet/android/
+        # pipeline observables are in scope (see docs/observability.md).
+        serial = FleetSimulator(tiny_scenario(metrics=True)).run()
+        shard2 = FleetSimulator(tiny_scenario(metrics=True)).run(workers=2)
+        shard3 = FleetSimulator(tiny_scenario(metrics=True)).run(
+            workers=2, n_shards=5)
+        expected = canonical(serial.metadata["metrics"])
+        assert canonical(shard2.metadata["metrics"]) == expected
+        assert canonical(shard3.metadata["metrics"]) == expected
+
+    def test_sharded_spans_report_per_shard_phases(self):
+        dataset = FleetSimulator(tiny_scenario(metrics=True)).run(
+            workers=2, n_shards=3)
+        spans = dataset.metadata["execution"]["spans"]
+        assert spans["parallel.shard"]["count"] == 3
+        assert spans["parallel.shard/fleet.simulate_shard"]["count"] == 3
+        assert spans["parallel.supervise"]["count"] == 1
+
+    def test_deterministic_view_drops_spans(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            registry.inc("x_total")
+        view = deterministic_view(registry.snapshot())
+        assert "spans" not in view
+        assert view["counters"]["x_total"] == 1
+
+
+class TestPrometheus:
+    def test_round_trip_is_exact(self):
+        dataset = FleetSimulator(tiny_scenario(metrics=True)).run()
+        from repro.obs.export import dataset_metrics_snapshot
+
+        snapshot = dataset_metrics_snapshot(dataset)
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert canonical(parsed["counters"]) == canonical(
+            snapshot["counters"])
+        assert canonical(parsed["histograms"]) == canonical(
+            snapshot["histograms"])
+
+    def test_histogram_rendered_cumulatively(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_s", 0.5, buckets=(1, 5))
+        registry.observe("lat_s", 3.0, buckets=(1, 5))
+        text = to_prometheus(registry.snapshot())
+        assert 'lat_s_bucket{le="1.0"} 1' in text
+        assert 'lat_s_bucket{le="5.0"} 2' in text
+        assert 'lat_s_bucket{le="+Inf"} 2' in text
+        assert "lat_s_count 2" in text
+
+
+class TestCliExport:
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(["study", "--devices", "40", "--seed", "3",
+                     "--metrics-out", str(out),
+                     "--prom-out", str(prom)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["fleet_devices_total"] == 40
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["counters"]["fleet_devices_total"] == 40

@@ -1,0 +1,166 @@
+"""Tests for the CI perf-regression gate (``tools/perf_gate.py``).
+
+The acceptance-level property: the gate is green on an unchanged
+baseline and demonstrably fails when a tracked counter is perturbed
+beyond tolerance.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from perf_gate import (  # noqa: E402
+    DEFAULT_THRESHOLDS,
+    compare,
+    main,
+    make_baseline,
+)
+
+
+def snapshot_fixture() -> dict:
+    return {
+        "benchmark": "perf_gate_snapshot",
+        "scenario": {"n_devices": 400, "seed": 7, "n_base_stations": 400},
+        "environment": {"python": "3.11.7"},
+        "record_digest": "a" * 64,
+        "all_records_identical": True,
+        "counters": {
+            "fleet_devices_total": 400,
+            "fleet_failures_total{type=\"data_stall\"}": 1200,
+        },
+        "gauges": {},
+        "durations": {"serial_wall_s": 1.0, "workers_2_wall_s": 1.2},
+    }
+
+
+@pytest.fixture
+def baseline() -> dict:
+    return make_baseline(snapshot_fixture())
+
+
+class TestCompare:
+    def test_unchanged_snapshot_passes(self, baseline):
+        assert compare(baseline, snapshot_fixture()) == []
+
+    def test_small_drift_within_tolerance_passes(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["counters"]["fleet_failures_total{type=\"data_stall\"}"] = (
+            1212)  # +1%, under the 2% tolerance
+        assert compare(baseline, snapshot) == []
+
+    def test_perturbed_counter_fails(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["counters"]["fleet_devices_total"] = 460  # +15%
+        problems = compare(baseline, snapshot)
+        assert any("counter drift" in p and "fleet_devices_total" in p
+                   for p in problems)
+
+    def test_disappeared_and_new_counters_fail(self, baseline):
+        snapshot = snapshot_fixture()
+        del snapshot["counters"]["fleet_devices_total"]
+        snapshot["counters"]["surprise_total"] = 1
+        problems = compare(baseline, snapshot)
+        assert any("disappeared" in p for p in problems)
+        assert any("new counter" in p for p in problems)
+
+    def test_determinism_break_fails(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["all_records_identical"] = False
+        assert any("all_records_identical" in p
+                   for p in compare(baseline, snapshot))
+
+    def test_wall_time_blowup_fails(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["durations"]["serial_wall_s"] = 100.0
+        assert any("duration regression" in p
+                   for p in compare(baseline, snapshot))
+
+    def test_wall_time_under_ratio_passes(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["durations"]["serial_wall_s"] = 2.5  # < 3x default
+        assert compare(baseline, snapshot) == []
+
+    def test_scenario_mismatch_short_circuits(self, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["scenario"]["n_devices"] = 999
+        problems = compare(baseline, snapshot)
+        assert len(problems) == 1 and "scenario mismatch" in problems[0]
+
+    def test_digest_check_opt_in(self):
+        base = make_baseline(snapshot_fixture(),
+                             thresholds={"require_digest_match": True})
+        snapshot = snapshot_fixture()
+        snapshot["record_digest"] = "b" * 64
+        assert any("digest" in p for p in compare(base, snapshot))
+        # Off by default: same perturbation passes.
+        relaxed = make_baseline(snapshot_fixture())
+        assert compare(relaxed, snapshot) == []
+
+
+class TestMakeBaseline:
+    def test_carries_thresholds_and_counters(self):
+        document = make_baseline(snapshot_fixture())
+        assert document["thresholds"] == DEFAULT_THRESHOLDS
+        assert document["counters"]["fleet_devices_total"] == 400
+
+
+class TestMain:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_green_on_unchanged_baseline(self, tmp_path, baseline):
+        base = self._write(tmp_path / "baseline.json", baseline)
+        snap = self._write(tmp_path / "snap.json", snapshot_fixture())
+        assert main(["--baseline", base, "--snapshot", snap]) == 0
+
+    def test_exit_1_on_regression(self, tmp_path, baseline):
+        snapshot = snapshot_fixture()
+        snapshot["counters"]["fleet_devices_total"] = 460
+        base = self._write(tmp_path / "baseline.json", baseline)
+        snap = self._write(tmp_path / "snap.json", snapshot)
+        assert main(["--baseline", base, "--snapshot", snap]) == 1
+
+    def test_override_flag_turns_failure_into_warning(self, tmp_path,
+                                                      baseline):
+        snapshot = snapshot_fixture()
+        snapshot["counters"]["fleet_devices_total"] = 460
+        base = self._write(tmp_path / "baseline.json", baseline)
+        snap = self._write(tmp_path / "snap.json", snapshot)
+        assert main(["--baseline", base, "--snapshot", snap,
+                     "--override"]) == 0
+
+    def test_override_env_var(self, tmp_path, baseline, monkeypatch):
+        monkeypatch.setenv("PERF_GATE_OVERRIDE", "1")
+        snapshot = snapshot_fixture()
+        snapshot["counters"]["fleet_devices_total"] = 460
+        base = self._write(tmp_path / "baseline.json", baseline)
+        snap = self._write(tmp_path / "snap.json", snapshot)
+        assert main(["--baseline", base, "--snapshot", snap]) == 0
+
+    def test_missing_snapshot_exits_2(self, tmp_path):
+        assert main(["--snapshot", str(tmp_path / "nope.json")]) == 2
+
+    def test_write_baseline_blesses_snapshot(self, tmp_path):
+        snap = self._write(tmp_path / "snap.json", snapshot_fixture())
+        out = tmp_path / "new_baseline.json"
+        assert main(["--snapshot", snap,
+                     "--write-baseline", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "perf_gate_baseline"
+        # And the blessed baseline gates its own snapshot green.
+        assert main(["--baseline", str(out), "--snapshot", snap]) == 0
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_wellformed(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "perf_gate_baseline"
+        assert document["counters"]
+        assert set(DEFAULT_THRESHOLDS) <= set(document["thresholds"])
+        assert "serial_wall_s" in document["durations"]

@@ -1,0 +1,203 @@
+"""CI perf-regression gate over metrics snapshots.
+
+::
+
+    PYTHONPATH=src python tools/perf_gate.py \
+        --baseline BENCH_baseline.json --snapshot perf_snapshot.json
+
+Compares a fresh perf-gate snapshot (produced by
+``benchmarks/bench_parallel.py --metrics-out``) against the committed
+baseline and exits non-zero on regression.  Checks, strongest first:
+
+1. **determinism** — the snapshot's ``all_records_identical`` must be
+   true (the sharded run reproduced the serial records and metrics in
+   the snapshot run itself; machine-independent);
+2. **counters** — event counters are deterministic at a fixed seed, so
+   any drift beyond ``counter_rel_tolerance`` (baseline fraction;
+   default 2%, which absorbs libm last-ulp differences across
+   platforms) fails, as do counters that appear or disappear;
+3. **durations** — wall times may not exceed ``max_wall_ratio`` times
+   the baseline (generous by default: CI machines vary, and the
+   counters are the precise instrument);
+4. **digest** — optional exact record-digest match
+   (``require_digest_match``; off by default because digests can
+   legitimately differ across platforms' libm).
+
+Intentional changes (new instrumentation, changed event mix) are
+blessed by refreshing the baseline::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --devices 400 --workers 2 --metrics-out perf_snapshot.json
+    python tools/perf_gate.py --snapshot perf_snapshot.json \
+        --write-baseline BENCH_baseline.json
+
+In CI, apply the ``perf-gate-override`` label to the pull request (or
+set ``PERF_GATE_OVERRIDE=1``) to turn regressions into warnings for
+that run — the PR must then also refresh ``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Thresholds written into fresh baselines and assumed for baselines
+#: that omit the block.
+DEFAULT_THRESHOLDS = {
+    "counter_rel_tolerance": 0.02,
+    "max_wall_ratio": 3.0,
+    "require_digest_match": False,
+}
+
+#: Duration keys the gate tracks (others are informational).
+_TRACKED_DURATIONS = ("serial_wall_s",)
+
+
+def compare(baseline: dict, snapshot: dict) -> list[str]:
+    """Every regression found, as human-readable messages."""
+    problems: list[str] = []
+    thresholds = {**DEFAULT_THRESHOLDS,
+                  **baseline.get("thresholds", {})}
+
+    if baseline.get("scenario") != snapshot.get("scenario"):
+        problems.append(
+            f"scenario mismatch: baseline {baseline.get('scenario')} "
+            f"vs snapshot {snapshot.get('scenario')} — the gate only "
+            "compares identical scenarios"
+        )
+        return problems
+
+    if not snapshot.get("all_records_identical", False):
+        problems.append(
+            "sharded records/metrics diverged from serial in the "
+            "snapshot run (all_records_identical is false)"
+        )
+
+    tolerance = thresholds["counter_rel_tolerance"]
+    base_counters = baseline.get("counters", {})
+    snap_counters = snapshot.get("counters", {})
+    for key, base_value in sorted(base_counters.items()):
+        if key not in snap_counters:
+            problems.append(f"counter disappeared: {key} "
+                            f"(baseline {base_value})")
+            continue
+        value = snap_counters[key]
+        allowed = max(1.0, abs(base_value) * tolerance)
+        if abs(value - base_value) > allowed:
+            drift = (value - base_value) / base_value if base_value else (
+                float("inf"))
+            problems.append(
+                f"counter drift: {key} {base_value} -> {value} "
+                f"({drift:+.1%}, tolerance {tolerance:.1%})"
+            )
+    for key in sorted(set(snap_counters) - set(base_counters)):
+        problems.append(
+            f"new counter not in baseline: {key} = {snap_counters[key]} "
+            "(refresh BENCH_baseline.json if intentional)"
+        )
+
+    max_ratio = thresholds["max_wall_ratio"]
+    base_durations = baseline.get("durations", {})
+    snap_durations = snapshot.get("durations", {})
+    for key in _TRACKED_DURATIONS:
+        base_value = base_durations.get(key)
+        value = snap_durations.get(key)
+        if base_value is None or value is None:
+            continue
+        if value > base_value * max_ratio:
+            problems.append(
+                f"duration regression: {key} {base_value:.2f}s -> "
+                f"{value:.2f}s (> {max_ratio:.1f}x baseline)"
+            )
+
+    if thresholds["require_digest_match"]:
+        if baseline.get("record_digest") != snapshot.get("record_digest"):
+            problems.append(
+                f"record digest changed: "
+                f"{baseline.get('record_digest', '')[:12]} -> "
+                f"{snapshot.get('record_digest', '')[:12]}"
+            )
+    return problems
+
+
+def make_baseline(snapshot: dict,
+                  thresholds: dict | None = None) -> dict:
+    """A committed-baseline document from a fresh snapshot."""
+    return {
+        "benchmark": "perf_gate_baseline",
+        "scenario": snapshot["scenario"],
+        "record_digest": snapshot["record_digest"],
+        "counters": snapshot["counters"],
+        "gauges": snapshot.get("gauges", {}),
+        "durations": snapshot["durations"],
+        "thresholds": {**DEFAULT_THRESHOLDS, **(thresholds or {})},
+        "environment": snapshot.get("environment", {}),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_baseline.json"))
+    parser.add_argument("--snapshot", type=Path, required=True)
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="bless the snapshot: write it as the new "
+                             "baseline to PATH and exit (no gating)")
+    parser.add_argument("--override", action="store_true",
+                        help="report regressions but exit 0 (same as "
+                             "PERF_GATE_OVERRIDE=1; for intentional "
+                             "changes that also refresh the baseline)")
+    args = parser.parse_args(argv)
+
+    try:
+        snapshot = json.loads(args.snapshot.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf-gate: cannot read snapshot: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        document = make_baseline(snapshot)
+        args.write_baseline.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"perf-gate: baseline written to {args.write_baseline} "
+              f"({len(document['counters'])} counters tracked)")
+        return 0
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf-gate: cannot read baseline: {exc}",
+              file=sys.stderr)
+        return 2
+
+    problems = compare(baseline, snapshot)
+    override = args.override or bool(os.environ.get("PERF_GATE_OVERRIDE"))
+    if not problems:
+        print(f"perf-gate: OK — "
+              f"{len(baseline.get('counters', {}))} counters within "
+              "tolerance, durations within ratio")
+        return 0
+    for problem in problems:
+        print(f"perf-gate: REGRESSION: {problem}", file=sys.stderr)
+    if override:
+        print("perf-gate: override active "
+              "(perf-gate-override label / PERF_GATE_OVERRIDE) — "
+              f"letting {len(problems)} regression(s) through; "
+              "refresh BENCH_baseline.json in this change",
+              file=sys.stderr)
+        return 0
+    print(f"perf-gate: FAILED with {len(problems)} regression(s); "
+          "if intentional, apply the perf-gate-override label and "
+          "refresh BENCH_baseline.json "
+          "(tools/perf_gate.py --write-baseline)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
