@@ -1,0 +1,541 @@
+"""Benchmark the columnar analysis layer against record-walking loops.
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py \
+        [--devices 1000] [--seed 7] [--repeats 5] \
+        [--out BENCH_analysis.json] [--verify-only]
+
+Simulates one study dataset, then times the **study-level statistics
+suite** — every Sec. 3 statistic the analysis layer computes from raw
+records: general stats and the Fig. 3/4/10 distributions (Sec. 3.1),
+the stage-fix rate (Sec. 3.2), the BS ranking/summary and per-ISP /
+per-RAT / normalized-prevalence series (Sec. 3.3, Figs. 11-16), and
+the six Fig. 17 transition matrices plus the measured level risk —
+two ways:
+
+* **legacy** — the pre-columnar implementations, one Python loop over
+  the record objects per statistic (kept verbatim in this file as the
+  recorded baseline);
+* **columnar** — the production :mod:`repro.analysis` path over the
+  cached columnar view.
+
+The columnar side is timed in the two states the pipeline actually
+produces: **warm** (the view is already cached — every dataset coming
+out of ``FleetSimulator.run`` is in this state, because computing the
+streaming ``metadata["analysis"]`` block builds it) and **cold** (the
+cache is dropped first, so the one-time view build is part of the
+measurement — the ``load_dataset``-then-analyze path).  The headline
+``speedup`` is the warm/as-delivered one; ``speedup_cold`` and the
+isolated ``build_s`` are recorded alongside so nothing hides.
+
+Both sides are checked for matching results before anything is timed;
+the numbers land in ``BENCH_analysis.json`` together with a
+serial-vs-sharded identity check of ``metadata["analysis"]`` (2
+workers, 5 shards).
+
+``--verify-only`` skips the timing and exits non-zero unless (a) the
+sharded analysis block is byte-identical to the serial one and (b) the
+columnar suite reproduces the legacy results — the streaming-analysis
+smoke used by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import isp_bs, stats, transitions
+from repro.analysis.columnar import columnar, invalidate_columnar
+from repro.android.recovery import AUTO_RECOVERED
+from repro.core.events import FailureType
+from repro.dataset.aggregate import cdf
+from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.simulator import FleetSimulator
+from repro.network.topology import TopologyConfig
+from repro.parallel import run_sharded
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+_DATA_STALL = FailureType.DATA_STALL.value
+
+
+def scenario_for(devices: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_devices=devices,
+        seed=seed,
+        topology=TopologyConfig(
+            n_base_stations=max(400, devices // 2), seed=seed + 1
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The legacy record-walking implementations (the recorded baseline).
+# Each is the pre-columnar production code, preserved verbatim.
+# ---------------------------------------------------------------------------
+
+
+def legacy_general_stats(dataset) -> dict:
+    per_device: dict[int, int] = {}
+    oos_devices: set[int] = set()
+    n_failures = len(dataset.failures)
+    durations = np.empty(n_failures)
+    type_counts: dict[str, int] = {}
+    type_durations: dict[str, float] = {}
+    for i, failure in enumerate(dataset.failures):
+        per_device[failure.device_id] = (
+            per_device.get(failure.device_id, 0) + 1
+        )
+        durations[i] = failure.duration_s
+        type_counts[failure.failure_type] = (
+            type_counts.get(failure.failure_type, 0) + 1
+        )
+        type_durations[failure.failure_type] = (
+            type_durations.get(failure.failure_type, 0.0)
+            + failure.duration_s
+        )
+        if failure.failure_type == "OUT_OF_SERVICE":
+            oos_devices.add(failure.device_id)
+    n = dataset.n_devices
+    total_duration = float(durations.sum()) if n_failures else 0.0
+    return {
+        "prevalence": len(per_device) / n,
+        "frequency": n_failures / n,
+        "max_failures": max(per_device.values(), default=0),
+        "without_oos": 1.0 - len(oos_devices) / n,
+        "mean_duration_s": float(durations.mean()) if n_failures else 0.0,
+        "median_duration_s": (
+            float(np.median(durations)) if n_failures else 0.0
+        ),
+        "duration_share_by_type": {
+            ftype: total / total_duration
+            for ftype, total in type_durations.items()
+        } if total_duration else {},
+        "count_by_type": type_counts,
+    }
+
+
+def legacy_failures_per_phone(dataset) -> np.ndarray:
+    counts = {d.device_id: 0 for d in dataset.devices}
+    for failure in dataset.failures:
+        counts[failure.device_id] = counts.get(failure.device_id, 0) + 1
+    return np.array(sorted(counts.values()), dtype=float)
+
+
+def legacy_duration_cdf(dataset):
+    return cdf([f.duration_s for f in dataset.failures])
+
+
+def legacy_stall_autofix_durations(dataset) -> np.ndarray:
+    values = [
+        f.duration_s
+        for f in dataset.failures
+        if f.failure_type == _DATA_STALL
+        and f.resolved_by == AUTO_RECOVERED
+    ]
+    return np.array(sorted(values), dtype=float)
+
+
+def legacy_stage_fix_rate(dataset, stage: int = 1) -> float:
+    executed = 0
+    fixed = 0
+    for failure in dataset.failures:
+        if failure.failure_type != _DATA_STALL:
+            continue
+        if failure.stages_executed >= stage:
+            executed += 1
+            if failure.resolved_by == stage:
+                fixed += 1
+    return fixed / executed if executed else 0.0
+
+
+def legacy_per_isp_stats(dataset) -> list[tuple]:
+    devices_by_isp: dict[str, int] = {}
+    for device in dataset.devices:
+        devices_by_isp[device.isp] = devices_by_isp.get(device.isp, 0) + 1
+    failing: dict[str, set[int]] = {}
+    counts: dict[str, int] = {}
+    for failure in dataset.failures:
+        failing.setdefault(failure.isp, set()).add(failure.device_id)
+        counts[failure.isp] = counts.get(failure.isp, 0) + 1
+    return [
+        (isp, n, len(failing.get(isp, ())) / n, counts.get(isp, 0) / n)
+        for isp, n in sorted(devices_by_isp.items())
+    ]
+
+
+def legacy_bs_failure_ranking(dataset) -> np.ndarray:
+    counts: dict[int, int] = {}
+    for failure in dataset.failures:
+        counts[failure.bs_id] = counts.get(failure.bs_id, 0) + 1
+    return np.array(sorted(counts.values(), reverse=True), dtype=float)
+
+
+def legacy_bs_failure_summary(dataset) -> dict[str, float]:
+    ranking = legacy_bs_failure_ranking(dataset)
+    return {
+        "median": float(np.median(ranking)),
+        "mean": float(np.mean(ranking)),
+        "max": float(np.max(ranking)),
+    }
+
+
+def legacy_prevalence_by_level(dataset) -> dict[int, float]:
+    failing: dict[int, set[int]] = {level: set() for level in range(6)}
+    for failure in dataset.failures:
+        failing[failure.signal_level].add(failure.device_id)
+    n = dataset.n_devices
+    return {level: len(devices) / n
+            for level, devices in failing.items()}
+
+
+def legacy_exposure_by_rat_level(dataset) -> dict[tuple[str, int], float]:
+    totals: dict[tuple[str, int], float] = {}
+    for device in dataset.devices:
+        for key, seconds in device.exposure_s.items():
+            totals[key] = totals.get(key, 0.0) + seconds
+    n = dataset.n_devices
+    return {key: total / n for key, total in totals.items()}
+
+
+def legacy_normalized_prevalence_by_level(
+    dataset, time_unit_s: float = 3600.0
+) -> dict[int, float]:
+    prevalence = legacy_prevalence_by_level(dataset)
+    totals = {level: 0.0 for level in range(6)}
+    for device in dataset.devices:
+        for (_rat, level), seconds in device.exposure_s.items():
+            totals[level] += seconds
+    n = dataset.n_devices
+    result = {}
+    for level in range(6):
+        hours = totals[level] / n / time_unit_s
+        result[level] = prevalence[level] / hours if hours > 0 else 0.0
+    return result
+
+
+def legacy_normalized_prevalence_by_rat_level(
+    dataset,
+    rats: tuple[str, ...] = ("4G", "5G"),
+    time_unit_s: float = 3600.0,
+) -> dict[str, dict[int, float]]:
+    failing: dict[tuple[str, int], set[int]] = {}
+    for failure in dataset.failures:
+        if failure.rat in rats:
+            failing.setdefault(
+                (failure.rat, failure.signal_level), set()
+            ).add(failure.device_id)
+    exposure = legacy_exposure_by_rat_level(dataset)
+    n = dataset.n_devices
+    result: dict[str, dict[int, float]] = {rat: {} for rat in rats}
+    for rat in rats:
+        for level in range(6):
+            hours = exposure.get((rat, level), 0.0) / time_unit_s
+            prevalence = len(failing.get((rat, level), ())) / n
+            result[rat][level] = (
+                prevalence / hours if hours > 0 else 0.0
+            )
+    return result
+
+
+def legacy_per_rat_bs_prevalence(dataset) -> dict[str, float]:
+    supporting = {label: 0 for label in isp_bs.RAT_LABELS}
+    for bs in dataset.base_stations:
+        for label in bs.rats:
+            supporting[label] += 1
+    failed: dict[str, set[int]] = {
+        label: set() for label in isp_bs.RAT_LABELS
+    }
+    for failure in dataset.failures:
+        failed[failure.rat].add(failure.bs_id)
+    return {
+        label: (len(failed[label]) / supporting[label]
+                if supporting[label] else 0.0)
+        for label in isp_bs.RAT_LABELS
+    }
+
+
+def legacy_baseline_rates(dataset) -> dict[tuple[str, int], float]:
+    stayed: dict[tuple[str, int], list[int]] = {}
+    for t in dataset.transitions:
+        if not t.executed:
+            key = (t.from_rat, t.from_level)
+            stayed.setdefault(key, []).append(1 if t.failed_after else 0)
+    return {
+        key: float(np.mean(outcomes))
+        for key, outcomes in stayed.items()
+    }
+
+
+def legacy_transition_matrices(dataset, min_samples: int = 5) -> dict:
+    matrices = {}
+    for from_rat, to_rat in transitions.FIG17_PANELS:
+        # The pre-columnar code recomputed the baselines per panel (and
+        # the columnar path still does); mirror that for a fair race.
+        baselines = legacy_baseline_rates(dataset)
+        fallback = (
+            float(np.mean(list(baselines.values())))
+            if baselines else 0.0
+        )
+        outcomes: dict[tuple[int, int], list[int]] = {}
+        for t in dataset.transitions:
+            if not t.executed:
+                continue
+            if t.from_rat != from_rat or t.to_rat != to_rat:
+                continue
+            key = (t.from_level, t.to_level)
+            outcomes.setdefault(key, []).append(
+                1 if t.failed_after else 0
+            )
+        increase = np.full((6, 6), np.nan)
+        samples = np.zeros((6, 6), dtype=int)
+        for (i, j), observed in outcomes.items():
+            samples[i][j] = len(observed)
+            if len(observed) < min_samples:
+                continue
+            baseline = baselines.get((from_rat, i), fallback)
+            increase[i][j] = float(np.mean(observed)) - baseline
+        matrices[(from_rat, to_rat)] = (increase, samples)
+    return matrices
+
+
+def legacy_measured_level_risk(dataset) -> dict[str, tuple[float, ...]]:
+    outcomes: dict[tuple[str, int], list[int]] = {}
+    for t in dataset.transitions:
+        if not t.executed:
+            continue
+        outcomes.setdefault(
+            (t.to_rat, t.to_level), []
+        ).append(1 if t.failed_after else 0)
+    result: dict[str, tuple[float, ...]] = {}
+    for rat in ("2G", "3G", "4G", "5G"):
+        result[rat] = tuple(
+            float(np.mean(outcomes[(rat, level)]))
+            if outcomes.get((rat, level)) else float("nan")
+            for level in range(6)
+        )
+    return result
+
+
+def legacy_suite(dataset) -> dict:
+    return {
+        "general": legacy_general_stats(dataset),
+        "per_phone": legacy_failures_per_phone(dataset),
+        "duration_cdf": legacy_duration_cdf(dataset),
+        "stall_autofix": legacy_stall_autofix_durations(dataset),
+        "stage_fix_rate": legacy_stage_fix_rate(dataset),
+        "isp": legacy_per_isp_stats(dataset),
+        "ranking": legacy_bs_failure_ranking(dataset),
+        "bs_summary": legacy_bs_failure_summary(dataset),
+        "normalized": legacy_normalized_prevalence_by_level(dataset),
+        "normalized_rat": legacy_normalized_prevalence_by_rat_level(
+            dataset
+        ),
+        "rat_bs": legacy_per_rat_bs_prevalence(dataset),
+        "matrices": legacy_transition_matrices(dataset),
+        "level_risk": legacy_measured_level_risk(dataset),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The production columnar suite — the same statistics, shipped code.
+# ---------------------------------------------------------------------------
+
+
+def columnar_suite(dataset) -> dict:
+    general = stats.compute_general_stats(dataset)
+    return {
+        "general": {
+            "prevalence": general.prevalence,
+            "frequency": general.frequency,
+            "max_failures": general.max_failures_single_device,
+            "without_oos": general.fraction_devices_without_oos,
+            "mean_duration_s": general.mean_duration_s,
+            "median_duration_s": general.median_duration_s,
+            "duration_share_by_type": general.duration_share_by_type,
+            "count_by_type": {
+                ftype: round(share * general.n_failures)
+                for ftype, share in general.count_share_by_type.items()
+            },
+        },
+        "per_phone": stats.failures_per_phone(dataset),
+        "duration_cdf": stats.duration_cdf(dataset),
+        "stall_autofix": stats.stall_autofix_durations(dataset),
+        "stage_fix_rate": stats.stage_fix_rate(dataset),
+        "isp": [
+            (row.isp, row.n_devices, row.prevalence, row.frequency)
+            for row in isp_bs.per_isp_stats(dataset)
+        ],
+        "ranking": isp_bs.bs_failure_ranking(dataset),
+        "bs_summary": isp_bs.bs_failure_summary(dataset),
+        "normalized": isp_bs.normalized_prevalence_by_level(dataset),
+        "normalized_rat": isp_bs.normalized_prevalence_by_rat_level(
+            dataset
+        ),
+        "rat_bs": isp_bs.per_rat_bs_prevalence(dataset),
+        "matrices": {
+            pair: (matrix.increase, matrix.samples)
+            for pair, matrix in
+            transitions.all_transition_matrices(dataset).items()
+        },
+        "level_risk": transitions.measured_level_risk(dataset),
+    }
+
+
+def results_match(legacy: dict, columnar: dict) -> list[str]:
+    """Human-readable mismatches between the two suites ([] if none)."""
+    problems = []
+
+    def close(a, b) -> bool:
+        return bool(np.allclose(a, b, rtol=0, atol=1e-9, equal_nan=True))
+
+    def dicts_close(a, b) -> bool:
+        return (set(a) == set(b)
+                and all(close(a[k], b[k]) for k in a))
+
+    for key, value in legacy["general"].items():
+        got = columnar["general"][key]
+        ok = (dicts_close(value, got) if isinstance(value, dict)
+              else close(value, got))
+        if not ok:
+            problems.append(f"general.{key}: {value!r} != {got!r}")
+    for key in ("per_phone", "stall_autofix", "ranking",
+                "stage_fix_rate"):
+        if not close(legacy[key], columnar[key]):
+            problems.append(f"{key} differs")
+    for key in ("bs_summary", "normalized", "rat_bs", "level_risk"):
+        if not dicts_close(legacy[key], columnar[key]):
+            problems.append(f"{key} differs")
+    if not all(close(a, b) for a, b in
+               zip(legacy["duration_cdf"], columnar["duration_cdf"])):
+        problems.append("duration_cdf differs")
+    if legacy["isp"] != columnar["isp"]:
+        problems.append("per-ISP stats differ")
+    if (set(legacy["normalized_rat"]) != set(columnar["normalized_rat"])
+            or any(not dicts_close(legacy["normalized_rat"][rat],
+                                   columnar["normalized_rat"][rat])
+                   for rat in legacy["normalized_rat"])):
+        problems.append("normalized_rat differs")
+    for pair, (increase, samples) in legacy["matrices"].items():
+        got_increase, got_samples = columnar["matrices"][pair]
+        if not (close(increase, got_increase)
+                and np.array_equal(samples, got_samples)):
+            problems.append(f"matrix {pair} differs")
+    return problems
+
+
+def check_identity(scenario: ScenarioConfig, serial_dataset,
+                   workers: int = 2, n_shards: int = 5) -> dict:
+    """Serial vs sharded byte-identity of ``metadata["analysis"]``."""
+    sharded = run_sharded(scenario, workers=workers, n_shards=n_shards,
+                          mode="inline")
+    serial_block = json.dumps(serial_dataset.metadata["analysis"],
+                              sort_keys=True)
+    sharded_block = json.dumps(sharded.metadata["analysis"],
+                               sort_keys=True)
+    return {
+        "workers": workers,
+        "n_shards": n_shards,
+        "identical": serial_block == sharded_block,
+    }
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--devices", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--verify-only", action="store_true",
+                        help="check streaming/serial identity and "
+                             "legacy/columnar equivalence, no timing")
+    args = parser.parse_args(argv)
+
+    scenario = scenario_for(args.devices, args.seed)
+    print(f"simulating {args.devices} devices (seed {args.seed})...")
+    dataset = FleetSimulator(scenario).run()
+
+    legacy = legacy_suite(dataset)
+    invalidate_columnar(dataset)
+    columnar_results = columnar_suite(dataset)
+    problems = results_match(legacy, columnar_results)
+    for problem in problems:
+        print(f"MISMATCH: {problem}", file=sys.stderr)
+
+    identity = check_identity(scenario, dataset)
+    status = "identical" if identity["identical"] else "DIVERGED"
+    print(f"analysis block serial vs {identity['workers']} workers / "
+          f"{identity['n_shards']} shards: {status}")
+
+    if args.verify_only:
+        if problems or not identity["identical"]:
+            return 1
+        print("verify-only: OK")
+        return 0
+
+    legacy_s = best_of(lambda: legacy_suite(dataset), args.repeats)
+
+    def cold_suite():
+        invalidate_columnar(dataset)
+        columnar_suite(dataset)
+
+    cold_s = best_of(cold_suite, args.repeats)
+    invalidate_columnar(dataset)
+    build_started = time.perf_counter()
+    columnar(dataset)
+    build_s = time.perf_counter() - build_started
+    # Warm = the as-delivered state: every dataset out of
+    # FleetSimulator.run carries the view already (building it is part
+    # of computing the streaming metadata["analysis"] block).
+    warm_s = best_of(lambda: columnar_suite(dataset), args.repeats)
+
+    report = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "devices": args.devices,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "n_failures": dataset.n_failures,
+        "n_transitions": len(dataset.transitions),
+        "legacy_s": round(legacy_s, 6),
+        "columnar_s": round(warm_s, 6),
+        "columnar_cold_s": round(cold_s, 6),
+        "build_s": round(build_s, 6),
+        "speedup": round(legacy_s / warm_s, 2),
+        "speedup_cold": round(legacy_s / cold_s, 2),
+        "results_match": not problems,
+        "identity": identity,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"legacy suite:          {legacy_s * 1e3:8.1f} ms")
+    print(f"columnar (as run()):   {warm_s * 1e3:8.1f} ms "
+          f"({report['speedup']}x)")
+    print(f"columnar (cold build): {cold_s * 1e3:8.1f} ms "
+          f"({report['speedup_cold']}x; view build "
+          f"{build_s * 1e3:.1f} ms)")
+    print(f"written to {out}")
+    return 0 if (not problems and identity["identical"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

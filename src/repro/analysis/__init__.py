@@ -4,6 +4,15 @@ the ISP/BS landscape (Sec. 3.3), RAT-transition matrices (Fig. 17), and
 the A/B evaluation of the enhancements (Sec. 4.3).  Everything here is
 computed from dataset records only — never copied from quantities."""
 
+from repro.analysis.columnar import (
+    AnalysisPartial,
+    ColumnarView,
+    analysis_summary,
+    columnar,
+    compute_analysis_block,
+    invalidate_columnar,
+    merge_analysis_blocks,
+)
 from repro.analysis.stats import GeneralStats, compute_general_stats
 from repro.analysis.landscape import (
     ModelStats,
@@ -24,6 +33,13 @@ from repro.analysis.transitions import transition_increase_matrix
 from repro.analysis.evaluation import ABEvaluation, evaluate_ab
 
 __all__ = [
+    "AnalysisPartial",
+    "ColumnarView",
+    "analysis_summary",
+    "columnar",
+    "compute_analysis_block",
+    "invalidate_columnar",
+    "merge_analysis_blocks",
     "GeneralStats",
     "compute_general_stats",
     "ModelStats",

@@ -7,6 +7,11 @@ same scenario:
   phones, overall and per failure type;
 * Fig. 21 — Data_Stall duration reduction, total-duration reduction,
   and the median duration of all failures before/after.
+
+Degenerate arms are legal inputs: an arm with no Data_Stall failures
+(or no failures at all) yields zero-valued duration statistics rather
+than NaN — small ablation scenarios and near-perfect patched arms both
+hit these paths.
 """
 
 from __future__ import annotations
@@ -15,7 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.columnar import columnar
 from repro.core.events import FailureType
+from repro.dataset.aggregate import safe_mean
 from repro.dataset.store import Dataset
 
 
@@ -47,28 +54,29 @@ def _five_g_stats(
     dataset: Dataset, failure_type: str | None = None
 ) -> tuple[float, float]:
     """(prevalence, frequency) over 5G devices, optionally per type."""
-    ids = {d.device_id for d in dataset.devices if d.has_5g}
-    if not ids:
+    view = columnar(dataset)
+    ids = np.unique(view.devices.device_id[view.devices.has_5g])
+    if ids.size == 0:
         raise ValueError("dataset has no 5G devices")
-    failing: set[int] = set()
-    count = 0
-    for failure in dataset.failures:
-        if failure.device_id not in ids:
-            continue
-        if failure_type is not None and (
-            failure.failure_type != failure_type
-        ):
-            continue
-        count += 1
-        failing.add(failure.device_id)
-    return len(failing) / len(ids), count / len(ids)
+    f = view.failures
+    mask = np.isin(f.device_id, ids)
+    if failure_type is not None:
+        mask &= f.type_mask(failure_type)
+    count = int(mask.sum())
+    failing = int(np.unique(f.device_id[mask]).size)
+    return failing / ids.size, count / ids.size
 
 
-def _durations(dataset: Dataset, failure_type: str | None = None):
-    return np.array([
-        f.duration_s for f in dataset.failures
-        if failure_type is None or f.failure_type == failure_type
-    ])
+def _durations(dataset: Dataset,
+               failure_type: str | None = None) -> np.ndarray:
+    f = columnar(dataset).failures
+    if failure_type is None:
+        return f.duration_s
+    return f.duration_s[f.type_mask(failure_type)]
+
+
+def _median_or_zero(values: np.ndarray) -> float:
+    return float(np.median(values)) if values.size else 0.0
 
 
 def evaluate_ab(vanilla: Dataset, patched: Dataset) -> ABEvaluation:
@@ -92,18 +100,22 @@ def evaluate_ab(vanilla: Dataset, patched: Dataset) -> ABEvaluation:
     stall_p = _durations(patched, FailureType.DATA_STALL.value)
     all_v = _durations(vanilla)
     all_p = _durations(patched)
+    # safe_mean / _median_or_zero keep empty arms 0-valued: an arm with
+    # no stalls (or no failures at all) must not poison the evaluation
+    # with NaN, and _reduction already treats a zero baseline as "no
+    # change to measure".
     return ABEvaluation(
         prevalence_reduction_5g=_reduction(prevalence_v, prevalence_p),
         frequency_reduction_5g=_reduction(frequency_v, frequency_p),
         per_type=per_type,
         stall_duration_reduction=_reduction(
-            float(stall_v.mean()), float(stall_p.mean())
+            safe_mean(stall_v), safe_mean(stall_p)
         ),
         total_duration_reduction=_reduction(
             float(all_v.sum()), float(all_p.sum())
         ),
-        median_duration_before_s=float(np.median(all_v)),
-        median_duration_after_s=float(np.median(all_p)),
+        median_duration_before_s=_median_or_zero(all_v),
+        median_duration_after_s=_median_or_zero(all_p),
     )
 
 

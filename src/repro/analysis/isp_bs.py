@@ -7,6 +7,11 @@
   (Fig. 16) — "normalized" divides the device-level prevalence at a
   level by the mean connected time at that level, the paper's exposure
   correction.
+
+The per-record reductions (rankings, distinct-device counts, exposure
+totals) run over the cached columnar view
+(:func:`repro.analysis.columnar.columnar`); only the small BS
+inventory is still walked as objects.
 """
 
 from __future__ import annotations
@@ -15,10 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.columnar import columnar, distinct_pair_counts
 from repro.dataset.store import Dataset
 
 #: RAT generation labels in display order.
 RAT_LABELS = ("2G", "3G", "4G", "5G")
+
+#: Signal levels span 0..5.
+_N_LEVELS = 6
 
 
 # ---------------------------------------------------------------------------
@@ -28,10 +37,9 @@ RAT_LABELS = ("2G", "3G", "4G", "5G")
 
 def bs_failure_ranking(dataset: Dataset) -> np.ndarray:
     """Failure counts per BS in descending order (Fig. 11's y-series)."""
-    counts: dict[int, int] = {}
-    for failure in dataset.failures:
-        counts[failure.bs_id] = counts.get(failure.bs_id, 0) + 1
-    return np.array(sorted(counts.values(), reverse=True), dtype=float)
+    _, counts = np.unique(columnar(dataset).failures.bs_id,
+                          return_counts=True)
+    return np.sort(counts.astype(float))[::-1]
 
 
 @dataclass(frozen=True)
@@ -115,22 +123,23 @@ class IspStats:
 
 def per_isp_stats(dataset: Dataset) -> list[IspStats]:
     """User prevalence and frequency per ISP (Figs. 12-13)."""
-    devices_by_isp: dict[str, int] = {}
-    for device in dataset.devices:
-        devices_by_isp[device.isp] = devices_by_isp.get(device.isp, 0) + 1
-    failing: dict[str, set[int]] = {}
-    counts: dict[str, int] = {}
-    for failure in dataset.failures:
-        failing.setdefault(failure.isp, set()).add(failure.device_id)
-        counts[failure.isp] = counts.get(failure.isp, 0) + 1
+    view = columnar(dataset)
+    d, f = view.devices, view.failures
+    device_counts = np.bincount(d.isp_codes, minlength=len(d.isps))
+    failure_counts = np.bincount(f.isp_codes, minlength=len(f.isps))
+    failing_counts = distinct_pair_counts(
+        f.isp_codes, f.device_id, len(f.isps)
+    )
+    failures_by_isp = dict(zip(f.isps, failure_counts))
+    failing_by_isp = dict(zip(f.isps, failing_counts))
     return [
         IspStats(
             isp=isp,
-            n_devices=n,
-            prevalence=len(failing.get(isp, ())) / n,
-            frequency=counts.get(isp, 0) / n,
+            n_devices=int(n),
+            prevalence=int(failing_by_isp.get(isp, 0)) / int(n),
+            frequency=int(failures_by_isp.get(isp, 0)) / int(n),
         )
-        for isp, n in sorted(devices_by_isp.items())
+        for isp, n in zip(d.isps, device_counts)
     ]
 
 
@@ -147,11 +156,13 @@ def per_rat_bs_prevalence(dataset: Dataset) -> dict[str, float]:
     for bs in dataset.base_stations:
         for label in bs.rats:
             supporting[label] += 1
-    failed: dict[str, set[int]] = {label: set() for label in RAT_LABELS}
-    for failure in dataset.failures:
-        failed[failure.rat].add(failure.bs_id)
+    f = columnar(dataset).failures
+    failed_counts = distinct_pair_counts(
+        f.rat_codes, f.bs_id, len(f.rats)
+    )
+    failed_by_rat = dict(zip(f.rats, failed_counts))
     return {
-        label: (len(failed[label]) / supporting[label]
+        label: (int(failed_by_rat.get(label, 0)) / supporting[label]
                 if supporting[label] else 0.0)
         for label in RAT_LABELS
     }
@@ -164,30 +175,35 @@ def per_rat_bs_prevalence(dataset: Dataset) -> dict[str, float]:
 
 def _exposure_by_level(dataset: Dataset) -> dict[int, float]:
     """Mean connected seconds per device at each signal level."""
-    totals = {level: 0.0 for level in range(6)}
-    for device in dataset.devices:
-        for (_rat, level), seconds in device.exposure_s.items():
-            totals[level] += seconds
+    d = columnar(dataset).devices
+    totals = np.bincount(d.exp_level, weights=d.exp_seconds,
+                         minlength=_N_LEVELS)
     n = dataset.n_devices
-    return {level: total / n for level, total in totals.items()}
+    return {level: float(totals[level]) / n for level in range(_N_LEVELS)}
 
 
 def _exposure_by_rat_level(dataset: Dataset) -> dict[tuple[str, int], float]:
-    totals: dict[tuple[str, int], float] = {}
-    for device in dataset.devices:
-        for key, seconds in device.exposure_s.items():
-            totals[key] = totals.get(key, 0.0) + seconds
+    d = columnar(dataset).devices
+    if len(d.exp_level) == 0:
+        return {}
+    keys = d.exp_rat_codes * _N_LEVELS + d.exp_level
+    size = len(d.exp_rats) * _N_LEVELS
+    totals = np.bincount(keys, weights=d.exp_seconds, minlength=size)
+    seen = np.bincount(keys, minlength=size)
     n = dataset.n_devices
-    return {key: total / n for key, total in totals.items()}
+    return {
+        (d.exp_rats[key // _N_LEVELS], int(key % _N_LEVELS)):
+            float(totals[key]) / n
+        for key in np.flatnonzero(seen)
+    }
 
 
 def prevalence_by_level(dataset: Dataset) -> dict[int, float]:
     """Plain prevalence: devices with >= 1 failure at each level."""
-    failing: dict[int, set[int]] = {level: set() for level in range(6)}
-    for failure in dataset.failures:
-        failing[failure.signal_level].add(failure.device_id)
+    f = columnar(dataset).failures
+    failing = distinct_pair_counts(f.signal_level, f.device_id, _N_LEVELS)
     n = dataset.n_devices
-    return {level: len(devices) / n for level, devices in failing.items()}
+    return {level: int(failing[level]) / n for level in range(_N_LEVELS)}
 
 
 def normalized_prevalence_by_level(
@@ -201,7 +217,7 @@ def normalized_prevalence_by_level(
     prevalence = prevalence_by_level(dataset)
     exposure = _exposure_by_level(dataset)
     result = {}
-    for level in range(6):
+    for level in range(_N_LEVELS):
         hours = exposure[level] / time_unit_s
         result[level] = prevalence[level] / hours if hours > 0 else 0.0
     return result
@@ -213,19 +229,25 @@ def normalized_prevalence_by_rat_level(
     time_unit_s: float = 3600.0,
 ) -> dict[str, dict[int, float]]:
     """Fig. 16: normalized prevalence per (RAT, level)."""
-    failing: dict[tuple[str, int], set[int]] = {}
-    for failure in dataset.failures:
-        if failure.rat in rats:
-            failing.setdefault(
-                (failure.rat, failure.signal_level), set()
-            ).add(failure.device_id)
+    f = columnar(dataset).failures
+    failing: dict[tuple[str, int], int] = {}
+    if len(f):
+        keys = f.rat_codes * _N_LEVELS + f.signal_level
+        counts = distinct_pair_counts(
+            keys, f.device_id, len(f.rats) * _N_LEVELS
+        )
+        failing = {
+            (f.rats[key // _N_LEVELS], int(key % _N_LEVELS)):
+                int(counts[key])
+            for key in np.flatnonzero(counts)
+        }
     exposure = _exposure_by_rat_level(dataset)
     n = dataset.n_devices
     result: dict[str, dict[int, float]] = {rat: {} for rat in rats}
     for rat in rats:
-        for level in range(6):
+        for level in range(_N_LEVELS):
             hours = exposure.get((rat, level), 0.0) / time_unit_s
-            prevalence = len(failing.get((rat, level), ())) / n
+            prevalence = failing.get((rat, level), 0) / n
             result[rat][level] = (
                 prevalence / hours if hours > 0 else 0.0
             )

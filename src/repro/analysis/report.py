@@ -100,6 +100,8 @@ def render_level_series(series: dict[int, float],
     """Fig. 15/16-style per-level series."""
     out = StringIO()
     out.write(f"level  {label}\n")
+    if not series:
+        return out.getvalue()
     peak = max(series.values()) or 1.0
     for level in sorted(series):
         bar = "#" * int(40 * series[level] / peak)

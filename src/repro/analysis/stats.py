@@ -7,6 +7,10 @@ All quantities here mirror the paper's definitions:
 * duration statistics over all failures and per type;
 * the failures-per-phone distribution (Fig. 3);
 * the Data_Stall auto-recovery time distribution (Fig. 10).
+
+Everything computes over the cached columnar view
+(:func:`repro.analysis.columnar.columnar`), so the cost of walking the
+record objects is paid once per dataset, not once per statistic.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.android.recovery import AUTO_RECOVERED
+from repro.analysis.columnar import columnar
 from repro.core.events import FailureType
 from repro.dataset.aggregate import cdf, fraction_below, safe_mean
 from repro.dataset.store import Dataset
@@ -51,43 +56,40 @@ def compute_general_stats(dataset: Dataset) -> GeneralStats:
     """Recompute every Sec. 3.1 statistic from the records."""
     if not dataset.devices:
         raise ValueError("dataset has no devices")
+    view = columnar(dataset)
+    f = view.failures
     n_devices = dataset.n_devices
-    n_failures = dataset.n_failures
-    per_device: dict[int, int] = {}
-    oos_devices: set[int] = set()
-    durations = np.empty(n_failures)
-    type_counts: dict[str, int] = {}
-    type_durations: dict[str, float] = {}
-    for i, failure in enumerate(dataset.failures):
-        per_device[failure.device_id] = (
-            per_device.get(failure.device_id, 0) + 1
-        )
-        durations[i] = failure.duration_s
-        type_counts[failure.failure_type] = (
-            type_counts.get(failure.failure_type, 0) + 1
-        )
-        type_durations[failure.failure_type] = (
-            type_durations.get(failure.failure_type, 0.0)
-            + failure.duration_s
-        )
-        if failure.failure_type == FailureType.OUT_OF_SERVICE.value:
-            oos_devices.add(failure.device_id)
+    n_failures = len(f)
+    durations = f.duration_s
+
+    failing_ids, per_device = np.unique(f.device_id, return_counts=True)
+    n_types = len(f.failure_types)
+    type_counts = np.bincount(f.failure_type_codes, minlength=n_types)
+    type_durations = np.bincount(f.failure_type_codes,
+                                 weights=durations, minlength=n_types)
+    oos_mask = f.type_mask(FailureType.OUT_OF_SERVICE.value)
+    n_oos_devices = int(np.unique(f.device_id[oos_mask]).size)
 
     total_duration = float(durations.sum()) if n_failures else 0.0
     headline = sum(
-        count for ftype, count in type_counts.items() if ftype in _HEADLINE
+        int(count)
+        for ftype, count in zip(f.failure_types, type_counts)
+        if ftype in _HEADLINE
     )
     mean_by_type = {
-        ftype: count / n_devices for ftype, count in type_counts.items()
+        ftype: int(count) / n_devices
+        for ftype, count in zip(f.failure_types, type_counts)
     }
     return GeneralStats(
         n_devices=n_devices,
         n_failures=n_failures,
-        prevalence=len(per_device) / n_devices,
+        prevalence=failing_ids.size / n_devices,
         frequency=n_failures / n_devices,
         mean_per_device_by_type=mean_by_type,
-        max_failures_single_device=max(per_device.values(), default=0),
-        fraction_devices_without_oos=1.0 - len(oos_devices) / n_devices,
+        max_failures_single_device=(
+            int(per_device.max()) if per_device.size else 0
+        ),
+        fraction_devices_without_oos=1.0 - n_oos_devices / n_devices,
         mean_duration_s=safe_mean(durations),
         median_duration_s=(
             float(np.median(durations)) if n_failures else 0.0
@@ -98,22 +100,25 @@ def compute_general_stats(dataset: Dataset) -> GeneralStats:
         ),
         headline_type_share=headline / n_failures if n_failures else 0.0,
         duration_share_by_type={
-            ftype: total / total_duration
-            for ftype, total in type_durations.items()
+            ftype: float(total) / total_duration
+            for ftype, total in zip(f.failure_types, type_durations)
         } if total_duration else {},
         count_share_by_type={
-            ftype: count / n_failures
-            for ftype, count in type_counts.items()
+            ftype: int(count) / n_failures
+            for ftype, count in zip(f.failure_types, type_counts)
         } if n_failures else {},
     )
 
 
 def failures_per_phone(dataset: Dataset) -> np.ndarray:
     """Failure counts per device, including zero-failure devices (Fig. 3)."""
-    counts = {d.device_id: 0 for d in dataset.devices}
-    for failure in dataset.failures:
-        counts[failure.device_id] = counts.get(failure.device_id, 0) + 1
-    return np.array(sorted(counts.values()), dtype=float)
+    view = columnar(dataset)
+    failing_ids, counts = np.unique(view.failures.device_id,
+                                    return_counts=True)
+    silent = np.setdiff1d(view.devices.device_id, failing_ids)
+    return np.sort(np.concatenate([
+        np.zeros(silent.size), counts.astype(float)
+    ]))
 
 
 def failures_per_phone_cdf(dataset: Dataset):
@@ -123,18 +128,15 @@ def failures_per_phone_cdf(dataset: Dataset):
 
 def duration_cdf(dataset: Dataset):
     """The CDF behind Fig. 4."""
-    return cdf([f.duration_s for f in dataset.failures])
+    return cdf(columnar(dataset).failures.duration_s)
 
 
 def stall_autofix_durations(dataset: Dataset) -> np.ndarray:
     """Durations of Data_Stall failures that fixed themselves (Fig. 10)."""
-    values = [
-        f.duration_s
-        for f in dataset.failures
-        if f.failure_type == FailureType.DATA_STALL.value
-        and f.resolved_by == AUTO_RECOVERED
-    ]
-    return np.array(sorted(values), dtype=float)
+    f = columnar(dataset).failures
+    mask = (f.type_mask(FailureType.DATA_STALL.value)
+            & (f.resolved_by == AUTO_RECOVERED))
+    return np.sort(f.duration_s[mask])
 
 
 def stall_autofix_cdf(dataset: Dataset):
@@ -145,15 +147,11 @@ def stall_autofix_cdf(dataset: Dataset):
 def stage_fix_rate(dataset: Dataset, stage: int = 1) -> float:
     """Among stalls where recovery stage ``stage`` executed, the fraction
     it fixed (Sec. 3.2: 75% for the first stage)."""
-    executed = 0
-    fixed = 0
-    for failure in dataset.failures:
-        if failure.failure_type != FailureType.DATA_STALL.value:
-            continue
-        if failure.stages_executed >= stage:
-            executed += 1
-            if failure.resolved_by == stage:
-                fixed += 1
+    f = columnar(dataset).failures
+    reached = (f.type_mask(FailureType.DATA_STALL.value)
+               & (f.stages_executed >= stage))
+    executed = int(reached.sum())
     if executed == 0:
         raise ValueError(f"no stalls reached recovery stage {stage}")
+    fixed = int((f.resolved_by[reached] == stage).sum())
     return fixed / executed

@@ -7,6 +7,11 @@ the source state)``, with both probabilities estimated from the
 transition-decision records the fleet collects.  The measured matrices
 are also what the Stability-Compatible policy consumes via
 :class:`repro.android.rat_policy.TransitionRiskTable`.
+
+All estimators reduce the transition records through the cached
+columnar view (:func:`repro.analysis.columnar.columnar`): group counts
+and failure sums are weighted bincounts over packed (RAT, level) keys
+instead of per-record Python loops.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.columnar import columnar
 from repro.dataset.store import Dataset
 
 #: The six panels of Fig. 17, in the paper's order.
@@ -26,6 +32,8 @@ FIG17_PANELS: tuple[tuple[str, str], ...] = (
     ("3G", "5G"),
     ("4G", "5G"),
 )
+
+_N_LEVELS = 6
 
 
 @dataclass(frozen=True)
@@ -40,16 +48,31 @@ class TransitionMatrix:
     samples: np.ndarray
 
 
+def _grouped_rates(keys: np.ndarray, failed: np.ndarray,
+                   size: int) -> tuple[np.ndarray, np.ndarray]:
+    """(counts, mean-failure-rate) per packed key; rate is NaN unseen."""
+    counts = np.bincount(keys, minlength=size)
+    sums = np.bincount(keys, weights=failed.astype(float),
+                       minlength=size)
+    with np.errstate(invalid="ignore"):
+        rates = np.where(counts > 0, sums / np.maximum(counts, 1),
+                         np.nan)
+    return counts, rates
+
+
 def _baseline_rates(dataset: Dataset) -> dict[tuple[str, int], float]:
     """P(failure | stayed) per source (RAT, level)."""
-    stayed: dict[tuple[str, int], list[int]] = {}
-    for t in dataset.transitions:
-        if not t.executed:
-            key = (t.from_rat, t.from_level)
-            stayed.setdefault(key, []).append(1 if t.failed_after else 0)
+    t = columnar(dataset).transitions
+    if len(t) == 0:
+        return {}
+    stayed = ~t.executed
+    keys = t.from_rat_codes[stayed] * _N_LEVELS + t.from_level[stayed]
+    size = len(t.from_rats) * _N_LEVELS
+    counts, rates = _grouped_rates(keys, t.failed_after[stayed], size)
     return {
-        key: float(np.mean(outcomes))
-        for key, outcomes in stayed.items()
+        (t.from_rats[key // _N_LEVELS], int(key % _N_LEVELS)):
+            float(rates[key])
+        for key in np.flatnonzero(counts)
     }
 
 
@@ -69,27 +92,28 @@ def transition_increase_matrix(
     fallback = (
         float(np.mean(list(baselines.values()))) if baselines else 0.0
     )
-    outcomes: dict[tuple[int, int], list[int]] = {}
-    for t in dataset.transitions:
-        if not t.executed:
-            continue
-        if t.from_rat != from_rat or t.to_rat != to_rat:
-            continue
-        key = (t.from_level, t.to_level)
-        outcomes.setdefault(key, []).append(1 if t.failed_after else 0)
-    increase = np.full((6, 6), np.nan)
-    samples = np.zeros((6, 6), dtype=int)
-    for (i, j), observed in outcomes.items():
-        samples[i][j] = len(observed)
-        if len(observed) < min_samples:
-            continue
-        rate = float(np.mean(observed))
-        baseline = baselines.get((from_rat, i))
-        if baseline is None and global_baseline:
-            baseline = fallback
-        if baseline is None:
-            continue
-        increase[i][j] = rate - baseline
+    t = columnar(dataset).transitions
+    increase = np.full((_N_LEVELS, _N_LEVELS), np.nan)
+    samples = np.zeros((_N_LEVELS, _N_LEVELS), dtype=int)
+    from_code = (t.from_rats.index(from_rat)
+                 if from_rat in t.from_rats else None)
+    to_code = t.to_rats.index(to_rat) if to_rat in t.to_rats else None
+    if len(t) and from_code is not None and to_code is not None:
+        mask = (t.executed
+                & (t.from_rat_codes == from_code)
+                & (t.to_rat_codes == to_code))
+        keys = t.from_level[mask] * _N_LEVELS + t.to_level[mask]
+        counts, rates = _grouped_rates(keys, t.failed_after[mask],
+                                       _N_LEVELS * _N_LEVELS)
+        samples = counts.reshape(_N_LEVELS, _N_LEVELS).astype(int)
+        for key in np.flatnonzero(counts >= min_samples):
+            i, j = divmod(int(key), _N_LEVELS)
+            baseline = baselines.get((from_rat, i))
+            if baseline is None and global_baseline:
+                baseline = fallback
+            if baseline is None:
+                continue
+            increase[i][j] = float(rates[key]) - baseline
     return TransitionMatrix(
         from_rat=from_rat,
         to_rat=to_rat,
@@ -116,8 +140,8 @@ def undesirable_cells(
     """Cells whose likelihood increase exceeds ``threshold`` — the
     transitions the paper says should be avoided (Sec. 4.2)."""
     cells = []
-    for i in range(6):
-        for j in range(6):
+    for i in range(_N_LEVELS):
+        for j in range(_N_LEVELS):
             value = matrix.increase[i][j]
             if not np.isnan(value) and value > threshold:
                 cells.append((i, j, float(value)))
@@ -130,20 +154,24 @@ def measured_level_risk(
     """Per-(RAT, destination level) failure likelihood measured from
     executed transitions — the fitted input for a data-driven
     :class:`~repro.android.rat_policy.TransitionRiskTable`."""
-    outcomes: dict[tuple[str, int], list[int]] = {}
-    for t in dataset.transitions:
-        if not t.executed:
-            continue
-        outcomes.setdefault(
-            (t.to_rat, t.to_level), []
-        ).append(1 if t.failed_after else 0)
-    result: dict[str, list[float]] = {}
-    for rat in ("2G", "3G", "4G", "5G"):
-        row = []
-        for level in range(6):
-            observed = outcomes.get((rat, level))
-            row.append(
-                float(np.mean(observed)) if observed else float("nan")
-            )
-        result[rat] = row
-    return {rat: tuple(row) for rat, row in result.items()}
+    t = columnar(dataset).transitions
+    rate_by_key: dict[tuple[str, int], float] = {}
+    if len(t):
+        keys = (t.to_rat_codes[t.executed] * _N_LEVELS
+                + t.to_level[t.executed])
+        size = len(t.to_rats) * _N_LEVELS
+        counts, rates = _grouped_rates(
+            keys, t.failed_after[t.executed], size
+        )
+        rate_by_key = {
+            (t.to_rats[key // _N_LEVELS], int(key % _N_LEVELS)):
+                float(rates[key])
+            for key in np.flatnonzero(counts)
+        }
+    return {
+        rat: tuple(
+            rate_by_key.get((rat, level), float("nan"))
+            for level in range(_N_LEVELS)
+        )
+        for rat in ("2G", "3G", "4G", "5G")
+    }

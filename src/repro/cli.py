@@ -19,14 +19,23 @@ results are identical to the default sequential run.  With
 killed run restarted with ``--resume`` picks up from the completed
 shards instead of simulating from zero; ``--shards K`` sets the
 checkpoint/retry granularity independently of worker count.
+``--analysis-out PATH`` writes the run's streaming analysis block
+(``metadata["analysis"]``) plus its derived summary as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
+from pathlib import Path
 
+from repro.analysis.columnar import (
+    analysis_summary,
+    compute_analysis_block,
+    merge_analysis_blocks,
+)
 from repro.analysis.report import render_ab_evaluation
 from repro.core.enhancements import fit_recovery_trigger
 from repro.core.study import NationwideStudy, run_ab_evaluation
@@ -78,6 +87,27 @@ def _export_metrics(args: argparse.Namespace, *datasets) -> None:
         print(f"prometheus metrics written to {path}")
 
 
+def _export_analysis(args: argparse.Namespace, *datasets) -> None:
+    """Write the merged analysis block (plus derived summary) as JSON.
+
+    Multiple datasets (the two arms of an ``ab`` run) merge exactly;
+    datasets saved before the streaming-analysis era get their block
+    recomputed from records.
+    """
+    if not getattr(args, "analysis_out", None):
+        return
+    merged = merge_analysis_blocks([
+        dataset.metadata.get("analysis")
+        or compute_analysis_block(dataset)
+        for dataset in datasets
+    ])
+    payload = {"analysis": merged, "summary": analysis_summary(merged)}
+    target = Path(args.analysis_out)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n")
+    print(f"analysis written to {target}")
+
+
 def _positive_int(text: str) -> int:
     """Argparse type: an integer >= 1, rejected with a clear message."""
     try:
@@ -121,6 +151,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="enable the observability layer and write "
                              "the metrics snapshot in Prometheus text "
                              "format to PATH")
+    parser.add_argument("--analysis-out", default=None, metavar="PATH",
+                        help="write the run's streaming analysis block "
+                             "(exact study-level aggregates plus a "
+                             "derived summary) as JSON to PATH")
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -147,6 +181,7 @@ def cmd_study(args: argparse.Namespace) -> int:
                   f"resumed {len(resumed)}/{execution['n_shards']} "
                   "shards from checkpoint")
     _export_metrics(args, dataset)
+    _export_analysis(args, dataset)
     if args.save:
         save_dataset(dataset, args.save)
         print(f"dataset saved to {args.save}")
@@ -160,6 +195,7 @@ def cmd_ab(args: argparse.Namespace) -> int:
     )
     print(render_ab_evaluation(evaluation))
     _export_metrics(args, vanilla, patched)
+    _export_analysis(args, vanilla, patched)
     return 0
 
 
@@ -180,12 +216,14 @@ def cmd_timp(args: argparse.Namespace) -> int:
           f"{result.default_value:.1f} s for vanilla 60/60/60 "
           f"({result.improvement:.0%} better)")
     _export_metrics(args, dataset)
+    _export_analysis(args, dataset)
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.path)
     print(NationwideStudy.analyze(dataset).render())
+    _export_analysis(args, dataset)
     return 0
 
 
@@ -216,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser("analyze",
                                   help="analyze a saved dataset")
     analyze.add_argument("path")
+    analyze.add_argument("--analysis-out", default=None, metavar="PATH",
+                        help="write the dataset's analysis block "
+                             "(recomputed if the file predates it) "
+                             "as JSON to PATH")
     analyze.set_defaults(handler=cmd_analyze)
     return parser
 

@@ -58,14 +58,56 @@ class Dataset:
         return grouped
 
     def merge(self, other: "Dataset") -> "Dataset":
-        """A new dataset containing both runs' records (A/B analysis)."""
+        """A new dataset containing both runs' records (A/B analysis).
+
+        Base stations are deduplicated by id (both arms usually share
+        one topology, but arms with disjoint inventories keep every
+        station).  Each arm's full metadata survives under
+        ``merged_from``, and the exact-merge blocks (``metrics``,
+        ``analysis``) are re-merged to the top level so a merged
+        dataset stays exportable like a single run.
+        """
+        seen_stations = {bs.bs_id for bs in self.base_stations}
+        base_stations = self.base_stations + [
+            bs for bs in other.base_stations
+            if bs.bs_id not in seen_stations
+        ]
+        metadata: dict = {
+            "merged_from": [self.metadata, other.metadata],
+        }
+        metrics = [arm.get("metrics") for arm in (self.metadata,
+                                                  other.metadata)]
+        metrics = [block for block in metrics if block]
+        if metrics:
+            from repro.obs import deterministic_view, merge_snapshots
+
+            metadata["metrics"] = deterministic_view(
+                merge_snapshots(metrics)
+            )
+        analysis = [arm.get("analysis") for arm in (self.metadata,
+                                                    other.metadata)]
+        analysis = [block for block in analysis if block]
+        if analysis:
+            from repro.analysis.columnar import merge_analysis_blocks
+
+            metadata["analysis"] = merge_analysis_blocks(analysis)
         return Dataset(
             devices=self.devices + other.devices,
-            base_stations=self.base_stations or other.base_stations,
+            base_stations=base_stations,
             failures=self.failures + other.failures,
             transitions=self.transitions + other.transitions,
-            metadata={"merged_from": [self.metadata, other.metadata]},
+            metadata=metadata,
         )
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the cached columnar view: it is rebuildable on demand
+        and would otherwise bloat checkpoints and worker result pipes
+        (see :mod:`repro.analysis.columnar`)."""
+        state = dict(self.__dict__)
+        state.pop("_columnar", None)
+        return state
 
 
 def save_dataset(dataset: Dataset, path: str | Path) -> None:

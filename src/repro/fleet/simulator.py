@@ -32,6 +32,7 @@ from repro.android.recovery import (
     TIMP_RECOVERY_POLICY,
     VANILLA_RECOVERY_POLICY,
 )
+from repro.analysis.columnar import compute_analysis_block
 from repro.chaos.pipeline import TelemetryRunResult, run_telemetry_pipeline
 from repro.core.events import FailureType
 from repro.dataset.records import (
@@ -171,6 +172,10 @@ class FleetSimulator:
             if chaos is not None and chaos.enabled:
                 self.telemetry = run_telemetry_pipeline(dataset, chaos)
                 dataset.metadata["telemetry"] = self.telemetry.summary()
+            # Same streaming aggregate the sharded workers compute —
+            # one partial over the single full-range shard, so serial
+            # and sharded runs carry byte-identical analysis blocks.
+            dataset.metadata["analysis"] = compute_analysis_block(dataset)
         # The stats cover the whole serial task (simulation + telemetry
         # + metrics), matching what sharded workers report.
         stats.wall_s = watch.elapsed()

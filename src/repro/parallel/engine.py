@@ -60,6 +60,10 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.columnar import (
+    compute_analysis_block,
+    merge_analysis_blocks,
+)
 from repro.dataset.store import Dataset
 from repro.fleet.scenario import ScenarioConfig
 from repro.obs import (
@@ -100,6 +104,10 @@ class ShardResult:
     telemetry: dict | None
     #: Per-shard metrics snapshot (None unless ``config.metrics``).
     metrics: dict | None = None
+    #: Per-shard streaming analysis partial (see
+    #: :mod:`repro.analysis.columnar`); None only in results loaded
+    #: from pre-partial checkpoint stores.
+    analysis: dict | None = None
 
 
 def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
@@ -126,11 +134,16 @@ def simulate_shard(config: ScenarioConfig, spec: ShardSpec) -> ShardResult:
         chaos = config.chaos
         if chaos is not None and chaos.enabled:
             telemetry = run_telemetry_pipeline(shard, chaos).summary()
+        # The streaming analysis partial: study-level aggregates that
+        # merge exactly in the parent, so run statistics never require
+        # re-walking the merged record lists.
+        analysis = compute_analysis_block(shard)
     stats.wall_s = watch.elapsed()
     stats.cpu_s = watch.cpu_elapsed()
     return ShardResult(spec=spec, dataset=shard, stats=stats,
                        telemetry=telemetry,
-                       metrics=registry.snapshot() if registry else None)
+                       metrics=registry.snapshot() if registry else None,
+                       analysis=analysis)
 
 
 def preferred_start_method() -> str | None:
@@ -296,6 +309,15 @@ def run_sharded(
                  if result.telemetry is not None]
     if summaries:
         dataset.metadata["telemetry"] = merge_telemetry_summaries(summaries)
+
+    # Per-shard analysis partials merge exactly into the serial run's
+    # block; results resumed from a pre-partial checkpoint store are
+    # recomputed from their shard records.
+    dataset.metadata["analysis"] = merge_analysis_blocks([
+        getattr(result, "analysis", None)
+        or compute_analysis_block(result.dataset)
+        for result in results
+    ])
 
     checkpoint_block = None
     if store is not None:

@@ -83,6 +83,100 @@ class TestReports:
         text = report.render_isp_stats(vanilla_dataset)
         assert "ISP-A" in text and "ISP-C" in text
 
+    def test_level_series_renders_empty(self):
+        text = report.render_level_series({})
+        assert text == "level  normalized prevalence\n"
+
+    def test_cdf_renders_empty(self):
+        text = report.render_cdf([], [], label="duration")
+        assert "duration" in text
+        assert text.count("\n") == 1
+
+
+def _ab_device(device_id, **kwargs):
+    from repro.dataset.records import DeviceRecord
+
+    defaults = dict(
+        device_id=device_id, model=1, android_version="10.0",
+        has_5g=True, isp="ISP-A",
+        exposure_s={("5G", 3): 1_000.0},
+    )
+    defaults.update(kwargs)
+    return DeviceRecord(**defaults)
+
+
+def _ab_failure(device_id, **kwargs):
+    from repro.dataset.records import FailureRecord
+
+    defaults = dict(
+        device_id=device_id, model=1, android_version="10.0",
+        has_5g=True, isp="ISP-A", failure_type="DATA_SETUP_ERROR",
+        start_time=10.0, duration_s=20.0, bs_id=1, rat="5G",
+        signal_level=3, deployment="URBAN",
+    )
+    defaults.update(kwargs)
+    return FailureRecord(**defaults)
+
+
+class TestDegenerateArms:
+    """Empty arms must yield 0-valued statistics, never NaN."""
+
+    def _assert_nan_free(self, evaluation):
+        import math
+
+        for value in (
+            evaluation.prevalence_reduction_5g,
+            evaluation.frequency_reduction_5g,
+            evaluation.stall_duration_reduction,
+            evaluation.total_duration_reduction,
+            evaluation.median_duration_before_s,
+            evaluation.median_duration_after_s,
+        ):
+            assert math.isfinite(value)
+        for delta in evaluation.per_type.values():
+            assert math.isfinite(delta.prevalence_reduction)
+            assert math.isfinite(delta.frequency_reduction)
+
+    def test_arm_without_data_stalls(self):
+        from repro.dataset.store import Dataset
+
+        vanilla = Dataset(
+            devices=[_ab_device(1), _ab_device(2)],
+            failures=[_ab_failure(1),
+                      _ab_failure(2, failure_type="DATA_STALL")],
+        )
+        patched = Dataset(
+            devices=[_ab_device(1), _ab_device(2)],
+            failures=[_ab_failure(1)],  # no Data_Stall in this arm
+        )
+        evaluation = evaluate_ab(vanilla, patched)
+        self._assert_nan_free(evaluation)
+        assert evaluation.stall_duration_reduction == 1.0
+
+    def test_arm_without_any_failures(self):
+        from repro.dataset.store import Dataset
+
+        vanilla = Dataset(
+            devices=[_ab_device(1), _ab_device(2)],
+            failures=[_ab_failure(1),
+                      _ab_failure(2, failure_type="DATA_STALL")],
+        )
+        patched = Dataset(devices=[_ab_device(1), _ab_device(2)])
+        evaluation = evaluate_ab(vanilla, patched)
+        self._assert_nan_free(evaluation)
+        assert evaluation.frequency_reduction_5g == 1.0
+        assert evaluation.median_duration_after_s == 0.0
+
+    def test_both_arms_without_failures(self):
+        from repro.dataset.store import Dataset
+
+        vanilla = Dataset(devices=[_ab_device(1)])
+        patched = Dataset(devices=[_ab_device(1)])
+        evaluation = evaluate_ab(vanilla, patched)
+        self._assert_nan_free(evaluation)
+        assert evaluation.stall_duration_reduction == 0.0
+        assert evaluation.total_duration_reduction == 0.0
+
 
 class TestStudyOrchestrator:
     def test_analyze_builds_a_full_result(self, vanilla_dataset):

@@ -103,6 +103,59 @@ class TestDataset:
         assert merged.n_devices == 4
         assert merged.n_failures == 6
 
+    def test_merge_keeps_both_arms_base_stations(self):
+        a = self.make()
+        a.base_stations = [
+            BaseStationRecord(bs_id=1, isp="ISP-A", rats=("4G",),
+                              deployment="URBAN"),
+            BaseStationRecord(bs_id=2, isp="ISP-A", rats=("4G",),
+                              deployment="RURAL"),
+        ]
+        b = self.make()
+        b.base_stations = [
+            BaseStationRecord(bs_id=2, isp="ISP-A", rats=("4G",),
+                              deployment="RURAL"),
+            BaseStationRecord(bs_id=3, isp="ISP-B", rats=("5G",),
+                              deployment="URBAN"),
+        ]
+        merged = a.merge(b)
+        assert sorted(bs.bs_id for bs in merged.base_stations) == [1, 2, 3]
+
+    def test_merge_with_one_empty_inventory(self):
+        a = self.make()
+        b = self.make()
+        b.base_stations = [
+            BaseStationRecord(bs_id=9, isp="ISP-B", rats=("4G",),
+                              deployment="URBAN")
+        ]
+        assert len(a.merge(b).base_stations) == 1
+        assert len(b.merge(a).base_stations) == 1
+
+    def test_merge_preserves_arm_metadata(self):
+        a = self.make()
+        b = self.make()
+        b.metadata = {"seed": 2}
+        merged = a.merge(b)
+        assert merged.metadata["merged_from"] == [{"seed": 1},
+                                                  {"seed": 2}]
+
+    def test_merge_re_merges_analysis_blocks(self):
+        from repro.analysis.columnar import compute_analysis_block
+
+        a = self.make()
+        # Disjoint device populations (the shard-merge contract): the
+        # re-merged block then equals a recompute over merged records.
+        b = Dataset(
+            devices=[device(3), device(4, model=4)],
+            failures=[failure(3), failure(4, model=4)],
+            metadata={"seed": 2},
+        )
+        a.metadata["analysis"] = compute_analysis_block(a)
+        b.metadata["analysis"] = compute_analysis_block(b)
+        merged = a.merge(b)
+        assert (merged.metadata["analysis"]
+                == compute_analysis_block(merged))
+
     def test_save_load_roundtrip(self, tmp_path):
         dataset = self.make()
         dataset.base_stations = [
@@ -136,6 +189,11 @@ class TestAggregate:
     def test_cdf_of_empty(self):
         xs, ps = cdf([])
         assert len(xs) == 0 and len(ps) == 0
+
+    def test_cdf_of_single_value(self):
+        xs, ps = cdf([42.0])
+        assert list(xs) == [42.0]
+        assert list(ps) == [1.0]
 
     def test_quantile(self):
         assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
