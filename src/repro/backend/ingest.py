@@ -52,6 +52,9 @@ class IngestionServer:
     duplicates: int = 0
     malformed: int = 0
     quarantined: int = 0
+    #: Quarantine entries evicted once capacity was hit — forensic
+    #: payloads lost to the bound, counted so the loss is explicit.
+    quarantine_evicted: int = 0
     bytes_received: int = 0
     #: Whether the server answers at all (transient-outage simulation).
     available: bool = True
@@ -137,6 +140,7 @@ class IngestionServer:
             "duplicates": self.duplicates,
             "malformed": self.malformed,
             "quarantined": self.quarantined,
+            "quarantine_evicted": self.quarantine_evicted,
             "bytes_received": self.bytes_received,
             "available": self.available,
             "seen": sorted(self._seen),
@@ -164,6 +168,9 @@ class IngestionServer:
             duplicates=int(snapshot["duplicates"]),
             malformed=int(snapshot["malformed"]),
             quarantined=int(snapshot.get("quarantined", 0)),
+            quarantine_evicted=int(
+                snapshot.get("quarantine_evicted", 0)
+            ),
             bytes_received=int(snapshot["bytes_received"]),
             available=bool(snapshot.get("available", True)),
             duration_stats={
@@ -201,6 +208,7 @@ class IngestionServer:
             "duplicates": float(self.duplicates),
             "malformed": float(self.malformed),
             "quarantined": float(self.quarantined),
+            "quarantine_evicted": float(self.quarantine_evicted),
             "bytes_received": float(self.bytes_received),
         }
 
@@ -213,10 +221,16 @@ class IngestionServer:
         self.malformed += 1
         self.quarantined += 1
         get_registry().inc("ingest_quarantined_total", reason=reason)
-        if len(self.quarantine) < QUARANTINE_CAPACITY:
-            self.quarantine.append({
-                "reason": reason, "payload": payload, "data": data,
-            })
+        self.quarantine.append({
+            "reason": reason, "payload": payload, "data": data,
+        })
+        # Bounded retention keeps the *newest* payloads: fresh
+        # corruption is what an operator inspects first, and every
+        # eviction is counted rather than silently discarded.
+        while len(self.quarantine) > QUARANTINE_CAPACITY:
+            self.quarantine.pop(0)
+            self.quarantine_evicted += 1
+            get_registry().inc("ingest_quarantine_evicted_total")
 
     @staticmethod
     def _identity(data: dict) -> str:

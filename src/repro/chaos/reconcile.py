@@ -10,6 +10,7 @@ discrepancy, i.e. a pipeline bug.
 
 from __future__ import annotations
 
+import base64
 import json
 import zlib
 from dataclasses import dataclass, field
@@ -38,6 +39,15 @@ class ReconciliationReport:
     retry_histogram: dict = field(default_factory=dict)
     #: Transport-side fault counters (see ChaosTransport.summary).
     transport: dict = field(default_factory=dict)
+    #: Payloads the server refused permanently (sender dropped them
+    #: after an explicit rejection ack, e.g. frame too large).
+    rejected: int = 0
+    #: Payloads shed *server-side* from the admission queue after the
+    #: ack (shed-oldest / fair-share overload policies).
+    server_shed: int = 0
+    #: Backpressure retry-after signals devices honoured (not a loss
+    #: channel — the payloads stayed spooled — but overload forensics).
+    retry_signals: int = 0
 
     @property
     def ok(self) -> bool:
@@ -46,7 +56,7 @@ class ReconciliationReport:
     @property
     def explained_losses(self) -> int:
         return (self.shed + self.budget_exhausted + self.quarantined
-                + self.in_flight)
+                + self.in_flight + self.rejected + self.server_shed)
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +67,9 @@ class ReconciliationReport:
             "budget_exhausted": self.budget_exhausted,
             "quarantined": self.quarantined,
             "in_flight": self.in_flight,
+            "rejected": self.rejected,
+            "server_shed": self.server_shed,
+            "retry_signals": self.retry_signals,
             "unexplained": list(self.unexplained),
             "retry_histogram": {
                 str(attempts): count
@@ -76,6 +89,9 @@ class ReconciliationReport:
             f"{'budget exhausted':<22} {self.budget_exhausted:>10}",
             f"{'quarantined':<22} {self.quarantined:>10}",
             f"{'in flight':<22} {self.in_flight:>10}",
+            f"{'rejected (permanent)':<22} {self.rejected:>10}",
+            f"{'shed (server queue)':<22} {self.server_shed:>10}",
+            f"{'retry signals':<22} {self.retry_signals:>10}",
             f"{'UNEXPLAINED':<22} {len(self.unexplained):>10}",
         ]
         if self.retry_histogram:
@@ -101,30 +117,77 @@ def payload_key(payload: bytes) -> str | None:
     return record_identity(data)
 
 
+def service_shed_keys(service) -> set[str]:
+    """Server-side admission-shed identities from ``service``.
+
+    Accepts either a live object exposing ``shed_keys`` (an
+    :class:`~repro.serve.admission.AdmissionQueue` or the
+    :class:`~repro.serve.service.IngestService` wrapping one) or a
+    drain-checkpoint ``dict`` — so reconciliation works identically
+    against an in-process service and a resumed checkpoint.
+    """
+    if service is None:
+        return set()
+    if isinstance(service, dict):
+        admission = service.get("admission", {})
+        return set(admission.get("shed_keys",
+                                 service.get("shed_keys", ())))
+    return set(getattr(service, "shed_keys", ()))
+
+
+def service_queued_keys(service) -> set[str]:
+    """Identities acked but still inside the service's admission queue.
+
+    These payloads are owned by the server and will be ingested (or
+    carried across a drain checkpoint), so the reconciler classifies
+    them as in flight, exactly like a client-side spool.
+    """
+    if service is None:
+        return set()
+    if isinstance(service, dict):
+        keys = set()
+        for entry in service.get("queue", ()):
+            key = payload_key(base64.b64decode(entry["payload"]))
+            if key is not None:
+                keys.add(key)
+        return keys
+    return set(getattr(service, "queued_keys", ()))
+
+
 def reconcile(emitted_keys, server, batchers,
-              transport=None) -> ReconciliationReport:
+              transport=None, service=None) -> ReconciliationReport:
     """Diff emitted identities against the backend's accepted set.
 
     ``batchers`` are the device-side spoolers (their shed / budget /
-    pending accounting explains sender-side losses); ``transport`` is
-    the optional :class:`~repro.chaos.transport.ChaosTransport`
-    (corruption and reorder-hold explain path-side losses).
+    rejected / pending accounting explains sender-side losses);
+    ``transport`` is the optional
+    :class:`~repro.chaos.transport.ChaosTransport` (corruption and
+    reorder-hold explain path-side losses); ``service`` is the
+    optional live ingest service (or its drain checkpoint), whose
+    admission queue explains server-side shedding of already-acked
+    payloads.
     """
     emitted = set(emitted_keys)
     accepted = set(server.accepted_keys)
 
     shed_keys: set[str] = set()
     budget_keys: set[str] = set()
+    rejected_keys: set[str] = set()
     pending_keys: set[str] = set()
     retry_histogram: dict[int, int] = {}
+    retry_signals = 0
     for batcher in batchers:
         shed_keys.update(batcher.shed_keys)
         budget_keys.update(batcher.budget_exhausted_keys)
+        rejected_keys.update(getattr(batcher, "rejected_keys", ()))
         pending_keys.update(batcher.pending_keys)
+        retry_signals += getattr(batcher, "retry_signals", 0)
         for attempts, count in batcher.retry_histogram.items():
             retry_histogram[attempts] = (
                 retry_histogram.get(attempts, 0) + count
             )
+    server_shed = service_shed_keys(service)
+    pending_keys |= service_queued_keys(service)
 
     corrupted_keys: set[str] = set()
     held_keys: set[str] = set()
@@ -143,11 +206,14 @@ def reconcile(emitted_keys, server, batchers,
     missing = emitted - accepted
     shed = missing & shed_keys
     budget = (missing - shed) & budget_keys
-    quarantined = (missing - shed - budget) & corrupted_keys
-    in_flight = (missing - shed - budget - quarantined) & (
-        pending_keys | held_keys
-    )
-    unexplained = missing - shed - budget - quarantined - in_flight
+    rejected = (missing - shed - budget) & rejected_keys
+    explained = shed | budget | rejected
+    queue_shed = (missing - explained) & server_shed
+    explained |= queue_shed
+    quarantined = (missing - explained) & corrupted_keys
+    explained |= quarantined
+    in_flight = (missing - explained) & (pending_keys | held_keys)
+    unexplained = missing - explained - in_flight
 
     return ReconciliationReport(
         emitted=len(emitted),
@@ -157,6 +223,9 @@ def reconcile(emitted_keys, server, batchers,
         budget_exhausted=len(budget),
         quarantined=len(quarantined),
         in_flight=len(in_flight),
+        rejected=len(rejected),
+        server_shed=len(queue_shed),
+        retry_signals=retry_signals,
         unexplained=tuple(sorted(unexplained)),
         retry_histogram=retry_histogram,
         transport=transport_summary,

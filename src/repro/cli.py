@@ -8,6 +8,8 @@
     python -m repro ab      [--devices N] [--seed S] [--workers W] [...]
     python -m repro timp    [--devices N] [--seed S] [--workers W] [...]
     python -m repro analyze PATH
+    python -m repro serve   [--host H] [--port P] [--queue-capacity N]
+                            [--policy P] [--checkpoint PATH] [--resume]
 
 ``study`` runs the measurement study and prints the Sec. 3 report;
 ``ab`` runs the paired enhancement evaluation (Sec. 4.3); ``timp`` fits
@@ -21,6 +23,13 @@ shards instead of simulating from zero; ``--shards K`` sets the
 checkpoint/retry granularity independently of worker count.
 ``--analysis-out PATH`` writes the run's streaming analysis block
 (``metadata["analysis"]``) plus its derived summary as JSON.
+
+``serve`` runs the long-lived socket ingest service
+(:mod:`repro.serve`): it prints ``serving on HOST:PORT`` once bound
+and, on SIGTERM/SIGINT, drains the admission queue, writes the
+``--checkpoint`` snapshot, and exits zero; ``--resume`` restores a
+previous drain checkpoint (dedup state, aggregates, and any payloads
+that were still queued).
 """
 
 from __future__ import annotations
@@ -220,6 +229,72 @@ def cmd_timp(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs import ThreadSafeRegistry, use_registry
+    from repro.serve import IngestService, ServeConfig
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        retry_after_s=args.retry_after,
+        read_deadline_s=args.read_deadline,
+        max_frame_bytes=args.max_frame_bytes,
+        max_connections=args.max_connections,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        drain_timeout_s=args.drain_timeout,
+    )
+    # Handler/worker threads record concurrently: the lock-free
+    # registry the simulators use is not safe here.
+    registry = ThreadSafeRegistry()
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    with use_registry(registry):
+        if args.resume and Path(args.checkpoint).exists():
+            service = IngestService.resume(args.checkpoint, config)
+            print(f"resumed from {args.checkpoint} "
+                  f"(accepted={service.server.accepted} "
+                  f"queued={service.queue.depth})", flush=True)
+        else:
+            service = IngestService(config=config)
+        service.start()
+        host, port = service.address
+        print(f"serving on {host}:{port}", flush=True)
+        stop.wait()
+        print("draining...", flush=True)
+        result = service.stop(checkpoint_path=args.checkpoint)
+        server = service.server
+        print(f"drained={result.drained} leftover={result.leftover} "
+              f"accepted={server.accepted} "
+              f"duplicates={server.duplicates} "
+              f"quarantined={server.quarantined}", flush=True)
+        if result.checkpoint_path:
+            print(f"checkpoint written to {result.checkpoint_path}",
+                  flush=True)
+        if args.metrics_out:
+            path = write_metrics_json(args.metrics_out,
+                                      registry.snapshot())
+            print(f"metrics written to {path}", flush=True)
+        if args.prom_out:
+            path = write_metrics_prometheus(args.prom_out,
+                                            registry.snapshot())
+            print(f"prometheus metrics written to {path}", flush=True)
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.path)
     print(NationwideStudy.analyze(dataset).render())
@@ -251,6 +326,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(timp)
     timp.set_defaults(handler=cmd_timp)
 
+    serve = commands.add_parser(
+        "serve", help="run the live socket ingest service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(printed once bound)")
+    serve.add_argument("--queue-capacity", type=_positive_int,
+                       default=1024,
+                       help="admission queue bound (default 1024)")
+    serve.add_argument("--policy", default="reject-newest",
+                       choices=("reject-newest", "shed-oldest",
+                                "fair-share"),
+                       help="overload policy once the queue is full")
+    serve.add_argument("--retry-after", type=float, default=5.0,
+                       metavar="S",
+                       help="base retry-after suggestion on "
+                            "backpressure acks (default 5s)")
+    serve.add_argument("--read-deadline", type=float, default=30.0,
+                       metavar="S",
+                       help="per-connection read deadline "
+                            "(slow-loris bound, default 30s)")
+    serve.add_argument("--max-frame-bytes", type=_positive_int,
+                       default=1 << 20,
+                       help="largest accepted payload (default 1MiB)")
+    serve.add_argument("--max-connections", type=_positive_int,
+                       default=256,
+                       help="concurrent connection cap (default 256)")
+    serve.add_argument("--breaker-threshold", type=_positive_int,
+                       default=5,
+                       help="consecutive ingest faults that trip the "
+                            "circuit breaker (default 5)")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       metavar="S",
+                       help="open-state hold before a half-open "
+                            "probe (default 30s)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="max wait for the queue to flush on "
+                            "SIGTERM (default 30s)")
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write the drain checkpoint here on "
+                            "SIGTERM")
+    serve.add_argument("--resume", action="store_true",
+                       help="restore state from --checkpoint before "
+                            "serving")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the service metrics snapshot as "
+                            "JSON on exit")
+    serve.add_argument("--prom-out", default=None, metavar="PATH",
+                       help="write the service metrics in Prometheus "
+                            "text format on exit")
+    serve.set_defaults(handler=cmd_serve)
+
     analyze = commands.add_parser("analyze",
                                   help="analyze a saved dataset")
     analyze.add_argument("path")
@@ -265,7 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "resume", False) and not args.checkpoint_dir:
+    if (getattr(args, "resume", False)
+            and hasattr(args, "checkpoint_dir")
+            and not args.checkpoint_dir):
         parser.error("--resume requires --checkpoint-dir")
     return args.handler(args)
 

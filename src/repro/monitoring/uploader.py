@@ -86,10 +86,19 @@ class UploadBatcher:
     shed_payloads: int = field(default=0, init=False)
     shed_bytes: int = field(default=0, init=False)
     budget_exhausted_payloads: int = field(default=0, init=False)
-    #: Record identities of shed / budget-dropped payloads, for the
-    #: reconciliation report.
+    budget_exhausted_bytes: int = field(default=0, init=False)
+    #: Payloads the server refused *permanently* (e.g. frame too
+    #: large); retrying is futile, so they are dropped on the spot.
+    rejected_payloads: int = field(default=0, init=False)
+    rejected_bytes: int = field(default=0, init=False)
+    #: Backpressure signals honoured (server said RETRY_AFTER and the
+    #: suggested delay was folded into the backoff gate).
+    retry_signals: int = field(default=0, init=False)
+    #: Record identities of shed / budget-dropped / rejected payloads,
+    #: for the reconciliation report.
     shed_keys: list = field(default_factory=list, init=False)
     budget_exhausted_keys: list = field(default_factory=list, init=False)
+    rejected_keys: list = field(default_factory=list, init=False)
     #: attempts-before-success -> payload count (0 = first try).
     retry_histogram: dict = field(default_factory=dict, init=False)
     #: Earliest time the next flush attempt is allowed (backoff gate;
@@ -150,6 +159,8 @@ class UploadBatcher:
         acked = 0
         failed = False
         retried = False
+        rejected = 0
+        suggested_delay_s: float | None = None
         while self._pending:
             entry = self._pending[0]
             entry.attempts += 1
@@ -159,6 +170,19 @@ class UploadBatcher:
             except Exception as exc:  # a nack: keep or drop, never lose
                 self.failed_sends += 1
                 self.last_error = repr(exc)
+                if getattr(exc, "permanent", False):
+                    # The server will never accept this payload (e.g.
+                    # frame too large): drop it with accounting and
+                    # keep flushing — the rest of the spool is fine.
+                    self._drop_head_rejected()
+                    rejected += 1
+                    continue
+                delay = getattr(exc, "retry_after_s", None)
+                if delay is not None:
+                    # Explicit backpressure: honour the server's
+                    # suggested delay through the backoff gate.
+                    self.retry_signals += 1
+                    suggested_delay_s = float(delay)
                 if entry.attempts >= self.max_attempts:
                     self._drop_head_over_budget()
                 else:
@@ -184,11 +208,15 @@ class UploadBatcher:
                 registry.inc("uploader_failed_sends_total")
             if retried:
                 registry.inc("uploader_retries_total")
+            if rejected:
+                registry.inc("uploader_failed_sends_total", rejected)
+            if suggested_delay_s is not None:
+                registry.inc("uploader_retry_signals_total")
         if flushed:
             self.uploaded_bytes += flushed
             self.uploads += 1
         if failed:
-            self._arm_backoff(now)
+            self._arm_backoff(now, suggested_delay_s)
         else:
             self._backoff_s = self.base_backoff_s
             self.next_attempt_s = 0.0
@@ -216,9 +244,14 @@ class UploadBatcher:
             "failed_sends": float(self.failed_sends),
             "retries": float(self.retries),
             "shed_payloads": float(self.shed_payloads),
+            "shed_bytes": float(self.shed_bytes),
             "budget_exhausted_payloads": float(
                 self.budget_exhausted_payloads
             ),
+            "budget_exhausted_bytes": float(self.budget_exhausted_bytes),
+            "rejected_payloads": float(self.rejected_payloads),
+            "rejected_bytes": float(self.rejected_bytes),
+            "retry_signals": float(self.retry_signals),
         }
 
     # -- internals -----------------------------------------------------------
@@ -233,7 +266,10 @@ class UploadBatcher:
             self.pending_bytes -= len(oldest.payload)
             self.shed_payloads += 1
             self.shed_bytes += len(oldest.payload)
-            get_registry().inc("uploader_shed_total")
+            registry = get_registry()
+            registry.inc("uploader_shed_total")
+            registry.inc("uploader_shed_bytes_total",
+                         len(oldest.payload))
             if oldest.key is not None:
                 self.shed_keys.append(oldest.key)
 
@@ -241,12 +277,33 @@ class UploadBatcher:
         entry = self._pending.popleft()
         self.pending_bytes -= len(entry.payload)
         self.budget_exhausted_payloads += 1
-        get_registry().inc("uploader_budget_exhausted_total")
+        self.budget_exhausted_bytes += len(entry.payload)
+        registry = get_registry()
+        registry.inc("uploader_budget_exhausted_total")
+        registry.inc("uploader_budget_exhausted_bytes_total",
+                     len(entry.payload))
         if entry.key is not None:
             self.budget_exhausted_keys.append(entry.key)
 
-    def _arm_backoff(self, now: float | None) -> None:
+    def _drop_head_rejected(self) -> None:
+        entry = self._pending.popleft()
+        self.pending_bytes -= len(entry.payload)
+        self.rejected_payloads += 1
+        self.rejected_bytes += len(entry.payload)
+        registry = get_registry()
+        registry.inc("uploader_rejected_total")
+        registry.inc("uploader_rejected_bytes_total",
+                     len(entry.payload))
+        if entry.key is not None:
+            self.rejected_keys.append(entry.key)
+
+    def _arm_backoff(self, now: float | None,
+                     suggested_delay_s: float | None = None) -> None:
         delay = self._backoff_s * (1.0 + self.jitter * self.rng.random())
+        if suggested_delay_s is not None and suggested_delay_s > delay:
+            # Server-directed backpressure overrides a shorter local
+            # draw; the exponential schedule still advances beneath it.
+            delay = suggested_delay_s
         self.next_attempt_s = (0.0 if now is None else now) + delay
         self._backoff_s = min(self.max_backoff_s,
                               self._backoff_s * self.backoff_multiplier)

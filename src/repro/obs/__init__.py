@@ -26,12 +26,14 @@ from contextlib import contextmanager
 from repro.obs.registry import (
     DURATION_BUCKETS_S,
     EVENT_COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
     NULL_REGISTRY,
     STAGE_COUNT_BUCKETS,
     SUM_SCALE,
     MetricsMergeError,
     MetricsRegistry,
     NullRegistry,
+    ThreadSafeRegistry,
     counter_key,
     deterministic_view,
     empty_snapshot,
@@ -41,12 +43,14 @@ from repro.obs.registry import (
 __all__ = [
     "DURATION_BUCKETS_S",
     "EVENT_COUNT_BUCKETS",
+    "LATENCY_BUCKETS_S",
     "STAGE_COUNT_BUCKETS",
     "SUM_SCALE",
     "MetricsMergeError",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "ThreadSafeRegistry",
     "counter_key",
     "deterministic_view",
     "empty_snapshot",

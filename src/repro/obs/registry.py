@@ -31,6 +31,7 @@ the hot paths permanently and costs nothing until a run opts in
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 
@@ -52,6 +53,12 @@ EVENT_COUNT_BUCKETS = (
 
 #: Bucket bounds for recovery stages executed per stall episode.
 STAGE_COUNT_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 10.0, 25.0, 75.0)
+
+#: Bucket bounds (seconds) for service-side stage latencies (queue
+#: wait, ingest) — sub-millisecond to the drain-timeout scale.
+LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0,
+)
 
 
 def _label_key(name: str, labels: dict) -> tuple:
@@ -331,6 +338,43 @@ class MetricsRegistry:
                    "max_s": stats[2]}
             for path, stats in sorted(self._spans.items())
         }
+
+
+class ThreadSafeRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` safe for concurrent recorders.
+
+    The base registry's read-modify-write updates race under free
+    threading; single-threaded hot loops (the simulator) keep the
+    lock-free base class, while multi-threaded recorders — the live
+    ingest service's handler/worker threads — use this variant.  Spans
+    stay thread-*unaware* (the path stack is meaningless across
+    threads), so only the counter/gauge/histogram surface is locked.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        with self._lock:
+            super().inc(name, amount, **labels)
+
+    def inc_key(self, key: tuple, amount: int = 1) -> None:
+        with self._lock:
+            super().inc_key(key, amount)
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            super().gauge_set(name, value, **labels)
+
+    def observe(self, name: str, value: float, buckets=None,
+                **labels) -> None:
+        with self._lock:
+            super().observe(name, value, buckets, **labels)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return super().snapshot()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,172 @@
+"""Circuit breaker around the downstream ingest path.
+
+Classic three-state breaker, sized for the one consumer it protects
+(the single ingest worker thread):
+
+* **closed** — requests flow; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker;
+* **open** — requests are refused without touching the downstream
+  (the front end answers ``ACK_UNAVAILABLE``); after
+  ``reset_timeout_s`` the breaker half-opens;
+* **half-open** — a limited number of probe requests are let through;
+  one success closes the breaker, one failure re-opens it and re-arms
+  the timer.
+
+The clock is injectable so tests (and the deterministic overload
+harness) can drive state transitions without sleeping.  Every
+transition is counted in the obs registry
+(``serve_breaker_transitions_total{from=...,to=...}``) and the current
+state is exported as a gauge — high-watermark semantics, so a value of
+1.0/2.0 in a merged snapshot means "the breaker opened/half-opened at
+some point", which is exactly the forensic question.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import get_registry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding (high-watermark: "ever reached this state or worse").
+STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitOpen(RuntimeError):
+    """The breaker is open; the downstream was not consulted."""
+
+
+class CircuitBreaker:
+    """Trips on repeated downstream faults; recovers via probes."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 half_open_probes: int = 1,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # -- accounting --
+        self.trips = 0
+        self.recoveries = 0
+        self.short_circuits = 0
+        # Export the initial state so a breaker that never trips is
+        # still visible (gauge present, at 0.0) in every snapshot.
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge_set("serve_breaker_state",
+                               STATE_GAUGE[CLOSED])
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May one request proceed right now?
+
+        In half-open state this *claims a probe slot*: callers that get
+        ``True`` must report back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                self.short_circuits += 1
+                get_registry().inc("serve_breaker_short_circuits_total")
+                return False
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.short_circuits += 1
+            get_registry().inc("serve_breaker_short_circuits_total")
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = 0
+                self.recoveries += 1
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, timer re-armed.
+                self._probes_in_flight = 0
+                self._opened_at = self.clock()
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (self._state == CLOSED
+                    and self._consecutive_failures
+                    >= self.failure_threshold):
+                self.trips += 1
+                self._opened_at = self.clock()
+                get_registry().inc("serve_breaker_trips_total")
+                self._transition(OPEN)
+
+    def retry_in_s(self) -> float:
+        """Seconds until the breaker half-opens (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self._opened_at + self.reset_timeout_s - self.clock(),
+            )
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": STATE_GAUGE[self._state],
+                "trips": float(self.trips),
+                "recoveries": float(self.recoveries),
+                "short_circuits": float(self.short_circuits),
+                "consecutive_failures": float(
+                    self._consecutive_failures
+                ),
+            }
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN
+                and self.clock() - self._opened_at
+                >= self.reset_timeout_s):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, to_state: str) -> None:
+        from_state = self._state
+        if from_state == to_state:
+            return
+        self._state = to_state
+        self._consecutive_failures = 0
+        registry = get_registry()
+        registry.inc("serve_breaker_transitions_total",
+                     **{"from": from_state, "to": to_state})
+        registry.gauge_set("serve_breaker_state",
+                           STATE_GAUGE[to_state])

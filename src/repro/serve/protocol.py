@@ -1,0 +1,154 @@
+"""Wire protocol between device uploaders and the live ingest service.
+
+A deliberately tiny binary framing — the payloads themselves are the
+zlib-compressed JSON records :class:`repro.monitoring.uploader.UploadBatcher`
+already produces, so the service adds only what a socket needs:
+
+* **request frame** — ``!IQ`` header (payload length, sender id)
+  followed by the payload bytes.  The sender id lets the server apply
+  per-device admission policy (fair share) without decompressing the
+  payload on the accept path; ``0`` means anonymous.
+* **ack frame** — ``!BI`` (status byte, argument).  The argument is
+  the suggested retry delay in **milliseconds** for
+  :data:`ACK_RETRY_AFTER` and zero otherwise.
+
+Ack semantics mirror the uploader's exception-based ack protocol:
+
+* :data:`ACK_OK` — the payload is durably admitted; the server now owns
+  it (it will be ingested, quarantined, or carried across a drain
+  checkpoint — never silently lost).
+* :data:`ACK_RETRY_AFTER` — backpressure: the admission queue refused
+  the payload.  The sender keeps it spooled and folds the suggested
+  delay into its backoff gate.
+* :data:`ACK_UNAVAILABLE` — the service is draining or its downstream
+  circuit breaker is open; retry later (no suggested delay).
+* :data:`ACK_TOO_LARGE` — the frame exceeded the server's limit; the
+  payload can never be accepted and the sender should drop it with
+  explicit accounting (a *permanent* rejection).
+
+Frame reads honour a deadline via socket timeouts — a sender that
+stalls mid-frame (slow loris) hits :class:`FrameTimeout` server-side
+and the connection is closed, never holding a handler thread hostage.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+#: Request frame header: payload length (u32), sender id (u64).
+REQUEST_HEADER = struct.Struct("!IQ")
+#: Ack frame: status (u8), argument (u32; retry-after millis).
+ACK_FRAME = struct.Struct("!BI")
+
+#: Default cap on a single payload (bytes); frames declaring more are
+#: refused with :data:`ACK_TOO_LARGE` and the connection is dropped.
+MAX_FRAME_BYTES = 1 << 20
+
+ACK_OK = 0x00
+ACK_RETRY_AFTER = 0x01
+ACK_UNAVAILABLE = 0x02
+ACK_TOO_LARGE = 0x03
+
+ACK_NAMES = {
+    ACK_OK: "ok",
+    ACK_RETRY_AFTER: "retry-after",
+    ACK_UNAVAILABLE: "unavailable",
+    ACK_TOO_LARGE: "too-large",
+}
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing contract."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (mid-frame or between frames)."""
+
+    def __init__(self, message: str, *, clean: bool = False) -> None:
+        super().__init__(message)
+        #: True when the close fell exactly on a frame boundary.
+        self.clean = clean
+
+
+class FrameTimeout(ProtocolError):
+    """The peer stalled past the read deadline mid-frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header declared a payload above the size limit."""
+
+    def __init__(self, declared: int, limit: int) -> None:
+        super().__init__(
+            f"frame declares {declared} bytes, limit is {limit}"
+        )
+        self.declared = declared
+        self.limit = limit
+
+
+def recv_exact(sock: socket.socket, n: int, *,
+               at_boundary: bool = False) -> bytes:
+    """Read exactly ``n`` bytes or raise.
+
+    ``at_boundary`` marks the read as the start of a frame, so an EOF
+    with zero bytes buffered is a *clean* close (the peer simply hung
+    up between frames) rather than a truncation.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (socket.timeout, TimeoutError):
+            raise FrameTimeout(
+                f"peer stalled with {remaining} of {n} bytes unread"
+            ) from None
+        if not chunk:
+            clean = at_boundary and not chunks
+            raise ConnectionClosed(
+                "peer closed the connection"
+                + ("" if clean else " mid-frame"),
+                clean=clean,
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+        at_boundary = False
+    return b"".join(chunks)
+
+
+def read_request(sock: socket.socket,
+                 max_frame_bytes: int = MAX_FRAME_BYTES
+                 ) -> tuple[int, bytes]:
+    """Read one request frame; returns ``(sender_id, payload)``.
+
+    The size check happens on the header alone, *before* any payload
+    bytes are read, so an oversized frame costs the server 12 bytes of
+    input — the body is never buffered.
+    """
+    header = recv_exact(sock, REQUEST_HEADER.size, at_boundary=True)
+    length, sender = REQUEST_HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLarge(length, max_frame_bytes)
+    payload = recv_exact(sock, length)
+    return sender, payload
+
+
+def write_request(sock: socket.socket, payload: bytes,
+                  sender: int = 0) -> None:
+    sock.sendall(REQUEST_HEADER.pack(len(payload), sender) + payload)
+
+
+def read_ack(sock: socket.socket) -> tuple[int, float]:
+    """Read one ack; returns ``(status, retry_after_s)``."""
+    status, arg = ACK_FRAME.unpack(
+        recv_exact(sock, ACK_FRAME.size, at_boundary=True)
+    )
+    if status not in ACK_NAMES:
+        raise ProtocolError(f"unknown ack status {status:#x}")
+    return status, arg / 1000.0
+
+
+def write_ack(sock: socket.socket, status: int,
+              retry_after_s: float = 0.0) -> None:
+    millis = max(0, min(0xFFFFFFFF, int(round(retry_after_s * 1000))))
+    sock.sendall(ACK_FRAME.pack(status, millis))

@@ -1,0 +1,422 @@
+"""The long-lived socket ingest service.
+
+``IngestService`` wraps one :class:`repro.backend.ingest.IngestionServer`
+behind a threaded TCP front end and keeps its promises under overload:
+
+* **accept thread** — accepts connections up to ``max_connections``;
+  beyond that, newcomers are closed immediately (counted) rather than
+  queued invisibly.
+* **handler threads** (one per connection) — speak the
+  :mod:`repro.serve.protocol` framing under a per-connection read
+  deadline, so a stalled sender (slow loris) costs one timeout, not a
+  thread forever.  Each complete frame is offered to the admission
+  queue and acked ``OK`` / ``RETRY_AFTER`` / ``UNAVAILABLE`` /
+  ``TOO_LARGE``.
+* **one ingest worker thread** — drains the admission queue into
+  ``IngestionServer.receive`` through a
+  :class:`~repro.serve.breaker.CircuitBreaker`.  The
+  :class:`IngestionServer` itself is single-threaded by construction:
+  only this worker (and drain, after the worker has stopped) touches
+  it.  A downstream fault requeues the payload at the head — admitted
+  payloads are owned and never dropped silently.
+* **graceful drain** — :meth:`IngestService.stop` stops accepting,
+  lets the worker flush the queue (bounded by ``drain_timeout_s``),
+  then writes a checkpoint containing the ingestion state *and* any
+  payloads still queued (e.g. the breaker was open through the whole
+  drain window).  :meth:`IngestService.resume` restores both, so a
+  SIGTERM'd service picks up exactly where it stopped.
+
+Metric recording happens on handler threads and the worker thread
+concurrently — run the service under a
+:class:`repro.obs.ThreadSafeRegistry` (the ``repro serve`` CLI and the
+overload harness both do).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.backend.ingest import IngestionServer
+from repro.obs import LATENCY_BUCKETS_S, get_registry
+from repro.serve import protocol
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import OPEN, CircuitBreaker
+
+#: Drain-checkpoint format version (for forward-compatible readers).
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the service needs to run; one frozen block."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (the bound port is on the service).
+    port: int = 0
+    queue_capacity: int = 1024
+    #: Admission policy: reject-newest | shed-oldest | fair-share.
+    policy: str = "reject-newest"
+    #: Base retry-after suggestion (seconds) for rejected offers.
+    retry_after_s: float = 5.0
+    #: Per-connection read deadline (slow-loris bound), seconds.
+    read_deadline_s: float = 30.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    max_connections: int = 256
+    #: Circuit breaker: consecutive downstream faults before tripping,
+    #: and the open-state hold before a half-open probe.
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    #: How long :meth:`IngestService.stop` waits for the queue to
+    #: drain before checkpointing whatever is left.
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.read_deadline_s <= 0:
+            raise ValueError("read deadline must be positive")
+        if self.max_frame_bytes < 1:
+            raise ValueError("frame limit must be positive")
+        if self.max_connections < 1:
+            raise ValueError("need at least one connection slot")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain timeout cannot be negative")
+
+
+@dataclass
+class DrainResult:
+    """What :meth:`IngestService.stop` accomplished."""
+
+    drained: bool
+    #: Payloads still queued when the drain window closed (these went
+    #: into the checkpoint, not into the void).
+    leftover: int
+    checkpoint_path: str | None = None
+    summary: dict = field(default_factory=dict)
+
+
+class IngestService:
+    """A threaded TCP ingest front end over one IngestionServer."""
+
+    def __init__(self, server: IngestionServer | None = None,
+                 config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.server = server if server is not None else IngestionServer()
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity,
+            policy=self.config.policy,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+        )
+        self.port: int | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._worker_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stop_worker = threading.Event()
+        self._worker_idle = threading.Event()
+        self._worker_idle.set()
+        # -- accounting --
+        self.connections_accepted = 0
+        self.connections_refused = 0
+        self.deadline_closes = 0
+        self.oversized_frames = 0
+        self.unavailable_acks = 0
+        self.ingest_faults = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "IngestService":
+        if self._listener is not None:
+            raise RuntimeError("service already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._worker_thread = threading.Thread(
+            target=self._worker_loop, name="serve-ingest", daemon=True
+        )
+        self._accept_thread.start()
+        self._worker_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.port is None:
+            raise RuntimeError("service not started")
+        return (self.config.host, self.port)
+
+    def stop(self, checkpoint_path: str | os.PathLike | None = None,
+             drain: bool = True) -> DrainResult:
+        """Stop accepting, drain the queue, checkpoint, shut down.
+
+        With ``drain=False`` (a simulated crash) the queue is *not*
+        flushed and no checkpoint is written — clients recover by
+        retrying against a restarted service, exactly as they would
+        after a SIGKILL.
+        """
+        self._draining.set()
+        if self._listener is not None:
+            # shutdown() actually wakes a thread blocked in accept();
+            # close() alone leaves it stuck until the next connection.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._close_silently(self._listener)
+        deadline = time.monotonic() + (
+            self.config.drain_timeout_s if drain else 0.0
+        )
+        while (drain and self.queue.depth
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        # Give the worker a moment to finish the in-hand payload.
+        self._stop_worker.set()
+        if self._worker_thread is not None:
+            self._worker_thread.join(timeout=5.0)
+        with self._conn_lock:
+            pending_conns = list(self._connections)
+        for conn in pending_conns:
+            self._close_silently(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        leftover = self.queue.depth
+        result = DrainResult(
+            drained=(leftover == 0),
+            leftover=leftover,
+            summary=self.summary(),
+        )
+        if drain and checkpoint_path is not None:
+            result.checkpoint_path = str(
+                self.write_checkpoint(checkpoint_path)
+            )
+        registry = get_registry()
+        if registry.enabled and drain:
+            registry.inc("serve_drains_total")
+            registry.gauge_set("serve_drain_leftover", leftover)
+        return result
+
+    # -- checkpoint / resume -------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-able snapshot: ingest state + owned-but-unprocessed
+        payloads + admission accounting.
+
+        Only call once the worker has stopped (``stop()`` does).
+        """
+        queued = self.queue.drain_all()
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "server": self.server.checkpoint(),
+            "queue": [
+                {
+                    "payload": base64.b64encode(e.payload).decode(),
+                    "sender": e.sender,
+                }
+                for e in queued
+            ],
+            "admission": {
+                **self.queue.summary(),
+                "shed_keys": list(self.queue.shed_keys),
+            },
+            "breaker": self.breaker.summary(),
+        }
+
+    def write_checkpoint(self, path: str | os.PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(self.checkpoint(), sort_keys=True))
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def resume(cls, path: str | os.PathLike,
+               config: ServeConfig | None = None) -> "IngestService":
+        """Rebuild a service from a drain checkpoint (not started)."""
+        snapshot = json.loads(Path(path).read_text())
+        service = cls(
+            server=IngestionServer.restore(snapshot["server"]),
+            config=config,
+        )
+        service.queue.restore([
+            (base64.b64decode(entry["payload"]), entry["sender"])
+            for entry in snapshot["queue"]
+        ])
+        return service
+
+    # -- reconciliation surface ----------------------------------------------
+
+    @property
+    def shed_keys(self) -> list[str]:
+        """Identities shed from the admission queue (server losses)."""
+        return list(self.queue.shed_keys)
+
+    @property
+    def queued_keys(self) -> set[str]:
+        """Identities admitted but not yet ingested (in flight)."""
+        return self.queue.payload_keys()
+
+    def summary(self) -> dict:
+        return {
+            "connections_accepted": self.connections_accepted,
+            "connections_refused": self.connections_refused,
+            "deadline_closes": self.deadline_closes,
+            "oversized_frames": self.oversized_frames,
+            "unavailable_acks": self.unavailable_acks,
+            "ingest_faults": self.ingest_faults,
+            "admission": self.queue.summary(),
+            "breaker": self.breaker.summary(),
+            "server": self.server.summary(),
+        }
+
+    # -- accept / handler threads --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        registry = get_registry()
+        while not self._draining.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed: drain began
+                return
+            with self._conn_lock:
+                active = len(self._connections)
+                if active >= self.config.max_connections:
+                    self.connections_refused += 1
+                    registry.inc("serve_connections_refused_total")
+                    self._close_silently(conn)
+                    continue
+                self._connections.add(conn)
+            self.connections_accepted += 1
+            if registry.enabled:
+                registry.inc("serve_connections_total")
+                registry.gauge_set("serve_connections_active",
+                                   active + 1)
+            threading.Thread(
+                target=self._handle_connection, args=(conn,),
+                name="serve-conn", daemon=True,
+            ).start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        registry = get_registry()
+        conn.settimeout(self.config.read_deadline_s)
+        try:
+            while not self._draining.is_set():
+                try:
+                    sender, payload = protocol.read_request(
+                        conn, self.config.max_frame_bytes
+                    )
+                except protocol.FrameTimeout:
+                    self.deadline_closes += 1
+                    registry.inc("serve_conn_deadline_total")
+                    return
+                except protocol.FrameTooLarge:
+                    self.oversized_frames += 1
+                    registry.inc("serve_frames_rejected_total",
+                                 reason="too-large")
+                    # The stream beyond the header can't be trusted:
+                    # ack the permanent rejection, then hang up.
+                    protocol.write_ack(conn, protocol.ACK_TOO_LARGE)
+                    return
+                except protocol.ConnectionClosed:
+                    return
+                registry.inc("serve_frames_total")
+                self._answer_frame(conn, sender, payload, registry)
+        except OSError:
+            return  # peer reset / socket closed under us
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            self._close_silently(conn)
+
+    def _answer_frame(self, conn, sender: int, payload: bytes,
+                      registry) -> None:
+        if self._draining.is_set():
+            self.unavailable_acks += 1
+            registry.inc("serve_unavailable_acks_total",
+                         reason="draining")
+            protocol.write_ack(conn, protocol.ACK_UNAVAILABLE)
+            return
+        if self.breaker.state == OPEN:
+            # Downstream is tripped: refuse up front with the time
+            # left on the breaker timer as the retry hint.
+            self.unavailable_acks += 1
+            registry.inc("serve_unavailable_acks_total",
+                         reason="breaker")
+            protocol.write_ack(conn, protocol.ACK_UNAVAILABLE,
+                               self.breaker.retry_in_s())
+            return
+        decision = self.queue.offer(
+            payload, sender, admitted_at=time.monotonic()
+        )
+        if decision.admitted:
+            protocol.write_ack(conn, protocol.ACK_OK)
+        else:
+            protocol.write_ack(conn, protocol.ACK_RETRY_AFTER,
+                               decision.retry_after_s)
+
+    # -- the ingest worker ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        registry = get_registry()
+        while True:
+            entry = self.queue.pop(timeout=0.02)
+            if entry is None:
+                self._worker_idle.set()
+                if self._stop_worker.is_set():
+                    return
+                continue
+            self._worker_idle.clear()
+            if not self.breaker.allow():
+                # Owned payload, tripped downstream: put it back and
+                # wait out (a slice of) the breaker timer.
+                self.queue.requeue_front(entry)
+                if self._stop_worker.is_set():
+                    return
+                time.sleep(min(0.02, max(0.001,
+                                         self.breaker.retry_in_s())))
+                continue
+            started = time.monotonic()
+            try:
+                self.server.receive(entry.payload)
+            except Exception:
+                self.ingest_faults += 1
+                self.breaker.record_failure()
+                registry.inc("serve_ingest_faults_total")
+                self.queue.requeue_front(entry)
+                if self._stop_worker.is_set():
+                    return
+                continue
+            self.breaker.record_success()
+            if registry.enabled:
+                done = time.monotonic()
+                registry.observe("serve_stage_seconds", done - started,
+                                 buckets=LATENCY_BUCKETS_S,
+                                 stage="ingest")
+                if entry.admitted_at:
+                    registry.observe("serve_stage_seconds",
+                                     started - entry.admitted_at,
+                                     buckets=LATENCY_BUCKETS_S,
+                                     stage="queue")
+
+    @staticmethod
+    def _close_silently(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -179,7 +179,8 @@ class TestIngestionServer:
     def test_summary_keys(self):
         summary = IngestionServer().summary()
         assert set(summary) == {"accepted", "duplicates", "malformed",
-                                "quarantined", "bytes_received"}
+                                "quarantined", "quarantine_evicted",
+                                "bytes_received"}
 
     def test_malformed_record_does_not_poison_dedup(self):
         """A malformed-but-complete record must not enter the dedup
@@ -251,3 +252,71 @@ class TestIngestionServer:
         assert stats.count == 10
         assert stats.mean == pytest.approx(30.0)
         assert restored.duration_median.count == 10
+
+    def test_checkpoint_restore_round_trip_is_exact(self):
+        """Restore is lossless for everything the snapshot carries:
+        aggregates, the P² median state, the dedup set, availability,
+        and the eviction counter — checked field for field."""
+        rng = random.Random(41)
+        originals = [
+            record_dict(
+                device_id=index % 8,
+                duration=round(1.0 + rng.random() * 300.0, 3),
+                failure_type=("DATA_STALL" if index % 3
+                              else "DATA_SETUP_ERROR"),
+                start=float(index),
+            )
+            for index in range(40)
+        ]
+        server = IngestionServer()
+        for data in originals:
+            server.receive(self.compress(data))
+        server.receive(b"junk")  # some quarantine state too
+        server.quarantine_evicted = 3
+        server.take_down()       # snapshot mid-outage
+
+        snapshot = json.loads(json.dumps(server.checkpoint()))
+        restored = IngestionServer.restore(snapshot)
+
+        assert restored.available is False
+        assert restored._seen == server._seen
+        assert restored.accepted_keys == server.accepted_keys
+        assert restored.summary() == server.summary()
+        assert restored.quarantine_evicted == 3
+        assert set(restored.duration_stats) == set(server.duration_stats)
+        for failure_type, stats in server.duration_stats.items():
+            mirror = restored.duration_stats[failure_type]
+            assert mirror.to_dict() == stats.to_dict()
+        assert (restored.duration_median.to_dict()
+                == server.duration_median.to_dict())
+        assert restored.duration_median.value() == pytest.approx(
+            server.duration_median.value()
+        )
+        assert ([r.to_dict() for r in restored.records]
+                == [r.to_dict() for r in server.records])
+        # And the restored server *behaves* identically: still down,
+        # and once up, pre-snapshot records dedup instead of recount.
+        with pytest.raises(ServiceUnavailable):
+            restored.receive(self.compress(originals[0]))
+        restored.bring_up()
+        restored.receive(self.compress(originals[0]))
+        assert restored.duplicates == server.duplicates + 1
+
+    def test_quarantine_eviction_is_counted_and_keeps_newest(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        server = IngestionServer()
+        with use_registry(registry):
+            for index in range(QUARANTINE_CAPACITY + 7):
+                server.receive(b"junk-%d" % index)
+        assert server.quarantine_evicted == 7
+        assert len(server.quarantine) == QUARANTINE_CAPACITY
+        # Oldest evicted, newest retained.
+        assert server.quarantine[0]["payload"] == b"junk-7"
+        assert (server.quarantine[-1]["payload"]
+                == b"junk-%d" % (QUARANTINE_CAPACITY + 6))
+        assert registry.snapshot()["counters"][
+            "ingest_quarantine_evicted_total"
+        ] == 7
+        assert server.summary()["quarantine_evicted"] == 7.0

@@ -91,3 +91,69 @@ class TestCommands:
         assert main(base + ["--resume"]) == 0
         output = capsys.readouterr().out
         assert "resumed 3/3 shards from checkpoint" in output
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.policy == "reject-newest"
+        assert args.queue_capacity == 1024
+        assert args.checkpoint is None
+
+    def test_serve_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy",
+                                       "drop-everything"])
+
+    def test_serve_resume_requires_checkpoint(self, capsys):
+        assert main(["serve", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in (
+            capsys.readouterr().err
+        )
+
+    def test_serve_subprocess_drains_on_sigterm(self, tmp_path):
+        """`repro serve` binds, ingests one socket upload, and a
+        SIGTERM drains to a checkpoint and exits zero."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.serve import SocketTransport
+        from repro.serve.harness import synthetic_records
+
+        repo_root = Path(__file__).resolve().parents[1]
+        checkpoint = tmp_path / "serve.ckpt"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--checkpoint", str(checkpoint)],
+            env=dict(os.environ, PYTHONPATH="src"), cwd=repo_root,
+            text=True, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("serving on "), line
+            host, port = line.split()[-1].rsplit(":", 1)
+            import zlib
+
+            record = synthetic_records(1, 1)[0]
+            payload = zlib.compress(
+                json.dumps(record, sort_keys=True,
+                           default=str).encode()
+            )
+            with SocketTransport(host, int(port), sender=1) as channel:
+                channel(payload)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            tail = proc.stdout.read()
+            code = proc.wait(timeout=60)
+        assert code == 0, tail
+        assert "drained=True" in tail
+        assert "checkpoint written" in tail
+        snapshot = json.loads(checkpoint.read_text())
+        assert snapshot["server"]["accepted"] == 1
+        assert snapshot["queue"] == []

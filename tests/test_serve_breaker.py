@@ -1,0 +1,157 @@
+"""Tests for the ingest-path circuit breaker."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset=10.0, probes=1):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout_s=reset,
+        half_open_probes=probes, clock=clock,
+    )
+    return breaker, clock
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_trips_at_threshold(self):
+        breaker, _clock = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_and_counts_short_circuits(self):
+        breaker, _clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.short_circuits == 2
+
+
+class TestRecovery:
+    def test_half_opens_after_the_reset_timeout(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.99)
+        assert breaker.state == OPEN
+        clock.advance(0.02)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_only_the_probe_budget(self):
+        breaker, clock = make_breaker(threshold=1, reset=1.0, probes=1)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()       # the probe slot
+        assert not breaker.allow()   # budget spent, short-circuited
+        assert breaker.short_circuits == 1
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 1
+        # Fully recovered: the probe budget is back for next time.
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_rearms_the_timer(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_in_s() == pytest.approx(10.0)
+
+    def test_retry_in_counts_down(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        assert breaker.retry_in_s() == pytest.approx(6.0)
+        assert breaker.retry_in_s() >= 0.0
+
+
+class TestObservability:
+    def test_transitions_and_state_land_in_the_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            breaker, clock = make_breaker(threshold=2, reset=5.0)
+            breaker.record_failure()
+            breaker.record_failure()      # closed -> open
+            breaker.allow()               # short circuit
+            clock.advance(5.0)
+            assert breaker.allow()        # open -> half-open, probe
+            breaker.record_success()      # half-open -> closed
+        counters = registry.snapshot()["counters"]
+        assert counters[
+            'serve_breaker_transitions_total{from="closed",to="open"}'
+        ] == 1
+        assert counters[
+            'serve_breaker_transitions_total'
+            '{from="open",to="half-open"}'
+        ] == 1
+        assert counters[
+            'serve_breaker_transitions_total'
+            '{from="half-open",to="closed"}'
+        ] == 1
+        assert counters["serve_breaker_trips_total"] == 1
+        assert counters["serve_breaker_short_circuits_total"] == 1
+        # High-watermark gauge: "the breaker was fully open at some
+        # point" survives the recovery.
+        assert registry.snapshot()["gauges"][
+            "serve_breaker_state"
+        ] == 2.0
+
+    def test_summary_keys(self):
+        breaker, _clock = make_breaker()
+        assert set(breaker.summary()) == {
+            "state", "trips", "recoveries", "short_circuits",
+            "consecutive_failures",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)

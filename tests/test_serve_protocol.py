@@ -1,0 +1,157 @@
+"""Tests for the ingest service wire protocol (framing + acks)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import protocol
+
+
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(2.0)
+    right.settimeout(2.0)
+    return left, right
+
+
+class TestRequestFrames:
+    def test_round_trip(self):
+        client, server = pair()
+        try:
+            protocol.write_request(client, b"payload-bytes", sender=42)
+            sender, payload = protocol.read_request(server)
+            assert sender == 42
+            assert payload == b"payload-bytes"
+        finally:
+            client.close()
+            server.close()
+
+    def test_empty_payload_round_trips(self):
+        client, server = pair()
+        try:
+            protocol.write_request(client, b"")
+            sender, payload = protocol.read_request(server)
+            assert sender == 0
+            assert payload == b""
+        finally:
+            client.close()
+            server.close()
+
+    def test_back_to_back_frames_stay_delimited(self):
+        client, server = pair()
+        try:
+            protocol.write_request(client, b"one", sender=1)
+            protocol.write_request(client, b"two", sender=2)
+            assert protocol.read_request(server) == (1, b"one")
+            assert protocol.read_request(server) == (2, b"two")
+        finally:
+            client.close()
+            server.close()
+
+    def test_oversized_frame_rejected_from_header_alone(self):
+        """The limit check costs the reader only the 12 header bytes —
+        the declared body is never buffered."""
+        client, server = pair()
+        try:
+            client.sendall(protocol.REQUEST_HEADER.pack(10_000, 7))
+            with pytest.raises(protocol.FrameTooLarge) as excinfo:
+                protocol.read_request(server, max_frame_bytes=1_000)
+            assert excinfo.value.declared == 10_000
+            assert excinfo.value.limit == 1_000
+        finally:
+            client.close()
+            server.close()
+
+    def test_clean_close_between_frames(self):
+        client, server = pair()
+        client.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed) as excinfo:
+                protocol.read_request(server)
+            assert excinfo.value.clean
+        finally:
+            server.close()
+
+    def test_mid_frame_close_is_not_clean(self):
+        client, server = pair()
+        try:
+            client.sendall(b"\x00\x00\x00")  # 3 of 12 header bytes
+            client.close()
+            with pytest.raises(protocol.ConnectionClosed) as excinfo:
+                protocol.read_request(server)
+            assert not excinfo.value.clean
+        finally:
+            server.close()
+
+    def test_stalled_sender_hits_frame_timeout(self):
+        client, server = pair()
+        server.settimeout(0.05)
+        try:
+            client.sendall(b"\x00\x00")  # stall mid-header
+            with pytest.raises(protocol.FrameTimeout):
+                protocol.read_request(server)
+        finally:
+            client.close()
+            server.close()
+
+
+class TestAcks:
+    def test_round_trip_with_retry_delay(self):
+        client, server = pair()
+        try:
+            protocol.write_ack(server, protocol.ACK_RETRY_AFTER, 2.5)
+            status, delay = protocol.read_ack(client)
+            assert status == protocol.ACK_RETRY_AFTER
+            assert delay == pytest.approx(2.5)
+        finally:
+            client.close()
+            server.close()
+
+    def test_ok_carries_zero_delay(self):
+        client, server = pair()
+        try:
+            protocol.write_ack(server, protocol.ACK_OK)
+            assert protocol.read_ack(client) == (protocol.ACK_OK, 0.0)
+        finally:
+            client.close()
+            server.close()
+
+    def test_negative_delay_clamps_to_zero(self):
+        client, server = pair()
+        try:
+            protocol.write_ack(server, protocol.ACK_UNAVAILABLE, -3.0)
+            _status, delay = protocol.read_ack(client)
+            assert delay == 0.0
+        finally:
+            client.close()
+            server.close()
+
+    def test_unknown_status_is_a_protocol_error(self):
+        client, server = pair()
+        try:
+            client.sendall(protocol.ACK_FRAME.pack(0x7F, 0))
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_ack(server)
+        finally:
+            client.close()
+            server.close()
+
+
+class TestRecvExact:
+    def test_reassembles_fragmented_sends(self):
+        client, server = pair()
+        payload = bytes(range(200)) * 10
+
+        def trickle():
+            for index in range(0, len(payload), 97):
+                client.sendall(payload[index:index + 97])
+
+        thread = threading.Thread(target=trickle)
+        thread.start()
+        try:
+            assert protocol.recv_exact(server, len(payload)) == payload
+        finally:
+            thread.join()
+            client.close()
+            server.close()

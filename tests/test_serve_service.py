@@ -1,0 +1,440 @@
+"""End-to-end tests for the live ingest service.
+
+Every test talks to a real TCP socket: the batcher/transport stack on
+one side, the threaded :class:`IngestService` on the other, so the
+overload behaviours (backpressure acks, breaker unavailability,
+slow-loris deadlines, drain acks) are exercised through the same code
+path production traffic would take.
+"""
+
+import json
+import random
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.chaos.config import ChaosConfig
+from repro.chaos.reconcile import reconcile
+from repro.dataset.records import record_identity
+from repro.monitoring.uploader import UploadBatcher
+from repro.obs import ThreadSafeRegistry, use_registry
+from repro.serve import (
+    CLOSED,
+    OPEN,
+    IngestService,
+    PayloadTooLarge,
+    RetryAfter,
+    ServeConfig,
+    ServeConnectionError,
+    ServeUnavailable,
+    SocketTransport,
+)
+from repro.serve.harness import (
+    drain_fleet,
+    drive_fleet,
+    malformed_flood,
+    reconcile_fleet,
+    stalled_clients,
+    synthetic_records,
+)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+@contextmanager
+def serving(config=None, server=None):
+    service = IngestService(server=server, config=config).start()
+    try:
+        yield service
+    finally:
+        service.stop(drain=False)
+
+
+@contextmanager
+def blocked_ingest(service):
+    """Gate the worker inside ``server.receive`` so payloads pile up
+    in the admission queue deterministically."""
+    entered = threading.Event()
+    release = threading.Event()
+    real = service.server.receive
+
+    def gated(payload):
+        entered.set()
+        release.wait(timeout=10.0)
+        real(payload)
+
+    service.server.receive = gated
+    try:
+        yield entered, release
+    finally:
+        release.set()
+        service.server.receive = real
+
+
+def dataset(server):
+    """The accepted records as a sorted list of canonical JSON lines —
+    the byte-level basis for run-equivalence assertions."""
+    return sorted(
+        json.dumps(record.to_dict(), sort_keys=True, default=str)
+        for record in server.records
+    )
+
+
+class TestHappyPath:
+    def test_fleet_round_trip_reconciles_clean(self):
+        records = synthetic_records(n_devices=6, per_device=3)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry), serving() as service:
+            drive = drive_fleet(records, *service.address)
+            drain_fleet(drive)
+            assert wait_until(lambda: service.server.accepted == 18)
+            report = reconcile_fleet(drive, service.server,
+                                     service=service)
+            drive.close()
+        assert report.ok
+        assert report.accepted == 18
+        assert report.emitted == 18
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve_admitted_total"] == 18
+        assert snapshot["counters"]["serve_frames_total"] == 18
+        assert snapshot["counters"]["ingest_accepted_total"] == 18
+        stages = [key for key in snapshot["histograms"]
+                  if key.startswith("serve_stage_seconds")]
+        assert any('stage="ingest"' in key for key in stages)
+        assert any('stage="queue"' in key for key in stages)
+
+    def test_duplicate_sends_are_absorbed_by_dedup(self):
+        record = synthetic_records(1, 1)[0]
+        with serving() as service:
+            batcher = UploadBatcher(
+                transport=SocketTransport(*service.address, sender=1)
+            )
+            payload_size = batcher.enqueue(record)
+            assert batcher.maybe_flush(True) == payload_size
+            batcher.enqueue(record)
+            batcher.maybe_flush(True)
+            assert wait_until(
+                lambda: service.server.accepted == 1
+                and service.server.duplicates == 1
+            )
+
+    def test_malformed_payloads_are_acked_and_quarantined(self):
+        with serving() as service:
+            acks = malformed_flood(*service.address, frames=5)
+            assert acks == {"ok": 5}
+            assert wait_until(
+                lambda: service.server.quarantined == 5
+            )
+
+
+class TestBackpressure:
+    def test_full_queue_acks_retry_after(self):
+        config = ServeConfig(queue_capacity=1, retry_after_s=2.0)
+        with serving(config) as service:
+            with blocked_ingest(service) as (entered, release):
+                filler = SocketTransport(*service.address, sender=100)
+                filler(b"filler-1")   # worker takes this and blocks
+                assert entered.wait(timeout=5.0)
+                filler(b"filler-2")   # fills the single queue slot
+                probe = SocketTransport(*service.address, sender=101)
+                with pytest.raises(RetryAfter) as excinfo:
+                    probe(b"overflow")
+                assert excinfo.value.retry_after_s >= 2.0
+                assert service.queue.rejected == 1
+                release.set()
+            # Backpressure was advisory, not loss: a later retry lands.
+            assert wait_until(lambda: service.queue.depth == 0)
+            probe(b"overflow")
+            assert wait_until(lambda: service.server.quarantined == 3)
+            filler.close()
+            probe.close()
+
+    def test_batcher_folds_server_retry_after_into_backoff(self):
+        config = ServeConfig(queue_capacity=1, retry_after_s=2.0)
+        record = synthetic_records(1, 1)[0]
+        with serving(config) as service:
+            batcher = UploadBatcher(
+                transport=SocketTransport(*service.address, sender=5),
+                base_backoff_s=0.5, max_backoff_s=60.0, jitter=0.5,
+                rng=random.Random(7),
+            )
+            with blocked_ingest(service) as (entered, release):
+                filler = SocketTransport(*service.address, sender=100)
+                filler(b"filler-1")   # worker takes this and blocks
+                assert entered.wait(timeout=5.0)
+                filler(b"filler-2")   # fills the single queue slot
+                batcher.enqueue(record)
+                batcher.maybe_flush(True, now=100.0)
+                # The payload stayed spooled and the server's delay
+                # (>= 2s) beat the local jittered draw (<= 0.75s).
+                assert batcher.pending_payloads == 1
+                assert batcher.retry_signals == 1
+                assert batcher.next_attempt_s >= 102.0
+                release.set()
+            assert wait_until(lambda: service.queue.depth == 0)
+            for step in range(1, 20):
+                if not batcher.pending_payloads:
+                    break
+                batcher.maybe_flush(True, now=100.0 + step * 120.0)
+                time.sleep(0.01)
+            assert wait_until(lambda: service.server.accepted == 1)
+            report = reconcile(
+                {record_identity(record)}, service.server, [batcher],
+                service=service,
+            )
+        assert report.ok
+        assert report.accepted == 1
+        assert report.retry_signals == 1
+
+
+class TestProtection:
+    def test_oversized_payload_is_rejected_permanently(self):
+        config = ServeConfig(max_frame_bytes=64)
+        record = synthetic_records(1, 1)[0]
+        with serving(config) as service:
+            batcher = UploadBatcher(
+                transport=SocketTransport(*service.address, sender=3)
+            )
+            batcher.enqueue(record)
+            batcher.maybe_flush(True, now=1.0)
+            assert batcher.rejected_payloads == 1
+            assert batcher.pending_payloads == 0
+            assert batcher.rejected_keys == [record_identity(record)]
+            assert wait_until(lambda: service.oversized_frames == 1)
+            report = reconcile(
+                {record_identity(record)}, service.server, [batcher],
+                service=service,
+            )
+        assert report.ok
+        assert report.rejected == 1
+        assert report.accepted == 0
+
+    def test_raw_oversized_frame_raises_payload_too_large(self):
+        config = ServeConfig(max_frame_bytes=64)
+        with serving(config) as service:
+            transport = SocketTransport(*service.address)
+            with pytest.raises(PayloadTooLarge):
+                transport(b"x" * 65)
+
+    def test_slow_loris_connections_hit_the_read_deadline(self):
+        config = ServeConfig(read_deadline_s=0.2)
+        with serving(config) as service:
+            closed = stalled_clients(*service.address, clients=3,
+                                     wait_s=3.0)
+            assert closed == 3
+            assert wait_until(lambda: service.deadline_closes == 3)
+
+    def test_connection_cap_refuses_newcomers(self):
+        config = ServeConfig(max_connections=1, read_deadline_s=5.0)
+        with serving(config) as service:
+            first = SocketTransport(*service.address, sender=1)
+            first(b"keepalive")  # holds the only connection slot
+            second = SocketTransport(*service.address, sender=2)
+            with pytest.raises(ServeConnectionError):
+                second(b"refused")
+            assert wait_until(
+                lambda: service.connections_refused >= 1
+            )
+            first.close()
+            second.close()
+
+
+class TestBreaker:
+    def test_breaker_trips_serves_unavailable_and_recovers(self):
+        config = ServeConfig(breaker_threshold=2, breaker_reset_s=0.4)
+        records = synthetic_records(1, 2)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry), serving(config) as service:
+            service.server.take_down()
+            transport = SocketTransport(*service.address, sender=0)
+            batcher = UploadBatcher(transport=transport)
+            batcher.enqueue(records[0])
+            batcher.maybe_flush(True)  # acked OK, then ingest faults
+            assert wait_until(
+                lambda: service.breaker.state == OPEN
+            )
+            # Front end now refuses up front, hinting at the timer.
+            with pytest.raises(ServeUnavailable) as excinfo:
+                transport(b"while-open")
+            assert excinfo.value.retry_after_s is not None
+            assert service.unavailable_acks >= 1
+            # Downstream heals; the breaker probes and closes, and the
+            # owned (requeued) payload finally lands.
+            service.server.bring_up()
+            assert wait_until(
+                lambda: service.breaker.state == CLOSED
+                and service.server.accepted == 1
+            )
+            batcher.enqueue(records[1])
+            batcher.maybe_flush(True)
+            assert wait_until(lambda: service.server.accepted == 2)
+            assert service.breaker.trips >= 1
+            assert service.breaker.recoveries >= 1
+            transport.close()
+        counters = registry.snapshot()["counters"]
+        assert counters[
+            'serve_breaker_transitions_total{from="closed",to="open"}'
+        ] >= 1
+        assert counters[
+            'serve_breaker_transitions_total'
+            '{from="half-open",to="closed"}'
+        ] >= 1
+        assert counters['serve_ingest_faults_total'] >= 2
+
+
+class TestOverloadPolicies:
+    def test_shed_oldest_losses_are_classified_not_mysteries(self):
+        config = ServeConfig(queue_capacity=2, policy="shed-oldest")
+        records = synthetic_records(n_devices=4, per_device=1)
+        keys = {record_identity(r) for r in records}
+        with serving(config) as service:
+            batchers = []
+            with blocked_ingest(service) as (entered, _release):
+                for index, record in enumerate(records):
+                    batcher = UploadBatcher(
+                        transport=SocketTransport(
+                            *service.address, sender=index
+                        )
+                    )
+                    batcher.enqueue(record)
+                    batcher.maybe_flush(True)
+                    batchers.append(batcher)
+                    if index == 0:
+                        # Ensure the worker holds the first payload so
+                        # the remaining three race only the queue.
+                        assert entered.wait(timeout=5.0)
+            # 4 acked, capacity 2 + 1 in the worker's hand: exactly
+            # one was shed, with its identity accounted.
+            assert len(service.shed_keys) == 1
+            assert wait_until(lambda: service.server.accepted == 3)
+            report = reconcile(keys, service.server, batchers,
+                               service=service)
+            for batcher in batchers:
+                batcher.transport.close()
+        assert report.ok
+        assert report.accepted == 3
+        assert report.server_shed == 1
+
+    def test_queued_payloads_reconcile_as_in_flight(self):
+        records = synthetic_records(n_devices=3, per_device=1)
+        with serving() as service:
+            with blocked_ingest(service) as (entered, release):
+                hold = SocketTransport(*service.address, sender=99)
+                hold(b"worker-bait")
+                assert entered.wait(timeout=5.0)
+                keys = set()
+                for index, record in enumerate(records):
+                    batcher = UploadBatcher(
+                        transport=SocketTransport(
+                            *service.address, sender=index
+                        )
+                    )
+                    batcher.enqueue(record)
+                    batcher.maybe_flush(True)
+                    keys.add(record_identity(record))
+                # All three acked but none ingested: the service owns
+                # them, and says so.
+                assert service.queued_keys == keys
+                report = reconcile(keys, service.server, [],
+                                   service=service)
+                assert report.ok
+                assert report.in_flight == 3
+                release.set()
+            assert wait_until(lambda: service.server.accepted == 3)
+            hold.close()
+
+
+class TestDrainResume:
+    def test_graceful_drain_flushes_and_checkpoints(self, tmp_path):
+        records = synthetic_records(n_devices=4, per_device=2)
+        path = tmp_path / "serve.ckpt"
+        service = IngestService().start()
+        drive = drive_fleet(records, *service.address)
+        drain_fleet(drive)
+        assert wait_until(lambda: service.server.accepted == 8)
+        result = service.stop(checkpoint_path=path)
+        drive.close()
+        assert result.drained
+        assert result.leftover == 0
+        assert result.checkpoint_path == str(path)
+        snapshot = json.loads(path.read_text())
+        assert snapshot["format"] == 1
+        assert snapshot["server"]["accepted"] == 8
+        assert snapshot["queue"] == []
+
+    def test_interrupted_run_resumes_to_identical_dataset(
+        self, tmp_path
+    ):
+        records = synthetic_records(n_devices=5, per_device=3)
+        # -- control: one uninterrupted run ----------------------------
+        with serving() as control:
+            drive = drive_fleet(records, *control.address)
+            drain_fleet(drive)
+            assert wait_until(lambda: control.server.accepted == 15)
+            control_dataset = dataset(control.server)
+            drive.close()
+        # -- interrupted: backend down, SIGTERM-style stop mid-run -----
+        config = ServeConfig(breaker_threshold=2, breaker_reset_s=60.0,
+                             drain_timeout_s=0.3)
+        path = tmp_path / "serve.ckpt"
+        service = IngestService(config=config).start()
+        service.server.take_down()
+        drive = drive_fleet(records, *service.address)
+        result = service.stop(checkpoint_path=path)
+        # Nothing could be ingested: every record is either still
+        # spooled client-side or checkpointed from the queue.
+        assert service.server.accepted == 0
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert len(snapshot["queue"]) == result.leftover
+        report = reconcile(drive.emitted, service.server,
+                           drive.batchers.values(), service=snapshot)
+        assert report.ok
+        assert report.accepted == 0
+        assert report.in_flight == 15
+        # -- resume and finish the run ---------------------------------
+        resumed = IngestService.resume(path, config=ServeConfig())
+        resumed.server.bring_up()
+        resumed.start()
+        drive = drive_fleet([], *resumed.address, drive=drive)
+        drain_fleet(drive)
+        assert wait_until(lambda: resumed.server.accepted == 15)
+        final = reconcile_fleet(drive, resumed.server, service=resumed)
+        assert final.ok
+        assert final.accepted == 15
+        # The resumed run converged on byte-identical records.
+        assert dataset(resumed.server) == control_dataset
+        resumed.stop()
+        drive.close()
+
+
+class TestChaosSoak:
+    def test_chaotic_fleet_reconciles_with_zero_unexplained(self):
+        chaos = ChaosConfig(
+            seed=99, drop_rate=0.15, duplicate_rate=0.1,
+            corrupt_rate=0.08, reorder_rate=0.05,
+        )
+        records = synthetic_records(n_devices=10, per_device=4)
+        with serving() as service:
+            drive = drive_fleet(records, *service.address, chaos=chaos)
+            drain_fleet(drive)
+            assert wait_until(lambda: service.queue.depth == 0)
+            time.sleep(0.05)  # let the worker finish the last payload
+            report = reconcile_fleet(drive, service.server,
+                                     service=service)
+            drive.close()
+        assert report.ok, report.render()
+        assert report.emitted == 40
+        assert (report.accepted + report.explained_losses
+                == report.emitted)
+        # Chaos actually did something worth explaining.
+        assert report.duplicates + report.quarantined > 0

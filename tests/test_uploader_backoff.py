@@ -1,0 +1,193 @@
+"""Tests for the uploader's backoff gate and ack-protocol signals.
+
+The exponential-backoff schedule, its jitter envelope, and the two
+server-directed signals (``retry_after_s`` backpressure and
+``permanent`` rejection) that the live ingest service speaks.
+"""
+
+import random
+
+import pytest
+
+from repro.dataset.records import record_identity
+from repro.monitoring.uploader import UploadBatcher
+from repro.obs import MetricsRegistry, use_registry
+
+
+class Flaky:
+    """Transport scripted as a sequence of outcomes: an exception
+    instance to raise, or None to ack."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self, payload):
+        self.calls += 1
+        outcome = self.outcomes.pop(0) if self.outcomes else None
+        if outcome is not None:
+            raise outcome
+
+
+class Backpressure(RuntimeError):
+    permanent = False
+
+    def __init__(self, retry_after_s):
+        super().__init__("retry later")
+        self.retry_after_s = retry_after_s
+
+
+class Rejected(RuntimeError):
+    permanent = True
+
+
+def record(device_id=1, start=1.0):
+    return {"device_id": device_id, "failure_type": "DATA_STALL",
+            "start_time": start, "duration_s": 5.0}
+
+
+class TestBackoffSchedule:
+    def test_success_resets_both_delay_and_gate(self):
+        batcher = UploadBatcher(
+            transport=Flaky([RuntimeError(), RuntimeError(), None]),
+            base_backoff_s=2.0, backoff_multiplier=2.0, jitter=0.0,
+        )
+        batcher.enqueue(record(start=1.0))
+        batcher.maybe_flush(True, now=0.0)
+        assert batcher.next_attempt_s == pytest.approx(2.0)
+        batcher.maybe_flush(True, now=2.0)
+        assert batcher.next_attempt_s == pytest.approx(6.0)
+        batcher.maybe_flush(True, now=6.0)   # acked
+        assert batcher.pending_payloads == 0
+        assert batcher.next_attempt_s == 0.0
+        # The *delay* reset too, not just the gate: the next failure
+        # starts the schedule over at base.
+        batcher.transport = Flaky([RuntimeError()])
+        batcher.enqueue(record(start=2.0))
+        batcher.maybe_flush(True, now=10.0)
+        assert batcher.next_attempt_s == pytest.approx(12.0)
+
+    def test_delay_caps_at_max_backoff(self):
+        batcher = UploadBatcher(
+            transport=Flaky([RuntimeError()] * 30),
+            base_backoff_s=1.0, backoff_multiplier=2.0, jitter=0.0,
+            max_backoff_s=16.0, max_attempts=100,
+        )
+        batcher.enqueue(record())
+        now = 0.0
+        delays = []
+        for _ in range(8):
+            batcher.maybe_flush(True, now=now)
+            delays.append(batcher.next_attempt_s - now)
+            now = batcher.next_attempt_s
+        assert delays[:5] == pytest.approx([1.0, 2.0, 4.0, 8.0, 16.0])
+        assert delays[5:] == pytest.approx([16.0, 16.0, 16.0])
+
+    def test_jitter_stays_inside_the_envelope_across_a_storm(self):
+        """Across a seeded failure storm every armed delay lands in
+        [backoff, backoff * (1 + jitter))."""
+        jitter = 0.5
+        batcher = UploadBatcher(
+            transport=Flaky([RuntimeError()] * 40),
+            base_backoff_s=2.0, backoff_multiplier=2.0, jitter=jitter,
+            max_backoff_s=64.0, max_attempts=100,
+            rng=random.Random("jitter-storm"),
+        )
+        batcher.enqueue(record())
+        now = 0.0
+        expected_backoff = 2.0
+        observed = []
+        for _ in range(40):
+            batcher.maybe_flush(True, now=now)
+            delay = batcher.next_attempt_s - now
+            assert expected_backoff <= delay
+            assert delay < expected_backoff * (1.0 + jitter)
+            observed.append(delay / expected_backoff - 1.0)
+            now = batcher.next_attempt_s
+            expected_backoff = min(64.0, expected_backoff * 2.0)
+        # The draws actually spread over the envelope (seeded, so this
+        # is deterministic): not all stuck at one end.
+        assert min(observed) < 0.1
+        assert max(observed) > 0.4
+
+    def test_gate_blocks_flush_without_a_transport_call(self):
+        transport = Flaky([RuntimeError()])
+        batcher = UploadBatcher(transport=transport,
+                                base_backoff_s=10.0, jitter=0.0)
+        batcher.enqueue(record())
+        batcher.maybe_flush(True, now=0.0)
+        calls = transport.calls
+        batcher.maybe_flush(True, now=5.0)   # inside the window
+        assert transport.calls == calls
+
+
+class TestServerSignals:
+    def test_longer_server_delay_overrides_the_local_draw(self):
+        batcher = UploadBatcher(
+            transport=Flaky([Backpressure(30.0)]),
+            base_backoff_s=1.0, jitter=0.0,
+        )
+        batcher.enqueue(record())
+        batcher.maybe_flush(True, now=100.0)
+        assert batcher.retry_signals == 1
+        assert batcher.next_attempt_s == pytest.approx(130.0)
+        # The exponential schedule still advanced underneath.
+        assert batcher._backoff_s == pytest.approx(2.0)
+
+    def test_shorter_server_delay_defers_to_local_backoff(self):
+        batcher = UploadBatcher(
+            transport=Flaky([RuntimeError(), Backpressure(0.5)]),
+            base_backoff_s=4.0, jitter=0.0,
+        )
+        batcher.enqueue(record())
+        batcher.maybe_flush(True, now=0.0)    # local schedule: 4s
+        batcher.maybe_flush(True, now=4.0)    # server suggests 0.5s
+        assert batcher.retry_signals == 1
+        # Local 8s beats the server's 0.5s hint.
+        assert batcher.next_attempt_s == pytest.approx(12.0)
+
+    def test_permanent_rejection_drops_and_keeps_flushing(self):
+        registry = MetricsRegistry()
+        first, second = record(start=1.0), record(start=2.0)
+        batcher = UploadBatcher(transport=Flaky([Rejected()]))
+        batcher.enqueue(first)
+        size = batcher.enqueue(second)
+        with use_registry(registry):
+            flushed = batcher.maybe_flush(True, now=0.0)
+        # The rejected head was dropped with accounting and the rest
+        # of the spool flushed in the same call — no backoff armed.
+        assert flushed == size
+        assert batcher.pending_payloads == 0
+        assert batcher.rejected_payloads == 1
+        assert batcher.rejected_bytes > 0
+        assert batcher.rejected_keys == [record_identity(first)]
+        assert batcher.next_attempt_s == 0.0
+        counters = registry.snapshot()["counters"]
+        assert counters["uploader_rejected_total"] == 1
+        assert counters["uploader_rejected_bytes_total"] == (
+            batcher.rejected_bytes
+        )
+
+    def test_loss_byte_counters_reach_the_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            batcher = UploadBatcher(
+                transport=Flaky([RuntimeError()] * 5),
+                max_attempts=1, max_spool_bytes=1,
+            )
+            batcher.enqueue(record(start=1.0))
+            shed_size = batcher.enqueue(record(start=2.0))  # sheds #1
+            batcher.maybe_flush(True, now=0.0)  # budget-drops #2
+        assert batcher.shed_payloads == 1
+        assert batcher.budget_exhausted_payloads == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["uploader_shed_bytes_total"] == (
+            batcher.shed_bytes
+        )
+        assert counters["uploader_budget_exhausted_bytes_total"] == (
+            shed_size
+        )
+        summary = batcher.summary()
+        assert summary["shed_bytes"] == float(batcher.shed_bytes)
+        assert summary["budget_exhausted_bytes"] == float(shed_size)
+        assert summary["retry_signals"] == 0.0
