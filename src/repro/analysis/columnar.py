@@ -31,6 +31,7 @@ on every run (serial and sharded alike).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from itertools import chain
 from operator import attrgetter
@@ -175,12 +176,21 @@ class ColumnarView:
     @staticmethod
     def build(dataset: "Dataset",
               fingerprint: tuple[int, int, int, int]) -> "ColumnarView":
-        return ColumnarView(
-            fingerprint=fingerprint,
-            devices=_build_devices(dataset.devices),
-            failures=_build_failures(dataset.failures),
-            transitions=_build_transitions(dataset.transitions),
-        )
+        # The attrgetter sweeps allocate large temporary lists that trip
+        # the generational collector several times per build; nothing
+        # built here can form a reference cycle, so pause collection.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return ColumnarView(
+                fingerprint=fingerprint,
+                devices=_build_devices(dataset.devices),
+                failures=_build_failures(dataset.failures),
+                transitions=_build_transitions(dataset.transitions),
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
 
 def _build_failures(failures: list) -> FailureColumns:

@@ -182,3 +182,43 @@ def policy_for_android_version(version: str):
     if version.startswith("9"):
         return Android9Policy()
     return Android10BlindPolicy()
+
+
+_VETO_TABLE_CACHE: dict[tuple[int, float], "object"] = {}
+
+
+def stability_veto_table(
+    policy: StabilityCompatiblePolicy | None = None,
+):
+    """The policy's veto decisions as a dense boolean lookup table.
+
+    Shape ``(4, 6, 4, 6)`` numpy bool, indexed
+    ``[current_rat_code, current_level, candidate_rat_code,
+    candidate_level]`` with codes from :func:`repro.radio.rat.rat_code`.
+    Built by exhaustively calling :meth:`StabilityCompatiblePolicy.vetoes`
+    over all 576 combinations, so the batch engine's table-driven
+    selection can never drift from the scalar policy.  Cached per
+    (risk-table identity, threshold).
+    """
+    import numpy as np
+
+    policy = policy or StabilityCompatiblePolicy()
+    key = (id(policy.risk_table), policy.veto_threshold)
+    cached = _VETO_TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    table = np.zeros((4, 6, 4, 6), dtype=bool)
+    for cur_code, cur_rat in enumerate(ALL_RATS):
+        for cur_level in range(6):
+            current = RatCandidate(cur_rat, SignalLevel(cur_level))
+            for cand_code, cand_rat in enumerate(ALL_RATS):
+                for cand_level in range(6):
+                    table[cur_code, cur_level, cand_code, cand_level] = (
+                        policy.vetoes(
+                            current,
+                            RatCandidate(cand_rat, SignalLevel(cand_level)),
+                        )
+                    )
+    table.setflags(write=False)
+    _VETO_TABLE_CACHE[key] = table
+    return table

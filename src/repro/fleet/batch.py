@@ -1,0 +1,1317 @@
+"""The vectorized batch fleet engine (``engine="batch"``).
+
+Advances every device of a shard with numpy array operations instead of
+per-device Python state machines: batched profile draws (gamma hazards
+via ``scipy.special.gammaincinv``), Poisson event counts by chunked
+exponential cumsums, RAT/level/deployment/BS draws as categorical
+``searchsorted`` over precomputed probability tables, failure durations
+as array lognormal/latency sampling, RAT-transition selection through
+dense policy tables (:func:`repro.android.rat_policy.stability_veto_table`),
+and the closed-form first recovery cycle of every Data_Stall.
+
+**Slow-path oracle.**  Devices whose episodes enter genuinely
+sequential rare states eject from the batch into the *existing*
+per-device mechanisms and rejoin with their results composed back into
+the arrays:
+
+* Data_Stall episodes that survive the first full recovery cycle with a
+  device-recoverable component (< 0.3% of stalls) finish through
+  :func:`repro.android.recovery._resolve_stall` — the same resolver the
+  serial engine uses — seeded per episode, with the cycle-1 prefix
+  composed exactly (probation windows and stage overheads are
+  deterministic, so cycle 2 of the serial resolver is cycle 1 of the
+  oracle continuation shifted by one cycle length).
+* EN-DC state on the patched arm is order-dependent (the first executed
+  LTE/NR transition attaches the master/slave pair; every warm handover
+  success swaps them), so patched 5G devices' post-transition setup
+  failures replay through a per-device ordered walk using the same
+  sync-failure tables as :class:`repro.android.handover.HandoverManager`.
+
+Chaos-affected uploads stay engine-agnostic: the telemetry pipeline
+consumes finished records, so ``FleetSimulator.run`` applies it
+identically to both engines.
+
+**Blessed RNG divergence.**  The serial engine draws from stateful
+``random.Random(f"{seed}:{device}:{purpose}")`` streams whose consumption
+order is entangled with mechanism internals (the modem consumes hidden
+latency draws per setup attempt, the recovery resolver consumes stage
+rolls that depend on earlier outcomes).  The batch engine instead uses a
+counter-based (splitmix64) generator keyed by
+``(seed, purpose, device_id, slot)`` — stateless and order-independent,
+which is what makes the batch digest invariant under sharding and
+worker count.  Record *digests* therefore differ between engines while
+record *distributions* agree; the golden batch digests are blessed in
+``benchmarks/golden_digests.json`` and the distributional equivalence is
+enforced by ``tests/test_batch_engine.py``.  Three small semantic
+blessings ride along (see ``docs/scaling.md``): every record's
+``start_time`` is the scheduled episode time (serial offsets setup-error
+starts by the first attempt latency and voice starts by the call setup
+time, and lets long episodes push later same-device starts forward via
+the device clock), and BS assignment draws once from the
+propensity-weighted RAT-supporting subset of the resolved pool (serial
+makes eight weighted attempts over the full pool before falling back to
+a uniform draw over the supporting subset).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+from hashlib import blake2b
+from itertools import repeat
+
+import numpy as np
+from scipy.special import gammaincinv, ndtri
+
+from repro.android.handover import (
+    _MEASUREMENT_FAILURE_BY_SOURCE_LEVEL,
+    _SYNC_FAILURE_BY_TARGET_LEVEL,
+)
+from repro.android.rat_policy import stability_veto_table
+from repro.android.recovery import (
+    AUTO_RECOVERED,
+    TIMP_RECOVERY_POLICY,
+    UNRESOLVED,
+    USER_RESET,
+    VANILLA_RECOVERY_POLICY,
+    RecoveryPolicy,
+    _RESOLVER_LABELS,
+    _resolve_stall,
+)
+from repro.android.state_machine import DataConnectionState
+from repro.core.errorcodes import ERROR_CODE_REGISTRY
+from repro.core.events import FailureType
+from repro.core.usermodel import DEFAULT_USER_TOLERANCE
+from repro.dataset.records import (
+    ARM_PATCHED,
+    DeviceRecord,
+    FailureRecord,
+    TransitionRecord,
+)
+from repro.dataset.store import Dataset
+from repro.fleet import behavior
+from repro.fleet.device import _condition_policy
+from repro.fleet.models import PHONE_MODELS
+from repro.fleet.scenario import ScenarioConfig
+from repro.network.basestation import DEPLOYMENT_TRAITS, DeploymentClass
+from repro.network.bearer import (
+    DEFAULT_CAUSE_SAMPLER,
+    _DENSITY_FLAVOURED,
+    _HANDOVER_FLAVOURED,
+    _LEGACY_FLAVOURED,
+    _SIGNAL_FLAVOURED,
+)
+from repro.network.isp import ISP_PROFILES
+from repro.network.topology import _DEPLOYMENT_MIX, NationalTopology
+from repro.obs import (
+    DURATION_BUCKETS_S,
+    EVENT_COUNT_BUCKETS,
+    STAGE_COUNT_BUCKETS,
+    counter_key,
+    get_registry,
+)
+from repro.parallel.sharding import ShardSpec
+from repro.parallel.stats import ShardStats, StopWatch
+from repro.radio.modem import _SETUP_LATENCY_S
+from repro.radio.rat import ALL_RATS, RAT_LABELS
+from repro.simtime import SECONDS_PER_MONTH
+
+# ---------------------------------------------------------------------------
+# Counter-based RNG
+# ---------------------------------------------------------------------------
+
+_U64 = np.uint64
+_PHI = _U64(0x9E3779B97F4A7C15)
+_SLOT_MULT = _U64(0xD6E8FEB86659FD93)
+_MIX_1 = _U64(0xBF58476D1CE4E5B9)
+_MIX_2 = _U64(0x94D049BB133111EB)
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+_PURPOSE_KEYS: dict[tuple[int, str], np.uint64] = {}
+
+
+def _purpose_key(seed: int, purpose: str) -> np.uint64:
+    key = _PURPOSE_KEYS.get((seed, purpose))
+    if key is None:
+        digest = int.from_bytes(
+            blake2b(purpose.encode(), digest_size=8).digest(), "little"
+        )
+        key = _U64((seed ^ digest) & _MASK)
+        _PURPOSE_KEYS[(seed, purpose)] = key
+    return key
+
+
+def _splitmix(h: np.ndarray) -> np.ndarray:
+    h = (h ^ (h >> _U64(30))) * _MIX_1
+    h = (h ^ (h >> _U64(27))) * _MIX_2
+    return h ^ (h >> _U64(31))
+
+
+def _uniform(seed: int, purpose: str, device_ids: np.ndarray,
+             slots=None) -> np.ndarray:
+    """Deterministic uniforms in (0, 1) keyed by (seed, purpose,
+    device, slot) — stateless, so draw order cannot matter."""
+    ids = np.asarray(device_ids, dtype=np.uint64)
+    h = _purpose_key(seed, purpose) ^ (ids * _PHI)
+    if slots is not None:
+        h = h ^ (np.asarray(slots, dtype=np.uint64) * _SLOT_MULT)
+    h = _splitmix(_splitmix(h) + _PHI)
+    return (h >> _U64(11)).astype(np.float64) * 2.0 ** -53 + 2.0 ** -54
+
+
+def _normal(seed: int, purpose: str, device_ids, slots=None) -> np.ndarray:
+    return ndtri(_uniform(seed, purpose, device_ids, slots))
+
+
+def _pick(cum: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """``random.choices``-style categorical draw over a normalized
+    cumulative-weight table (first index with ``u < cum[i]``)."""
+    return np.minimum(np.searchsorted(cum, u, side="right"),
+                      len(cum) - 1)
+
+
+def _cum(weights) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    c = np.cumsum(w)
+    return c / c[-1]
+
+
+# ---------------------------------------------------------------------------
+# Precomputed probability tables (derived from the live generative
+# sources at first use — never hand-copied constants)
+# ---------------------------------------------------------------------------
+
+
+class _Tables:
+    """Categorical tables shared by every batch shard (process-wide)."""
+
+    def __init__(self) -> None:
+        # -- phone models (Table 1 order) --
+        self.model_cum = _cum([s.user_share for s in PHONE_MODELS])
+        self.model_id = np.asarray([s.model for s in PHONE_MODELS],
+                                   dtype=np.int64)
+        self.model_shape = np.asarray(
+            [s.fit.shape for s in PHONE_MODELS])
+        self.model_scale = np.asarray(
+            [s.fit.scale for s in PHONE_MODELS])
+        self.model_has5g = np.asarray(
+            [s.has_5g for s in PHONE_MODELS], dtype=bool)
+        self.model_version = np.asarray(
+            [s.android_version for s in PHONE_MODELS], dtype=object)
+        self.model_android9 = np.asarray(
+            [s.android_version.startswith("9") for s in PHONE_MODELS],
+            dtype=bool)
+
+        # -- ISPs (profile order: A, B, C) --
+        isps = list(ISP_PROFILES)
+        self.isps = isps
+        self.isp_cum = _cum(
+            [ISP_PROFILES[isp].subscriber_share for isp in isps])
+        self.isp_label = np.asarray([isp.label for isp in isps],
+                                    dtype=object)
+        self.isp_factor = np.asarray(
+            [behavior.ISP_HAZARD_FACTOR[isp] for isp in isps])
+
+        # -- failure-type mix (codes: 0 SETUP, 1 STALL, 2 OOS, 3 SMS,
+        #    4 VOICE — alphabetical by .value, matching columnar order) --
+        self.type_values = tuple(t.value for t in (
+            FailureType.DATA_SETUP_ERROR, FailureType.DATA_STALL,
+            FailureType.OUT_OF_SERVICE, FailureType.SMS_FAILURE,
+            FailureType.VOICE_FAILURE,
+        ))
+        legacy = behavior.TYPE_WEIGHT_LEGACY / 2
+        oos_active_w = (behavior.TYPE_WEIGHT_OOS
+                        / behavior.OOS_ACTIVE_DEVICE_FRACTION)
+        self.type_cum_active = _cum([
+            behavior.TYPE_WEIGHT_SETUP, behavior.TYPE_WEIGHT_STALL,
+            oos_active_w, legacy, legacy,
+        ])
+        self.type_cum_inactive = _cum([
+            behavior.TYPE_WEIGHT_SETUP, behavior.TYPE_WEIGHT_STALL,
+            0.0, legacy, legacy,
+        ])
+
+        # -- event RAT (usage x hazard), keyed by 5G capability --
+        def rat_table(usage: dict) -> tuple[np.ndarray, np.ndarray]:
+            codes = np.asarray(
+                [ALL_RATS.index(rat) for rat in usage], dtype=np.int64)
+            cum = _cum([share * behavior.RAT_HAZARD_FACTOR[rat]
+                        for rat, share in usage.items()])
+            return codes, cum
+
+        self.rat5_codes, self.rat5_cum = rat_table(behavior.RAT_USAGE_5G)
+        self.ratn_codes, self.ratn_cum = rat_table(
+            behavior.RAT_USAGE_NON_5G)
+        self.usage5 = [(rat.label, share)
+                       for rat, share in behavior.RAT_USAGE_5G.items()]
+        self.usagen = [(rat.label, share)
+                       for rat, share in behavior.RAT_USAGE_NON_5G.items()]
+
+        # -- signal levels --
+        self.level_cum = _cum([
+            behavior.EXPOSURE_LEVEL_SHARES[lvl] * hz
+            for lvl, hz in enumerate(behavior.LEVEL_HAZARD)
+        ])
+        self.concentration = behavior.DeviceRadioProfile.concentration
+
+        # -- deployments (enum/mix order; codes 0..5) --
+        self.dep_classes = tuple(cls for cls, _ in
+                                 behavior.DEPLOYMENT_TIME_MIX)
+        self.dep_values = np.asarray(
+            [cls.value for cls in self.dep_classes], dtype=object)
+        self.dep_cum = _cum([w for _, w in behavior.DEPLOYMENT_TIME_MIX])
+        self.remote_code = self.dep_classes.index(DeploymentClass.REMOTE)
+        self.lvl5_dep_codes = np.asarray([
+            self.dep_classes.index(DeploymentClass.TRANSPORT_HUB),
+            self.dep_classes.index(DeploymentClass.URBAN_CORE),
+            self.dep_classes.index(DeploymentClass.URBAN),
+        ], dtype=np.int64)
+        # Deployment density class for the cause sampler: 0 = no boost,
+        # else index into the >=0.6 density list below.
+        densities = [DEPLOYMENT_TRAITS[cls].density
+                     for cls in self.dep_classes]
+        self.dense_values = [d for d in densities if d >= 0.6]
+        self.dens_class = np.asarray(
+            [self.dense_values.index(d) + 1 if d >= 0.6 else 0
+             for d in densities], dtype=np.int64)
+
+        # -- stall mixture --
+        mix = behavior.STALL_MIXTURE
+        self.stall_cum = _cum([c.weight for c in mix])
+        self.stall_lnmed = np.log([c.median_s for c in mix])
+        self.stall_sigma = np.asarray([c.sigma for c in mix])
+        self.stall_dr = np.asarray([c.device_recoverable for c in mix])
+        fp_mix = behavior.STALL_FALSE_POSITIVE_MIX
+        assert fp_mix[0][0].value == "NETWORK_STALL"
+        self.stall_genuine_p = (fp_mix[0][1]
+                                / sum(w for _, w in fp_mix))
+
+        # -- transition scenario tables --
+        self.trA_cur_lvl_vals = np.asarray([1, 2, 3, 4], dtype=np.int64)
+        self.trA_cur_lvl_cum = _cum([1, 3, 5, 4])
+        self.trA_nr_cum = _cum([50, 15, 12, 11, 7, 5])
+        lte, umts, gsm = (ALL_RATS.index(r) for r in (
+            behavior.RAT.LTE, behavior.RAT.UMTS, behavior.RAT.GSM))
+        self.trB_cur_rat_codes = np.asarray([lte, umts, gsm],
+                                            dtype=np.int64)
+        self.trB_cur_rat_cum = _cum([0.7, 0.1, 0.2])
+        self.trB_cur_lvl_cum = _cum([1, 2, 4, 5, 4])
+        self.trB_oth_lvl_cum = _cum([2, 3, 4, 4, 3])
+        # other_rats = (GSM, UMTS, LTE) minus current, in that order.
+        self.tr_others = np.zeros((4, 2), dtype=np.int64)
+        self.tr_others[gsm] = (umts, lte)
+        self.tr_others[umts] = (gsm, lte)
+        self.tr_others[lte] = (gsm, umts)
+        self.risk = np.asarray([
+            behavior.GENERATIVE_LEVEL_RISK[rat] for rat in ALL_RATS])
+        self.post_type_cum = _cum([0.50, 0.35, 0.15])
+
+        # -- handover stage tables --
+        self.meas_fail = np.asarray([
+            _MEASUREMENT_FAILURE_BY_SOURCE_LEVEL[lvl]
+            for lvl in range(6)])
+        self.sync_fail = np.asarray([
+            _SYNC_FAILURE_BY_TARGET_LEVEL[lvl] for lvl in range(6)])
+
+        # -- setup latencies --
+        self.lat_base = np.asarray(
+            [_SETUP_LATENCY_S[rat] for rat in ALL_RATS])
+
+        # -- false positives --
+        self.fp_cum = _cum([0.70, 0.10, 0.10, 0.10])
+
+        # -- cause sampler variants --
+        base = DEFAULT_CAUSE_SAMPLER.base_weights
+        names = list(base)
+        self.cause_names = np.asarray(names, dtype=object)
+        self.cause_retryable = np.asarray(
+            [ERROR_CODE_REGISTRY.retryable(n) for n in names],
+            dtype=bool)
+        self.cause_cums: dict[tuple[int, int, int, int], np.ndarray] = {}
+        flavour_boosts = (
+            (_SIGNAL_FLAVOURED, lambda _: 3.0),
+            (_DENSITY_FLAVOURED, lambda d: 1.0 + 2.2 * d),
+            (_LEGACY_FLAVOURED, lambda _: 3.5),
+            (_HANDOVER_FLAVOURED, lambda _: 6.0),
+        )
+        for sig in (0, 1):
+            for dens_i in range(len(self.dense_values) + 1):
+                for leg in (0, 1):
+                    for hand in (0, 1):
+                        w = dict(base)
+                        flags = (sig, dens_i, leg, hand)
+                        for (flavoured, factor), flag in zip(
+                            flavour_boosts, flags
+                        ):
+                            if not flag:
+                                continue
+                            d = (self.dense_values[dens_i - 1]
+                                 if flavoured is _DENSITY_FLAVOURED
+                                 else 0.0)
+                            for code in flavoured:
+                                if code in w:
+                                    w[code] *= factor(d)
+                        self.cause_cums[flags] = _cum(list(w.values()))
+
+        # -- user model --
+        self.reset_mean = DEFAULT_USER_TOLERANCE.manual_reset_mean_s
+        self.reset_jitter = DEFAULT_USER_TOLERANCE.manual_reset_jitter_s
+
+
+_TABLES: _Tables | None = None
+
+
+def _tables() -> _Tables:
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = _Tables()
+    return _TABLES
+
+
+# ---------------------------------------------------------------------------
+# Topology batch index
+# ---------------------------------------------------------------------------
+
+
+def _topology_index(topology: NationalTopology, tables: _Tables) -> dict:
+    """Per-(ISP, deployment, RAT) resolved sampling pools plus a
+    ``load`` lookup, cached on the topology instance.
+
+    The serial sampler's fallback chain (exact pool, then the ISP's
+    pools densest-first) is resolved at build time; the draw itself is
+    a single propensity-weighted categorical over the RAT-supporting
+    subset of the resolved pool (the blessed batch form of the serial
+    eight-attempt/uniform-fallback dance).
+    """
+    cached = topology.__dict__.get("_batch_index")
+    if cached is not None:
+        return cached
+    max_id = max((bs.bs_id for bs in topology.base_stations), default=0)
+    load = np.zeros(max_id + 1)
+    for bs in topology.base_stations:
+        load[bs.bs_id] = bs.load
+    pools: dict[tuple[int, int, int], tuple | None] = {}
+    for i_isp, isp in enumerate(tables.isps):
+        for i_dep, dep in enumerate(tables.dep_classes):
+            chain = [dep] + [cls for cls, _ in _DEPLOYMENT_MIX]
+            for i_rat, rat in enumerate(ALL_RATS):
+                entry = None
+                for cls in chain:
+                    pool = topology._pools.get((isp, cls))
+                    if pool is None:
+                        continue
+                    supporting = [bs for bs in pool.stations
+                                  if bs.supports(rat)]
+                    if not supporting:
+                        continue
+                    ids = np.asarray([bs.bs_id for bs in supporting],
+                                     dtype=np.int64)
+                    cum = _cum([bs.failure_propensity
+                                for bs in supporting])
+                    entry = (ids, cum)
+                    break
+                pools[(i_isp, i_dep, i_rat)] = entry
+    index = {"pools": pools, "load": load}
+    topology.__dict__["_batch_index"] = index
+    return index
+
+
+def _draw_bs(index: dict, isp_idx: np.ndarray, dep: np.ndarray,
+             rat: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Vectorized BS draw grouped by (ISP, deployment, RAT) triple."""
+    out = np.zeros(len(u), dtype=np.int64)
+    if not len(u):
+        return out
+    key = (isp_idx * len(_DEPLOYMENT_MIX) + dep) * len(ALL_RATS) + rat
+    for k in np.unique(key):
+        triple = (int(k) // (len(_DEPLOYMENT_MIX) * len(ALL_RATS)),
+                  (int(k) // len(ALL_RATS)) % len(_DEPLOYMENT_MIX),
+                  int(k) % len(ALL_RATS))
+        entry = index["pools"].get(triple)
+        if entry is None:
+            raise LookupError(
+                f"no base station for {triple} in batch index"
+            )
+        ids, cum = entry
+        sel = key == k
+        idx = np.minimum(np.searchsorted(cum, u[sel], side="left"),
+                         len(ids) - 1)
+        out[sel] = ids[idx]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized Poisson (Knuth below the normal-approximation cutoff)
+# ---------------------------------------------------------------------------
+
+
+def _poisson_batch(seed: int, purpose: str, ids: np.ndarray,
+                   means: np.ndarray, cap: int) -> np.ndarray:
+    out = np.zeros(means.shape, dtype=np.int64)
+    big = means > 200.0
+    if big.any():
+        z = _normal(seed, purpose + ":gauss", ids[big])
+        out[big] = np.maximum(
+            0, np.rint(means[big] + np.sqrt(means[big]) * z)
+        ).astype(np.int64)
+    active = np.flatnonzero(~big & (means > 0.0))
+    acc = np.zeros(active.size)
+    m = means[active]
+    base = 0
+    chunk = 32
+    while active.size:
+        slots = np.arange(base, base + chunk, dtype=np.uint64)
+        u = _uniform(
+            seed, purpose, np.repeat(ids[active], chunk),
+            np.tile(slots, active.size),
+        ).reshape(active.size, chunk)
+        sums = acc[:, None] + np.cumsum(-np.log(u), axis=1)
+        out[active] += (sums < m[:, None]).sum(axis=1)
+        alive = sums[:, -1] < m
+        active = active[alive]
+        acc = sums[alive, -1]
+        m = m[alive]
+        base += chunk
+    return np.minimum(out, cap)
+
+
+# ---------------------------------------------------------------------------
+# Stall recovery: closed-form cycle 1 + slow-path oracle
+# ---------------------------------------------------------------------------
+
+
+def _policy_windows(policy: RecoveryPolicy) -> dict:
+    """Deterministic cycle scalars: window [s_i, e_i) then overhead to
+    st_i; one full cycle spans [0, T1)."""
+    s, e, st = [], [], []
+    t = 0.0
+    for probation, stage in zip(policy.probations_s, policy.stages):
+        s.append(t)
+        e.append(t + probation)
+        st.append(t + probation + stage.overhead_s)
+        t = st[-1]
+    return {
+        "s": np.asarray(s), "e": np.asarray(e), "st": np.asarray(st),
+        "sr": np.asarray([stage.success_rate for stage in policy.stages]),
+        "T1": t,
+    }
+
+
+def _resolve_stalls_batch(
+    seed: int, tag: str, config: ScenarioConfig, policy: RecoveryPolicy,
+    dev_ids: np.ndarray, slots: np.ndarray, natural: np.ndarray,
+    dr: np.ndarray,
+) -> dict:
+    """Resolve stall episodes: vectorized first recovery cycle, serial
+    oracle (:func:`repro.android.recovery._resolve_stall`) for the rare
+    multi-cycle survivors.  Mirrors ``resolve_stall`` exactly — windows
+    watch for the earlier of natural fix and (engaged) user reset with
+    user resets winning ties, stages auto-resolve when the fix lands
+    inside their overhead (inclusive), and pending user resets clear at
+    the first window whose end passes them."""
+    tables = _tables()
+    n = natural.size
+    W = _policy_windows(policy)
+    engaged = _uniform(seed, tag + ":engaged", dev_ids, slots) < (
+        behavior.USER_RESET_ENGAGEMENT)
+    reset_u = _uniform(seed, tag + ":reset", dev_ids, slots)
+    user = np.where(
+        engaged,
+        np.maximum(5.0, tables.reset_mean
+                   + tables.reset_jitter * (2.0 * reset_u - 1.0)),
+        np.inf,
+    )
+    user_ok = _uniform(seed, tag + ":usersucc", dev_ids, slots) < (
+        0.85 * dr)
+    stage_u = np.stack(
+        [_uniform(seed, f"{tag}:stage{i}", dev_ids, slots)
+         for i in (1, 2, 3)], axis=1,
+    ) if n else np.zeros((0, 3))
+    sr = W["sr"][None, :] * np.where(dr < 1.0, dr, 1.0)[:, None]
+
+    dur = np.zeros(n)
+    resby = np.full(n, UNRESOLVED, dtype=np.int64)
+    stages = np.zeros(n, dtype=np.int64)
+    resolved = np.zeros(n, dtype=bool)
+    pending = engaged.copy()
+    passed = np.zeros((3, n), dtype=bool)
+    for i in range(3):
+        lo, hi, st = W["s"][i], W["e"][i], W["st"][i]
+        act = ~resolved
+        auto_c = act & (natural >= lo) & (natural < hi)
+        user_c = (act & pending & user_ok
+                  & (user >= lo) & (user < hi))
+        u_win = user_c & (~auto_c | (user <= natural))
+        a_win = auto_c & ~u_win
+        dur[u_win] = user[u_win]
+        resby[u_win] = USER_RESET
+        stages[u_win] = i
+        dur[a_win] = natural[a_win]
+        resby[a_win] = AUTO_RECOVERED
+        stages[a_win] = i
+        resolved |= u_win | a_win
+        cont = act & ~u_win & ~a_win
+        pending &= ~(cont & (user <= hi))
+        passed[i] = cont
+        stages[cont] = i + 1
+        auto_st = cont & (natural <= st)
+        dur[auto_st] = natural[auto_st]
+        resby[auto_st] = AUTO_RECOVERED
+        resolved |= auto_st
+        fixed = cont & ~auto_st & (stage_u[:, i] < sr[:, i])
+        dur[fixed] = st
+        resby[fixed] = i + 1
+        resolved |= fixed
+
+    # Survivors of the full first cycle.
+    surv = ~resolved
+    dead = surv & (dr <= 0.0)  # nothing the handset does can help
+    dur[dead] = natural[dead]
+    resby[dead] = UNRESOLVED  # stages stay 3
+    oracle_starts: dict[int, list[float]] = {1: [], 2: [], 3: []}
+    t1 = W["T1"]
+    cond_cache: dict[float, RecoveryPolicy] = {}
+    for j in np.flatnonzero(surv & (dr > 0.0)):
+        # Slow-path oracle: the device ejects from the batch and its
+        # episode continues through the serial resolver (cycles 2..25),
+        # rejoining with the composed resolution.
+        d = float(dr[j])
+        cond = cond_cache.get(d)
+        if cond is None:
+            cond = _condition_policy(policy, d)
+            cond_cache[d] = cond
+        rng = random.Random(
+            f"{seed}:bstall:{tag}:{int(dev_ids[j])}:{int(slots[j])}"
+        )
+        rest_user = float(user[j]) - t1 if pending[j] else None
+        rest = _resolve_stall(cond, float(natural[j]) - t1, rng,
+                              rest_user, 0.85 * d, 24)
+        dur[j] = t1 + rest.duration_s
+        resby[j] = rest.resolved_by
+        stages[j] = 3 + rest.stages_executed
+        for when, text in rest.timeline:
+            if text.startswith("stage ") and text.endswith("started"):
+                oracle_starts[int(text.split()[1])].append(t1 + when)
+    return {
+        "duration": dur, "resolved_by": resby, "stages": stages,
+        "passed": passed, "windows": W, "oracle_starts": oracle_starts,
+        "n_oracle": int((surv & (dr > 0.0)).sum()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The batch step
+# ---------------------------------------------------------------------------
+
+
+def _sample_deployment(seed: int, purpose: str, tables: _Tables,
+                       dev_ids, slots, level: np.ndarray) -> np.ndarray:
+    """behavior.sample_event_deployment over arrays."""
+    u = _uniform(seed, purpose, dev_ids, slots)
+    mix = _pick(tables.dep_cum, u)
+    lvl5 = np.where(
+        u < 0.70, tables.lvl5_dep_codes[0],
+        np.where(u < 0.92, tables.lvl5_dep_codes[1],
+                 tables.lvl5_dep_codes[2]),
+    )
+    return np.where(level == 5, lvl5, mix)
+
+
+def _sample_causes(tables: _Tables, variant_key: np.ndarray,
+                   u: np.ndarray) -> np.ndarray:
+    """Cause-code draw grouped by sampler-variant flags packed as
+    ``((sig * D + dens) * 2 + leg) * 2 + hand``."""
+    out = np.zeros(len(u), dtype=np.int64)
+    n_dens = len(tables.dense_values) + 1
+    for k in np.unique(variant_key):
+        flags = (int(k) // (n_dens * 4),
+                 (int(k) // 4) % n_dens,
+                 (int(k) // 2) % 2, int(k) % 2)
+        cum = tables.cause_cums[flags]
+        sel = variant_key == k
+        out[sel] = _pick(cum, u[sel])
+    return out
+
+
+def _variant_key(tables: _Tables, level, dep, rat, handover: int):
+    n_dens = len(tables.dense_values) + 1
+    sig = (level <= 1).astype(np.int64)
+    dens = tables.dens_class[dep]
+    leg = (rat <= 1).astype(np.int64)
+    return ((sig * n_dens + dens) * 2 + leg) * 2 + handover
+
+
+class _RecordColumns:
+    """Accumulates per-category failure-lane arrays, then emits the
+    device-major / time-sorted record list exactly like the serial
+    engine's per-device walk."""
+
+    _FIELDS = ("dev", "start", "type", "dur", "bs", "rat", "lvl",
+               "dep", "err", "resby", "stages", "post")
+
+    def __init__(self) -> None:
+        self.chunks: list[dict] = []
+
+    def add(self, **arrays) -> None:
+        n = len(arrays["dev"])
+        if not n:
+            return
+        chunk = {}
+        for name in self._FIELDS:
+            value = arrays[name]
+            if np.isscalar(value) or value is None:
+                if name == "err":
+                    col = np.full(n, value, dtype=object)
+                else:
+                    col = np.full(
+                        n, value,
+                        dtype=bool if name == "post" else None)
+            else:
+                col = value
+            chunk[name] = col
+        self.chunks.append(chunk)
+
+    def sorted_columns(self) -> dict:
+        if not self.chunks:
+            return {name: np.zeros(0, dtype=object if name == "err"
+                                   else np.int64 if name in
+                                   ("dev", "type", "bs", "rat", "lvl",
+                                    "dep", "resby", "stages")
+                                   else bool if name == "post"
+                                   else np.float64)
+                    for name in self._FIELDS}
+        cols = {
+            name: np.concatenate([c[name] for c in self.chunks])
+            for name in self._FIELDS
+        }
+        order = np.lexsort((cols["start"], cols["dev"]))
+        return {name: col[order] for name, col in cols.items()}
+
+
+_RESOLVED_BY_NONE = -(1 << 30)
+
+
+def simulate_shard_batch(
+    config: ScenarioConfig,
+    topology: NationalTopology,
+    spec: ShardSpec,
+) -> tuple[Dataset, ShardStats]:
+    """Vectorized counterpart of ``FleetSimulator.simulate_shard``."""
+    watch = StopWatch()
+    registry = get_registry()
+    # Bulk-constructing hundreds of thousands of record objects trips
+    # the generational collector over and over; the records are slotted
+    # dataclasses holding only scalars (no cycles possible), so pausing
+    # collection for the build is safe and nearly halves the wall time.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with registry.span("fleet.simulate_shard"):
+            shard, counters = _simulate(config, topology, spec, registry)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    stats = ShardStats(
+        shard=spec.index,
+        device_lo=spec.lo,
+        device_hi=spec.hi,
+        n_devices=spec.n_devices,
+        n_failures=len(shard.failures),
+        n_transitions=len(shard.transitions),
+        wall_s=watch.elapsed(),
+        cpu_s=watch.cpu_elapsed(),
+    )
+    del counters
+    return shard, stats
+
+
+def _simulate(config: ScenarioConfig, topology: NationalTopology,
+              spec: ShardSpec, registry) -> tuple[Dataset, dict]:
+    tables = _tables()
+    topo = _topology_index(topology, tables)
+    seed = config.seed
+    patched = config.arm == ARM_PATCHED
+    if patched:
+        recovery = TIMP_RECOVERY_POLICY
+        if config.patched_probations_s is not None:
+            recovery = recovery.with_probations(
+                config.patched_probations_s)
+    else:
+        recovery = VANILLA_RECOVERY_POLICY
+
+    dev = np.arange(spec.lo, spec.hi, dtype=np.int64)
+    n = dev.size
+    ids = dev.astype(np.uint64)
+    study_s = config.study_months * SECONDS_PER_MONTH
+
+    # -- device profiles ----------------------------------------------------
+    model = _pick(tables.model_cum, _uniform(seed, "profile:model", ids))
+    isp_idx = _pick(tables.isp_cum, _uniform(seed, "profile:isp", ids))
+    hazard = gammaincinv(
+        tables.model_shape[model] * tables.isp_factor[isp_idx],
+        _uniform(seed, "profile:hazard", ids),
+    ) * tables.model_scale[model]
+    hazard *= config.frequency_scale * (config.study_months / 8.0)
+    has5g = tables.model_has5g[model]
+    android9 = tables.model_android9[model]
+    ambient_hazard = hazard * np.where(
+        has5g, behavior.AMBIENT_FRACTION_5G, 1.0)
+    oos_active = _uniform(seed, "profile:oos", ids) < (
+        behavior.OOS_ACTIVE_DEVICE_FRACTION)
+    home = _pick(tables.level_cum, _uniform(seed, "profile:home", ids))
+    endc_dev = has5g & patched
+
+    cap = config.max_events_per_device
+    n_amb = _poisson_batch(seed, "poisson:ambient", ids,
+                           ambient_hazard, cap)
+    tr_rate = np.where(has5g, behavior.TRANSITION_RATE_5G,
+                       behavior.TRANSITION_RATE_NON_5G)
+    n_tr = _poisson_batch(seed, "poisson:transition", ids,
+                          hazard * tr_rate, cap)
+    n_fp = _poisson_batch(
+        seed, "poisson:fp", ids,
+        ambient_hazard * config.false_positive_rate, cap)
+
+    records = _RecordColumns()
+    stall_blocks = []
+    dc = {"retryable": 0, "permanent": 0}
+
+    def expand(counts):
+        lanes = np.repeat(np.arange(counts.size), counts)
+        starts = np.zeros(counts.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        slot = (np.arange(lanes.size, dtype=np.int64)
+                - np.repeat(starts, counts)).astype(np.uint64)
+        return lanes, slot
+
+    # =======================================================================
+    # Ambient episodes
+    # =======================================================================
+    a_lane, a_slot = expand(n_amb)
+    a_ids = ids[a_lane]
+    a_when = study_s * _uniform(seed, "amb:time", a_ids, a_slot)
+    u_type = _uniform(seed, "amb:type", a_ids, a_slot)
+    a_type = np.where(
+        oos_active[a_lane],
+        _pick(tables.type_cum_active, u_type),
+        _pick(tables.type_cum_inactive, u_type),
+    )
+    u_rat = _uniform(seed, "amb:rat", a_ids, a_slot)
+    a_rat = np.where(
+        has5g[a_lane],
+        tables.rat5_codes[_pick(tables.rat5_cum, u_rat)],
+        tables.ratn_codes[_pick(tables.ratn_cum, u_rat)],
+    )
+    # Home-concentrated signal level (behavior.sample_event_level).
+    u_lvl = _uniform(seed, "amb:level", a_ids, a_slot)
+    sign = np.where(
+        _uniform(seed, "amb:levelsign", a_ids, a_slot) < 0.5, 1, -1)
+    conc = tables.concentration
+    offset = np.where(u_lvl < (1.0 + conc) / 2.0, 1, 2)
+    a_lvl = np.where(
+        u_lvl < conc, home[a_lane],
+        np.clip(home[a_lane] + sign * offset, 0, 5),
+    )
+
+    # Stall naturals first: long outages override level + deployment.
+    stall_m = a_type == 1
+    s_ids, s_slot = a_ids[stall_m], a_slot[stall_m]
+    comp = _pick(tables.stall_cum,
+                 _uniform(seed, "amb:stallcomp", s_ids, s_slot))
+    s_nat = np.minimum(
+        np.exp(tables.stall_lnmed[comp] + tables.stall_sigma[comp]
+               * _normal(seed, "amb:stallnat", s_ids, s_slot)),
+        behavior.MAX_STALL_DURATION_S,
+    )
+    long_out = (s_nat > 1200.0) & (
+        _uniform(seed, "amb:longout", s_ids, s_slot) < 0.6)
+    s_idx = np.flatnonzero(stall_m)
+    lo_lvl_cap = np.minimum(
+        (_uniform(seed, "amb:longlvl", s_ids, s_slot) * 3.0).astype(
+            np.int64), 2)
+    a_lvl[s_idx[long_out]] = np.minimum(
+        a_lvl[s_idx[long_out]], lo_lvl_cap[long_out])
+
+    a_dep = _sample_deployment(seed, "amb:dep", tables, a_ids, a_slot,
+                               a_lvl)
+    a_dep[s_idx[long_out]] = tables.remote_code
+    a_bs = _draw_bs(topo, isp_idx[a_lane], a_dep, a_rat,
+                    _uniform(seed, "amb:bs", a_ids, a_slot))
+
+    # -- Data_Setup_Error ---------------------------------------------------
+    sm = a_type == 0
+    cause_idx = _sample_causes(
+        tables,
+        _variant_key(tables, a_lvl[sm], a_dep[sm], a_rat[sm], 0),
+        _uniform(seed, "amb:cause", a_ids[sm], a_slot[sm]),
+    )
+    setup_retry = tables.cause_retryable[cause_idx]
+    lat1 = tables.lat_base[a_rat[sm]] * (
+        0.8 + 0.8 * _uniform(seed, "amb:lat1", a_ids[sm], a_slot[sm]))
+    lat2 = tables.lat_base[a_rat[sm]] * (
+        0.8 + 0.8 * _uniform(seed, "amb:lat2", a_ids[sm], a_slot[sm]))
+    setup_dur = np.where(setup_retry, lat1 + 5.0 + lat2,
+                         np.maximum(lat1, 0.5))
+    records.add(
+        dev=a_lane[sm], start=a_when[sm], type=0, dur=setup_dur,
+        bs=a_bs[sm], rat=a_rat[sm], lvl=a_lvl[sm], dep=a_dep[sm],
+        err=tables.cause_names[cause_idx],
+        resby=np.full(int(sm.sum()), _RESOLVED_BY_NONE, dtype=np.int64),
+        stages=np.zeros(int(sm.sum()), dtype=np.int64), post=False,
+    )
+    dc["retryable"] += int(setup_retry.sum())
+    dc["permanent"] += int((~setup_retry).sum())
+
+    # -- Data_Stall ---------------------------------------------------------
+    genuine = _uniform(seed, "amb:stallkind", s_ids, s_slot) < (
+        tables.stall_genuine_p)
+    res = _resolve_stalls_batch(
+        seed, "amb", config, recovery,
+        s_ids[genuine], s_slot[genuine], s_nat[genuine],
+        tables.stall_dr[comp[genuine]],
+    )
+    meas_err = np.where(
+        res["duration"] > 1200.0, 60.0, 5.0,
+    ) * _uniform(seed, "amb:stallmeas", s_ids[genuine], s_slot[genuine])
+    observed = res["duration"] + meas_err
+    g_idx = s_idx[genuine]
+    records.add(
+        dev=a_lane[g_idx], start=a_when[g_idx], type=1, dur=observed,
+        bs=a_bs[g_idx], rat=a_rat[g_idx], lvl=a_lvl[g_idx],
+        dep=a_dep[g_idx], err=None, resby=res["resolved_by"],
+        stages=res["stages"], post=False,
+    )
+    stall_blocks.append(res)
+
+    # -- Out_of_Service -----------------------------------------------------
+    om = a_type == 2
+    oos_dur = np.minimum(
+        np.exp(np.log(behavior.OOS_MEDIAN_S) + behavior.OOS_SIGMA
+               * _normal(seed, "amb:oos", a_ids[om], a_slot[om])),
+        behavior.MAX_STALL_DURATION_S,
+    )
+    records.add(
+        dev=a_lane[om], start=a_when[om], type=2, dur=oos_dur,
+        bs=a_bs[om], rat=a_rat[om], lvl=a_lvl[om], dep=a_dep[om],
+        err=None, resby=_RESOLVED_BY_NONE, stages=0, post=False,
+    )
+
+    # -- SMS / voice --------------------------------------------------------
+    smsm = a_type == 3
+    records.add(
+        dev=a_lane[smsm], start=a_when[smsm], type=3, dur=0.0,
+        bs=a_bs[smsm], rat=a_rat[smsm], lvl=a_lvl[smsm],
+        dep=a_dep[smsm], err="RIL_SMS_SEND_FAIL_RETRY",
+        resby=_RESOLVED_BY_NONE, stages=0, post=False,
+    )
+    vm = a_type == 4
+    congested = _uniform(seed, "amb:voice", a_ids[vm], a_slot[vm]) < (
+        topo["load"][a_bs[vm]])
+    records.add(
+        dev=a_lane[vm], start=a_when[vm], type=4, dur=0.0,
+        bs=a_bs[vm], rat=a_rat[vm], lvl=a_lvl[vm], dep=a_dep[vm],
+        err=np.where(congested, "CS_NETWORK_CONGESTION",
+                     "CS_CALL_SETUP_FAILED").astype(object),
+        resby=_RESOLVED_BY_NONE, stages=0, post=False,
+    )
+
+    # =======================================================================
+    # RAT-transition opportunities
+    # =======================================================================
+    t_lane, t_slot = expand(n_tr)
+    t_ids = ids[t_lane]
+    t_when = study_s * _uniform(seed, "tr:time", t_ids, t_slot)
+    t5g = has5g[t_lane]
+    bra = t5g & (_uniform(seed, "tr:branch", t_ids, t_slot) < 0.75)
+    m = t_lane.size
+
+    u_clvl = _uniform(seed, "tr:curlvl", t_ids, t_slot)
+    u_crat = _uniform(seed, "tr:currat", t_ids, t_slot)
+    cur_rat = np.where(
+        bra, 2, tables.trB_cur_rat_codes[_pick(tables.trB_cur_rat_cum,
+                                               u_crat)])
+    cur_lvl = np.where(
+        bra, tables.trA_cur_lvl_vals[_pick(tables.trA_cur_lvl_cum,
+                                           u_clvl)],
+        _pick(tables.trB_cur_lvl_cum, u_clvl),
+    )
+    u_inc1 = _uniform(seed, "tr:extra1", t_ids, t_slot)
+    u_inc2 = _uniform(seed, "tr:extra2", t_ids, t_slot)
+    u_lvl1 = _uniform(seed, "tr:othlvl1", t_ids, t_slot)
+    u_lvl2 = _uniform(seed, "tr:othlvl2", t_ids, t_slot)
+    nr_lvl = _pick(tables.trA_nr_cum,
+                   _uniform(seed, "tr:nrlvl", t_ids, t_slot))
+
+    c_rat = np.full((3, m), -1, dtype=np.int64)
+    c_lvl = np.zeros((3, m), dtype=np.int64)
+    c_rat[0], c_lvl[0] = cur_rat, cur_lvl
+    c_rat[1, bra] = 3
+    c_lvl[1, bra] = nr_lvl[bra]
+    bra3 = bra & (u_inc1 < 0.3)
+    c_rat[2, bra3] = 1
+    c_lvl[2, bra3] = 1 + np.minimum(
+        (u_lvl1[bra3] * 3.0).astype(np.int64), 2)
+    brb = ~bra
+    others = tables.tr_others[cur_rat]
+    oth_lvl1 = _pick(tables.trB_oth_lvl_cum, u_lvl1)
+    oth_lvl2 = _pick(tables.trB_oth_lvl_cum, u_lvl2)
+    bb1 = brb & (u_inc1 < 0.6)
+    c_rat[1, bb1] = others[bb1, 0]
+    c_lvl[1, bb1] = oth_lvl1[bb1]
+    bb2 = brb & (u_inc2 < 0.6)
+    c_rat[2, bb2] = others[bb2, 1]
+    c_lvl[2, bb2] = oth_lvl2[bb2]
+
+    # Policy selection over the candidate slots.
+    present = c_rat >= 0
+    keys = np.where(present, c_rat * 8 + c_lvl, -1)
+    cols = np.arange(m)
+    if patched:
+        veto = stability_veto_table()
+        order = np.argsort(-keys, axis=0, kind="stable")
+        chosen = np.zeros(m, dtype=np.int64)
+        taken = np.zeros(m, dtype=bool)
+        for r in range(3):
+            slot = order[r]
+            cr = c_rat[slot, cols]
+            cl = c_lvl[slot, cols]
+            ok = (present[slot, cols] & ~taken
+                  & ~veto[cur_rat, cur_lvl, cr, np.clip(cl, 0, 5)])
+            chosen[ok] = slot[ok]
+            taken |= ok
+        # Every move vetoed -> stay (slot 0 is always acceptable, so
+        # this is unreachable; kept for parity with the scalar walk).
+        chosen[~taken] = 0
+    else:
+        masked = keys.copy()
+        masked[:, android9[t_lane]] = np.where(
+            c_rat[:, android9[t_lane]] == 3, -1,
+            keys[:, android9[t_lane]])
+        chosen = np.argmax(masked, axis=0)
+    sel_rat = c_rat[chosen, cols]
+    sel_lvl = c_lvl[chosen, cols]
+    executed = sel_rat != cur_rat
+
+    proc_rate = np.where(endc_dev[t_lane] & (sel_rat >= 2), 0.01, 0.05)
+    p_fail = np.where(
+        executed,
+        np.minimum(
+            0.95,
+            behavior.TRANSITION_BASE_FAILURE_P
+            + behavior.TRANSITION_RISK_SLOPE * np.maximum(
+                0.0,
+                tables.risk[sel_rat, sel_lvl]
+                - tables.risk[cur_rat, cur_lvl]),
+        ) + proc_rate,
+        behavior.TRANSITION_BASE_FAILURE_P,
+    )
+    failed = _uniform(seed, "tr:fail", t_ids, t_slot) < p_fail
+
+    after_rat = np.where(executed, sel_rat, cur_rat)
+    after_lvl = np.where(executed, sel_lvl, cur_lvl)
+    pf = np.flatnonzero(failed)
+    pf_ids, pf_slot = t_ids[pf], t_slot[pf]
+    pf_dep = _sample_deployment(seed, "tr:dep", tables, pf_ids, pf_slot,
+                                after_lvl[pf])
+    pf_bs = _draw_bs(topo, isp_idx[t_lane[pf]], pf_dep, after_rat[pf],
+                     _uniform(seed, "tr:bs", pf_ids, pf_slot))
+    ptype = _pick(tables.post_type_cum,
+                  _uniform(seed, "tr:ptype", pf_ids, pf_slot))
+
+    # -- post-transition setup errors (handover procedure) ------------------
+    hm = ptype == 0
+    h_idx = pf[hm]
+    sched_cause = tables.cause_names[_sample_causes(
+        tables,
+        _variant_key(tables, after_lvl[h_idx], pf_dep[hm],
+                     after_rat[h_idx], 1),
+        _uniform(seed, "tr:cause", pf_ids[hm], pf_slot[hm]),
+    )]
+    u_ho = _uniform(seed, "tr:handover", pf_ids[hm], pf_slot[hm])
+    meas_failed = u_ho < tables.meas_fail[cur_lvl[h_idx]]
+    ho_err = np.where(
+        meas_failed, "RRC_UPLINK_DELIVERY_FAILED_DUE_TO_HANDOVER",
+        sched_cause).astype(object)
+    ho_dur = np.where(meas_failed, 0.5, 1.0)
+
+    if patched and endc_dev.any():
+        # Slow-path oracle: EN-DC attach/swap is order-dependent per
+        # device, so patched 5G devices replay their transition lanes
+        # in time order (same tables, same outcomes as HandoverManager).
+        ho_pos = np.full(m, -1, dtype=np.int64)
+        ho_pos[h_idx] = np.arange(h_idx.size)
+        relevant = endc_dev[t_lane] & (
+            (executed & (sel_rat >= 2)) | (failed & (ho_pos >= 0)))
+        attached = np.zeros(n, dtype=bool)
+        slave = np.full(n, 3, dtype=np.int64)
+        walk = np.flatnonzero(relevant)
+        walk = walk[np.lexsort((t_when[walk], t_lane[walk]))]
+        for j in walk:
+            d = t_lane[j]
+            if executed[j] and sel_rat[j] >= 2:
+                attached[d] = True
+            k = ho_pos[j]
+            if k >= 0 and attached[d] and slave[d] == after_rat[j]:
+                if u_ho[k] < tables.sync_fail[after_lvl[j]]:
+                    ho_err[k] = "IRAT_HANDOVER_FAILED"
+                    ho_dur[k] = 4.0
+                else:
+                    ho_err[k] = sched_cause[k]
+                    ho_dur[k] = 0.5
+                    slave[d] = 5 - slave[d]  # swap LTE <-> NR
+
+    records.add(
+        dev=t_lane[h_idx], start=t_when[h_idx], type=0, dur=ho_dur,
+        bs=pf_bs[hm], rat=after_rat[h_idx], lvl=after_lvl[h_idx],
+        dep=pf_dep[hm], err=ho_err,
+        resby=_RESOLVED_BY_NONE, stages=0, post=True,
+    )
+
+    # -- post-transition stalls ---------------------------------------------
+    tsm = ptype == 1
+    ts_idx = pf[tsm]
+    ts_ids, ts_slot = pf_ids[tsm], pf_slot[tsm]
+    ts_comp = _pick(tables.stall_cum,
+                    _uniform(seed, "trs:comp", ts_ids, ts_slot))
+    ts_nat = np.minimum(
+        np.exp(tables.stall_lnmed[ts_comp] + tables.stall_sigma[ts_comp]
+               * _normal(seed, "trs:nat", ts_ids, ts_slot)),
+        behavior.MAX_STALL_DURATION_S,
+    )
+    ts_genuine = _uniform(seed, "trs:kind", ts_ids, ts_slot) < (
+        tables.stall_genuine_p)
+    ts_res = _resolve_stalls_batch(
+        seed, "trs", config, recovery,
+        ts_ids[ts_genuine], ts_slot[ts_genuine], ts_nat[ts_genuine],
+        tables.stall_dr[ts_comp[ts_genuine]],
+    )
+    ts_meas = np.where(ts_res["duration"] > 1200.0, 60.0, 5.0) * (
+        _uniform(seed, "trs:meas", ts_ids[ts_genuine],
+                 ts_slot[ts_genuine]))
+    tg_idx = ts_idx[ts_genuine]
+    tg_pos = np.flatnonzero(tsm)[ts_genuine]
+    records.add(
+        dev=t_lane[tg_idx], start=t_when[tg_idx], type=1,
+        dur=ts_res["duration"] + ts_meas, bs=pf_bs[tg_pos],
+        rat=after_rat[tg_idx], lvl=after_lvl[tg_idx], dep=pf_dep[tg_pos],
+        err=None, resby=ts_res["resolved_by"], stages=ts_res["stages"],
+        post=True,
+    )
+    stall_blocks.append(ts_res)
+
+    # -- post-transition OOS ------------------------------------------------
+    tom = ptype == 2
+    to_idx = pf[tom]
+    to_dur = np.minimum(
+        np.exp(np.log(behavior.OOS_MEDIAN_S) + behavior.OOS_SIGMA
+               * _normal(seed, "tr:oos", pf_ids[tom], pf_slot[tom])),
+        behavior.MAX_STALL_DURATION_S,
+    )
+    records.add(
+        dev=t_lane[to_idx], start=t_when[to_idx], type=2, dur=to_dur,
+        bs=pf_bs[tom], rat=after_rat[to_idx], lvl=after_lvl[to_idx],
+        dep=pf_dep[tom], err=None, resby=_RESOLVED_BY_NONE, stages=0,
+        post=True,
+    )
+
+    # =======================================================================
+    # False-positive setup episodes (never recorded; they exist for the
+    # monitor-filtering story and the DC/episode counters)
+    # =======================================================================
+    f_lane, f_slot = expand(n_fp)
+    f_ids = ids[f_lane]
+    flavour = _pick(tables.fp_cum,
+                    _uniform(seed, "fp:flavour", f_ids, f_slot))
+    overload = flavour == 0
+    fp_cause = _sample_causes(
+        tables,
+        np.zeros(int((~overload).sum()), dtype=np.int64),
+        _uniform(seed, "fp:cause", f_ids[~overload], f_slot[~overload]),
+    )
+    fp_retry = tables.cause_retryable[fp_cause]
+    # All overload causes are rational rejections with retryable codes.
+    dc["retryable"] += int(overload.sum()) + int(fp_retry.sum())
+    dc["permanent"] += int((~fp_retry).sum())
+
+    # =======================================================================
+    # Assembly
+    # =======================================================================
+    shard = Dataset()
+    cols = records.sorted_columns()
+    model_id = tables.model_id[model]
+    version = tables.model_version[model]
+    isp_label = tables.isp_label[isp_idx]
+    type_values = np.asarray(tables.type_values, dtype=object)
+    rat_labels = np.asarray(RAT_LABELS, dtype=object)
+    r_dev = cols["dev"]
+    resby_col = cols["resby"]
+    shard.failures.extend(map(
+        FailureRecord,
+        dev[r_dev].tolist(),
+        model_id[r_dev].tolist(),
+        version[r_dev].tolist(),
+        has5g[r_dev].tolist(),
+        isp_label[r_dev].tolist(),
+        type_values[cols["type"]].tolist(),
+        cols["start"].tolist(),
+        cols["dur"].tolist(),
+        cols["bs"].tolist(),
+        rat_labels[cols["rat"]].tolist(),
+        cols["lvl"].tolist(),
+        tables.dep_values[cols["dep"]].tolist(),
+        cols["err"].tolist(),
+        [None if r == _RESOLVED_BY_NONE else r
+         for r in resby_col.tolist()],
+        cols["stages"].tolist(),
+        cols["post"].tolist(),
+        repeat(config.arm),
+    ))
+
+    t_order = np.lexsort((t_when, t_lane))
+    shard.transitions.extend(map(
+        TransitionRecord,
+        dev[t_lane[t_order]].tolist(),
+        rat_labels[cur_rat[t_order]].tolist(),
+        cur_lvl[t_order].tolist(),
+        rat_labels[sel_rat[t_order]].tolist(),
+        sel_lvl[t_order].tolist(),
+        executed[t_order].tolist(),
+        failed[t_order].tolist(),
+        repeat(config.arm),
+    ))
+
+    total_s = (
+        behavior.STUDY_CONNECTED_SECONDS
+        * (config.study_months / 8.0)
+        * np.exp(0.3 * _normal(seed, "profile:usage", ids))
+    )
+    level_shares = tuple(enumerate(behavior.EXPOSURE_LEVEL_SHARES))
+    exp_keys, exp_shares = {}, {}
+    for five_g, usage in ((True, tables.usage5), (False, tables.usagen)):
+        exp_keys[five_g] = [
+            (label, level)
+            for label, _ in usage for level, _ in level_shares
+        ]
+        exp_shares[five_g] = np.asarray([
+            rat_share * level_share
+            for _, rat_share in usage for _, level_share in level_shares
+        ])
+    exp_rows = {
+        five_g: np.outer(total_s, shares).tolist()
+        for five_g, shares in exp_shares.items()
+    }
+    dev_list = dev.tolist()
+    model_list = model_id.tolist()
+    has5g_list = has5g.tolist()
+    append_device = shard.devices.append
+    for i in range(n):
+        five_g = has5g_list[i]
+        append_device(DeviceRecord(
+            dev_list[i], model_list[i], version[i], five_g,
+            isp_label[i], config.arm,
+            dict(zip(exp_keys[five_g], exp_rows[five_g][i])),
+        ))
+
+    if registry.enabled:
+        _emit_metrics(
+            registry, config, n, n_amb + n_tr + n_fp,
+            int(n_amb.sum()), int(n_tr.sum()), int(n_fp.sum()),
+            cols, type_values, executed, failed, dc, stall_blocks,
+        )
+    return shard, dc
+
+
+# ---------------------------------------------------------------------------
+# Metrics (bulk form of the serial engine's per-event increments)
+# ---------------------------------------------------------------------------
+
+_DC = DataConnectionState
+_DC_RETRY_PAIRS = (
+    (_DC.INACTIVE, _DC.ACTIVATING), (_DC.ACTIVATING, _DC.RETRYING),
+    (_DC.RETRYING, _DC.ACTIVATING), (_DC.ACTIVATING, _DC.ACTIVE),
+    (_DC.ACTIVE, _DC.DISCONNECTING), (_DC.DISCONNECTING, _DC.INACTIVE),
+)
+_DC_PERMANENT_PAIRS = (
+    (_DC.INACTIVE, _DC.ACTIVATING), (_DC.ACTIVATING, _DC.INACTIVE),
+)
+
+
+def _emit_metrics(registry, config, n_devices, events_per_device,
+                  n_ambient, n_transitions, n_fps, cols, type_values,
+                  executed, failed, dc, stall_blocks) -> None:
+    from repro.fleet import simulator as _sim
+
+    registry.inc_key(_sim._DEVICES_KEY, n_devices)
+    registry.inc_key(_sim._EPISODE_KEYS["ambient"], n_ambient)
+    registry.inc_key(_sim._EPISODE_KEYS["transition"], n_transitions)
+    registry.inc_key(_sim._EPISODE_KEYS["false_positive"], n_fps)
+    registry.get_histogram(
+        "fleet_device_events", EVENT_COUNT_BUCKETS
+    ).observe_many(events_per_device.astype(np.float64))
+
+    type_counts = np.bincount(cols["type"], minlength=len(type_values))
+    for value, count in zip(type_values, type_counts):
+        if count:
+            registry.inc_key(
+                counter_key("fleet_failures_total", type=value),
+                int(count))
+    registry.get_histogram(
+        "fleet_failure_duration_s", DURATION_BUCKETS_S
+    ).observe_many(cols["dur"])
+
+    for ex in (False, True):
+        for fl in (False, True):
+            count = int(((executed == ex) & (failed == fl)).sum())
+            if count:
+                registry.inc_key(
+                    _sim._RAT_TRANSITION_KEYS[ex, fl], count)
+
+    for source, target in _DC_RETRY_PAIRS:
+        registry.inc_key(
+            counter_key("android_dc_transitions_total",
+                        source=source.value, target=target.value),
+            dc["retryable"])
+    for source, target in _DC_PERMANENT_PAIRS:
+        registry.inc_key(
+            counter_key("android_dc_transitions_total",
+                        source=source.value, target=target.value),
+            dc["permanent"])
+
+    # Stall recovery metrics (resolve_stall._record_resolution in bulk).
+    durations = np.concatenate(
+        [b["duration"] for b in stall_blocks]) if stall_blocks else (
+        np.zeros(0))
+    stages = np.concatenate(
+        [b["stages"] for b in stall_blocks]) if stall_blocks else (
+        np.zeros(0, dtype=np.int64))
+    resby = np.concatenate(
+        [b["resolved_by"] for b in stall_blocks]) if stall_blocks else (
+        np.zeros(0, dtype=np.int64))
+    if not durations.size:
+        return
+    labels, counts = np.unique(resby, return_counts=True)
+    for value, count in zip(labels.tolist(), counts.tolist()):
+        label = _RESOLVER_LABELS.get(value, f"stage{value}")
+        registry.inc("android_stall_resolutions_total", count,
+                     resolved_by=label)
+    total_stages = int(stages.sum())
+    if total_stages:
+        registry.inc("android_stall_stages_total", total_stages)
+    registry.get_histogram(
+        "android_stall_duration_s", DURATION_BUCKETS_S
+    ).observe_many(durations)
+    registry.get_histogram(
+        "android_stall_stages_executed", STAGE_COUNT_BUCKETS
+    ).observe_many(stages.astype(np.float64))
+    for block in stall_blocks:
+        ends = block["windows"]["e"]
+        for i in range(3):
+            hist = registry.get_histogram(
+                "android_stall_stage_start_s", DURATION_BUCKETS_S,
+                stage=str(i + 1))
+            count = int(block["passed"][i].sum())
+            if count:
+                hist.observe_many(np.full(count, ends[i]))
+            extra = block["oracle_starts"][i + 1]
+            if extra:
+                hist.observe_many(np.asarray(extra))

@@ -14,6 +14,11 @@ from repro.chaos.config import ChaosConfig
 from repro.dataset.records import ARM_PATCHED, ARM_VANILLA
 from repro.network.topology import TopologyConfig
 
+#: The per-device state-machine engine (the correctness oracle).
+ENGINE_SERIAL = "serial"
+#: The vectorized array engine (:mod:`repro.fleet.batch`).
+ENGINE_BATCH = "batch"
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -49,6 +54,14 @@ class ScenarioConfig:
     #: ``metadata["execution"]["spans"]``.  Off by default — the no-op
     #: registry keeps instrumented hot paths free.
     metrics: bool = False
+    #: Simulation engine: ``"serial"`` realizes every device through the
+    #: per-device state machines (the correctness oracle); ``"batch"``
+    #: advances whole shards with vectorized numpy draws, ejecting
+    #: devices in rare states to the serial mechanisms
+    #: (:mod:`repro.fleet.batch`).  The two engines draw from different
+    #: RNG streams, so their record *digests* differ while the record
+    #: *distributions* agree (see ``docs/scaling.md``).
+    engine: str = ENGINE_SERIAL
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -57,6 +70,8 @@ class ScenarioConfig:
             raise ValueError(f"unknown arm: {self.arm!r}")
         if self.frequency_scale <= 0:
             raise ValueError("frequency scale must be positive")
+        if self.engine not in (ENGINE_SERIAL, ENGINE_BATCH):
+            raise ValueError(f"unknown engine: {self.engine!r}")
 
     def patched(self) -> "ScenarioConfig":
         """The same scenario under the enhanced (patched) system."""

@@ -45,7 +45,7 @@ from repro.dataset.store import Dataset
 from repro.fleet import behavior
 from repro.fleet.device import SimulatedDevice
 from repro.fleet.models import PHONE_MODELS, PhoneModelSpec
-from repro.fleet.scenario import ScenarioConfig
+from repro.fleet.scenario import ENGINE_BATCH, ScenarioConfig
 from repro.monitoring.listener import DeviceFlags
 from repro.network.bearer import DEFAULT_CAUSE_SAMPLER
 from repro.obs import (
@@ -196,7 +196,15 @@ class FleetSimulator:
         both the sequential path (one full-range shard) and the
         :mod:`repro.parallel` workers, so the two engines realize
         devices through literally the same code.
+
+        With ``engine="batch"`` the shard is advanced by the vectorized
+        array engine instead (:mod:`repro.fleet.batch`); the serial
+        walk below stays the correctness oracle.
         """
+        if self.config.engine == ENGINE_BATCH:
+            from repro.fleet.batch import simulate_shard_batch
+
+            return simulate_shard_batch(self.config, self.topology, spec)
         shard = Dataset()
         watch = StopWatch()
         registry = get_registry()
@@ -225,6 +233,7 @@ class FleetSimulator:
             "seed": config.seed,
             "study_months": config.study_months,
             "frequency_scale": config.frequency_scale,
+            "engine": config.engine,
         }
 
     # -- per-device simulation ---------------------------------------------------

@@ -14,8 +14,10 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.core.signal import SignalLevel, dbm_to_level
-from repro.radio.rat import RAT
+import numpy as np
+
+from repro.core.signal import SignalLevel, dbm_to_level, level_bounds
+from repro.radio.rat import ALL_RATS, RAT
 
 #: Reference transmit power at 1 m, dBm, by RAT.  NR cells are typically
 #: deployed at lower effective range for the same power budget.
@@ -77,3 +79,71 @@ class PropagationModel:
         exponent = _PATH_LOSS_EXPONENT[rat]
         tx = _TX_POWER_DBM[rat] - self.frequency_penalty_db
         return 10.0 ** ((tx - min_dbm) / (10.0 * exponent))
+
+    # -- batch (vectorized) API ---------------------------------------------
+
+    def rss_dbm_batch(
+        self,
+        rat_codes: np.ndarray,
+        distance_m: np.ndarray,
+        shadowing_z: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`rss_dbm` over parallel arrays.
+
+        ``rat_codes`` are :func:`repro.radio.rat.rat_code` integers;
+        ``shadowing_z`` (optional) are standard-normal draws scaled by
+        ``shadowing_sigma_db`` — the batch engine supplies its own
+        counter-based normals instead of a stateful ``random.Random``.
+        """
+        distance = np.asarray(distance_m, dtype=np.float64)
+        if np.any(distance <= 0):
+            raise ValueError("distance must be positive")
+        codes = np.asarray(rat_codes, dtype=np.int64)
+        path_loss_db = (10.0 * _EXPONENT_BY_CODE[codes]
+                        * np.log10(np.maximum(distance, 1.0)))
+        rss = (_TX_POWER_BY_CODE[codes] - path_loss_db
+               - self.frequency_penalty_db)
+        if shadowing_z is not None and self.shadowing_sigma_db > 0:
+            rss = rss + self.shadowing_sigma_db * np.asarray(
+                shadowing_z, dtype=np.float64
+            )
+        return rss
+
+    def signal_level_batch(
+        self,
+        rat_codes: np.ndarray,
+        distance_m: np.ndarray,
+        shadowing_z: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`signal_level`; returns int64 levels 0..5."""
+        return dbm_to_level_batch(
+            rat_codes, self.rss_dbm_batch(rat_codes, distance_m,
+                                          shadowing_z)
+        )
+
+
+#: Per-code constant tables for the batch API (index = rat_code).
+_TX_POWER_BY_CODE = np.array(
+    [_TX_POWER_DBM[rat] for rat in ALL_RATS], dtype=np.float64
+)
+_EXPONENT_BY_CODE = np.array(
+    [_PATH_LOSS_EXPONENT[rat] for rat in ALL_RATS], dtype=np.float64
+)
+#: Level thresholds stacked by rat code, shape (4, 5).
+_LEVEL_BOUNDS_BY_CODE = np.array(
+    [level_bounds(rat) for rat in ALL_RATS], dtype=np.float64
+)
+
+
+def dbm_to_level_batch(rat_codes: np.ndarray,
+                       dbm: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.signal.dbm_to_level`.
+
+    Counts, per element, how many of the RAT's ascending thresholds the
+    reading meets — identical to the scalar loop, one comparison matrix
+    instead of a Python loop per reading.
+    """
+    codes = np.asarray(rat_codes, dtype=np.int64)
+    values = np.asarray(dbm, dtype=np.float64)
+    bounds = _LEVEL_BOUNDS_BY_CODE[codes]
+    return (values[..., None] >= bounds).sum(axis=-1).astype(np.int64)

@@ -68,3 +68,35 @@ _BY_GENERATION: dict[Generation, RAT] = {
 
 #: All RATs from oldest to newest generation.
 ALL_RATS: tuple[RAT, ...] = (RAT.GSM, RAT.UMTS, RAT.LTE, RAT.NR)
+
+# ---------------------------------------------------------------------------
+# Integer coding (batch engine support)
+# ---------------------------------------------------------------------------
+#
+# The vectorized fleet engine (:mod:`repro.fleet.batch`) carries RATs as
+# small integer codes inside numpy arrays.  The canonical coding is the
+# index into :data:`ALL_RATS` — generation order, so "newest candidate"
+# comparisons are plain integer maxima, and the code-sorted label table
+# coincides with the ``sorted(set(...))`` category tables the columnar
+# layer builds (labels "2G" < "3G" < "4G" < "5G").
+
+#: RAT -> integer code (index into :data:`ALL_RATS`).
+RAT_CODES: dict[RAT, int] = {rat: code for code, rat in enumerate(ALL_RATS)}
+
+#: Display labels by code: ``("2G", "3G", "4G", "5G")``.
+RAT_LABELS: tuple[str, ...] = tuple(rat.label for rat in ALL_RATS)
+
+#: Generation numbers by code: ``(2, 3, 4, 5)``.
+RAT_GENERATIONS: tuple[int, ...] = tuple(
+    int(rat.generation) for rat in ALL_RATS
+)
+
+
+def rat_code(rat: RAT) -> int:
+    """The canonical integer code of ``rat`` (generation order)."""
+    return RAT_CODES[rat]
+
+
+def rat_from_code(code: int) -> RAT:
+    """Invert :func:`rat_code`."""
+    return ALL_RATS[code]

@@ -84,6 +84,36 @@ class TestCompare:
         snapshot["durations"]["serial_wall_s"] = 2.5  # < 3x default
         assert compare(baseline, snapshot) == []
 
+    def test_batch_speedup_below_minimum_fails(self, baseline):
+        baseline["thresholds"]["min_batch_speedup"] = 20.0
+        snapshot = snapshot_fixture()
+        snapshot["durations"]["batch_speedup_vs_serial"] = 12.0
+        assert any("batch throughput regression" in p
+                   for p in compare(baseline, snapshot))
+
+    def test_batch_speedup_above_minimum_passes(self, baseline):
+        baseline["thresholds"]["min_batch_speedup"] = 20.0
+        snapshot = snapshot_fixture()
+        snapshot["durations"]["batch_speedup_vs_serial"] = 26.0
+        snapshot["durations"]["batch_wall_s"] = 0.1
+        assert compare(baseline, snapshot) == []
+
+    def test_required_batch_speedup_missing_fails(self, baseline):
+        baseline["thresholds"]["min_batch_speedup"] = 20.0
+        assert any("batch_speedup_vs_serial" in p
+                   for p in compare(baseline, snapshot_fixture()))
+
+    def test_batch_check_disabled_by_default(self, baseline):
+        # No min_batch_speedup in the baseline -> serial-only snapshots
+        # pass untouched.
+        assert compare(baseline, snapshot_fixture()) == []
+
+    def test_degraded_duration_keys_not_gated(self, baseline):
+        snapshot = snapshot_fixture()
+        del snapshot["durations"]["workers_2_wall_s"]
+        snapshot["durations"]["workers_2_wall_s_degraded"] = 500.0
+        assert compare(baseline, snapshot) == []
+
     def test_scenario_mismatch_short_circuits(self, baseline):
         snapshot = snapshot_fixture()
         snapshot["scenario"]["n_devices"] = 999

@@ -11,10 +11,17 @@ the given paths) and, for blocks that mention ``repro``:
   ``import repro...`` / ``from repro... import ...`` statement in them
   must **execute** — so a renamed module or export breaks the build,
   not a reader;
-* JSON blocks must parse.
+* JSON blocks must parse;
+* ``bash``/``console``/``shell``/``sh`` blocks: every line that invokes
+  the CLI (``repro ...`` or ``python -m repro ...``, with optional
+  ``$`` prompt, environment-variable prefixes, and backslash
+  continuations) must **parse against the real argparse tree**
+  (``repro.cli.build_parser()``) — so a renamed subcommand or flag in
+  the docs fails the build, not a reader's terminal.  Usage synopses
+  (lines with ``[...]`` placeholder brackets) are skipped, and the
+  command is truncated at shell operators (``|``, ``>``, ``&&`` ...).
 
-Blocks in other languages (``bash``, ASCII diagrams, plain fences) are
-skipped — shell snippets are exercised by the CLI tests instead.
+Blocks in other languages (ASCII diagrams, plain fences) are skipped.
 
 Exits non-zero listing every offending block with its file and line.
 """
@@ -22,12 +29,22 @@ Exits non-zero listing every offending block with its file and line.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import shlex
 import sys
+from contextlib import redirect_stderr
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fence languages whose ``repro`` CLI lines get argparse-validated.
+SHELL_LANGS = ("bash", "console", "shell", "sh")
+
+_ENV_ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+_SHELL_OPERATORS = frozenset({"|", "||", "&&", ";", "&", ">", ">>", "<",
+                              "2>&1"})
 
 FENCE_RE = re.compile(
     r"^```(?P<lang>[A-Za-z0-9_+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
@@ -73,6 +90,97 @@ def check_python_block(body: str) -> list[str]:
     return problems
 
 
+def _cli_parser():
+    """The real ``repro`` argparse tree (imported lazily, cached)."""
+    global _PARSER
+    if _PARSER is None:
+        try:
+            from repro.cli import build_parser
+        except ImportError:
+            sys.path.insert(0, str(REPO_ROOT / "src"))
+            from repro.cli import build_parser
+        _PARSER = build_parser()
+    return _PARSER
+
+
+_PARSER = None
+
+
+def logical_lines(body: str) -> list[str]:
+    """Block lines with backslash continuations joined."""
+    lines: list[str] = []
+    acc = ""
+    for raw in body.splitlines():
+        line = (acc + " " + raw.strip()) if acc else raw.rstrip()
+        acc = ""
+        if line.endswith("\\"):
+            acc = line[:-1].rstrip()
+            continue
+        lines.append(line)
+    if acc:
+        lines.append(acc)
+    return lines
+
+
+def extract_cli_args(line: str) -> list[str] | None:
+    """The argv a CLI invocation passes to ``repro``, or None.
+
+    Recognizes ``repro ...`` and ``python -m repro ...`` (optionally
+    prefixed by a ``$`` prompt and/or ``VAR=value`` assignments),
+    truncates at shell operators, and returns None for usage synopses
+    containing ``[...]``/``...`` placeholder notation.
+    """
+    stripped = line.strip()
+    if stripped.startswith("$"):
+        stripped = stripped[1:].lstrip()
+    try:
+        tokens = shlex.split(stripped, comments=True)
+    except ValueError:
+        return None
+    while tokens and _ENV_ASSIGNMENT_RE.match(tokens[0]):
+        tokens.pop(0)
+    if not tokens:
+        return None
+    if tokens[0] == "repro":
+        args = tokens[1:]
+    elif (tokens[0] in ("python", "python3")
+          and tokens[1:3] == ["-m", "repro"]):
+        args = tokens[3:]
+    else:
+        return None
+    argv: list[str] = []
+    for token in args:
+        if token in _SHELL_OPERATORS or token.startswith((">", "<")):
+            break
+        argv.append(token)
+    if any(token.startswith("[") or token.endswith("]")
+           or "..." in token for token in argv):
+        return None  # usage synopsis, not an invocation
+    return argv
+
+
+def check_shell_block(body: str) -> list[str]:
+    """CLI invocations in one shell block that argparse rejects."""
+    problems = []
+    for line in logical_lines(body):
+        argv = extract_cli_args(line)
+        if argv is None:
+            continue
+        stderr = io.StringIO()
+        try:
+            with redirect_stderr(stderr):
+                _cli_parser().parse_args(argv)
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                detail = stderr.getvalue().strip().splitlines()
+                problems.append(
+                    f"CLI invocation does not parse: "
+                    f"'repro {' '.join(argv)}' -> "
+                    f"{detail[-1] if detail else 'argparse error'}"
+                )
+    return problems
+
+
 def check_file(path: Path) -> list[str]:
     failures = []
     for lang, body, line in iter_blocks(path):
@@ -91,6 +199,9 @@ def check_file(path: Path) -> list[str]:
                 json.loads(body)
             except ValueError as exc:
                 failures.append(f"{where}: invalid JSON: {exc}")
+        elif lang in SHELL_LANGS:
+            for problem in check_shell_block(body):
+                failures.append(f"{where}: {problem}")
     return failures
 
 
@@ -108,7 +219,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: {len(failures)} bad doc block(s) "
               f"across {checked} file(s)", file=sys.stderr)
         return 1
-    print(f"OK: doc blocks in {checked} file(s) compile and import")
+    print(f"OK: doc blocks in {checked} file(s) compile, import, "
+          "and CLI lines parse")
     return 0
 
 

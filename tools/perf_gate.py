@@ -50,10 +50,17 @@ DEFAULT_THRESHOLDS = {
     "counter_rel_tolerance": 0.02,
     "max_wall_ratio": 3.0,
     "require_digest_match": False,
+    # Minimum batch-engine speedup over serial (snapshot duration key
+    # ``batch_speedup_vs_serial``); 0 disables the check.  The 10k-device
+    # baseline (BENCH_baseline_10k.json) sets this to 20.
+    "min_batch_speedup": 0.0,
 }
 
-#: Duration keys the gate tracks (others are informational).
-_TRACKED_DURATIONS = ("serial_wall_s",)
+#: Duration keys the gate tracks (others are informational).  Keys
+#: suffixed ``_degraded`` — sharded runs whose shards fell back to
+#: inline execution — are deliberately absent: degraded throughput is
+#: recorded but never gated as if it were a parallel measurement.
+_TRACKED_DURATIONS = ("serial_wall_s", "batch_wall_s")
 
 
 def compare(baseline: dict, snapshot: dict) -> list[str]:
@@ -111,6 +118,22 @@ def compare(baseline: dict, snapshot: dict) -> list[str]:
             problems.append(
                 f"duration regression: {key} {base_value:.2f}s -> "
                 f"{value:.2f}s (> {max_ratio:.1f}x baseline)"
+            )
+
+    min_speedup = thresholds.get("min_batch_speedup", 0.0)
+    if min_speedup:
+        speedup = snap_durations.get("batch_speedup_vs_serial")
+        if speedup is None:
+            problems.append(
+                "baseline requires min_batch_speedup "
+                f"{min_speedup:.0f}x but the snapshot has no "
+                "batch_speedup_vs_serial duration (run the bench with "
+                "--engine batch)"
+            )
+        elif speedup < min_speedup:
+            problems.append(
+                f"batch throughput regression: speedup vs serial "
+                f"{speedup:.1f}x < required {min_speedup:.0f}x"
             )
 
     if thresholds["require_digest_match"]:
