@@ -18,6 +18,16 @@ Hardening for lossy transports (see :mod:`repro.chaos`):
 * :meth:`IngestionServer.checkpoint` / :meth:`IngestionServer.restore`
   snapshot the full dedup + aggregate state, so a "crashed" server can
   resume and absorb the ensuing retry storm without double-counting.
+
+With a :class:`repro.store.SegmentStore` attached
+(:meth:`IngestionServer.attach_store`), accepted records go to the
+durable store *before* they enter the dedup set — a crash between the
+two re-runs an idempotent append, never drops an acked record — and
+checkpoints shrink to the dedup keys the store does not already prove
+(``seen`` minus ``store.known_keys()``) plus the store description.
+After a scrub reports unrecoverable identities,
+:meth:`IngestionServer.forget_keys` drops them from the dedup set so
+devices can re-upload exactly those records.
 """
 
 from __future__ import annotations
@@ -47,7 +57,13 @@ class ServiceUnavailable(RuntimeError):
 class IngestionServer:
     """Receives, validates, and aggregates device uploads."""
 
+    #: In-memory records (legacy mode).  With a segment store attached
+    #: this stays empty — the store owns the records.
     records: list[FailureRecord] = field(default_factory=list)
+    #: Optional durable :class:`repro.store.SegmentStore`; attach with
+    #: :meth:`attach_store`, never by assignment (the dedup set must
+    #: absorb the store's known keys at the same moment).
+    store: object | None = field(default=None, repr=False)
     accepted: int = 0
     duplicates: int = 0
     malformed: int = 0
@@ -107,8 +123,17 @@ class IngestionServer:
         # The dedup key is recorded only after a successful parse: a
         # malformed-but-complete record must not poison the dedup set,
         # or a corrected retry would be miscounted as a duplicate.
-        self._seen.add(key)
-        self.records.append(record)
+        # With a store attached, durability comes first: the append
+        # (WAL fsync) must succeed before the key enters the dedup
+        # set, or a crash between the two would ack-then-drop.  The
+        # append is idempotent, so the retry after a mid-append crash
+        # is safe even when the WAL line did land.
+        if self.store is not None:
+            self.store.append(record.to_dict(), key=key)
+            self._seen.add(key)
+        else:
+            self._seen.add(key)
+            self.records.append(record)
         self.accepted += 1
         get_registry().inc("ingest_accepted_total")
         stats = self.duration_stats.setdefault(
@@ -116,6 +141,36 @@ class IngestionServer:
         )
         stats.add(record.duration_s)
         self.duration_median.add(record.duration_s)
+
+    # -- durable store --------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Make a :class:`~repro.store.SegmentStore` the record home.
+
+        The store's known identities join the dedup set (replays of
+        store-owned records dedup cleanly), and any in-memory records
+        migrate into the store so there is exactly one owner.
+        """
+        self.store = store
+        for record in self.records:
+            data = record.to_dict()
+            store.append(data, key=record_identity(data))
+        self.records = []
+        self._seen |= store.known_keys()
+
+    def forget_keys(self, keys) -> int:
+        """Drop identities from the dedup set (scrub ``lost_keys``).
+
+        Returns how many were actually forgotten.  Devices retrying
+        these records are accepted as new instead of miscounted as
+        duplicates — the re-upload invitation after data loss.
+        """
+        dropped = self._seen & set(keys)
+        self._seen -= dropped
+        if dropped:
+            get_registry().inc("ingest_keys_forgotten_total",
+                               len(dropped))
+        return len(dropped)
 
     # -- outage simulation ----------------------------------------------------
 
@@ -132,9 +187,16 @@ class IngestionServer:
         """JSON-able snapshot of every ingest state that matters.
 
         The quarantine is diagnostic and deliberately not part of the
-        snapshot; everything dedup or aggregation depends on is.
+        snapshot; everything dedup or aggregation depends on is.  With
+        a store attached the snapshot shrinks to the dedup keys the
+        store cannot prove (its own keys are re-derived from the
+        journal on restore) plus the store description — the
+        checkpoint no longer grows with the record count.
         """
-        return {
+        seen = self._seen
+        if self.store is not None:
+            seen = seen - self.store.known_keys()
+        snapshot = {
             "records": [record.to_dict() for record in self.records],
             "accepted": self.accepted,
             "duplicates": self.duplicates,
@@ -143,21 +205,30 @@ class IngestionServer:
             "quarantine_evicted": self.quarantine_evicted,
             "bytes_received": self.bytes_received,
             "available": self.available,
-            "seen": sorted(self._seen),
+            "seen": sorted(seen),
             "duration_stats": {
                 failure_type: stats.to_dict()
                 for failure_type, stats in self.duration_stats.items()
             },
             "duration_median": self.duration_median.to_dict(),
         }
+        if self.store is not None:
+            snapshot["store"] = self.store.describe()
+        return snapshot
 
     @classmethod
-    def restore(cls, snapshot: dict) -> "IngestionServer":
+    def restore(cls, snapshot: dict,
+                store=None) -> "IngestionServer":
         """Rebuild a server from :meth:`checkpoint` output.
 
         Uploads that arrived after the snapshot are gone from state, but
         because the dedup set is part of it, devices may simply retry
         everything — replays of pre-snapshot records dedup cleanly.
+
+        When the snapshot carries a store description (or ``store`` is
+        passed), the segment store is reattached: its journal-proven
+        identities rejoin the dedup set, so a WAL-fsynced record is
+        never double-counted after a SIGKILL.
         """
         server = cls(
             records=[
@@ -183,6 +254,11 @@ class IngestionServer:
             ),
         )
         server._seen = set(snapshot["seen"])
+        if store is None and "store" in snapshot:
+            from repro.store import SegmentStore
+            store = SegmentStore.from_description(snapshot["store"])
+        if store is not None:
+            server.attach_store(store)
         return server
 
     # -- queries -----------------------------------------------------------

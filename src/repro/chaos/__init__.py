@@ -10,8 +10,19 @@ explained by an explicit loss channel.
 """
 
 from repro.chaos.config import ChaosConfig
+from repro.chaos.disk import (
+    DiskChaos,
+    DiskChaosConfig,
+    DiskIO,
+    SimulatedCrash,
+)
 from repro.chaos.pipeline import TelemetryRunResult, run_telemetry_pipeline
-from repro.chaos.reconcile import ReconciliationReport, reconcile
+from repro.chaos.reconcile import (
+    DiskReconciliationReport,
+    ReconciliationReport,
+    reconcile,
+    reconcile_disk,
+)
 from repro.chaos.transport import (
     BackendUnavailable,
     ChaosTransport,
@@ -25,10 +36,16 @@ __all__ = [
     "ChaosConfig",
     "ChaosTransport",
     "ChaosTransportError",
+    "DiskChaos",
+    "DiskChaosConfig",
+    "DiskIO",
+    "DiskReconciliationReport",
     "PayloadDropped",
     "ReconciliationReport",
+    "SimulatedCrash",
     "TelemetryRunResult",
     "mangle",
     "reconcile",
+    "reconcile_disk",
     "run_telemetry_pipeline",
 ]

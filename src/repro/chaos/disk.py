@@ -1,0 +1,283 @@
+"""Disk I/O abstraction and seeded disk-fault injection.
+
+The segment store (:mod:`repro.store`) routes every filesystem
+mutation through a :class:`DiskIO` object: atomic whole-file writes
+(temp + fsync + rename, the ``parallel/checkpoint.py`` discipline) and
+fsynced journal appends.  :class:`DiskChaos` is the drop-in chaotic
+implementation: a seeded fault stream that models the classic storage
+failure modes —
+
+* **torn write** — only a prefix of the data reaches the file that
+  gets renamed into place (an fsync that lied, or power loss between
+  page flushes);
+* **bit flip** — one bit of the payload is silently inverted on its
+  way to disk (media corruption, bad RAM on the write path);
+* **ENOSPC** — the filesystem is full; the write raises before any
+  byte lands;
+* **crash in the rename window** — the temp file is fully written and
+  fsynced but the process "dies" (:class:`SimulatedCrash`) before
+  ``os.replace``, leaving an orphan temp file;
+* **journal torn append / journal bit flip** — the same stories for
+  the append-only journal: a partial line without its newline (crash
+  mid-append), or a flipped bit inside an otherwise complete line.
+
+Every injected fault is recorded in :attr:`DiskChaos.injected` with
+its kind and target path, so :func:`repro.chaos.reconcile.reconcile_disk`
+can demand afterwards that ``repro scrub`` explained all of them.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import tempfile
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Fault kinds injected on whole-file (segment) writes.
+SEGMENT_FAULTS = ("torn-write", "bit-flip", "enospc", "crash-rename")
+#: Fault kinds injected on journal appends.
+JOURNAL_FAULTS = ("journal-torn", "journal-flip")
+
+
+class SimulatedCrash(RuntimeError):
+    """The process "died" mid-operation (fault injection only).
+
+    Raised *after* the injected partial state is on disk, so the
+    caller observes exactly what a real crash at that instant would
+    leave behind.  The store treats it like any I/O fault: state rolls
+    back to the unsealed tail and the operation can be retried.
+    """
+
+
+class DiskIO:
+    """Real filesystem operations, durability-first."""
+
+    def write_atomic(self, path: str | Path, data: bytes) -> None:
+        """Write ``data`` so readers see the old file or the new one."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name + ".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def append_line(self, path: str | Path, line: bytes) -> None:
+        """Append one journal line (newline added) and fsync.
+
+        If the file ends in a torn line (a crash mid-append left no
+        trailing newline), a newline is written first so the torn
+        fragment terminates as its own — detectably corrupt — line
+        instead of silently swallowing this append.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        torn = False
+        try:
+            if os.path.getsize(path) > 0:
+                with open(path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    torn = probe.read(1) != b"\n"
+        except OSError:
+            pass
+        with open(path, "ab") as handle:
+            if torn:
+                handle.write(b"\n")
+            handle.write(line + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        return Path(path).read_bytes()
+
+
+@dataclass(frozen=True)
+class DiskChaosConfig:
+    """Per-operation fault probabilities (independent draws)."""
+
+    seed: int = 0
+    torn_write_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    enospc_rate: float = 0.0
+    crash_rename_rate: float = 0.0
+    journal_torn_rate: float = 0.0
+    journal_flip_rate: float = 0.0
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "DiskChaosConfig":
+        """Every fault kind at the same ``rate`` (the smoke's config)."""
+        return cls(
+            seed=seed,
+            torn_write_rate=rate,
+            bit_flip_rate=rate,
+            enospc_rate=rate,
+            crash_rename_rate=rate,
+            journal_torn_rate=rate,
+            journal_flip_rate=rate,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return any((
+            self.torn_write_rate, self.bit_flip_rate, self.enospc_rate,
+            self.crash_rename_rate, self.journal_torn_rate,
+            self.journal_flip_rate,
+        ))
+
+
+class DiskChaos(DiskIO):
+    """A :class:`DiskIO` that injects seeded storage faults.
+
+    At most one fault fires per operation; which one is drawn from the
+    per-kind rates in the config (or forced via :meth:`force_next` for
+    deterministic tests).  Injected faults accumulate in
+    :attr:`injected` as ``{"fault": kind, "path": str, ...}`` dicts —
+    the ledger :func:`repro.chaos.reconcile.reconcile_disk` audits.
+    """
+
+    def __init__(self, config: DiskChaosConfig,
+                 ledger: str | Path | None = None) -> None:
+        self.config = config
+        self.rng = random.Random(f"disk-chaos:{config.seed}")
+        self.injected: list[dict] = []
+        #: Optional on-disk fault ledger: every injected fault is
+        #: appended (fsynced) the moment it fires, so the ledger
+        #: survives even a SIGKILL and a later process can still
+        #: reconcile scrub findings against it.
+        self.ledger = Path(ledger) if ledger is not None else None
+        self._forced: deque[str] = deque()
+
+    @staticmethod
+    def read_ledger(path: str | Path) -> list[dict]:
+        """Load a fault ledger written by a (possibly dead) injector."""
+        injected = []
+        try:
+            blob = Path(path).read_bytes()
+        except FileNotFoundError:
+            return injected
+        for line in blob.splitlines():
+            try:
+                injected.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn final line: the crash hit mid-append
+        return injected
+
+    def force_next(self, *kinds: str) -> None:
+        """Queue fault kinds to fire on the next operations, in order.
+
+        A queued kind only fires on an operation that supports it
+        (segment kinds on :meth:`write_atomic`, journal kinds on
+        :meth:`append_line`); it stays queued until one comes along.
+        """
+        for kind in kinds:
+            if kind not in SEGMENT_FAULTS + JOURNAL_FAULTS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            self._forced.append(kind)
+
+    # -- fault selection -----------------------------------------------------
+
+    def _pick(self, candidates: tuple[str, ...],
+              rates: dict[str, float]) -> str | None:
+        if self._forced and self._forced[0] in candidates:
+            return self._forced.popleft()
+        for kind in candidates:
+            if rates[kind] and self.rng.random() < rates[kind]:
+                return kind
+        return None
+
+    def _record(self, fault: str, path: Path, **detail) -> dict:
+        entry = {"fault": fault, "path": str(path), **detail}
+        self.injected.append(entry)
+        if self.ledger is not None:
+            self.ledger.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.ledger, "ab") as handle:
+                handle.write(json.dumps(entry, sort_keys=True)
+                             .encode("utf-8") + b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return entry
+
+    @staticmethod
+    def _flip_bit(data: bytes, rng: random.Random) -> tuple[bytes, int]:
+        position = rng.randrange(len(data) * 8)
+        mutated = bytearray(data)
+        mutated[position // 8] ^= 1 << (position % 8)
+        return bytes(mutated), position
+
+    # -- chaotic operations --------------------------------------------------
+
+    def write_atomic(self, path: str | Path, data: bytes) -> None:
+        path = Path(path)
+        fault = self._pick(SEGMENT_FAULTS, {
+            "torn-write": self.config.torn_write_rate,
+            "bit-flip": self.config.bit_flip_rate,
+            "enospc": self.config.enospc_rate,
+            "crash-rename": self.config.crash_rename_rate,
+        })
+        if fault == "enospc":
+            self._record("enospc", path)
+            raise OSError(errno.ENOSPC, "no space left on device "
+                                        "(injected)", str(path))
+        if fault == "crash-rename":
+            # Fully write and fsync the temp file, then "die" before
+            # the rename: the orphan temp is what a real crash leaves.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            prefix=path.name + ".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._record("crash-rename", path, temp=str(tmp_name))
+            raise SimulatedCrash(f"crashed before renaming {tmp_name} "
+                                 f"to {path}")
+        if fault == "torn-write" and len(data) > 1:
+            cut = self.rng.randrange(1, len(data))
+            self._record("torn-write", path, kept_bytes=cut,
+                         full_bytes=len(data))
+            data = data[:cut]
+        elif fault == "bit-flip" and data:
+            data, position = self._flip_bit(data, self.rng)
+            self._record("bit-flip", path, bit=position)
+        super().write_atomic(path, data)
+
+    def append_line(self, path: str | Path, line: bytes) -> None:
+        path = Path(path)
+        fault = self._pick(JOURNAL_FAULTS, {
+            "journal-torn": self.config.journal_torn_rate,
+            "journal-flip": self.config.journal_flip_rate,
+        })
+        if fault == "journal-torn" and len(line) > 1:
+            cut = self.rng.randrange(1, len(line))
+            self._record("journal-torn", path, kept_bytes=cut,
+                         full_bytes=len(line))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "ab") as handle:
+                handle.write(line[:cut])  # no newline: torn mid-append
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise SimulatedCrash(f"crashed mid-append to {path}")
+        if fault == "journal-flip" and line:
+            line, position = self._flip_bit(line, self.rng)
+            self._record("journal-flip", path, bit=position)
+        super().append_line(path, line)
+
+    def summary(self) -> dict[str, int]:
+        """Injected-fault counts by kind."""
+        counts: dict[str, int] = {}
+        for entry in self.injected:
+            counts[entry["fault"]] = counts.get(entry["fault"], 0) + 1
+        return counts

@@ -14,8 +14,13 @@ import base64
 import json
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.dataset.records import record_identity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import ScrubReport
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,125 @@ class ReconciliationReport:
                 for name, value in sorted(self.transport.items())
             ))
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DiskReconciliationReport:
+    """Every injected disk fault matched to what scrub did about it."""
+
+    #: Injected faults with their classification appended:
+    #: ``{"fault", "path", ..., "classified_as"}``.
+    faults: tuple[dict, ...]
+    #: Faults no scrub finding accounts for (an injector/scrub bug).
+    unexplained: tuple[dict, ...]
+    #: Classification totals, e.g. {"quarantined": 2, "retained": 1}.
+    by_class: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexplained
+
+    def to_dict(self) -> dict:
+        return {
+            "faults": [dict(fault) for fault in self.faults],
+            "unexplained": [dict(fault) for fault in self.unexplained],
+            "by_class": dict(self.by_class),
+        }
+
+    def render(self) -> str:
+        lines = [f"{len(self.faults)} injected disk faults"]
+        for name, count in sorted(self.by_class.items()):
+            lines.append(f"  {name:<24} {count:>6}")
+        lines.append(f"  {'UNEXPLAINED':<24} {len(self.unexplained):>6}")
+        for fault in self.unexplained:
+            lines.append(f"    {fault['fault']} on {fault['path']}")
+        return "\n".join(lines)
+
+
+def reconcile_disk(injected: list[dict],
+                   scrub: "ScrubReport") -> DiskReconciliationReport:
+    """Classify every injected disk fault against a scrub report.
+
+    ``injected`` is :attr:`repro.chaos.disk.DiskChaos.injected`;
+    ``scrub`` is a :class:`repro.store.ScrubReport`.  Each fault must
+    map to an explicit scrub outcome:
+
+    * ``enospc`` → *retained*: the write never happened, the store
+      kept the records in its tail (no scrub finding expected);
+    * ``crash-rename`` → *temp-removed*: scrub deleted the orphan
+      temp file (or it was already gone);
+    * ``torn-write`` / ``bit-flip`` → *quarantined* (the damaged
+      segment was caught by its digest) or *superseded* (the file was
+      never committed, so its rows stayed tail/WAL-owned);
+    * ``journal-torn`` → *journal-truncated*;
+    * ``journal-flip`` → *journal-damage-detected* (damaged lines are
+      CRC-skipped; a flipped commit line surfaces as an adopted or
+      superseded orphan, a flipped WAL line only narrows recovery).
+
+    Journal faults can merge (a torn line swallows the next append),
+    so they are matched against the *aggregate* journal damage scrub
+    found, not line-by-line.
+    """
+    temp_removed = {Path(p).name for p in scrub.temp_files_removed}
+    quarantined = {f["segment"] for f in scrub.quarantined}
+    adopted = {f["segment"] for f in scrub.adopted}
+    superseded = set(scrub.superseded)
+    journal_damage_seen = bool(
+        scrub.journal_damaged_lines or scrub.journal_truncated_bytes
+    )
+
+    classified: list[dict] = []
+    unexplained: list[dict] = []
+    by_class: dict[str, int] = {}
+
+    def settle(fault: dict, classification: str | None) -> None:
+        entry = dict(fault)
+        entry["classified_as"] = classification or "unexplained"
+        classified.append(entry)
+        if classification is None:
+            unexplained.append(entry)
+        else:
+            by_class[classification] = by_class.get(classification, 0) + 1
+
+    for fault in injected:
+        kind = fault["fault"]
+        name = Path(fault["path"]).name
+        if kind == "enospc":
+            settle(fault, "retained")
+        elif kind == "crash-rename":
+            temp_name = Path(fault.get("temp", "")).name
+            if temp_name in temp_removed or not Path(
+                fault.get("temp", "")
+            ).exists():
+                settle(fault, "temp-removed")
+            else:
+                settle(fault, None)
+        elif kind in ("torn-write", "bit-flip"):
+            if name in quarantined:
+                settle(fault, "quarantined")
+            elif name in superseded or name in adopted:
+                # The damaged write was never committed (a later fault
+                # killed the commit), so its rows stayed WAL-owned.
+                settle(fault, "superseded")
+            elif not Path(fault["path"]).exists():
+                settle(fault, "overwritten")
+            else:
+                settle(fault, None)
+        elif kind in ("journal-torn", "journal-flip"):
+            if kind == "journal-torn" and scrub.journal_truncated_bytes:
+                settle(fault, "journal-truncated")
+            elif journal_damage_seen or adopted or superseded:
+                settle(fault, "journal-damage-detected")
+            else:
+                settle(fault, None)
+        else:
+            settle(fault, None)
+
+    return DiskReconciliationReport(
+        faults=tuple(classified),
+        unexplained=tuple(unexplained),
+        by_class=by_class,
+    )
 
 
 def payload_key(payload: bytes) -> str | None:

@@ -10,6 +10,9 @@
     python -m repro analyze PATH
     python -m repro serve   [--host H] [--port P] [--queue-capacity N]
                             [--policy P] [--checkpoint PATH] [--resume]
+                            [--store-dir DIR] [--seal-records N]
+                            [--disk-chaos RATE]
+    python -m repro scrub   DIR [--no-repair] [--json PATH] [--strict]
 
 ``study`` runs the measurement study and prints the Sec. 3 report;
 ``ab`` runs the paired enhancement evaluation (Sec. 4.3); ``timp`` fits
@@ -29,7 +32,12 @@ checkpoint/retry granularity independently of worker count.
 and, on SIGTERM/SIGINT, drains the admission queue, writes the
 ``--checkpoint`` snapshot, and exits zero; ``--resume`` restores a
 previous drain checkpoint (dedup state, aggregates, and any payloads
-that were still queued).
+that were still queued).  With ``--store-dir`` accepted records live
+in a durable WAL-backed segment store (:mod:`repro.store`) instead of
+server memory, and the drain checkpoint shrinks to the unsealed tail;
+``scrub`` verifies such a store's checksums, quarantines damaged
+segments, repairs from the journal, and reports anything
+unrecoverable.
 """
 
 from __future__ import annotations
@@ -263,6 +271,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
         drain_timeout_s=args.drain_timeout,
+        store_dir=args.store_dir,
+        store_seal_records=args.seal_records,
+        disk_chaos_rate=args.disk_chaos,
+        disk_chaos_seed=args.disk_chaos_seed,
     )
     # Handler/worker threads record concurrently: the lock-free
     # registry the simulators use is not safe here.
@@ -293,6 +305,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"accepted={server.accepted} "
               f"duplicates={server.duplicates} "
               f"quarantined={server.quarantined}", flush=True)
+        if server.store is not None:
+            stats = server.store.summary()
+            print(f"store segments={stats['segments']} "
+                  f"sealed={stats['sealed_records']} "
+                  f"tail={stats['tail_records']}", flush=True)
+            if args.analysis_out:
+                query = server.store.fold_analysis()
+                payload = {
+                    "analysis": query.block,
+                    "summary": analysis_summary(query.block),
+                    "skipped_segments": query.skipped,
+                }
+                Path(args.analysis_out).write_text(
+                    json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"analysis written to {args.analysis_out}",
+                      flush=True)
         if result.checkpoint_path:
             print(f"checkpoint written to {result.checkpoint_path}",
                   flush=True)
@@ -304,6 +333,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
             path = write_metrics_prometheus(args.prom_out,
                                             registry.snapshot())
             print(f"prometheus metrics written to {path}", flush=True)
+    return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify a segment store, classify damage, repair what's possible."""
+    from repro.store import SegmentStore
+
+    store = SegmentStore(args.dir)
+    report = store.scrub(repair=not args.no_repair)
+    if not args.no_repair:
+        # Reseal records recovered into the tail so the repaired store
+        # is compact again (the WAL already guarantees durability).
+        store.flush()
+    print(report.render())
+    if report.lost_keys:
+        print(f"note: {len(report.lost_keys)} record(s) are "
+              "unrecoverable; forget their identities at the ingest "
+              "layer so devices re-upload them", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"scrub report written to {args.json}")
+    if args.strict and not report.ok:
+        return 1
     return 0
 
 
@@ -379,6 +434,27 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="max wait for the queue to flush on "
                             "SIGTERM (default 30s)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persist accepted records in a durable "
+                            "segment store rooted at DIR (WAL + "
+                            "checksummed sealed segments; see "
+                            "'repro scrub')")
+    serve.add_argument("--seal-records", type=_positive_int,
+                       default=512,
+                       help="records per partition tail before it "
+                            "seals into a segment (default 512)")
+    serve.add_argument("--disk-chaos", type=float, default=0.0,
+                       metavar="RATE",
+                       help="inject disk faults (torn writes, bit "
+                            "flips, ENOSPC, crash-in-rename) into "
+                            "store I/O at RATE per operation "
+                            "(default 0: disabled)")
+    serve.add_argument("--disk-chaos-seed", type=int, default=0,
+                       help="deterministic seed for --disk-chaos")
+    serve.add_argument("--analysis-out", default=None, metavar="PATH",
+                       help="with --store-dir: write the store's "
+                            "folded analysis block as JSON after the "
+                            "drain")
     serve.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="write the drain checkpoint here on "
                             "SIGTERM")
@@ -392,6 +468,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the service metrics in Prometheus "
                             "text format on exit")
     serve.set_defaults(handler=cmd_serve)
+
+    scrub = commands.add_parser(
+        "scrub", help="verify and repair a durable segment store"
+    )
+    scrub.add_argument("dir", help="segment store root directory")
+    scrub.add_argument("--no-repair", action="store_true",
+                       help="report findings without touching the "
+                            "store (read-only audit)")
+    scrub.add_argument("--json", default=None, metavar="PATH",
+                       help="write the scrub report as JSON to PATH")
+    scrub.add_argument("--strict", action="store_true",
+                       help="exit non-zero if any record identity "
+                            "was unrecoverable")
+    scrub.set_defaults(handler=cmd_scrub)
 
     analyze = commands.add_parser("analyze",
                                   help="analyze a saved dataset")

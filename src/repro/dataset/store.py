@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -110,29 +112,64 @@ class Dataset:
         return state
 
 
+class DatasetCorruptError(RuntimeError):
+    """A dataset file is unreadable (truncated or damaged container)."""
+
+
 def save_dataset(dataset: Dataset, path: str | Path) -> None:
-    """Write ``dataset`` as gzip JSON-lines to ``path``."""
+    """Write ``dataset`` as gzip JSON-lines to ``path``, atomically.
+
+    The file is staged next to the target and renamed into place only
+    after the compressed stream is complete and fsynced — a crash (or
+    full disk) mid-save leaves any previous ``path`` intact instead of
+    a truncated gzip that fails to load.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with gzip.open(path, "wt", encoding="utf-8") as handle:
-        handle.write(json.dumps({"kind": "metadata",
-                                 "data": dataset.metadata}) + "\n")
-        for device in dataset.devices:
-            handle.write(json.dumps({"kind": "device",
-                                     "data": device.to_dict()}) + "\n")
-        for station in dataset.base_stations:
-            handle.write(json.dumps({"kind": "base_station",
-                                     "data": station.to_dict()}) + "\n")
-        for failure in dataset.failures:
-            handle.write(json.dumps({"kind": "failure",
-                                     "data": failure.to_dict()}) + "\n")
-        for transition in dataset.transitions:
-            handle.write(json.dumps({"kind": "transition",
-                                     "data": transition.to_dict()}) + "\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as raw:
+            # mtime=0 keeps the byte stream a pure function of the
+            # dataset (reproducible artifacts digest-compare equal).
+            with gzip.GzipFile(fileobj=raw, mode="wb",
+                               mtime=0) as handle:
+                def emit(kind: str, data: dict) -> None:
+                    handle.write(
+                        (json.dumps({"kind": kind, "data": data})
+                         + "\n").encode("utf-8")
+                    )
+
+                emit("metadata", dataset.metadata)
+                for device in dataset.devices:
+                    emit("device", device.to_dict())
+                for station in dataset.base_stations:
+                    emit("base_station", station.to_dict())
+                for failure in dataset.failures:
+                    emit("failure", failure.to_dict())
+                for transition in dataset.transitions:
+                    emit("transition", transition.to_dict())
+            raw.flush()
+            os.fsync(raw.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_dataset(path: str | Path) -> Dataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Records with an unknown ``kind`` tag (written by a newer schema)
+    are skipped, not fatal; the skip count lands in
+    ``metadata["skipped_records"]`` so the loss is visible.  A damaged
+    container — truncated gzip, undecodable line — raises
+    :class:`DatasetCorruptError` rather than a codec internal error.
+    """
     dataset = Dataset()
     parsers = {
         "device": (dataset.devices, DeviceRecord.from_dict),
@@ -141,13 +178,27 @@ def load_dataset(path: str | Path) -> Dataset:
         "failure": (dataset.failures, FailureRecord.from_dict),
         "transition": (dataset.transitions, TransitionRecord.from_dict),
     }
-    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-        for line in handle:
-            entry = json.loads(line)
-            kind = entry["kind"]
-            if kind == "metadata":
-                dataset.metadata = entry["data"]
-                continue
-            target, parser = parsers[kind]
-            target.append(parser(entry["data"]))
+    skipped = 0
+    try:
+        with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+            for line in handle:
+                entry = json.loads(line)
+                kind = entry["kind"]
+                if kind == "metadata":
+                    dataset.metadata = entry["data"]
+                    continue
+                if kind not in parsers:
+                    skipped += 1
+                    continue
+                target, parser = parsers[kind]
+                target.append(parser(entry["data"]))
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError,
+            UnicodeDecodeError, KeyError, ValueError, TypeError) as exc:
+        raise DatasetCorruptError(
+            f"dataset file {path} is damaged: {exc}"
+        ) from exc
+    if skipped:
+        dataset.metadata["skipped_records"] = skipped
     return dataset

@@ -76,6 +76,15 @@ class ServeConfig:
     #: How long :meth:`IngestService.stop` waits for the queue to
     #: drain before checkpointing whatever is left.
     drain_timeout_s: float = 30.0
+    #: Root of the durable segment store (``repro.store``); ``None``
+    #: keeps records in server memory (the legacy mode).
+    store_dir: str | None = None
+    #: Records per partition tail before it seals into a segment.
+    store_seal_records: int = 512
+    #: Disk-fault injection rate for the store's I/O (0 disables; see
+    #: :class:`repro.chaos.DiskChaosConfig.uniform`).
+    disk_chaos_rate: float = 0.0
+    disk_chaos_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.read_deadline_s <= 0:
@@ -86,6 +95,33 @@ class ServeConfig:
             raise ValueError("need at least one connection slot")
         if self.drain_timeout_s < 0:
             raise ValueError("drain timeout cannot be negative")
+        if self.store_seal_records < 1:
+            raise ValueError("store_seal_records must be >= 1")
+        if not 0.0 <= self.disk_chaos_rate <= 1.0:
+            raise ValueError("disk chaos rate must be in [0, 1]")
+
+    def build_store(self):
+        """The configured :class:`~repro.store.SegmentStore`, or None."""
+        if not self.store_dir:
+            return None
+        from repro.chaos.disk import DiskChaos, DiskChaosConfig
+        from repro.store import SegmentStore
+
+        io = None
+        if self.disk_chaos_rate > 0:
+            # The fault ledger lands next to the store data, fsynced
+            # per fault, so a post-SIGKILL scrub can still reconcile
+            # its findings against what was actually injected.
+            io = DiskChaos(
+                DiskChaosConfig.uniform(self.disk_chaos_rate,
+                                        seed=self.disk_chaos_seed),
+                ledger=Path(self.store_dir) / "chaos-ledger.jsonl",
+            )
+        return SegmentStore(
+            self.store_dir,
+            seal_records=self.store_seal_records,
+            io=io,
+        )
 
 
 @dataclass
@@ -107,6 +143,12 @@ class IngestService:
                  config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
         self.server = server if server is not None else IngestionServer()
+        # A configured store attaches here unless the server already
+        # brought one (the resume path reattaches before we run).
+        if self.server.store is None:
+            store = self.config.build_store()
+            if store is not None:
+                self.server.attach_store(store)
         self.queue = AdmissionQueue(
             capacity=self.config.queue_capacity,
             policy=self.config.policy,
@@ -195,6 +237,15 @@ class IngestService:
             self._close_silently(conn)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if drain and self.server.store is not None:
+            # Seal every tail so the on-disk store is compact.  A
+            # fault here is safe to absorb: the WAL already owns the
+            # tail rows, so a failed seal only defers compaction.
+            try:
+                self.server.store.flush()
+            except Exception:
+                get_registry().inc("store_seal_failures_total",
+                                   reason="drain-flush")
         leftover = self.queue.depth
         result = DrainResult(
             drained=(leftover == 0),
@@ -250,8 +301,13 @@ class IngestService:
                config: ServeConfig | None = None) -> "IngestService":
         """Rebuild a service from a drain checkpoint (not started)."""
         snapshot = json.loads(Path(path).read_text())
+        # A store configured for this process wins (it may carry disk
+        # chaos); otherwise the checkpoint's store description is
+        # reattached, so the journal-proven records survive the hop.
+        store = config.build_store() if config is not None else None
         service = cls(
-            server=IngestionServer.restore(snapshot["server"]),
+            server=IngestionServer.restore(snapshot["server"],
+                                           store=store),
             config=config,
         )
         service.queue.restore([

@@ -1,0 +1,38 @@
+"""``repro.store`` — the durable partitioned segment store.
+
+Ingested failure records are journaled (WAL), batched into
+time/device-partitioned unsealed tails, and sealed into checksummed
+columnar segments committed atomically under an append-only manifest
+journal.  Queries fold streaming analysis partials over the sealed
+segments plus the tail; damaged segments are skipped with accounting
+and ``repro scrub`` classifies, quarantines, and repairs them.  See
+``docs/architecture.md`` ("Durable storage") for the full contract.
+"""
+
+from repro.store.segment import (
+    SEGMENT_VERSION,
+    SegmentCorruptError,
+    decode_segment,
+    encode_segment,
+    segment_digest,
+)
+from repro.store.store import (
+    JOURNAL_VERSION,
+    QueryResult,
+    ScrubReport,
+    SegmentStore,
+    StoreError,
+)
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "QueryResult",
+    "ScrubReport",
+    "SEGMENT_VERSION",
+    "SegmentCorruptError",
+    "SegmentStore",
+    "StoreError",
+    "decode_segment",
+    "encode_segment",
+    "segment_digest",
+]

@@ -1,0 +1,819 @@
+"""The durable partitioned segment store and its scrub/repair pass.
+
+``SegmentStore`` is the crash-safe home of ingested failure records:
+
+* **appends are journaled first** — every accepted record lands as a
+  WAL line in ``journal.jsonl`` (fsynced) before the store owns it, so
+  a SIGKILL at any instant loses nothing that was acknowledged;
+* **sealing is atomic** — once a partition's unsealed tail reaches
+  ``seal_records`` entries it is encoded into a checksummed columnar
+  segment (:mod:`repro.store.segment`), written temp + fsync + rename,
+  and *then* committed to the journal with its digest and record
+  identities.  The tail is only cleared after the commit line is
+  durable; any fault before that leaves the records in the tail (and
+  in the WAL), never half-owned;
+* **queries fold, never crash** — :meth:`SegmentStore.fold_analysis`
+  folds :class:`~repro.analysis.columnar.AnalysisPartial` aggregates
+  over live segments grouped by device bucket (buckets partition the
+  device population, so the fold is byte-identical to computing over
+  all records at once); corrupt segments are skipped *with
+  accounting*, never silently;
+* **scrub classifies and repairs** — :meth:`SegmentStore.scrub`
+  verifies every live segment digest, quarantines damaged files,
+  re-adopts valid orphans (a crash between rename and commit),
+  removes leftover temp files, truncates a torn journal tail, and
+  recovers quarantined records from their WAL lines back into the
+  unsealed tail.  Every finding is classified; record identities that
+  no channel can recover are reported as ``lost_keys`` so the ingest
+  dedup layer can invite re-uploads.
+
+The store is single-writer (the serve ingest worker); scrubbing a
+store that another process is actively writing is not supported.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.chaos.disk import DiskIO
+from repro.dataset.records import FailureRecord, record_identity
+from repro.obs import get_registry
+from repro.store.segment import (
+    SegmentCorruptError,
+    decode_segment,
+    encode_segment,
+    segment_digest,
+)
+
+#: Bumped when the journal schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+_JOURNAL = "journal.jsonl"
+_CRC_BYTES = 16
+
+
+class StoreError(RuntimeError):
+    """The segment store could not complete an operation."""
+
+
+def _line_crc(entry: dict) -> str:
+    """Integrity tag of one journal entry (sans its own ``crc``)."""
+    canonical = json.dumps(
+        {k: v for k, v in entry.items() if k != "crc"}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_CRC_BYTES]
+
+
+def _seal_entry(entry: dict) -> bytes:
+    entry = dict(entry)
+    entry["crc"] = _line_crc(entry)
+    return json.dumps(entry, sort_keys=True).encode("utf-8")
+
+
+@dataclass
+class QueryResult:
+    """One streaming fold over the store, damage accounted."""
+
+    block: dict
+    n_segments: int
+    n_tail_records: int
+    #: Segments that failed verification mid-query, with reasons —
+    #: the fold continued without them (skip-with-accounting).
+    skipped: list[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+
+@dataclass
+class ScrubReport:
+    """Everything one scrub pass found, classified."""
+
+    root: str
+    repair: bool
+    #: Live segments whose files verified clean.
+    segments_ok: int = 0
+    #: Damaged live segments: {segment, reason, keys, recovered, lost}.
+    quarantined: list[dict] = field(default_factory=list)
+    #: Valid segment files with no journal commit (crash between
+    #: rename and commit), re-adopted into the journal.
+    adopted: list[dict] = field(default_factory=list)
+    #: Orphan files whose records were already covered elsewhere.
+    superseded: list[str] = field(default_factory=list)
+    #: Leftover atomic-write temp files removed (crash-in-rename).
+    temp_files_removed: list[str] = field(default_factory=list)
+    #: Journal lines that failed their CRC (bit flip / merged tear).
+    journal_damaged_lines: int = 0
+    #: Bytes cut off a torn journal tail (crash mid-append).
+    journal_truncated_bytes: int = 0
+    #: Record identities recovered from WAL lines back into the tail.
+    recovered_keys: tuple[str, ...] = ()
+    #: Record identities no channel could recover — the dedup layer
+    #: must forget these so devices can re-upload them.
+    lost_keys: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """No damage of any kind was found."""
+        return not (self.quarantined or self.adopted or self.superseded
+                    or self.temp_files_removed
+                    or self.journal_damaged_lines
+                    or self.journal_truncated_bytes)
+
+    @property
+    def ok(self) -> bool:
+        """Every finding was classified and no records were lost."""
+        return not self.lost_keys
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScrubReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. the
+        ``repro scrub --json`` artifact, for offline reconciliation)."""
+        return cls(
+            root=data["root"],
+            repair=bool(data["repair"]),
+            segments_ok=int(data["segments_ok"]),
+            quarantined=list(data["quarantined"]),
+            adopted=list(data["adopted"]),
+            superseded=list(data["superseded"]),
+            temp_files_removed=list(data["temp_files_removed"]),
+            journal_damaged_lines=int(data["journal_damaged_lines"]),
+            journal_truncated_bytes=int(data["journal_truncated_bytes"]),
+            recovered_keys=tuple(data["recovered_keys"]),
+            lost_keys=tuple(data["lost_keys"]),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "segments_ok": self.segments_ok,
+            "quarantined": list(self.quarantined),
+            "adopted": list(self.adopted),
+            "superseded": list(self.superseded),
+            "temp_files_removed": list(self.temp_files_removed),
+            "journal_damaged_lines": self.journal_damaged_lines,
+            "journal_truncated_bytes": self.journal_truncated_bytes,
+            "recovered_keys": list(self.recovered_keys),
+            "lost_keys": list(self.lost_keys),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'segments verified':<26} {self.segments_ok:>8}",
+            f"{'quarantined':<26} {len(self.quarantined):>8}",
+            f"{'orphans adopted':<26} {len(self.adopted):>8}",
+            f"{'orphans superseded':<26} {len(self.superseded):>8}",
+            f"{'temp files removed':<26} {len(self.temp_files_removed):>8}",
+            f"{'journal lines damaged':<26} {self.journal_damaged_lines:>8}",
+            f"{'journal bytes truncated':<26} "
+            f"{self.journal_truncated_bytes:>8}",
+            f"{'records recovered (WAL)':<26} "
+            f"{len(self.recovered_keys):>8}",
+            f"{'RECORDS LOST':<26} {len(self.lost_keys):>8}",
+        ]
+        for finding in self.quarantined:
+            lines.append(f"  quarantined {finding['segment']}: "
+                         f"{finding['reason']} "
+                         f"(recovered {finding['recovered']}, "
+                         f"lost {finding['lost']})")
+        for finding in self.adopted:
+            lines.append(f"  adopted {finding['segment']}: "
+                         f"{finding['n_records']} records")
+        return "\n".join(lines)
+
+
+class SegmentStore:
+    """One durable, partitioned, append-only failure-record store."""
+
+    def __init__(self, root: str | Path, *, seal_records: int = 512,
+                 time_bucket_s: float = 3600.0,
+                 device_bucket: int = 1024,
+                 wal: bool = True,
+                 io: DiskIO | None = None) -> None:
+        if seal_records < 1:
+            raise StoreError("seal_records must be >= 1")
+        if time_bucket_s <= 0 or device_bucket < 1:
+            raise StoreError("partition bounds must be positive")
+        self.root = Path(root)
+        self.io = io if io is not None else DiskIO()
+        self.seal_records = seal_records
+        self.time_bucket_s = float(time_bucket_s)
+        self.device_bucket = int(device_bucket)
+        self.wal = wal
+        #: Unsealed records per partition, append order preserved.
+        self._tails: dict[tuple[int, int], list[tuple[str, dict]]] = {}
+        #: Live commit entries by segment file name.
+        self._live: dict[str, dict] = {}
+        #: Every identity the store owns (sealed or tail).
+        self._known: set[str] = set()
+        self._seq = 0
+        #: Journal damage observed while loading (scrub classifies it).
+        self.journal_damage: list[dict] = []
+        self._journal_good_bytes = 0
+        self._load_journal()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / _JOURNAL
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / "segments"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    # -- descriptive ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-able config block for drain checkpoints."""
+        return {
+            "root": str(self.root),
+            "seal_records": self.seal_records,
+            "time_bucket_s": self.time_bucket_s,
+            "device_bucket": self.device_bucket,
+            "wal": self.wal,
+        }
+
+    @classmethod
+    def from_description(cls, description: dict,
+                         io: DiskIO | None = None) -> "SegmentStore":
+        return cls(
+            description["root"],
+            seal_records=int(description.get("seal_records", 512)),
+            time_bucket_s=float(description.get("time_bucket_s", 3600.0)),
+            device_bucket=int(description.get("device_bucket", 1024)),
+            wal=bool(description.get("wal", True)),
+            io=io,
+        )
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._live)
+
+    @property
+    def n_sealed_records(self) -> int:
+        return sum(entry["n_records"] for entry in self._live.values())
+
+    @property
+    def n_tail_records(self) -> int:
+        return sum(len(tail) for tail in self._tails.values())
+
+    def known_keys(self) -> set[str]:
+        """Every record identity the store currently owns."""
+        return set(self._known)
+
+    def tail_rows(self) -> list[dict]:
+        """Unsealed records, partition-major, append order within."""
+        return [data for partition in sorted(self._tails)
+                for _key, data in self._tails[partition]]
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "segments": self.n_segments,
+            "sealed_records": self.n_sealed_records,
+            "tail_records": self.n_tail_records,
+            "known_keys": len(self._known),
+        }
+
+    # -- journal loading -----------------------------------------------------
+
+    def _iter_journal_lines(self):
+        """Yield ``(entry | None, reason, raw)`` per physical line.
+
+        Tolerant by construction: a line that is not valid JSON or
+        fails its CRC yields ``(None, reason, raw)`` and the walk
+        continues.  A final line without a newline (torn append) is
+        reported with reason ``"torn-tail"`` and not parsed.
+        ``_journal_good_bytes`` tracks the byte offset just past the
+        last intact line, for tail truncation during scrub.
+        """
+        try:
+            blob = self.io.read_bytes(self.journal_path)
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise StoreError(
+                f"cannot read journal {self.journal_path}: {exc}"
+            ) from exc
+        offset = 0
+        self._journal_good_bytes = 0
+        while offset < len(blob):
+            newline = blob.find(b"\n", offset)
+            if newline < 0:
+                yield None, "torn-tail", blob[offset:]
+                return
+            raw = blob[offset:newline]
+            offset = newline + 1
+            try:
+                entry = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self._journal_good_bytes = offset
+                yield None, "undecodable", raw
+                continue
+            if (not isinstance(entry, dict)
+                    or entry.get("crc") != _line_crc(entry)):
+                self._journal_good_bytes = offset
+                yield None, "crc-mismatch", raw
+                continue
+            self._journal_good_bytes = offset
+            yield entry, None, raw
+
+    def _load_journal(self) -> None:
+        wal_rows: dict[str, dict] = {}
+        quarantined: set[str] = set()
+        for entry, reason, _raw in self._iter_journal_lines():
+            if entry is None:
+                self.journal_damage.append({"reason": reason})
+                continue
+            op = entry.get("op")
+            if op == "wal":
+                wal_rows[entry["key"]] = entry
+            elif op == "commit":
+                self._live[entry["segment"]] = entry
+                quarantined.discard(entry["segment"])
+                self._seq = max(self._seq, int(entry.get("seq", 0)) + 1)
+            elif op == "quarantine":
+                self._live.pop(entry["segment"], None)
+                quarantined.add(entry["segment"])
+        covered: set[str] = set()
+        for entry in self._live.values():
+            covered.update(entry["keys"])
+        # WAL rows no live segment covers go back to the unsealed
+        # tail — this is both normal tail restoration after a clean
+        # restart and record recovery after a segment quarantine.
+        for key, entry in wal_rows.items():
+            if key in covered:
+                continue
+            partition = tuple(entry["partition"])
+            self._tails.setdefault(partition, []).append(
+                (key, entry["data"])
+            )
+        self._known = covered | {
+            key for key in wal_rows if key not in covered
+        }
+        # Tail keys without WAL (wal=False stores) cannot be restored;
+        # _known covers what the journal proves.
+
+    # -- appends -------------------------------------------------------------
+
+    def partition_of(self, data: dict) -> tuple[int, int]:
+        return (
+            int(float(data["start_time"]) // self.time_bucket_s),
+            int(data["device_id"]) // self.device_bucket,
+        )
+
+    def append(self, data: dict, key: str | None = None) -> str:
+        """Durably accept one failure-record dict; returns its key.
+
+        Idempotent: re-appending an identity the store already owns is
+        a no-op (the retry path after a mid-seal fault).  The WAL line
+        is fsynced before the record joins the tail, so an accepted
+        record survives a SIGKILL at any later instant.
+        """
+        key = key if key is not None else record_identity(data)
+        if key in self._known:
+            return key
+        partition = self.partition_of(data)
+        if self.wal:
+            entry = {
+                "op": "wal",
+                "key": key,
+                "partition": list(partition),
+                "data": data,
+            }
+            self.io.append_line(self.journal_path, _seal_entry(entry))
+        tail = self._tails.setdefault(partition, [])
+        tail.append((key, data))
+        self._known.add(key)
+        registry = get_registry()
+        registry.inc("store_records_appended_total")
+        if len(tail) >= self.seal_records:
+            self.seal(partition)
+        return key
+
+    def seal(self, partition: tuple[int, int]) -> str | None:
+        """Seal one partition's tail into a committed segment.
+
+        Returns the new segment name, or ``None`` when the tail was
+        empty or the filesystem refused the write (``OSError`` —
+        ENOSPC and friends — is absorbed: the tail is retained, the
+        failure counted, and a later seal retries).  Any other fault
+        (e.g. a simulated crash) propagates with the tail intact.
+        """
+        tail = self._tails.get(partition)
+        if not tail:
+            return None
+        registry = get_registry()
+        rows = [data for _key, data in tail]
+        keys = [key for key, _data in tail]
+        blob = encode_segment(rows, partition)
+        digest = blob.split(b"\n", 1)[0].split()[-1].decode("ascii")
+        name = (f"seg-t{partition[0]}-d{partition[1]}"
+                f"-{self._seq:06d}.seg")
+        try:
+            self.io.write_atomic(self.segments_dir / name, blob)
+        except OSError as exc:
+            reason = (errno_module.errorcode.get(exc.errno, "OSERROR")
+                      if exc.errno else "OSERROR").lower()
+            registry.inc("store_seal_failures_total", reason=reason)
+            return None
+        entry = {
+            "op": "commit",
+            "segment": name,
+            "seq": self._seq,
+            "sha256": digest,
+            "n_records": len(rows),
+            "partition": list(partition),
+            "keys": keys,
+        }
+        self.io.append_line(self.journal_path, _seal_entry(entry))
+        # Only now — digest durable in the journal — does the store
+        # stop owning these rows in memory.
+        self._seq += 1
+        self._live[name] = entry
+        del self._tails[partition]
+        registry.inc("store_segments_sealed_total")
+        registry.inc("store_records_sealed_total", len(rows))
+        registry.inc("store_bytes_written_total", len(blob))
+        return name
+
+    def flush(self) -> list[str]:
+        """Seal every non-empty tail (drain path); returns new names."""
+        sealed = []
+        for partition in sorted(self._tails):
+            name = self.seal(partition)
+            if name is not None:
+                sealed.append(name)
+        return sealed
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_segment(self, name: str) -> list[dict]:
+        """Decode one live segment; raises SegmentCorruptError on damage."""
+        entry = self._live.get(name)
+        if entry is None:
+            raise StoreError(f"no live segment named {name}")
+        try:
+            blob = self.io.read_bytes(self.segments_dir / name)
+        except FileNotFoundError:
+            raise SegmentCorruptError("segment file missing") from None
+        except OSError as exc:
+            raise SegmentCorruptError(f"unreadable: {exc}") from exc
+        rows, header = decode_segment(blob)
+        if len(rows) != entry["n_records"]:
+            raise SegmentCorruptError(
+                f"segment holds {len(rows)} records, journal committed "
+                f"{entry['n_records']}"
+            )
+        return rows
+
+    def iter_rows(self, skipped: list[dict] | None = None):
+        """Yield every owned record dict, sealed segments first.
+
+        Corrupt segments are skipped; each skip appends
+        ``{"segment", "reason"}`` to ``skipped`` when provided (and is
+        always counted in the metrics registry).
+        """
+        registry = get_registry()
+        for name in sorted(self._live):
+            try:
+                rows = self.read_segment(name)
+            except SegmentCorruptError as exc:
+                registry.inc("store_query_segments_skipped_total")
+                if skipped is not None:
+                    skipped.append({"segment": name,
+                                    "reason": exc.reason})
+                continue
+            registry.inc("store_query_segments_total")
+            yield from rows
+        for partition in sorted(self._tails):
+            for _key, data in self._tails[partition]:
+                yield data
+
+    def fold_analysis(self) -> QueryResult:
+        """Fold AnalysisPartials over segments + tail, exactly.
+
+        Segments are grouped by device bucket; buckets partition the
+        device population, so merging per-bucket partials is exact
+        (byte-identical to analyzing all records at once) even for the
+        distinct-device counters.  Ingest may keep appending while
+        this runs — the fold sees the store as of call time.
+        """
+        from repro.analysis.columnar import AnalysisPartial
+        from repro.dataset.store import Dataset
+
+        registry = get_registry()
+        skipped: list[dict] = []
+        buckets: dict[int, list[dict]] = {}
+        n_read = 0
+        for name in sorted(self._live):
+            bucket = int(self._live[name]["partition"][1])
+            try:
+                rows = self.read_segment(name)
+            except SegmentCorruptError as exc:
+                registry.inc("store_query_segments_skipped_total")
+                skipped.append({"segment": name, "reason": exc.reason})
+                continue
+            registry.inc("store_query_segments_total")
+            buckets.setdefault(bucket, []).extend(rows)
+            n_read += 1
+        n_tail = 0
+        for partition in sorted(self._tails):
+            rows = [data for _key, data in self._tails[partition]]
+            n_tail += len(rows)
+            buckets.setdefault(partition[1], []).extend(rows)
+        partial = AnalysisPartial.from_dataset(Dataset())
+        for bucket in sorted(buckets):
+            failures = [FailureRecord.from_dict(row)
+                        for row in buckets[bucket]]
+            partial = partial.merge(
+                AnalysisPartial.from_dataset(Dataset(failures=failures))
+            )
+        return QueryResult(
+            block=partial.to_block(),
+            n_segments=n_read,
+            n_tail_records=n_tail,
+            skipped=skipped,
+        )
+
+    def dataset(self):
+        """All owned records as a :class:`~repro.dataset.store.Dataset`.
+
+        Corrupt segments are skipped with accounting in
+        ``metadata["store"]["skipped_segments"]``.
+        """
+        from repro.dataset.store import Dataset
+
+        skipped: list[dict] = []
+        failures = [FailureRecord.from_dict(row)
+                    for row in self.iter_rows(skipped)]
+        return Dataset(failures=failures, metadata={
+            "store": {
+                "root": str(self.root),
+                "segments": self.n_segments,
+                "skipped_segments": skipped,
+            },
+        })
+
+    # -- scrub / repair ------------------------------------------------------
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Verify everything, classify all damage, repair what's possible.
+
+        With ``repair=True`` (the default): damaged segments move to
+        ``quarantine/``, their WAL-covered records return to the
+        unsealed tail, valid orphan files are re-committed, leftover
+        temp files are deleted, and a torn journal tail is truncated.
+        With ``repair=False`` the same findings are reported but the
+        store is left untouched (read-only audit).
+        """
+        registry = get_registry()
+        report = ScrubReport(root=str(self.root), repair=repair)
+        recovered: list[str] = []
+        lost: list[str] = []
+
+        # Journal damage was observed at load time; scrub accounts for
+        # it and (optionally) truncates a torn tail.
+        torn = [d for d in self.journal_damage
+                if d["reason"] == "torn-tail"]
+        report.journal_damaged_lines = (
+            len(self.journal_damage) - len(torn)
+        )
+        if torn:
+            try:
+                size = os.path.getsize(self.journal_path)
+            except OSError:
+                size = self._journal_good_bytes
+            report.journal_truncated_bytes = max(
+                0, size - self._journal_good_bytes
+            )
+            if repair and report.journal_truncated_bytes:
+                with open(self.journal_path, "r+b") as handle:
+                    handle.truncate(self._journal_good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.journal_damage = [
+                    d for d in self.journal_damage if d not in torn
+                ]
+        registry.inc("scrub_journal_damaged_lines_total",
+                     report.journal_damaged_lines)
+
+        # WAL coverage map for recovery decisions.
+        wal_rows: dict[str, dict] = {}
+        for entry, _reason, _raw in self._iter_journal_lines():
+            if entry is not None and entry.get("op") == "wal":
+                wal_rows[entry["key"]] = entry
+
+        # Verify every live segment.
+        for name in sorted(self._live):
+            entry = self._live[name]
+            registry.inc("scrub_segments_checked_total")
+            try:
+                rows = self.read_segment(name)
+            except SegmentCorruptError as exc:
+                finding = self._classify_damaged(
+                    name, entry, exc.reason, wal_rows,
+                    recovered, lost, repair,
+                )
+                report.quarantined.append(finding)
+                registry.inc("scrub_segments_quarantined_total",
+                             reason=exc.reason.split(" ")[0])
+                continue
+            del rows
+            report.segments_ok += 1
+
+        # Orphan segment files: valid data with no journal commit
+        # (crash between rename and commit, or the commit line was
+        # itself damaged).  Re-adopt unless already covered.
+        report_adopted, report_superseded = self._scan_orphans(
+            wal_rows, repair
+        )
+        report.adopted = report_adopted
+        report.superseded = report_superseded
+        for finding in report_adopted:
+            registry.inc("scrub_segments_adopted_total")
+
+        # Leftover atomic-write temp files (crash in the rename window).
+        for directory in (self.segments_dir, self.root):
+            if not directory.is_dir():
+                continue
+            for temp in sorted(directory.glob("*.tmp*")):
+                report.temp_files_removed.append(str(temp))
+                registry.inc("scrub_temp_files_removed_total")
+                if repair:
+                    try:
+                        temp.unlink()
+                    except OSError:
+                        pass
+
+        report.recovered_keys = tuple(recovered)
+        report.lost_keys = tuple(lost)
+        registry.inc("scrub_records_recovered_total", len(recovered))
+        registry.inc("scrub_records_lost_total", len(lost))
+        return report
+
+    def _classify_damaged(self, name: str, entry: dict, reason: str,
+                          wal_rows: dict, recovered: list[str],
+                          lost: list[str], repair: bool) -> dict:
+        """Quarantine one damaged live segment; recover via WAL."""
+        keys = list(entry["keys"])
+        recoverable = [k for k in keys if k in wal_rows]
+        unrecoverable = [k for k in keys if k not in wal_rows]
+        if repair:
+            path = self.segments_dir / name
+            if path.exists():
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(path, self.quarantine_dir / name)
+                except OSError:
+                    pass
+            quarantine_entry = {
+                "op": "quarantine",
+                "segment": name,
+                "reason": reason,
+                "keys": keys,
+            }
+            self.io.append_line(self.journal_path,
+                                _seal_entry(quarantine_entry))
+            self._live.pop(name, None)
+            # WAL-covered records return to the unsealed tail; a later
+            # flush reseals them into a fresh segment.
+            for key in recoverable:
+                wal = wal_rows[key]
+                partition = tuple(wal["partition"])
+                self._tails.setdefault(partition, []).append(
+                    (key, wal["data"])
+                )
+            for key in unrecoverable:
+                self._known.discard(key)
+            recovered.extend(recoverable)
+            lost.extend(unrecoverable)
+        else:
+            recovered.extend(recoverable)
+            lost.extend(unrecoverable)
+        return {
+            "segment": name,
+            "reason": reason,
+            "keys": len(keys),
+            "recovered": len(recoverable),
+            "lost": len(unrecoverable),
+        }
+
+    def _scan_orphans(self, wal_rows: dict,
+                      repair: bool) -> tuple[list[dict], list[str]]:
+        adopted: list[dict] = []
+        superseded: list[str] = []
+        if not self.segments_dir.is_dir():
+            return adopted, superseded
+        for path in sorted(self.segments_dir.glob("seg-*.seg")):
+            if path.name in self._live:
+                continue
+            try:
+                rows, header = decode_segment(path.read_bytes())
+            except SegmentCorruptError:
+                # A corrupt orphan proves nothing was lost: its rows
+                # were never committed, so they are still in the tail
+                # or the WAL.  Quarantine the junk file.
+                superseded.append(path.name)
+                if repair:
+                    self.quarantine_dir.mkdir(parents=True,
+                                              exist_ok=True)
+                    try:
+                        os.replace(path, self.quarantine_dir / path.name)
+                    except OSError:
+                        pass
+                continue
+            keys = [record_identity(row) for row in rows]
+            tail_keys = {key for tail in self._tails.values()
+                         for key, _data in tail}
+            live_keys: set[str] = set()
+            for live in self._live.values():
+                live_keys.update(live["keys"])
+            in_live = [k for k in keys if k in live_keys]
+            if len(in_live) == len(keys):
+                # Every row already lives in a committed segment: a
+                # stale duplicate, safe to delete.
+                superseded.append(path.name)
+                if repair:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                continue
+            if in_live:
+                # Mixed live coverage: adopting would double-own the
+                # committed rows.  Recover the uncommitted ones into
+                # the tail (WAL line preferred, decoded row as the
+                # fallback), then retire the file.
+                superseded.append(path.name)
+                if repair:
+                    by_key = dict(zip(keys, rows))
+                    for key in keys:
+                        if key in live_keys or key in tail_keys:
+                            continue
+                        if key in wal_rows:
+                            wal = wal_rows[key]
+                            partition = tuple(wal["partition"])
+                            row = wal["data"]
+                        else:
+                            row = by_key[key]
+                            partition = self.partition_of(row)
+                        self._tails.setdefault(partition, []).append(
+                            (key, row)
+                        )
+                        self._known.add(key)
+                    self.quarantine_dir.mkdir(parents=True,
+                                              exist_ok=True)
+                    try:
+                        os.replace(path, self.quarantine_dir / path.name)
+                    except OSError:
+                        pass
+                continue
+            # No live coverage: this is the crash-between-rename-and-
+            # commit window (or a damaged commit line).  Adopt the
+            # file — the verified bytes already on disk — and drop the
+            # tail copies its WAL lines restored, so the rows have
+            # exactly one owner again.
+            if repair:
+                entry = {
+                    "op": "commit",
+                    "segment": path.name,
+                    "seq": self._seq,
+                    "sha256": segment_digest(path.read_bytes()),
+                    "n_records": len(rows),
+                    "partition": list(header.get(
+                        "partition", self.partition_of(rows[0])
+                    )),
+                    "keys": keys,
+                }
+                self.io.append_line(self.journal_path,
+                                    _seal_entry(entry))
+                self._seq += 1
+                self._live[path.name] = entry
+                self._known.update(keys)
+                keyset = set(keys)
+                for partition in list(self._tails):
+                    kept = [(k, d) for k, d in self._tails[partition]
+                            if k not in keyset]
+                    if kept:
+                        self._tails[partition] = kept
+                    else:
+                        del self._tails[partition]
+            adopted.append({
+                "segment": path.name,
+                "n_records": len(rows),
+                "new_keys": len([k for k in keys
+                                 if k not in tail_keys]),
+            })
+        return adopted, superseded

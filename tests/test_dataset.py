@@ -218,3 +218,93 @@ class TestAggregate:
     def test_cdf_handles_numpy_input(self):
         xs, ps = cdf(np.array([5.0, 1.0]))
         assert xs[0] == 1.0
+
+
+class TestDurablePersistence:
+    """Atomic saves and damage-tolerant loads (the robustness pass)."""
+
+    def make(self) -> Dataset:
+        return Dataset(
+            devices=[device(1), device(2, model=4)],
+            failures=[failure(1), failure(2, model=4)],
+            metadata={"seed": 1},
+        )
+
+    def test_save_is_atomic_and_reproducible(self, tmp_path):
+        path = tmp_path / "study.jsonl.gz"
+        save_dataset(self.make(), path)
+        first = path.read_bytes()
+        save_dataset(self.make(), path)
+        # gzip mtime pinned to 0: identical datasets, identical bytes.
+        assert path.read_bytes() == first
+        # No stray temp files survive a successful save.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_save_leaves_previous_file_intact(self, tmp_path,
+                                                     monkeypatch):
+        path = tmp_path / "study.jsonl.gz"
+        save_dataset(self.make(), path)
+        good = path.read_bytes()
+        bad = self.make()
+        boom = RuntimeError("simulated serialization fault")
+
+        class Unserializable:
+            def to_dict(self):
+                raise boom
+
+        bad.devices = [Unserializable()]
+        with pytest.raises(RuntimeError):
+            save_dataset(bad, path)
+        assert path.read_bytes() == good
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_unknown_kind_is_skipped_with_count(self, tmp_path):
+        import gzip
+        import json
+
+        path = tmp_path / "future.jsonl.gz"
+        save_dataset(self.make(), path)
+        lines = gzip.decompress(path.read_bytes()).splitlines()
+        lines.append(json.dumps(
+            {"kind": "hologram", "data": {"x": 1}}
+        ).encode())
+        lines.append(json.dumps(
+            {"kind": "hologram", "data": {"x": 2}}
+        ).encode())
+        path.write_bytes(gzip.compress(b"\n".join(lines) + b"\n"))
+        restored = load_dataset(path)
+        assert restored.n_devices == 2
+        assert restored.metadata["skipped_records"] == 2
+
+    def test_truncated_gzip_raises_corrupt_error(self, tmp_path):
+        from repro.dataset.store import DatasetCorruptError
+
+        path = tmp_path / "study.jsonl.gz"
+        save_dataset(self.make(), path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(DatasetCorruptError):
+            load_dataset(path)
+
+    def test_bit_flipped_payload_raises_corrupt_error(self, tmp_path):
+        from repro.dataset.store import DatasetCorruptError
+
+        path = tmp_path / "study.jsonl.gz"
+        save_dataset(self.make(), path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x20
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetCorruptError):
+            load_dataset(path)
+
+    def test_not_gzip_raises_corrupt_error(self, tmp_path):
+        from repro.dataset.store import DatasetCorruptError
+
+        path = tmp_path / "study.jsonl.gz"
+        path.write_bytes(b"plain text, not gzip at all")
+        with pytest.raises(DatasetCorruptError):
+            load_dataset(path)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.jsonl.gz")

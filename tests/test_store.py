@@ -1,0 +1,354 @@
+"""The durable segment store: sealing, folding, crash recovery, scrub."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.columnar import compute_analysis_block
+from repro.backend.ingest import IngestionServer
+from repro.dataset.records import FailureRecord, record_identity
+from repro.dataset.store import Dataset
+from repro.serve.harness import synthetic_records
+from repro.store import (
+    SegmentCorruptError,
+    SegmentStore,
+    StoreError,
+    decode_segment,
+    encode_segment,
+)
+
+
+def _records(n_devices=12, per_device=6, seed=7):
+    return synthetic_records(n_devices, per_device, seed=seed)
+
+
+def _direct_block(records):
+    return compute_analysis_block(Dataset(failures=[
+        FailureRecord.from_dict(r) for r in records
+    ]))
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("seal_records", 10)
+    kwargs.setdefault("device_bucket", 4)
+    kwargs.setdefault("time_bucket_s", 240.0)
+    return SegmentStore(tmp_path / "store", **kwargs)
+
+
+class TestSegmentCodec:
+    def test_round_trip_is_identity_exact(self):
+        rows = _records()
+        blob = encode_segment(rows, (0, 0))
+        decoded, header = decode_segment(blob)
+        assert header["n_records"] == len(rows)
+        assert decoded == rows
+        assert ([record_identity(r) for r in decoded]
+                == [record_identity(r) for r in rows])
+
+    def test_none_error_code_survives(self):
+        rows = _records()
+        rows[0] = dict(rows[0], error_code=None)
+        decoded, _header = decode_segment(encode_segment(rows, (1, 2)))
+        assert decoded[0]["error_code"] is None
+
+    def test_bit_flip_is_detected(self):
+        blob = bytearray(encode_segment(_records(), (0, 0)))
+        blob[len(blob) // 2] ^= 0x10
+        with pytest.raises(SegmentCorruptError, match="digest"):
+            decode_segment(bytes(blob))
+
+    def test_truncation_is_detected(self):
+        blob = encode_segment(_records(), (0, 0))
+        with pytest.raises(SegmentCorruptError):
+            decode_segment(blob[: len(blob) // 2])
+
+    def test_garbage_is_detected(self):
+        with pytest.raises(SegmentCorruptError):
+            decode_segment(b"not a segment at all\njunk")
+
+
+class TestSegmentStore:
+    def test_append_seal_and_fold_exactly(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records:
+            store.append(r)
+        store.flush()
+        assert store.n_tail_records == 0
+        assert store.n_sealed_records == len(records)
+        query = store.fold_analysis()
+        assert query.complete
+        assert (json.dumps(query.block, sort_keys=True)
+                == json.dumps(_direct_block(records), sort_keys=True))
+
+    def test_append_is_idempotent(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records:
+            store.append(r)
+            store.append(r)  # retry after an ambiguous fault
+        assert len(store.known_keys()) == len(records)
+        assert store.fold_analysis().block == _direct_block(records)
+
+    def test_restart_restores_tail_from_wal(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records[:7]:  # below the seal threshold
+            store.append(r)
+        assert store.n_segments == 0
+        reloaded = _store(tmp_path)
+        assert reloaded.n_tail_records == 7
+        assert reloaded.known_keys() == store.known_keys()
+        assert reloaded.fold_analysis().block == _direct_block(records[:7])
+
+    def test_scrub_clean_store_reports_clean(self, tmp_path):
+        store = _store(tmp_path)
+        for r in _records():
+            store.append(r)
+        store.flush()
+        report = store.scrub()
+        assert report.clean and report.ok
+        assert report.segments_ok == store.n_segments
+
+    def test_fold_skips_corrupt_segment_with_accounting(self, tmp_path):
+        store = _store(tmp_path)
+        for r in _records():
+            store.append(r)
+        store.flush()
+        victim = sorted(store.segments_dir.glob("*.seg"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-3] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        query = store.fold_analysis()
+        assert not query.complete
+        assert query.skipped[0]["segment"] == victim.name
+        assert "digest" in query.skipped[0]["reason"]
+
+    def test_scrub_quarantines_and_recovers_via_wal(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records:
+            store.append(r)
+        store.flush()
+        victim = sorted(store.segments_dir.glob("*.seg"))[0]
+        damaged_keys = set(store._live[victim.name]["keys"])
+        blob = bytearray(victim.read_bytes())
+        blob[-5] ^= 0x40
+        victim.write_bytes(bytes(blob))
+
+        report = store.scrub(repair=True)
+        assert report.ok and not report.clean
+        assert len(report.quarantined) == 1
+        assert set(report.recovered_keys) == damaged_keys
+        assert not report.lost_keys
+        assert (store.quarantine_dir / victim.name).exists()
+        assert not victim.exists()
+        # Recovered rows are back in the tail; the fold is whole again.
+        assert store.fold_analysis().block == _direct_block(records)
+        # And the repair is durable across a restart.
+        reloaded = _store(tmp_path)
+        assert reloaded.fold_analysis().block == _direct_block(records)
+
+    def test_scrub_adopts_valid_orphan(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records:
+            store.append(r)
+        store.flush()
+        # Simulate a crash between rename and commit: drop the last
+        # commit line from the journal, leaving a valid orphan file.
+        lines = store.journal_path.read_bytes().splitlines(keepends=True)
+        commit_at = max(
+            i for i, line in enumerate(lines)
+            if json.loads(line)["op"] == "commit"
+        )
+        orphan = json.loads(lines[commit_at])["segment"]
+        store.journal_path.write_bytes(
+            b"".join(lines[:commit_at] + lines[commit_at + 1:])
+        )
+
+        reloaded = _store(tmp_path)
+        report = reloaded.scrub(repair=True)
+        assert [f["segment"] for f in report.adopted] == [orphan]
+        assert report.ok
+        assert reloaded.fold_analysis().block == _direct_block(records)
+
+    def test_scrub_removes_superseded_orphan(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        for r in records:
+            store.append(r)
+        store.flush()
+        # A duplicate file of a committed segment: every key covered.
+        source = sorted(store.segments_dir.glob("*.seg"))[0]
+        copy = source.with_name("seg-t0-d0-999999.seg")
+        copy.write_bytes(source.read_bytes())
+        report = _store(tmp_path).scrub(repair=True)
+        assert copy.name in report.superseded
+        assert not copy.exists()
+
+    def test_scrub_truncates_torn_journal_tail(self, tmp_path):
+        store = _store(tmp_path)
+        for r in _records()[:5]:
+            store.append(r)
+        with open(store.journal_path, "ab") as handle:
+            handle.write(b'{"op":"wal","key":"torn')  # no newline
+        reloaded = _store(tmp_path)
+        report = reloaded.scrub(repair=True)
+        assert report.journal_truncated_bytes > 0
+        assert reloaded.n_tail_records == 5
+        # The next reload sees a clean journal.
+        assert _store(tmp_path).scrub().clean
+
+    def test_scrub_removes_leftover_temp_files(self, tmp_path):
+        store = _store(tmp_path)
+        store.append(_records()[0])
+        store.segments_dir.mkdir(parents=True, exist_ok=True)
+        leftover = store.segments_dir / "seg-x.seg.tmp123"
+        leftover.write_bytes(b"half a segment")
+        report = store.scrub(repair=True)
+        assert report.temp_files_removed == [str(leftover)]
+        assert not leftover.exists()
+
+    def test_scrub_without_repair_leaves_store_untouched(self, tmp_path):
+        store = _store(tmp_path)
+        for r in _records():
+            store.append(r)
+        store.flush()
+        victim = sorted(store.segments_dir.glob("*.seg"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0x02
+        victim.write_bytes(bytes(blob))
+        report = store.scrub(repair=False)
+        assert len(report.quarantined) == 1
+        assert victim.exists()
+        assert not store.quarantine_dir.exists()
+
+    def test_wal_disabled_store_still_seals(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path, wal=False)
+        for r in records:
+            store.append(r)
+        store.flush()
+        reloaded = _store(tmp_path, wal=False)
+        assert reloaded.n_sealed_records == len(records)
+        assert reloaded.fold_analysis().block == _direct_block(records)
+
+    def test_rejects_bad_config(self, tmp_path):
+        with pytest.raises(StoreError):
+            SegmentStore(tmp_path / "s", seal_records=0)
+        with pytest.raises(StoreError):
+            SegmentStore(tmp_path / "s", device_bucket=0)
+
+    def test_dataset_view_carries_skip_accounting(self, tmp_path):
+        store = _store(tmp_path)
+        for r in _records():
+            store.append(r)
+        store.flush()
+        dataset = store.dataset()
+        assert dataset.n_failures == store.n_sealed_records
+        assert dataset.metadata["store"]["skipped_segments"] == []
+
+
+class TestIngestionServerStore:
+    def test_append_before_dedup_then_checkpoint_shrinks(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        server = IngestionServer()
+        server.attach_store(store)
+        for r in records:
+            server.ingest_record(dict(r))
+        assert server.records == []  # the store owns the records
+        assert server.accepted == len(records)
+        snapshot = server.checkpoint()
+        assert snapshot["records"] == []
+        assert snapshot["seen"] == []  # all keys journal-proven
+        assert snapshot["store"] == store.describe()
+
+    def test_restore_reattaches_store_and_dedups(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        server = IngestionServer()
+        server.attach_store(store)
+        for r in records:
+            server.ingest_record(dict(r))
+        snapshot = server.checkpoint()
+
+        revived = IngestionServer.restore(snapshot)
+        assert revived.store is not None
+        for r in records:  # full replay: everything dedups
+            revived.ingest_record(dict(r))
+        assert revived.duplicates == len(records)
+        assert revived.store.fold_analysis().block == _direct_block(records)
+
+    def test_attach_store_migrates_existing_records(self, tmp_path):
+        records = _records()
+        server = IngestionServer()
+        for r in records[:5]:
+            server.ingest_record(dict(r))
+        assert len(server.records) == 5
+        store = _store(tmp_path)
+        server.attach_store(store)
+        assert server.records == []
+        assert len(store.known_keys()) == 5
+        for r in records[:5]:
+            server.ingest_record(dict(r))
+        assert server.duplicates == 5
+
+    def test_forget_keys_invites_reupload(self, tmp_path):
+        records = _records()
+        store = _store(tmp_path)
+        server = IngestionServer()
+        server.attach_store(store)
+        for r in records:
+            server.ingest_record(dict(r))
+        lost = record_identity(records[0])
+        assert server.forget_keys([lost]) == 1
+        before = server.accepted
+        server.ingest_record(dict(records[0]))
+        # The store still owns the record, so the re-upload is a
+        # durable no-op, but the ingest layer accepts it again.
+        assert server.accepted == before + 1
+
+
+class TestDrainResumeByteIdentity:
+    def test_checkpoint_resume_round_trip_is_byte_identical(
+        self, tmp_path
+    ):
+        """The satellite acceptance check: a drain checkpoint plus the
+        on-disk store reproduce the exact analysis of the original."""
+        records = _records(16, 8, seed=21)
+        store = _store(tmp_path)
+        server = IngestionServer()
+        server.attach_store(store)
+        for r in records:
+            server.ingest_record(dict(r))
+        direct = _direct_block(records)
+        checkpoint = json.dumps(server.checkpoint(), sort_keys=True)
+
+        revived = IngestionServer.restore(json.loads(checkpoint))
+        revived.store.flush()
+        query = revived.store.fold_analysis()
+        assert query.complete
+        assert (json.dumps(query.block, sort_keys=True)
+                == json.dumps(direct, sort_keys=True))
+
+    def test_sigkill_window_between_wal_and_dedup_is_safe(self, tmp_path):
+        """A crash after the WAL fsync but before the dedup insert
+        must not drop or double-count the record on retry."""
+        records = _records()
+        store = _store(tmp_path)
+        server = IngestionServer()
+        server.attach_store(store)
+        data = dict(records[0])
+        key = record_identity(data)
+        # Simulate the torn window: the store owns the record, the
+        # dedup set does not.
+        store.append(dict(data), key=key)
+        server._seen.discard(key)
+        server.ingest_record(dict(data))  # the client retry
+        assert server.accepted == 1
+        assert len(store.known_keys()) == 1
