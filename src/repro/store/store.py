@@ -419,8 +419,16 @@ class SegmentStore:
         keys = [key for key, _data in tail]
         blob = encode_segment(rows, partition)
         digest = blob.split(b"\n", 1)[0].split()[-1].decode("ascii")
+        # The seq is consumed per *attempt*, not per commit: a retry
+        # after a failed write or a torn commit append must never
+        # reuse the name an earlier — possibly fault-damaged — attempt
+        # already wrote, or the overwrite would erase the evidence
+        # scrub and reconciliation classify.  The abandoned file stays
+        # behind as an orphan that scrub adopts or supersedes.
+        seq = self._seq
+        self._seq += 1
         name = (f"seg-t{partition[0]}-d{partition[1]}"
-                f"-{self._seq:06d}.seg")
+                f"-{seq:06d}.seg")
         try:
             self.io.write_atomic(self.segments_dir / name, blob)
         except OSError as exc:
@@ -431,7 +439,7 @@ class SegmentStore:
         entry = {
             "op": "commit",
             "segment": name,
-            "seq": self._seq,
+            "seq": seq,
             "sha256": digest,
             "n_records": len(rows),
             "partition": list(partition),
@@ -440,7 +448,6 @@ class SegmentStore:
         self.io.append_line(self.journal_path, _seal_entry(entry))
         # Only now — digest durable in the journal — does the store
         # stop owning these rows in memory.
-        self._seq += 1
         self._live[name] = entry
         del self._tails[partition]
         registry.inc("store_segments_sealed_total")
@@ -507,36 +514,52 @@ class SegmentStore:
         Segments are grouped by device bucket; buckets partition the
         device population, so merging per-bucket partials is exact
         (byte-identical to analyzing all records at once) even for the
-        distinct-device counters.  Ingest may keep appending while
-        this runs — the fold sees the store as of call time.
+        distinct-device counters.  Buckets are folded one at a time —
+        a bucket's rows are decoded, reduced to an
+        :class:`~repro.analysis.columnar.AnalysisPartial`, and
+        discarded before the next bucket is read — so peak memory is
+        bounded by the largest device bucket, not the whole store.
+        Ingest may keep appending while this runs — the fold sees the
+        store as of call time.
         """
         from repro.analysis.columnar import AnalysisPartial
         from repro.dataset.store import Dataset
 
         registry = get_registry()
         skipped: list[dict] = []
-        buckets: dict[int, list[dict]] = {}
-        n_read = 0
+        # Metadata-only pass: group segment names and tail partitions
+        # by device bucket; no payload is decoded yet.
+        segment_buckets: dict[int, list[str]] = {}
         for name in sorted(self._live):
             bucket = int(self._live[name]["partition"][1])
-            try:
-                rows = self.read_segment(name)
-            except SegmentCorruptError as exc:
-                registry.inc("store_query_segments_skipped_total")
-                skipped.append({"segment": name, "reason": exc.reason})
-                continue
-            registry.inc("store_query_segments_total")
-            buckets.setdefault(bucket, []).extend(rows)
-            n_read += 1
-        n_tail = 0
+            segment_buckets.setdefault(bucket, []).append(name)
+        tail_buckets: dict[int, list[tuple[int, int]]] = {}
         for partition in sorted(self._tails):
-            rows = [data for _key, data in self._tails[partition]]
-            n_tail += len(rows)
-            buckets.setdefault(partition[1], []).extend(rows)
+            tail_buckets.setdefault(partition[1], []).append(partition)
+        n_read = 0
+        n_tail = 0
         partial = AnalysisPartial.from_dataset(Dataset())
-        for bucket in sorted(buckets):
-            failures = [FailureRecord.from_dict(row)
-                        for row in buckets[bucket]]
+        for bucket in sorted(set(segment_buckets) | set(tail_buckets)):
+            rows: list[dict] = []
+            for name in segment_buckets.get(bucket, ()):
+                try:
+                    segment_rows = self.read_segment(name)
+                except SegmentCorruptError as exc:
+                    registry.inc("store_query_segments_skipped_total")
+                    skipped.append({"segment": name,
+                                    "reason": exc.reason})
+                    continue
+                registry.inc("store_query_segments_total")
+                rows.extend(segment_rows)
+                n_read += 1
+            for tail_partition in tail_buckets.get(bucket, ()):
+                tail_rows = [data for _key, data
+                             in self._tails[tail_partition]]
+                n_tail += len(tail_rows)
+                rows.extend(tail_rows)
+            if not rows:
+                continue
+            failures = [FailureRecord.from_dict(row) for row in rows]
             partial = partial.merge(
                 AnalysisPartial.from_dataset(Dataset(failures=failures))
             )
@@ -583,13 +606,27 @@ class SegmentStore:
         recovered: list[str] = []
         lost: list[str] = []
 
-        # Journal damage was observed at load time; scrub accounts for
-        # it and (optionally) truncates a torn tail.
-        torn = [d for d in self.journal_damage
-                if d["reason"] == "torn-tail"]
-        report.journal_damaged_lines = (
-            len(self.journal_damage) - len(torn)
-        )
+        # Re-walk the journal *now* rather than trusting load-time
+        # state: ``append_line`` heals a torn tail (terminating the
+        # fragment as its own CRC-failing line) and the store keeps
+        # appending after load, so the load-time good-bytes offset can
+        # sit far behind WAL/commit lines written since — truncating
+        # to it would destroy acknowledged records.  One fresh walk
+        # yields the WAL coverage map for recovery decisions, the
+        # current damage census, and an up-to-date truncation offset
+        # (``_iter_journal_lines`` advances ``_journal_good_bytes``
+        # past every complete line; only a still-torn tail fragment
+        # lies beyond it).
+        wal_rows: dict[str, dict] = {}
+        fresh_damage: list[dict] = []
+        for entry, reason, _raw in self._iter_journal_lines():
+            if entry is None:
+                fresh_damage.append({"reason": reason})
+                continue
+            if entry.get("op") == "wal":
+                wal_rows[entry["key"]] = entry
+        torn = [d for d in fresh_damage if d["reason"] == "torn-tail"]
+        report.journal_damaged_lines = len(fresh_damage) - len(torn)
         if torn:
             try:
                 size = os.path.getsize(self.journal_path)
@@ -603,17 +640,12 @@ class SegmentStore:
                     handle.truncate(self._journal_good_bytes)
                     handle.flush()
                     os.fsync(handle.fileno())
-                self.journal_damage = [
-                    d for d in self.journal_damage if d not in torn
+                fresh_damage = [
+                    d for d in fresh_damage if d not in torn
                 ]
+        self.journal_damage = fresh_damage
         registry.inc("scrub_journal_damaged_lines_total",
                      report.journal_damaged_lines)
-
-        # WAL coverage map for recovery decisions.
-        wal_rows: dict[str, dict] = {}
-        for entry, _reason, _raw in self._iter_journal_lines():
-            if entry is not None and entry.get("op") == "wal":
-                wal_rows[entry["key"]] = entry
 
         # Verify every live segment.
         for name in sorted(self._live):

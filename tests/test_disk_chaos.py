@@ -178,6 +178,47 @@ class TestScrubUnderChaos:
         assert disk.ok
         assert disk.by_class.get("retained") == 1
 
+    def test_commit_fault_retry_never_reuses_segment_name(self, tmp_path):
+        """A seal whose segment write was torn and whose commit append
+        then crashed leaves a damaged file behind; the retried seal
+        must write under a fresh name so the orphan survives for scrub
+        to classify — overwriting it in place would leave the injected
+        fault unexplained."""
+        records = synthetic_records(4, 5, seed=3)
+        direct = compute_analysis_block(Dataset(failures=[
+            FailureRecord.from_dict(r) for r in records
+        ]))
+        chaos = DiskChaos(DiskChaosConfig(seed=19))
+        store = _store(tmp_path, io=chaos)
+        # The queued torn-write waits for the next segment write (the
+        # first seal), the journal-torn behind it then hits that
+        # seal's commit append: torn segment + crash mid-commit.
+        chaos.force_next("torn-write", "journal-torn")
+        for r in records:
+            _append_with_retries(store, r)
+        for _ in range(5):
+            try:
+                store.flush()
+                break
+            except SimulatedCrash:
+                continue
+        assert chaos.summary() == {"torn-write": 1, "journal-torn": 1}
+
+        reloaded = _store(tmp_path)
+        report = reloaded.scrub(repair=True)
+        disk = reconcile_disk(chaos.injected, report)
+        assert disk.ok, disk.render()
+        # The torn first attempt is a corrupt uncommitted orphan.
+        assert disk.by_class.get("superseded") == 1
+        query = reloaded.fold_analysis()
+        assert query.complete, query.skipped
+        assert (json.dumps(query.block, sort_keys=True)
+                == json.dumps(direct, sort_keys=True))
+        # Repair converged: only the healed torn-commit fragment (a
+        # complete CRC-failing line) remains, no new damage.
+        final = reloaded.scrub()
+        assert final.ok and not final.quarantined and not final.superseded
+
     def test_uniform_rate_soak_never_loses_acked_records(self, tmp_path):
         """Random faults at a high rate: after scrub + re-upload the
         store owns every record exactly once."""

@@ -203,6 +203,32 @@ class TestSegmentStore:
         # The next reload sees a clean journal.
         assert _store(tmp_path).scrub().clean
 
+    def test_scrub_after_healed_torn_tail_keeps_later_appends(
+        self, tmp_path
+    ):
+        """Appends after loading a torn journal heal the tail; scrub
+        must not truncate back to the load-time offset, which would
+        destroy every WAL line fsynced since load."""
+        records = _records()
+        store = _store(tmp_path)
+        for r in records[:5]:
+            store.append(r)
+        with open(store.journal_path, "ab") as handle:
+            handle.write(b'{"op":"wal","key":"torn')  # crash mid-append
+        reloaded = _store(tmp_path)  # loads with the tail still torn
+        for r in records[5:7]:
+            reloaded.append(r)  # append_line terminates the fragment
+        report = reloaded.scrub(repair=True)
+        # The fragment is now its own complete CRC-failing line, not a
+        # torn tail: nothing to truncate, one damaged line reported.
+        assert report.journal_truncated_bytes == 0
+        assert report.journal_damaged_lines == 1
+        assert report.ok
+        assert reloaded.n_tail_records == 7
+        final = _store(tmp_path)
+        assert final.n_tail_records == 7
+        assert final.fold_analysis().block == _direct_block(records[:7])
+
     def test_scrub_removes_leftover_temp_files(self, tmp_path):
         store = _store(tmp_path)
         store.append(_records()[0])
