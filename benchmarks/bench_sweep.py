@@ -1,0 +1,157 @@
+"""Sweep-runner benchmark: perf-gate snapshot for `repro sweep`.
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        [--packs packs/ci] [--out sweep_bench.json] \
+        [--metrics-out sweep_snapshot.json]
+
+Runs the reduced-scale reference sweep **twice** in fresh output
+directories and derives a perf-gate snapshot
+(:mod:`tools.perf_gate`-compatible):
+
+* ``scenario`` — the pack names plus their content fingerprints, so
+  the gate refuses to compare a baseline against an edited pack set;
+* ``all_records_identical`` — whether the two sweeps produced
+  byte-identical deterministic artifacts (landscape + every
+  result.json), measured in this run itself;
+* ``counters`` — each pack's deterministic obs counters, prefixed
+  ``<pack>::`` so packs cannot collide;
+* ``durations.sweep_wall_s`` — wall time of one full sweep (the
+  gated key; its ratio bound absorbs CI machine variance).
+
+Bless a new baseline after intentional pack/engine changes::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        --metrics-out sweep_snapshot.json
+    python tools/perf_gate.py --snapshot sweep_snapshot.json \
+        --write-baseline BENCH_baseline_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import (  # noqa: E402
+    load_pack,
+    resolve_pack_paths,
+    run_sweep,
+)
+
+
+def artifact_bytes(out_dir: Path) -> dict[str, bytes]:
+    artifacts = {}
+    for name in ("landscape.md", "landscape.json"):
+        artifacts[name] = (out_dir / name).read_bytes()
+    for result in sorted(out_dir.glob("packs/*/result.json")):
+        artifacts[str(result.relative_to(out_dir))] = result.read_bytes()
+    return artifacts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packs", nargs="+", default=["packs/ci"],
+                        help="pack files/directories to sweep "
+                             "(default packs/ci)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("sweep_bench.json"),
+                        help="full benchmark report path")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the perf-gate snapshot here")
+    args = parser.parse_args(argv)
+
+    packs = [load_pack(path)
+             for path in resolve_pack_paths(args.packs)]
+    names = [pack.name for pack in packs]
+    print(f"sweep bench: {len(packs)} pack(s) ({', '.join(names)})")
+
+    walls: list[float] = []
+    artifact_sets: list[dict[str, bytes]] = []
+    results = []
+    for attempt in (1, 2):
+        with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+            start = time.monotonic()
+            result = run_sweep(packs, Path(tmp))
+            wall = time.monotonic() - start
+            walls.append(wall)
+            artifact_sets.append(artifact_bytes(Path(tmp)))
+            results.append(result)
+            print(f"  run {attempt}: {wall:.2f} s "
+                  f"({len(result.ran)} pack(s))")
+
+    all_identical = artifact_sets[0] == artifact_sets[1]
+    if not all_identical:
+        diverged = sorted(
+            name for name in set(artifact_sets[0])
+            | set(artifact_sets[1])
+            if artifact_sets[0].get(name) != artifact_sets[1].get(name)
+        )
+        print(f"DIVERGENCE: {diverged}", file=sys.stderr)
+
+    counters: dict[str, float] = {}
+    digests = []
+    for outcome in results[0].outcomes:
+        for key, value in sorted(outcome.payload["counters"].items()):
+            counters[f"{outcome.pack.name}::{key}"] = value
+        digests.append(
+            f"{outcome.pack.name}:{outcome.payload['record_digest']}"
+        )
+    combined_digest = hashlib.sha256(
+        "\n".join(sorted(digests)).encode()
+    ).hexdigest()
+
+    sweep_wall = min(walls)
+    report = {
+        "benchmark": "scenario_sweep",
+        "scenario": {
+            "packs": names,
+            "fingerprints": {pack.name: pack.fingerprint()
+                             for pack in packs},
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "walls_s": walls,
+        "all_records_identical": all_identical,
+        "record_digest": combined_digest,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.metrics_out is not None:
+        snapshot = {
+            "benchmark": "perf_gate_snapshot",
+            "scenario": report["scenario"],
+            "environment": report["environment"],
+            "record_digest": combined_digest,
+            "all_records_identical": all_identical,
+            "counters": counters,
+            "gauges": {},
+            "durations": {
+                "sweep_wall_s": sweep_wall,
+                "sweep_packs_per_s": len(packs) / sweep_wall,
+            },
+        }
+        args.metrics_out.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote perf-gate snapshot {args.metrics_out}")
+    return 0 if all_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

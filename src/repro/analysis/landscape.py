@@ -1,15 +1,28 @@
-"""The Android-phone landscape (Sec. 3.2, Table 1, Figs. 2, 5-9).
+"""Landscape analyses: per-model groups and cross-scenario sweeps.
 
-Per-model prevalence/frequency, and the 5G and Android-version group
-comparisons — including the paper's footnote-4 *fair comparisons*
-(5G vs non-5G restricted to Android 10 models; Android 9 vs 10
-restricted to non-5G models).
+Two landscapes live here:
+
+* the Android-phone landscape of the paper (Sec. 3.2, Table 1,
+  Figs. 2, 5-9): per-model prevalence/frequency and the 5G /
+  Android-version group comparisons, including the footnote-4 *fair
+  comparisons*;
+* the **scenario landscape**: the cross-scenario comparison built by
+  :func:`repro.scenarios.sweep.run_sweep` from each pack's exact
+  ``metadata["analysis"]`` block — a markdown comparison table plus a
+  per-scenario detail report (:func:`render_scenario_landscape`) and
+  its JSON twin (:func:`scenario_landscape_dict`).
+
+The scenario-landscape functions are pure folds over analysis blocks:
+they never need the record lists, render deterministically (no
+timestamps, sorted keys), and stay NaN-free for degenerate packs
+(zero failures, zero transitions, missing metrics).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.analysis.columnar import analysis_summary
 from repro.dataset.store import Dataset
 
 
@@ -127,3 +140,203 @@ def compare_android_versions(
         frequency_a=frequency_10,
         frequency_b=frequency_9,
     )
+
+
+# ---------------------------------------------------------------------------
+# The scenario landscape (cross-scenario sweeps)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One scenario's slice of the landscape report."""
+
+    name: str
+    block: dict
+    summary: dict
+    description: str = ""
+    arm: str = "vanilla"
+    engine: str = "serial"
+    tags: tuple[str, ...] = ()
+    #: Deterministic obs counters of the run ({} when metrics were
+    #: off); only counters appear in the report — spans are wall-clock
+    #: and excluded by design.
+    counters: dict = field(default_factory=dict)
+    #: Merged telemetry summary (None without a chaos block).
+    telemetry: dict | None = None
+
+
+def scenario_row(
+    name: str,
+    block: dict,
+    *,
+    description: str = "",
+    arm: str = "vanilla",
+    engine: str = "serial",
+    tags: tuple[str, ...] = (),
+    counters: dict | None = None,
+    telemetry: dict | None = None,
+) -> ScenarioRow:
+    """Fold one pack's analysis block into a landscape row.
+
+    The summary is derived here (pure integer arithmetic, division
+    guarded inside :func:`~repro.analysis.columnar.analysis_summary`),
+    so a pack with zero failures or zero transitions yields zeros —
+    never NaN — and cannot poison the table.
+    """
+    return ScenarioRow(
+        name=name,
+        block=block,
+        summary=analysis_summary(block),
+        description=description,
+        arm=arm,
+        engine=engine,
+        tags=tuple(tags),
+        counters=dict(counters or {}),
+        telemetry=telemetry,
+    )
+
+
+def _top_failure_type(block: dict) -> str:
+    by_type = block.get("failures_by_type") or {}
+    if not by_type:
+        return "-"
+    # Highest count wins; ties break alphabetically for determinism.
+    return min(by_type, key=lambda k: (-by_type[k], k))
+
+
+def comparison_table(rows: list[ScenarioRow]) -> str:
+    """The cross-scenario comparison, as a markdown table.
+
+    Rows keep their given (pack) order — a sweep is a designed
+    sequence, not a ranking.
+    """
+    header = (
+        "| scenario | arm | engine | devices | failures | prevalence "
+        "| freq/device | mean dur (s) | transition fail | top type |"
+    )
+    rule = ("|---|---|---|---:|---:|---:|---:|---:|---:|---|")
+    lines = [header, rule]
+    for row in rows:
+        summary = row.summary
+        lines.append(
+            f"| {row.name} | {row.arm} | {row.engine} "
+            f"| {row.block['n_devices']} | {row.block['n_failures']} "
+            f"| {summary['prevalence']:.4f} "
+            f"| {summary['frequency']:.2f} "
+            f"| {summary['mean_duration_s']:.1f} "
+            f"| {summary['transition_failure_rate']:.2%} "
+            f"| {_top_failure_type(row.block)} |"
+        )
+    return "\n".join(lines)
+
+
+def _extremes(rows: list[ScenarioRow]) -> dict:
+    """Min/max packs per headline metric (empty dict for no rows)."""
+    if not rows:
+        return {}
+    result = {}
+    for metric in ("prevalence", "frequency", "mean_duration_s",
+                   "transition_failure_rate"):
+        ordered = sorted(rows, key=lambda row: (row.summary[metric],
+                                                row.name))
+        result[metric] = {
+            "min": {"scenario": ordered[0].name,
+                    "value": ordered[0].summary[metric]},
+            "max": {"scenario": ordered[-1].name,
+                    "value": ordered[-1].summary[metric]},
+        }
+    return result
+
+
+def render_scenario_landscape(
+    rows: list[ScenarioRow],
+    *,
+    title: str = "Scenario landscape",
+) -> str:
+    """The full landscape report (markdown, deterministic)."""
+    parts = [f"# {title}", "",
+             f"{len(rows)} scenario(s) compared on exact streaming "
+             "analysis aggregates.", "",
+             comparison_table(rows), ""]
+    extremes = _extremes(rows)
+    if extremes:
+        parts.append("## Spread")
+        parts.append("")
+        for metric, bounds in sorted(extremes.items()):
+            parts.append(
+                f"- **{metric}**: "
+                f"{bounds['min']['value']:.4f} "
+                f"({bounds['min']['scenario']}) to "
+                f"{bounds['max']['value']:.4f} "
+                f"({bounds['max']['scenario']})"
+            )
+        parts.append("")
+    for row in rows:
+        parts.append(f"## {row.name}")
+        parts.append("")
+        if row.description:
+            parts.append(row.description)
+            parts.append("")
+        block = row.block
+        parts.append(f"- devices: {block['n_devices']}, failures: "
+                     f"{block['n_failures']}, transitions: "
+                     f"{block['n_transitions']}")
+        parts.append(f"- failing devices: {block['failing_devices']}, "
+                     f"OOS devices: {block['oos_devices']}, worst "
+                     f"single device: "
+                     f"{block['max_failures_single_device']} failures")
+        shares = row.summary.get("count_share_by_type") or {}
+        if shares:
+            mix = ", ".join(f"{ftype} {share:.1%}"
+                            for ftype, share in sorted(shares.items()))
+            parts.append(f"- failure mix: {mix}")
+        else:
+            parts.append("- failure mix: no failures recorded")
+        by_isp = block.get("failures_by_isp") or {}
+        if by_isp:
+            isp_mix = ", ".join(f"{isp} {count}"
+                                for isp, count in sorted(by_isp.items()))
+            parts.append(f"- failures by ISP: {isp_mix}")
+        if row.telemetry is not None:
+            reconciliation = row.telemetry.get("reconciliation") or {}
+            parts.append(
+                "- telemetry (chaos): "
+                f"devices {row.telemetry.get('n_devices', 0)}, "
+                f"unexplained losses "
+                f"{reconciliation.get('unexplained', 0)}"
+            )
+        if row.counters:
+            interesting = {
+                key: value for key, value in row.counters.items()
+                if key.startswith(("fleet_failures_total",
+                                   "fleet_episodes_total",
+                                   "fleet_transitions_total"))
+            }
+            for key in sorted(interesting)[:8]:
+                parts.append(f"- metric {key}: {interesting[key]}")
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def scenario_landscape_dict(rows: list[ScenarioRow]) -> dict:
+    """The landscape as a JSON-serializable document."""
+    return {
+        "landscape": "scenario-sweep",
+        "n_scenarios": len(rows),
+        "extremes": _extremes(rows),
+        "scenarios": [
+            {
+                "name": row.name,
+                "description": row.description,
+                "arm": row.arm,
+                "engine": row.engine,
+                "tags": list(row.tags),
+                "analysis": row.block,
+                "summary": row.summary,
+                "counters": row.counters,
+                "telemetry": row.telemetry,
+            }
+            for row in rows
+        ],
+    }

@@ -13,6 +13,8 @@
                             [--store-dir DIR] [--seal-records N]
                             [--disk-chaos RATE]
     python -m repro scrub   DIR [--no-repair] [--json PATH] [--strict]
+    python -m repro sweep   PACKS... --out DIR [--resume]
+                            [--workers W] [--shards K]
 
 ``study`` runs the measurement study and prints the Sec. 3 report;
 ``ab`` runs the paired enhancement evaluation (Sec. 4.3); ``timp`` fits
@@ -38,6 +40,17 @@ server memory, and the drain checkpoint shrinks to the unsealed tail;
 ``scrub`` verifies such a store's checksums, quarantines damaged
 segments, repairs from the journal, and reports anything
 unrecoverable.
+
+``sweep`` runs a list of scenario packs (files or directories of
+``*.yaml``/``*.yml``/``*.json``; see :mod:`repro.scenarios` and
+``docs/scenarios.md``) through the checkpointed shard supervisor —
+one fingerprint-keyed run per pack — and renders the cross-scenario
+comparison table plus the landscape report into ``--out``.  Every
+pack is validated *before* the first simulation starts; a broken pack
+exits with status 2 and the full key path of the problem.  With
+``--resume``, packs already completed in ``--out`` are skipped
+byte-identically and the in-flight pack continues from its shard
+checkpoints.
 """
 
 from __future__ import annotations
@@ -362,6 +375,46 @@ def cmd_scrub(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        PackError,
+        load_pack,
+        resolve_pack_paths,
+        run_sweep,
+    )
+
+    # Validate every pack up front: a typo in pack 5 must surface
+    # before pack 1 burns a single simulated device.
+    try:
+        paths = resolve_pack_paths(args.packs)
+        packs = [load_pack(path) for path in paths]
+    except PackError as exc:
+        print(f"pack error: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep: {len(packs)} pack(s) validated "
+          f"({', '.join(pack.name for pack in packs)})", flush=True)
+
+    def say(message: str) -> None:
+        print(message, flush=True)
+
+    try:
+        result = run_sweep(
+            packs, args.out,
+            workers=args.workers, shards=args.shards,
+            resume=args.resume, progress=say,
+        )
+    except PackError as exc:
+        print(f"pack error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(result.table)
+    print()
+    print(f"sweep complete: {len(result.ran)} ran, "
+          f"{len(result.skipped)} skipped; report at "
+          f"{result.report_md_path}")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.path)
     print(NationwideStudy.analyze(dataset).render())
@@ -482,6 +535,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero if any record identity "
                             "was unrecoverable")
     scrub.set_defaults(handler=cmd_scrub)
+
+    sweep = commands.add_parser(
+        "sweep", help="run scenario packs and render the landscape"
+    )
+    sweep.add_argument("packs", nargs="+", metavar="PACK",
+                       help="pack files, or directories whose "
+                            "*.yaml/*.yml/*.json packs run in sorted "
+                            "order (see packs/ and docs/scenarios.md)")
+    sweep.add_argument("--out", required=True, metavar="DIR",
+                       help="sweep output directory: per-pack results "
+                            "and checkpoints under DIR/packs/, the "
+                            "landscape report at DIR/landscape.md")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip packs already completed in --out "
+                            "(byte-identical reuse) and resume the "
+                            "in-flight pack from its shard "
+                            "checkpoints")
+    sweep.add_argument("--workers", type=_positive_int, default=None,
+                       help="default worker count per pack (a pack's "
+                            "run.workers overrides it)")
+    sweep.add_argument("--shards", type=_positive_int, default=None,
+                       help="default shard count per pack (a pack's "
+                            "run.shards overrides it)")
+    sweep.set_defaults(handler=cmd_sweep)
 
     analyze = commands.add_parser("analyze",
                                   help="analyze a saved dataset")

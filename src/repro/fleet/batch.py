@@ -746,7 +746,9 @@ def _simulate(config: ScenarioConfig, topology: NationalTopology,
 
     # -- device profiles ----------------------------------------------------
     model = _pick(tables.model_cum, _uniform(seed, "profile:model", ids))
-    isp_idx = _pick(tables.isp_cum, _uniform(seed, "profile:isp", ids))
+    isp_cum = (tables.isp_cum if config.isp_weights is None
+               else _cum(list(config.isp_weights)))
+    isp_idx = _pick(isp_cum, _uniform(seed, "profile:isp", ids))
     hazard = gammaincinv(
         tables.model_shape[model] * tables.isp_factor[isp_idx],
         _uniform(seed, "profile:hazard", ids),
@@ -754,8 +756,10 @@ def _simulate(config: ScenarioConfig, topology: NationalTopology,
     hazard *= config.frequency_scale * (config.study_months / 8.0)
     has5g = tables.model_has5g[model]
     android9 = tables.model_android9[model]
-    ambient_hazard = hazard * np.where(
-        has5g, behavior.AMBIENT_FRACTION_5G, 1.0)
+    factor_5g = (behavior.AMBIENT_FRACTION_5G
+                 if config.ambient_factor_5g is None
+                 else config.ambient_factor_5g)
+    ambient_hazard = hazard * np.where(has5g, factor_5g, 1.0)
     oos_active = _uniform(seed, "profile:oos", ids) < (
         behavior.OOS_ACTIVE_DEVICE_FRACTION)
     home = _pick(tables.level_cum, _uniform(seed, "profile:home", ids))

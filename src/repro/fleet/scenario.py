@@ -62,6 +62,20 @@ class ScenarioConfig:
     #: RNG streams, so their record *digests* differ while the record
     #: *distributions* agree (see ``docs/scaling.md``).
     engine: str = ENGINE_SERIAL
+    #: Carrier-population override: per-ISP subscriber weights in
+    #: profile order (ISP-A, ISP-B, ISP-C).  ``None`` keeps the
+    #: paper's subscriber shares; scenario packs use this to model
+    #: multi-carrier populations under different carrier-selection
+    #: policies (see :mod:`repro.scenarios`).  Weights need not sum
+    #: to 1 — only their ratios matter.
+    isp_weights: tuple[float, ...] | None = None
+    #: Override of :data:`repro.fleet.behavior.AMBIENT_FRACTION_5G`,
+    #: the ambient-hazard multiplier applied to 5G-capable devices.
+    #: Values above the default (0.50) model mmWave coverage holes:
+    #: 5G devices spend more time at cell edges and dead zones, so
+    #: their ambient failure incidence rises.  ``None`` keeps the
+    #: default.
+    ambient_factor_5g: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -72,6 +86,24 @@ class ScenarioConfig:
             raise ValueError("frequency scale must be positive")
         if self.engine not in (ENGINE_SERIAL, ENGINE_BATCH):
             raise ValueError(f"unknown engine: {self.engine!r}")
+        if self.isp_weights is not None:
+            weights = tuple(float(w) for w in self.isp_weights)
+            from repro.network.isp import ISP
+
+            if len(weights) != len(ISP):
+                raise ValueError(
+                    f"isp_weights needs one weight per ISP "
+                    f"({len(ISP)}), got {len(weights)}"
+                )
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError(
+                    "isp_weights must be non-negative with a "
+                    "positive sum"
+                )
+            object.__setattr__(self, "isp_weights", weights)
+        if (self.ambient_factor_5g is not None
+                and self.ambient_factor_5g <= 0):
+            raise ValueError("ambient_factor_5g must be positive")
 
     def patched(self) -> "ScenarioConfig":
         """The same scenario under the enhanced (patched) system."""

@@ -256,9 +256,12 @@ class FleetSimulator:
             * self.config.frequency_scale
             * (self.config.study_months / 8.0)
         )
-        ambient_hazard = hazard * (
-            behavior.AMBIENT_FRACTION_5G if spec.has_5g else 1.0
+        factor_5g = (
+            self.config.ambient_factor_5g
+            if self.config.ambient_factor_5g is not None
+            else behavior.AMBIENT_FRACTION_5G
         )
+        ambient_hazard = hazard * (factor_5g if spec.has_5g else 1.0)
         study_s = self.config.study_months * SECONDS_PER_MONTH
 
         schedule = self._schedule(profile_rng, spec, hazard,
@@ -483,7 +486,11 @@ class FleetSimulator:
 
     def _pick_isp(self, rng: random.Random) -> ISP:
         isps = list(ISP_PROFILES)
-        weights = [ISP_PROFILES[isp].subscriber_share for isp in isps]
+        if self.config.isp_weights is not None:
+            weights = list(self.config.isp_weights)
+        else:
+            weights = [ISP_PROFILES[isp].subscriber_share
+                       for isp in isps]
         return rng.choices(isps, weights=weights)[0]
 
     def _build_device(

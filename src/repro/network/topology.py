@@ -69,10 +69,41 @@ class TopologyConfig:
     infrastructure_sharing: bool = False
     #: Effective density multiplier for dense cells under sharing.
     sharing_density_factor: float = 0.55
+    #: Override of the nationwide deployment-class mix: ``(class name,
+    #: weight)`` pairs (class names from
+    #: :class:`~repro.network.basestation.DeploymentClass`, weights
+    #: need not sum to 1).  ``None`` keeps the paper's mix.  Scenario
+    #: packs use this to model dense-hub flash crowds (stadium /
+    #: transport-hub heavy populations) — see :mod:`repro.scenarios`.
+    deployment_mix: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_base_stations < len(_DEPLOYMENT_MIX):
             raise ValueError("too few base stations for the class mix")
+        if self.deployment_mix is not None:
+            valid = {cls.value for cls in DeploymentClass}
+            normalized = []
+            for entry in self.deployment_mix:
+                name, weight = entry
+                name = str(name).upper()
+                if name not in valid:
+                    raise ValueError(
+                        f"unknown deployment class {name!r} "
+                        f"(choose from {sorted(valid)})"
+                    )
+                weight = float(weight)
+                if weight < 0:
+                    raise ValueError(
+                        f"deployment weight for {name} must be "
+                        f">= 0, got {weight}"
+                    )
+                normalized.append((name, weight))
+            if not normalized or sum(w for _, w in normalized) <= 0:
+                raise ValueError(
+                    "deployment_mix needs at least one positive weight"
+                )
+            object.__setattr__(self, "deployment_mix",
+                               tuple(normalized))
 
 
 class NationalTopology:
@@ -91,8 +122,13 @@ class NationalTopology:
     def _build(self, rng: random.Random) -> None:
         isps = list(ISP_PROFILES)
         isp_weights = [ISP_PROFILES[isp].bs_share for isp in isps]
-        classes = [cls for cls, _ in _DEPLOYMENT_MIX]
-        class_weights = [w for _, w in _DEPLOYMENT_MIX]
+        if self.config.deployment_mix is not None:
+            classes = [DeploymentClass(name)
+                       for name, _ in self.config.deployment_mix]
+            class_weights = [w for _, w in self.config.deployment_mix]
+        else:
+            classes = [cls for cls, _ in _DEPLOYMENT_MIX]
+            class_weights = [w for _, w in _DEPLOYMENT_MIX]
         archetypes = [rats for rats, _ in _RAT_ARCHETYPES]
         archetype_weights = [w for _, w in _RAT_ARCHETYPES]
 

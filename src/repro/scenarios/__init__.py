@@ -1,0 +1,51 @@
+"""Declarative scenario packs and landscape sweeps.
+
+The fleet layer runs *one* scenario; this package turns the repo into
+a scenario **matrix**.  A pack is a small declarative document (YAML,
+JSON, or a plain dict) that composes existing knobs — fleet size and
+mix, BS-class densities for dense-hub flash crowds, chaos profiles for
+regional outages and recovery waves, multi-carrier device populations
+with a carrier-selection policy, and 5G coverage-hole profiles — into
+a named, validated :class:`~repro.fleet.scenario.ScenarioConfig` plus
+per-pack run options.
+
+Validation happens entirely at parse time: unknown keys and
+out-of-range values are rejected with the full key path
+(``chaos.drop_rate: must be within [0, 1], got 1.5``) before any
+simulation starts, mirroring the CLI's parse-time count validation.
+
+:func:`~repro.scenarios.sweep.run_sweep` fans a list of packs through
+the checkpointed shard supervisor — one fingerprint-keyed run per
+pack, resumable and skippable — folds each pack's
+``metadata["analysis"]`` block into a cross-scenario comparison
+table, and renders a landscape report (markdown + JSON) via
+:mod:`repro.analysis.landscape`.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.pack import (
+    PackError,
+    ScenarioPack,
+    load_pack,
+    pack_fingerprint,
+    pack_from_dict,
+    pack_to_dict,
+    resolve_pack_paths,
+)
+from repro.scenarios.sweep import (
+    PackOutcome,
+    SweepResult,
+    run_sweep,
+)
+
+__all__ = [
+    "PackError",
+    "ScenarioPack",
+    "load_pack",
+    "pack_fingerprint",
+    "pack_from_dict",
+    "pack_to_dict",
+    "resolve_pack_paths",
+    "PackOutcome",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,750 @@
+"""Scenario-pack schema, validation, and loading.
+
+A pack is a mapping with up to seven sections, every one optional
+except ``name``::
+
+    pack: 1                      # schema version
+    name: flash-crowd-hubs
+    description: ...
+    tags: [crowd, stress]
+    fleet:                       # -> ScenarioConfig core knobs
+      devices: 2000
+      seed: 2020
+      study_months: 8.0
+      arm: vanilla               # or patched
+      frequency_scale: 1.0
+      false_positive_rate: 0.10
+    carriers:                    # multi-carrier population
+      policy: user-defined       # operator-assigned | user-defined
+      weights: {ISP-A: 0.2, ISP-B: 0.3, ISP-C: 0.5}   # | quality-first
+    five_g:
+      coverage_hole_factor: 2.5  # mmWave hole severity (1.0 = none)
+    topology:                    # -> TopologyConfig
+      base_stations: 1000
+      deployment_mix: {transport_hub: 0.10, urban_core: 0.25, ...}
+      infrastructure_sharing: false
+    chaos:                       # -> ChaosConfig (absent = lossless)
+      drop_rate: 0.05
+      outages: [[3600, 7200]]
+      outage_waves: {count: 3, first_start_s: 3600,
+                     duration_s: 1800, spacing_s: 7200}
+    run:                         # sweep-runner execution options
+      engine: batch              # batch (default) | serial
+      workers: 2
+      shards: 4
+
+Everything is validated **at parse time**: unknown keys (with a
+did-you-mean suggestion) and out-of-range values raise
+:class:`PackError` carrying the full key path, so a broken pack never
+costs a partial sweep.  :func:`pack_from_dict` returns a
+:class:`ScenarioPack` whose ``data`` attribute is the *normalized*
+document — every known key present with its resolved value — which is
+what :func:`pack_fingerprint` hashes and :func:`pack_to_dict` returns,
+making dict -> pack -> dict a fixed point.
+
+Carrier-selection policies (the iCellular axis):
+
+``operator-assigned``
+    The paper's population: devices follow the ISPs' subscriber
+    shares.
+``user-defined``
+    Explicit per-ISP weights — a population that chose carriers by
+    hand (requires ``weights``).
+``quality-first``
+    iCellular-style selection: users probe and prefer reliable
+    carriers, so each ISP's share is its subscriber share divided by
+    its residual hazard factor (renormalized).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from repro.chaos.config import ChaosConfig
+from repro.dataset.records import ARM_PATCHED, ARM_VANILLA
+from repro.fleet import behavior
+from repro.fleet.scenario import (
+    ENGINE_BATCH,
+    ENGINE_SERIAL,
+    ScenarioConfig,
+)
+from repro.network.basestation import DeploymentClass
+from repro.network.isp import ISP, ISP_PROFILES
+from repro.network.topology import TopologyConfig
+
+#: Bumped when the pack schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+POLICY_OPERATOR = "operator-assigned"
+POLICY_USER = "user-defined"
+POLICY_QUALITY = "quality-first"
+CARRIER_POLICIES = (POLICY_OPERATOR, POLICY_USER, POLICY_QUALITY)
+
+
+class PackError(ValueError):
+    """A scenario pack failed validation.
+
+    ``path`` is the full dotted key path of the offending value
+    (``chaos.outages[1]``), ``source`` the file it came from (when
+    loaded from disk) — both baked into ``str(exc)`` so CLI users see
+    exactly what to fix.
+    """
+
+    def __init__(self, message: str, *, path: str = "",
+                 source: str | None = None) -> None:
+        self.path = path
+        self.source = source
+        prefix = f"{source}: " if source else ""
+        where = f"{path}: " if path else ""
+        super().__init__(f"{prefix}{where}{message}")
+
+
+# ---------------------------------------------------------------------------
+# validation primitives
+# ---------------------------------------------------------------------------
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _require_mapping(value, path: str, source) -> dict:
+    if not isinstance(value, dict):
+        raise PackError(
+            f"expected a mapping, got {type(value).__name__}",
+            path=path, source=source,
+        )
+    return value
+
+
+def _reject_unknown(mapping: dict, allowed, path: str, source) -> None:
+    for key in mapping:
+        if key not in allowed:
+            hint = ""
+            close = difflib.get_close_matches(str(key), list(allowed),
+                                              n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+            raise PackError(
+                f"unknown key {key!r}{hint}; valid keys: "
+                f"{', '.join(sorted(allowed))}",
+                path=_join(path, str(key)), source=source,
+            )
+
+
+def _number(value, path: str, source, *, integer: bool = False,
+            lo=None, hi=None, lo_open: bool = False):
+    """A validated int/float; bools are rejected (YAML footgun)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        kind = "an integer" if integer else "a number"
+        raise PackError(f"expected {kind}, got {value!r}",
+                        path=path, source=source)
+    if integer and not isinstance(value, int):
+        raise PackError(f"expected an integer, got {value!r}",
+                        path=path, source=source)
+    if lo is not None and (value <= lo if lo_open else value < lo):
+        op = ">" if lo_open else ">="
+        raise PackError(f"must be {op} {lo}, got {value}",
+                        path=path, source=source)
+    if hi is not None and value > hi:
+        raise PackError(
+            f"must be within [{lo if lo is not None else '-inf'}, "
+            f"{hi}], got {value}",
+            path=path, source=source,
+        )
+    return int(value) if integer else float(value)
+
+
+def _boolean(value, path: str, source) -> bool:
+    if not isinstance(value, bool):
+        raise PackError(f"expected true/false, got {value!r}",
+                        path=path, source=source)
+    return value
+
+
+def _string(value, path: str, source, *, choices=None) -> str:
+    if not isinstance(value, str):
+        raise PackError(f"expected a string, got {value!r}",
+                        path=path, source=source)
+    if choices is not None and value not in choices:
+        raise PackError(
+            f"must be one of {', '.join(choices)}; got {value!r}",
+            path=path, source=source,
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# the pack container
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioPack:
+    """One validated scenario pack, ready to run."""
+
+    name: str
+    description: str
+    tags: tuple[str, ...]
+    #: The composed scenario (``metrics`` off; the sweep runner turns
+    #: it on so every pack lands obs metrics in the report).
+    scenario: ScenarioConfig
+    #: Sweep-runner worker-count override (None: use the CLI's).
+    workers: int | None
+    #: Shard-count override (None: one shard per worker).
+    shards: int | None
+    #: The normalized document (defaults applied) — the fingerprint
+    #: base and the round-trip surface.
+    data: dict
+    #: Where the pack came from, for error messages (not part of the
+    #: fingerprint).
+    source: str | None = None
+
+    @property
+    def engine(self) -> str:
+        return self.scenario.engine
+
+    def fingerprint(self) -> str:
+        return pack_fingerprint(self)
+
+
+def pack_fingerprint(pack: ScenarioPack) -> str:
+    """Identity of the pack's *content* (source path excluded).
+
+    Covers the normalized document and the schema version, so editing
+    any knob — or a schema change that alters how knobs resolve —
+    yields a different fingerprint and invalidates stale sweep
+    results.
+    """
+    canonical = json.dumps(
+        {"schema": SCHEMA_VERSION, "pack": pack.data},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def pack_to_dict(pack: ScenarioPack) -> dict:
+    """The normalized pack document (JSON/YAML-serializable)."""
+    return json.loads(json.dumps(pack.data))
+
+
+# ---------------------------------------------------------------------------
+# section validators
+# ---------------------------------------------------------------------------
+
+_FLEET_KEYS = ("devices", "seed", "study_months", "arm",
+               "frequency_scale", "false_positive_rate",
+               "max_events_per_device")
+_CARRIER_KEYS = ("policy", "weights")
+_FIVE_G_KEYS = ("coverage_hole_factor",)
+_TOPOLOGY_KEYS = ("base_stations", "seed", "propensity_sigma",
+                  "hub_propensity_factor", "cdma_fraction",
+                  "infrastructure_sharing", "sharing_density_factor",
+                  "deployment_mix")
+_CHAOS_KEYS = ("enabled", "seed", "drop_rate", "duplicate_rate",
+               "reorder_rate", "corrupt_rate", "outages",
+               "outage_waves", "wifi_availability", "max_attempts",
+               "base_backoff_s", "backoff_multiplier", "max_backoff_s",
+               "jitter", "max_spool_bytes", "drain_interval_s",
+               "max_drain_rounds")
+_WAVE_KEYS = ("count", "first_start_s", "duration_s", "spacing_s")
+_RUN_KEYS = ("engine", "workers", "shards")
+_TOP_KEYS = ("pack", "name", "description", "tags", "fleet",
+             "carriers", "five_g", "topology", "chaos", "run")
+
+_ARMS = {"vanilla": ARM_VANILLA, "patched": ARM_PATCHED}
+
+
+def _validate_fleet(raw: dict, source) -> dict:
+    section = _require_mapping(raw.get("fleet", {}), "fleet", source)
+    _reject_unknown(section, _FLEET_KEYS, "fleet", source)
+    get = section.get
+    return {
+        "devices": _number(get("devices", 2_000),
+                           "fleet.devices", source,
+                           integer=True, lo=1),
+        "seed": _number(get("seed", 2_020), "fleet.seed", source,
+                        integer=True),
+        "study_months": _number(get("study_months", 8.0),
+                                "fleet.study_months", source,
+                                lo=0, lo_open=True),
+        "arm": _string(get("arm", "vanilla"), "fleet.arm", source,
+                       choices=tuple(_ARMS)),
+        "frequency_scale": _number(get("frequency_scale", 1.0),
+                                   "fleet.frequency_scale", source,
+                                   lo=0, lo_open=True),
+        "false_positive_rate": _number(
+            get("false_positive_rate", 0.10),
+            "fleet.false_positive_rate", source, lo=0),
+        "max_events_per_device": _number(
+            get("max_events_per_device", 50_000),
+            "fleet.max_events_per_device", source, integer=True, lo=1),
+    }
+
+
+def _isp_label(key, path: str, source) -> ISP:
+    """Accept 'ISP-A' (the label) or the bare letter 'A'."""
+    text = str(key)
+    for isp in ISP:
+        if text in (isp.label, isp.name):
+            return isp
+    raise PackError(
+        f"unknown carrier {key!r}; valid carriers: "
+        f"{', '.join(isp.label for isp in ISP)}",
+        path=path, source=source,
+    )
+
+
+def _validate_carriers(raw: dict, source) -> dict:
+    section = _require_mapping(raw.get("carriers", {}), "carriers",
+                               source)
+    _reject_unknown(section, _CARRIER_KEYS, "carriers", source)
+    policy = _string(section.get("policy", POLICY_OPERATOR),
+                     "carriers.policy", source,
+                     choices=CARRIER_POLICIES)
+    normalized: dict = {"policy": policy}
+    if policy == POLICY_USER:
+        if "weights" not in section:
+            raise PackError(
+                "policy 'user-defined' requires explicit weights",
+                path="carriers.weights", source=source,
+            )
+        weights = _require_mapping(section["weights"],
+                                   "carriers.weights", source)
+        resolved: dict[str, float] = {isp.label: 0.0 for isp in ISP}
+        for key, value in weights.items():
+            isp = _isp_label(key, _join("carriers.weights", str(key)),
+                             source)
+            resolved[isp.label] = _number(
+                value, _join("carriers.weights", str(key)), source,
+                lo=0)
+        if sum(resolved.values()) <= 0:
+            raise PackError("weights must have a positive sum",
+                            path="carriers.weights", source=source)
+        normalized["weights"] = {k: resolved[k]
+                                 for k in sorted(resolved)}
+    elif "weights" in section:
+        raise PackError(
+            f"weights are only valid with policy '{POLICY_USER}' "
+            f"(got policy {policy!r})",
+            path="carriers.weights", source=source,
+        )
+    return normalized
+
+
+def _carrier_weights(carriers: dict) -> tuple[float, ...] | None:
+    """The ScenarioConfig ``isp_weights`` a carriers block implies."""
+    policy = carriers["policy"]
+    if policy == POLICY_OPERATOR:
+        return None
+    if policy == POLICY_USER:
+        return tuple(carriers["weights"][isp.label] for isp in ISP)
+    # quality-first: subscriber share discounted by residual hazard —
+    # users migrate toward the reliable carriers (iCellular).
+    return tuple(
+        ISP_PROFILES[isp].subscriber_share
+        / behavior.ISP_HAZARD_FACTOR[isp]
+        for isp in ISP
+    )
+
+
+def _validate_five_g(raw: dict, source) -> dict:
+    section = _require_mapping(raw.get("five_g", {}), "five_g", source)
+    _reject_unknown(section, _FIVE_G_KEYS, "five_g", source)
+    return {
+        "coverage_hole_factor": _number(
+            section.get("coverage_hole_factor", 1.0),
+            "five_g.coverage_hole_factor", source, lo=0, lo_open=True),
+    }
+
+
+def _validate_topology(raw: dict, fleet: dict, source) -> dict:
+    section = _require_mapping(raw.get("topology", {}), "topology",
+                               source)
+    _reject_unknown(section, _TOPOLOGY_KEYS, "topology", source)
+    get = section.get
+    normalized = {
+        "base_stations": _number(
+            get("base_stations", max(400, fleet["devices"] // 2)),
+            "topology.base_stations", source, integer=True,
+            lo=len(DeploymentClass)),
+        "seed": _number(get("seed", fleet["seed"] + 1),
+                        "topology.seed", source, integer=True),
+        "propensity_sigma": _number(get("propensity_sigma", 1.8),
+                                    "topology.propensity_sigma",
+                                    source, lo=0, lo_open=True),
+        "hub_propensity_factor": _number(
+            get("hub_propensity_factor", 3.0),
+            "topology.hub_propensity_factor", source,
+            lo=0, lo_open=True),
+        "cdma_fraction": _number(get("cdma_fraction", 0.03),
+                                 "topology.cdma_fraction", source,
+                                 lo=0, hi=1),
+        "infrastructure_sharing": _boolean(
+            get("infrastructure_sharing", False),
+            "topology.infrastructure_sharing", source),
+        "sharing_density_factor": _number(
+            get("sharing_density_factor", 0.55),
+            "topology.sharing_density_factor", source,
+            lo=0, hi=1, lo_open=True),
+    }
+    if "deployment_mix" in section:
+        mix = _require_mapping(section["deployment_mix"],
+                               "topology.deployment_mix", source)
+        valid = {cls.value.lower(): cls.value
+                 for cls in DeploymentClass}
+        resolved: dict[str, float] = {}
+        for key, value in mix.items():
+            path = _join("topology.deployment_mix", str(key))
+            name = valid.get(str(key).lower())
+            if name is None:
+                close = difflib.get_close_matches(
+                    str(key).lower(), list(valid), n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                raise PackError(
+                    f"unknown deployment class {key!r}{hint}; valid "
+                    f"classes: {', '.join(sorted(valid))}",
+                    path=path, source=source,
+                )
+            resolved[name.lower()] = _number(value, path, source, lo=0)
+        if not resolved or sum(resolved.values()) <= 0:
+            raise PackError(
+                "deployment_mix needs at least one positive weight",
+                path="topology.deployment_mix", source=source,
+            )
+        normalized["deployment_mix"] = {
+            k: resolved[k] for k in sorted(resolved)
+        }
+    return normalized
+
+
+def _validate_chaos(raw: dict, source) -> dict | None:
+    if "chaos" not in raw:
+        return None
+    section = _require_mapping(raw["chaos"], "chaos", source)
+    _reject_unknown(section, _CHAOS_KEYS, "chaos", source)
+    get = section.get
+    normalized = {
+        "enabled": _boolean(get("enabled", True), "chaos.enabled",
+                            source),
+        "seed": _number(get("seed", 1337), "chaos.seed", source,
+                        integer=True),
+        "drop_rate": _number(get("drop_rate", 0.0),
+                             "chaos.drop_rate", source, lo=0, hi=1),
+        "duplicate_rate": _number(get("duplicate_rate", 0.0),
+                                  "chaos.duplicate_rate", source,
+                                  lo=0, hi=1),
+        "reorder_rate": _number(get("reorder_rate", 0.0),
+                                "chaos.reorder_rate", source,
+                                lo=0, hi=1),
+        "corrupt_rate": _number(get("corrupt_rate", 0.0),
+                                "chaos.corrupt_rate", source,
+                                lo=0, hi=1),
+        "wifi_availability": _number(get("wifi_availability", 0.35),
+                                     "chaos.wifi_availability",
+                                     source, lo=0, hi=1),
+        "max_attempts": _number(get("max_attempts", 10),
+                                "chaos.max_attempts", source,
+                                integer=True, lo=1),
+        "base_backoff_s": _number(get("base_backoff_s", 2.0),
+                                  "chaos.base_backoff_s", source,
+                                  lo=0),
+        "backoff_multiplier": _number(get("backoff_multiplier", 2.0),
+                                      "chaos.backoff_multiplier",
+                                      source, lo=1),
+        "max_backoff_s": _number(get("max_backoff_s", 120.0),
+                                 "chaos.max_backoff_s", source, lo=0),
+        "jitter": _number(get("jitter", 0.5), "chaos.jitter", source,
+                          lo=0),
+        "drain_interval_s": _number(get("drain_interval_s", 30.0),
+                                    "chaos.drain_interval_s", source,
+                                    lo=0, lo_open=True),
+        "max_drain_rounds": _number(get("max_drain_rounds", 400),
+                                    "chaos.max_drain_rounds", source,
+                                    integer=True, lo=1),
+    }
+    if "max_spool_bytes" in section:
+        value = section["max_spool_bytes"]
+        if value is not None:
+            value = _number(value, "chaos.max_spool_bytes", source,
+                            integer=True, lo=1)
+        normalized["max_spool_bytes"] = value
+    else:
+        normalized["max_spool_bytes"] = 4 * 1024 * 1024
+
+    outages: list[list[float]] = []
+    for i, window in enumerate(section.get("outages", []) or []):
+        path = f"chaos.outages[{i}]"
+        if (not isinstance(window, (list, tuple))
+                or len(window) != 2):
+            raise PackError(
+                f"expected a [start_s, end_s] pair, got {window!r}",
+                path=path, source=source,
+            )
+        start = _number(window[0], path + "[0]", source, lo=0)
+        end = _number(window[1], path + "[1]", source, lo=0)
+        if end <= start:
+            raise PackError(
+                f"outage window ({start}, {end}) is empty",
+                path=path, source=source,
+            )
+        outages.append([start, end])
+    if "outage_waves" in section:
+        waves = _require_mapping(section["outage_waves"],
+                                 "chaos.outage_waves", source)
+        _reject_unknown(waves, _WAVE_KEYS, "chaos.outage_waves",
+                        source)
+        count = _number(waves.get("count", 1),
+                        "chaos.outage_waves.count", source,
+                        integer=True, lo=1)
+        first = _number(waves.get("first_start_s", 0.0),
+                        "chaos.outage_waves.first_start_s", source,
+                        lo=0)
+        duration = _number(waves.get("duration_s"),
+                           "chaos.outage_waves.duration_s", source,
+                           lo=0, lo_open=True) \
+            if "duration_s" in waves else None
+        if duration is None:
+            raise PackError("duration_s is required",
+                            path="chaos.outage_waves.duration_s",
+                            source=source)
+        spacing = _number(waves.get("spacing_s", duration * 2),
+                          "chaos.outage_waves.spacing_s", source,
+                          lo=0, lo_open=True)
+        # A recovery-wave profile: repeated regional blackouts, each
+        # followed by a re-upload surge when service returns.
+        for i in range(count):
+            start = first + i * spacing
+            outages.append([start, start + duration])
+    normalized["outages"] = sorted(outages)
+    return normalized
+
+
+def _validate_run(raw: dict, source) -> dict:
+    section = _require_mapping(raw.get("run", {}), "run", source)
+    _reject_unknown(section, _RUN_KEYS, "run", source)
+    normalized = {
+        "engine": _string(section.get("engine", ENGINE_BATCH),
+                          "run.engine", source,
+                          choices=(ENGINE_SERIAL, ENGINE_BATCH)),
+    }
+    for key in ("workers", "shards"):
+        if key in section and section[key] is not None:
+            normalized[key] = _number(section[key], _join("run", key),
+                                      source, integer=True, lo=1)
+    return normalized
+
+
+# ---------------------------------------------------------------------------
+# assembly
+# ---------------------------------------------------------------------------
+
+
+def pack_from_dict(raw: dict, *, source: str | None = None) -> ScenarioPack:
+    """Validate a pack document and compose its scenario.
+
+    Raises :class:`PackError` (with the full key path and, when given,
+    the source file) on the first problem found — never a raw
+    ``KeyError``/``TypeError`` mid-run.
+    """
+    raw = _require_mapping(raw, "", source)
+    _reject_unknown(raw, _TOP_KEYS, "", source)
+
+    version = _number(raw.get("pack", SCHEMA_VERSION), "pack", source,
+                      integer=True)
+    if version != SCHEMA_VERSION:
+        raise PackError(
+            f"unsupported pack schema version {version} "
+            f"(this build reads v{SCHEMA_VERSION})",
+            path="pack", source=source,
+        )
+    if "name" not in raw:
+        raise PackError("a pack needs a name", path="name",
+                        source=source)
+    name = _string(raw["name"], "name", source)
+    if not _NAME_RE.match(name):
+        raise PackError(
+            f"name {name!r} must be lowercase letters/digits/"
+            "dashes/underscores (it names directories and report "
+            "rows)",
+            path="name", source=source,
+        )
+    description = _string(raw.get("description", ""), "description",
+                          source)
+    tags_raw = raw.get("tags", [])
+    if not isinstance(tags_raw, (list, tuple)):
+        raise PackError(f"expected a list of strings, got {tags_raw!r}",
+                        path="tags", source=source)
+    tags = tuple(_string(tag, f"tags[{i}]", source)
+                 for i, tag in enumerate(tags_raw))
+
+    fleet = _validate_fleet(raw, source)
+    carriers = _validate_carriers(raw, source)
+    five_g = _validate_five_g(raw, source)
+    topology = _validate_topology(raw, fleet, source)
+    chaos = _validate_chaos(raw, source)
+    run = _validate_run(raw, source)
+
+    data = {
+        "pack": SCHEMA_VERSION,
+        "name": name,
+        "description": description,
+        "tags": list(tags),
+        "fleet": fleet,
+        "carriers": carriers,
+        "five_g": five_g,
+        "topology": topology,
+        "run": run,
+    }
+    if chaos is not None:
+        data["chaos"] = chaos
+
+    hole = five_g["coverage_hole_factor"]
+    deployment_mix = None
+    if "deployment_mix" in topology:
+        deployment_mix = tuple(
+            (cls.upper(), weight)
+            for cls, weight in topology["deployment_mix"].items()
+        )
+    chaos_config = None
+    if chaos is not None:
+        chaos_config = ChaosConfig(
+            enabled=chaos["enabled"],
+            seed=chaos["seed"],
+            drop_rate=chaos["drop_rate"],
+            duplicate_rate=chaos["duplicate_rate"],
+            reorder_rate=chaos["reorder_rate"],
+            corrupt_rate=chaos["corrupt_rate"],
+            outages=tuple((start, end)
+                          for start, end in chaos["outages"]),
+            max_attempts=chaos["max_attempts"],
+            base_backoff_s=chaos["base_backoff_s"],
+            backoff_multiplier=chaos["backoff_multiplier"],
+            max_backoff_s=chaos["max_backoff_s"],
+            jitter=chaos["jitter"],
+            max_spool_bytes=chaos["max_spool_bytes"],
+            wifi_availability=chaos["wifi_availability"],
+            drain_interval_s=chaos["drain_interval_s"],
+            max_drain_rounds=chaos["max_drain_rounds"],
+        )
+    try:
+        scenario = ScenarioConfig(
+            n_devices=fleet["devices"],
+            seed=fleet["seed"],
+            study_months=fleet["study_months"],
+            arm=_ARMS[fleet["arm"]],
+            frequency_scale=fleet["frequency_scale"],
+            false_positive_rate=fleet["false_positive_rate"],
+            max_events_per_device=fleet["max_events_per_device"],
+            engine=run["engine"],
+            isp_weights=_carrier_weights(carriers),
+            ambient_factor_5g=(
+                None if hole == 1.0
+                else behavior.AMBIENT_FRACTION_5G * hole
+            ),
+            chaos=chaos_config,
+            topology=TopologyConfig(
+                n_base_stations=topology["base_stations"],
+                seed=topology["seed"],
+                propensity_sigma=topology["propensity_sigma"],
+                hub_propensity_factor=topology["hub_propensity_factor"],
+                cdma_fraction=topology["cdma_fraction"],
+                infrastructure_sharing=topology[
+                    "infrastructure_sharing"],
+                sharing_density_factor=topology[
+                    "sharing_density_factor"],
+                deployment_mix=deployment_mix,
+            ),
+        )
+    except ValueError as exc:
+        # Anything the dataclasses reject beyond the schema's ranges
+        # still surfaces as a parse-time pack error.
+        raise PackError(str(exc), source=source) from exc
+    return ScenarioPack(
+        name=name,
+        description=description,
+        tags=tags,
+        scenario=scenario,
+        workers=run.get("workers"),
+        shards=run.get("shards"),
+        data=data,
+        source=source,
+    )
+
+
+def load_pack(path: str | Path) -> ScenarioPack:
+    """Load and validate one pack file (``.yaml``/``.yml``/``.json``)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PackError(f"cannot read pack: {exc}",
+                        source=str(path)) from exc
+    if path.suffix.lower() == ".json":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PackError(f"invalid JSON: {exc}",
+                            source=str(path)) from exc
+    else:
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-specific
+            raise PackError(
+                "YAML packs need the 'pyyaml' package (pip install "
+                "pyyaml), or rewrite the pack as JSON",
+                source=str(path),
+            ) from exc
+        try:
+            raw = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise PackError(f"invalid YAML: {exc}",
+                            source=str(path)) from exc
+    if raw is None:
+        raise PackError("pack file is empty", source=str(path))
+    return pack_from_dict(raw, source=str(path))
+
+
+def resolve_pack_paths(specs: list[str]) -> list[Path]:
+    """Expand CLI pack arguments into concrete pack files.
+
+    Each spec may be a pack file, or a directory whose immediate
+    ``*.yaml`` / ``*.yml`` / ``*.json`` files are taken in sorted
+    order.  Order is preserved across specs; duplicates (same resolved
+    path) are dropped.
+    """
+    resolved: list[Path] = []
+    seen: set[Path] = set()
+
+    def add(path: Path) -> None:
+        real = path.resolve()
+        if real not in seen:
+            seen.add(real)
+            resolved.append(path)
+
+    for spec in specs:
+        path = Path(spec)
+        if path.is_dir():
+            entries = sorted(
+                entry for entry in path.iterdir()
+                if entry.suffix.lower() in (".yaml", ".yml", ".json")
+            )
+            if not entries:
+                raise PackError("directory contains no pack files "
+                                "(*.yaml, *.yml, *.json)",
+                                source=str(path))
+            for entry in entries:
+                add(entry)
+        elif path.exists():
+            add(path)
+        else:
+            raise PackError("no such pack file or directory",
+                            source=str(path))
+    return resolved

@@ -1,13 +1,21 @@
-"""Tests for the Android-phone landscape analysis (Sec. 3.2)."""
+"""Tests for the landscape analyses: the Android-phone landscape of
+Sec. 3.2 and the cross-scenario sweep landscape."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro import quantities
+from repro.analysis.columnar import compute_analysis_block
 from repro.analysis.landscape import (
     compare_5g,
     compare_android_versions,
+    comparison_table,
     per_model_stats,
+    render_scenario_landscape,
+    scenario_landscape_dict,
+    scenario_row,
 )
 from repro.dataset.store import Dataset
 
@@ -78,3 +86,44 @@ class TestGroupComparisons:
     def test_empty_group_rejected(self):
         with pytest.raises(ValueError):
             compare_5g(Dataset())
+
+
+class TestScenarioLandscape:
+    def rows(self, vanilla_dataset):
+        busy = scenario_row(
+            "busy", compute_analysis_block(vanilla_dataset),
+            engine="batch", tags=("stress",),
+            counters={'fleet_failures_total{type="DATA_STALL"}': 12},
+        )
+        # A pack that recorded nothing: empty-dataset block.
+        quiet = scenario_row("quiet", compute_analysis_block(Dataset()),
+                             description="no traffic at all")
+        return [busy, quiet]
+
+    def test_zero_failure_row_stays_nan_free(self, vanilla_dataset):
+        rows = self.rows(vanilla_dataset)
+        table = comparison_table(rows)
+        assert "| quiet |" in table
+        assert "nan" not in table.lower()
+        assert "| 0 | 0.0000 | 0.00 | 0.0 | 0.00% | - |" in table
+
+    def test_report_renders_both_rows(self, vanilla_dataset):
+        report = render_scenario_landscape(self.rows(vanilla_dataset))
+        assert "## busy" in report and "## quiet" in report
+        assert "no failures recorded" in report
+        assert 'metric fleet_failures_total{type="DATA_STALL"}: 12' \
+            in report
+        assert "nan" not in report.lower()
+
+    def test_extremes_order_rows_by_metric(self, vanilla_dataset):
+        document = scenario_landscape_dict(self.rows(vanilla_dataset))
+        extremes = document["extremes"]["prevalence"]
+        assert extremes["min"]["scenario"] == "quiet"
+        assert extremes["max"]["scenario"] == "busy"
+        # JSON-serializable end to end (no tuples, no NaN).
+        json.dumps(document, allow_nan=False)
+
+    def test_empty_landscape_renders(self):
+        report = render_scenario_landscape([])
+        assert "0 scenario(s)" in report
+        assert scenario_landscape_dict([])["extremes"] == {}

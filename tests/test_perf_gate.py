@@ -114,6 +114,17 @@ class TestCompare:
         snapshot["durations"]["workers_2_wall_s_degraded"] = 500.0
         assert compare(baseline, snapshot) == []
 
+    def test_sweep_wall_time_gated(self, baseline):
+        # sweep_wall_s is a tracked duration: a blowup beyond the
+        # ratio fails even though legacy baselines never carried it.
+        baseline["durations"]["sweep_wall_s"] = 10.0
+        snapshot = snapshot_fixture()
+        snapshot["durations"]["sweep_wall_s"] = 100.0
+        assert any("sweep_wall_s" in p
+                   for p in compare(baseline, snapshot))
+        snapshot["durations"]["sweep_wall_s"] = 12.0  # < 3x
+        assert compare(baseline, snapshot) == []
+
     def test_scenario_mismatch_short_circuits(self, baseline):
         snapshot = snapshot_fixture()
         snapshot["scenario"]["n_devices"] = 999
@@ -194,3 +205,15 @@ class TestCommittedBaseline:
         assert document["counters"]
         assert set(DEFAULT_THRESHOLDS) <= set(document["thresholds"])
         assert "serial_wall_s" in document["durations"]
+
+    def test_repo_sweep_baseline_is_wellformed(self):
+        path = (Path(__file__).resolve().parent.parent
+                / "BENCH_baseline_sweep.json")
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "perf_gate_baseline"
+        assert document["counters"]
+        assert "sweep_wall_s" in document["durations"]
+        # The baseline is pinned to the bundled CI packs by content
+        # fingerprint; editing a pack must force a baseline refresh.
+        fingerprints = document["scenario"]["fingerprints"]
+        assert set(document["scenario"]["packs"]) == set(fingerprints)

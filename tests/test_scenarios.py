@@ -1,0 +1,300 @@
+"""Tests for the scenario-pack DSL (``repro.scenarios.pack``).
+
+The load-bearing properties:
+
+* validation happens entirely at parse time, with the full dotted key
+  path (and a did-you-mean hint) in every error;
+* dict -> pack -> dict is a fixed point, and the YAML form round-trips
+  to the identical pack (same fingerprint, same ScenarioConfig);
+* the bundled reference packs all load, and ``paper-baseline``
+  composes exactly the scenario the CLI runs by default;
+* the carrier-selection policies translate to the documented
+  ``isp_weights``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.fleet import behavior
+from repro.fleet.scenario import ENGINE_BATCH, ENGINE_SERIAL
+from repro.network.isp import ISP, ISP_PROFILES
+from repro.scenarios import (
+    PackError,
+    load_pack,
+    pack_from_dict,
+    pack_to_dict,
+    resolve_pack_paths,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKS_DIR = REPO_ROOT / "packs"
+
+yaml = pytest.importorskip("yaml")
+
+
+def minimal(**overrides) -> dict:
+    document = {"name": "test-pack"}
+    document.update(overrides)
+    return document
+
+
+class TestValidation:
+    def test_minimal_pack_gets_defaults(self):
+        pack = pack_from_dict(minimal())
+        assert pack.scenario.n_devices == 2_000
+        assert pack.scenario.seed == 2_020
+        assert pack.engine == ENGINE_BATCH
+        assert pack.scenario.isp_weights is None
+        assert pack.scenario.ambient_factor_5g is None
+        assert pack.scenario.chaos is None
+
+    def test_name_is_required(self):
+        with pytest.raises(PackError, match="name"):
+            pack_from_dict({})
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(PackError, match="name"):
+            pack_from_dict(minimal(name="Has Spaces"))
+
+    def test_unknown_top_level_key_with_suggestion(self):
+        with pytest.raises(PackError) as excinfo:
+            pack_from_dict(minimal(flete={"devices": 10}))
+        assert "flete" in str(excinfo.value)
+        assert "did you mean 'fleet'" in str(excinfo.value)
+
+    def test_unknown_nested_key_carries_full_path(self):
+        with pytest.raises(PackError) as excinfo:
+            pack_from_dict(minimal(chaos={"drop_rat": 0.5}))
+        assert excinfo.value.path == "chaos.drop_rat"
+        assert "did you mean 'drop_rate'" in str(excinfo.value)
+
+    def test_out_of_range_value_carries_full_path(self):
+        with pytest.raises(PackError) as excinfo:
+            pack_from_dict(minimal(chaos={"drop_rate": 1.5}))
+        assert excinfo.value.path == "chaos.drop_rate"
+        assert "within [0, 1]" in str(excinfo.value)
+
+    def test_bool_is_not_a_number(self):
+        # YAML footgun: `devices: true` must not parse as 1.
+        with pytest.raises(PackError, match="integer"):
+            pack_from_dict(minimal(fleet={"devices": True}))
+
+    def test_source_path_prefixes_errors(self, tmp_path):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: bad\nfleet:\n  devices: -3\n")
+        with pytest.raises(PackError) as excinfo:
+            load_pack(bad)
+        message = str(excinfo.value)
+        assert message.startswith(str(bad))
+        assert "fleet.devices" in message
+
+    def test_empty_outage_window_rejected(self):
+        with pytest.raises(PackError, match="empty"):
+            pack_from_dict(
+                minimal(chaos={"outages": [[7200, 3600]]})
+            )
+
+    def test_unknown_deployment_class_suggested(self):
+        with pytest.raises(PackError) as excinfo:
+            pack_from_dict(minimal(
+                topology={"deployment_mix": {"urbann": 1.0}}
+            ))
+        assert "did you mean 'urban'" in str(excinfo.value)
+
+    def test_unsupported_schema_version(self):
+        with pytest.raises(PackError, match="schema version"):
+            pack_from_dict(minimal(pack=99))
+
+    def test_user_defined_weights_required(self):
+        with pytest.raises(PackError) as excinfo:
+            pack_from_dict(minimal(carriers={"policy": "user-defined"}))
+        assert excinfo.value.path == "carriers.weights"
+
+    def test_weights_without_user_policy_rejected(self):
+        with pytest.raises(PackError, match="only valid"):
+            pack_from_dict(minimal(
+                carriers={"weights": {"ISP-A": 1.0}}
+            ))
+
+
+class TestRoundTrip:
+    def rich_document(self) -> dict:
+        return {
+            "pack": 1,
+            "name": "round-trip",
+            "description": "every section exercised",
+            "tags": ["a", "b"],
+            "fleet": {"devices": 120, "seed": 9,
+                      "study_months": 2.0},
+            "carriers": {"policy": "user-defined",
+                         "weights": {"ISP-A": 0.5, "ISP-B": 0.3,
+                                     "ISP-C": 0.2}},
+            "five_g": {"coverage_hole_factor": 2.0},
+            "topology": {"deployment_mix": {"urban": 0.6,
+                                            "suburban": 0.4}},
+            "chaos": {"drop_rate": 0.1,
+                      "outage_waves": {"count": 2,
+                                       "first_start_s": 100,
+                                       "duration_s": 50,
+                                       "spacing_s": 500}},
+            "run": {"engine": "serial", "workers": 2},
+        }
+
+    def test_dict_to_pack_to_dict_is_fixed_point(self):
+        pack = pack_from_dict(self.rich_document())
+        normalized = pack_to_dict(pack)
+        again = pack_from_dict(normalized)
+        assert pack_to_dict(again) == normalized
+        assert again.fingerprint() == pack.fingerprint()
+
+    def test_yaml_round_trip_is_identical(self, tmp_path):
+        pack = pack_from_dict(self.rich_document())
+        path = tmp_path / "pack.yaml"
+        path.write_text(yaml.safe_dump(pack_to_dict(pack)))
+        loaded = load_pack(path)
+        assert loaded.fingerprint() == pack.fingerprint()
+        assert loaded.scenario == pack.scenario
+        assert loaded.workers == pack.workers
+
+    def test_json_pack_loads_too(self, tmp_path):
+        pack = pack_from_dict(self.rich_document())
+        path = tmp_path / "pack.json"
+        path.write_text(json.dumps(pack_to_dict(pack)))
+        assert load_pack(path).fingerprint() == pack.fingerprint()
+
+    def test_outage_waves_expand_to_windows(self):
+        pack = pack_from_dict(self.rich_document())
+        assert pack.scenario.chaos.outages == (
+            (100.0, 150.0), (600.0, 650.0),
+        )
+
+    def test_fingerprint_tracks_content_not_source(self, tmp_path):
+        pack = pack_from_dict(self.rich_document())
+        path = tmp_path / "elsewhere.yaml"
+        path.write_text(yaml.safe_dump(pack_to_dict(pack)))
+        assert load_pack(path).fingerprint() == pack.fingerprint()
+        changed = self.rich_document()
+        changed["fleet"]["devices"] = 121
+        assert (pack_from_dict(changed).fingerprint()
+                != pack.fingerprint())
+
+
+class TestCarrierPolicies:
+    def test_operator_assigned_keeps_default_population(self):
+        pack = pack_from_dict(minimal(
+            carriers={"policy": "operator-assigned"}
+        ))
+        assert pack.scenario.isp_weights is None
+
+    def test_user_defined_weights_in_isp_order(self):
+        pack = pack_from_dict(minimal(
+            carriers={"policy": "user-defined",
+                      "weights": {"ISP-B": 3.0, "A": 1.0}}
+        ))
+        # Ratios in ISP order (ISP-A, ISP-B, ISP-C); unmentioned
+        # carriers get zero population.
+        assert pack.scenario.isp_weights == (1.0, 3.0, 0.0)
+
+    def test_quality_first_discounts_by_hazard(self):
+        pack = pack_from_dict(minimal(
+            carriers={"policy": "quality-first"}
+        ))
+        expected = [ISP_PROFILES[isp].subscriber_share
+                    / behavior.ISP_HAZARD_FACTOR[isp] for isp in ISP]
+        assert pack.scenario.isp_weights == pytest.approx(expected)
+
+    def test_coverage_hole_scales_ambient_factor(self):
+        pack = pack_from_dict(minimal(
+            five_g={"coverage_hole_factor": 2.5}
+        ))
+        assert pack.scenario.ambient_factor_5g == pytest.approx(
+            behavior.AMBIENT_FRACTION_5G * 2.5
+        )
+
+
+class TestBundledPacks:
+    def test_all_reference_packs_load(self):
+        paths = resolve_pack_paths([str(PACKS_DIR),
+                                    str(PACKS_DIR / "ci")])
+        packs = [load_pack(path) for path in paths]
+        assert len(packs) >= 9
+        assert len({pack.name for pack in packs}) == len(packs)
+
+    def test_paper_baseline_matches_cli_defaults(self):
+        """`repro sweep packs/paper-baseline.yaml` is `repro study`."""
+        from repro.cli import _scenario
+
+        pack = load_pack(PACKS_DIR / "paper-baseline.yaml")
+        args = build_parser().parse_args(["study"])
+        assert pack.scenario == _scenario(args)
+
+    def test_ci_packs_are_smoke_sized(self):
+        for path in resolve_pack_paths([str(PACKS_DIR / "ci")]):
+            pack = load_pack(path)
+            assert pack.scenario.n_devices <= 600, pack.name
+
+    def test_resolve_rejects_missing_and_empty(self, tmp_path):
+        with pytest.raises(PackError, match="no such pack"):
+            resolve_pack_paths([str(tmp_path / "nope.yaml")])
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(PackError, match="no pack files"):
+            resolve_pack_paths([str(empty)])
+
+    def test_resolve_dedups_and_sorts(self, tmp_path):
+        for name in ("b.yaml", "a.yaml"):
+            (tmp_path / name).write_text(
+                f"name: {name.split('.')[0]}\n"
+            )
+        paths = resolve_pack_paths([str(tmp_path / "a.yaml"),
+                                    str(tmp_path)])
+        assert [path.name for path in paths] == ["a.yaml", "b.yaml"]
+
+
+class TestEngineKnobs:
+    """The new ScenarioConfig knobs stay None on defaults (so the
+    golden digests are untouched) and validate when set."""
+
+    def test_default_scenario_unchanged(self):
+        from repro.fleet.scenario import ScenarioConfig
+
+        config = ScenarioConfig(n_devices=10)
+        assert config.isp_weights is None
+        assert config.ambient_factor_5g is None
+        assert config.topology.deployment_mix is None
+
+    def test_isp_weights_normalized(self):
+        from repro.fleet.scenario import ScenarioConfig
+
+        config = ScenarioConfig(n_devices=10, isp_weights=(1, 1, 2))
+        assert config.isp_weights == (1.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_devices=10, isp_weights=(1, 1))
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_devices=10, isp_weights=(0, 0, 0))
+
+    def test_deployment_mix_normalized(self):
+        from repro.network.topology import TopologyConfig
+
+        config = TopologyConfig(deployment_mix=(("urban", 3.0),
+                                                ("rural", 1.0)))
+        assert config.deployment_mix == (("URBAN", 3.0),
+                                         ("RURAL", 1.0))
+        with pytest.raises(ValueError):
+            TopologyConfig(deployment_mix=(("nowhere", 1.0),))
+
+    def test_engine_serial_vs_batch_both_honor_isp_weights(self):
+        from repro.fleet.scenario import ScenarioConfig
+        from repro.fleet.simulator import FleetSimulator
+
+        for engine in (ENGINE_SERIAL, ENGINE_BATCH):
+            config = ScenarioConfig(
+                n_devices=80, seed=5, engine=engine,
+                isp_weights=(0.0, 0.0, 1.0),
+            )
+            dataset = FleetSimulator(config).run()
+            isps = {device.isp for device in dataset.devices}
+            assert isps == {"ISP-C"}, engine

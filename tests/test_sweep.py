@@ -1,0 +1,212 @@
+"""Tests for the sweep runner (``repro.scenarios.sweep``) and the
+``repro sweep`` CLI.
+
+The load-bearing properties:
+
+* a pack simulated inside a sweep is byte-identical (same record
+  digest, same analysis block) to the same pack run alone — sweeps
+  never leak state between packs;
+* ``resume`` skips completed packs without re-simulating and the
+  rendered artifacts stay byte-identical; an edited pack is rerun;
+* the landscape fold survives heterogeneous packs, including one that
+  records zero failures;
+* the CLI validates every pack before the first simulation and exits
+  2 with the key path on a broken one.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.scenarios import PackError, pack_from_dict, run_sweep
+
+pytestmark = pytest.mark.slow
+
+
+def make_pack(name: str, devices: int = 60, seed: int = 7,
+              **overrides) -> "ScenarioPack":  # noqa: F821
+    document = {
+        "name": name,
+        "fleet": {"devices": devices, "seed": seed},
+        "run": {"engine": "batch"},
+    }
+    document.update(overrides)
+    return pack_from_dict(document)
+
+
+def result_payload(out_dir, name: str) -> dict:
+    path = out_dir / "packs" / name / "result.json"
+    return json.loads(path.read_text())
+
+
+class TestSweepDeterminism:
+    def test_pack_in_sweep_equals_pack_alone(self, tmp_path):
+        a = make_pack("alpha", seed=3)
+        b = make_pack("beta", seed=4,
+                      chaos={"drop_rate": 0.1})
+        run_sweep([a, b], tmp_path / "both")
+        run_sweep([a], tmp_path / "solo")
+        together = result_payload(tmp_path / "both", "alpha")
+        alone = result_payload(tmp_path / "solo", "alpha")
+        assert together["record_digest"] == alone["record_digest"]
+        assert together["analysis"] == alone["analysis"]
+        assert together["counters"] == alone["counters"]
+
+    def test_result_json_has_no_wall_clock(self, tmp_path):
+        run_sweep([make_pack("alpha")], tmp_path)
+        payload = result_payload(tmp_path, "alpha")
+        text = json.dumps(payload)
+        assert "wall_s" not in text
+        assert "execution" not in payload
+        # The volatile stats still exist, in their own file.
+        execution = json.loads(
+            (tmp_path / "packs" / "alpha" / "execution.json")
+            .read_text()
+        )
+        assert "wall_s" in json.dumps(execution)
+
+
+class TestResume:
+    def test_resume_skips_completed_packs(self, tmp_path):
+        packs = [make_pack("alpha"), make_pack("beta", seed=8)]
+        first = run_sweep(packs, tmp_path)
+        assert first.ran == ["alpha", "beta"]
+        md = first.report_md_path.read_bytes()
+        js = first.report_json_path.read_bytes()
+        results = {
+            name: (tmp_path / "packs" / name / "result.json")
+            .read_bytes()
+            for name in ("alpha", "beta")
+        }
+        second = run_sweep(packs, tmp_path, resume=True)
+        assert second.skipped == ["alpha", "beta"]
+        assert second.ran == []
+        assert second.report_md_path.read_bytes() == md
+        assert second.report_json_path.read_bytes() == js
+        for name, blob in results.items():
+            assert (tmp_path / "packs" / name / "result.json"
+                    ).read_bytes() == blob
+
+    def test_without_resume_everything_reruns(self, tmp_path):
+        packs = [make_pack("alpha")]
+        run_sweep(packs, tmp_path)
+        again = run_sweep(packs, tmp_path)
+        assert again.ran == ["alpha"]
+
+    def test_edited_pack_is_rerun_not_served_stale(self, tmp_path):
+        run_sweep([make_pack("alpha", devices=60)], tmp_path)
+        stale = result_payload(tmp_path, "alpha")
+        edited = make_pack("alpha", devices=70)
+        result = run_sweep([edited], tmp_path, resume=True)
+        assert result.skipped == []
+        fresh = result_payload(tmp_path, "alpha")
+        assert fresh["fingerprint"] == edited.fingerprint()
+        assert fresh["fingerprint"] != stale["fingerprint"]
+        assert fresh["analysis"]["n_devices"] == 70
+
+    def test_torn_result_json_is_rerun(self, tmp_path):
+        packs = [make_pack("alpha")]
+        run_sweep(packs, tmp_path)
+        target = tmp_path / "packs" / "alpha" / "result.json"
+        target.write_text(target.read_text()[:40])  # torn write
+        result = run_sweep(packs, tmp_path, resume=True)
+        assert result.ran == ["alpha"]
+        # And the rerun restores the full payload.
+        assert result_payload(tmp_path, "alpha")["complete"]
+
+
+class TestLandscapeFold:
+    def test_heterogeneous_packs_share_one_table(self, tmp_path):
+        packs = [
+            make_pack("plain"),
+            make_pack("chaotic", seed=9,
+                      chaos={"drop_rate": 0.3,
+                             "outages": [[3600, 7200]]}),
+            make_pack("serial-arm", seed=10,
+                      run={"engine": "serial"},
+                      fleet={"devices": 40, "seed": 10,
+                             "arm": "patched"}),
+        ]
+        result = run_sweep(packs, tmp_path)
+        table = result.table
+        for name in ("plain", "chaotic", "serial-arm"):
+            assert f"| {name} |" in table
+        report = json.loads(result.report_json_path.read_text())
+        assert report["n_scenarios"] == 3
+        # The chaos pack carries telemetry; the plain ones don't.
+        by_name = {row["name"]: row for row in report["scenarios"]}
+        assert by_name["chaotic"]["telemetry"] is not None
+        assert by_name["plain"]["telemetry"] is None
+
+    def test_zero_failure_pack_cannot_poison_the_table(self, tmp_path):
+        # frequency_scale tiny + no false positives => typically zero
+        # failures; the fold must stay NaN-free either way.
+        quiet = pack_from_dict({
+            "name": "quiet",
+            "fleet": {"devices": 20, "seed": 5,
+                      "study_months": 0.001,
+                      "frequency_scale": 0.0001,
+                      "false_positive_rate": 0.0},
+            "run": {"engine": "batch"},
+        })
+        loud = make_pack("loud", devices=40, seed=6)
+        result = run_sweep([quiet, loud], tmp_path)
+        payload = result_payload(tmp_path, "quiet")
+        assert payload["analysis"]["n_failures"] == 0
+        assert payload["summary"]["prevalence"] == 0.0
+        assert payload["summary"]["mean_duration_s"] == 0.0
+        text = result.report_md_path.read_text()
+        assert "nan" not in text.lower().replace("landscape", "")
+        assert "no failures recorded" in text
+        report = json.loads(result.report_json_path.read_text())
+        extremes = report["extremes"]["prevalence"]
+        assert extremes["min"]["scenario"] == "quiet"
+        assert extremes["max"]["scenario"] == "loud"
+
+    def test_duplicate_names_rejected_before_running(self, tmp_path):
+        with pytest.raises(PackError, match="duplicate"):
+            run_sweep([make_pack("twin"), make_pack("twin")],
+                      tmp_path)
+        assert not (tmp_path / "packs").exists()
+
+
+class TestSweepCli:
+    def write_pack(self, tmp_path, name: str, body: str = "") -> str:
+        path = tmp_path / f"{name}.yaml"
+        path.write_text(
+            f"name: {name}\n"
+            "fleet: {devices: 40, seed: 3}\n"
+            "run: {engine: batch}\n" + body
+        )
+        return str(path)
+
+    def test_sweep_runs_and_prints_table(self, tmp_path, capsys):
+        yaml = pytest.importorskip("yaml")  # noqa: F841
+        pack = self.write_pack(tmp_path, "cli-pack")
+        out = tmp_path / "out"
+        assert cli_main(["sweep", pack, "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "| cli-pack |" in captured
+        assert "sweep complete: 1 ran, 0 skipped" in captured
+        assert (out / "landscape.md").exists()
+
+    def test_broken_pack_exits_2_before_any_simulation(
+            self, tmp_path, capsys):
+        yaml = pytest.importorskip("yaml")  # noqa: F841
+        good = self.write_pack(tmp_path, "good")
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: bad\nchaos: {drop_rate: 7}\n")
+        out = tmp_path / "out"
+        code = cli_main(["sweep", good, str(bad), "--out", str(out)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "chaos.drop_rate" in captured.err
+        # Validation failed up front: nothing was simulated.
+        assert not out.exists()
+
+    def test_missing_pack_exits_2(self, tmp_path, capsys):
+        code = cli_main(["sweep", str(tmp_path / "ghost.yaml"),
+                         "--out", str(tmp_path / "out")])
+        assert code == 2
+        assert "no such pack" in capsys.readouterr().err

@@ -60,7 +60,7 @@ DEFAULT_THRESHOLDS = {
 #: suffixed ``_degraded`` — sharded runs whose shards fell back to
 #: inline execution — are deliberately absent: degraded throughput is
 #: recorded but never gated as if it were a parallel measurement.
-_TRACKED_DURATIONS = ("serial_wall_s", "batch_wall_s")
+_TRACKED_DURATIONS = ("serial_wall_s", "batch_wall_s", "sweep_wall_s")
 
 
 def compare(baseline: dict, snapshot: dict) -> list[str]:
