@@ -12,6 +12,8 @@
                             [--policy P] [--checkpoint PATH] [--resume]
                             [--store-dir DIR] [--seal-records N]
                             [--disk-chaos RATE]
+    python -m repro query   HOST:PORT {stats,isp_bs,transitions,summary}
+                            [--json] [--timeout S]
     python -m repro scrub   DIR [--no-repair] [--json PATH] [--strict]
     python -m repro sweep   PACKS... --out DIR [--resume]
                             [--workers W] [--shards K]
@@ -40,6 +42,14 @@ server memory, and the drain checkpoint shrinks to the unsealed tail;
 ``scrub`` verifies such a store's checksums, quarantines damaged
 segments, repairs from the journal, and reports anything
 unrecoverable.
+
+``query`` asks a *running* service for a live analysis answer over
+everything ingested so far (:mod:`repro.serve.query`): ``stats``,
+``isp_bs``, ``transitions``, or the derived ``summary``.  The answer
+is a snapshot-consistent fold — byte-identical to what ``analyze``
+would report over the same drained dataset — stamped with a watermark
+saying exactly how many records it covers.  ``--json`` prints the raw
+response envelope (sorted keys) instead of the human rendering.
 
 ``sweep`` runs a list of scenario packs (files or directories of
 ``*.yaml``/``*.yml``/``*.json``; see :mod:`repro.scenarios` and
@@ -349,6 +359,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Ask a running ingest service for a live analysis answer."""
+    from repro.serve import QueryClient, TransportSignal
+
+    host, _, port_text = args.address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        print(f"expected HOST:PORT, got {args.address!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        with QueryClient(host, port, timeout_s=args.timeout) as client:
+            envelope = client.query(args.kind)
+    except TransportSignal as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return 0
+    watermark = envelope.get("watermark", {})
+    print(f"{args.kind} @ {watermark.get('n_records', '?')} records "
+          f"({watermark.get('mode', '?')} mode)")
+    if envelope.get("skipped_segments"):
+        print(f"note: {envelope['skipped_segments']} corrupt "
+              "segment(s) skipped; answer is a lower bound",
+              file=sys.stderr)
+    result = envelope.get("result", {})
+    for key in sorted(result):
+        value = result[key]
+        if isinstance(value, dict):
+            print(f"  {key}:")
+            for sub in sorted(value):
+                print(f"    {sub}: {value[sub]}")
+        else:
+            print(f"  {key}: {value}")
+    return 0
+
+
 def cmd_scrub(args: argparse.Namespace) -> int:
     """Verify a segment store, classify damage, repair what's possible."""
     from repro.store import SegmentStore
@@ -521,6 +572,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the service metrics in Prometheus "
                             "text format on exit")
     serve.set_defaults(handler=cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="query a running ingest service live"
+    )
+    query.add_argument("address", metavar="HOST:PORT",
+                       help="address the service printed at startup "
+                            "('serving on HOST:PORT')")
+    query.add_argument("kind",
+                       choices=("stats", "isp_bs", "transitions",
+                                "summary"),
+                       help="which analysis answer to fetch")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw response envelope as "
+                            "sorted JSON instead of the human "
+                            "rendering")
+    query.add_argument("--timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="socket connect/read timeout "
+                            "(default 10s)")
+    query.set_defaults(handler=cmd_query)
 
     scrub = commands.add_parser(
         "scrub", help="verify and repair a durable segment store"

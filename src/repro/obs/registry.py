@@ -229,6 +229,9 @@ class NullRegistry:
     def gauge_set(self, name: str, value: float, **labels) -> None:
         pass
 
+    def gauge_level(self, name: str, value: float, **labels) -> None:
+        pass
+
     def observe(self, name: str, value: float, buckets=None,
                 **labels) -> None:
         pass
@@ -283,6 +286,18 @@ class MetricsRegistry:
         current = self._gauges.get(key)
         if current is None or value > current:
             self._gauges[key] = value
+
+    def gauge_level(self, name: str, value: float, **labels) -> None:
+        """Record a point-in-time *level* gauge (last write wins).
+
+        For quantities that genuinely fall — active connections, queue
+        occupancy after a drain.  Snapshot merges still take the max
+        (the highest concurrent level across shards), which is the
+        only associative reading of "current level" a merge can have;
+        within one registry the exported value is the latest write,
+        not the peak.
+        """
+        self._gauges[_label_key(name, labels)] = float(value)
 
     def observe(self, name: str, value: float, buckets=None,
                 **labels) -> None:
@@ -388,6 +403,10 @@ class ThreadSafeRegistry(MetricsRegistry):
     def gauge_set(self, name: str, value: float, **labels) -> None:
         with self._lock:
             super().gauge_set(name, value, **labels)
+
+    def gauge_level(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            super().gauge_level(name, value, **labels)
 
     def observe(self, name: str, value: float, buckets=None,
                 **labels) -> None:

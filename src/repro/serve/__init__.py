@@ -5,9 +5,11 @@ to a long-lived TCP service in the probe-fleet → central-collection
 shape of the paper's 70M-user platform: framed uploads with explicit
 acks, a bounded admission queue with pluggable overload policies,
 a circuit breaker around the ingest path, slow-loris read deadlines,
-and graceful drain to a resumable checkpoint.  See
-``docs/architecture.md`` ("Live ingest service") for the design and
-``docs/api.md`` for the protocol table.
+graceful drain to a resumable checkpoint, and a live **query plane**
+(:mod:`repro.serve.query`) answering ``stats`` / ``isp_bs`` /
+``transitions`` / ``summary`` over a snapshot-consistent fold while
+ingest continues.  See ``docs/architecture.md`` ("Live ingest
+service") for the design and ``docs/api.md`` for the protocol table.
 """
 
 from repro.serve.admission import AdmissionQueue, Decision, POLICIES
@@ -20,6 +22,8 @@ from repro.serve.breaker import (
 )
 from repro.serve.client import (
     PayloadTooLarge,
+    QueryClient,
+    QueryError,
     RetryAfter,
     ServeConnectionError,
     ServeUnavailable,
@@ -33,6 +37,15 @@ from repro.serve.protocol import (
     ACK_TOO_LARGE,
     ACK_UNAVAILABLE,
     MAX_FRAME_BYTES,
+    QUERY_VERSION,
+    RESULT_NAMES,
+)
+from repro.serve.query import (
+    PartialCache,
+    QUERY_KINDS,
+    QueryEngine,
+    QueryPlane,
+    SegmentPartial,
 )
 from repro.serve.service import (
     CHECKPOINT_FORMAT,
@@ -59,8 +72,17 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "OPEN",
     "POLICIES",
+    "PartialCache",
     "PayloadTooLarge",
+    "QUERY_KINDS",
+    "QUERY_VERSION",
+    "QueryClient",
+    "QueryEngine",
+    "QueryError",
+    "QueryPlane",
+    "RESULT_NAMES",
     "RetryAfter",
+    "SegmentPartial",
     "ServeConfig",
     "ServeConnectionError",
     "ServeUnavailable",

@@ -47,6 +47,9 @@ class QueuedPayload:
     #: ``time.monotonic()`` at admission (queue-latency accounting);
     #: zero for payloads restored from a drain checkpoint.
     admitted_at: float = 0.0
+    #: Downstream ingest attempts that faulted on this payload (the
+    #: per-payload retry budget; transient outages do not count).
+    attempts: int = 0
 
 
 @dataclass
@@ -144,6 +147,16 @@ class AdmissionQueue:
             self._entries.appendleft(entry)
             self._not_empty.notify()
 
+    def shed_entry(self, entry: QueuedPayload, policy: str) -> None:
+        """Shed one owned payload that is *not* queued, with identity
+        accounting (the worker's poison-quarantine path).
+
+        ``policy`` labels the ``serve_shed_total`` increment so these
+        losses stay distinguishable from overload sheds.
+        """
+        with self._lock:
+            self._account_shed(entry, get_registry(), policy=policy)
+
     # -- drain / restore -----------------------------------------------------
 
     def drain_all(self) -> list[QueuedPayload]:
@@ -160,6 +173,47 @@ class AdmissionQueue:
                 self._entries.append(QueuedPayload(payload, sender))
             if self._entries:
                 self._not_empty.notify_all()
+
+    def restore_accounting(self, admission: dict) -> None:
+        """Adopt checkpointed accounting across a drain/resume hop.
+
+        The checkpoint's ``admission`` block carries the counters
+        :meth:`summary` exported plus the shed identities; without
+        them a resumed service would report pre-restart server-side
+        sheds as unexplained losses during reconciliation.
+        """
+        with self._lock:
+            self.admitted = int(admission.get("admitted",
+                                              self.admitted))
+            self.rejected = int(admission.get("rejected",
+                                              self.rejected))
+            self.shed = int(admission.get("shed", self.shed))
+            self.shed_bytes = int(admission.get("shed_bytes",
+                                                self.shed_bytes))
+            self.depth_high_watermark = max(
+                self.depth_high_watermark,
+                int(admission.get("depth_high_watermark", 0)),
+                len(self._entries),
+            )
+            self.shed_keys.extend(
+                str(key) for key in admission.get("shed_keys", ())
+            )
+
+    def discard_remaining(self, policy: str = "drain-discard") -> int:
+        """Shed everything still queued, identities accounted.
+
+        The no-checkpoint drain path: the queue owns these payloads
+        and has nowhere to carry them, so they become explicit
+        server-side losses (``shed_keys``) instead of vanishing.
+        Returns how many payloads were discarded.
+        """
+        registry = get_registry()
+        with self._lock:
+            victims = list(self._entries)
+            self._entries.clear()
+            for victim in victims:
+                self._account_shed(victim, registry, policy=policy)
+            return len(victims)
 
     # -- queries -------------------------------------------------------------
 
@@ -215,10 +269,11 @@ class AdmissionQueue:
         return Decision(admitted=False,
                         retry_after_s=self.retry_after_s * scale)
 
-    def _account_shed(self, victim: QueuedPayload, registry) -> None:
+    def _account_shed(self, victim: QueuedPayload, registry,
+                      policy: str | None = None) -> None:
         self.shed += 1
         self.shed_bytes += len(victim.payload)
-        registry.inc("serve_shed_total", policy=self.policy)
+        registry.inc("serve_shed_total", policy=policy or self.policy)
         key = payload_key(victim.payload)
         if key is not None:
             self.shed_keys.append(key)

@@ -65,6 +65,12 @@ class PayloadTooLarge(TransportSignal):
     permanent = True
 
 
+class QueryError(TransportSignal):
+    """The server rejected or failed the query itself (RESULT_ERROR)."""
+
+    permanent = True
+
+
 class SocketTransport:
     """A persistent framed-TCP channel to one ingest service."""
 
@@ -139,3 +145,51 @@ class SocketTransport:
         sock.settimeout(self.timeout_s)
         self._sock = sock
         return sock
+
+
+class QueryClient(SocketTransport):
+    """A framed-TCP client for the service's live query plane.
+
+    Shares the persistent-connection discipline of
+    :class:`SocketTransport` (lazy reconnect, one
+    :class:`ServeConnectionError` per attempt while the service is
+    down) but speaks QUERY/RESULT frames.  :meth:`query` returns the
+    full response envelope — ``result`` (the analysis sub-block),
+    ``watermark``, ``skipped_segments``, and ``cache`` counters — and
+    maps the non-OK statuses onto the transport-signal hierarchy:
+    :class:`RetryAfter` (plane shed the query),
+    :class:`ServeUnavailable` (draining), :class:`QueryError`
+    (unknown kind / engine fault; permanent).
+    """
+
+    def query(self, kind: str, options: dict | None = None) -> dict:
+        """Run one query; returns the response envelope."""
+        sock = self._connected()
+        try:
+            protocol.write_query(sock, kind, options)
+            status, body = protocol.read_result(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            self.close()
+            raise ServeConnectionError(
+                f"lost connection mid-query: {exc!r}"
+            ) from None
+        if status == protocol.RESULT_OK:
+            return body
+        if status == protocol.RESULT_RETRY:
+            raise RetryAfter(float(body.get("retry_after_s", 0.0)
+                                   or 1.0))
+        if status == protocol.RESULT_UNAVAILABLE:
+            raise ServeUnavailable()
+        raise QueryError(body.get("error", "query failed"))
+
+    def stats(self) -> dict:
+        return self.query("stats")
+
+    def isp_bs(self) -> dict:
+        return self.query("isp_bs")
+
+    def transitions(self) -> dict:
+        return self.query("transitions")
+
+    def summary(self) -> dict:
+        return self.query("summary")

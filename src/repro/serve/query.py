@@ -1,0 +1,487 @@
+"""The live query plane: streaming answers while ingest continues.
+
+The service's other half.  Ingest makes the store grow; this module
+answers ``stats`` / ``isp_bs`` / ``transitions`` / ``summary``
+requests over it *live*, with three guarantees:
+
+* **Exactness** — a query answer is byte-identical (in sorted-JSON
+  form) to the offline ``analysis`` block computed over the same
+  records.  The distinct-device counters make this non-trivial:
+  :class:`~repro.analysis.columnar.AnalysisPartial` merges are exact
+  only across device-disjoint populations, and one device's records
+  spread across many segments.  :class:`SegmentPartial` therefore
+  carries the per-device evidence (failure counts, OUT_OF_SERVICE
+  membership, per-ISP device sets) alongside the plain partial; the
+  fold merges the exactly-summable fields through ``AnalysisPartial``
+  and re-derives the distinct-device fields from the merged evidence.
+* **Snapshot consistency** — a fold runs over
+  :meth:`~repro.store.SegmentStore.query_snapshot` (taken under the
+  store's mutation guard), so it never observes a half-applied seal
+  even though the ingest worker keeps appending underneath it.
+* **Incrementality** — sealed segments are immutable, so their
+  :class:`SegmentPartial` is cached keyed by the segment's committed
+  sha256 digest.  A steady-state fold recomputes only the unsealed
+  tail; cache entries whose digest left the live set (scrub
+  quarantined the segment, or a re-seal superseded it) are invalidated
+  with accounting.
+
+The :class:`QueryPlane` puts a bounded work queue and a single worker
+thread in front of the engine so query load degrades by *shedding
+queries* (``RESULT_RETRY`` + ``query_shed_total``), never by starving
+the ingest worker — the two planes share nothing but the store mutex,
+which folds hold only for the snapshot copy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.obs import LATENCY_BUCKETS_S, get_registry
+
+#: The queries the plane answers, in wire-code order.
+QUERY_KINDS = ("stats", "isp_bs", "transitions", "summary")
+
+#: Analysis-block fields each projection query returns.  ``summary``
+#: is derived (see :func:`repro.analysis.columnar.analysis_summary`),
+#: not a projection.
+STATS_FIELDS = (
+    "duration_hist", "duration_hist_by_type", "failing_devices",
+    "failures_by_level", "failures_by_type", "failures_per_device",
+    "max_failures_single_device", "n_devices", "n_failures",
+    "oos_devices",
+)
+ISP_BS_FIELDS = ("failing_devices_by_isp", "failures_by_isp")
+TRANSITIONS_FIELDS = (
+    "n_transitions", "transitions_executed", "transitions_failed_after",
+)
+
+
+class QueryPlaneError(RuntimeError):
+    """The query plane could not answer (bad kind, engine fault)."""
+
+
+def _empty_partial():
+    from repro.analysis.columnar import AnalysisPartial
+    from repro.dataset.store import Dataset
+
+    return AnalysisPartial.from_dataset(Dataset())
+
+
+@dataclass(frozen=True)
+class SegmentPartial:
+    """One record batch reduced to exactly-mergeable evidence.
+
+    ``partial`` holds the fields that sum exactly across *any* record
+    partition (counts, count dicts, integer histograms).  The three
+    evidence maps carry what the distinct-device fields need when the
+    same device appears in several batches: merged folds union them
+    and re-derive ``failing_devices`` / ``oos_devices`` /
+    ``max_failures_single_device`` / ``failures_per_device`` /
+    ``failing_devices_by_isp`` — making the whole fold exact without
+    requiring device-disjoint batches.
+    """
+
+    partial: object
+    #: device_id -> number of failures in this batch.
+    device_failures: dict
+    #: device_ids with >= 1 OUT_OF_SERVICE failure in this batch.
+    oos_devices: frozenset
+    #: isp -> frozenset of device_ids with >= 1 failure on that ISP.
+    isp_devices: dict
+
+    @classmethod
+    def from_rows(cls, rows: list) -> "SegmentPartial":
+        """Reduce raw record dicts (store rows) to a partial."""
+        from repro.analysis.columnar import AnalysisPartial
+        from repro.dataset.records import FailureRecord
+        from repro.dataset.store import Dataset
+
+        failures = [FailureRecord.from_dict(row) for row in rows]
+        device_failures: dict = {}
+        oos: set = set()
+        isp_devices: dict = {}
+        for record in failures:
+            device = int(record.device_id)
+            device_failures[device] = device_failures.get(device, 0) + 1
+            if record.failure_type == "OUT_OF_SERVICE":
+                oos.add(device)
+            isp_devices.setdefault(record.isp, set()).add(device)
+        return cls(
+            partial=AnalysisPartial.from_dataset(
+                Dataset(failures=failures)
+            ),
+            device_failures=device_failures,
+            oos_devices=frozenset(oos),
+            isp_devices={isp: frozenset(devices)
+                         for isp, devices in isp_devices.items()},
+        )
+
+
+class _Fold:
+    """Accumulates :class:`SegmentPartial` batches into one block."""
+
+    def __init__(self) -> None:
+        self.partial = _empty_partial()
+        self.device_failures: dict = {}
+        self.oos: set = set()
+        self.isp_devices: dict = {}
+
+    def add(self, batch: SegmentPartial) -> None:
+        self.partial = self.partial.merge(batch.partial)
+        for device, count in batch.device_failures.items():
+            self.device_failures[device] = (
+                self.device_failures.get(device, 0) + count
+            )
+        self.oos |= batch.oos_devices
+        for isp, devices in batch.isp_devices.items():
+            self.isp_devices.setdefault(isp, set()).update(devices)
+
+    def block(self) -> dict:
+        """The exact analysis block of everything added so far."""
+        per_device = self.device_failures
+        failures_per_device: dict = {}
+        for count in per_device.values():
+            key = str(count)
+            failures_per_device[key] = (
+                failures_per_device.get(key, 0) + 1
+            )
+        corrected = replace(
+            self.partial,
+            failing_devices=len(per_device),
+            oos_devices=len(self.oos),
+            max_failures_single_device=max(per_device.values(),
+                                           default=0),
+            failures_per_device=failures_per_device,
+            failing_devices_by_isp={
+                isp: len(devices)
+                for isp, devices in self.isp_devices.items()
+            },
+        )
+        return corrected.to_block()
+
+
+class PartialCache:
+    """Per-segment partials keyed by the committed sha256 digest.
+
+    Sealed segments are immutable, so a digest fully identifies the
+    batch — entries never go stale, they only become unreachable when
+    their segment leaves the live set (quarantine or supersede), at
+    which point :meth:`prune` drops them with accounting.  Accessed
+    only from the query worker thread; no locking.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, SegmentPartial] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> SegmentPartial | None:
+        batch = self._entries.get(digest)
+        if batch is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return batch
+
+    def put(self, digest: str, batch: SegmentPartial) -> None:
+        self._entries[digest] = batch
+
+    def prune(self, live_digests: set) -> int:
+        """Evict entries for segments no longer live; returns count."""
+        dead = [digest for digest in self._entries
+                if digest not in live_digests]
+        for digest in dead:
+            del self._entries[digest]
+        self.invalidations += len(dead)
+        return len(dead)
+
+
+@dataclass
+class FoldResult:
+    """One snapshot-consistent fold, with its provenance."""
+
+    block: dict
+    watermark: dict
+    skipped: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class QueryEngine:
+    """Folds analysis blocks over a live :class:`IngestionServer`.
+
+    Store-backed servers fold sealed segments (through the
+    :class:`PartialCache`) plus the WAL-owned tail; legacy in-memory
+    servers fold ``server.records`` directly.  Single-threaded by
+    contract: only the query worker calls :meth:`fold`.
+    """
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.cache = PartialCache()
+
+    def fold(self) -> FoldResult:
+        from repro.store.segment import SegmentCorruptError
+
+        registry = get_registry()
+        store = self.server.store
+        if store is None:
+            return self._fold_memory()
+        snapshot = store.query_snapshot()
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        pruned = self.cache.prune(
+            {entry["sha256"] for entry in snapshot.live.values()}
+        )
+        if pruned and registry.enabled:
+            registry.inc("query_cache_invalidations_total", pruned)
+        fold = _Fold()
+        skipped: list[dict] = []
+        n_segments = 0
+        for name in sorted(snapshot.live):
+            entry = snapshot.live[name]
+            batch = self.cache.get(entry["sha256"])
+            if batch is None:
+                try:
+                    rows = store.read_segment(name, entry=entry)
+                except SegmentCorruptError as exc:
+                    registry.inc("query_segments_skipped_total")
+                    skipped.append({"segment": name,
+                                    "reason": exc.reason})
+                    continue
+                batch = SegmentPartial.from_rows(rows)
+                self.cache.put(entry["sha256"], batch)
+            fold.add(batch)
+            n_segments += 1
+        tail_rows = snapshot.tail_rows()
+        if tail_rows:
+            fold.add(SegmentPartial.from_rows(tail_rows))
+        hits = self.cache.hits - hits_before
+        misses = self.cache.misses - misses_before
+        if registry.enabled:
+            if hits:
+                registry.inc("query_cache_hits_total", hits)
+            if misses:
+                registry.inc("query_cache_misses_total", misses)
+        block = fold.block()
+        return FoldResult(
+            block=block,
+            watermark={
+                "mode": "store",
+                "n_records": snapshot.n_records,
+                "folded_records": block["n_failures"],
+                "n_segments": n_segments,
+                "n_tail": len(tail_rows),
+            },
+            skipped=skipped,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def _fold_memory(self) -> FoldResult:
+        from repro.analysis.columnar import AnalysisPartial
+        from repro.dataset.store import Dataset
+
+        # list() takes a consistent prefix snapshot: the worker only
+        # ever appends, so records beyond the copy are simply "after
+        # the watermark".
+        records = list(self.server.records)
+        block = AnalysisPartial.from_dataset(
+            Dataset(failures=records)
+        ).to_block()
+        return FoldResult(
+            block=block,
+            watermark={
+                "mode": "memory",
+                "n_records": len(records),
+                "folded_records": block["n_failures"],
+                "n_segments": 0,
+                "n_tail": 0,
+            },
+        )
+
+    def answer(self, kind: str) -> dict:
+        """The full response envelope for one query kind."""
+        from repro.analysis.columnar import analysis_summary
+
+        if kind not in QUERY_KINDS:
+            raise QueryPlaneError(
+                f"unknown query kind {kind!r}; "
+                f"expected one of {', '.join(QUERY_KINDS)}"
+            )
+        fold = self.fold()
+        if kind == "stats":
+            result = {key: fold.block[key] for key in STATS_FIELDS}
+        elif kind == "isp_bs":
+            result = {key: fold.block[key] for key in ISP_BS_FIELDS}
+        elif kind == "transitions":
+            result = {key: fold.block[key]
+                      for key in TRANSITIONS_FIELDS}
+        else:  # summary
+            result = analysis_summary(fold.block)
+        return {
+            "query": kind,
+            "watermark": fold.watermark,
+            "result": result,
+            "skipped_segments": fold.skipped,
+            "cache": {"hits": fold.cache_hits,
+                      "misses": fold.cache_misses},
+        }
+
+
+class _Ticket:
+    """One queued query: the handler thread waits, the worker fills."""
+
+    __slots__ = ("kind", "done", "status", "body", "abandoned",
+                 "enqueued_at")
+
+    def __init__(self, kind: str, enqueued_at: float) -> None:
+        self.kind = kind
+        self.done = threading.Event()
+        self.status: int | None = None
+        self.body: dict | None = None
+        #: Set by the handler when it gave up waiting; the worker
+        #: skips the fold instead of computing an answer nobody reads.
+        self.abandoned = False
+        self.enqueued_at = enqueued_at
+
+
+class QueryPlane:
+    """Bounded query-work queue + one worker, with shedding.
+
+    Handler threads :meth:`submit` and wait on the returned ticket;
+    ``None`` means the queue was full and the query was shed (the
+    caller answers ``RESULT_RETRY``).  The single worker serializes
+    folds, which keeps the :class:`PartialCache` lock-free and bounds
+    the query plane's CPU share to one core regardless of client
+    count.
+    """
+
+    def __init__(self, engine: QueryEngine, capacity: int = 16,
+                 timeout_s: float = 10.0,
+                 retry_after_s: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError("query queue needs capacity >= 1")
+        if timeout_s <= 0:
+            raise ValueError("query timeout must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.timeout_s = timeout_s
+        self.retry_after_s = retry_after_s
+        self._pending: deque[_Ticket] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # -- accounting --
+        self.answered = 0
+        self.shed = 0
+        self.errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("query plane already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._worker_loop, name="serve-query", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._not_empty:
+            self._not_empty.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- handler side --------------------------------------------------------
+
+    def submit(self, kind: str) -> _Ticket | None:
+        """Enqueue one query; ``None`` when shed (queue full)."""
+        registry = get_registry()
+        with self._lock:
+            if len(self._pending) >= self.capacity:
+                self.shed += 1
+                registry.inc("query_shed_total", reason="queue-full")
+                return None
+            ticket = _Ticket(kind, time.monotonic())
+            self._pending.append(ticket)
+            if registry.enabled:
+                registry.inc("query_requests_total", kind=kind)
+                registry.gauge_set("query_queue_depth",
+                                   len(self._pending))
+            self._not_empty.notify()
+            return ticket
+
+    def wait(self, ticket: _Ticket) -> tuple[int, dict]:
+        """Block until the ticket is answered or the wait times out."""
+        from repro.serve import protocol
+
+        if ticket.done.wait(self.timeout_s):
+            return ticket.status, ticket.body
+        ticket.abandoned = True
+        with self._lock:
+            self.shed += 1
+        get_registry().inc("query_shed_total", reason="timeout")
+        return (protocol.RESULT_RETRY,
+                {"retry_after_s": self.retry_after_s})
+
+    # -- the query worker ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        from repro.serve import protocol
+
+        registry = get_registry()
+        while True:
+            with self._not_empty:
+                while not self._pending and not self._stop.is_set():
+                    self._not_empty.wait(timeout=0.1)
+                if self._stop.is_set() and not self._pending:
+                    return
+                ticket = self._pending.popleft()
+            if ticket.abandoned:
+                continue
+            started = time.monotonic()
+            try:
+                envelope = self.engine.answer(ticket.kind)
+                folded = time.monotonic()
+                # Encoding here (not on the handler) keeps oversized /
+                # unserializable results a worker-side error the
+                # handler can still report cleanly.
+                json.dumps(envelope)
+                ticket.status = protocol.RESULT_OK
+                ticket.body = envelope
+            except Exception as exc:
+                self.errors += 1
+                registry.inc("query_errors_total")
+                ticket.status = protocol.RESULT_ERROR
+                ticket.body = {"error": f"{type(exc).__name__}: {exc}"}
+                ticket.done.set()
+                continue
+            self.answered += 1
+            if registry.enabled:
+                encoded = time.monotonic()
+                registry.observe("query_stage_seconds",
+                                 started - ticket.enqueued_at,
+                                 buckets=LATENCY_BUCKETS_S,
+                                 stage="queue")
+                registry.observe("query_stage_seconds",
+                                 folded - started,
+                                 buckets=LATENCY_BUCKETS_S,
+                                 stage="fold")
+                registry.observe("query_stage_seconds",
+                                 encoded - folded,
+                                 buckets=LATENCY_BUCKETS_S,
+                                 stage="encode")
+            ticket.done.set()

@@ -17,14 +17,26 @@ behind a threaded TCP front end and keeps its promises under overload:
   :class:`~repro.serve.breaker.CircuitBreaker`.  The
   :class:`IngestionServer` itself is single-threaded by construction:
   only this worker (and drain, after the worker has stopped) touches
-  it.  A downstream fault requeues the payload at the head — admitted
-  payloads are owned and never dropped silently.
+  it.  A transient downstream fault requeues the payload at the head;
+  a payload that keeps faulting exhausts its per-payload retry budget
+  (``ingest_retry_limit``) and is quarantined *with identity
+  accounting* — admitted payloads are owned and never dropped
+  silently, and one poison payload cannot wedge the queue behind it.
+* **one query worker thread** — answers ``stats`` / ``isp_bs`` /
+  ``transitions`` / ``summary`` frames from a snapshot-consistent
+  fold over the server's records (see :mod:`repro.serve.query`)
+  while ingest continues; query load beyond ``query_queue_capacity``
+  is shed with a retry signal instead of competing with ingest.
 * **graceful drain** — :meth:`IngestService.stop` stops accepting,
   lets the worker flush the queue (bounded by ``drain_timeout_s``),
-  then writes a checkpoint containing the ingestion state *and* any
-  payloads still queued (e.g. the breaker was open through the whole
-  drain window).  :meth:`IngestService.resume` restores both, so a
-  SIGTERM'd service picks up exactly where it stopped.
+  then writes a checkpoint containing the ingestion state, the
+  admission accounting (shed identities included), *and* any payloads
+  still queued (e.g. the breaker was open through the whole drain
+  window).  :meth:`IngestService.resume` restores all three, so a
+  SIGTERM'd service picks up exactly where it stopped.  A drain
+  *without* a checkpoint path sheds the leftovers explicitly
+  (``serve_drain_discarded_total`` + ``shed_keys``) rather than
+  letting them vanish.
 
 Metric recording happens on handler threads and the worker thread
 concurrently — run the service under a
@@ -43,11 +55,12 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.backend.ingest import IngestionServer
+from repro.backend.ingest import IngestionServer, ServiceUnavailable
 from repro.obs import LATENCY_BUCKETS_S, get_registry
 from repro.serve import protocol
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import OPEN, CircuitBreaker
+from repro.serve.query import QueryEngine, QueryPlane
 
 #: Drain-checkpoint format version (for forward-compatible readers).
 CHECKPOINT_FORMAT = 1
@@ -85,12 +98,24 @@ class ServeConfig:
     #: :class:`repro.chaos.DiskChaosConfig.uniform`).
     disk_chaos_rate: float = 0.0
     disk_chaos_seed: int = 0
+    #: Bounded query-work queue (the query plane sheds beyond this).
+    query_queue_capacity: int = 16
+    #: How long a handler waits for its queued query before answering
+    #: RESULT_RETRY (the query-side shed path).
+    query_timeout_s: float = 10.0
+    #: Faulting ingest attempts per payload before it is quarantined
+    #: as poison (transient-outage faults are exempt).
+    ingest_retry_limit: int = 5
 
     def __post_init__(self) -> None:
         if self.read_deadline_s <= 0:
             raise ValueError("read deadline must be positive")
-        if self.max_frame_bytes < 1:
-            raise ValueError("frame limit must be positive")
+        if not 1 <= self.max_frame_bytes <= protocol.MAX_FRAME_LIMIT:
+            raise ValueError(
+                "frame limit must be in [1, "
+                f"{protocol.MAX_FRAME_LIMIT}] (the cap keeps request "
+                "frames distinguishable from query frames)"
+            )
         if self.max_connections < 1:
             raise ValueError("need at least one connection slot")
         if self.drain_timeout_s < 0:
@@ -99,6 +124,12 @@ class ServeConfig:
             raise ValueError("store_seal_records must be >= 1")
         if not 0.0 <= self.disk_chaos_rate <= 1.0:
             raise ValueError("disk chaos rate must be in [0, 1]")
+        if self.query_queue_capacity < 1:
+            raise ValueError("query queue needs capacity >= 1")
+        if self.query_timeout_s <= 0:
+            raise ValueError("query timeout must be positive")
+        if self.ingest_retry_limit < 1:
+            raise ValueError("ingest retry limit must be >= 1")
 
     def build_store(self):
         """The configured :class:`~repro.store.SegmentStore`, or None."""
@@ -158,6 +189,12 @@ class IngestService:
             failure_threshold=self.config.breaker_threshold,
             reset_timeout_s=self.config.breaker_reset_s,
         )
+        self.query_plane = QueryPlane(
+            QueryEngine(self.server),
+            capacity=self.config.query_queue_capacity,
+            timeout_s=self.config.query_timeout_s,
+            retry_after_s=self.config.retry_after_s,
+        )
         self.port: int | None = None
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -175,6 +212,8 @@ class IngestService:
         self.oversized_frames = 0
         self.unavailable_acks = 0
         self.ingest_faults = 0
+        #: Payloads quarantined after exhausting their retry budget.
+        self.poisoned = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -195,6 +234,7 @@ class IngestService:
         )
         self._accept_thread.start()
         self._worker_thread.start()
+        self.query_plane.start()
         return self
 
     @property
@@ -246,17 +286,25 @@ class IngestService:
             except Exception:
                 get_registry().inc("store_seal_failures_total",
                                    reason="drain-flush")
+        self.query_plane.stop()
         leftover = self.queue.depth
         result = DrainResult(
             drained=(leftover == 0),
             leftover=leftover,
             summary=self.summary(),
         )
+        registry = get_registry()
         if drain and checkpoint_path is not None:
             result.checkpoint_path = str(
                 self.write_checkpoint(checkpoint_path)
             )
-        registry = get_registry()
+        elif drain and leftover:
+            # No checkpoint to carry them: the queue still owns these
+            # acked payloads, so they become explicit server-side
+            # sheds (identity-accounted) rather than vanishing.
+            discarded = self.queue.discard_remaining()
+            registry.inc("serve_drain_discarded_total", discarded)
+            result.summary = self.summary()
         if registry.enabled and drain:
             registry.inc("serve_drains_total")
             registry.gauge_set("serve_drain_leftover", leftover)
@@ -314,6 +362,12 @@ class IngestService:
             (base64.b64decode(entry["payload"]), entry["sender"])
             for entry in snapshot["queue"]
         ])
+        # The checkpoint's admission block (counters + shed
+        # identities) survives the hop too — without it, pre-restart
+        # server-side sheds would reconcile as unexplained losses.
+        service.queue.restore_accounting(
+            snapshot.get("admission") or {}
+        )
         return service
 
     # -- reconciliation surface ----------------------------------------------
@@ -336,6 +390,12 @@ class IngestService:
             "oversized_frames": self.oversized_frames,
             "unavailable_acks": self.unavailable_acks,
             "ingest_faults": self.ingest_faults,
+            "poisoned": self.poisoned,
+            "query": {
+                "answered": self.query_plane.answered,
+                "shed": self.query_plane.shed,
+                "errors": self.query_plane.errors,
+            },
             "admission": self.queue.summary(),
             "breaker": self.breaker.summary(),
             "server": self.server.summary(),
@@ -358,11 +418,15 @@ class IngestService:
                     self._close_silently(conn)
                     continue
                 self._connections.add(conn)
+                if registry.enabled:
+                    # Level gauge (falls on disconnect); written under
+                    # the connection lock so accept/close updates
+                    # cannot land out of order.
+                    registry.gauge_level("serve_connections_active",
+                                         len(self._connections))
             self.connections_accepted += 1
             if registry.enabled:
                 registry.inc("serve_connections_total")
-                registry.gauge_set("serve_connections_active",
-                                   active + 1)
             threading.Thread(
                 target=self._handle_connection, args=(conn,),
                 name="serve-conn", daemon=True,
@@ -372,9 +436,13 @@ class IngestService:
         registry = get_registry()
         conn.settimeout(self.config.read_deadline_s)
         try:
-            while not self._draining.is_set():
+            # Runs until the peer hangs up or ``stop()`` force-closes
+            # the socket — not until drain begins: a frame in flight
+            # when the drain flag flips deserves the polite
+            # UNAVAILABLE answer, not a reset.
+            while True:
                 try:
-                    sender, payload = protocol.read_request(
+                    frame = protocol.read_frame(
                         conn, self.config.max_frame_bytes
                     )
                 except protocol.FrameTimeout:
@@ -389,15 +457,36 @@ class IngestService:
                     # ack the permanent rejection, then hang up.
                     protocol.write_ack(conn, protocol.ACK_TOO_LARGE)
                     return
+                except protocol.UnsupportedQueryVersion as exc:
+                    registry.inc("serve_frames_rejected_total",
+                                 reason="query-version")
+                    protocol.write_result(conn, protocol.RESULT_ERROR,
+                                          {"error": str(exc)})
+                    return
                 except protocol.ConnectionClosed:
                     return
+                except protocol.ProtocolError as exc:
+                    # Malformed query body: the stream may be out of
+                    # sync, so answer and hang up.
+                    registry.inc("serve_frames_rejected_total",
+                                 reason="malformed")
+                    protocol.write_result(conn, protocol.RESULT_ERROR,
+                                          {"error": str(exc)})
+                    return
                 registry.inc("serve_frames_total")
-                self._answer_frame(conn, sender, payload, registry)
+                if frame[0] == "query":
+                    self._answer_query(conn, frame[1], registry)
+                else:
+                    self._answer_frame(conn, frame[1], frame[2],
+                                       registry)
         except OSError:
             return  # peer reset / socket closed under us
         finally:
             with self._conn_lock:
                 self._connections.discard(conn)
+                if registry.enabled:
+                    registry.gauge_level("serve_connections_active",
+                                         len(self._connections))
             self._close_silently(conn)
 
     def _answer_frame(self, conn, sender: int, payload: bytes,
@@ -426,6 +515,23 @@ class IngestService:
             protocol.write_ack(conn, protocol.ACK_RETRY_AFTER,
                                decision.retry_after_s)
 
+    def _answer_query(self, conn, kind: str, registry) -> None:
+        """Route one query through the bounded query plane."""
+        if self._draining.is_set():
+            registry.inc("query_unavailable_total", reason="draining")
+            protocol.write_result(conn, protocol.RESULT_UNAVAILABLE,
+                                  {"error": "service draining"})
+            return
+        ticket = self.query_plane.submit(kind)
+        if ticket is None:
+            protocol.write_result(
+                conn, protocol.RESULT_RETRY,
+                {"retry_after_s": self.query_plane.retry_after_s},
+            )
+            return
+        status, body = self.query_plane.wait(ticket)
+        protocol.write_result(conn, status, body)
+
     # -- the ingest worker ---------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -450,11 +556,33 @@ class IngestService:
             started = time.monotonic()
             try:
                 self.server.receive(entry.payload)
-            except Exception:
+            except ServiceUnavailable:
+                # A transient downstream outage says nothing about the
+                # payload itself, so it does not consume retry budget
+                # — an outage longer than the budget must not turn
+                # owned payloads into poison.
                 self.ingest_faults += 1
                 self.breaker.record_failure()
                 registry.inc("serve_ingest_faults_total")
                 self.queue.requeue_front(entry)
+                if self._stop_worker.is_set():
+                    return
+                continue
+            except Exception:
+                self.ingest_faults += 1
+                self.breaker.record_failure()
+                registry.inc("serve_ingest_faults_total")
+                entry.attempts += 1
+                if entry.attempts >= self.config.ingest_retry_limit:
+                    # Head-of-line poison: requeuing forever would
+                    # wedge every payload behind this one.  Quarantine
+                    # it with identity accounting so reconciliation
+                    # classifies the loss as a server-side shed.
+                    self.poisoned += 1
+                    self.queue.shed_entry(entry, policy="poison")
+                    registry.inc("serve_poison_quarantined_total")
+                else:
+                    self.queue.requeue_front(entry)
                 if self._stop_worker.is_set():
                     return
                 continue

@@ -22,6 +22,7 @@ from repro.store.store import (
     ScrubReport,
     SegmentStore,
     StoreError,
+    StoreSnapshot,
 )
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "SegmentCorruptError",
     "SegmentStore",
     "StoreError",
+    "StoreSnapshot",
     "decode_segment",
     "encode_segment",
     "segment_digest",

@@ -28,7 +28,12 @@
   dedup layer can invite re-uploads.
 
 The store is single-writer (the serve ingest worker); scrubbing a
-store that another process is actively writing is not supported.
+store that another *process* is actively writing is not supported.
+Within one process, concurrent readers are supported through
+:meth:`SegmentStore.query_snapshot`: mutations and snapshots
+serialize on an internal mutex, so a reader on another thread (the
+serve query plane) folds over a frozen, consistent view while appends
+continue.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import errno as errno_module
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -89,6 +95,35 @@ class QueryResult:
     @property
     def complete(self) -> bool:
         return not self.skipped
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """A consistent point-in-time view for concurrent readers.
+
+    Sealed segments are immutable once committed, so the snapshot only
+    copies *references*: the live commit-entry map, the tail row lists
+    (records themselves are never mutated after append), and the owned
+    identity count.  A reader folding over the snapshot sees exactly
+    the store as of the snapshot instant no matter how far ingest has
+    advanced since.
+    """
+
+    #: Segment name -> journal commit entry (immutable once written).
+    live: dict
+    #: Partition -> list of ``(key, data)`` tail rows, append order.
+    tails: dict
+    #: Identities the store owned at snapshot time (the watermark).
+    n_records: int
+
+    @property
+    def n_tail_records(self) -> int:
+        return sum(len(rows) for rows in self.tails.values())
+
+    def tail_rows(self) -> list[dict]:
+        """Tail records, partition-major, append order within."""
+        return [data for partition in sorted(self.tails)
+                for _key, data in self.tails[partition]]
 
 
 @dataclass
@@ -217,6 +252,9 @@ class SegmentStore:
         #: Journal damage observed while loading (scrub classifies it).
         self.journal_damage: list[dict] = []
         self._journal_good_bytes = 0
+        #: Serializes mutations against :meth:`query_snapshot` readers.
+        #: Reentrant because ``append`` seals under the same guard.
+        self._mutex = threading.RLock()
         self._load_journal()
 
     # -- paths ---------------------------------------------------------------
@@ -381,26 +419,28 @@ class SegmentStore:
         is fsynced before the record joins the tail, so an accepted
         record survives a SIGKILL at any later instant.
         """
-        key = key if key is not None else record_identity(data)
-        if key in self._known:
+        with self._mutex:
+            key = key if key is not None else record_identity(data)
+            if key in self._known:
+                return key
+            partition = self.partition_of(data)
+            if self.wal:
+                entry = {
+                    "op": "wal",
+                    "key": key,
+                    "partition": list(partition),
+                    "data": data,
+                }
+                self.io.append_line(self.journal_path,
+                                    _seal_entry(entry))
+            tail = self._tails.setdefault(partition, [])
+            tail.append((key, data))
+            self._known.add(key)
+            registry = get_registry()
+            registry.inc("store_records_appended_total")
+            if len(tail) >= self.seal_records:
+                self.seal(partition)
             return key
-        partition = self.partition_of(data)
-        if self.wal:
-            entry = {
-                "op": "wal",
-                "key": key,
-                "partition": list(partition),
-                "data": data,
-            }
-            self.io.append_line(self.journal_path, _seal_entry(entry))
-        tail = self._tails.setdefault(partition, [])
-        tail.append((key, data))
-        self._known.add(key)
-        registry = get_registry()
-        registry.inc("store_records_appended_total")
-        if len(tail) >= self.seal_records:
-            self.seal(partition)
-        return key
 
     def seal(self, partition: tuple[int, int]) -> str | None:
         """Seal one partition's tail into a committed segment.
@@ -411,64 +451,90 @@ class SegmentStore:
         failure counted, and a later seal retries).  Any other fault
         (e.g. a simulated crash) propagates with the tail intact.
         """
-        tail = self._tails.get(partition)
-        if not tail:
-            return None
-        registry = get_registry()
-        rows = [data for _key, data in tail]
-        keys = [key for key, _data in tail]
-        blob = encode_segment(rows, partition)
-        digest = blob.split(b"\n", 1)[0].split()[-1].decode("ascii")
-        # The seq is consumed per *attempt*, not per commit: a retry
-        # after a failed write or a torn commit append must never
-        # reuse the name an earlier — possibly fault-damaged — attempt
-        # already wrote, or the overwrite would erase the evidence
-        # scrub and reconciliation classify.  The abandoned file stays
-        # behind as an orphan that scrub adopts or supersedes.
-        seq = self._seq
-        self._seq += 1
-        name = (f"seg-t{partition[0]}-d{partition[1]}"
-                f"-{seq:06d}.seg")
-        try:
-            self.io.write_atomic(self.segments_dir / name, blob)
-        except OSError as exc:
-            reason = (errno_module.errorcode.get(exc.errno, "OSERROR")
-                      if exc.errno else "OSERROR").lower()
-            registry.inc("store_seal_failures_total", reason=reason)
-            return None
-        entry = {
-            "op": "commit",
-            "segment": name,
-            "seq": seq,
-            "sha256": digest,
-            "n_records": len(rows),
-            "partition": list(partition),
-            "keys": keys,
-        }
-        self.io.append_line(self.journal_path, _seal_entry(entry))
-        # Only now — digest durable in the journal — does the store
-        # stop owning these rows in memory.
-        self._live[name] = entry
-        del self._tails[partition]
-        registry.inc("store_segments_sealed_total")
-        registry.inc("store_records_sealed_total", len(rows))
-        registry.inc("store_bytes_written_total", len(blob))
-        return name
+        with self._mutex:
+            tail = self._tails.get(partition)
+            if not tail:
+                return None
+            registry = get_registry()
+            rows = [data for _key, data in tail]
+            keys = [key for key, _data in tail]
+            blob = encode_segment(rows, partition)
+            digest = blob.split(b"\n", 1)[0].split()[-1].decode("ascii")
+            # The seq is consumed per *attempt*, not per commit: a
+            # retry after a failed write or a torn commit append must
+            # never reuse the name an earlier — possibly fault-damaged
+            # — attempt already wrote, or the overwrite would erase
+            # the evidence scrub and reconciliation classify.  The
+            # abandoned file stays behind as an orphan that scrub
+            # adopts or supersedes.
+            seq = self._seq
+            self._seq += 1
+            name = (f"seg-t{partition[0]}-d{partition[1]}"
+                    f"-{seq:06d}.seg")
+            try:
+                self.io.write_atomic(self.segments_dir / name, blob)
+            except OSError as exc:
+                reason = (errno_module.errorcode.get(exc.errno,
+                                                     "OSERROR")
+                          if exc.errno else "OSERROR").lower()
+                registry.inc("store_seal_failures_total", reason=reason)
+                return None
+            entry = {
+                "op": "commit",
+                "segment": name,
+                "seq": seq,
+                "sha256": digest,
+                "n_records": len(rows),
+                "partition": list(partition),
+                "keys": keys,
+            }
+            self.io.append_line(self.journal_path, _seal_entry(entry))
+            # Only now — digest durable in the journal — does the
+            # store stop owning these rows in memory.
+            self._live[name] = entry
+            del self._tails[partition]
+            registry.inc("store_segments_sealed_total")
+            registry.inc("store_records_sealed_total", len(rows))
+            registry.inc("store_bytes_written_total", len(blob))
+            return name
 
     def flush(self) -> list[str]:
         """Seal every non-empty tail (drain path); returns new names."""
-        sealed = []
-        for partition in sorted(self._tails):
-            name = self.seal(partition)
-            if name is not None:
-                sealed.append(name)
-        return sealed
+        with self._mutex:
+            sealed = []
+            for partition in sorted(self._tails):
+                name = self.seal(partition)
+                if name is not None:
+                    sealed.append(name)
+            return sealed
+
+    def query_snapshot(self) -> StoreSnapshot:
+        """A consistent view for a reader on another thread.
+
+        Taken under the mutation guard, so a fold never observes a
+        half-applied seal (tail cleared but segment not yet live) no
+        matter how ingest interleaves.  Cheap: reference copies only.
+        """
+        with self._mutex:
+            return StoreSnapshot(
+                live=dict(self._live),
+                tails={partition: list(rows)
+                       for partition, rows in self._tails.items()},
+                n_records=len(self._known),
+            )
 
     # -- reads ---------------------------------------------------------------
 
-    def read_segment(self, name: str) -> list[dict]:
-        """Decode one live segment; raises SegmentCorruptError on damage."""
-        entry = self._live.get(name)
+    def read_segment(self, name: str,
+                     entry: dict | None = None) -> list[dict]:
+        """Decode one live segment; raises SegmentCorruptError on damage.
+
+        ``entry`` lets a snapshot reader pass the commit entry it
+        captured instead of consulting the live map (which may have
+        moved on).
+        """
+        if entry is None:
+            entry = self._live.get(name)
         if entry is None:
             raise StoreError(f"no live segment named {name}")
         try:
@@ -601,6 +667,10 @@ class SegmentStore:
         With ``repair=False`` the same findings are reported but the
         store is left untouched (read-only audit).
         """
+        with self._mutex:
+            return self._scrub(repair)
+
+    def _scrub(self, repair: bool) -> ScrubReport:
         registry = get_registry()
         report = ScrubReport(root=str(self.root), repair=repair)
         recovered: list[str] = []

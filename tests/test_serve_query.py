@@ -1,0 +1,559 @@
+"""Tests for the live query plane (protocol, engine, plane, service).
+
+The load-bearing property is *exactness*: a live query answer must be
+byte-identical (as sorted JSON) to the offline analysis block computed
+over the same records — even though devices span segments and the
+fold caches per-segment partials.  Everything else (shedding,
+timeouts, cache invalidation) protects that property under load and
+damage.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.analysis.columnar import (
+    analysis_summary,
+    compute_analysis_block,
+)
+from repro.dataset.records import record_identity
+from repro.monitoring.uploader import UploadBatcher
+from repro.obs import ThreadSafeRegistry, use_registry
+from repro.serve import (
+    IngestService,
+    QueryClient,
+    ServeConfig,
+    SocketTransport,
+    protocol,
+)
+from repro.serve.harness import synthetic_records
+from repro.serve.query import (
+    ISP_BS_FIELDS,
+    QueryEngine,
+    QueryPlane,
+    STATS_FIELDS,
+    TRANSITIONS_FIELDS,
+)
+from repro.store import SegmentStore
+
+
+def canonical(block) -> str:
+    return json.dumps(block, sort_keys=True)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(2.0)
+    right.settimeout(2.0)
+    return left, right
+
+
+def store_with_records(tmp_path, records, seal_records=5):
+    """A store holding ``records`` across several sealed segments."""
+    store = SegmentStore(tmp_path / "store", seal_records=seal_records)
+    for record in records:
+        store.append(record, key=record_identity(record))
+    return store
+
+
+def mixed_records(n_devices=6, per_device=5):
+    """Synthetic records with some OUT_OF_SERVICE failures mixed in,
+    so the distinct-device OOS counter is non-trivial."""
+    records = synthetic_records(n_devices, per_device)
+    for index, record in enumerate(records):
+        if index % 4 == 0:
+            record["failure_type"] = "OUT_OF_SERVICE"
+    return records
+
+
+class TestQueryProtocol:
+    def test_query_frame_round_trips(self):
+        client, server = pair()
+        try:
+            protocol.write_query(client, "stats")
+            assert protocol.read_frame(server) == ("query", "stats", {})
+        finally:
+            client.close()
+            server.close()
+
+    def test_query_options_round_trip(self):
+        client, server = pair()
+        try:
+            protocol.write_query(client, "summary", {"window": 60})
+            frame = protocol.read_frame(server)
+            assert frame == ("query", "summary", {"window": 60})
+        finally:
+            client.close()
+            server.close()
+
+    def test_ingest_frames_pass_through_read_frame(self):
+        client, server = pair()
+        try:
+            protocol.write_request(client, b"payload", sender=9)
+            assert protocol.read_frame(server) == (
+                "ingest", 9, b"payload"
+            )
+        finally:
+            client.close()
+            server.close()
+
+    def test_interleaved_frames_stay_delimited(self):
+        client, server = pair()
+        try:
+            protocol.write_request(client, b"one", sender=1)
+            protocol.write_query(client, "isp_bs")
+            protocol.write_request(client, b"two", sender=2)
+            assert protocol.read_frame(server)[0] == "ingest"
+            assert protocol.read_frame(server) == (
+                "query", "isp_bs", {}
+            )
+            assert protocol.read_frame(server)[2] == b"two"
+        finally:
+            client.close()
+            server.close()
+
+    def test_unknown_query_version_is_rejected(self):
+        client, server = pair()
+        try:
+            client.sendall(protocol.QUERY_MAGIC + bytes([2]))
+            with pytest.raises(
+                protocol.UnsupportedQueryVersion
+            ) as excinfo:
+                protocol.read_frame(server)
+            assert excinfo.value.version == 2
+        finally:
+            client.close()
+            server.close()
+
+    def test_unknown_query_kind_is_a_client_side_error(self):
+        client, server = pair()
+        try:
+            with pytest.raises(ValueError):
+                protocol.write_query(client, "bogus")
+        finally:
+            client.close()
+            server.close()
+
+    def test_result_round_trips(self):
+        client, server = pair()
+        try:
+            protocol.write_result(server, protocol.RESULT_OK,
+                                  {"answer": [1, 2]})
+            assert protocol.read_result(client) == (
+                protocol.RESULT_OK, {"answer": [1, 2]}
+            )
+            protocol.write_result(server, protocol.RESULT_RETRY,
+                                  {"retry_after_s": 2.0})
+            status, body = protocol.read_result(client)
+            assert status == protocol.RESULT_RETRY
+            assert body["retry_after_s"] == 2.0
+        finally:
+            client.close()
+            server.close()
+
+    def test_frame_limit_above_magic_is_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_frame_bytes=protocol.MAX_FRAME_LIMIT + 1)
+
+
+class TestEngineExactness:
+    """The fold must be byte-identical to the offline analysis."""
+
+    def test_store_fold_matches_offline_block(self, tmp_path):
+        records = mixed_records()
+        store = store_with_records(tmp_path, records)
+        assert store.n_segments > 1  # devices genuinely span segments
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        fold = engine.fold()
+        offline = compute_analysis_block(store.dataset())
+        assert canonical(fold.block) == canonical(offline)
+        assert fold.watermark["mode"] == "store"
+        assert fold.watermark["n_records"] == len(records)
+        # Sanity: the distinct-device fields are actually exercised.
+        assert offline["oos_devices"] > 0
+        assert offline["failing_devices"] > 0
+
+    def test_second_fold_hits_the_cache(self, tmp_path):
+        store = store_with_records(tmp_path, mixed_records())
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        first = engine.fold()
+        assert first.cache_hits == 0
+        assert first.cache_misses == store.n_segments
+        second = engine.fold()
+        assert second.cache_hits == store.n_segments
+        assert second.cache_misses == 0
+        assert canonical(first.block) == canonical(second.block)
+
+    def test_fold_stays_exact_as_the_store_grows(self, tmp_path):
+        records = mixed_records()
+        store = SegmentStore(tmp_path / "store", seal_records=4)
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        for index, record in enumerate(records):
+            store.append(record, key=record_identity(record))
+            if index % 7 == 0:
+                fold = engine.fold()
+                offline = compute_analysis_block(store.dataset())
+                assert canonical(fold.block) == canonical(offline)
+        fold = engine.fold()
+        assert canonical(fold.block) == canonical(
+            compute_analysis_block(store.dataset())
+        )
+
+    def test_memory_fold_matches_offline_block(self):
+        from repro.backend.ingest import IngestionServer
+
+        server = IngestionServer()
+        for record in mixed_records():
+            server.ingest_record(dict(record))
+        engine = QueryEngine(server)
+        fold = engine.fold()
+        from repro.dataset.store import Dataset
+
+        offline = compute_analysis_block(
+            Dataset(failures=list(server.records))
+        )
+        assert canonical(fold.block) == canonical(offline)
+        assert fold.watermark["mode"] == "memory"
+
+    def test_summary_answer_matches_offline_summary(self, tmp_path):
+        store = store_with_records(tmp_path, mixed_records())
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        envelope = engine.answer("summary")
+        offline = analysis_summary(
+            compute_analysis_block(store.dataset())
+        )
+        assert canonical(envelope["result"]) == canonical(offline)
+
+
+class TestCacheInvalidation:
+    def test_corrupt_segment_is_skipped_with_accounting(self, tmp_path):
+        registry = ThreadSafeRegistry()
+        store = store_with_records(tmp_path, mixed_records())
+        victim = sorted(store.segments_dir.glob("*.seg"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        with use_registry(registry):
+            fold = engine.fold()
+        assert len(fold.skipped) == 1
+        # The answer is still exact over the *readable* records.
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            "query_segments_skipped_total"] == 1
+
+    def test_scrub_quarantine_invalidates_cached_partials(
+        self, tmp_path
+    ):
+        registry = ThreadSafeRegistry()
+        store = store_with_records(tmp_path, mixed_records())
+
+        class FakeServer:
+            pass
+
+        server = FakeServer()
+        server.store = store
+        engine = QueryEngine(server)
+        first = engine.fold()  # populate the cache
+        assert first.cache_misses == store.n_segments
+        victim = sorted(store.segments_dir.glob("*.seg"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        report = store.scrub(repair=True)
+        assert len(report.quarantined) == 1
+        assert report.recovered_keys  # WAL had every damaged row
+        # A fresh append joins the recovered rows in the tail, so the
+        # re-sealed segment cannot reuse the quarantined digest.
+        extra = synthetic_records(1, 1, seed=777)[0]
+        store.append(extra, key=record_identity(extra))
+        store.flush()  # reseal the repaired rows
+        with use_registry(registry):
+            fold = engine.fold()
+        # The quarantined segment's digest left the live set, so its
+        # cached partial was evicted with accounting...
+        assert engine.cache.invalidations >= 1
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            "query_cache_invalidations_total"] >= 1
+        # ...and the repaired store still folds to the exact offline
+        # block: nothing was lost, nothing double-counted.
+        assert canonical(fold.block) == canonical(
+            compute_analysis_block(store.dataset())
+        )
+        assert not fold.skipped
+
+
+class BlockingEngine:
+    """Engine stub whose answers gate on an event (plane tests)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def answer(self, kind):
+        self.entered.set()
+        self.release.wait(timeout=10.0)
+        return {"query": kind, "result": {}}
+
+
+class TestQueryPlane:
+    def test_full_queue_sheds_with_accounting(self):
+        registry = ThreadSafeRegistry()
+        engine = BlockingEngine()
+        plane = QueryPlane(engine, capacity=2, timeout_s=5.0)
+        with use_registry(registry):
+            plane.start()
+            try:
+                first = plane.submit("stats")
+                assert first is not None
+                assert engine.entered.wait(timeout=5.0)
+                # The worker holds the first; two more fill the queue.
+                assert plane.submit("stats") is not None
+                assert plane.submit("stats") is not None
+                assert plane.submit("stats") is None  # shed
+                assert plane.shed == 1
+            finally:
+                engine.release.set()
+                plane.stop()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            'query_shed_total{reason="queue-full"}'] == 1
+        assert snapshot["counters"][
+            'query_requests_total{kind="stats"}'] == 3
+
+    def test_slow_fold_times_out_with_retry_signal(self):
+        registry = ThreadSafeRegistry()
+        engine = BlockingEngine()
+        plane = QueryPlane(engine, capacity=4, timeout_s=0.05,
+                           retry_after_s=2.5)
+        with use_registry(registry):
+            plane.start()
+            try:
+                ticket = plane.submit("summary")
+                status, body = plane.wait(ticket)
+                assert status == protocol.RESULT_RETRY
+                assert body["retry_after_s"] == 2.5
+                assert ticket.abandoned
+            finally:
+                engine.release.set()
+                plane.stop()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            'query_shed_total{reason="timeout"}'] == 1
+
+    def test_engine_fault_answers_result_error(self):
+        class FaultyEngine:
+            def answer(self, kind):
+                raise RuntimeError("fold exploded")
+
+        registry = ThreadSafeRegistry()
+        plane = QueryPlane(FaultyEngine(), capacity=4, timeout_s=5.0)
+        with use_registry(registry):
+            plane.start()
+            try:
+                ticket = plane.submit("stats")
+                status, body = plane.wait(ticket)
+            finally:
+                plane.stop()
+        assert status == protocol.RESULT_ERROR
+        assert "fold exploded" in body["error"]
+        assert plane.errors == 1
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["query_errors_total"] == 1
+
+
+class TestServiceQueries:
+    """End-to-end over real sockets, ingest and queries interleaved."""
+
+    def _ingest(self, service, records):
+        batcher = UploadBatcher(
+            transport=SocketTransport(*service.address, sender=1)
+        )
+        for record in records:
+            batcher.enqueue(record)
+        batcher.maybe_flush(True)
+        return batcher
+
+    def test_live_answers_match_offline_analysis(self, tmp_path):
+        records = mixed_records()
+        config = ServeConfig(store_dir=str(tmp_path / "store"),
+                             store_seal_records=5)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry):
+            service = IngestService(config=config).start()
+            try:
+                batcher = self._ingest(service, records)
+                assert wait_until(
+                    lambda: service.server.accepted == len(records)
+                )
+                offline = compute_analysis_block(
+                    service.server.store.dataset()
+                )
+                with QueryClient(*service.address) as client:
+                    stats = client.stats()
+                    isp_bs = client.isp_bs()
+                    transitions = client.transitions()
+                    summary = client.summary()
+                batcher.transport.close()
+            finally:
+                service.stop(drain=False)
+        assert canonical(stats["result"]) == canonical(
+            {key: offline[key] for key in STATS_FIELDS}
+        )
+        assert canonical(isp_bs["result"]) == canonical(
+            {key: offline[key] for key in ISP_BS_FIELDS}
+        )
+        assert canonical(transitions["result"]) == canonical(
+            {key: offline[key] for key in TRANSITIONS_FIELDS}
+        )
+        assert canonical(summary["result"]) == canonical(
+            analysis_summary(offline)
+        )
+        assert stats["watermark"]["n_records"] == len(records)
+
+    def test_repeated_queries_hit_the_cache(self, tmp_path):
+        records = mixed_records()
+        config = ServeConfig(store_dir=str(tmp_path / "store"),
+                             store_seal_records=5)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry):
+            service = IngestService(config=config).start()
+            try:
+                batcher = self._ingest(service, records)
+                assert wait_until(
+                    lambda: service.server.accepted == len(records)
+                )
+                with QueryClient(*service.address) as client:
+                    first = client.stats()
+                    second = client.stats()
+                batcher.transport.close()
+            finally:
+                service.stop(drain=False)
+        assert first["cache"]["misses"] > 0
+        assert second["cache"]["hits"] == first["cache"]["misses"]
+        assert second["cache"]["misses"] == 0
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["query_cache_hits_total"] > 0
+
+    def test_queries_answer_while_ingest_continues(self, tmp_path):
+        """A query must not wait for ingest to go idle: with the
+        ingest worker wedged mid-payload, answers still flow and the
+        watermark advances once ingest resumes."""
+        records = mixed_records(n_devices=4, per_device=3)
+        config = ServeConfig(store_dir=str(tmp_path / "store"),
+                             store_seal_records=4)
+        with use_registry(ThreadSafeRegistry()):
+            service = IngestService(config=config).start()
+            try:
+                first_half = records[:6]
+                batcher = self._ingest(service, first_half)
+                assert wait_until(
+                    lambda: service.server.accepted == 6
+                )
+                entered = threading.Event()
+                release = threading.Event()
+                real = service.server.receive
+
+                def gated(payload):
+                    entered.set()
+                    release.wait(timeout=10.0)
+                    real(payload)
+
+                service.server.receive = gated
+                try:
+                    batcher2 = self._ingest(service, records[6:])
+                    assert entered.wait(timeout=5.0)
+                    with QueryClient(*service.address) as client:
+                        mid = client.stats()
+                finally:
+                    release.set()
+                    service.server.receive = real
+                assert mid["watermark"]["n_records"] == 6
+                assert wait_until(
+                    lambda: service.server.accepted == len(records)
+                )
+                with QueryClient(*service.address) as client:
+                    final = client.stats()
+                offline = compute_analysis_block(
+                    service.server.store.dataset()
+                )
+                batcher.transport.close()
+                batcher2.transport.close()
+            finally:
+                service.stop(drain=False)
+        assert final["watermark"]["n_records"] == len(records)
+        assert canonical(final["result"]) == canonical(
+            {key: offline[key] for key in STATS_FIELDS}
+        )
+
+    def test_draining_service_answers_unavailable(self):
+        registry = ThreadSafeRegistry()
+        with use_registry(registry):
+            service = IngestService().start()
+            try:
+                # Connect while the service still accepts, then flip
+                # it into drain: the handler is already blocked in its
+                # frame read, so the query reaches the unavailable
+                # branch instead of a closed socket.
+                sock = socket.create_connection(service.address,
+                                                timeout=2.0)
+                sock.settimeout(2.0)
+                assert wait_until(
+                    lambda: service.connections_accepted == 1
+                )
+                service._draining.set()
+                try:
+                    protocol.write_query(sock, "stats")
+                    status, _body = protocol.read_result(sock)
+                finally:
+                    sock.close()
+            finally:
+                service._draining.clear()
+                service.stop(drain=False)
+        assert status == protocol.RESULT_UNAVAILABLE
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            'query_unavailable_total{reason="draining"}'] == 1

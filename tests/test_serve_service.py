@@ -16,7 +16,7 @@ from contextlib import contextmanager
 import pytest
 
 from repro.chaos.config import ChaosConfig
-from repro.chaos.reconcile import reconcile
+from repro.chaos.reconcile import payload_key, reconcile
 from repro.dataset.records import record_identity
 from repro.monitoring.uploader import UploadBatcher
 from repro.obs import ThreadSafeRegistry, use_registry
@@ -415,6 +415,165 @@ class TestDrainResume:
         assert dataset(resumed.server) == control_dataset
         resumed.stop()
         drive.close()
+
+
+class TestPayloadOwnership:
+    """Regressions for the serve-layer ownership guarantees: an acked
+    payload is ingested, checkpointed, or shed *with accounting* —
+    never silently dropped, and never able to wedge the queue."""
+
+    def test_resume_restores_admission_accounting(self, tmp_path):
+        """A drain checkpoint carries the admission counters and shed
+        identities; resume must restore them, or pre-restart sheds
+        reconcile as unexplained losses."""
+        config = ServeConfig(queue_capacity=2, policy="shed-oldest")
+        records = synthetic_records(n_devices=4, per_device=1)
+        path = tmp_path / "serve.ckpt"
+        service = IngestService(config=config).start()
+        with blocked_ingest(service) as (entered, _release):
+            for index, record in enumerate(records):
+                batcher = UploadBatcher(
+                    transport=SocketTransport(
+                        *service.address, sender=index
+                    )
+                )
+                batcher.enqueue(record)
+                batcher.maybe_flush(True)
+                batcher.transport.close()
+                if index == 0:
+                    assert entered.wait(timeout=5.0)
+        assert len(service.shed_keys) == 1
+        shed_before = list(service.shed_keys)
+        service.stop(checkpoint_path=path)
+        summary_before = service.queue.summary()
+        resumed = IngestService.resume(path, config=config)
+        assert resumed.shed_keys == shed_before
+        summary_after = resumed.queue.summary()
+        for counter in ("admitted", "rejected", "shed", "shed_bytes"):
+            assert summary_after[counter] == summary_before[counter]
+        assert (summary_after["depth_high_watermark"]
+                >= summary_before["depth_high_watermark"])
+
+    def test_drain_without_checkpoint_sheds_with_accounting(self):
+        """stop(drain=True) with no checkpoint path must turn queued
+        payloads into accounted server-side sheds, not silent loss."""
+        config = ServeConfig(breaker_threshold=2, breaker_reset_s=60.0,
+                             drain_timeout_s=0.2)
+        records = synthetic_records(n_devices=5, per_device=1)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry):
+            service = IngestService(config=config).start()
+            service.server.take_down()
+            drive = drive_fleet(records, *service.address)
+            result = service.stop(checkpoint_path=None)
+            drive.close()
+        assert result.leftover > 0
+        assert result.checkpoint_path is None
+        assert len(service.shed_keys) == result.leftover
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            "serve_drain_discarded_total"] == result.leftover
+        report = reconcile(drive.emitted, service.server,
+                           drive.batchers.values(), service=service)
+        assert report.ok, report.render()
+        assert report.server_shed == result.leftover
+
+    def test_poison_payload_is_quarantined_not_requeued_forever(self):
+        """One payload that deterministically faults downstream must
+        exhaust its retry budget and be shed with identity accounting
+        — not wedge every payload queued behind it."""
+        config = ServeConfig(ingest_retry_limit=3,
+                             breaker_threshold=100)
+        poison = synthetic_records(n_devices=1, per_device=1,
+                                   seed=13)[0]
+        good = synthetic_records(n_devices=3, per_device=1)
+        registry = ThreadSafeRegistry()
+        with use_registry(registry), serving(config) as service:
+            poison_key = record_identity(poison)
+            real = service.server.receive
+
+            def faulting(payload):
+                if payload_key(payload) == poison_key:
+                    raise ValueError("downstream chokes on this one")
+                real(payload)
+
+            service.server.receive = faulting
+            batchers = []
+            for index, record in enumerate([poison] + good):
+                batcher = UploadBatcher(
+                    transport=SocketTransport(
+                        *service.address, sender=index
+                    )
+                )
+                batcher.enqueue(record)
+                batcher.maybe_flush(True)
+                batchers.append(batcher)
+            assert wait_until(lambda: service.server.accepted == 3)
+            assert wait_until(lambda: service.poisoned == 1)
+            service.server.receive = real
+            assert poison_key in service.shed_keys
+            report = reconcile(
+                {record_identity(r) for r in [poison] + good},
+                service.server, batchers, service=service,
+            )
+            for batcher in batchers:
+                batcher.transport.close()
+        assert report.ok, report.render()
+        assert report.accepted == 3
+        assert report.server_shed == 1
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            "serve_poison_quarantined_total"] == 1
+        assert snapshot["counters"][
+            'serve_shed_total{policy="poison"}'] == 1
+
+    def test_transient_outage_does_not_consume_retry_budget(self):
+        """ServiceUnavailable faults are the downstream's fault, not
+        the payload's: an outage longer than the retry budget must not
+        quarantine owned payloads as poison."""
+        config = ServeConfig(ingest_retry_limit=2,
+                             breaker_threshold=1000,
+                             breaker_reset_s=0.01)
+        record = synthetic_records(n_devices=1, per_device=1)[0]
+        with serving(config) as service:
+            service.server.take_down()
+            batcher = UploadBatcher(
+                transport=SocketTransport(*service.address, sender=1)
+            )
+            batcher.enqueue(record)
+            batcher.maybe_flush(True)
+            # Give the worker time for well over ingest_retry_limit
+            # failed attempts against the downed backend.
+            assert wait_until(lambda: service.ingest_faults > 10)
+            assert service.poisoned == 0
+            service.server.bring_up()
+            assert wait_until(lambda: service.server.accepted == 1)
+            batcher.transport.close()
+
+    def test_connections_gauge_falls_back_to_zero_on_close(self):
+        """serve_connections_active is a level, not a high-water mark:
+        it must fall when clients disconnect."""
+        registry = ThreadSafeRegistry()
+
+        def gauge():
+            return registry.snapshot()["gauges"].get(
+                "serve_connections_active"
+            )
+
+        with use_registry(registry), serving() as service:
+            first = SocketTransport(*service.address, sender=1)
+            second = SocketTransport(*service.address, sender=2)
+            record_a, record_b = synthetic_records(2, 1)
+            for transport, record in ((first, record_a),
+                                      (second, record_b)):
+                batcher = UploadBatcher(transport=transport)
+                batcher.enqueue(record)
+                batcher.maybe_flush(True)
+            assert wait_until(lambda: gauge() == 2.0)
+            first.close()
+            assert wait_until(lambda: gauge() == 1.0)
+            second.close()
+            assert wait_until(lambda: gauge() == 0.0)
 
 
 class TestChaosSoak:
